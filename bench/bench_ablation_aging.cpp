@@ -1,0 +1,85 @@
+// Ablation (extension beyond the paper's body, following its ref. [5]):
+// accuracy over the circuit lifetime for nominal, variation-aware and
+// aging-aware training. Prints an accuracy-vs-age profile per setup —
+// aging-aware training should hold its accuracy to end of life where the
+// others decay.
+#include <cstdio>
+
+#include "data/registry.hpp"
+#include "exp/artifacts.hpp"
+#include "pnn/aging.hpp"
+
+using namespace pnc;
+
+int main() {
+    const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto neg =
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 31);
+    const auto space = surrogate::DesignSpace::table1();
+    const std::vector<std::size_t> topology = {split.n_features(), 3,
+                                               static_cast<std::size_t>(split.n_classes)};
+
+    const pnn::AgingModel aging{.drift_per_decade = 0.08, .device_spread = 0.3};
+    const double printing_eps = 0.05;
+    const int epochs = exp::env_int("PNC_EPOCHS", 800);
+    const int patience = exp::env_int("PNC_PATIENCE", 200);
+
+    enum class Mode { kNominal, kVariationAware, kAgingAware };
+    struct Setup {
+        const char* name;
+        Mode mode;
+    };
+    const Setup setups[] = {
+        {"nominal training", Mode::kNominal},
+        {"variation-aware training", Mode::kVariationAware},
+        {"aging-aware training (ext.)", Mode::kAgingAware},
+    };
+    const double ages[] = {0.0, 10.0, 100.0, 1000.0, 10000.0};
+
+    std::printf("ABLATION: accuracy over circuit lifetime (aging model: %.0f%%/decade "
+                "drift, %.0f%% device spread, %.0f%% printing variation at test)\n\n",
+                aging.drift_per_decade * 100, aging.device_spread * 100,
+                printing_eps * 100);
+    std::printf("%-30s", "setup \\ age (hours)");
+    for (double age : ages) std::printf("  %7.0f       ", age);
+    std::printf("\n");
+
+    for (const auto& setup : setups) {
+        math::Rng rng(8);
+        pnn::Pnn net(topology, &act, &neg, space, rng);
+        pnn::TrainOptions base;
+        base.max_epochs = epochs;
+        base.patience = patience;
+        base.learnable_nonlinear = true;
+        base.seed = 8;
+        switch (setup.mode) {
+            case Mode::kNominal:
+                pnn::train_pnn(net, split, base);
+                break;
+            case Mode::kVariationAware:
+                base.epsilon = printing_eps;
+                base.n_mc_train = 8;
+                pnn::train_pnn(net, split, base);
+                break;
+            case Mode::kAgingAware: {
+                pnn::AgingTrainOptions options;
+                base.epsilon = printing_eps;
+                options.base = base;
+                options.model = aging;
+                options.n_mc_ages = 8;
+                pnn::train_pnn_aging_aware(net, split, options);
+                break;
+            }
+        }
+        std::printf("%-30s", setup.name);
+        for (double age : ages) {
+            const auto result = pnn::evaluate_pnn_aged(net, split.x_test, split.y_test,
+                                                       aging, age, printing_eps,
+                                                       exp::env_int("PNC_MC_TEST", 60), 99);
+            std::printf("  %.3f+-%.3f", result.mean_accuracy, result.std_accuracy);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Certified robustness of the four Table III setups (extension): fraction
+// of test samples whose classification is *provably* invariant under all
+// crossbar variation within +-eps (sound interval propagation), swept over
+// eps. Complements the Monte-Carlo view: certified accuracy is a formal
+// lower bound, not a sample statistic.
+#include <cstdio>
+
+#include "data/registry.hpp"
+#include "exp/artifacts.hpp"
+#include "pnn/certification.hpp"
+#include "pnn/training.hpp"
+
+using namespace pnc;
+
+int main() {
+    const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto neg =
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 37);
+    const auto space = surrogate::DesignSpace::table1();
+
+    struct Setup {
+        const char* name;
+        bool learnable;
+        double train_eps;
+    };
+    const Setup setups[] = {
+        {"baseline (fixed NL, nominal)", false, 0.0},
+        {"variation-aware only", false, 0.10},
+        {"learnable NL only", true, 0.0},
+        {"learnable NL + variation-aware", true, 0.10},
+    };
+    const double eps_levels[] = {0.01, 0.02, 0.05, 0.10};
+
+    std::printf("CERTIFIED accuracy (provable lower bound, crossbar variation scope), "
+                "iris\n\n");
+    std::printf("%-34s", "setup \\ eps");
+    for (double eps : eps_levels) std::printf("  %5.0f%%  ", eps * 100);
+    std::printf("\n");
+
+    for (const auto& setup : setups) {
+        math::Rng rng(14);
+        pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                     &act, &neg, space, rng);
+        pnn::TrainOptions options;
+        options.learnable_nonlinear = setup.learnable;
+        options.epsilon = setup.train_eps;
+        options.n_mc_train = setup.train_eps > 0 ? 8 : 1;
+        options.max_epochs = exp::env_int("PNC_EPOCHS", 800);
+        options.patience = exp::env_int("PNC_PATIENCE", 200);
+        options.seed = 14;
+        pnn::train_pnn(net, split, options);
+
+        std::printf("%-34s", setup.name);
+        for (double eps : eps_levels) {
+            pnn::CertificationOptions cert_options;
+            cert_options.epsilon = eps;
+            const auto cert = pnn::certify(net, split.x_test, split.y_test, cert_options);
+            std::printf("  %.3f  ", cert.certified_accuracy);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(variation-aware training should certify more at every eps — its\n"
+                " decision margins are wider by construction)\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Regenerates Fig. 2: characteristic curves of the ptanh circuit (left) and
+// the negative-weight circuit (right) for several physical parameter
+// vectors omega, plus an echo of the Table I design space the samples are
+// drawn from.
+#include <cstdio>
+
+#include "circuit/nonlinear_circuit.hpp"
+#include "surrogate/design_space.hpp"
+
+using namespace pnc;
+
+namespace {
+
+void print_design_space(const surrogate::DesignSpace& space) {
+    static const char* names[] = {"R1 (Ohm)", "R2 (Ohm)", "R3 (Ohm)", "R4 (Ohm)",
+                                  "R5 (Ohm)", "W (um)",   "L (um)"};
+    std::printf("TABLE I: feasible design space of the nonlinear circuit\n");
+    std::printf("%-10s %12s %12s\n", "param", "minimal", "maximal");
+    for (std::size_t i = 0; i < surrogate::DesignSpace::kDimension; ++i)
+        std::printf("%-10s %12.0f %12.0f\n", names[i], space.min(i), space.max(i));
+    std::printf("inequalities: R1 > R2, R3 > R4\n\n");
+}
+
+void print_family(circuit::NonlinearCircuitKind kind, const char* title,
+                  const std::vector<circuit::Omega>& omegas) {
+    std::printf("FIG 2 (%s): Vout vs Vin for %zu parameterizations\n", title, omegas.size());
+    std::printf("%-6s", "Vin");
+    for (std::size_t c = 0; c < omegas.size(); ++c) std::printf("  curve%zu ", c + 1);
+    std::printf("\n");
+    std::vector<circuit::CharacteristicCurve> curves;
+    for (const auto& omega : omegas)
+        curves.push_back(circuit::simulate_characteristic(omega, kind, 21));
+    for (std::size_t i = 0; i < curves.front().vin.size(); ++i) {
+        std::printf("%-6.2f", curves.front().vin[i]);
+        for (const auto& curve : curves) std::printf("  %7.4f", curve.vout[i]);
+        std::printf("\n");
+    }
+    std::printf("omegas [R1 R2 R3 R4 R5 W L]:\n");
+    for (std::size_t c = 0; c < omegas.size(); ++c) {
+        const auto a = omegas[c].to_array();
+        std::printf("  curve%zu: [%.0f %.0f %.0f %.0f %.0f %.0f %.0f]\n", c + 1, a[0], a[1],
+                    a[2], a[3], a[4], a[5], a[6]);
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    const auto space = surrogate::DesignSpace::table1();
+    print_design_space(space);
+
+    // A spread of designs: the learnable-circuit defaults plus Sobol samples
+    // filtered to visibly distinct curves (mirroring the paper's legend of
+    // several omega settings).
+    math::SobolSequence sobol(surrogate::DesignSpace::kDimension);
+    sobol.skip(17);
+    std::vector<circuit::Omega> ptanh_family = {
+        circuit::default_omega(circuit::NonlinearCircuitKind::kPtanh)};
+    std::vector<circuit::Omega> neg_family = {
+        circuit::default_omega(circuit::NonlinearCircuitKind::kNegativeWeight)};
+    for (const auto& omega : space.sample_batch(sobol, 64)) {
+        const auto curve =
+            circuit::simulate_characteristic(omega, circuit::NonlinearCircuitKind::kPtanh, 21);
+        if (curve.swing() > 0.4 && ptanh_family.size() < 5) ptanh_family.push_back(omega);
+        const auto neg_curve = circuit::simulate_characteristic(
+            omega, circuit::NonlinearCircuitKind::kNegativeWeight, 21);
+        if (neg_curve.swing() > 0.3 && neg_family.size() < 5) neg_family.push_back(omega);
+        if (ptanh_family.size() >= 5 && neg_family.size() >= 5) break;
+    }
+
+    print_family(circuit::NonlinearCircuitKind::kPtanh, "left: ptanh circuit", ptanh_family);
+    print_family(circuit::NonlinearCircuitKind::kNegativeWeight,
+                 "right: negative weight circuit", neg_family);
+    return 0;
+}

@@ -1,0 +1,73 @@
+// Microbenchmarks of the analog substrate: DC operating point, full
+// characteristic sweep, crossbar evaluation and eta extraction. These are
+// the inner loops of the surrogate dataset build (10 000 simulate+fit
+// iterations in the paper's pipeline).
+#include <benchmark/benchmark.h>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/nonlinear_circuit.hpp"
+#include "fit/ptanh_fit.hpp"
+
+using namespace pnc;
+
+namespace {
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+    auto net = circuit::build_nonlinear_circuit(
+        circuit::default_omega(circuit::NonlinearCircuitKind::kPtanh),
+        circuit::NonlinearCircuitKind::kPtanh);
+    net.set_source_voltage(net.find_node("in"), 0.5);
+    const circuit::DcSolver solver;
+    for (auto _ : state) benchmark::DoNotOptimize(solver.solve(net));
+}
+BENCHMARK(BM_DcOperatingPoint);
+
+void BM_CharacteristicSweep(benchmark::State& state) {
+    const auto omega = circuit::default_omega(circuit::NonlinearCircuitKind::kPtanh);
+    const auto points = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(circuit::simulate_characteristic(
+            omega, circuit::NonlinearCircuitKind::kPtanh, points));
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(points));
+}
+BENCHMARK(BM_CharacteristicSweep)->Arg(16)->Arg(48);
+
+void BM_CrossbarClosedForm(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    circuit::CrossbarColumn column;
+    column.bias_conductance = 1e-6;
+    column.drain_conductance = 2e-6;
+    std::vector<double> inputs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        column.input_conductances.push_back(1e-6 * static_cast<double>(i % 7 + 1));
+        inputs[i] = 0.1 * static_cast<double>(i % 10);
+    }
+    for (auto _ : state) benchmark::DoNotOptimize(column.output(inputs));
+}
+BENCHMARK(BM_CrossbarClosedForm)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PtanhFit(benchmark::State& state) {
+    const auto curve = circuit::simulate_characteristic(
+        circuit::default_omega(circuit::NonlinearCircuitKind::kPtanh),
+        circuit::NonlinearCircuitKind::kPtanh, 48);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kPtanh));
+}
+BENCHMARK(BM_PtanhFit);
+
+void BM_SimulateAndFit(benchmark::State& state) {
+    // One full sample of the surrogate dataset pipeline.
+    const auto omega = circuit::default_omega(circuit::NonlinearCircuitKind::kNegativeWeight);
+    for (auto _ : state) {
+        const auto curve = circuit::simulate_characteristic(
+            omega, circuit::NonlinearCircuitKind::kNegativeWeight, 48);
+        benchmark::DoNotOptimize(
+            fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kNegativeWeight));
+    }
+}
+BENCHMARK(BM_SimulateAndFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

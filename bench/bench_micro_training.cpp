@@ -1,0 +1,95 @@
+// Microbenchmarks of the learning substrate: surrogate MLP forward /
+// backward and pNN training epochs (nominal and variation-aware) — the
+// inner loops behind every Table II cell.
+#include <benchmark/benchmark.h>
+
+#include "data/registry.hpp"
+#include "pnn/training.hpp"
+#include "surrogate/surrogate_model.hpp"
+
+using namespace pnc;
+
+namespace {
+
+surrogate::SurrogateModel make_small_surrogate(circuit::NonlinearCircuitKind kind) {
+    surrogate::DatasetBuildOptions build;
+    build.samples = 300;
+    build.sweep_points = 17;
+    const auto dataset =
+        surrogate::build_surrogate_dataset(kind, surrogate::DesignSpace::table1(), build);
+    surrogate::SurrogateTrainOptions train;
+    train.mlp.max_epochs = 200;
+    train.mlp.patience = 50;
+    return surrogate::SurrogateModel::train(dataset, train);
+}
+
+const surrogate::SurrogateModel& act_surrogate() {
+    static const auto model = make_small_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    return model;
+}
+const surrogate::SurrogateModel& neg_surrogate() {
+    static const auto model =
+        make_small_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return model;
+}
+
+void BM_MlpForward(benchmark::State& state) {
+    math::Rng rng(3);
+    const surrogate::Mlp mlp(surrogate::paper_surrogate_layers(), rng);
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    const auto x = rng.uniform_matrix(batch, 10, 0.0, 1.0);
+    for (auto _ : state) benchmark::DoNotOptimize(mlp.predict(x));
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_MlpForward)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+    math::Rng rng(3);
+    surrogate::Mlp mlp(surrogate::paper_surrogate_layers(), rng);
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    const auto x = ad::constant(rng.uniform_matrix(batch, 10, 0.0, 1.0));
+    const auto y = rng.uniform_matrix(batch, 4, 0.0, 1.0);
+    for (auto _ : state) {
+        const auto loss = ad::mse(mlp.forward(x), y);
+        ad::backward(loss);
+        benchmark::DoNotOptimize(loss.scalar());
+    }
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(64)->Arg(1024);
+
+void BM_PnnEpoch(benchmark::State& state) {
+    const bool variation_aware = state.range(0) != 0;
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 5);
+    const auto space = surrogate::DesignSpace::table1();
+    math::Rng rng(11);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &act_surrogate(), &neg_surrogate(), space, rng);
+    ad::Adam optimizer({{net.theta_params(), 0.1}, {net.omega_params(), 0.005}});
+    const circuit::VariationModel variation(variation_aware ? 0.1 : 0.0);
+    const auto x = ad::constant(split.x_train);
+    math::Rng noise(17);
+    for (auto _ : state) {
+        optimizer.zero_grad();
+        ad::Var total;
+        const int n_mc = variation_aware ? 5 : 1;
+        for (int s = 0; s < n_mc; ++s) {
+            pnn::NetworkVariation factors;
+            const pnn::NetworkVariation* ptr = nullptr;
+            if (variation_aware) {
+                factors = net.sample_variation(variation, noise);
+                ptr = &factors;
+            }
+            const auto loss = pnn::classification_loss(
+                net.forward(x, ptr), split.y_train, pnn::LossKind::kMargin, 0.3);
+            total = total.valid() ? ad::add(total, loss) : loss;
+        }
+        ad::backward(total);
+        optimizer.step();
+        benchmark::DoNotOptimize(total.scalar());
+    }
+}
+BENCHMARK(BM_PnnEpoch)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Regenerates Table II: per-dataset accuracy (mean +- std under printing
+// variation) for the 2 x 2 grid {non-learnable, learnable nonlinear
+// circuit} x {nominal, variation-aware training} at eps_test in {5%, 10%}.
+//
+// Defaults are scaled down for bench runtime; set PNC_FULL=1 for the paper
+// protocol (10 seeds, patience 5000, N_train = 20) and see DESIGN.md for
+// the full list of PNC_* knobs. Results are cached in the artifact
+// directory for bench_table3.
+#include <chrono>
+#include <iostream>
+
+#include "exp/artifacts.hpp"
+#include "exp/experiment.hpp"
+
+using namespace pnc;
+
+int main() {
+    const auto config = exp::ExperimentConfig::from_env();
+    std::cout << "Table II reproduction (" << config.seeds.size() << " seeds, max "
+              << config.max_epochs << " epochs, patience " << config.patience
+              << ", N_train=" << config.n_mc_train << ", N_test=" << config.n_mc_test
+              << ")\n";
+    if (exp::env_int("PNC_FULL", 0) != 1)
+        std::cout << "(reduced protocol; set PNC_FULL=1 for the paper's full budget)\n";
+    std::cout << std::endl;
+
+    const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto neg =
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+
+    const auto start = std::chrono::steady_clock::now();
+    exp::ExperimentRunner runner(&act, &neg, config);
+    const auto results = runner.run_all();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    exp::print_table2(std::cout, results, config);
+    std::cout << "\n(total experiment time " << elapsed << "s)\n";
+
+    results.save_file(exp::artifact_dir() + "/table_results.txt");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Robustness deep-dive: how does accuracy degrade with printing variation,
+// and how much of the protection comes from variation-aware training vs the
+// learnable nonlinear circuit?
+//
+// Trains the four Table III setups on one dataset and sweeps the *test*
+// variation from 0% to 15%, printing an accuracy-vs-variation profile for
+// each setup (the analysis behind the paper's robustness claims).
+#include <cstdio>
+
+#include "data/registry.hpp"
+#include "exp/artifacts.hpp"
+#include "pnn/training.hpp"
+
+using namespace pnc;
+
+int main() {
+    const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto neg =
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), /*seed=*/11);
+    const auto space = surrogate::DesignSpace::table1();
+
+    struct Setup {
+        const char* name;
+        bool learnable;
+        double train_eps;
+    };
+    const Setup setups[] = {
+        {"baseline (fixed NL, nominal)", false, 0.0},
+        {"variation-aware only", false, 0.10},
+        {"learnable NL only", true, 0.0},
+        {"learnable NL + variation-aware", true, 0.10},
+    };
+
+    const double test_eps[] = {0.0, 0.025, 0.05, 0.075, 0.10, 0.125, 0.15};
+
+    std::printf("%-34s", "setup \\ test variation");
+    for (double eps : test_eps) std::printf("  %5.1f%%        ", eps * 100);
+    std::printf("\n");
+
+    for (const auto& setup : setups) {
+        math::Rng rng(5);
+        pnn::Pnn network({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                         &act, &neg, space, rng);
+        pnn::TrainOptions options;
+        options.learnable_nonlinear = setup.learnable;
+        options.epsilon = setup.train_eps;
+        options.n_mc_train = setup.train_eps > 0 ? 10 : 1;
+        options.max_epochs = 1200;
+        options.patience = 250;
+        options.seed = 5;
+        pnn::train_pnn(network, split, options);
+
+        std::printf("%-34s", setup.name);
+        for (double eps : test_eps) {
+            pnn::EvalOptions eval;
+            eval.epsilon = eps;
+            eval.n_mc = eps > 0 ? 60 : 1;
+            const auto result = pnn::evaluate_pnn(network, split.x_test, split.y_test, eval);
+            std::printf("  %.3f+-%.3f", result.mean_accuracy, result.std_accuracy);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nReading: down a column, later rows should dominate earlier ones —\n"
+                "variation-aware training buys robustness (smaller +-), the learnable\n"
+                "nonlinear circuit buys accuracy, and their combination buys both\n"
+                "(the paper's Table III ablation).\n");
+    return 0;
+}

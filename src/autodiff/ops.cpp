@@ -1,0 +1,513 @@
+#include "autodiff/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::ad {
+
+namespace {
+
+using math::broadcast_row;
+using math::hadamard;
+
+/// Allocate a result node wired to its parents.
+Var make_node(Matrix value, std::vector<Var> parents,
+              std::function<void(Node&)> backprop) {
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    bool needs_grad = false;
+    node->parents.reserve(parents.size());
+    for (const Var& p : parents) {
+        node->parents.push_back(p.node());
+        needs_grad = needs_grad || p.node()->requires_grad || p.node()->backprop;
+    }
+    node->requires_grad = needs_grad;
+    // Leaves of constant subtrees never need a backward pass.
+    if (needs_grad) node->backprop = std::move(backprop);
+    return Var(std::move(node));
+}
+
+Node& parent(Node& self, std::size_t i) { return *self.parents[i]; }
+
+}  // namespace
+
+// ---- elementwise arithmetic -------------------------------------------
+
+Var add(const Var& a, const Var& b) {
+    math::require_same_shape(a.value(), b.value(), "ad::add");
+    return make_node(a.value() + b.value(), {a, b}, [](Node& self) {
+        parent(self, 0).accumulate(self.grad);
+        parent(self, 1).accumulate(self.grad);
+    });
+}
+
+Var sub(const Var& a, const Var& b) {
+    math::require_same_shape(a.value(), b.value(), "ad::sub");
+    return make_node(a.value() - b.value(), {a, b}, [](Node& self) {
+        parent(self, 0).accumulate(self.grad);
+        parent(self, 1).accumulate(-self.grad);
+    });
+}
+
+Var mul(const Var& a, const Var& b) {
+    math::require_same_shape(a.value(), b.value(), "ad::mul");
+    return make_node(hadamard(a.value(), b.value()), {a, b}, [](Node& self) {
+        parent(self, 0).accumulate(hadamard(self.grad, parent(self, 1).value));
+        parent(self, 1).accumulate(hadamard(self.grad, parent(self, 0).value));
+    });
+}
+
+Var div(const Var& a, const Var& b) {
+    math::require_same_shape(a.value(), b.value(), "ad::div");
+    return make_node(math::elementwise_div(a.value(), b.value()), {a, b}, [](Node& self) {
+        const Matrix& bv = parent(self, 1).value;
+        parent(self, 0).accumulate(math::elementwise_div(self.grad, bv));
+        Matrix gb(bv.rows(), bv.cols());
+        const Matrix& av = parent(self, 0).value;
+        for (std::size_t i = 0; i < gb.size(); ++i)
+            gb[i] = -self.grad[i] * av[i] / (bv[i] * bv[i]);
+        parent(self, 1).accumulate(gb);
+    });
+}
+
+Var neg(const Var& a) {
+    return make_node(-a.value(), {a},
+                     [](Node& self) { parent(self, 0).accumulate(-self.grad); });
+}
+
+// ---- scalar (double) arithmetic -----------------------------------------
+
+Var add_scalar(const Var& a, double c) {
+    return make_node(a.value().map([c](double v) { return v + c; }), {a},
+                     [](Node& self) { parent(self, 0).accumulate(self.grad); });
+}
+
+Var mul_scalar(const Var& a, double c) {
+    return make_node(a.value() * c, {a}, [c](Node& self) {
+        parent(self, 0).accumulate(self.grad * c);
+    });
+}
+
+// ---- 1x1-Var broadcast -----------------------------------------------------
+
+namespace {
+void require_scalar(const Var& s, const char* what) {
+    if (s.rows() != 1 || s.cols() != 1)
+        throw std::invalid_argument(std::string(what) + ": expected 1x1 Var, got " +
+                                    s.value().shape_string());
+}
+}  // namespace
+
+Var scalar_add(const Var& s, const Var& a) {
+    require_scalar(s, "ad::scalar_add");
+    const double sv = s.value()(0, 0);
+    return make_node(a.value().map([sv](double v) { return v + sv; }), {s, a},
+                     [](Node& self) {
+                         Matrix gs(1, 1, self.grad.sum());
+                         parent(self, 0).accumulate(gs);
+                         parent(self, 1).accumulate(self.grad);
+                     });
+}
+
+Var scalar_mul(const Var& s, const Var& a) {
+    require_scalar(s, "ad::scalar_mul");
+    const double sv = s.value()(0, 0);
+    return make_node(a.value() * sv, {s, a}, [](Node& self) {
+        const Matrix& av = parent(self, 1).value;
+        Matrix gs(1, 1, hadamard(self.grad, av).sum());
+        parent(self, 0).accumulate(gs);
+        parent(self, 1).accumulate(self.grad * parent(self, 0).value(0, 0));
+    });
+}
+
+Var scalar_sub_from(const Var& a, const Var& s) {
+    require_scalar(s, "ad::scalar_sub_from");
+    const double sv = s.value()(0, 0);
+    return make_node(a.value().map([sv](double v) { return v - sv; }), {a, s},
+                     [](Node& self) {
+                         parent(self, 0).accumulate(self.grad);
+                         Matrix gs(1, 1, -self.grad.sum());
+                         parent(self, 1).accumulate(gs);
+                     });
+}
+
+// ---- linear algebra ----------------------------------------------------------
+
+Var matmul(const Var& a, const Var& b) {
+    return make_node(math::matmul(a.value(), b.value()), {a, b}, [](Node& self) {
+        const Matrix& av = parent(self, 0).value;
+        const Matrix& bv = parent(self, 1).value;
+        parent(self, 0).accumulate(math::matmul(self.grad, math::transpose(bv)));
+        parent(self, 1).accumulate(math::matmul(math::transpose(av), self.grad));
+    });
+}
+
+Var transpose(const Var& a) {
+    return make_node(math::transpose(a.value()), {a}, [](Node& self) {
+        parent(self, 0).accumulate(math::transpose(self.grad));
+    });
+}
+
+// ---- row-vector broadcast ------------------------------------------------------
+
+namespace {
+void require_rowvec(const Var& r, const Var& a, const char* what) {
+    if (r.rows() != 1 || r.cols() != a.cols())
+        throw std::invalid_argument(std::string(what) + ": expected 1x" +
+                                    std::to_string(a.cols()) + " row vector, got " +
+                                    r.value().shape_string());
+}
+}  // namespace
+
+Var add_rowvec(const Var& a, const Var& r) {
+    require_rowvec(r, a, "ad::add_rowvec");
+    return make_node(a.value() + broadcast_row(r.value(), a.rows()), {a, r},
+                     [](Node& self) {
+                         parent(self, 0).accumulate(self.grad);
+                         parent(self, 1).accumulate(math::sum_rows(self.grad));
+                     });
+}
+
+Var mul_rowvec(const Var& a, const Var& r) {
+    require_rowvec(r, a, "ad::mul_rowvec");
+    return make_node(hadamard(a.value(), broadcast_row(r.value(), a.rows())), {a, r},
+                     [](Node& self) {
+                         const Matrix& av = parent(self, 0).value;
+                         const Matrix& rv = parent(self, 1).value;
+                         parent(self, 0).accumulate(
+                             hadamard(self.grad, broadcast_row(rv, av.rows())));
+                         parent(self, 1).accumulate(math::sum_rows(hadamard(self.grad, av)));
+                     });
+}
+
+Var div_rowvec(const Var& a, const Var& r) {
+    require_rowvec(r, a, "ad::div_rowvec");
+    Matrix value(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            value(i, j) = a.value()(i, j) / r.value()(0, j);
+    return make_node(std::move(value), {a, r}, [](Node& self) {
+        const Matrix& av = parent(self, 0).value;
+        const Matrix& rv = parent(self, 1).value;
+        Matrix ga(av.rows(), av.cols());
+        Matrix gr(1, rv.cols());
+        for (std::size_t i = 0; i < av.rows(); ++i) {
+            for (std::size_t j = 0; j < av.cols(); ++j) {
+                const double inv_r = 1.0 / rv(0, j);
+                ga(i, j) = self.grad(i, j) * inv_r;
+                gr(0, j) -= self.grad(i, j) * av(i, j) * inv_r * inv_r;
+            }
+        }
+        parent(self, 0).accumulate(ga);
+        parent(self, 1).accumulate(gr);
+    });
+}
+
+// ---- reductions -------------------------------------------------------------------
+
+Var sum(const Var& a) {
+    return make_node(Matrix(1, 1, a.value().sum()), {a}, [](Node& self) {
+        const Matrix& av = parent(self, 0).value;
+        parent(self, 0).accumulate(Matrix(av.rows(), av.cols(), self.grad(0, 0)));
+    });
+}
+
+Var mean(const Var& a) {
+    const double n = static_cast<double>(a.value().size());
+    return make_node(Matrix(1, 1, a.value().sum() / n), {a}, [n](Node& self) {
+        const Matrix& av = parent(self, 0).value;
+        parent(self, 0).accumulate(Matrix(av.rows(), av.cols(), self.grad(0, 0) / n));
+    });
+}
+
+Var sum_rows(const Var& a) {
+    return make_node(math::sum_rows(a.value()), {a}, [](Node& self) {
+        parent(self, 0).accumulate(broadcast_row(self.grad, parent(self, 0).value.rows()));
+    });
+}
+
+// ---- nonlinearities ------------------------------------------------------------------
+
+Var tanh(const Var& a) {
+    return make_node(a.value().map([](double v) { return std::tanh(v); }), {a},
+                     [](Node& self) {
+                         Matrix g(self.value.rows(), self.value.cols());
+                         for (std::size_t i = 0; i < g.size(); ++i)
+                             g[i] = self.grad[i] * (1.0 - self.value[i] * self.value[i]);
+                         parent(self, 0).accumulate(g);
+                     });
+}
+
+Var sigmoid(const Var& a) {
+    return make_node(a.value().map([](double v) { return 1.0 / (1.0 + std::exp(-v)); }), {a},
+                     [](Node& self) {
+                         Matrix g(self.value.rows(), self.value.cols());
+                         for (std::size_t i = 0; i < g.size(); ++i)
+                             g[i] = self.grad[i] * self.value[i] * (1.0 - self.value[i]);
+                         parent(self, 0).accumulate(g);
+                     });
+}
+
+Var exp(const Var& a) {
+    return make_node(a.value().map([](double v) { return std::exp(v); }), {a},
+                     [](Node& self) {
+                         parent(self, 0).accumulate(hadamard(self.grad, self.value));
+                     });
+}
+
+Var log(const Var& a) {
+    return make_node(a.value().map([](double v) { return std::log(v); }), {a},
+                     [](Node& self) {
+                         parent(self, 0).accumulate(
+                             math::elementwise_div(self.grad, parent(self, 0).value));
+                     });
+}
+
+Var softplus(const Var& a) {
+    // Numerically stable: log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
+    return make_node(
+        a.value().map([](double v) { return std::max(v, 0.0) + std::log1p(std::exp(-std::abs(v))); }),
+        {a}, [](Node& self) {
+            const Matrix& av = parent(self, 0).value;
+            Matrix g(av.rows(), av.cols());
+            for (std::size_t i = 0; i < g.size(); ++i)
+                g[i] = self.grad[i] / (1.0 + std::exp(-av[i]));
+            parent(self, 0).accumulate(g);
+        });
+}
+
+Var relu(const Var& a) {
+    return make_node(a.value().map([](double v) { return v > 0.0 ? v : 0.0; }), {a},
+                     [](Node& self) {
+                         const Matrix& av = parent(self, 0).value;
+                         Matrix g(av.rows(), av.cols());
+                         for (std::size_t i = 0; i < g.size(); ++i)
+                             g[i] = av[i] > 0.0 ? self.grad[i] : 0.0;
+                         parent(self, 0).accumulate(g);
+                     });
+}
+
+Var abs(const Var& a) {
+    return make_node(a.value().map([](double v) { return std::abs(v); }), {a},
+                     [](Node& self) {
+                         const Matrix& av = parent(self, 0).value;
+                         Matrix g(av.rows(), av.cols());
+                         for (std::size_t i = 0; i < g.size(); ++i) {
+                             const double s = av[i] > 0.0 ? 1.0 : (av[i] < 0.0 ? -1.0 : 0.0);
+                             g[i] = self.grad[i] * s;
+                         }
+                         parent(self, 0).accumulate(g);
+                     });
+}
+
+Var square(const Var& a) {
+    return make_node(a.value().map([](double v) { return v * v; }), {a}, [](Node& self) {
+        parent(self, 0).accumulate(hadamard(self.grad, parent(self, 0).value * 2.0));
+    });
+}
+
+// ---- structural --------------------------------------------------------------------
+
+Var slice_cols(const Var& a, std::size_t start, std::size_t count) {
+    if (start + count > a.cols())
+        throw std::invalid_argument("ad::slice_cols: range out of bounds");
+    Matrix value(a.rows(), count);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < count; ++j) value(i, j) = a.value()(i, start + j);
+    return make_node(std::move(value), {a}, [start, count](Node& self) {
+        const Matrix& av = parent(self, 0).value;
+        Matrix g(av.rows(), av.cols());
+        for (std::size_t i = 0; i < av.rows(); ++i)
+            for (std::size_t j = 0; j < count; ++j) g(i, start + j) = self.grad(i, j);
+        parent(self, 0).accumulate(g);
+    });
+}
+
+Var concat_cols(const std::vector<Var>& parts) {
+    if (parts.empty()) throw std::invalid_argument("ad::concat_cols: no parts");
+    const std::size_t rows = parts.front().rows();
+    std::size_t cols = 0;
+    for (const Var& p : parts) {
+        if (p.rows() != rows)
+            throw std::invalid_argument("ad::concat_cols: row mismatch");
+        cols += p.cols();
+    }
+    Matrix value(rows, cols);
+    std::size_t offset = 0;
+    for (const Var& p : parts) {
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t j = 0; j < p.cols(); ++j) value(i, offset + j) = p.value()(i, j);
+        offset += p.cols();
+    }
+    return make_node(std::move(value), parts, [](Node& self) {
+        std::size_t offset = 0;
+        for (auto& pnode : self.parents) {
+            const std::size_t pcols = pnode->value.cols();
+            Matrix g(pnode->value.rows(), pcols);
+            for (std::size_t i = 0; i < g.rows(); ++i)
+                for (std::size_t j = 0; j < pcols; ++j) g(i, j) = self.grad(i, offset + j);
+            pnode->accumulate(g);
+            offset += pcols;
+        }
+    });
+}
+
+Var select(const Matrix& mask, const Var& a, const Var& b) {
+    math::require_same_shape(mask, a.value(), "ad::select");
+    math::require_same_shape(a.value(), b.value(), "ad::select");
+    Matrix value(a.rows(), a.cols());
+    for (std::size_t i = 0; i < value.size(); ++i)
+        value[i] = mask[i] * a.value()[i] + (1.0 - mask[i]) * b.value()[i];
+    return make_node(std::move(value), {a, b}, [mask](Node& self) {
+        Matrix ga(self.value.rows(), self.value.cols());
+        Matrix gb(self.value.rows(), self.value.cols());
+        for (std::size_t i = 0; i < ga.size(); ++i) {
+            ga[i] = self.grad[i] * mask[i];
+            gb[i] = self.grad[i] * (1.0 - mask[i]);
+        }
+        parent(self, 0).accumulate(ga);
+        parent(self, 1).accumulate(gb);
+    });
+}
+
+Var stop_gradient(const Var& a) { return constant(a.value()); }
+
+// ---- straight-through estimators --------------------------------------------------
+
+Var clamp_ste(const Var& a, double lo, double hi) {
+    return make_node(a.value().map([lo, hi](double v) { return std::clamp(v, lo, hi); }),
+                     {a},
+                     [](Node& self) { parent(self, 0).accumulate(self.grad); });
+}
+
+Var project_conductance_ste(const Var& theta, double g_min, double g_max) {
+    if (!(0.0 < g_min && g_min < g_max))
+        throw std::invalid_argument("project_conductance_ste: need 0 < g_min < g_max");
+    return make_node(theta.value().map([g_min, g_max](double v) {
+                         const double mag = std::abs(v);
+                         if (mag < 0.5 * g_min) return 0.0;
+                         const double sign = v >= 0.0 ? 1.0 : -1.0;
+                         return sign * std::clamp(mag, g_min, g_max);
+                     }),
+                     {theta},
+                     [](Node& self) { parent(self, 0).accumulate(self.grad); });
+}
+
+// ---- losses -------------------------------------------------------------------------
+
+namespace {
+void require_labels(const Var& outputs, const std::vector<int>& labels, const char* what) {
+    if (labels.size() != outputs.rows())
+        throw std::invalid_argument(std::string(what) + ": labels/rows mismatch");
+    for (int y : labels)
+        if (y < 0 || static_cast<std::size_t>(y) >= outputs.cols())
+            throw std::invalid_argument(std::string(what) + ": label out of range");
+}
+}  // namespace
+
+Var margin_loss(const Var& outputs, const std::vector<int>& labels, double margin) {
+    require_labels(outputs, labels, "ad::margin_loss");
+    const Matrix& v = outputs.value();
+    const std::size_t n = v.rows();
+    double total = 0.0;
+    // Remember, per sample, the competitor column when the margin is violated.
+    std::vector<int> violator(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto y = static_cast<std::size_t>(labels[i]);
+        double best_other = -1e300;
+        std::size_t best_j = 0;
+        for (std::size_t j = 0; j < v.cols(); ++j) {
+            if (j == y) continue;
+            if (v(i, j) > best_other) {
+                best_other = v(i, j);
+                best_j = j;
+            }
+        }
+        const double hinge = margin - v(i, y) + best_other;
+        if (hinge > 0.0) {
+            total += hinge;
+            violator[i] = static_cast<int>(best_j);
+        }
+    }
+    return make_node(Matrix(1, 1, total / static_cast<double>(n)), {outputs},
+                     [labels, violator, n](Node& self) {
+                         const double g = self.grad(0, 0) / static_cast<double>(n);
+                         const Matrix& v = parent(self, 0).value;
+                         Matrix gv(v.rows(), v.cols());
+                         for (std::size_t i = 0; i < n; ++i) {
+                             if (violator[i] < 0) continue;
+                             gv(i, static_cast<std::size_t>(labels[i])) -= g;
+                             gv(i, static_cast<std::size_t>(violator[i])) += g;
+                         }
+                         parent(self, 0).accumulate(gv);
+                     });
+}
+
+Var cross_entropy(const Var& logits, const std::vector<int>& labels) {
+    require_labels(logits, labels, "ad::cross_entropy");
+    const Matrix& z = logits.value();
+    const std::size_t n = z.rows();
+    Matrix softmax(z.rows(), z.cols());
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double zmax = -1e300;
+        for (std::size_t j = 0; j < z.cols(); ++j) zmax = std::max(zmax, z(i, j));
+        double denom = 0.0;
+        for (std::size_t j = 0; j < z.cols(); ++j) denom += std::exp(z(i, j) - zmax);
+        for (std::size_t j = 0; j < z.cols(); ++j)
+            softmax(i, j) = std::exp(z(i, j) - zmax) / denom;
+        total -= std::log(std::max(softmax(i, static_cast<std::size_t>(labels[i])), 1e-300));
+    }
+    return make_node(Matrix(1, 1, total / static_cast<double>(n)), {logits},
+                     [labels, softmax, n](Node& self) {
+                         const double g = self.grad(0, 0) / static_cast<double>(n);
+                         Matrix gz = softmax;
+                         for (std::size_t i = 0; i < n; ++i)
+                             gz(i, static_cast<std::size_t>(labels[i])) -= 1.0;
+                         gz *= g;
+                         parent(self, 0).accumulate(gz);
+                     });
+}
+
+Var mse(const Var& prediction, const Matrix& target) {
+    math::require_same_shape(prediction.value(), target, "ad::mse");
+    const std::size_t n = prediction.value().size();
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = prediction.value()[i] - target[i];
+        total += d * d;
+    }
+    return make_node(Matrix(1, 1, total / static_cast<double>(n)), {prediction},
+                     [target, n](Node& self) {
+                         const double g = 2.0 * self.grad(0, 0) / static_cast<double>(n);
+                         Matrix gp = parent(self, 0).value - target;
+                         gp *= g;
+                         parent(self, 0).accumulate(gp);
+                     });
+}
+
+// ---- non-differentiable helpers -------------------------------------------------------
+
+std::vector<int> argmax_rows(const Matrix& m) {
+    std::vector<int> out(m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < m.cols(); ++j)
+            if (m(i, j) > m(i, best)) best = j;
+        out[i] = static_cast<int>(best);
+    }
+    return out;
+}
+
+double accuracy(const Matrix& outputs, const std::vector<int>& labels) {
+    if (labels.size() != outputs.rows())
+        throw std::invalid_argument("ad::accuracy: labels/rows mismatch");
+    if (labels.empty()) return 0.0;
+    const auto pred = argmax_rows(outputs);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) correct += pred[i] == labels[i];
+    return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace pnc::ad

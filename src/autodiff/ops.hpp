@@ -1,0 +1,89 @@
+// Operation set of the autodiff engine.
+//
+// Matrix-shaped ops with the broadcasting patterns the printed-NN pipeline
+// needs (row-vector broadcast for per-output-column crossbar normalization,
+// 1x1-scalar broadcast for the learned ptanh coefficients), straight-through
+// estimators for the printability projections, and fused classification
+// losses.
+#pragma once
+
+#include <vector>
+
+#include "autodiff/var.hpp"
+
+namespace pnc::ad {
+
+// ---- elementwise arithmetic (same shape) -------------------------------
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);  // Hadamard
+Var div(const Var& a, const Var& b);
+Var neg(const Var& a);
+
+// ---- scalar (double) arithmetic ----------------------------------------
+Var add_scalar(const Var& a, double c);
+Var mul_scalar(const Var& a, double c);
+
+// ---- 1x1-Var broadcast ---------------------------------------------------
+/// out(i,j) = s + a(i,j), s is a 1x1 Var (e.g. a learned eta coefficient).
+Var scalar_add(const Var& s, const Var& a);
+/// out(i,j) = s * a(i,j).
+Var scalar_mul(const Var& s, const Var& a);
+/// out(i,j) = a(i,j) - s.
+Var scalar_sub_from(const Var& a, const Var& s);
+
+// ---- linear algebra ------------------------------------------------------
+Var matmul(const Var& a, const Var& b);
+Var transpose(const Var& a);
+
+// ---- row-vector broadcast (r is 1 x cols) --------------------------------
+Var add_rowvec(const Var& a, const Var& r);
+Var mul_rowvec(const Var& a, const Var& r);
+Var div_rowvec(const Var& a, const Var& r);
+
+// ---- reductions -----------------------------------------------------------
+Var sum(const Var& a);                // -> 1x1
+Var mean(const Var& a);               // -> 1x1
+Var sum_rows(const Var& a);           // column sums -> 1 x cols
+
+// ---- nonlinearities --------------------------------------------------------
+Var tanh(const Var& a);
+Var sigmoid(const Var& a);
+Var exp(const Var& a);
+Var log(const Var& a);
+Var softplus(const Var& a);
+Var relu(const Var& a);
+Var abs(const Var& a);     // subgradient 0 at 0
+Var square(const Var& a);
+
+// ---- structural ------------------------------------------------------------
+Var slice_cols(const Var& a, std::size_t start, std::size_t count);
+Var concat_cols(const std::vector<Var>& parts);
+/// out = mask .* a + (1 - mask) .* b with a constant 0/1 mask.
+Var select(const Matrix& mask, const Var& a, const Var& b);
+/// Treat a's value as a constant: blocks gradient flow.
+Var stop_gradient(const Var& a);
+
+// ---- straight-through estimators -------------------------------------------
+/// Forward: clamp to [lo, hi]. Backward: identity (gradient passes through).
+Var clamp_ste(const Var& a, double lo, double hi);
+/// Forward: project a surrogate conductance theta onto the printable set
+/// {0} u [g_min, g_max] (sign preserved, |theta| < g_min/2 snaps to 0).
+/// Backward: identity. This is the paper's straight-through projection.
+Var project_conductance_ste(const Var& theta, double g_min, double g_max);
+
+// ---- losses ------------------------------------------------------------------
+/// pNN margin loss: mean over samples of max(0, margin - v_true + max_{j != y} v_j).
+Var margin_loss(const Var& outputs, const std::vector<int>& labels, double margin);
+/// Softmax cross-entropy, labels as class indices; returns the mean.
+Var cross_entropy(const Var& logits, const std::vector<int>& labels);
+/// Mean squared error against a constant target.
+Var mse(const Var& prediction, const Matrix& target);
+
+// ---- non-differentiable helpers ----------------------------------------------
+/// argmax per row.
+std::vector<int> argmax_rows(const Matrix& m);
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Matrix& outputs, const std::vector<int>& labels);
+
+}  // namespace pnc::ad

@@ -1,0 +1,60 @@
+#include "autodiff/optimizer.hpp"
+
+#include <cmath>
+
+namespace pnc::ad {
+
+void Optimizer::zero_grad() {
+    for (auto& group : groups_)
+        for (auto& p : group.params) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<ParamGroup> groups, double momentum)
+    : Optimizer(std::move(groups)), momentum_(momentum) {}
+
+void Sgd::step() {
+    for (auto& group : groups_) {
+        for (auto& p : group.params) {
+            Node* node = p.node().get();
+            node->ensure_grad();
+            Matrix update = node->grad * group.learning_rate;
+            if (momentum_ != 0.0) {
+                auto [it, inserted] =
+                    velocity_.try_emplace(node, Matrix(update.rows(), update.cols()));
+                Matrix& vel = it->second;
+                vel = vel * momentum_ + update;
+                update = vel;
+            }
+            node->value -= update;
+        }
+    }
+}
+
+Adam::Adam(std::vector<ParamGroup> groups, double beta1, double beta2, double epsilon)
+    : Optimizer(std::move(groups)), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void Adam::step() {
+    ++t_;
+    const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (auto& group : groups_) {
+        for (auto& p : group.params) {
+            Node* node = p.node().get();
+            node->ensure_grad();
+            const Matrix& g = node->grad;
+            auto [mit, m_new] = m_.try_emplace(node, Matrix(g.rows(), g.cols()));
+            auto [vit, v_new] = v_.try_emplace(node, Matrix(g.rows(), g.cols()));
+            Matrix& m = mit->second;
+            Matrix& v = vit->second;
+            for (std::size_t i = 0; i < g.size(); ++i) {
+                m[i] = beta1_ * m[i] + (1.0 - beta1_) * g[i];
+                v[i] = beta2_ * v[i] + (1.0 - beta2_) * g[i] * g[i];
+                const double m_hat = m[i] / bias1;
+                const double v_hat = v[i] / bias2;
+                node->value[i] -= group.learning_rate * m_hat / (std::sqrt(v_hat) + epsilon_);
+            }
+        }
+    }
+}
+
+}  // namespace pnc::ad

@@ -1,0 +1,65 @@
+// Gradient-based optimizers over leaf parameters.
+//
+// The paper trains with Adam using different learning rates for the crossbar
+// conductances (alpha_theta = 0.1) and the nonlinear-circuit parameters
+// (alpha_w = 0.005), so both optimizers support parameter groups with
+// per-group learning rates.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "autodiff/var.hpp"
+
+namespace pnc::ad {
+
+struct ParamGroup {
+    std::vector<Var> params;
+    double learning_rate = 1e-3;
+};
+
+class Optimizer {
+public:
+    explicit Optimizer(std::vector<ParamGroup> groups) : groups_(std::move(groups)) {}
+    virtual ~Optimizer() = default;
+
+    /// Apply one update using the gradients currently stored in the leaves.
+    virtual void step() = 0;
+
+    /// Clear gradients of every managed parameter.
+    void zero_grad();
+
+    const std::vector<ParamGroup>& groups() const { return groups_; }
+
+protected:
+    std::vector<ParamGroup> groups_;
+};
+
+/// Plain stochastic gradient descent (optionally with momentum).
+class Sgd final : public Optimizer {
+public:
+    Sgd(std::vector<ParamGroup> groups, double momentum = 0.0);
+    void step() override;
+
+private:
+    double momentum_;
+    std::unordered_map<Node*, Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba 2014) with the default beta/epsilon settings the paper
+/// uses ("Adam with default settings").
+class Adam final : public Optimizer {
+public:
+    explicit Adam(std::vector<ParamGroup> groups, double beta1 = 0.9,
+                  double beta2 = 0.999, double epsilon = 1e-8);
+    void step() override;
+
+private:
+    double beta1_, beta2_, epsilon_;
+    long t_ = 0;
+    std::unordered_map<Node*, Matrix> m_;
+    std::unordered_map<Node*, Matrix> v_;
+};
+
+}  // namespace pnc::ad

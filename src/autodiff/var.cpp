@@ -1,0 +1,91 @@
+#include "autodiff/var.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pnc::ad {
+
+Var::Var(Matrix value, bool requires_grad) : node_(std::make_shared<Node>()) {
+    node_->value = std::move(value);
+    node_->requires_grad = requires_grad;
+}
+
+double Var::scalar() const {
+    if (rows() != 1 || cols() != 1)
+        throw std::logic_error("Var::scalar on non-1x1 value " + node_->value.shape_string());
+    return node_->value(0, 0);
+}
+
+void Var::set_value(Matrix value) const {
+    if (!node_->parents.empty())
+        throw std::logic_error("Var::set_value on interior node");
+    if (!node_->value.empty() && !(value.rows() == node_->value.rows() &&
+                                   value.cols() == node_->value.cols()))
+        throw std::invalid_argument("Var::set_value: shape change " +
+                                    node_->value.shape_string() + " -> " +
+                                    value.shape_string());
+    node_->value = std::move(value);
+}
+
+void Var::zero_grad() const {
+    node_->ensure_grad();
+    node_->grad *= 0.0;
+}
+
+Var constant(Matrix value) { return Var(std::move(value), false); }
+Var parameter(Matrix value) { return Var(std::move(value), true); }
+Var scalar_constant(double v) { return Var(Matrix(1, 1, v), false); }
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents first).
+void topo_sort(Node* root, std::vector<Node*>& order) {
+    std::unordered_set<Node*> visited;
+    struct Frame {
+        Node* node;
+        std::size_t next_parent;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root, 0});
+    visited.insert(root);
+    while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.next_parent < frame.node->parents.size()) {
+            Node* parent = frame.node->parents[frame.next_parent++].get();
+            if (visited.insert(parent).second) stack.push_back({parent, 0});
+        } else {
+            order.push_back(frame.node);
+            stack.pop_back();
+        }
+    }
+}
+
+}  // namespace
+
+void backward(const Var& root) {
+    if (!root.valid()) throw std::logic_error("backward on empty Var");
+    if (root.rows() != 1 || root.cols() != 1)
+        throw std::logic_error("backward requires a 1x1 root, got " +
+                               root.value().shape_string());
+
+    std::vector<Node*> order;
+    topo_sort(root.node().get(), order);
+
+    // Zero adjoints of interior nodes; leaves accumulate across calls.
+    for (Node* n : order) {
+        if (!n->backprop) continue;
+        n->ensure_grad();
+        n->grad *= 0.0;
+    }
+    Node* r = root.node().get();
+    r->ensure_grad();
+    r->grad(0, 0) += 1.0;
+
+    // order is parents-first; traverse children-first.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node* n = *it;
+        if (n->backprop) n->backprop(*n);
+    }
+}
+
+}  // namespace pnc::ad

@@ -1,0 +1,87 @@
+// Reverse-mode automatic differentiation over matrix-valued expressions.
+//
+// This is the training substrate for both the surrogate MLPs and the printed
+// neural networks. The design is a tape-free dynamic DAG: every operation
+// allocates a Node holding its value, links to its parents, and a closure
+// that scatters the node's adjoint into the parents' adjoints. backward()
+// topologically sorts the graph reachable from a scalar root and runs the
+// closures in reverse order.
+//
+// Leaf parameters (requires_grad = true) are the only nodes that survive
+// across iterations; their adjoints accumulate until zero_grad().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace pnc::ad {
+
+using math::Matrix;
+
+struct Node {
+    Matrix value;
+    Matrix grad;  // allocated on first use, same shape as value
+    bool requires_grad = false;
+    std::vector<std::shared_ptr<Node>> parents;
+    // Scatters this->grad into parents' grads. Empty for leaves.
+    std::function<void(Node&)> backprop;
+
+    void ensure_grad() {
+        if (grad.rows() != value.rows() || grad.cols() != value.cols())
+            grad = Matrix(value.rows(), value.cols());
+    }
+    void accumulate(const Matrix& g) {
+        ensure_grad();
+        grad += g;
+    }
+};
+
+/// Handle to a node in the autodiff graph. Cheap to copy (shared ownership).
+class Var {
+public:
+    Var() = default;
+
+    /// Leaf node. requires_grad marks it as a trainable parameter.
+    explicit Var(Matrix value, bool requires_grad = false);
+
+    /// Wrap an existing node (used by operation implementations).
+    explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+    bool valid() const { return node_ != nullptr; }
+    const Matrix& value() const { return node_->value; }
+    const Matrix& grad() const { return node_->grad; }
+    bool requires_grad() const { return node_->requires_grad; }
+
+    std::size_t rows() const { return node_->value.rows(); }
+    std::size_t cols() const { return node_->value.cols(); }
+
+    /// Scalar convenience for 1x1 vars.
+    double scalar() const;
+
+    /// Overwrite the value of a leaf (optimizer update). Throws if the node
+    /// has parents — interior nodes are recomputed, never assigned.
+    void set_value(Matrix value) const;
+
+    /// Reset accumulated gradient to zero (leaves only need this).
+    void zero_grad() const;
+
+    std::shared_ptr<Node> node() const { return node_; }
+
+private:
+    std::shared_ptr<Node> node_;
+};
+
+/// Convenience constructors.
+Var constant(Matrix value);
+Var parameter(Matrix value);
+Var scalar_constant(double v);
+
+/// Run reverse-mode differentiation from a 1x1 root. Adjoints of all
+/// reachable nodes with requires_grad (or on a path to one) are populated;
+/// leaf adjoints accumulate across calls.
+void backward(const Var& root);
+
+}  // namespace pnc::ad

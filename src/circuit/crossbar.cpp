@@ -1,0 +1,51 @@
+#include "circuit/crossbar.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pnc::circuit {
+
+double CrossbarColumn::output(const std::vector<double>& input_voltages) const {
+    if (input_voltages.size() != input_conductances.size())
+        throw std::invalid_argument("CrossbarColumn: expected " +
+                                    std::to_string(input_conductances.size()) +
+                                    " inputs, got " + std::to_string(input_voltages.size()));
+    double numerator = bias_conductance * bias_voltage;
+    double total = bias_conductance + drain_conductance;
+    for (std::size_t i = 0; i < input_conductances.size(); ++i) {
+        if (input_conductances[i] < 0.0)
+            throw std::invalid_argument("CrossbarColumn: negative conductance");
+        numerator += input_conductances[i] * input_voltages[i];
+        total += input_conductances[i];
+    }
+    if (total <= 0.0)
+        throw std::invalid_argument("CrossbarColumn: floating output (total conductance 0)");
+    return numerator / total;
+}
+
+std::vector<double> Crossbar::outputs(const std::vector<double>& input_voltages) const {
+    std::vector<double> out;
+    out.reserve(columns.size());
+    for (const auto& column : columns) out.push_back(column.output(input_voltages));
+    return out;
+}
+
+Netlist build_crossbar_netlist(const CrossbarColumn& column) {
+    Netlist net;
+    const NodeId z = net.node("z");
+    for (std::size_t i = 0; i < column.input_conductances.size(); ++i) {
+        const NodeId in = net.node("in" + std::to_string(i));
+        net.add_voltage_source(in, 0.0);
+        if (column.input_conductances[i] > 0.0)
+            net.add_resistor(in, z, 1.0 / column.input_conductances[i]);
+    }
+    const NodeId bias = net.node("bias");
+    net.add_voltage_source(bias, column.bias_voltage);
+    if (column.bias_conductance > 0.0)
+        net.add_resistor(bias, z, 1.0 / column.bias_conductance);
+    if (column.drain_conductance > 0.0)
+        net.add_resistor(z, Netlist::kGround, 1.0 / column.drain_conductance);
+    return net;
+}
+
+}  // namespace pnc::circuit

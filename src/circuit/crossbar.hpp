@@ -1,0 +1,44 @@
+// Printed resistor crossbar (Eq. 1 of the paper).
+//
+// One crossbar column computes a normalized weighted sum of its input
+// voltages plus a bias rail:
+//
+//   Vz = ( sum_i g_i V_i + g_b Vb ) / ( sum_i g_i + g_b + g_d )
+//
+// The closed form is what the pNN training abstraction uses; the netlist
+// builder realizes the same column with discrete resistors so tests and the
+// hardware-in-the-loop checker can confirm the abstraction against the
+// analog solver.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/nonlinear_circuit.hpp"
+
+namespace pnc::circuit {
+
+struct CrossbarColumn {
+    std::vector<double> input_conductances;  ///< g_i, Siemens (>= 0; 0 = not printed)
+    double bias_conductance = 0.0;           ///< g_b
+    double drain_conductance = 0.0;          ///< g_d (to ground)
+    double bias_voltage = kVdd;              ///< Vb
+
+    /// Closed-form output voltage (Eq. 1). Throws if input count mismatches
+    /// or the total conductance is zero (floating output).
+    double output(const std::vector<double>& input_voltages) const;
+};
+
+/// Multi-column crossbar: column j weights the shared inputs independently.
+struct Crossbar {
+    std::vector<CrossbarColumn> columns;
+
+    std::vector<double> outputs(const std::vector<double>& input_voltages) const;
+};
+
+/// Build one crossbar column as a resistor netlist. Nodes "in<i>", "bias"
+/// and "z" exist afterwards; inputs and bias carry voltage sources.
+/// Zero conductances are skipped (component not printed).
+Netlist build_crossbar_netlist(const CrossbarColumn& column);
+
+}  // namespace pnc::circuit

@@ -1,0 +1,149 @@
+#include "circuit/dc_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/linalg.hpp"
+
+namespace pnc::circuit {
+
+using math::Matrix;
+
+DcSolution DcSolver::solve(const Netlist& netlist, const std::vector<double>& initial_guess,
+                           const LinearStamps* extra) const {
+    const std::size_t n_nodes = netlist.node_count();
+
+    // Partition nodes into fixed (ground / source-driven) and unknown.
+    std::vector<double> fixed_voltage(n_nodes, 0.0);
+    std::vector<bool> is_fixed(n_nodes, false);
+    is_fixed[Netlist::kGround] = true;
+    for (const auto& src : netlist.sources()) {
+        is_fixed[src.node] = true;
+        fixed_voltage[src.node] = src.voltage;
+    }
+    std::vector<std::size_t> unknown_index(n_nodes, SIZE_MAX);
+    std::vector<NodeId> unknown_nodes;
+    for (NodeId i = 0; i < n_nodes; ++i) {
+        if (!is_fixed[i]) {
+            unknown_index[i] = unknown_nodes.size();
+            unknown_nodes.push_back(i);
+        }
+    }
+    const std::size_t n = unknown_nodes.size();
+
+    std::vector<double> v(n_nodes, 0.5);  // mid-rail initial guess
+    for (NodeId i = 0; i < n_nodes; ++i)
+        if (is_fixed[i]) v[i] = fixed_voltage[i];
+    if (!initial_guess.empty()) {
+        if (initial_guess.size() != n_nodes)
+            throw std::invalid_argument("DcSolver: initial guess size mismatch");
+        for (NodeId i = 0; i < n_nodes; ++i)
+            if (!is_fixed[i]) v[i] = initial_guess[i];
+    }
+
+    DcSolution solution;
+    solution.voltages = v;
+    if (n == 0) {
+        solution.converged = true;
+        return solution;
+    }
+
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+        // Assemble KCL residual F (current leaving each unknown node) and
+        // Jacobian J = dF/dV restricted to unknown nodes.
+        Matrix jac(n, n);
+        Matrix residual(n, 1);
+        for (std::size_t k = 0; k < n; ++k) jac(k, k) = options_.gmin;
+
+        auto stamp_conductance_pair = [&](NodeId a, NodeId b, double current_ab,
+                                          double di_dva, double di_dvb) {
+            // current_ab flows out of a into b.
+            if (!is_fixed[a]) {
+                const std::size_t ia = unknown_index[a];
+                residual(ia, 0) += current_ab;
+                jac(ia, unknown_index[a]) += di_dva;
+                if (!is_fixed[b]) jac(ia, unknown_index[b]) += di_dvb;
+            }
+            if (!is_fixed[b]) {
+                const std::size_t ib = unknown_index[b];
+                residual(ib, 0) -= current_ab;
+                jac(ib, unknown_index[b]) -= di_dvb;
+                if (!is_fixed[a]) jac(ib, unknown_index[a]) -= di_dva;
+            }
+        };
+
+        for (const auto& r : netlist.resistors()) {
+            const double g = 1.0 / r.resistance;
+            const double i_ab = g * (v[r.n1] - v[r.n2]);
+            stamp_conductance_pair(r.n1, r.n2, i_ab, g, -g);
+        }
+
+        if (extra) {
+            for (const auto& c : extra->conductances) {
+                const double i_ab = c.siemens * (v[c.n1] - v[c.n2]);
+                stamp_conductance_pair(c.n1, c.n2, i_ab, c.siemens, -c.siemens);
+            }
+            for (const auto& inj : extra->currents) {
+                if (!is_fixed[inj.node])
+                    residual(unknown_index[inj.node], 0) -= inj.amps;
+            }
+        }
+
+        for (const auto& t : netlist.transistors()) {
+            const auto op = t.device.evaluate(v[t.drain], v[t.gate], v[t.source]);
+            // Drain current op.id flows drain -> source through the channel.
+            if (!is_fixed[t.drain]) {
+                const std::size_t id = unknown_index[t.drain];
+                residual(id, 0) += op.id;
+                jac(id, unknown_index[t.drain]) += op.did_dvd;
+                if (!is_fixed[t.gate]) jac(id, unknown_index[t.gate]) += op.did_dvg;
+                if (!is_fixed[t.source]) jac(id, unknown_index[t.source]) += op.did_dvs;
+            }
+            if (!is_fixed[t.source]) {
+                const std::size_t is = unknown_index[t.source];
+                residual(is, 0) -= op.id;
+                if (!is_fixed[t.drain]) jac(is, unknown_index[t.drain]) -= op.did_dvd;
+                if (!is_fixed[t.gate]) jac(is, unknown_index[t.gate]) -= op.did_dvg;
+                jac(is, unknown_index[t.source]) -= op.did_dvs;
+            }
+            // The EGT gate is capacitively coupled: no DC gate current. Gate
+            // leakage, where modelled, is an explicit resistor in the netlist.
+        }
+
+        double max_residual = residual.max_abs();
+        solution.residual = max_residual;
+        solution.iterations = iter;
+        if (max_residual < options_.tolerance) {
+            solution.converged = true;
+            solution.voltages = v;
+            return solution;
+        }
+
+        Matrix delta = math::lu_solve(jac, residual);
+        for (std::size_t k = 0; k < n; ++k) {
+            const double step = std::clamp(-delta(k, 0), -options_.max_step, options_.max_step);
+            v[unknown_nodes[k]] += step;
+        }
+    }
+
+    throw std::runtime_error("DcSolver: Newton failed to converge (residual " +
+                             std::to_string(solution.residual) + " A)");
+}
+
+std::vector<double> DcSolver::sweep(Netlist& netlist, NodeId swept_node,
+                                    NodeId observed_node,
+                                    const std::vector<double>& values) const {
+    std::vector<double> out;
+    out.reserve(values.size());
+    std::vector<double> guess;  // warm start: continuation along the sweep
+    for (double value : values) {
+        netlist.set_source_voltage(swept_node, value);
+        const DcSolution sol = solve(netlist, guess);
+        guess = sol.voltages;
+        out.push_back(sol.voltages[observed_node]);
+    }
+    return out;
+}
+
+}  // namespace pnc::circuit

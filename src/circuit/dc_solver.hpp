@@ -1,0 +1,68 @@
+// DC operating-point solver (modified nodal analysis + damped Newton).
+//
+// This is the stand-in for the SPICE engine the paper drives through
+// Cadence: it computes node voltages satisfying Kirchhoff's current law
+// with the EGT compact model linearized at each Newton iteration. Voltage
+// sources are ideal node-to-ground rails, so they are eliminated from the
+// unknown vector rather than stamped with branch currents.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "math/matrix.hpp"
+
+namespace pnc::circuit {
+
+struct DcSolverOptions {
+    int max_iterations = 200;
+    double tolerance = 1e-10;   ///< max |KCL residual| in A
+    double max_step = 0.25;     ///< Newton step clamp per node, V
+    double gmin = 1e-12;        ///< diagonal conductance for robustness, S
+};
+
+struct DcSolution {
+    std::vector<double> voltages;  // indexed by NodeId
+    int iterations = 0;
+    bool converged = false;
+    double residual = 0.0;
+};
+
+/// Extra linear elements stamped on top of a netlist for one solve — the
+/// backward-Euler companion models of the transient engine.
+struct LinearStamps {
+    struct Conductance {
+        NodeId n1;
+        NodeId n2;
+        double siemens;
+    };
+    struct CurrentInjection {
+        NodeId node;
+        double amps;  ///< flowing *into* the node
+    };
+    std::vector<Conductance> conductances;
+    std::vector<CurrentInjection> currents;
+};
+
+class DcSolver {
+public:
+    explicit DcSolver(DcSolverOptions options = {}) : options_(options) {}
+
+    /// Solve for the DC operating point. `initial_guess` (indexed by NodeId,
+    /// may be empty) warm-starts Newton — a DC sweep passes the previous
+    /// point for continuation. Throws std::runtime_error if Newton fails to
+    /// converge.
+    DcSolution solve(const Netlist& netlist, const std::vector<double>& initial_guess = {},
+                     const LinearStamps* extra = nullptr) const;
+
+    /// Sweep the source at `swept_node` through `values`, returning the
+    /// voltage at `observed_node` for each value. Mutates the netlist's
+    /// source value (restored to the last sweep entry on return).
+    std::vector<double> sweep(Netlist& netlist, NodeId swept_node, NodeId observed_node,
+                              const std::vector<double>& values) const;
+
+private:
+    DcSolverOptions options_;
+};
+
+}  // namespace pnc::circuit

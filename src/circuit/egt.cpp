@@ -1,0 +1,47 @@
+#include "circuit/egt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+namespace {
+
+double softplus(double x) { return std::max(x, 0.0) + std::log1p(std::exp(-std::abs(x))); }
+double logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Egt::Egt(double w_um, double l_um, const EgtParams& params)
+    : w_(w_um), l_(l_um), params_(params) {
+    // Printing variation may push the drawn geometry slightly outside the
+    // Table I design window, so only physical validity is enforced here;
+    // design-space membership is checked by surrogate::DesignSpace.
+    if (!(w_um > 0.0) || !(l_um > 0.0))
+        throw std::invalid_argument("Egt: W and L must be positive");
+}
+
+double Egt::drain_current(double vd, double vg, double vs) const {
+    return evaluate(vd, vg, vs).id;
+}
+
+EgtOperatingPoint Egt::evaluate(double vd, double vg, double vs) const {
+    const double a = params_.slope;
+    const double beta = params_.i0 * (w_ / l_);
+    const double xs = (vg - vs - params_.vth) / a;
+    const double xd = (vg - vd - params_.vth) / a;
+    const double fs = softplus(xs);
+    const double fd = softplus(xd);
+    // d(sp(x)^2)/dx = 2 sp(x) sigma(x)
+    const double dfs = 2.0 * fs * logistic(xs) / a;
+    const double dfd = 2.0 * fd * logistic(xd) / a;
+
+    EgtOperatingPoint op;
+    op.id = beta * (fs * fs - fd * fd);
+    op.did_dvg = beta * (dfs - dfd);
+    op.did_dvd = beta * dfd;
+    op.did_dvs = -beta * dfs;
+    return op;
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,62 @@
+// Compact model of a printed inorganic electrolyte-gated transistor (EGT).
+//
+// The paper simulates its nonlinear subcircuits with a proprietary printed
+// PDK [Rasheed et al. 2018] inside Cadence. We substitute an EKV-style
+// smooth compact model: low operating voltage (0..1 V), steep electrolyte
+// gating, n-type enhancement behaviour, drain current scaling with W/L.
+// The model is C-infinity, which keeps the Newton DC solver and the
+// downstream curve fitting well-behaved.
+//
+//   Id = I0 * (W/L) * [ sp((Vgs - Vth)/a)^2 - sp((Vgd - Vth)/a)^2 ]
+//
+// with sp = softplus and a the gating slope. The two-term form handles
+// saturation and triode continuously and is antisymmetric under drain/source
+// exchange, which the nodal solver relies on.
+#pragma once
+
+namespace pnc::circuit {
+
+struct EgtParams {
+    double i0 = 2.0e-6;    ///< A; current prefactor per square (W/L = 1)
+    double vth = 0.15;     ///< V; threshold voltage (low-voltage electrolyte gating)
+    double slope = 0.05;   ///< V; gating slope a = n * kT/q equivalent
+    /// Electrolyte gate leakage: ionic conduction to the grounded source,
+    /// modelled as rho / (W * L) Ohm. Makes absolute resistor values (not
+    /// just divider ratios) matter, as the paper's Table I discussion notes.
+    double gate_leak_rho = 2.0e10;  ///< Ohm * um^2
+    double w_min = 200.0;  ///< um; printable channel width range (Table I)
+    double w_max = 800.0;
+    double l_min = 10.0;   ///< um; printable channel length range (Table I)
+    double l_max = 70.0;
+};
+
+/// Drain current and its partial derivatives at a bias point.
+struct EgtOperatingPoint {
+    double id;      ///< A, positive = current flowing drain -> source
+    double did_dvd; ///< dId/dVd
+    double did_dvg; ///< dId/dVg
+    double did_dvs; ///< dId/dVs
+};
+
+class Egt {
+public:
+    /// W and L in micrometers. Throws std::invalid_argument outside the
+    /// printable geometry range.
+    Egt(double w_um, double l_um, const EgtParams& params = {});
+
+    double width() const { return w_; }
+    double length() const { return l_; }
+    const EgtParams& params() const { return params_; }
+
+    /// Current for given terminal voltages (any ordering of Vd vs Vs).
+    double drain_current(double vd, double vg, double vs) const;
+
+    /// Current plus analytic derivatives (used to assemble the Jacobian).
+    EgtOperatingPoint evaluate(double vd, double vg, double vs) const;
+
+private:
+    double w_, l_;
+    EgtParams params_;
+};
+
+}  // namespace pnc::circuit

@@ -1,0 +1,110 @@
+#include "circuit/netlist.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+Netlist::Netlist() {
+    node_names_.push_back("0");
+    node_index_.emplace("0", kGround);
+}
+
+NodeId Netlist::node(const std::string& name) {
+    auto [it, inserted] = node_index_.try_emplace(name, node_names_.size());
+    if (inserted) node_names_.push_back(name);
+    return it->second;
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+    auto it = node_index_.find(name);
+    if (it == node_index_.end())
+        throw std::invalid_argument("Netlist: unknown node '" + name + "'");
+    return it->second;
+}
+
+bool Netlist::has_node(const std::string& name) const {
+    return node_index_.count(name) != 0;
+}
+
+void Netlist::check_node(NodeId id, const char* what) const {
+    if (id >= node_names_.size())
+        throw std::invalid_argument(std::string(what) + ": node id " + std::to_string(id) +
+                                    " does not exist");
+}
+
+void Netlist::add_resistor(NodeId n1, NodeId n2, double resistance) {
+    check_node(n1, "add_resistor");
+    check_node(n2, "add_resistor");
+    if (!(resistance > 0.0))
+        throw std::invalid_argument("add_resistor: resistance must be positive");
+    if (n1 == n2) throw std::invalid_argument("add_resistor: both terminals on one node");
+    resistors_.push_back({n1, n2, resistance});
+}
+
+void Netlist::add_capacitor(NodeId n1, NodeId n2, double capacitance) {
+    check_node(n1, "add_capacitor");
+    check_node(n2, "add_capacitor");
+    if (!(capacitance > 0.0))
+        throw std::invalid_argument("add_capacitor: capacitance must be positive");
+    if (n1 == n2) throw std::invalid_argument("add_capacitor: both terminals on one node");
+    capacitors_.push_back({n1, n2, capacitance});
+}
+
+void Netlist::add_transistor(NodeId drain, NodeId gate, NodeId source, const Egt& device) {
+    check_node(drain, "add_transistor");
+    check_node(gate, "add_transistor");
+    check_node(source, "add_transistor");
+    transistors_.push_back({drain, gate, source, device});
+}
+
+void Netlist::add_voltage_source(NodeId node, double voltage) {
+    check_node(node, "add_voltage_source");
+    if (node == kGround)
+        throw std::invalid_argument("add_voltage_source: cannot drive ground");
+    set_source_voltage(node, voltage);
+}
+
+void Netlist::set_source_voltage(NodeId node, double voltage) {
+    check_node(node, "set_source_voltage");
+    for (auto& src : sources_) {
+        if (src.node == node) {
+            src.voltage = voltage;
+            return;
+        }
+    }
+    sources_.push_back({node, voltage});
+}
+
+std::optional<double> Netlist::source_voltage(NodeId node) const {
+    for (const auto& src : sources_)
+        if (src.node == node) return src.voltage;
+    return std::nullopt;
+}
+
+std::string Netlist::to_spice() const {
+    std::ostringstream os;
+    os << "* printed neuromorphic netlist (" << node_names_.size() - 1
+       << " nodes, " << resistors_.size() << " resistors, " << transistors_.size()
+       << " EGTs)\n";
+    std::size_t idx = 1;
+    for (const auto& r : resistors_)
+        os << "R" << idx++ << " " << node_names_[r.n1] << " " << node_names_[r.n2] << " "
+           << r.resistance << "\n";
+    idx = 1;
+    for (const auto& c : capacitors_)
+        os << "C" << idx++ << " " << node_names_[c.n1] << " " << node_names_[c.n2] << " "
+           << c.capacitance << "\n";
+    idx = 1;
+    for (const auto& t : transistors_)
+        os << "XT" << idx++ << " " << node_names_[t.drain] << " " << node_names_[t.gate]
+           << " " << node_names_[t.source] << " egt W=" << t.device.width() << "u L="
+           << t.device.length() << "u\n";
+    idx = 1;
+    for (const auto& s : sources_)
+        os << "V" << idx++ << " " << node_names_[s.node] << " 0 " << s.voltage << "\n";
+    os << ".end\n";
+    return os.str();
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,87 @@
+// Netlist representation for the analog DC substrate.
+//
+// Supports exactly what printed neuromorphic circuits need: resistors,
+// electrolyte-gated transistors, and ideal voltage sources to ground
+// (VDD, bias and input rails). Node 0 is always ground.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/egt.hpp"
+
+namespace pnc::circuit {
+
+using NodeId = std::size_t;
+
+struct Resistor {
+    NodeId n1;
+    NodeId n2;
+    double resistance;  // Ohm
+};
+
+struct Capacitor {
+    NodeId n1;
+    NodeId n2;
+    double capacitance;  // Farad
+};
+
+struct Transistor {
+    NodeId drain;
+    NodeId gate;
+    NodeId source;
+    Egt device;
+};
+
+struct VoltageSource {
+    NodeId node;     // driven node (referenced to ground)
+    double voltage;  // V
+};
+
+class Netlist {
+public:
+    static constexpr NodeId kGround = 0;
+
+    Netlist();
+
+    /// Create (or look up) a named node.
+    NodeId node(const std::string& name);
+    /// Look up an existing node; throws if unknown.
+    NodeId find_node(const std::string& name) const;
+    bool has_node(const std::string& name) const;
+    std::size_t node_count() const { return node_names_.size(); }
+    const std::string& node_name(NodeId id) const { return node_names_.at(id); }
+
+    void add_resistor(NodeId n1, NodeId n2, double resistance);
+    void add_capacitor(NodeId n1, NodeId n2, double capacitance);
+    void add_transistor(NodeId drain, NodeId gate, NodeId source, const Egt& device);
+    /// Ideal source from `node` to ground. Each node may carry one source;
+    /// re-adding replaces the value (used by DC sweeps).
+    void add_voltage_source(NodeId node, double voltage);
+    void set_source_voltage(NodeId node, double voltage);
+
+    const std::vector<Resistor>& resistors() const { return resistors_; }
+    const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+    const std::vector<Transistor>& transistors() const { return transistors_; }
+    const std::vector<VoltageSource>& sources() const { return sources_; }
+
+    /// Voltage of the source driving `node`, if any.
+    std::optional<double> source_voltage(NodeId node) const;
+
+    /// Human-readable SPICE-flavoured listing (used by the exporter example).
+    std::string to_spice() const;
+
+private:
+    void check_node(NodeId id, const char* what) const;
+
+    std::vector<std::string> node_names_;
+    std::unordered_map<std::string, NodeId> node_index_;
+    std::vector<Resistor> resistors_;
+    std::vector<Capacitor> capacitors_;
+    std::vector<Transistor> transistors_;
+    std::vector<VoltageSource> sources_;
+};
+
+}  // namespace pnc::circuit

@@ -1,0 +1,115 @@
+#include "circuit/nonlinear_circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+Omega Omega::from_array(const std::array<double, kDimension>& a) {
+    Omega o;
+    o.r1 = a[0];
+    o.r2 = a[1];
+    o.r3 = a[2];
+    o.r4 = a[3];
+    o.r5 = a[4];
+    o.w = a[5];
+    o.l = a[6];
+    return o;
+}
+
+namespace {
+
+void require_positive(const Omega& omega) {
+    const auto a = omega.to_array();
+    for (double v : a)
+        if (!(v > 0.0))
+            throw std::invalid_argument("nonlinear circuit: all omega entries must be > 0");
+}
+
+}  // namespace
+
+Netlist build_nonlinear_circuit(const Omega& omega, NonlinearCircuitKind kind,
+                                const EgtParams& egt) {
+    require_positive(omega);
+    Netlist net;
+    const NodeId in = net.node("in");
+    const NodeId vdd = net.node("vdd");
+    net.add_voltage_source(vdd, kVdd);
+    net.add_voltage_source(in, 0.0);
+
+    const Egt transistor(omega.w, omega.l, egt);
+    const double gate_leak = egt.gate_leak_rho / (omega.w * omega.l);
+
+    if (kind == NonlinearCircuitKind::kPtanh) {
+        // Stage 1: attenuating divider (R1 series, R2 shunt to ground) into
+        // an EGT inverter loaded by R5.
+        const NodeId g1 = net.node("g1");
+        const NodeId d1 = net.node("d1");
+        net.add_resistor(in, g1, omega.r1);
+        net.add_resistor(g1, Netlist::kGround, omega.r2);
+        net.add_resistor(g1, Netlist::kGround, gate_leak);
+        net.add_resistor(vdd, d1, omega.r5);
+        net.add_transistor(d1, g1, Netlist::kGround, transistor);
+
+        // Stage 2: divider (R3 series from d1, R4 shunt to ground) into a
+        // second inverter with the fixed representative load; two inversions
+        // make the overall transfer increasing.
+        const NodeId g2 = net.node("g2");
+        const NodeId out = net.node("out");
+        net.add_resistor(d1, g2, omega.r3);
+        net.add_resistor(g2, Netlist::kGround, omega.r4);
+        net.add_resistor(g2, Netlist::kGround, gate_leak);
+        net.add_resistor(vdd, out, kPtanhStage2Load);
+        net.add_transistor(out, g2, Netlist::kGround, transistor);
+    } else {
+        // Negative-weight circuit: one inverter stage (decreasing transfer).
+        // Divider R1/R2 shifts the gate, R3 is the stage load and R4/R5
+        // divide the drain swing down to the output.
+        const NodeId g1 = net.node("g1");
+        const NodeId d1 = net.node("d1");
+        const NodeId out = net.node("out");
+        net.add_resistor(in, g1, omega.r1);
+        net.add_resistor(g1, Netlist::kGround, omega.r2);
+        net.add_resistor(g1, Netlist::kGround, gate_leak);
+        net.add_resistor(vdd, d1, omega.r3);
+        net.add_transistor(d1, g1, Netlist::kGround, transistor);
+        net.add_resistor(d1, out, omega.r4);
+        net.add_resistor(out, Netlist::kGround, omega.r5);
+    }
+    return net;
+}
+
+double CharacteristicCurve::swing() const {
+    if (vout.empty()) return 0.0;
+    const auto [lo, hi] = std::minmax_element(vout.begin(), vout.end());
+    return *hi - *lo;
+}
+
+bool CharacteristicCurve::is_monotone(bool increasing) const {
+    const double tol = 1e-9;
+    for (std::size_t i = 1; i < vout.size(); ++i) {
+        const double step = vout[i] - vout[i - 1];
+        if (increasing ? step < -tol : step > tol) return false;
+    }
+    return true;
+}
+
+CharacteristicCurve simulate_characteristic(const Omega& omega, NonlinearCircuitKind kind,
+                                            std::size_t points, const EgtParams& egt,
+                                            const DcSolverOptions& solver_options) {
+    if (points < 2) throw std::invalid_argument("simulate_characteristic: points < 2");
+    Netlist net = build_nonlinear_circuit(omega, kind, egt);
+    const NodeId in = net.find_node("in");
+    const NodeId out = net.find_node("out");
+
+    CharacteristicCurve curve;
+    curve.vin.resize(points);
+    for (std::size_t i = 0; i < points; ++i)
+        curve.vin[i] = kVdd * static_cast<double>(i) / static_cast<double>(points - 1);
+
+    DcSolver solver(solver_options);
+    curve.vout = solver.sweep(net, in, out, curve.vin);
+    return curve;
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,93 @@
+// The paper's two nonlinear subcircuits, built from physical parameters.
+//
+// omega = [R1, R2, R3, R4, R5, W, L] parameterizes:
+//
+//  * the ptanh circuit — two cascaded resistor-loaded EGT inverter stages
+//    with attenuating gate dividers (series R from the signal, shunt R to
+//    ground), giving a monotonically *increasing* tanh-like transfer (Eq. 2),
+//    and
+//  * the negative-weight circuit — a single inverter stage with an output
+//    divider, giving a monotonically *decreasing* transfer fitted by the
+//    negated tanh form (Eq. 3).
+//
+// The exact printed-PDK schematic is proprietary; these topologies are our
+// documented substitute (DESIGN.md): they use the same component inventory
+// and Table I value ranges, they are ratio-sensitive in k1 = R2/R1,
+// k2 = R4/R3 and k3 = W/L, and they produce curve families with varying
+// amplitude, center and steepness — the properties the surrogate-model
+// pipeline actually consumes.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "circuit/dc_solver.hpp"
+#include "circuit/netlist.hpp"
+
+namespace pnc::circuit {
+
+/// Physical design parameters of a nonlinear subcircuit.
+/// Resistances in Ohm, transistor geometry in micrometers.
+struct Omega {
+    double r1 = 100.0;
+    double r2 = 50.0;
+    double r3 = 100e3;
+    double r4 = 50e3;
+    double r5 = 100e3;
+    double w = 400.0;
+    double l = 40.0;
+
+    static constexpr std::size_t kDimension = 7;
+
+    std::array<double, kDimension> to_array() const { return {r1, r2, r3, r4, r5, w, l}; }
+    static Omega from_array(const std::array<double, kDimension>& a);
+
+    double k1() const { return r2 / r1; }  ///< divider ratio R2/R1
+    double k2() const { return r4 / r3; }  ///< divider ratio R4/R3
+    double k3() const { return w / l; }    ///< aspect ratio W/L
+};
+
+enum class NonlinearCircuitKind { kPtanh, kNegativeWeight };
+
+/// Supply rail used throughout the printed system.
+inline constexpr double kVdd = 1.0;
+/// Fixed pull-up load of the ptanh output stage (models the following
+/// crossbar input impedance lumped with the printed load).
+inline constexpr double kPtanhStage2Load = 150e3;
+
+/// Reference designs used when the nonlinear circuits are *not* learnable
+/// (the prior-work baseline): mid-of-space parameterizations whose fitted
+/// curves are centered near Vdd/2 with healthy swing.
+inline constexpr Omega kDefaultPtanhOmega{435.0, 95.0, 458e3, 103e3, 98e3, 373.0, 33.0};
+inline constexpr Omega kDefaultNegativeWeightOmega{500.0, 150.0, 120e3, 50e3, 450e3,
+                                                   500.0, 35.0};
+
+/// Default omega for a circuit kind.
+constexpr const Omega& default_omega(NonlinearCircuitKind kind) {
+    return kind == NonlinearCircuitKind::kPtanh ? kDefaultPtanhOmega
+                                                : kDefaultNegativeWeightOmega;
+}
+
+/// Build the netlist. Nodes "in", "out" and "vdd" are guaranteed to exist;
+/// "in" and "vdd" carry voltage sources (vdd = kVdd, in initialized to 0).
+Netlist build_nonlinear_circuit(const Omega& omega, NonlinearCircuitKind kind,
+                                const EgtParams& egt = {});
+
+/// A DC sweep result of a nonlinear circuit.
+struct CharacteristicCurve {
+    std::vector<double> vin;
+    std::vector<double> vout;
+
+    /// Total output swing max - min.
+    double swing() const;
+    /// True if vout is monotone (non-strictly) in the given direction.
+    bool is_monotone(bool increasing) const;
+};
+
+/// Sweep Vin over [0, kVdd] with `points` samples and record Vout.
+CharacteristicCurve simulate_characteristic(const Omega& omega, NonlinearCircuitKind kind,
+                                            std::size_t points = 64,
+                                            const EgtParams& egt = {},
+                                            const DcSolverOptions& solver = {});
+
+}  // namespace pnc::circuit

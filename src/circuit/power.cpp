@@ -1,0 +1,44 @@
+#include "circuit/power.hpp"
+
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+PowerReport analyze_power(const Netlist& netlist, const DcSolution& solution) {
+    if (solution.voltages.size() != netlist.node_count())
+        throw std::invalid_argument("analyze_power: solution/netlist mismatch");
+    const auto& v = solution.voltages;
+
+    PowerReport report;
+    for (const auto& r : netlist.resistors()) {
+        const double dv = v[r.n1] - v[r.n2];
+        report.resistor_watts += dv * dv / r.resistance;
+    }
+    for (const auto& t : netlist.transistors()) {
+        const double id = t.device.drain_current(v[t.drain], v[t.gate], v[t.source]);
+        report.transistor_watts += id * (v[t.drain] - v[t.source]);
+    }
+
+    // Source current = sum of element currents leaving the driven node.
+    report.source_currents.reserve(netlist.sources().size());
+    for (const auto& src : netlist.sources()) {
+        double current = 0.0;
+        for (const auto& r : netlist.resistors()) {
+            if (r.n1 == src.node) current += (v[r.n1] - v[r.n2]) / r.resistance;
+            if (r.n2 == src.node) current += (v[r.n2] - v[r.n1]) / r.resistance;
+        }
+        for (const auto& t : netlist.transistors()) {
+            const double id = t.device.drain_current(v[t.drain], v[t.gate], v[t.source]);
+            if (t.drain == src.node) current += id;
+            if (t.source == src.node) current -= id;
+        }
+        report.source_currents.push_back(current);
+    }
+    return report;
+}
+
+PowerReport analyze_power(const Netlist& netlist) {
+    return analyze_power(netlist, DcSolver().solve(netlist));
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,29 @@
+// Static power analysis of printed circuits.
+//
+// Printed neuromorphic circuits burn static power in every resistor and in
+// the conducting EGT channels (there is no complementary pull-up). Given a
+// DC solution, this module reports the dissipation per element class and
+// the supply current drawn from each source — the numbers behind the
+// "printed NNs are low-power but not free" trade-off.
+#pragma once
+
+#include "circuit/dc_solver.hpp"
+
+namespace pnc::circuit {
+
+struct PowerReport {
+    double resistor_watts = 0.0;
+    double transistor_watts = 0.0;
+    double total() const { return resistor_watts + transistor_watts; }
+    /// Current delivered by each voltage source (A, positive = sourcing),
+    /// aligned with Netlist::sources().
+    std::vector<double> source_currents;
+};
+
+/// Compute dissipation from a netlist and its DC solution.
+PowerReport analyze_power(const Netlist& netlist, const DcSolution& solution);
+
+/// Convenience: solve the operating point, then analyze.
+PowerReport analyze_power(const Netlist& netlist);
+
+}  // namespace pnc::circuit

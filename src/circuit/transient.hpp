@@ -1,0 +1,63 @@
+// Transient analysis (backward Euler) for the printed circuit substrate.
+//
+// Printed electronics pays for its cheapness with latency: electrolyte
+// gate capacitances are enormous (double-layer gating, ~30 fF/um^2 of
+// channel area), so printed inverters settle in micro- to milliseconds.
+// The transient engine quantifies that: each step replaces every capacitor
+// by its backward-Euler companion model (conductance C/dt in parallel with
+// a history current) and solves the resulting nonlinear DC problem with
+// the same Newton kernel as the operating-point analysis.
+#pragma once
+
+#include <functional>
+
+#include "circuit/dc_solver.hpp"
+#include "circuit/nonlinear_circuit.hpp"
+
+namespace pnc::circuit {
+
+/// Electrolyte double-layer capacitance per channel area, F/um^2.
+inline constexpr double kEgtGateCapacitancePerArea = 3.0e-14;
+
+struct TransientOptions {
+    double time_step = 1e-6;       ///< s
+    double duration = 20e-3;       ///< s
+    DcSolverOptions newton{};      ///< per-step Newton settings
+};
+
+struct TransientResult {
+    std::vector<double> time;                   ///< s
+    std::vector<std::vector<double>> voltages;  ///< per step, indexed by NodeId
+
+    /// Waveform of one node.
+    std::vector<double> node_waveform(NodeId node) const;
+};
+
+class TransientSolver {
+public:
+    explicit TransientSolver(TransientOptions options = {}) : options_(options) {}
+
+    /// Integrate from the DC operating point at t = 0. `stimulus` (optional)
+    /// is called before every step to update source voltages, e.g. a step
+    /// or pulse on the input rail.
+    TransientResult simulate(
+        Netlist& netlist,
+        const std::function<void(double time, Netlist&)>& stimulus = nullptr) const;
+
+private:
+    TransientOptions options_;
+};
+
+/// Add the gate-source double-layer capacitor of every EGT in the netlist
+/// (C = kEgtGateCapacitancePerArea * W * L). Idempotent only if called once.
+void add_egt_gate_capacitances(Netlist& netlist);
+
+/// 10%-to-90% style settling latency of a nonlinear circuit: apply a full-
+/// swing input step and report the time until the output stays within
+/// `settle_band` of its final value. Returns the duration bound if the
+/// output never settles.
+double measure_step_response_latency(const Omega& omega, NonlinearCircuitKind kind,
+                                     double settle_band = 0.02,
+                                     const TransientOptions& options = {});
+
+}  // namespace pnc::circuit

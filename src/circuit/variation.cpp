@@ -1,0 +1,29 @@
+#include "circuit/variation.hpp"
+
+#include <stdexcept>
+
+namespace pnc::circuit {
+
+VariationModel::VariationModel(double eps) : eps_(eps) {
+    if (eps < 0.0 || eps >= 1.0)
+        throw std::invalid_argument("VariationModel: eps must be in [0, 1)");
+}
+
+double VariationModel::sample_factor(math::Rng& rng) const {
+    if (eps_ == 0.0) return 1.0;
+    return rng.uniform(1.0 - eps_, 1.0 + eps_);
+}
+
+math::Matrix VariationModel::sample_factors(math::Rng& rng, std::size_t rows,
+                                            std::size_t cols) const {
+    if (eps_ == 0.0) return math::Matrix(rows, cols, 1.0);
+    return rng.uniform_matrix(rows, cols, 1.0 - eps_, 1.0 + eps_);
+}
+
+Omega VariationModel::perturb(const Omega& omega, math::Rng& rng) const {
+    auto a = omega.to_array();
+    for (double& v : a) v *= sample_factor(rng);
+    return Omega::from_array(a);
+}
+
+}  // namespace pnc::circuit

@@ -1,0 +1,36 @@
+// Printing-variation model (Sec. III-C).
+//
+// Printing variation is driven by the limited printing resolution, so every
+// printed value is perturbed by an independent multiplicative factor
+// epsilon' ~ U[1 - eps, 1 + eps]. The same model is used for crossbar
+// conductances and the physical parameters of the nonlinear circuits.
+#pragma once
+
+#include "circuit/nonlinear_circuit.hpp"
+#include "math/matrix.hpp"
+#include "math/random.hpp"
+
+namespace pnc::circuit {
+
+class VariationModel {
+public:
+    /// eps is the half-width of the relative variation (0.05 = 5%).
+    explicit VariationModel(double eps);
+
+    double epsilon() const { return eps_; }
+    bool is_nominal() const { return eps_ == 0.0; }
+
+    /// One multiplicative factor from U[1 - eps, 1 + eps].
+    double sample_factor(math::Rng& rng) const;
+
+    /// A matrix of i.i.d. factors (used to perturb a whole theta matrix).
+    math::Matrix sample_factors(math::Rng& rng, std::size_t rows, std::size_t cols) const;
+
+    /// Perturb every physical component value of a nonlinear circuit.
+    Omega perturb(const Omega& omega, math::Rng& rng) const;
+
+private:
+    double eps_;
+};
+
+}  // namespace pnc::circuit

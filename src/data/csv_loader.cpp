@@ -1,0 +1,122 @@
+#include "data/csv_loader.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace pnc::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delimiter) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::stringstream ss(line);
+    while (std::getline(ss, cell, delimiter)) {
+        // Trim surrounding whitespace.
+        const auto begin = cell.find_first_not_of(" \t\r");
+        const auto end = cell.find_last_not_of(" \t\r");
+        cells.push_back(begin == std::string::npos ? ""
+                                                   : cell.substr(begin, end - begin + 1));
+    }
+    if (!line.empty() && line.back() == delimiter) cells.push_back("");
+    return cells;
+}
+
+bool parse_double(const std::string& s, double& out) {
+    try {
+        std::size_t consumed = 0;
+        out = std::stod(s, &consumed);
+        return consumed == s.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+}  // namespace
+
+Dataset load_csv(std::istream& is, const std::string& name, const CsvOptions& options) {
+    std::vector<std::vector<double>> rows;
+    std::vector<std::string> raw_labels;
+    std::string line;
+    std::size_t line_number = 0;
+    std::size_t expected_cells = 0;
+
+    while (std::getline(is, line)) {
+        ++line_number;
+        if (line_number == 1 && options.has_header) continue;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+        const auto cells = split_line(line, options.delimiter);
+        if (expected_cells == 0) {
+            expected_cells = cells.size();
+            if (expected_cells < 2)
+                throw std::runtime_error(name + ": need at least one feature and a label");
+        } else if (cells.size() != expected_cells) {
+            throw std::runtime_error(name + ": ragged row at line " +
+                                     std::to_string(line_number));
+        }
+
+        const std::size_t label_index =
+            options.label_column >= 0
+                ? static_cast<std::size_t>(options.label_column)
+                : cells.size() - static_cast<std::size_t>(-options.label_column);
+        if (label_index >= cells.size())
+            throw std::runtime_error(name + ": label column out of range");
+
+        bool missing = false;
+        std::vector<double> features;
+        features.reserve(cells.size() - 1);
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c == label_index) continue;
+            if (cells[c].empty() || cells[c] == options.missing_token) {
+                missing = true;
+                break;
+            }
+            double value = 0.0;
+            if (!parse_double(cells[c], value))
+                throw std::runtime_error(name + ": non-numeric feature '" + cells[c] +
+                                         "' at line " + std::to_string(line_number));
+            features.push_back(value);
+        }
+        if (missing) {
+            if (options.skip_missing_rows) continue;
+            throw std::runtime_error(name + ": missing value at line " +
+                                     std::to_string(line_number));
+        }
+        rows.push_back(std::move(features));
+        raw_labels.push_back(cells[label_index]);
+    }
+
+    if (rows.empty()) throw std::runtime_error(name + ": no usable rows");
+
+    // Dense class indices in first-appearance order.
+    std::map<std::string, int> class_index;
+    std::vector<int> labels;
+    labels.reserve(raw_labels.size());
+    for (const auto& raw : raw_labels) {
+        const auto [it, inserted] =
+            class_index.try_emplace(raw, static_cast<int>(class_index.size()));
+        labels.push_back(it->second);
+    }
+
+    Dataset ds;
+    ds.name = name;
+    ds.features = math::Matrix(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        for (std::size_t c = 0; c < rows[r].size(); ++c) ds.features(r, c) = rows[r][c];
+    ds.labels = std::move(labels);
+    ds.n_classes = static_cast<int>(class_index.size());
+    ds.validate();
+    return ds;
+}
+
+Dataset load_csv_file(const std::string& path, const std::string& name,
+                      const CsvOptions& options) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("load_csv_file: cannot read " + path);
+    return load_csv(is, name, options);
+}
+
+}  // namespace pnc::data

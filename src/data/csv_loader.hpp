@@ -1,0 +1,34 @@
+// CSV ingestion for user-supplied datasets.
+//
+// The built-in generators reproduce the Table II benchmarks synthetically;
+// when the real UCI files are available, this loader brings them in
+// instead. Format: one sample per line, numeric feature columns, the label
+// in a configurable column (default: last). Labels may be arbitrary strings
+// or numbers — they are mapped to dense class indices in first-appearance
+// order. Missing values ('?' or empty cells) either drop the row or abort.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace pnc::data {
+
+struct CsvOptions {
+    char delimiter = ',';
+    bool has_header = false;
+    int label_column = -1;        ///< negative = counted from the end (-1 = last)
+    bool skip_missing_rows = true;///< false: throw on '?' / empty cells
+    std::string missing_token = "?";
+};
+
+/// Parse a CSV stream into a Dataset. Throws std::runtime_error on
+/// malformed input (ragged rows, non-numeric features, no usable rows).
+Dataset load_csv(std::istream& is, const std::string& name, const CsvOptions& options = {});
+
+/// Convenience: load from a file path.
+Dataset load_csv_file(const std::string& path, const std::string& name,
+                      const CsvOptions& options = {});
+
+}  // namespace pnc::data

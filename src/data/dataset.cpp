@@ -1,0 +1,88 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pnc::data {
+
+using math::Matrix;
+
+void Dataset::validate() const {
+    if (labels.size() != features.rows())
+        throw std::logic_error(name + ": labels/rows mismatch");
+    if (n_classes < 2) throw std::logic_error(name + ": need >= 2 classes");
+    std::vector<bool> seen(static_cast<std::size_t>(n_classes), false);
+    for (int y : labels) {
+        if (y < 0 || y >= n_classes) throw std::logic_error(name + ": label out of range");
+        seen[static_cast<std::size_t>(y)] = true;
+    }
+    for (int c = 0; c < n_classes; ++c)
+        if (!seen[static_cast<std::size_t>(c)])
+            throw std::logic_error(name + ": class " + std::to_string(c) + " has no samples");
+}
+
+SplitDataset split_and_normalize(const Dataset& dataset, std::uint64_t seed,
+                                 const SplitFractions& fractions) {
+    dataset.validate();
+    if (fractions.train <= 0.0 || fractions.val < 0.0 ||
+        fractions.train + fractions.val >= 1.0)
+        throw std::invalid_argument("split_and_normalize: bad fractions");
+
+    math::Rng rng(seed);
+    auto idx = math::iota_indices(dataset.size());
+    rng.shuffle(idx);
+
+    const auto n = dataset.size();
+    const auto n_train = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fractions.train * static_cast<double>(n)));
+    const auto n_val = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fractions.val * static_cast<double>(n)));
+    if (n_train + n_val >= n)
+        throw std::invalid_argument("split_and_normalize: dataset too small for split");
+
+    const auto take = [&](std::size_t begin, std::size_t end, Matrix& x,
+                          std::vector<int>& y) {
+        x = Matrix(end - begin, dataset.n_features());
+        y.resize(end - begin);
+        for (std::size_t r = begin; r < end; ++r) {
+            for (std::size_t c = 0; c < dataset.n_features(); ++c)
+                x(r - begin, c) = dataset.features(idx[r], c);
+            y[r - begin] = dataset.labels[idx[r]];
+        }
+    };
+
+    SplitDataset split;
+    split.name = dataset.name;
+    split.n_classes = dataset.n_classes;
+    take(0, n_train, split.x_train, split.y_train);
+    take(n_train, n_train + n_val, split.x_val, split.y_val);
+    take(n_train + n_val, n, split.x_test, split.y_test);
+
+    // Voltage scaling: per-feature min-max from the training split only.
+    const std::size_t d = dataset.n_features();
+    std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+    for (std::size_t r = 0; r < split.x_train.rows(); ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            lo[c] = std::min(lo[c], split.x_train(r, c));
+            hi[c] = std::max(hi[c], split.x_train(r, c));
+        }
+    }
+    const auto scale = [&](Matrix& x) {
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            for (std::size_t c = 0; c < d; ++c) {
+                const double range = hi[c] - lo[c];
+                const double v = range == 0.0 ? 0.5 : (x(r, c) - lo[c]) / range;
+                // Inputs are physical voltages: clip into the rail range.
+                x(r, c) = std::clamp(v, 0.0, 1.0);
+            }
+        }
+    };
+    scale(split.x_train);
+    scale(split.x_val);
+    scale(split.x_test);
+    return split;
+}
+
+}  // namespace pnc::data

@@ -1,0 +1,52 @@
+// Tabular classification datasets for the pNN benchmarks.
+//
+// The paper evaluates on 13 small UCI datasets (Table II). Two of them are
+// closed-form and reproduced exactly (Balance Scale, Tic-Tac-Toe Endgame);
+// the others are deterministic synthetic equivalents matched in feature
+// count, class count, sample count and approximate difficulty — see
+// DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "math/random.hpp"
+
+namespace pnc::data {
+
+struct Dataset {
+    std::string name;
+    math::Matrix features;   ///< n x d raw feature values
+    std::vector<int> labels; ///< class index per row
+    int n_classes = 0;
+
+    std::size_t size() const { return features.rows(); }
+    std::size_t n_features() const { return features.cols(); }
+
+    /// Throws std::logic_error when labels/rows mismatch or a label is out
+    /// of range — used by tests and the registry self-check.
+    void validate() const;
+};
+
+/// A 60/20/20 split with features min-max scaled to the input voltage range
+/// [0, 1] using training-set statistics (val/test clipped into the range).
+struct SplitDataset {
+    std::string name;
+    int n_classes = 0;
+    math::Matrix x_train, x_val, x_test;
+    std::vector<int> y_train, y_val, y_test;
+
+    std::size_t n_features() const { return x_train.cols(); }
+};
+
+struct SplitFractions {
+    double train = 0.6;
+    double val = 0.2;  // remainder is test
+};
+
+/// Shuffle with `seed`, split, then voltage-normalize.
+SplitDataset split_and_normalize(const Dataset& dataset, std::uint64_t seed,
+                                 const SplitFractions& fractions = {});
+
+}  // namespace pnc::data

@@ -1,0 +1,412 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::data {
+
+using math::Matrix;
+using math::Rng;
+
+namespace {
+
+/// Gaussian class blob helper: appends `count` rows drawn from
+/// N(mean, diag(std^2)) with label `label`.
+void append_gaussian_class(std::vector<std::vector<double>>& rows, std::vector<int>& labels,
+                           Rng& rng, int label, std::size_t count,
+                           const std::vector<double>& mean, const std::vector<double>& std) {
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<double> row(mean.size());
+        for (std::size_t c = 0; c < mean.size(); ++c)
+            row[c] = rng.normal(mean[c], std[c]);
+        rows.push_back(std::move(row));
+        labels.push_back(label);
+    }
+}
+
+Dataset assemble(std::string name, const std::vector<std::vector<double>>& rows,
+                 std::vector<int> labels, int n_classes) {
+    if (rows.empty()) throw std::logic_error(name + ": no rows generated");
+    Dataset ds;
+    ds.name = std::move(name);
+    ds.features = Matrix(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        for (std::size_t c = 0; c < rows[r].size(); ++c) ds.features(r, c) = rows[r][c];
+    ds.labels = std::move(labels);
+    ds.n_classes = n_classes;
+    ds.validate();
+    return ds;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- acute ----
+
+Dataset make_acute_inflammation(std::uint64_t seed) {
+    // 120 patients, 6 features: body temperature plus 5 yes/no symptoms.
+    // Diagnosis (inflammation of urinary bladder) follows the published
+    // rule structure: urine pushing combined with either micturition pain
+    // or urethral burning.
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    for (int i = 0; i < 120; ++i) {
+        const double nausea = (i / 16) % 2;
+        const double lumbar = (i / 8) % 2;
+        const double urine_pushing = (i / 4) % 2;
+        const double micturition = (i / 2) % 2;
+        const double burning = i % 2;
+        const double temperature = 35.5 + 6.0 * rng.uniform();
+        const bool bladder = urine_pushing > 0.5 && (micturition > 0.5 || burning > 0.5);
+        rows.push_back({temperature, nausea, lumbar, urine_pushing, micturition, burning});
+        labels.push_back(bladder ? 1 : 0);
+    }
+    return assemble("acute_inflammation", rows, std::move(labels), 2);
+}
+
+// -------------------------------------------------------------- balance ----
+
+Dataset make_balance_scale() {
+    // Exact UCI dataset: 5^4 = 625 lever configurations,
+    // class = sign(left_weight * left_distance - right_weight * right_distance).
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    for (int lw = 1; lw <= 5; ++lw)
+        for (int ld = 1; ld <= 5; ++ld)
+            for (int rw = 1; rw <= 5; ++rw)
+                for (int rd = 1; rd <= 5; ++rd) {
+                    const int torque = lw * ld - rw * rd;
+                    const int label = torque > 0 ? 0 : (torque == 0 ? 1 : 2);  // L, B, R
+                    rows.push_back({double(lw), double(ld), double(rw), double(rd)});
+                    labels.push_back(label);
+                }
+    return assemble("balance_scale", rows, std::move(labels), 3);
+}
+
+// --------------------------------------------------------- breast cancer ----
+
+Dataset make_breast_cancer(std::uint64_t seed) {
+    // Wisconsin original (683 complete cases): nine 1..10 cytology scores;
+    // benign cases cluster at low scores, malignant spread high.
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    const auto draw_case = [&](bool malignant) {
+        std::vector<double> row(9);
+        for (auto& v : row) {
+            const double raw = malignant ? rng.normal(6.8, 2.4) : rng.normal(2.6, 1.3);
+            v = std::clamp(std::round(raw), 1.0, 10.0);
+        }
+        rows.push_back(std::move(row));
+        labels.push_back(malignant ? 1 : 0);
+    };
+    for (int i = 0; i < 444; ++i) draw_case(false);
+    for (int i = 0; i < 239; ++i) draw_case(true);
+    return assemble("breast_cancer", rows, std::move(labels), 2);
+}
+
+// ------------------------------------------------------ cardiotocography ----
+
+Dataset make_cardiotocography(std::uint64_t seed) {
+    // 2126 fetal heart traces, 21 features, imbalanced NSP classes
+    // (normal 1655 / suspect 295 / pathologic 176). Correlated features via
+    // a shared 5-factor loading matrix.
+    Rng rng(seed);
+    constexpr std::size_t kFeatures = 21;
+    constexpr std::size_t kFactors = 5;
+    Matrix loading = rng.normal_matrix(kFactors, kFeatures, 0.0, 1.0);
+    std::array<std::array<double, kFactors>, 3> class_centers{};
+    for (auto& center : class_centers)
+        for (auto& v : center) v = rng.normal(0.0, 1.0);
+    // Stretch the suspect / pathologic centers away from normal.
+    for (std::size_t f = 0; f < kFactors; ++f) {
+        class_centers[1][f] = class_centers[0][f] + 1.1 * (class_centers[1][f] - class_centers[0][f]);
+        class_centers[2][f] = class_centers[0][f] + 1.9 * (class_centers[2][f] - class_centers[0][f]);
+    }
+    const std::array<std::size_t, 3> counts = {1655, 295, 176};
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    for (int cls = 0; cls < 3; ++cls) {
+        for (std::size_t i = 0; i < counts[static_cast<std::size_t>(cls)]; ++i) {
+            std::array<double, kFactors> z{};
+            for (std::size_t f = 0; f < kFactors; ++f)
+                z[f] = class_centers[static_cast<std::size_t>(cls)][f] + rng.normal(0.0, 0.9);
+            std::vector<double> row(kFeatures);
+            for (std::size_t c = 0; c < kFeatures; ++c) {
+                double v = rng.normal(0.0, 0.4);
+                for (std::size_t f = 0; f < kFactors; ++f) v += loading(f, c) * z[f];
+                row[c] = v;
+            }
+            rows.push_back(std::move(row));
+            labels.push_back(cls);
+        }
+    }
+    return assemble("cardiotocography", rows, std::move(labels), 3);
+}
+
+// ----------------------------------------------------------------- energy ----
+
+namespace {
+
+Dataset make_energy(std::uint64_t seed, bool cooling, const char* name) {
+    // 768 = 12 building shapes x 4 orientations x 4 glazing areas x 4
+    // glazing distributions (distribution collapsed to 4 to keep 768).
+    // Features mirror the UCI grid; the load is a smooth physics-flavoured
+    // response binned into tertiles.
+    Rng rng(seed);
+    const std::array<double, 12> compactness = {0.98, 0.90, 0.86, 0.82, 0.79, 0.76,
+                                                0.74, 0.71, 0.69, 0.66, 0.64, 0.62};
+    std::vector<std::vector<double>> rows;
+    std::vector<double> load;
+    for (double c : compactness) {
+        const double surface = 500.0 + (0.98 - c) * 850.0;
+        const double roof = 110.0 + (0.98 - c) * 310.0;
+        const double wall = surface - 2.0 * roof;
+        const double height = c >= 0.75 ? 7.0 : 3.5;
+        for (int orientation = 2; orientation <= 5; ++orientation) {
+            for (double glazing : {0.0, 0.10, 0.25, 0.40}) {
+                for (int distribution = 1; distribution <= 4; ++distribution) {
+                    rows.push_back({c, surface, wall, roof, height, double(orientation),
+                                    glazing, double(distribution)});
+                    const double base = cooling
+                                            ? 12.0 + 20.0 * (1.0 - c) + 28.0 * glazing +
+                                                  0.010 * wall + 1.1 * (height > 5.0)
+                                            : 8.0 + 34.0 * (1.0 - c) + 21.0 * glazing +
+                                                  0.016 * wall + 2.4 * (height > 5.0);
+                    const double orient_effect =
+                        (cooling ? 0.5 : 0.3) * std::sin(orientation * 1.3 + distribution);
+                    load.push_back(base + orient_effect + rng.normal(0.0, 0.4));
+                }
+            }
+        }
+    }
+    // Tertile binning into low/medium/high load classes.
+    std::vector<double> sorted = load;
+    std::sort(sorted.begin(), sorted.end());
+    const double t1 = sorted[sorted.size() / 3];
+    const double t2 = sorted[2 * sorted.size() / 3];
+    std::vector<int> labels;
+    labels.reserve(load.size());
+    for (double v : load) labels.push_back(v < t1 ? 0 : (v < t2 ? 1 : 2));
+    return assemble(name, rows, std::move(labels), 3);
+}
+
+}  // namespace
+
+Dataset make_energy_y1(std::uint64_t seed) { return make_energy(seed, false, "energy_y1"); }
+Dataset make_energy_y2(std::uint64_t seed) { return make_energy(seed, true, "energy_y2"); }
+
+// -------------------------------------------------------------------- iris ----
+
+Dataset make_iris(std::uint64_t seed) {
+    // Gaussian reconstruction with the species statistics of the classic
+    // dataset (sepal length/width, petal length/width).
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    append_gaussian_class(rows, labels, rng, 0, 50, {5.01, 3.43, 1.46, 0.25},
+                          {0.35, 0.38, 0.17, 0.11});
+    append_gaussian_class(rows, labels, rng, 1, 50, {5.94, 2.77, 4.26, 1.33},
+                          {0.52, 0.31, 0.47, 0.20});
+    append_gaussian_class(rows, labels, rng, 2, 50, {6.59, 2.97, 5.55, 2.03},
+                          {0.64, 0.32, 0.55, 0.27});
+    return assemble("iris", rows, std::move(labels), 3);
+}
+
+// ------------------------------------------------------ mammographic mass ----
+
+Dataset make_mammographic_mass(std::uint64_t seed) {
+    // 961 screening cases, 5 features (BI-RADS, age, shape, margin,
+    // density), 516 benign / 445 malignant with heavy overlap — the paper's
+    // accuracies on this set are among the lowest.
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    const auto draw_case = [&](bool malignant) {
+        const double birads = std::clamp(
+            std::round(rng.normal(malignant ? 4.7 : 3.9, 0.8)), 0.0, 6.0);
+        const double age = std::clamp(rng.normal(malignant ? 63.0 : 52.0, 14.0), 18.0, 96.0);
+        const double shape =
+            std::clamp(std::round(rng.normal(malignant ? 3.4 : 2.0, 1.1)), 1.0, 4.0);
+        const double margin =
+            std::clamp(std::round(rng.normal(malignant ? 3.9 : 1.9, 1.3)), 1.0, 5.0);
+        const double density =
+            std::clamp(std::round(rng.normal(3.0, 0.45)), 1.0, 4.0);
+        rows.push_back({birads, age, shape, margin, density});
+        labels.push_back(malignant ? 1 : 0);
+    };
+    for (int i = 0; i < 516; ++i) draw_case(false);
+    for (int i = 0; i < 445; ++i) draw_case(true);
+    return assemble("mammographic_mass", rows, std::move(labels), 2);
+}
+
+// --------------------------------------------------------------- pendigits ----
+
+Dataset make_pendigits(std::uint64_t seed) {
+    // 10992 handwritten digits as 8 resampled (x, y) pen points in a
+    // 0..100 box. Prototype polylines per digit plus affine jitter and
+    // point noise. Ten classes with three hidden neurons is the paper's
+    // hardest setting (baseline accuracy ~0.3).
+    Rng rng(seed);
+    using Stroke = std::array<std::array<double, 2>, 8>;
+    const std::array<Stroke, 10> prototypes = {{
+        // 0: oval
+        {{{50, 95}, {15, 75}, {10, 40}, {30, 8}, {65, 5}, {90, 35}, {85, 75}, {52, 93}}},
+        // 1: vertical stroke
+        {{{35, 75}, {50, 95}, {50, 80}, {50, 60}, {50, 45}, {50, 30}, {50, 15}, {50, 2}}},
+        // 2: arc then base line
+        {{{15, 75}, {40, 95}, {75, 85}, {80, 60}, {50, 40}, {20, 15}, {50, 8}, {90, 6}}},
+        // 3: double bump
+        {{{20, 90}, {60, 95}, {80, 75}, {50, 55}, {80, 40}, {70, 12}, {35, 4}, {12, 15}}},
+        // 4: down, across, tall stroke
+        {{{30, 95}, {22, 60}, {20, 45}, {55, 45}, {80, 48}, {65, 75}, {62, 30}, {60, 2}}},
+        // 5: top bar, belly
+        {{{80, 95}, {30, 93}, {25, 60}, {55, 58}, {82, 40}, {75, 12}, {40, 4}, {15, 12}}},
+        // 6: sweep down into loop
+        {{{70, 95}, {35, 75}, {18, 45}, {20, 18}, {50, 5}, {75, 18}, {70, 42}, {30, 40}}},
+        // 7: bar then diagonal
+        {{{12, 90}, {45, 93}, {88, 92}, {70, 65}, {55, 45}, {45, 30}, {38, 15}, {32, 2}}},
+        // 8: two loops
+        {{{50, 95}, {22, 75}, {48, 55}, {78, 72}, {50, 92}, {20, 25}, {50, 3}, {80, 28}}},
+        // 9: loop then tail
+        {{{75, 70}, {45, 92}, {22, 70}, {45, 50}, {75, 68}, {72, 40}, {68, 20}, {62, 2}}},
+    }};
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    const std::size_t per_class = 10992 / 10;  // 1099, remainder spread below
+    for (int digit = 0; digit < 10; ++digit) {
+        const std::size_t count = per_class + (digit < 2 ? 1 : 0);  // 10992 total
+        for (std::size_t i = 0; i < count; ++i) {
+            const double scale = rng.uniform(0.85, 1.1);
+            const double dx = rng.uniform(-6.0, 6.0);
+            const double dy = rng.uniform(-6.0, 6.0);
+            const double shear = rng.uniform(-0.12, 0.12);
+            std::vector<double> row(16);
+            for (int p = 0; p < 8; ++p) {
+                const double px = prototypes[static_cast<std::size_t>(digit)][static_cast<std::size_t>(p)][0];
+                const double py = prototypes[static_cast<std::size_t>(digit)][static_cast<std::size_t>(p)][1];
+                double x = 50.0 + scale * (px - 50.0) + shear * (py - 50.0) + dx;
+                double y = 50.0 + scale * (py - 50.0) + dy;
+                x += rng.normal(0.0, 5.0);
+                y += rng.normal(0.0, 5.0);
+                row[static_cast<std::size_t>(2 * p)] = std::clamp(x, 0.0, 100.0);
+                row[static_cast<std::size_t>(2 * p + 1)] = std::clamp(y, 0.0, 100.0);
+            }
+            rows.push_back(std::move(row));
+            labels.push_back(digit);
+        }
+    }
+    return assemble("pendigits", rows, std::move(labels), 10);
+}
+
+// ------------------------------------------------------------------- seeds ----
+
+Dataset make_seeds(std::uint64_t seed) {
+    // 210 wheat kernels, 7 geometric features, 3 varieties x 70.
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    append_gaussian_class(rows, labels, rng, 0, 70,
+                          {14.33, 14.29, 0.880, 5.51, 3.24, 2.67, 5.09},
+                          {1.22, 0.58, 0.016, 0.23, 0.18, 1.17, 0.26});
+    append_gaussian_class(rows, labels, rng, 1, 70,
+                          {18.33, 16.14, 0.884, 6.15, 3.68, 3.64, 6.02},
+                          {1.44, 0.62, 0.016, 0.27, 0.19, 1.18, 0.25});
+    append_gaussian_class(rows, labels, rng, 2, 70,
+                          {11.87, 13.25, 0.849, 5.23, 2.85, 4.79, 5.12},
+                          {0.72, 0.34, 0.022, 0.14, 0.15, 1.33, 0.16});
+    return assemble("seeds", rows, std::move(labels), 3);
+}
+
+// -------------------------------------------------------- tic-tac-toe ----
+
+namespace {
+
+/// 0 = blank, 1 = x, 2 = o; returns whether `player` holds a line.
+bool has_win(const std::array<int, 9>& board, int player) {
+    static constexpr int lines[8][3] = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {0, 3, 6},
+                                        {1, 4, 7}, {2, 5, 8}, {0, 4, 8}, {2, 4, 6}};
+    for (const auto& line : lines)
+        if (board[static_cast<std::size_t>(line[0])] == player &&
+            board[static_cast<std::size_t>(line[1])] == player &&
+            board[static_cast<std::size_t>(line[2])] == player)
+            return true;
+    return false;
+}
+
+}  // namespace
+
+Dataset make_tictactoe_endgame() {
+    // Exact UCI dataset: every legal final board (x moves first); positive
+    // class = x has a winning line. Encoding x=1, o=0, blank=0.5.
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    std::array<int, 9> board{};
+    for (int code = 0; code < 19683; ++code) {  // 3^9
+        int c = code;
+        int nx = 0, no = 0;
+        for (auto& cell : board) {
+            cell = c % 3;
+            c /= 3;
+            nx += cell == 1;
+            no += cell == 2;
+        }
+        const bool x_wins = has_win(board, 1);
+        const bool o_wins = has_win(board, 2);
+        if (x_wins && o_wins) continue;
+        const bool game_over = x_wins || o_wins || (nx + no == 9);
+        if (!game_over) continue;
+        if (x_wins && nx != no + 1) continue;  // x just moved
+        if (o_wins && nx != no) continue;      // o just moved
+        if (!x_wins && !o_wins && !(nx == 5 && no == 4)) continue;  // draw: full board
+        std::vector<double> row(9);
+        for (std::size_t i = 0; i < 9; ++i)
+            row[i] = board[i] == 1 ? 1.0 : (board[i] == 2 ? 0.0 : 0.5);
+        rows.push_back(std::move(row));
+        labels.push_back(x_wins ? 1 : 0);
+    }
+    return assemble("tictactoe_endgame", rows, std::move(labels), 2);
+}
+
+// ------------------------------------------------------------- vertebral ----
+
+namespace {
+
+void append_vertebral_classes(std::vector<std::vector<double>>& rows,
+                              std::vector<int>& labels, Rng& rng, int label_normal,
+                              int label_hernia, int label_listhesis) {
+    // Biomechanical attributes: pelvic incidence, pelvic tilt, lumbar
+    // lordosis, sacral slope, pelvic radius, spondylolisthesis grade.
+    append_gaussian_class(rows, labels, rng, label_normal, 100,
+                          {51.7, 12.8, 43.5, 38.9, 123.9, 2.2},
+                          {12.4, 6.7, 12.3, 9.6, 9.0, 6.3});
+    append_gaussian_class(rows, labels, rng, label_hernia, 60,
+                          {47.6, 17.4, 35.5, 30.2, 116.5, 2.5},
+                          {10.7, 7.0, 9.7, 7.6, 9.3, 5.4});
+    append_gaussian_class(rows, labels, rng, label_listhesis, 150,
+                          {71.5, 20.7, 64.1, 50.8, 114.5, 51.9},
+                          {15.1, 11.5, 16.4, 12.3, 15.6, 40.0});
+}
+
+}  // namespace
+
+Dataset make_vertebral_2c(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    append_vertebral_classes(rows, labels, rng, 0, 1, 1);  // normal vs abnormal
+    auto ds = assemble("vertebral_2c", rows, std::move(labels), 2);
+    return ds;
+}
+
+Dataset make_vertebral_3c(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    append_vertebral_classes(rows, labels, rng, 0, 1, 2);
+    return assemble("vertebral_3c", rows, std::move(labels), 3);
+}
+
+}  // namespace pnc::data

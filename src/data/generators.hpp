@@ -1,0 +1,34 @@
+// Generators for the 13 Table II benchmark datasets.
+//
+// Exact reproductions (closed-form UCI datasets):
+//   * balance_scale      — all 625 lever configurations, label by torque
+//   * tictactoe_endgame  — exhaustive enumeration of legal final boards
+//
+// Rule-based reconstruction:
+//   * acute_inflammation — the published diagnosis rules over the symptom grid
+//
+// Deterministic synthetic equivalents (matched n / d / #classes and
+// approximate separability):
+//   * breast_cancer, cardiotocography, energy_y1, energy_y2, iris,
+//     mammographic_mass, pendigits, seeds, vertebral_2c, vertebral_3c
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace pnc::data {
+
+Dataset make_acute_inflammation(std::uint64_t seed);
+Dataset make_balance_scale();
+Dataset make_breast_cancer(std::uint64_t seed);
+Dataset make_cardiotocography(std::uint64_t seed);
+Dataset make_energy_y1(std::uint64_t seed);
+Dataset make_energy_y2(std::uint64_t seed);
+Dataset make_iris(std::uint64_t seed);
+Dataset make_mammographic_mass(std::uint64_t seed);
+Dataset make_pendigits(std::uint64_t seed);
+Dataset make_seeds(std::uint64_t seed);
+Dataset make_tictactoe_endgame();
+Dataset make_vertebral_2c(std::uint64_t seed);
+Dataset make_vertebral_3c(std::uint64_t seed);
+
+}  // namespace pnc::data

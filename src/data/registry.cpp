@@ -1,0 +1,54 @@
+#include "data/registry.hpp"
+
+#include <stdexcept>
+
+#include "data/generators.hpp"
+
+namespace pnc::data {
+
+const std::vector<DatasetSpec>& benchmark_specs() {
+    static const std::vector<DatasetSpec> specs = {
+        {"acute_inflammation", "Acute Inflammation", 120, 6, 2, false},
+        {"balance_scale", "Balance Scale", 625, 4, 3, true},
+        {"breast_cancer", "Breast Cancer Wisconsin", 683, 9, 2, false},
+        {"cardiotocography", "Cardiotocography", 2126, 21, 3, false},
+        {"energy_y1", "Energy Efficiency (y1)", 768, 8, 3, false},
+        {"energy_y2", "Energy Efficiency (y2)", 768, 8, 3, false},
+        {"iris", "Iris", 150, 4, 3, false},
+        {"mammographic_mass", "Mammographic Mass", 961, 5, 2, false},
+        {"pendigits", "Pendigits", 10992, 16, 10, false},
+        {"seeds", "Seeds", 210, 7, 3, false},
+        {"tictactoe_endgame", "Tic-Tac-Toe Endgame", 958, 9, 2, true},
+        {"vertebral_2c", "Vertebral Column (2 cl.)", 310, 6, 2, false},
+        {"vertebral_3c", "Vertebral Column (3 cl.)", 310, 6, 3, false},
+    };
+    return specs;
+}
+
+Dataset make_dataset(const std::string& name) {
+    // Per-dataset fixed seeds keep every generator deterministic while
+    // decorrelating the synthetic datasets from each other.
+    if (name == "acute_inflammation") return make_acute_inflammation(101);
+    if (name == "balance_scale") return make_balance_scale();
+    if (name == "breast_cancer") return make_breast_cancer(103);
+    if (name == "cardiotocography") return make_cardiotocography(104);
+    if (name == "energy_y1") return make_energy_y1(105);
+    if (name == "energy_y2") return make_energy_y2(106);
+    if (name == "iris") return make_iris(107);
+    if (name == "mammographic_mass") return make_mammographic_mass(108);
+    if (name == "pendigits") return make_pendigits(109);
+    if (name == "seeds") return make_seeds(110);
+    if (name == "tictactoe_endgame") return make_tictactoe_endgame();
+    if (name == "vertebral_2c") return make_vertebral_2c(112);
+    if (name == "vertebral_3c") return make_vertebral_3c(113);
+    throw std::invalid_argument("make_dataset: unknown dataset '" + name + "'");
+}
+
+std::vector<Dataset> make_all_datasets() {
+    std::vector<Dataset> out;
+    out.reserve(benchmark_specs().size());
+    for (const auto& spec : benchmark_specs()) out.push_back(make_dataset(spec.name));
+    return out;
+}
+
+}  // namespace pnc::data

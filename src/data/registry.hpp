@@ -1,0 +1,31 @@
+// Registry of the 13 Table II benchmark datasets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace pnc::data {
+
+struct DatasetSpec {
+    std::string name;          ///< registry key (snake_case)
+    std::string display_name;  ///< as printed in Table II
+    std::size_t samples;
+    std::size_t features;
+    int classes;
+    bool exact;  ///< bit-exact reproduction of the original dataset
+};
+
+/// Specs of all 13 datasets in Table II row order.
+const std::vector<DatasetSpec>& benchmark_specs();
+
+/// Instantiate a dataset by registry key. Generators are deterministic:
+/// the same key always produces the same data (seeded per dataset).
+/// Throws std::invalid_argument for unknown keys.
+Dataset make_dataset(const std::string& name);
+
+/// All 13 datasets, Table II order.
+std::vector<Dataset> make_all_datasets();
+
+}  // namespace pnc::data

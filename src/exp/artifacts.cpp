@@ -1,0 +1,74 @@
+#include "exp/artifacts.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+namespace pnc::exp {
+
+std::string artifact_dir() {
+    const char* env = std::getenv("PNC_ARTIFACTS");
+    std::string dir = env && *env ? env : "artifacts";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+int env_int(const char* name, int fallback) {
+    const char* v = std::getenv(name);
+    return v && *v ? std::atoi(v) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+    const char* v = std::getenv(name);
+    return v && *v ? std::atof(v) : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+    const char* v = std::getenv(name);
+    return v && *v ? v : fallback;
+}
+
+SurrogateBuildConfig SurrogateBuildConfig::from_env() {
+    SurrogateBuildConfig config;
+    config.samples = static_cast<std::size_t>(
+        env_int("PNC_SURROGATE_SAMPLES", static_cast<int>(config.samples)));
+    config.mlp_epochs = env_int("PNC_SURROGATE_EPOCHS", config.mlp_epochs);
+    return config;
+}
+
+surrogate::SurrogateModel load_or_build_surrogate(circuit::NonlinearCircuitKind kind,
+                                                  const SurrogateBuildConfig& config) {
+    const std::string name =
+        kind == circuit::NonlinearCircuitKind::kPtanh ? "ptanh" : "negative_weight";
+    const std::string path = artifact_dir() + "/surrogate_" + name + "_" +
+                             std::to_string(config.samples) + ".txt";
+    if (std::filesystem::exists(path)) return surrogate::SurrogateModel::load_file(path);
+
+    std::cerr << "[artifacts] building " << name << " surrogate (" << config.samples
+              << " circuit simulations + MLP training; cached at " << path << ")...\n";
+    const auto start = std::chrono::steady_clock::now();
+
+    surrogate::DatasetBuildOptions build_options;
+    build_options.samples = config.samples;
+    build_options.sweep_points = config.sweep_points;
+    const auto dataset =
+        surrogate::build_surrogate_dataset(kind, surrogate::DesignSpace::table1(), build_options);
+
+    surrogate::SurrogateTrainOptions train_options;
+    train_options.mlp.max_epochs = config.mlp_epochs;
+    train_options.mlp.patience = config.mlp_patience;
+    surrogate::SurrogateMetrics metrics;
+    auto model = surrogate::SurrogateModel::train(dataset, train_options, &metrics);
+    model.save_file(path);
+
+    const auto elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::cerr << "[artifacts] " << name << " surrogate ready in " << elapsed
+              << "s (test MSE " << metrics.test_mse << ", R2";
+    for (double r2 : metrics.test_r2) std::cerr << " " << r2;
+    std::cerr << ")\n";
+    return model;
+}
+
+}  // namespace pnc::exp

@@ -1,0 +1,36 @@
+// Artifact cache: surrogate models are expensive to build (10k circuit
+// simulations + curve fits + MLP training), so they are built once and
+// cached on disk. The cache directory is ./artifacts or $PNC_ARTIFACTS.
+#pragma once
+
+#include <string>
+
+#include "surrogate/surrogate_model.hpp"
+
+namespace pnc::exp {
+
+/// Resolved artifact directory (created if missing).
+std::string artifact_dir();
+
+/// Environment-variable override helpers used by the bench binaries.
+int env_int(const char* name, int fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+struct SurrogateBuildConfig {
+    std::size_t samples = 8000;   ///< paper: 10 000 ($PNC_SURROGATE_SAMPLES)
+    std::size_t sweep_points = 48;
+    int mlp_epochs = 4000;
+    int mlp_patience = 500;
+
+    /// Reads PNC_SURROGATE_SAMPLES / PNC_SURROGATE_EPOCHS overrides.
+    static SurrogateBuildConfig from_env();
+};
+
+/// Load the cached surrogate for `kind`, building and caching it when
+/// missing. Prints progress to stderr while building (it takes minutes).
+surrogate::SurrogateModel load_or_build_surrogate(circuit::NonlinearCircuitKind kind,
+                                                  const SurrogateBuildConfig& config =
+                                                      SurrogateBuildConfig::from_env());
+
+}  // namespace pnc::exp

@@ -1,0 +1,73 @@
+#include "exp/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autodiff/optimizer.hpp"
+#include "autodiff/ops.hpp"
+
+namespace pnc::exp {
+
+using ad::Var;
+using math::Matrix;
+
+BaselineResult run_baselines(const data::SplitDataset& split, const FloatNnOptions& options) {
+    BaselineResult result;
+
+    // Majority class of the training split.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(split.n_classes), 0);
+    for (int y : split.y_train) ++counts[static_cast<std::size_t>(y)];
+    const int majority = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    std::size_t hits = 0;
+    for (int y : split.y_test) hits += y == majority;
+    result.majority_accuracy =
+        static_cast<double>(hits) / static_cast<double>(split.y_test.size());
+
+    // Unconstrained float NN: in -> hidden (tanh) -> out, cross-entropy.
+    math::Rng rng(options.seed);
+    const std::size_t d = split.n_features();
+    const auto n_out = static_cast<std::size_t>(split.n_classes);
+    const double bound1 = std::sqrt(6.0 / static_cast<double>(d + options.hidden));
+    const double bound2 =
+        std::sqrt(6.0 / static_cast<double>(options.hidden + n_out));
+    Var w1 = ad::parameter(rng.uniform_matrix(d, options.hidden, -bound1, bound1));
+    Var b1 = ad::parameter(Matrix(1, options.hidden));
+    Var w2 = ad::parameter(rng.uniform_matrix(options.hidden, n_out, -bound2, bound2));
+    Var b2 = ad::parameter(Matrix(1, n_out));
+    ad::Adam optimizer({{{w1, b1, w2, b2}, options.learning_rate}});
+
+    const auto forward = [&](const Var& x) {
+        const Var h = ad::tanh(ad::add_rowvec(ad::matmul(x, w1), b1));
+        return ad::add_rowvec(ad::matmul(h, w2), b2);
+    };
+
+    const Var x_train = ad::constant(split.x_train);
+    const Var x_val = ad::constant(split.x_val);
+    double best_val = 1e300;
+    std::vector<Matrix> best = {w1.value(), b1.value(), w2.value(), b2.value()};
+    int since_best = 0;
+    for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+        optimizer.zero_grad();
+        ad::backward(ad::cross_entropy(forward(x_train), split.y_train));
+        optimizer.step();
+        const double val = ad::cross_entropy(forward(x_val), split.y_val).scalar();
+        if (val < best_val) {
+            best_val = val;
+            best = {w1.value(), b1.value(), w2.value(), b2.value()};
+            since_best = 0;
+        } else if (++since_best > options.patience) {
+            break;
+        }
+    }
+    w1.set_value(best[0]);
+    b1.set_value(best[1]);
+    w2.set_value(best[2]);
+    b2.set_value(best[3]);
+
+    result.float_nn_accuracy =
+        ad::accuracy(forward(ad::constant(split.x_test)).value(), split.y_test);
+    return result;
+}
+
+}  // namespace pnc::exp

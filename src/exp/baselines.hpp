@@ -1,0 +1,32 @@
+// Reference baselines that contextualize the pNN numbers.
+//
+// * Software float NN — the same #in-3-#out topology trained without any
+//   printed-hardware constraint (unbounded signed weights, tanh hidden
+//   units, cross-entropy). Its accuracy is the ceiling the constrained
+//   analog circuit is giving up hardware freedom against.
+// * Majority-class predictor — the floor; Table II entries near this value
+//   (e.g. Tic-Tac-Toe in the paper) mean the circuit learned nothing.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace pnc::exp {
+
+struct BaselineResult {
+    double float_nn_accuracy = 0.0;   ///< unconstrained software NN, test split
+    double majority_accuracy = 0.0;   ///< most frequent training class
+};
+
+struct FloatNnOptions {
+    std::size_t hidden = 3;
+    int max_epochs = 2000;
+    int patience = 300;
+    double learning_rate = 0.01;
+    std::uint64_t seed = 5;
+};
+
+/// Train the software reference on a split and evaluate both baselines.
+BaselineResult run_baselines(const data::SplitDataset& split,
+                             const FloatNnOptions& options = {});
+
+}  // namespace pnc::exp

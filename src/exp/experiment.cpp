@@ -1,0 +1,274 @@
+#include "exp/experiment.hpp"
+
+#include <fstream>
+#include <limits>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/artifacts.hpp"
+
+namespace pnc::exp {
+
+using data::SplitDataset;
+
+ExperimentConfig ExperimentConfig::from_env() {
+    ExperimentConfig config;
+    if (env_int("PNC_FULL", 0) == 1) {
+        // The paper's protocol: 10 seeds, patience 5000, N_train = 20.
+        config.seeds.clear();
+        for (std::uint64_t s = 1; s <= 10; ++s) config.seeds.push_back(s);
+        config.max_epochs = 20000;
+        config.patience = 5000;
+        config.n_mc_train = 20;
+        config.max_train_samples = 0;
+    }
+    const int n_seeds = env_int("PNC_SEEDS", static_cast<int>(config.seeds.size()));
+    if (n_seeds > 0 && static_cast<std::size_t>(n_seeds) != config.seeds.size()) {
+        config.seeds.clear();
+        for (std::uint64_t s = 1; s <= static_cast<std::uint64_t>(n_seeds); ++s)
+            config.seeds.push_back(s);
+    }
+    config.max_epochs = env_int("PNC_EPOCHS", config.max_epochs);
+    config.patience = env_int("PNC_PATIENCE", config.patience);
+    config.n_mc_train = env_int("PNC_MC_TRAIN", config.n_mc_train);
+    config.n_mc_test = env_int("PNC_MC_TEST", config.n_mc_test);
+    config.max_train_samples = static_cast<std::size_t>(
+        env_int("PNC_MAX_TRAIN", static_cast<int>(config.max_train_samples)));
+    const std::string list = env_string("PNC_DATASETS", "");
+    if (!list.empty()) {
+        config.datasets.clear();
+        std::stringstream ss(list);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            if (!item.empty()) config.datasets.push_back(item);
+        }
+    }
+    return config;
+}
+
+ExperimentRunner::ExperimentRunner(const surrogate::SurrogateModel* act,
+                                   const surrogate::SurrogateModel* neg,
+                                   ExperimentConfig config)
+    : act_(act), neg_(neg), config_(std::move(config)) {
+    if (!act_ || !neg_) throw std::invalid_argument("ExperimentRunner: null surrogate");
+}
+
+namespace {
+
+/// Cap the training split (validation/test untouched).
+void cap_training_split(SplitDataset& split, std::size_t cap) {
+    if (cap == 0 || split.x_train.rows() <= cap) return;
+    math::Matrix x(cap, split.x_train.cols());
+    std::vector<int> y(cap);
+    for (std::size_t r = 0; r < cap; ++r) {
+        for (std::size_t c = 0; c < x.cols(); ++c) x(r, c) = split.x_train(r, c);
+        y[r] = split.y_train[r];
+    }
+    split.x_train = std::move(x);
+    split.y_train = std::move(y);
+}
+
+}  // namespace
+
+DatasetResults ExperimentRunner::run_dataset(const std::string& name) const {
+    const data::Dataset dataset = data::make_dataset(name);
+    SplitDataset split = data::split_and_normalize(dataset, config_.split_seed);
+    cap_training_split(split, config_.max_train_samples);
+
+    DatasetResults results;
+    for (const auto& spec : data::benchmark_specs())
+        if (spec.name == name) results.display_name = spec.display_name;
+    if (results.display_name.empty()) results.display_name = name;
+
+    const auto space = surrogate::DesignSpace::table1();
+    const std::vector<std::size_t> layers = {split.n_features(), config_.hidden_neurons,
+                                             static_cast<std::size_t>(split.n_classes)};
+
+    // One training sweep for a given setup: returns the best-validation pNN.
+    const auto train_best = [&](bool learnable, double train_eps,
+                                double* best_val) -> pnn::Pnn {
+        std::optional<pnn::Pnn> best;
+        double best_loss = 1e300;
+        for (std::uint64_t seed : config_.seeds) {
+            math::Rng rng(seed * 7919 + 13);
+            pnn::Pnn net(layers, act_, neg_, space, rng);
+            pnn::TrainOptions options;
+            options.max_epochs = config_.max_epochs;
+            options.patience = config_.patience;
+            options.lr_theta = config_.lr_theta;
+            options.lr_omega = config_.lr_omega;
+            options.learnable_nonlinear = learnable;
+            options.epsilon = train_eps;
+            options.n_mc_train = train_eps > 0.0 ? config_.n_mc_train : 1;
+            options.n_mc_val = train_eps > 0.0 ? config_.n_mc_val : 1;
+            options.seed = seed;
+            const auto train_result = pnn::train_pnn(net, split, options);
+            if (config_.verbose)
+                std::cerr << "  [" << name << "] learnable=" << learnable << " eps="
+                          << train_eps << " seed=" << seed << " val="
+                          << train_result.best_val_loss << " epochs="
+                          << train_result.epochs_run << "\n";
+            if (train_result.best_val_loss < best_loss) {
+                best_loss = train_result.best_val_loss;
+                best.emplace(std::move(net));
+            }
+        }
+        if (best_val) *best_val = best_loss;
+        return std::move(*best);
+    };
+
+    const auto evaluate = [&](const pnn::Pnn& net, double eps) {
+        pnn::EvalOptions options;
+        options.epsilon = eps;
+        options.n_mc = config_.n_mc_test;
+        options.seed = 424242;
+        const auto eval = pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+        return CellResult{eval.mean_accuracy, eval.std_accuracy};
+    };
+
+    for (int learnable = 0; learnable < 2; ++learnable) {
+        // Nominal training: one model, tested at every epsilon level.
+        const pnn::Pnn nominal = train_best(learnable != 0, 0.0, nullptr);
+        for (std::size_t e = 0; e < config_.test_epsilons.size(); ++e)
+            results.cells[learnable][0][e] = evaluate(nominal, config_.test_epsilons[e]);
+        // Variation-aware training: one model per epsilon level.
+        for (std::size_t e = 0; e < config_.test_epsilons.size(); ++e) {
+            const pnn::Pnn aware = train_best(learnable != 0, config_.test_epsilons[e], nullptr);
+            results.cells[learnable][1][e] = evaluate(aware, config_.test_epsilons[e]);
+        }
+    }
+    return results;
+}
+
+TableResults ExperimentRunner::run_all() const {
+    std::vector<std::string> names = config_.datasets;
+    if (names.empty())
+        for (const auto& spec : data::benchmark_specs()) names.push_back(spec.name);
+
+    TableResults table;
+    for (const auto& name : names) {
+        if (config_.verbose) std::cerr << "[experiment] dataset " << name << "\n";
+        table.datasets.push_back(run_dataset(name));
+    }
+
+    for (int l = 0; l < 2; ++l)
+        for (int v = 0; v < 2; ++v)
+            for (int e = 0; e < 2; ++e) {
+                double mean_sum = 0.0, std_sum = 0.0;
+                for (const auto& ds : table.datasets) {
+                    mean_sum += ds.cells[l][v][e].mean;
+                    std_sum += ds.cells[l][v][e].stddev;
+                }
+                const auto n = static_cast<double>(table.datasets.size());
+                table.average[l][v][e] = {mean_sum / n, std_sum / n};
+            }
+    return table;
+}
+
+void TableResults::save(std::ostream& os) const {
+    os << "pnc-table-results 1\n" << datasets.size() << "\n";
+    os.precision(17);
+    const auto write_cells = [&](const CellResult cells[2][2][2]) {
+        for (int l = 0; l < 2; ++l)
+            for (int v = 0; v < 2; ++v)
+                for (int e = 0; e < 2; ++e)
+                    os << cells[l][v][e].mean << " " << cells[l][v][e].stddev << " ";
+        os << "\n";
+    };
+    for (const auto& ds : datasets) {
+        os << ds.display_name << "\n";  // display names contain spaces: one per line
+        write_cells(ds.cells);
+    }
+    write_cells(average);
+}
+
+TableResults TableResults::load(std::istream& is) {
+    std::string magic;
+    int version = 0;
+    std::size_t n = 0;
+    is >> magic >> version >> n;
+    if (magic != "pnc-table-results" || version != 1)
+        throw std::runtime_error("TableResults::load: bad header");
+    is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    TableResults table;
+    const auto read_cells = [&](CellResult cells[2][2][2]) {
+        for (int l = 0; l < 2; ++l)
+            for (int v = 0; v < 2; ++v)
+                for (int e = 0; e < 2; ++e) is >> cells[l][v][e].mean >> cells[l][v][e].stddev;
+        is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        DatasetResults ds;
+        std::getline(is, ds.display_name);
+        read_cells(ds.cells);
+        table.datasets.push_back(std::move(ds));
+    }
+    read_cells(table.average);
+    if (!is) throw std::runtime_error("TableResults::load: truncated stream");
+    return table;
+}
+
+void TableResults::save_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("TableResults: cannot write " + path);
+    save(os);
+}
+
+TableResults TableResults::load_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("TableResults: cannot read " + path);
+    return load(is);
+}
+
+namespace {
+
+std::string cell_to_string(const CellResult& cell) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << cell.mean << " +- " << cell.stddev;
+    return os.str();
+}
+
+}  // namespace
+
+void print_table2(std::ostream& os, const TableResults& results,
+                  const ExperimentConfig& config) {
+    os << "TABLE II: accuracy (mean +- std over " << config.n_mc_test
+       << " Monte-Carlo variation samples)\n";
+    os << std::string(152, '-') << "\n";
+    os << std::left << std::setw(26) << "Dataset"
+       << " | non-learnable nominal 5%  | non-learnable nominal 10% | non-learn. var-aware "
+          "5%   | non-learn. var-aware 10%  | learnable nominal 5%      | learnable nominal "
+          "10%     | learnable var-aware 5%    | learnable var-aware 10%\n";
+    os << std::string(152, '-') << "\n";
+    const auto row = [&](const std::string& name, const CellResult cells[2][2][2]) {
+        os << std::left << std::setw(26) << name;
+        for (int l = 0; l < 2; ++l)
+            for (int v = 0; v < 2; ++v)
+                for (int e = 0; e < 2; ++e)
+                    os << " | " << std::setw(24) << cell_to_string(cells[l][v][e]);
+        os << "\n";
+    };
+    for (const auto& ds : results.datasets) row(ds.display_name, ds.cells);
+    os << std::string(152, '-') << "\n";
+    row("Average", results.average);
+}
+
+void print_table3(std::ostream& os, const TableResults& results) {
+    os << "TABLE III: ablation (averages over datasets)\n";
+    os << "learnable-NL  variation-aware |  eps_test=5%        eps_test=10%\n";
+    os << std::string(70, '-') << "\n";
+    const auto line = [&](bool learnable, bool aware) {
+        os << "     " << (learnable ? "yes" : " no") << "            "
+           << (aware ? "yes" : " no") << "       |  "
+           << cell_to_string(results.average[learnable][aware][0]) << "     "
+           << cell_to_string(results.average[learnable][aware][1]) << "\n";
+    };
+    line(true, true);
+    line(true, false);
+    line(false, true);
+    line(false, false);
+}
+
+}  // namespace pnc::exp

@@ -1,0 +1,98 @@
+// Table II / Table III experiment protocol.
+//
+// For every dataset and every setup (learnable nonlinear circuit x
+// variation-aware training), pNNs are trained for several random seeds, the
+// seed with the best validation loss is selected ("the circuit that would
+// be printed") and evaluated on the test split with N_test Monte-Carlo
+// variation samples. Nominal training is evaluated at both test variation
+// levels; variation-aware training at the epsilon it was trained for.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <optional>
+
+#include "data/registry.hpp"
+#include "pnn/training.hpp"
+#include "surrogate/surrogate_model.hpp"
+
+namespace pnc::exp {
+
+struct ExperimentConfig {
+    std::vector<std::string> datasets;           ///< empty = all 13
+    std::vector<std::uint64_t> seeds = {1, 2, 3};///< paper: 1..10
+    std::array<double, 2> test_epsilons = {0.05, 0.10};
+    std::size_t hidden_neurons = 3;              ///< topology #in-3-#out
+    int max_epochs = 800;
+    int patience = 200;       ///< paper: 5000
+    int n_mc_train = 5;       ///< paper: 20
+    int n_mc_val = 3;
+    int n_mc_test = 100;      ///< N_test
+    double lr_theta = 0.1;    ///< alpha_theta
+    double lr_omega = 0.005;  ///< alpha_omega
+    /// Training subsample cap (0 = unlimited). Large synthetic sets
+    /// (pendigits) train on a subsample for wall-clock reasons; evaluation
+    /// always uses the full test split.
+    std::size_t max_train_samples = 1500;
+    std::uint64_t split_seed = 99;
+    bool verbose = false;
+
+    /// Defaults scaled down for bench runtime; honours PNC_SEEDS,
+    /// PNC_EPOCHS, PNC_PATIENCE, PNC_MC_TRAIN, PNC_MC_TEST, PNC_DATASETS
+    /// (comma list) and PNC_FULL=1 (full paper protocol).
+    static ExperimentConfig from_env();
+};
+
+/// One mean +/- std accuracy cell of Table II.
+struct CellResult {
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/// Per-dataset results: [non-learnable, learnable] x [nominal, va] x eps.
+struct DatasetResults {
+    std::string display_name;
+    // Indexed [learnable][variation_aware][eps_index].
+    CellResult cells[2][2][2];
+};
+
+struct TableResults {
+    std::vector<DatasetResults> datasets;
+    /// Column averages over datasets (the paper's "Average" row; also the
+    /// entries of Table III).
+    CellResult average[2][2][2];
+
+    /// Text serialization so bench_table3 can reuse bench_table2's run.
+    void save(std::ostream& os) const;
+    static TableResults load(std::istream& is);
+    void save_file(const std::string& path) const;
+    static TableResults load_file(const std::string& path);
+};
+
+class ExperimentRunner {
+public:
+    /// Surrogates must outlive the runner.
+    ExperimentRunner(const surrogate::SurrogateModel* act,
+                     const surrogate::SurrogateModel* neg, ExperimentConfig config);
+
+    /// Run one dataset through all 2 x 2 x 2 cells.
+    DatasetResults run_dataset(const std::string& name) const;
+
+    /// Run the configured dataset list (Table II body + averages).
+    TableResults run_all() const;
+
+    const ExperimentConfig& config() const { return config_; }
+
+private:
+    const surrogate::SurrogateModel* act_;
+    const surrogate::SurrogateModel* neg_;
+    ExperimentConfig config_;
+};
+
+/// Pretty-print Table II in the paper's layout.
+void print_table2(std::ostream& os, const TableResults& results,
+                  const ExperimentConfig& config);
+/// Pretty-print the Table III ablation summary (derived from the averages).
+void print_table3(std::ostream& os, const TableResults& results);
+
+}  // namespace pnc::exp

@@ -1,0 +1,104 @@
+#include "fit/levenberg_marquardt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/linalg.hpp"
+
+namespace pnc::fit {
+
+using math::Matrix;
+
+namespace {
+
+double sum_squares(const std::vector<double>& r) {
+    double s = 0.0;
+    for (double v : r) s += v * v;
+    return s;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ResidualFn& fn, std::vector<double> initial,
+                             std::size_t n_residuals, const LmOptions& options) {
+    if (initial.empty()) throw std::invalid_argument("levenberg_marquardt: no parameters");
+    if (n_residuals == 0) throw std::invalid_argument("levenberg_marquardt: no residuals");
+    const std::size_t n_params = initial.size();
+
+    std::vector<double> params = std::move(initial);
+    std::vector<double> residuals(n_residuals);
+    Matrix jacobian(n_residuals, n_params);
+    fn(params, residuals, &jacobian);
+    double cost = sum_squares(residuals);
+
+    double lambda = options.lambda_initial;
+    LmResult result;
+
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+
+        // Normal equations: (J^T J + lambda diag(J^T J)) dp = -J^T r
+        Matrix jtj(n_params, n_params);
+        Matrix jtr(n_params, 1);
+        for (std::size_t i = 0; i < n_residuals; ++i) {
+            for (std::size_t a = 0; a < n_params; ++a) {
+                jtr(a, 0) += jacobian(i, a) * residuals[i];
+                for (std::size_t b = a; b < n_params; ++b)
+                    jtj(a, b) += jacobian(i, a) * jacobian(i, b);
+            }
+        }
+        for (std::size_t a = 0; a < n_params; ++a)
+            for (std::size_t b = 0; b < a; ++b) jtj(a, b) = jtj(b, a);
+
+        if (jtr.max_abs() < options.gradient_tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        bool step_accepted = false;
+        while (lambda <= options.lambda_max) {
+            Matrix damped = jtj;
+            for (std::size_t a = 0; a < n_params; ++a)
+                damped(a, a) += lambda * std::max(jtj(a, a), 1e-12);
+            Matrix step;
+            try {
+                step = math::lu_solve(damped, -1.0 * jtr);
+            } catch (const std::runtime_error&) {
+                lambda *= options.lambda_increase;
+                continue;
+            }
+
+            std::vector<double> trial = params;
+            for (std::size_t a = 0; a < n_params; ++a) trial[a] += step(a, 0);
+            std::vector<double> trial_residuals(n_residuals);
+            fn(trial, trial_residuals, nullptr);
+            const double trial_cost = sum_squares(trial_residuals);
+
+            if (trial_cost < cost) {
+                params = std::move(trial);
+                residuals = std::move(trial_residuals);
+                cost = trial_cost;
+                lambda = std::max(lambda * options.lambda_decrease, 1e-14);
+                step_accepted = true;
+                if (step.max_abs() < options.step_tolerance) result.converged = true;
+                break;
+            }
+            lambda *= options.lambda_increase;
+        }
+
+        if (!step_accepted) {
+            // Damping exhausted: we are at (numerically) a local minimum.
+            result.converged = true;
+            break;
+        }
+        if (result.converged) break;
+        fn(params, residuals, &jacobian);
+    }
+
+    result.params = std::move(params);
+    result.sum_squared_residuals = cost;
+    result.rmse = std::sqrt(cost / static_cast<double>(n_residuals));
+    return result;
+}
+
+}  // namespace pnc::fit

@@ -1,0 +1,45 @@
+// Generic damped least-squares (Levenberg-Marquardt) solver.
+//
+// Used to extract the auxiliary parameters eta from simulated characteristic
+// curves (Sec. III-A b): the paper fits ptanh_eta to the SPICE sweep with
+// minimal Euclidean distance; this is the matching optimizer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace pnc::fit {
+
+struct LmOptions {
+    int max_iterations = 200;
+    double gradient_tolerance = 1e-12;  ///< stop when J^T r is this small
+    double step_tolerance = 1e-14;      ///< stop when the step is this small
+    double lambda_initial = 1e-3;
+    double lambda_increase = 10.0;
+    double lambda_decrease = 0.3;
+    double lambda_max = 1e12;
+};
+
+struct LmResult {
+    std::vector<double> params;
+    double sum_squared_residuals = 0.0;
+    double rmse = 0.0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/// Residual model: fill `residuals` (size fixed across calls) and, when
+/// `jacobian` is non-null, the n_residuals x n_params Jacobian d r / d p.
+using ResidualFn =
+    std::function<void(const std::vector<double>& params, std::vector<double>& residuals,
+                       math::Matrix* jacobian)>;
+
+/// Minimize ||r(p)||^2 starting from `initial`. `n_residuals` fixes the
+/// residual vector length. Never throws on non-convergence — inspect
+/// LmResult::converged; throws std::invalid_argument on bad setup.
+LmResult levenberg_marquardt(const ResidualFn& fn, std::vector<double> initial,
+                             std::size_t n_residuals, const LmOptions& options = {});
+
+}  // namespace pnc::fit

@@ -1,0 +1,125 @@
+#include "fit/ptanh_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::fit {
+
+using circuit::CharacteristicCurve;
+using circuit::NonlinearCircuitKind;
+
+double ptanh(const Eta& eta, double v) {
+    return eta.eta1 + eta.eta2 * std::tanh((v - eta.eta3) * eta.eta4);
+}
+
+double ptanh_negated(const Eta& eta, double v) { return -ptanh(eta, v); }
+
+double evaluate_characteristic(const Eta& eta, double v, NonlinearCircuitKind kind) {
+    return kind == NonlinearCircuitKind::kPtanh ? ptanh(eta, v) : ptanh_negated(eta, v);
+}
+
+namespace {
+
+/// tanh(u) identity: d/du tanh = 1 - tanh^2. The last three residual slots
+/// hold the Tikhonov priors of PtanhFitOptions.
+void fill_residuals(const std::vector<double>& p, const CharacteristicCurve& curve,
+                    double sign, const PtanhFitOptions& options, std::vector<double>& r,
+                    math::Matrix* jac) {
+    const std::size_t n = curve.vin.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = curve.vin[i];
+        const double u = (v - p[2]) * p[3];
+        const double t = std::tanh(u);
+        const double model = sign * (p[0] + p[1] * t);
+        r[i] = model - curve.vout[i];
+        if (jac) {
+            const double sech2 = 1.0 - t * t;
+            (*jac)(i, 0) = sign;
+            (*jac)(i, 1) = sign * t;
+            (*jac)(i, 2) = sign * (-p[1] * p[3] * sech2);
+            (*jac)(i, 3) = sign * (p[1] * (v - p[2]) * sech2);
+        }
+    }
+    r[n] = options.eta2_prior_weight * (p[1] - options.eta2_prior_value);
+    r[n + 1] = options.eta3_prior_weight * (p[2] - options.eta3_prior_value);
+    r[n + 2] = options.eta4_prior_weight * (p[3] - options.eta4_prior_value);
+    if (jac) {
+        (*jac)(n, 1) = options.eta2_prior_weight;
+        (*jac)(n + 1, 2) = options.eta3_prior_weight;
+        (*jac)(n + 2, 3) = options.eta4_prior_weight;
+    }
+}
+
+/// Canonical form: tanh is odd, so (eta2, eta4) and (-eta2, -eta4) describe
+/// the same curve; keep eta4 positive so the surrogate target is unique.
+Eta canonicalize(Eta eta) {
+    if (eta.eta4 < 0.0) {
+        eta.eta4 = -eta.eta4;
+        eta.eta2 = -eta.eta2;
+    }
+    return eta;
+}
+
+}  // namespace
+
+PtanhFitResult fit_ptanh(const CharacteristicCurve& curve, NonlinearCircuitKind kind,
+                         const PtanhFitOptions& options) {
+    if (curve.vin.size() != curve.vout.size() || curve.vin.size() < Eta::kDimension)
+        throw std::invalid_argument("fit_ptanh: need >= 4 sweep points");
+
+    const double sign = kind == NonlinearCircuitKind::kPtanh ? 1.0 : -1.0;
+    const std::size_t n = curve.vin.size();
+
+    // Data-driven initial guesses.
+    double y_mean = 0.0;
+    for (double y : curve.vout) y_mean += y;
+    y_mean /= static_cast<double>(n);
+    const double swing = curve.swing();
+    // Center guess: the input where the curve crosses its mean.
+    double center = 0.5;
+    for (std::size_t i = 1; i < n; ++i) {
+        const bool crossed = (curve.vout[i - 1] - y_mean) * (curve.vout[i] - y_mean) <= 0.0;
+        if (crossed) {
+            center = 0.5 * (curve.vin[i - 1] + curve.vin[i]);
+            break;
+        }
+    }
+
+    const auto residual_fn = [&](const std::vector<double>& p, std::vector<double>& r,
+                                 math::Matrix* jac) {
+        fill_residuals(p, curve, sign, options, r, jac);
+    };
+    const std::size_t n_residuals = n + 3;  // data + priors
+
+    // Compare starts by data-only RMSE so the priors never pick the winner.
+    const auto data_rmse = [&](const Eta& eta) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = evaluate_characteristic(eta, curve.vin[i], kind) - curve.vout[i];
+            s += d * d;
+        }
+        return std::sqrt(s / static_cast<double>(n));
+    };
+
+    PtanhFitResult best;
+    best.rmse = 1e300;
+    // The slope eta4 is the hard parameter; multi-start over plausible decades.
+    for (double slope : {1.0, 3.0, 8.0, 20.0, 50.0}) {
+        std::vector<double> initial = {sign * y_mean, std::max(swing / 2.0, 1e-3), center,
+                                       slope};
+        const LmResult result =
+            levenberg_marquardt(residual_fn, initial, n_residuals, options.lm);
+        const Eta eta = canonicalize(
+            Eta{result.params[0], result.params[1], result.params[2], result.params[3]});
+        const double rmse = data_rmse(eta);
+        if (rmse < best.rmse) {
+            best.rmse = rmse;
+            best.converged = result.converged;
+            best.eta = eta;
+        }
+    }
+    return best;
+}
+
+}  // namespace pnc::fit

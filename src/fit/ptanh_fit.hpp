@@ -1,0 +1,68 @@
+// Extraction of the auxiliary parameters eta from characteristic curves.
+//
+// eta = [eta1, eta2, eta3, eta4] parameterizes the modified tanh
+//
+//   ptanh(v) = eta1 + eta2 * tanh((v - eta3) * eta4)          (Eq. 2)
+//   inv(v)   = -(eta1 + eta2 * tanh((v - eta3) * eta4))       (Eq. 3)
+//
+// fit_ptanh runs a multi-start Levenberg-Marquardt with the analytic
+// Jacobian and returns the best fit; the sign convention keeps eta2 and
+// eta4 positive within each circuit family so the omega -> eta map stays
+// smooth for the surrogate model.
+#pragma once
+
+#include <array>
+
+#include "circuit/nonlinear_circuit.hpp"
+#include "fit/levenberg_marquardt.hpp"
+
+namespace pnc::fit {
+
+struct Eta {
+    double eta1 = 0.5;
+    double eta2 = 0.4;
+    double eta3 = 0.5;
+    double eta4 = 5.0;
+
+    static constexpr std::size_t kDimension = 4;
+
+    std::array<double, kDimension> to_array() const { return {eta1, eta2, eta3, eta4}; }
+    static Eta from_array(const std::array<double, kDimension>& a) {
+        return {a[0], a[1], a[2], a[3]};
+    }
+};
+
+/// Evaluate Eq. 2.
+double ptanh(const Eta& eta, double v);
+/// Evaluate Eq. 3.
+double ptanh_negated(const Eta& eta, double v);
+/// Dispatch on the circuit kind.
+double evaluate_characteristic(const Eta& eta, double v, circuit::NonlinearCircuitKind kind);
+
+struct PtanhFitResult {
+    Eta eta;
+    double rmse = 0.0;  ///< over the data residuals only (priors excluded)
+    bool converged = false;
+};
+
+/// Weak Tikhonov priors added as extra residuals. For curves that barely
+/// saturate inside [0, 1], eta2 and eta4 trade off freely along
+/// eta2 * eta4 = const (the tanh linear regime); the priors break that
+/// degeneracy so the omega -> eta regression targets stay well-conditioned.
+/// Weights are small enough to be negligible on well-determined fits.
+struct PtanhFitOptions {
+    LmOptions lm{};
+    double eta2_prior_weight = 0.05;
+    double eta2_prior_value = 0.4;
+    double eta3_prior_weight = 0.02;
+    double eta3_prior_value = 0.5;
+    double eta4_prior_weight = 0.002;
+    double eta4_prior_value = 10.0;
+};
+
+/// Fit eta to a simulated curve of the given circuit kind.
+PtanhFitResult fit_ptanh(const circuit::CharacteristicCurve& curve,
+                         circuit::NonlinearCircuitKind kind,
+                         const PtanhFitOptions& options = {});
+
+}  // namespace pnc::fit

@@ -1,0 +1,127 @@
+#include "math/linalg.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pnc::math {
+
+namespace {
+constexpr double kSingularTol = 1e-14;
+}
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+    if (lu_.rows() != lu_.cols())
+        throw std::invalid_argument("LuFactorization requires a square matrix, got " +
+                                    lu_.shape_string());
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivoting: pick the largest magnitude in column k.
+        std::size_t pivot = k;
+        double best = std::abs(lu_(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double v = std::abs(lu_(r, k));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < kSingularTol)
+            throw std::runtime_error("LuFactorization: matrix is singular at pivot " +
+                                     std::to_string(k));
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+            std::swap(perm_[k], perm_[pivot]);
+            perm_sign_ = -perm_sign_;
+        }
+        for (std::size_t r = k + 1; r < n; ++r) {
+            lu_(r, k) /= lu_(k, k);
+            const double factor = lu_(r, k);
+            for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+        }
+    }
+}
+
+Matrix LuFactorization::solve(const Matrix& b) const {
+    const std::size_t n = lu_.rows();
+    if (b.rows() != n || b.cols() != 1)
+        throw std::invalid_argument("LuFactorization::solve expects an n x 1 rhs");
+    Matrix x(n, 1);
+    // Forward substitution with permutation (L has unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b(perm_[i], 0);
+        for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x(j, 0);
+        x(i, 0) = s;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = x(ii, 0);
+        for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x(j, 0);
+        x(ii, 0) = s / lu_(ii, ii);
+    }
+    return x;
+}
+
+double LuFactorization::determinant() const {
+    double det = perm_sign_;
+    for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+    return det;
+}
+
+Matrix lu_solve(const Matrix& a, const Matrix& b) { return LuFactorization(a).solve(b); }
+
+Matrix cholesky_solve(const Matrix& a, const Matrix& b) {
+    if (a.rows() != a.cols())
+        throw std::invalid_argument("cholesky_solve requires a square matrix");
+    const std::size_t n = a.rows();
+    if (b.rows() != n || b.cols() != 1)
+        throw std::invalid_argument("cholesky_solve expects an n x 1 rhs");
+
+    Matrix l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double s = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+            if (i == j) {
+                if (s <= 0.0)
+                    throw std::runtime_error("cholesky_solve: matrix not positive definite");
+                l(i, i) = std::sqrt(s);
+            } else {
+                l(i, j) = s / l(j, j);
+            }
+        }
+    }
+    // L y = b
+    Matrix y(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b(i, 0);
+        for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y(k, 0);
+        y(i, 0) = s / l(i, i);
+    }
+    // L^T x = y
+    Matrix x(n, 1);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y(ii, 0);
+        for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x(k, 0);
+        x(ii, 0) = s / l(ii, ii);
+    }
+    return x;
+}
+
+Matrix inverse(const Matrix& a) {
+    LuFactorization lu(a);
+    const std::size_t n = a.rows();
+    Matrix inv(n, n);
+    for (std::size_t c = 0; c < n; ++c) {
+        Matrix e(n, 1);
+        e(c, 0) = 1.0;
+        const Matrix x = lu.solve(e);
+        for (std::size_t r = 0; r < n; ++r) inv(r, c) = x(r, 0);
+    }
+    return inv;
+}
+
+}  // namespace pnc::math

@@ -1,0 +1,40 @@
+// Direct dense solvers used by the circuit (MNA Newton) and the
+// Levenberg-Marquardt fitter. Dimensions here are tiny (circuit node counts,
+// 4-parameter fits), so an LU / Cholesky with partial pivoting is plenty.
+#pragma once
+
+#include "math/matrix.hpp"
+
+namespace pnc::math {
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Throws std::runtime_error when the matrix is (numerically) singular.
+class LuFactorization {
+public:
+    explicit LuFactorization(Matrix a);
+
+    /// Solve A x = b for one right-hand side (b is n x 1).
+    Matrix solve(const Matrix& b) const;
+
+    /// Determinant of the factored matrix.
+    double determinant() const;
+
+    std::size_t dimension() const { return lu_.rows(); }
+
+private:
+    Matrix lu_;
+    std::vector<std::size_t> perm_;
+    int perm_sign_ = 1;
+};
+
+/// One-shot convenience: solve A x = b.
+Matrix lu_solve(const Matrix& a, const Matrix& b);
+
+/// Solve the symmetric positive definite system A x = b via Cholesky.
+/// Throws std::runtime_error if A is not positive definite.
+Matrix cholesky_solve(const Matrix& a, const Matrix& b);
+
+/// Matrix inverse through LU (square matrices only).
+Matrix inverse(const Matrix& a);
+
+}  // namespace pnc::math

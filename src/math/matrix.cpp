@@ -1,0 +1,195 @@
+#include "math/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pnc::math {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+        if (row.size() != cols_)
+            throw std::invalid_argument("Matrix initializer rows have unequal lengths");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix Matrix::row(const std::vector<double>& v) {
+    Matrix m(1, v.size());
+    std::copy(v.begin(), v.end(), m.data_.begin());
+    return m;
+}
+
+Matrix Matrix::col(const std::vector<double>& v) {
+    Matrix m(v.size(), 1);
+    std::copy(v.begin(), v.end(), m.data_.begin());
+    return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::generate(std::size_t rows, std::size_t cols,
+                        const std::function<double(std::size_t, std::size_t)>& gen) {
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c) m(r, c) = gen(r, c);
+    return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+    require_same_shape(*this, rhs, "operator+=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+    require_same_shape(*this, rhs, "operator-=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+    for (double& v : data_) v *= s;
+    return *this;
+}
+
+Matrix Matrix::map(const std::function<double(double)>& f) const {
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+    return out;
+}
+
+double Matrix::sum() const {
+    double s = 0.0;
+    for (double v : data_) s += v;
+    return s;
+}
+
+double Matrix::max_abs() const {
+    double m = 0.0;
+    for (double v : data_) m = std::max(m, std::abs(v));
+    return m;
+}
+
+std::string Matrix::shape_string() const {
+    return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+void require_same_shape(const Matrix& a, const Matrix& b, const char* what) {
+    if (!a.same_shape(b))
+        throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                    a.shape_string() + " vs " + b.shape_string());
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+    Matrix out = a;
+    out += b;
+    return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+    Matrix out = a;
+    out -= b;
+    return out;
+}
+
+Matrix operator*(const Matrix& a, double s) {
+    Matrix out = a;
+    out *= s;
+    return out;
+}
+
+Matrix operator*(double s, const Matrix& a) { return a * s; }
+
+Matrix operator-(const Matrix& a) { return a * -1.0; }
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+    require_same_shape(a, b, "hadamard");
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+    return out;
+}
+
+Matrix elementwise_div(const Matrix& a, const Matrix& b) {
+    require_same_shape(a, b, "elementwise_div");
+    Matrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] / b[i];
+    return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+    if (a.cols() != b.rows())
+        throw std::invalid_argument("matmul: inner dimensions " + a.shape_string() +
+                                    " vs " + b.shape_string());
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix transpose(const Matrix& a) {
+    Matrix out(a.cols(), a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+    return out;
+}
+
+Matrix sum_rows(const Matrix& a) {
+    Matrix out(1, a.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c) out(0, c) += a(r, c);
+    return out;
+}
+
+Matrix sum_cols(const Matrix& a) {
+    Matrix out(a.rows(), 1);
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c) out(r, 0) += a(r, c);
+    return out;
+}
+
+Matrix broadcast_row(const Matrix& row, std::size_t rows) {
+    if (row.rows() != 1)
+        throw std::invalid_argument("broadcast_row expects a 1xN matrix, got " +
+                                    row.shape_string());
+    Matrix out(rows, row.cols());
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < row.cols(); ++c) out(r, c) = row(0, c);
+    return out;
+}
+
+Matrix broadcast_col(const Matrix& col, std::size_t cols) {
+    if (col.cols() != 1)
+        throw std::invalid_argument("broadcast_col expects an Nx1 matrix, got " +
+                                    col.shape_string());
+    Matrix out(col.rows(), cols);
+    for (std::size_t r = 0; r < col.rows(); ++r)
+        for (std::size_t c = 0; c < cols; ++c) out(r, c) = col(r, 0);
+    return out;
+}
+
+double frobenius_norm(const Matrix& a) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * a[i];
+    return std::sqrt(s);
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+    require_same_shape(a, b, "max_abs_diff");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+}  // namespace pnc::math

@@ -1,0 +1,134 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numeric workhorse shared by the autodiff engine, the circuit
+// solver and the surrogate models. It deliberately stays small: value
+// semantics, bounds-checked element access in debug builds, and the handful
+// of BLAS-like free functions the rest of the library needs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pnc::math {
+
+class Matrix {
+public:
+    Matrix() = default;
+
+    /// Zero-initialized rows x cols matrix.
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+    /// rows x cols matrix filled with `fill`.
+    Matrix(std::size_t rows, std::size_t cols, double fill)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    /// Build from nested initializer list: Matrix{{1,2},{3,4}}.
+    Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+    /// Build a 1 x n row vector from a flat vector.
+    static Matrix row(const std::vector<double>& v);
+    /// Build an n x 1 column vector from a flat vector.
+    static Matrix col(const std::vector<double>& v);
+    /// n x n identity.
+    static Matrix identity(std::size_t n);
+    /// rows x cols with every element produced by gen(r, c).
+    static Matrix generate(std::size_t rows, std::size_t cols,
+                           const std::function<double(std::size_t, std::size_t)>& gen);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double& operator()(std::size_t r, std::size_t c) {
+        check(r, c);
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const {
+        check(r, c);
+        return data_[r * cols_ + c];
+    }
+    /// Flat (row-major) element access.
+    double& operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    double* data() { return data_.data(); }
+    const double* data() const { return data_.data(); }
+    const std::vector<double>& storage() const { return data_; }
+
+    bool same_shape(const Matrix& other) const {
+        return rows_ == other.rows_ && cols_ == other.cols_;
+    }
+
+    Matrix& operator+=(const Matrix& rhs);
+    Matrix& operator-=(const Matrix& rhs);
+    Matrix& operator*=(double s);
+
+    /// Elementwise map.
+    Matrix map(const std::function<double(double)>& f) const;
+
+    /// Sum of all elements.
+    double sum() const;
+    /// Maximum absolute element (0 for empty matrices).
+    double max_abs() const;
+
+    std::string shape_string() const;
+
+private:
+    void check(std::size_t r, std::size_t c) const {
+#ifndef NDEBUG
+        if (r >= rows_ || c >= cols_)
+            throw std::out_of_range("Matrix index (" + std::to_string(r) + "," +
+                                    std::to_string(c) + ") out of " + shape_string());
+#else
+        (void)r;
+        (void)c;
+#endif
+    }
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+// ---- shape helpers ----------------------------------------------------
+
+/// Throws std::invalid_argument unless a and b have identical shape.
+void require_same_shape(const Matrix& a, const Matrix& b, const char* what);
+
+// ---- arithmetic --------------------------------------------------------
+
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& a, double s);
+Matrix operator*(double s, const Matrix& a);
+Matrix operator-(const Matrix& a);
+
+/// Elementwise (Hadamard) product.
+Matrix hadamard(const Matrix& a, const Matrix& b);
+/// Elementwise division.
+Matrix elementwise_div(const Matrix& a, const Matrix& b);
+/// Classic matrix product (a.rows x b.cols).
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix transpose(const Matrix& a);
+
+/// Column sums as a 1 x cols row vector.
+Matrix sum_rows(const Matrix& a);
+/// Row sums as a rows x 1 column vector.
+Matrix sum_cols(const Matrix& a);
+/// Repeat a 1 x cols row vector `rows` times.
+Matrix broadcast_row(const Matrix& row, std::size_t rows);
+/// Repeat a rows x 1 column vector `cols` times.
+Matrix broadcast_col(const Matrix& col, std::size_t cols);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& a);
+/// Max elementwise |a - b|; throws on shape mismatch.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace pnc::math

@@ -1,0 +1,86 @@
+#include "math/normalizer.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace pnc::math {
+
+MinMaxNormalizer MinMaxNormalizer::fit(const Matrix& data) {
+    if (data.rows() == 0 || data.cols() == 0)
+        throw std::invalid_argument("MinMaxNormalizer::fit: empty data");
+    std::vector<double> mins(data.cols(), std::numeric_limits<double>::infinity());
+    std::vector<double> maxs(data.cols(), -std::numeric_limits<double>::infinity());
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+            mins[c] = std::min(mins[c], data(r, c));
+            maxs[c] = std::max(maxs[c], data(r, c));
+        }
+    }
+    return MinMaxNormalizer(std::move(mins), std::move(maxs));
+}
+
+MinMaxNormalizer::MinMaxNormalizer(std::vector<double> mins, std::vector<double> maxs)
+    : mins_(std::move(mins)), maxs_(std::move(maxs)) {
+    if (mins_.size() != maxs_.size())
+        throw std::invalid_argument("MinMaxNormalizer: min/max size mismatch");
+    for (std::size_t i = 0; i < mins_.size(); ++i)
+        if (maxs_[i] < mins_[i])
+            throw std::invalid_argument("MinMaxNormalizer: max < min in column " +
+                                        std::to_string(i));
+}
+
+void MinMaxNormalizer::check_dimension(const Matrix& data) const {
+    if (data.cols() != mins_.size())
+        throw std::invalid_argument("MinMaxNormalizer: expected " +
+                                    std::to_string(mins_.size()) + " columns, got " +
+                                    std::to_string(data.cols()));
+}
+
+double MinMaxNormalizer::normalize_value(double v, std::size_t column) const {
+    const double range = maxs_[column] - mins_[column];
+    if (range == 0.0) return 0.5;
+    return (v - mins_[column]) / range;
+}
+
+double MinMaxNormalizer::denormalize_value(double v, std::size_t column) const {
+    const double range = maxs_[column] - mins_[column];
+    if (range == 0.0) return mins_[column];
+    return mins_[column] + v * range;
+}
+
+Matrix MinMaxNormalizer::normalize(const Matrix& data) const {
+    check_dimension(data);
+    Matrix out(data.rows(), data.cols());
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            out(r, c) = normalize_value(data(r, c), c);
+    return out;
+}
+
+Matrix MinMaxNormalizer::denormalize(const Matrix& data) const {
+    check_dimension(data);
+    Matrix out(data.rows(), data.cols());
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            out(r, c) = denormalize_value(data(r, c), c);
+    return out;
+}
+
+void MinMaxNormalizer::save(std::ostream& os) const {
+    os << mins_.size() << "\n";
+    os.precision(17);
+    for (std::size_t i = 0; i < mins_.size(); ++i) os << mins_[i] << " " << maxs_[i] << "\n";
+}
+
+MinMaxNormalizer MinMaxNormalizer::load(std::istream& is) {
+    std::size_t n = 0;
+    is >> n;
+    std::vector<double> mins(n), maxs(n);
+    for (std::size_t i = 0; i < n; ++i) is >> mins[i] >> maxs[i];
+    if (!is) throw std::runtime_error("MinMaxNormalizer::load: malformed stream");
+    return MinMaxNormalizer(std::move(mins), std::move(maxs));
+}
+
+}  // namespace pnc::math

@@ -1,0 +1,47 @@
+// Column-wise min-max normalization.
+//
+// The surrogate-model pipeline normalizes both the (ratio-extended) design
+// parameters omega and the fitted curve parameters eta before training
+// (Sec. III-A of the paper) and denormalizes at inference; the saved
+// min/max vectors are part of the surrogate artifact.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace pnc::math {
+
+class MinMaxNormalizer {
+public:
+    MinMaxNormalizer() = default;
+
+    /// Learn per-column min/max from data (rows = samples).
+    static MinMaxNormalizer fit(const Matrix& data);
+    /// Construct from explicit bounds (e.g. a design-space definition).
+    MinMaxNormalizer(std::vector<double> mins, std::vector<double> maxs);
+
+    std::size_t dimension() const { return mins_.size(); }
+    const std::vector<double>& mins() const { return mins_; }
+    const std::vector<double>& maxs() const { return maxs_; }
+
+    /// Map data into [0, 1] per column. Constant columns map to 0.5.
+    Matrix normalize(const Matrix& data) const;
+    /// Inverse of normalize().
+    Matrix denormalize(const Matrix& data) const;
+
+    double normalize_value(double v, std::size_t column) const;
+    double denormalize_value(double v, std::size_t column) const;
+
+    void save(std::ostream& os) const;
+    static MinMaxNormalizer load(std::istream& is);
+
+private:
+    void check_dimension(const Matrix& data) const;
+
+    std::vector<double> mins_;
+    std::vector<double> maxs_;
+};
+
+}  // namespace pnc::math

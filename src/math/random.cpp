@@ -1,0 +1,94 @@
+#include "math/random.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace pnc::math {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: expands one seed into well-mixed state words.
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+std::size_t Rng::index(std::size_t n) {
+    // Rejection-free for our purposes; modulo bias is negligible for n << 2^64.
+    return static_cast<std::size_t>(next_u64() % n);
+}
+
+Matrix Rng::uniform_matrix(std::size_t rows, std::size_t cols, double lo, double hi) {
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] = uniform(lo, hi);
+    return m;
+}
+
+Matrix Rng::normal_matrix(std::size_t rows, std::size_t cols, double mean, double stddev) {
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] = normal(mean, stddev);
+    return m;
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) std::swap(v[i - 1], v[index(i)]);
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+    std::vector<std::size_t> v(n);
+    std::iota(v.begin(), v.end(), std::size_t{0});
+    return v;
+}
+
+}  // namespace pnc::math

@@ -1,0 +1,47 @@
+// Sobol' low-discrepancy sequence (quasi Monte-Carlo).
+//
+// The paper draws the 10 000 nonlinear-circuit design points with QMC
+// sampling [Sobol 1990]; this is the matching generator. Direction numbers
+// follow the Joe-Kuo construction; dimensions up to kMaxDimension are
+// supported, comfortably above the 7-dimensional design space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace pnc::math {
+
+class SobolSequence {
+public:
+    static constexpr std::size_t kMaxDimension = 19;
+
+    /// Sequence over the unit hypercube [0,1)^dimension.
+    /// Throws std::invalid_argument for dimension 0 or > kMaxDimension.
+    explicit SobolSequence(std::size_t dimension);
+
+    std::size_t dimension() const { return dimension_; }
+
+    /// The next point of the sequence (Gray-code order, starting at 0).
+    std::vector<double> next();
+
+    /// Skip the first `n` points (common practice: skip the origin).
+    void skip(std::size_t n);
+
+    /// Generate `n` points as an n x dimension matrix.
+    Matrix sample_matrix(std::size_t n);
+
+private:
+    std::size_t dimension_;
+    std::uint64_t index_ = 0;
+    std::vector<std::uint32_t> state_;                  // current integer point per dim
+    std::vector<std::vector<std::uint32_t>> direction_; // [dim][bit]
+};
+
+/// Star-discrepancy-style proxy: max deviation of the empirical CDF from
+/// uniform over axis-aligned boxes anchored at the origin, estimated on a
+/// grid. Used by tests to verify QMC beats plain Monte-Carlo.
+double uniformity_deviation(const Matrix& points);
+
+}  // namespace pnc::math

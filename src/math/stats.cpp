@@ -1,0 +1,91 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::math {
+
+namespace {
+void require_nonempty(const std::vector<double>& v, const char* what) {
+    if (v.empty()) throw std::invalid_argument(std::string(what) + ": empty input");
+}
+}  // namespace
+
+double mean(const std::vector<double>& v) {
+    require_nonempty(v, "mean");
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+    require_nonempty(v, "stddev");
+    const double m = mean(v);
+    double s = 0.0;
+    for (double x : v) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double sample_stddev(const std::vector<double>& v) {
+    if (v.size() < 2) throw std::invalid_argument("sample_stddev: need >= 2 values");
+    const double m = mean(v);
+    double s = 0.0;
+    for (double x : v) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double minimum(const std::vector<double>& v) {
+    require_nonempty(v, "minimum");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double maximum(const std::vector<double>& v) {
+    require_nonempty(v, "maximum");
+    return *std::max_element(v.begin(), v.end());
+}
+
+double median(std::vector<double> v) {
+    require_nonempty(v, "median");
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double pearson_correlation(const std::vector<double>& x, const std::vector<double>& y) {
+    if (x.size() != y.size()) throw std::invalid_argument("pearson: size mismatch");
+    require_nonempty(x, "pearson");
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("rmse: size mismatch");
+    require_nonempty(a, "rmse");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double r_squared(const std::vector<double>& target, const std::vector<double>& prediction) {
+    if (target.size() != prediction.size()) throw std::invalid_argument("r_squared: size mismatch");
+    require_nonempty(target, "r_squared");
+    const double m = mean(target);
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < target.size(); ++i) {
+        ss_res += (target[i] - prediction[i]) * (target[i] - prediction[i]);
+        ss_tot += (target[i] - m) * (target[i] - m);
+    }
+    if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace pnc::math

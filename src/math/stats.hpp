@@ -1,0 +1,26 @@
+// Small descriptive-statistics helpers used when aggregating Monte-Carlo
+// evaluation results into the paper's "mean +/- std" table entries.
+#pragma once
+
+#include <vector>
+
+namespace pnc::math {
+
+double mean(const std::vector<double>& v);
+/// Population standard deviation (the paper reports spread over a fixed set
+/// of Monte-Carlo samples, not an estimate of a larger population).
+double stddev(const std::vector<double>& v);
+/// Sample standard deviation (n - 1 denominator).
+double sample_stddev(const std::vector<double>& v);
+double minimum(const std::vector<double>& v);
+double maximum(const std::vector<double>& v);
+/// Median (averages the two central elements for even sizes).
+double median(std::vector<double> v);
+/// Pearson correlation coefficient; returns 0 when either input is constant.
+double pearson_correlation(const std::vector<double>& x, const std::vector<double>& y);
+/// Root mean squared error between two equally sized vectors.
+double rmse(const std::vector<double>& a, const std::vector<double>& b);
+/// Coefficient of determination R^2 of predictions vs targets.
+double r_squared(const std::vector<double>& target, const std::vector<double>& prediction);
+
+}  // namespace pnc::math

@@ -1,0 +1,135 @@
+#include "pnn/aging.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+
+namespace pnc::pnn {
+
+using math::Matrix;
+
+double AgingModel::sample_factor(math::Rng& rng, double age_hours) const {
+    if (age_hours < 0.0) throw std::invalid_argument("AgingModel: negative age");
+    const double decades = std::log10(1.0 + age_hours / reference_hours);
+    const double rate = rng.uniform(1.0 - device_spread, 1.0 + device_spread);
+    // Conductance can only decay; floor well above zero to stay physical.
+    return std::max(1.0 - drift_per_decade * rate * decades, 0.05);
+}
+
+Matrix AgingModel::sample_factors(math::Rng& rng, std::size_t rows, std::size_t cols,
+                                  double age_hours) const {
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] = sample_factor(rng, age_hours);
+    return m;
+}
+
+NetworkVariation sample_aged_network(const Pnn& pnn, const AgingModel& model,
+                                     double age_hours, double printing_epsilon,
+                                     math::Rng& rng) {
+    const circuit::VariationModel printing(printing_epsilon);
+    NetworkVariation aged = pnn.sample_variation(printing, rng);
+    for (auto& layer : aged) {
+        const auto age = [&](Matrix& factors) {
+            const Matrix drift =
+                model.sample_factors(rng, factors.rows(), factors.cols(), age_hours);
+            factors = math::hadamard(factors, drift);
+        };
+        age(layer.theta_in);
+        age(layer.theta_bias);
+        age(layer.theta_drain);
+        // Aging also drifts the resistors of the nonlinear circuits (the
+        // transistor geometry W, L is lithographically fixed once printed).
+        const auto age_resistors = [&](Matrix& factors) {
+            for (std::size_t r = 0; r < factors.rows(); ++r)
+                for (std::size_t c = 0; c < 5; ++c)  // R1..R5 only
+                    factors(r, c) /= model.sample_factor(rng, age_hours);
+        };
+        age_resistors(layer.omega_act);
+        age_resistors(layer.omega_neg);
+    }
+    return aged;
+}
+
+TrainResult train_pnn_aging_aware(Pnn& pnn, const data::SplitDataset& data,
+                                  const AgingTrainOptions& options) {
+    if (options.n_mc_ages < 1)
+        throw std::invalid_argument("train_pnn_aging_aware: n_mc_ages must be >= 1");
+    math::Rng rng(options.base.seed);
+
+    std::vector<ad::ParamGroup> groups;
+    groups.push_back({pnn.theta_params(), options.base.lr_theta});
+    if (options.base.learnable_nonlinear && options.base.lr_omega > 0.0)
+        groups.push_back({pnn.omega_params(), options.base.lr_omega});
+    ad::Adam optimizer(std::move(groups));
+
+    const ad::Var x_train = ad::constant(data.x_train);
+    const ad::Var x_val = ad::constant(data.x_val);
+    const double log_lifetime = std::log(options.lifetime_hours);
+
+    const auto sample_age = [&](math::Rng& r) {
+        // Log-uniform over (1, lifetime] hours plus a fresh-device case.
+        if (r.uniform() < 0.2) return 0.0;
+        return std::exp(r.uniform(0.0, log_lifetime));
+    };
+
+    const auto mc_loss = [&](const ad::Var& x, const std::vector<int>& y, int n_mc) {
+        ad::Var total;
+        for (int s = 0; s < n_mc; ++s) {
+            const NetworkVariation factors = sample_aged_network(
+                pnn, options.model, sample_age(rng), options.base.epsilon, rng);
+            const ad::Var loss = classification_loss(pnn.forward(x, &factors), y,
+                                                     options.base.loss, options.base.margin);
+            total = total.valid() ? ad::add(total, loss) : loss;
+        }
+        return ad::mul_scalar(total, 1.0 / static_cast<double>(n_mc));
+    };
+
+    TrainResult result;
+    double best_val = 1e300;
+    std::vector<Matrix> best_params = pnn.snapshot();
+    int since_best = 0;
+
+    for (int epoch = 0; epoch < options.base.max_epochs; ++epoch) {
+        optimizer.zero_grad();
+        const ad::Var loss = mc_loss(x_train, data.y_train, options.n_mc_ages);
+        ad::backward(loss);
+        optimizer.step();
+        result.final_train_loss = loss.scalar();
+        result.epochs_run = epoch + 1;
+
+        const ad::Var val_loss =
+            mc_loss(x_val, data.y_val, std::max(1, options.n_mc_ages / 2));
+        if (val_loss.scalar() < best_val) {
+            best_val = val_loss.scalar();
+            best_params = pnn.snapshot();
+            result.best_epoch = epoch;
+            since_best = 0;
+        } else if (++since_best > options.base.patience) {
+            break;
+        }
+    }
+    pnn.restore(best_params);
+    result.best_val_loss = best_val;
+    return result;
+}
+
+EvalResult evaluate_pnn_aged(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
+                             const AgingModel& model, double age_hours,
+                             double printing_epsilon, int n_mc, std::uint64_t seed) {
+    if (n_mc < 1) throw std::invalid_argument("evaluate_pnn_aged: n_mc must be >= 1");
+    math::Rng rng(seed);
+    EvalResult result;
+    for (int s = 0; s < n_mc; ++s) {
+        const NetworkVariation factors =
+            sample_aged_network(pnn, model, age_hours, printing_epsilon, rng);
+        result.per_sample_accuracy.push_back(ad::accuracy(pnn.predict(x, &factors), y));
+    }
+    result.mean_accuracy = math::mean(result.per_sample_accuracy);
+    result.std_accuracy = result.per_sample_accuracy.size() > 1
+                              ? math::stddev(result.per_sample_accuracy)
+                              : 0.0;
+    return result;
+}
+
+}  // namespace pnc::pnn

@@ -1,0 +1,57 @@
+// Aging extension (beyond the paper's body; direction of its ref. [5],
+// "Aging-Aware Training for Printed Neuromorphic Circuits").
+//
+// Printed resistors drift over their lifetime: conductance decays roughly
+// logarithmically in time, with device-to-device spread in the drift rate.
+// We model the conductance of a component printed with value g0 at age t as
+//
+//   g(t) = g0 * (1 - d * r * log10(1 + t / t0)),   r ~ U[1 - s, 1 + s]
+//
+// with d the nominal fractional drift per decade, s the device spread and
+// t0 = 1 hour. Aging-aware training samples random ages over the target
+// lifetime each epoch (composing with the printing-variation factors), so
+// one trained circuit stays accurate from day one to end of life.
+#pragma once
+
+#include "pnn/training.hpp"
+
+namespace pnc::pnn {
+
+struct AgingModel {
+    double drift_per_decade = 0.05;  ///< nominal fractional loss per decade
+    double device_spread = 0.3;      ///< relative spread of drift rates
+    double reference_hours = 1.0;    ///< t0
+
+    /// Multiplicative conductance factor for one device of age `age_hours`.
+    double sample_factor(math::Rng& rng, double age_hours) const;
+
+    /// Factor matrix for a component array at a common age.
+    math::Matrix sample_factors(math::Rng& rng, std::size_t rows, std::size_t cols,
+                                double age_hours) const;
+};
+
+/// Variation factors describing a whole network at age `age_hours`,
+/// optionally composed (elementwise product) with printing variation.
+NetworkVariation sample_aged_network(const Pnn& pnn, const AgingModel& model,
+                                     double age_hours, double printing_epsilon,
+                                     math::Rng& rng);
+
+struct AgingTrainOptions {
+    TrainOptions base{};             ///< epsilon here = printing variation
+    AgingModel model{};
+    double lifetime_hours = 10000.0; ///< ages are sampled log-uniformly in (0, lifetime]
+    int n_mc_ages = 8;               ///< Monte-Carlo ages per epoch
+};
+
+/// Aging-aware training: minimizes the expected loss over both printing
+/// variation and the age distribution.
+TrainResult train_pnn_aging_aware(Pnn& pnn, const data::SplitDataset& data,
+                                  const AgingTrainOptions& options);
+
+/// Accuracy of an aged circuit (mean +- std over n_mc drift realizations).
+EvalResult evaluate_pnn_aged(const Pnn& pnn, const math::Matrix& x,
+                             const std::vector<int>& y, const AgingModel& model,
+                             double age_hours, double printing_epsilon, int n_mc,
+                             std::uint64_t seed);
+
+}  // namespace pnc::pnn

@@ -1,0 +1,198 @@
+#include "pnn/certification.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "autodiff/ops.hpp"
+#include "surrogate/feature_extension.hpp"
+
+namespace pnc::pnn {
+
+using math::Matrix;
+
+double mlp_lipschitz_inf(const surrogate::Mlp& mlp) {
+    double l = 1.0;
+    for (std::size_t layer = 0; layer < mlp.n_weight_layers(); ++layer) {
+        const Matrix& w = mlp.weight(layer).value();
+        // ||y||_inf <= (max_j sum_i |W_ij|) ||x||_inf for y = x W.
+        double worst_column = 0.0;
+        for (std::size_t j = 0; j < w.cols(); ++j) {
+            double column = 0.0;
+            for (std::size_t i = 0; i < w.rows(); ++i) column += std::abs(w(i, j));
+            worst_column = std::max(worst_column, column);
+        }
+        l *= worst_column;
+    }
+    return l;
+}
+
+std::array<Interval, 4> certified_eta_interval(const NonlinearParam& param, double eps) {
+    if (eps < 0.0 || eps >= 1.0)
+        throw std::invalid_argument("certified_eta_interval: eps in [0, 1)");
+    const auto& model = param.surrogate_model();
+    const auto omega = param.printable_omega();
+    const fit::Eta nominal = param.eta_value();
+
+    if (eps == 0.0) {
+        const auto n = nominal.to_array();
+        return {Interval{n[0], n[0]}, Interval{n[1], n[1]}, Interval{n[2], n[2]},
+                Interval{n[3], n[3]}};
+    }
+
+    // Perturbed extended-feature box around the nominal point.
+    const Matrix nominal_ext = surrogate::extend_features(omega);
+    const double ratio_hi = (1.0 + eps) / (1.0 - eps);
+    std::array<double, surrogate::kExtendedDimension> deviation_abs{};
+    for (std::size_t c = 0; c < surrogate::kExtendedDimension; ++c) {
+        const double v = nominal_ext(0, c);
+        // Direct parameters scale by (1 +- eps); ratios of two independent
+        // parameters scale by up to (1 + eps) / (1 - eps).
+        const double factor = c < circuit::Omega::kDimension ? (1.0 + eps) : ratio_hi;
+        deviation_abs[c] = std::abs(v) * (factor - 1.0);
+    }
+
+    // Into normalized coordinates (the MLP input space).
+    const auto& norm = model.omega_normalizer();
+    double max_normalized_deviation = 0.0;
+    for (std::size_t c = 0; c < surrogate::kExtendedDimension; ++c) {
+        const double range = norm.maxs()[c] - norm.mins()[c];
+        if (range > 0.0)
+            max_normalized_deviation =
+                std::max(max_normalized_deviation, deviation_abs[c] / range);
+    }
+
+    // Lipschitz bound on the normalized eta, denormalized per component.
+    const double delta_eta_norm = mlp_lipschitz_inf(model.mlp()) * max_normalized_deviation;
+    const auto& eta_norm = model.eta_normalizer();
+    std::array<Interval, 4> out;
+    const auto n = nominal.to_array();
+    for (std::size_t c = 0; c < 4; ++c) {
+        const double range = eta_norm.maxs()[c] - eta_norm.mins()[c];
+        const double delta = delta_eta_norm * range;
+        out[c] = {n[c] - delta, n[c] + delta};
+    }
+    return out;
+}
+
+namespace {
+
+/// Sound bounds of eta1 + eta2 tanh((v - eta3) eta4) over the box: corner
+/// enumeration (the expression is monotone in each variable once the others
+/// are pinned to a corner).
+Interval ptanh_interval(const std::array<Interval, 4>& eta, const Interval& v) {
+    Interval out{1e300, -1e300};
+    for (double e1 : {eta[0].lo, eta[0].hi})
+        for (double e2 : {eta[1].lo, eta[1].hi})
+            for (double e3 : {eta[2].lo, eta[2].hi})
+                for (double e4 : {eta[3].lo, eta[3].hi})
+                    for (double vv : {v.lo, v.hi}) {
+                        const double y = e1 + e2 * std::tanh((vv - e3) * e4);
+                        out.lo = std::min(out.lo, y);
+                        out.hi = std::max(out.hi, y);
+                    }
+    return out;
+}
+
+Interval negate(const Interval& a) { return {-a.hi, -a.lo}; }
+
+struct LayerBounds {
+    std::array<Interval, 4> eta_act;
+    std::array<Interval, 4> eta_neg;
+};
+
+}  // namespace
+
+std::vector<Interval> certified_output_bounds(const Pnn& pnn,
+                                              const std::vector<double>& input,
+                                              const CertificationOptions& options) {
+    if (input.size() != pnn.layer_sizes().front())
+        throw std::invalid_argument("certified_output_bounds: input size mismatch");
+    const double eps = options.epsilon;
+
+    std::vector<Interval> values;
+    values.reserve(input.size());
+    for (double v : input) values.push_back({v, v});
+
+    for (std::size_t l = 0; l < pnn.n_layers(); ++l) {
+        const auto& layer = pnn.layer(l);
+        const bool readout = l + 1 == pnn.n_layers();
+
+        LayerBounds bounds;
+        const double eta_eps =
+            options.scope == CertifiedScope::kFullLipschitz ? eps : 0.0;
+        bounds.eta_act = certified_eta_interval(layer.activation(), eta_eps);
+        bounds.eta_neg = certified_eta_interval(layer.negation(), eta_eps);
+
+        const Matrix g_in = layer.printable_input_conductances();
+        const Matrix g_bias = layer.printable_bias_conductances();
+        const Matrix g_drain = layer.printable_drain_conductances();
+        const auto inverted = layer.inversion_flags();
+        const std::size_t n_in = layer.n_in();
+        const std::size_t n_out = layer.n_out();
+
+        // Negative-weight transfer of every input wire, as an interval.
+        std::vector<Interval> inverted_values(n_in);
+        for (std::size_t i = 0; i < n_in; ++i)
+            inverted_values[i] = negate(ptanh_interval(bounds.eta_neg, values[i]));
+
+        std::vector<Interval> next(n_out);
+        for (std::size_t j = 0; j < n_out; ++j) {
+            double n_lo = g_bias(0, j) * (1.0 - eps) * layer.options().bias_voltage;
+            double n_hi = g_bias(0, j) * (1.0 + eps) * layer.options().bias_voltage;
+            double d_lo = (g_bias(0, j) + g_drain(0, j)) * (1.0 - eps);
+            double d_hi = (g_bias(0, j) + g_drain(0, j)) * (1.0 + eps);
+            for (std::size_t i = 0; i < n_in; ++i) {
+                const double g = g_in(i, j);
+                if (g == 0.0) continue;
+                const double a_lo = g * (1.0 - eps);
+                const double a_hi = g * (1.0 + eps);
+                const Interval& u = inverted[i][j] ? inverted_values[i] : values[i];
+                n_lo += u.lo >= 0.0 ? a_lo * u.lo : a_hi * u.lo;
+                n_hi += u.hi >= 0.0 ? a_hi * u.hi : a_lo * u.hi;
+                d_lo += a_lo;
+                d_hi += a_hi;
+            }
+            if (d_lo <= 0.0)
+                throw std::logic_error("certified_output_bounds: floating crossbar column");
+            Interval vz;
+            vz.lo = n_lo >= 0.0 ? n_lo / d_hi : n_lo / d_lo;
+            vz.hi = n_hi >= 0.0 ? n_hi / d_lo : n_hi / d_hi;
+            next[j] = readout ? vz : ptanh_interval(bounds.eta_act, vz);
+        }
+        values = std::move(next);
+    }
+    return values;
+}
+
+CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
+                            const CertificationOptions& options) {
+    if (y.size() != x.rows()) throw std::invalid_argument("certify: labels/rows mismatch");
+    CertificationResult result;
+    result.samples = x.rows();
+
+    std::size_t stable = 0, correct = 0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        std::vector<double> input(x.cols());
+        for (std::size_t c = 0; c < x.cols(); ++c) input[c] = x(r, c);
+        const auto bounds = certified_output_bounds(pnn, input, options);
+
+        // The nominal prediction, certified iff its lower bound clears every
+        // competitor's upper bound.
+        const Matrix nominal = pnn.predict(Matrix::row(input));
+        std::size_t predicted = 0;
+        for (std::size_t j = 1; j < bounds.size(); ++j)
+            if (nominal(0, j) > nominal(0, predicted)) predicted = j;
+
+        bool is_stable = true;
+        for (std::size_t j = 0; j < bounds.size() && is_stable; ++j)
+            if (j != predicted) is_stable = bounds[predicted].lo > bounds[j].hi;
+        stable += is_stable;
+        correct += is_stable && static_cast<int>(predicted) == y[r];
+    }
+    result.certified_fraction = static_cast<double>(stable) / static_cast<double>(x.rows());
+    result.certified_accuracy = static_cast<double>(correct) / static_cast<double>(x.rows());
+    return result;
+}
+
+}  // namespace pnc::pnn

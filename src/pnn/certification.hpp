@@ -1,0 +1,75 @@
+// Certified robustness: sound interval propagation through a printed
+// design under bounded printing variation.
+//
+// Monte-Carlo evaluation samples the variation distribution; this module
+// answers the harder question "can ANY realization within +-eps flip this
+// decision?" with a formal over-approximation:
+//
+//  * crossbar columns — interval arithmetic on Eq. 1 with every projected
+//    conductance independently in [g (1 - eps), g (1 + eps)] (numerator and
+//    denominator bounded separately; sound, mildly conservative),
+//  * nonlinear transfers — corner evaluation of the ptanh form over the
+//    (input x eta) box, which is exact for the tanh factor because it is
+//    monotone in each argument on a sign-fixed corner box,
+//  * eta under component variation — optional: a global Lipschitz bound of
+//    the surrogate MLP (product of layer 1-norms, tanh being 1-Lipschitz)
+//    converts the perturbed-omega feature box into an eta box. The
+//    13-layer norm product is loose, so the default mode certifies against
+//    crossbar variation with nominal nonlinear circuits — the regime where
+//    certification is informative.
+//
+// A sample is *certified* when the lower output bound of its predicted
+// class exceeds every other class's upper bound; certified accuracy
+// additionally requires the prediction to be correct. By construction
+// certified accuracy <= Monte-Carlo worst-case accuracy.
+#pragma once
+
+#include "pnn/pnn.hpp"
+
+namespace pnc::pnn {
+
+struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+
+    bool contains(double v) const { return lo <= v && v <= hi; }
+    double width() const { return hi - lo; }
+};
+
+/// Which components the certificate covers.
+enum class CertifiedScope {
+    kCrossbarOnly,      ///< theta under +-eps, nonlinear circuits nominal
+    kFullLipschitz,     ///< also eta via the surrogate Lipschitz bound
+};
+
+struct CertificationOptions {
+    double epsilon = 0.05;
+    CertifiedScope scope = CertifiedScope::kCrossbarOnly;
+};
+
+/// L such that ||f(x) - f(y)||_inf <= L ||x - y||_inf for the MLP
+/// (product of per-layer matrix 1-norms; tanh is 1-Lipschitz).
+double mlp_lipschitz_inf(const surrogate::Mlp& mlp);
+
+/// Sound eta bounds for a learnable nonlinear parameter whose printable
+/// values vary by +-eps (Lipschitz route; used by kFullLipschitz).
+std::array<Interval, 4> certified_eta_interval(const NonlinearParam& param, double eps);
+
+struct CertificationResult {
+    double certified_accuracy = 0.0;  ///< provably correct under ALL realizations
+    double certified_fraction = 0.0;  ///< provably decision-stable (right or wrong)
+    std::size_t samples = 0;
+};
+
+/// Certify every row of x. Sound: certified_accuracy is a lower bound on
+/// the accuracy of every variation realization within the scope.
+CertificationResult certify(const Pnn& pnn, const math::Matrix& x,
+                            const std::vector<int>& y,
+                            const CertificationOptions& options = {});
+
+/// Output intervals of the network for one input row (exposed for tests).
+std::vector<Interval> certified_output_bounds(const Pnn& pnn,
+                                              const std::vector<double>& input,
+                                              const CertificationOptions& options = {});
+
+}  // namespace pnc::pnn

@@ -1,0 +1,102 @@
+#include "pnn/cost_analysis.hpp"
+
+#include <algorithm>
+
+#include "circuit/crossbar.hpp"
+
+namespace pnc::pnn {
+
+namespace {
+
+/// Static power of one crossbar column at a representative operating point.
+double crossbar_column_power(const circuit::CrossbarColumn& column,
+                             const std::vector<double>& inputs) {
+    const double v_z = column.output(inputs);
+    double watts = 0.0;
+    for (std::size_t i = 0; i < column.input_conductances.size(); ++i) {
+        const double dv = inputs[i] - v_z;
+        watts += dv * dv * column.input_conductances[i];
+    }
+    const double dv_bias = column.bias_voltage - v_z;
+    watts += dv_bias * dv_bias * column.bias_conductance;
+    watts += v_z * v_z * column.drain_conductance;
+    return watts;
+}
+
+/// Static power of one nonlinear circuit instance at a mid-rail input.
+double nonlinear_circuit_power(const circuit::Omega& omega,
+                               circuit::NonlinearCircuitKind kind, double input) {
+    auto net = circuit::build_nonlinear_circuit(omega, kind);
+    net.set_source_voltage(net.find_node("in"), input);
+    return circuit::analyze_power(net).total();
+}
+
+}  // namespace
+
+DesignCost analyze_design_cost(const PrintedCircuitDesign& design,
+                               const CostAnalysisOptions& options) {
+    DesignCost cost;
+    cost.components = design.component_count();
+
+    for (const auto& layer : design.layers) {
+        LayerCost lc;
+        const std::size_t n_in = layer.input_conductances.rows();
+        const std::size_t n_out = layer.input_conductances.cols();
+        const std::vector<double> inputs(n_in, options.representative_input);
+
+        for (std::size_t j = 0; j < n_out; ++j) {
+            circuit::CrossbarColumn column;
+            column.bias_conductance = layer.bias_conductances(0, j) * 1e-6;
+            column.drain_conductance = layer.drain_conductances(0, j) * 1e-6;
+            for (std::size_t i = 0; i < n_in; ++i)
+                column.input_conductances.push_back(layer.input_conductances(i, j) * 1e-6);
+            lc.crossbar_watts += crossbar_column_power(column, inputs);
+            for (std::size_t i = 0; i < n_in; ++i)
+                lc.components += layer.input_conductances(i, j) > 0.0;
+            lc.components += column.bias_conductance > 0.0;
+            lc.components += column.drain_conductance > 0.0;
+        }
+
+        // Nonlinear instances: one inv per input wire that feeds an inverted
+        // weight, one ptanh per output neuron (unless readout layer).
+        std::size_t inv_instances = 0;
+        for (std::size_t i = 0; i < n_in; ++i) {
+            bool needed = false;
+            for (std::size_t j = 0; j < n_out; ++j) needed = needed || layer.inverted[i][j];
+            inv_instances += needed;
+        }
+        if (inv_instances > 0)
+            lc.nonlinear_watts += static_cast<double>(inv_instances) *
+                                  nonlinear_circuit_power(
+                                      layer.negation_omega,
+                                      circuit::NonlinearCircuitKind::kNegativeWeight,
+                                      options.representative_input);
+        if (layer.has_activation)
+            lc.nonlinear_watts += static_cast<double>(n_out) *
+                                  nonlinear_circuit_power(
+                                      layer.activation_omega,
+                                      circuit::NonlinearCircuitKind::kPtanh,
+                                      options.representative_input);
+
+        // Settle time: the slowest nonlinear stage gates the layer.
+        double settle = 0.0;
+        if (inv_instances > 0)
+            settle = std::max(settle, circuit::measure_step_response_latency(
+                                          layer.negation_omega,
+                                          circuit::NonlinearCircuitKind::kNegativeWeight,
+                                          options.settle_band, options.transient));
+        if (layer.has_activation)
+            settle = std::max(settle, circuit::measure_step_response_latency(
+                                          layer.activation_omega,
+                                          circuit::NonlinearCircuitKind::kPtanh,
+                                          options.settle_band, options.transient));
+        lc.settle_seconds = settle;
+
+        cost.total_watts += lc.crossbar_watts + lc.nonlinear_watts;
+        cost.latency_seconds += lc.settle_seconds;
+        cost.layers.push_back(lc);
+    }
+    return cost;
+}
+
+}  // namespace pnc::pnn

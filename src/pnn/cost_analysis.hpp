@@ -1,0 +1,44 @@
+// Hardware cost analysis of a printed design: component count, static
+// power, and inference latency.
+//
+// Power: every crossbar column and every nonlinear-circuit instance burns
+// static power; we evaluate the analog models at a representative operating
+// point (mid-rail inputs) and sum.
+//
+// Latency: printed analog inference is limited by the settling of the
+// nonlinear circuits (electrolyte gate capacitances); the crossbars are
+// resistive and comparatively instant. The critical path is the sum of the
+// per-layer settle times measured by transient step-response analysis.
+#pragma once
+
+#include "circuit/power.hpp"
+#include "circuit/transient.hpp"
+#include "pnn/netlist_export.hpp"
+
+namespace pnc::pnn {
+
+struct LayerCost {
+    double crossbar_watts = 0.0;
+    double nonlinear_watts = 0.0;
+    double settle_seconds = 0.0;  ///< slowest nonlinear circuit of the layer
+    std::size_t components = 0;
+};
+
+struct DesignCost {
+    std::vector<LayerCost> layers;
+    double total_watts = 0.0;
+    double latency_seconds = 0.0;  ///< sum of layer settle times (critical path)
+    std::size_t components = 0;
+};
+
+struct CostAnalysisOptions {
+    double representative_input = 0.5;  ///< V, operating point for power
+    double settle_band = 0.02;          ///< V, latency settle criterion
+    circuit::TransientOptions transient{};
+};
+
+/// Analyze one extracted printable design.
+DesignCost analyze_design_cost(const PrintedCircuitDesign& design,
+                               const CostAnalysisOptions& options = {});
+
+}  // namespace pnc::pnn

@@ -1,0 +1,209 @@
+#include "pnn/netlist_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "autodiff/ops.hpp"
+#include "circuit/crossbar.hpp"
+
+namespace pnc::pnn {
+
+using math::Matrix;
+
+std::size_t PrintedCircuitDesign::component_count() const {
+    std::size_t count = 0;
+    for (const auto& layer : layers) {
+        for (std::size_t i = 0; i < layer.input_conductances.size(); ++i)
+            count += layer.input_conductances[i] > 0.0;
+        for (std::size_t i = 0; i < layer.bias_conductances.size(); ++i)
+            count += layer.bias_conductances[i] > 0.0;
+        for (std::size_t i = 0; i < layer.drain_conductances.size(); ++i)
+            count += layer.drain_conductances[i] > 0.0;
+        // Nonlinear circuits: 5 resistors + EGTs (2 for ptanh, 1 for inv),
+        // one inv instance per input wire, one ptanh per output neuron.
+        const std::size_t n_out = layer.input_conductances.cols();
+        const std::size_t n_in = layer.input_conductances.rows();
+        if (layer.has_activation) count += n_out * 7;
+        bool any_inverted = false;
+        for (const auto& row : layer.inverted)
+            for (bool flag : row) any_inverted = any_inverted || flag;
+        if (any_inverted) count += n_in * 6;
+    }
+    return count;
+}
+
+PrintedCircuitDesign extract_design(const Pnn& pnn) {
+    PrintedCircuitDesign design;
+    design.layer_sizes = pnn.layer_sizes();
+    for (std::size_t l = 0; l < pnn.n_layers(); ++l) {
+        const auto& layer = pnn.layer(l);
+        PrintedLayerDesign ld;
+        ld.input_conductances = layer.printable_input_conductances();
+        ld.bias_conductances = layer.printable_bias_conductances();
+        ld.drain_conductances = layer.printable_drain_conductances();
+        ld.inverted = layer.inversion_flags();
+        ld.activation_omega = layer.activation().printable_omega();
+        ld.negation_omega = layer.negation().printable_omega();
+        ld.has_activation = l + 1 != pnn.n_layers();
+        design.layers.push_back(std::move(ld));
+    }
+    return design;
+}
+
+namespace {
+
+void emit_nonlinear_subcircuit(std::ostream& os, const std::string& prefix,
+                               const circuit::Omega& omega, bool is_activation) {
+    const auto net = circuit::build_nonlinear_circuit(
+        omega, is_activation ? circuit::NonlinearCircuitKind::kPtanh
+                             : circuit::NonlinearCircuitKind::kNegativeWeight);
+    std::istringstream lines(net.to_spice());
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '*' || line == ".end" || line[0] == 'V') continue;
+        os << prefix << line << "\n";
+    }
+}
+
+}  // namespace
+
+std::string export_spice(const PrintedCircuitDesign& design) {
+    std::ostringstream os;
+    os << "* printed neuromorphic network, topology";
+    for (std::size_t s : design.layer_sizes) os << " " << s;
+    os << "\n* " << design.component_count() << " printed components\n";
+    os << "VDD vdd 0 " << circuit::kVdd << "\n";
+
+    for (std::size_t l = 0; l < design.layers.size(); ++l) {
+        const auto& layer = design.layers[l];
+        const std::size_t n_in = layer.input_conductances.rows();
+        const std::size_t n_out = layer.input_conductances.cols();
+        os << "\n* ---- layer " << l << " (" << n_in << " -> " << n_out << ") ----\n";
+
+        // Negative-weight circuit instances (one per input wire that feeds
+        // at least one inverted weight).
+        for (std::size_t i = 0; i < n_in; ++i) {
+            bool needed = false;
+            for (std::size_t j = 0; j < n_out; ++j) needed = needed || layer.inverted[i][j];
+            if (!needed) continue;
+            os << "* negative-weight circuit for input L" << l << "I" << i << "\n";
+            emit_nonlinear_subcircuit(os, "XNEG_L" + std::to_string(l) + "I" +
+                                              std::to_string(i) + "_",
+                                      layer.negation_omega, false);
+        }
+
+        // Crossbar resistors.
+        for (std::size_t j = 0; j < n_out; ++j) {
+            for (std::size_t i = 0; i < n_in; ++i) {
+                const double g = layer.input_conductances(i, j);
+                if (g <= 0.0) continue;
+                const std::string input_node =
+                    (layer.inverted[i][j] ? "neg_l" : "l") + std::to_string(l) + "i" +
+                    std::to_string(i);
+                os << "RXB_L" << l << "_" << i << "_" << j << " " << input_node << " l" << l
+                   << "z" << j << " " << 1e6 / g << "\n";  // microsiemens -> Ohm
+            }
+            if (layer.bias_conductances(0, j) > 0.0)
+                os << "RXB_L" << l << "_b_" << j << " vdd l" << l << "z" << j << " "
+                   << 1e6 / layer.bias_conductances(0, j) << "\n";
+            if (layer.drain_conductances(0, j) > 0.0)
+                os << "RXB_L" << l << "_d_" << j << " l" << l << "z" << j << " 0 "
+                   << 1e6 / layer.drain_conductances(0, j) << "\n";
+            if (layer.has_activation) {
+                os << "* ptanh circuit for neuron L" << l << "N" << j << "\n";
+                emit_nonlinear_subcircuit(os, "XACT_L" + std::to_string(l) + "N" +
+                                                  std::to_string(j) + "_",
+                                          layer.activation_omega, true);
+            }
+        }
+    }
+    os << "\n.end\n";
+    return os.str();
+}
+
+AnalogChecker::AnalogChecker(const PrintedCircuitDesign& design, std::size_t sweep_points)
+    : design_(design) {
+    for (const auto& layer : design_.layers) {
+        activation_curves_.push_back(
+            layer.has_activation
+                ? circuit::simulate_characteristic(layer.activation_omega,
+                                                   circuit::NonlinearCircuitKind::kPtanh,
+                                                   sweep_points)
+                : circuit::CharacteristicCurve{});
+        negation_curves_.push_back(circuit::simulate_characteristic(
+            layer.negation_omega, circuit::NonlinearCircuitKind::kNegativeWeight,
+            sweep_points));
+    }
+}
+
+namespace {
+
+double interpolate(const circuit::CharacteristicCurve& curve, double v) {
+    const auto& xs = curve.vin;
+    const auto& ys = curve.vout;
+    if (v <= xs.front()) return ys.front();
+    if (v >= xs.back()) return ys.back();
+    const auto it = std::upper_bound(xs.begin(), xs.end(), v);
+    const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+    const double t = (v - xs[hi - 1]) / (xs[hi] - xs[hi - 1]);
+    return ys[hi - 1] + t * (ys[hi] - ys[hi - 1]);
+}
+
+}  // namespace
+
+double AnalogChecker::activation(std::size_t layer, double v) const {
+    return interpolate(activation_curves_[layer], v);
+}
+
+double AnalogChecker::negation(std::size_t layer, double v) const {
+    // Eq. 3's -(eta1 + eta2 tanh(...)) *is* the physical output voltage of
+    // the negative-weight circuit (eta1 is fitted negative), so the analog
+    // sweep value is used directly.
+    return interpolate(negation_curves_[layer], v);
+}
+
+std::vector<double> AnalogChecker::forward(const std::vector<double>& inputs) const {
+    if (inputs.size() != design_.layer_sizes.front())
+        throw std::invalid_argument("AnalogChecker: input size mismatch");
+    std::vector<double> values = inputs;
+    for (std::size_t l = 0; l < design_.layers.size(); ++l) {
+        const auto& layer = design_.layers[l];
+        const std::size_t n_in = layer.input_conductances.rows();
+        const std::size_t n_out = layer.input_conductances.cols();
+        std::vector<double> next(n_out);
+        for (std::size_t j = 0; j < n_out; ++j) {
+            circuit::CrossbarColumn column;
+            column.bias_conductance = layer.bias_conductances(0, j) * 1e-6;
+            column.drain_conductance = layer.drain_conductances(0, j) * 1e-6;
+            std::vector<double> column_inputs(n_in);
+            for (std::size_t i = 0; i < n_in; ++i) {
+                column.input_conductances.push_back(layer.input_conductances(i, j) * 1e-6);
+                column_inputs[i] =
+                    layer.inverted[i][j] ? negation(l, values[i]) : values[i];
+            }
+            const double v_z = column.output(column_inputs);
+            next[j] = layer.has_activation ? activation(l, v_z) : v_z;
+        }
+        values = std::move(next);
+    }
+    return values;
+}
+
+double AnalogChecker::agreement(const Matrix& x, const std::vector<int>& reference) const {
+    if (reference.size() != x.rows())
+        throw std::invalid_argument("AnalogChecker: reference size mismatch");
+    if (x.rows() == 0) return 0.0;
+    std::size_t agreed = 0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        std::vector<double> inputs(x.cols());
+        for (std::size_t c = 0; c < x.cols(); ++c) inputs[c] = x(r, c);
+        const auto out = forward(inputs);
+        const auto best =
+            static_cast<int>(std::max_element(out.begin(), out.end()) - out.begin());
+        agreed += best == reference[r];
+    }
+    return static_cast<double>(agreed) / static_cast<double>(x.rows());
+}
+
+}  // namespace pnc::pnn

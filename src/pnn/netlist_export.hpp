@@ -1,0 +1,72 @@
+// From trained pNN to manufacturing data — and back.
+//
+// "Training a pNN is designing a printed neuromorphic circuit" (Sec. II-C):
+// after training, the projected conductances and the learned nonlinear-
+// circuit component values form the print job. This module materializes it:
+//
+//  * PrintedCircuitDesign — the complete bill of printable values,
+//  * export_spice — a SPICE-flavoured netlist of the whole network,
+//  * AnalogChecker — re-simulates the design with the analog DC substrate
+//    (crossbar columns via Kirchhoff, nonlinear circuits via the MNA Newton
+//    solver) and compares its decisions against the pNN abstraction. This is
+//    the hardware-in-the-loop consistency check validating Eq. 1/2/3.
+#pragma once
+
+#include <string>
+
+#include "pnn/pnn.hpp"
+
+namespace pnc::pnn {
+
+/// Printable design of one layer.
+struct PrintedLayerDesign {
+    math::Matrix input_conductances;   ///< n_in x n_out, microsiemens (0 = not printed)
+    math::Matrix bias_conductances;    ///< 1 x n_out
+    math::Matrix drain_conductances;   ///< 1 x n_out
+    std::vector<std::vector<bool>> inverted;  ///< input routed through inv circuit
+    circuit::Omega activation_omega;   ///< ptanh circuit component values
+    circuit::Omega negation_omega;     ///< negative-weight circuit component values
+    bool has_activation = true;        ///< readout layer has no ptanh circuit
+};
+
+struct PrintedCircuitDesign {
+    std::vector<std::size_t> layer_sizes;
+    std::vector<PrintedLayerDesign> layers;
+
+    /// Number of printed components (resistors + EGTs) in the whole design.
+    std::size_t component_count() const;
+};
+
+/// Extract the current printable design from a (trained) pNN.
+PrintedCircuitDesign extract_design(const Pnn& pnn);
+
+/// SPICE-flavoured netlist of the full network (crossbars + nonlinear
+/// subcircuit instances), suitable for inspection or external simulation.
+std::string export_spice(const PrintedCircuitDesign& design);
+
+/// Analog re-simulation of a printed design.
+class AnalogChecker {
+public:
+    /// Simulates both nonlinear circuits once (DC sweeps) and evaluates the
+    /// network sample by sample through the analog models.
+    explicit AnalogChecker(const PrintedCircuitDesign& design,
+                           std::size_t sweep_points = 64);
+
+    /// Output voltages of the analog network for one input sample.
+    std::vector<double> forward(const std::vector<double>& inputs) const;
+
+    /// Fraction of samples where the analog decision (argmax) agrees with
+    /// the given reference predictions.
+    double agreement(const math::Matrix& x, const std::vector<int>& reference) const;
+
+private:
+    double activation(std::size_t layer, double v) const;
+    double negation(std::size_t layer, double v) const;
+
+    PrintedCircuitDesign design_;
+    // Tabulated analog transfer curves per layer (linear interpolation).
+    std::vector<circuit::CharacteristicCurve> activation_curves_;
+    std::vector<circuit::CharacteristicCurve> negation_curves_;
+};
+
+}  // namespace pnc::pnn

@@ -1,0 +1,118 @@
+#include "pnn/nonlinear_param.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::pnn {
+
+using ad::Var;
+using circuit::Omega;
+using math::Matrix;
+
+namespace {
+
+double logit(double p) {
+    const double clipped = std::clamp(p, 0.02, 0.98);
+    return std::log(clipped / (1.0 - clipped));
+}
+
+}  // namespace
+
+NonlinearParam::NonlinearParam(const surrogate::SurrogateModel* surrogate,
+                               const surrogate::DesignSpace& space,
+                               const Omega& initial)
+    : surrogate_(surrogate), space_(space) {
+    if (!surrogate_) throw std::invalid_argument("NonlinearParam: null surrogate");
+    if (!space_.contains(initial))
+        throw std::invalid_argument("NonlinearParam: initial omega outside design space");
+
+    // Invert the processing chain: printable values -> normalized (0,1) ->
+    // logit, so the first forward pass reproduces `initial` exactly.
+    const auto norm = [&](double v, std::size_t dim) {
+        return (v - space_.min(dim)) / (space_.max(dim) - space_.min(dim));
+    };
+    Matrix raw(1, 7);
+    raw(0, 0) = logit(norm(initial.r1, 0));
+    raw(0, 1) = logit(norm(initial.r3, 2));
+    raw(0, 2) = logit(norm(initial.r5, 4));
+    raw(0, 3) = logit(norm(initial.w, 5));
+    raw(0, 4) = logit(norm(initial.l, 6));
+    raw(0, 5) = logit(initial.k1());
+    raw(0, 6) = logit(initial.k2());
+    raw_ = ad::parameter(std::move(raw));
+}
+
+Var NonlinearParam::printable(std::size_t instances, const Matrix* variation) const {
+    using namespace ad;
+    const Var s = ad::sigmoid(raw_);
+
+    const auto denorm = [&](std::size_t col, std::size_t dim) {
+        const double lo = space_.min(dim);
+        const double hi = space_.max(dim);
+        return add_scalar(mul_scalar(slice_cols(s, col, 1), hi - lo), lo);
+    };
+    const Var r1 = denorm(0, 0);
+    const Var r3 = denorm(1, 2);
+    const Var r5 = denorm(2, 4);
+    const Var w = denorm(3, 5);
+    const Var l = denorm(4, 6);
+    const Var k1 = slice_cols(s, 5, 1);
+    const Var k2 = slice_cols(s, 6, 1);
+
+    // Reassemble the shunt resistors from the learned ratios; the products
+    // can undershoot the printable minimum, so clip with a straight-through
+    // estimator (Sec. III-B).
+    const Var r2 = clamp_ste(mul(r1, k1), space_.min(1), space_.max(1));
+    const Var r4 = clamp_ste(mul(r3, k2), space_.min(3), space_.max(3));
+
+    Var omega = concat_cols({r1, r2, r3, r4, r5, w, l});
+    if (instances == 0)
+        throw std::invalid_argument("NonlinearParam: instances must be >= 1");
+    if (instances > 1) {
+        // Replicate the single learned design for every printed copy.
+        omega = matmul(constant(Matrix(instances, 1, 1.0)), omega);
+    }
+    if (variation) {
+        if (variation->rows() != instances || variation->cols() != Omega::kDimension)
+            throw std::invalid_argument("NonlinearParam: variation must be instances x 7");
+        omega = mul(omega, constant(*variation));
+    }
+    return omega;
+}
+
+Var NonlinearParam::eta(std::size_t instances, const Matrix* variation) const {
+    const Var omega = printable(instances, variation);
+    const Var extended = surrogate::extend_features(omega);
+    return surrogate_->forward_raw(extended);
+}
+
+Omega NonlinearParam::printable_omega() const {
+    const Matrix values = printable().value();
+    std::array<double, Omega::kDimension> a{};
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = values(0, i);
+    return Omega::from_array(a);
+}
+
+fit::Eta NonlinearParam::eta_value() const {
+    const Matrix e = eta().value();
+    return fit::Eta{e(0, 0), e(0, 1), e(0, 2), e(0, 3)};
+}
+
+Var apply_ptanh(const Var& eta, const Var& x) {
+    using namespace ad;
+    if (eta.cols() != 4 || eta.rows() != x.cols())
+        throw std::invalid_argument("apply_ptanh: eta must be x.cols() x 4");
+    // One eta row per column of x (per printed circuit instance).
+    const Var e1 = transpose(slice_cols(eta, 0, 1));  // 1 x n
+    const Var e2 = transpose(slice_cols(eta, 1, 1));
+    const Var e3 = transpose(slice_cols(eta, 2, 1));
+    const Var e4 = transpose(slice_cols(eta, 3, 1));
+    const Var shifted = add_rowvec(x, neg(e3));
+    const Var activated = ad::tanh(mul_rowvec(shifted, e4));
+    return add_rowvec(mul_rowvec(activated, e2), e1);
+}
+
+Var apply_negated_ptanh(const Var& eta, const Var& x) { return ad::neg(apply_ptanh(eta, x)); }
+
+}  // namespace pnc::pnn

@@ -1,0 +1,72 @@
+// Learnable nonlinear-circuit parameters (Fig. 5 processing chain).
+//
+// The learnable leaf w_frak is the *normalized* parameter vector
+// [R1~, R3~, R5~, W~, L~, k1, k2] (7 entries, unconstrained reals).
+// The forward graph applies, in order:
+//
+//   sigmoid          -> values in (0, 1)
+//   denormalize      -> R1, R3, R5, W, L in their Table I ranges; k1, k2 in (0,1)
+//   reassemble       -> R2 = R1 * k1, R4 = R3 * k2
+//   clip (STE)       -> R2, R4 into their printable ranges
+//   [variation]      -> multiply *printable values* by eps_omega (Sec. III-C)
+//   ratio extension  -> append k1, k2, k3 recomputed from (perturbed) values
+//   surrogate        -> eta = eta_hat(omega), denormalized
+//
+// Gradient flows back to w_frak through the surrogate MLP, so the physical
+// parameterization of the ptanh / negative-weight circuits is learned
+// jointly with the crossbar conductances.
+#pragma once
+
+#include "autodiff/ops.hpp"
+#include "circuit/nonlinear_circuit.hpp"
+#include "fit/ptanh_fit.hpp"
+#include "surrogate/surrogate_model.hpp"
+
+namespace pnc::pnn {
+
+class NonlinearParam {
+public:
+    /// `surrogate` must outlive the parameter object. `initial` seeds the
+    /// learnable vector (by inverting the sigmoid/denormalization chain);
+    /// it is also the fixed design when the parameter is not trained.
+    NonlinearParam(const surrogate::SurrogateModel* surrogate,
+                   const surrogate::DesignSpace& space, const circuit::Omega& initial);
+
+    /// The learnable leaf (1 x 7). Hand this to an optimizer to make the
+    /// nonlinear circuit learnable; omit it for the alpha_omega = 0 baseline.
+    ad::Var raw() const { return raw_; }
+
+    /// Differentiable printable component values, ordered as Omega. One row
+    /// per printed instance of the circuit: the learned design (1 x 7) is
+    /// replicated `instances` times and, when `variation` is given (an
+    /// instances x 7 constant factor matrix), each physical copy is
+    /// perturbed independently — printing variation is per printed
+    /// component, not per design.
+    ad::Var printable(std::size_t instances = 1,
+                      const math::Matrix* variation = nullptr) const;
+
+    /// Differentiable eta (instances x 4 Var) through the surrogate.
+    ad::Var eta(std::size_t instances = 1, const math::Matrix* variation = nullptr) const;
+
+    /// Snapshot of the current printable design (no variation, no graph).
+    circuit::Omega printable_omega() const;
+    /// Surrogate prediction for the current design.
+    fit::Eta eta_value() const;
+
+    const surrogate::SurrogateModel& surrogate_model() const { return *surrogate_; }
+
+private:
+    const surrogate::SurrogateModel* surrogate_;
+    surrogate::DesignSpace space_;
+    ad::Var raw_;  // 1 x 7 leaf
+};
+
+/// Apply the Eq. 2 ptanh columnwise: out(i,j) = eta1_j + eta2_j *
+/// tanh((x(i,j) - eta3_j) * eta4_j), with eta given as an x.cols() x 4 Var
+/// (one row per printed circuit instance).
+ad::Var apply_ptanh(const ad::Var& eta, const ad::Var& x);
+
+/// Apply the Eq. 3 negative-weight transfer: out = -(eta1 + eta2 * tanh(...)).
+ad::Var apply_negated_ptanh(const ad::Var& eta, const ad::Var& x);
+
+}  // namespace pnc::pnn

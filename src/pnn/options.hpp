@@ -1,0 +1,21 @@
+// Shared configuration of the printed neural network abstraction.
+#pragma once
+
+namespace pnc::pnn {
+
+struct PnnOptions {
+    /// Printable conductance range (microsiemens). A surrogate conductance
+    /// theta is projected onto {0} u [g_min, g_max] (sign = inversion flag)
+    /// with a straight-through estimator, mirroring the paper's constraint
+    /// g in {0} u [G_min, G_max].
+    double g_min = 0.1;
+    double g_max = 100.0;
+
+    /// Uniform init range for theta (microsiemens).
+    double theta_init = 5.0;
+
+    /// Bias rail voltage Vb of every crossbar column.
+    double bias_voltage = 1.0;
+};
+
+}  // namespace pnc::pnn

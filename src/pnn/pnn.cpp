@@ -1,0 +1,78 @@
+#include "pnn/pnn.hpp"
+
+#include <stdexcept>
+
+namespace pnc::pnn {
+
+using ad::Var;
+using math::Matrix;
+
+Pnn::Pnn(std::vector<std::size_t> layer_sizes, const surrogate::SurrogateModel* act_surrogate,
+         const surrogate::SurrogateModel* neg_surrogate, const surrogate::DesignSpace& space,
+         math::Rng& rng, const PnnOptions& options)
+    : layer_sizes_(std::move(layer_sizes)) {
+    if (layer_sizes_.size() < 2)
+        throw std::invalid_argument("Pnn: need at least input and output sizes");
+    layers_.reserve(layer_sizes_.size() - 1);
+    for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l)
+        layers_.emplace_back(layer_sizes_[l], layer_sizes_[l + 1], act_surrogate,
+                             neg_surrogate, space, rng, options);
+}
+
+Var Pnn::forward(const Var& x, const NetworkVariation* variation) const {
+    if (variation && variation->size() != layers_.size())
+        throw std::invalid_argument("Pnn::forward: variation entry count mismatch");
+    Var h = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        // The readout layer's class decision is taken directly from its
+        // crossbar voltages, so no ptanh circuit is printed there.
+        const bool apply_activation = l + 1 != layers_.size();
+        h = layers_[l].forward(h, variation ? &(*variation)[l] : nullptr, apply_activation);
+    }
+    return h;
+}
+
+Matrix Pnn::predict(const Matrix& x, const NetworkVariation* variation) const {
+    return forward(ad::constant(x), variation).value();
+}
+
+std::vector<Var> Pnn::theta_params() const {
+    std::vector<Var> params;
+    for (const auto& layer : layers_)
+        for (const auto& p : layer.theta_params()) params.push_back(p);
+    return params;
+}
+
+std::vector<Var> Pnn::omega_params() const {
+    std::vector<Var> params;
+    for (const auto& layer : layers_)
+        for (const auto& p : layer.omega_params()) params.push_back(p);
+    return params;
+}
+
+std::vector<Matrix> Pnn::snapshot() const {
+    std::vector<Matrix> values;
+    for (const auto& p : theta_params()) values.push_back(p.value());
+    for (const auto& p : omega_params()) values.push_back(p.value());
+    return values;
+}
+
+void Pnn::restore(const std::vector<Matrix>& snapshot) {
+    auto thetas = theta_params();
+    auto omegas = omega_params();
+    if (snapshot.size() != thetas.size() + omegas.size())
+        throw std::invalid_argument("Pnn::restore: snapshot size mismatch");
+    std::size_t i = 0;
+    for (auto& p : thetas) p.set_value(snapshot[i++]);
+    for (auto& p : omegas) p.set_value(snapshot[i++]);
+}
+
+NetworkVariation Pnn::sample_variation(const circuit::VariationModel& model,
+                                       math::Rng& rng) const {
+    NetworkVariation variation;
+    variation.reserve(layers_.size());
+    for (const auto& layer : layers_) variation.push_back(layer.sample_variation(model, rng));
+    return variation;
+}
+
+}  // namespace pnc::pnn

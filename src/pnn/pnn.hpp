@@ -1,0 +1,56 @@
+// The printed neural network (pNN): a stack of printed layers.
+//
+// Topology follows the paper's experiments: #input - 3 - #output, with the
+// hidden width configurable. Classification reads the argmax of the output
+// voltages. Training the pNN *is* designing the circuit: after training,
+// the per-layer printable conductances and nonlinear-circuit component
+// values form the manufacturing netlist (see netlist_export.hpp).
+#pragma once
+
+#include <memory>
+
+#include "pnn/printed_layer.hpp"
+
+namespace pnc::pnn {
+
+/// Variation factors for the whole network (one entry per layer).
+using NetworkVariation = std::vector<LayerVariation>;
+
+class Pnn {
+public:
+    /// layer_sizes = [n_in, hidden..., n_out].
+    Pnn(std::vector<std::size_t> layer_sizes,
+        const surrogate::SurrogateModel* act_surrogate,
+        const surrogate::SurrogateModel* neg_surrogate, const surrogate::DesignSpace& space,
+        math::Rng& rng, const PnnOptions& options = {});
+
+    const std::vector<std::size_t>& layer_sizes() const { return layer_sizes_; }
+    std::size_t n_layers() const { return layers_.size(); }
+    PrintedLayer& layer(std::size_t i) { return layers_.at(i); }
+    const PrintedLayer& layer(std::size_t i) const { return layers_.at(i); }
+
+    /// Forward pass building the autodiff graph. `variation` may be nullptr.
+    ad::Var forward(const ad::Var& x, const NetworkVariation* variation = nullptr) const;
+
+    /// Convenience on constant inputs: output voltages.
+    math::Matrix predict(const math::Matrix& x,
+                         const NetworkVariation* variation = nullptr) const;
+
+    /// All crossbar parameters / all nonlinear-circuit parameters.
+    std::vector<ad::Var> theta_params() const;
+    std::vector<ad::Var> omega_params() const;
+
+    /// Snapshot / restore every learnable value (for early stopping).
+    std::vector<math::Matrix> snapshot() const;
+    void restore(const std::vector<math::Matrix>& snapshot);
+
+    /// Sample fresh variation factors for the whole network.
+    NetworkVariation sample_variation(const circuit::VariationModel& model,
+                                      math::Rng& rng) const;
+
+private:
+    std::vector<std::size_t> layer_sizes_;
+    std::vector<PrintedLayer> layers_;
+};
+
+}  // namespace pnc::pnn

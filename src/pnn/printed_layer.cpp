@@ -1,0 +1,128 @@
+#include "pnn/printed_layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::pnn {
+
+using ad::Var;
+using math::Matrix;
+
+PrintedLayer::PrintedLayer(std::size_t n_in, std::size_t n_out,
+                           const surrogate::SurrogateModel* act_surrogate,
+                           const surrogate::SurrogateModel* neg_surrogate,
+                           const surrogate::DesignSpace& space, math::Rng& rng,
+                           const PnnOptions& options)
+    : n_in_(n_in),
+      n_out_(n_out),
+      options_(options),
+      theta_in_(ad::parameter(rng.uniform_matrix(n_in, n_out, -options.theta_init,
+                                                 options.theta_init))),
+      theta_bias_(ad::parameter(rng.uniform_matrix(1, n_out, -options.theta_init,
+                                                   options.theta_init))),
+      theta_drain_(ad::parameter(rng.uniform_matrix(1, n_out, -options.theta_init,
+                                                    options.theta_init))),
+      act_(act_surrogate, space, circuit::default_omega(circuit::NonlinearCircuitKind::kPtanh)),
+      neg_(neg_surrogate, space,
+           circuit::default_omega(circuit::NonlinearCircuitKind::kNegativeWeight)) {
+    if (n_in == 0 || n_out == 0)
+        throw std::invalid_argument("PrintedLayer: zero-sized layer");
+}
+
+Var PrintedLayer::projected(const Var& theta, const Matrix* factors) const {
+    Var p = ad::project_conductance_ste(theta, options_.g_min, options_.g_max);
+    // Variation multiplies the *printed* values (the projected ones).
+    if (factors) p = ad::mul(p, ad::constant(*factors));
+    return p;
+}
+
+Var PrintedLayer::forward(const Var& x, const LayerVariation* variation,
+                          bool apply_activation) const {
+    using namespace ad;
+    if (x.cols() != n_in_)
+        throw std::invalid_argument("PrintedLayer::forward: expected " +
+                                    std::to_string(n_in_) + " inputs, got " +
+                                    std::to_string(x.cols()));
+
+    const Var g_in = projected(theta_in_, variation ? &variation->theta_in : nullptr);
+    const Var g_bias = projected(theta_bias_, variation ? &variation->theta_bias : nullptr);
+    const Var g_drain = projected(theta_drain_, variation ? &variation->theta_drain : nullptr);
+
+    // Column-wise normalization G = sum_i |g_i| + |g_b| + |g_d| (Eq. 1).
+    const Var a_in = ad::abs(g_in);
+    const Var a_bias = ad::abs(g_bias);
+    const Var a_drain = ad::abs(g_drain);
+    const Var total = add(add(sum_rows(a_in), a_bias), a_drain);  // 1 x n_out
+    const Var w_in = div_rowvec(a_in, total);
+    const Var w_bias = div_rowvec(a_bias, total);
+
+    // Negative surrogate conductances route the input through the layer's
+    // negative-weight circuit. The sign pattern is a discrete routing
+    // decision: treated as constant within one forward pass (the gradient
+    // w.r.t. theta flows through the magnitudes).
+    Matrix positive_mask(n_in_, n_out_);
+    const Matrix& theta_values = theta_in_.value();
+    for (std::size_t i = 0; i < positive_mask.size(); ++i)
+        positive_mask[i] = theta_values[i] >= 0.0 ? 1.0 : 0.0;
+
+    const Var eta_neg = neg_.eta(n_in_, variation ? &variation->omega_neg : nullptr);
+    const Var x_inverted = apply_negated_ptanh(eta_neg, x);
+
+    const Var w_positive = mul(w_in, constant(positive_mask));
+    Matrix negative_mask = positive_mask.map([](double v) { return 1.0 - v; });
+    const Var w_negative = mul(w_in, constant(std::move(negative_mask)));
+
+    Var v_z = add(matmul(x, w_positive), matmul(x_inverted, w_negative));
+    // Bias rail contributes w_b * Vb to every column.
+    v_z = add_rowvec(v_z, mul_scalar(w_bias, options_.bias_voltage));
+
+    if (!apply_activation) return v_z;
+    const Var eta_act = act_.eta(n_out_, variation ? &variation->omega_act : nullptr);
+    return apply_ptanh(eta_act, v_z);
+}
+
+namespace {
+
+Matrix project_values(const Matrix& theta, double g_min, double g_max) {
+    return theta.map([g_min, g_max](double v) {
+        const double mag = std::abs(v);
+        if (mag < 0.5 * g_min) return 0.0;
+        return std::clamp(mag, g_min, g_max);
+    });
+}
+
+}  // namespace
+
+Matrix PrintedLayer::printable_input_conductances() const {
+    return project_values(theta_in_.value(), options_.g_min, options_.g_max);
+}
+
+Matrix PrintedLayer::printable_bias_conductances() const {
+    return project_values(theta_bias_.value(), options_.g_min, options_.g_max);
+}
+
+Matrix PrintedLayer::printable_drain_conductances() const {
+    return project_values(theta_drain_.value(), options_.g_min, options_.g_max);
+}
+
+std::vector<std::vector<bool>> PrintedLayer::inversion_flags() const {
+    std::vector<std::vector<bool>> flags(n_in_, std::vector<bool>(n_out_, false));
+    const Matrix& theta = theta_in_.value();
+    for (std::size_t i = 0; i < n_in_; ++i)
+        for (std::size_t j = 0; j < n_out_; ++j) flags[i][j] = theta(i, j) < 0.0;
+    return flags;
+}
+
+LayerVariation PrintedLayer::sample_variation(const circuit::VariationModel& model,
+                                              math::Rng& rng) const {
+    LayerVariation v;
+    v.theta_in = model.sample_factors(rng, n_in_, n_out_);
+    v.theta_bias = model.sample_factors(rng, 1, n_out_);
+    v.theta_drain = model.sample_factors(rng, 1, n_out_);
+    v.omega_act = model.sample_factors(rng, n_out_, circuit::Omega::kDimension);
+    v.omega_neg = model.sample_factors(rng, n_in_, circuit::Omega::kDimension);
+    return v;
+}
+
+}  // namespace pnc::pnn

@@ -1,0 +1,85 @@
+// One printed neuron layer: resistor crossbar + nonlinear subcircuits.
+//
+// Surrogate conductances theta ((n_in + 2) x n_out, split into input / bias
+// / drain blocks) carry the crossbar design: |theta| is the conductance to
+// print, sign(theta) < 0 routes the input through the layer's negative-
+// weight circuit before the crossbar (Sec. II-C). Each layer owns one
+// learnable parameterization for its ptanh activation circuits and one for
+// its negative-weight circuits.
+#pragma once
+
+#include "circuit/variation.hpp"
+#include "pnn/nonlinear_param.hpp"
+#include "pnn/options.hpp"
+
+namespace pnc::pnn {
+
+/// Per-Monte-Carlo-sample multiplicative variation factors of one layer.
+struct LayerVariation {
+    math::Matrix theta_in;   ///< n_in x n_out
+    math::Matrix theta_bias; ///< 1 x n_out
+    math::Matrix theta_drain;///< 1 x n_out
+    /// Every printed copy of a nonlinear circuit varies independently: one
+    /// ptanh instance per output neuron, one negative-weight instance per
+    /// input wire.
+    math::Matrix omega_act;  ///< n_out x 7
+    math::Matrix omega_neg;  ///< n_in x 7
+};
+
+class PrintedLayer {
+public:
+    PrintedLayer(std::size_t n_in, std::size_t n_out,
+                 const surrogate::SurrogateModel* act_surrogate,
+                 const surrogate::SurrogateModel* neg_surrogate,
+                 const surrogate::DesignSpace& space, math::Rng& rng,
+                 const PnnOptions& options = {});
+
+    std::size_t n_in() const { return n_in_; }
+    std::size_t n_out() const { return n_out_; }
+
+    /// Forward pass. `variation` may be nullptr (nominal forward). With
+    /// apply_activation = false the crossbar output Vz is returned directly
+    /// (used for the readout layer, whose class decision is taken from the
+    /// crossbar voltages).
+    ad::Var forward(const ad::Var& x, const LayerVariation* variation,
+                    bool apply_activation = true) const;
+
+    /// Crossbar parameters for the optimizer.
+    std::vector<ad::Var> theta_params() const { return {theta_in_, theta_bias_, theta_drain_}; }
+    /// Nonlinear-circuit parameters for the optimizer.
+    std::vector<ad::Var> omega_params() const { return {act_.raw(), neg_.raw()}; }
+
+    NonlinearParam& activation() { return act_; }
+    NonlinearParam& negation() { return neg_; }
+    const NonlinearParam& activation() const { return act_; }
+    const NonlinearParam& negation() const { return neg_; }
+
+    /// Current projected (printable) conductance values in microsiemens:
+    /// {input block, bias row, drain row} after the {0} u [g_min, g_max]
+    /// projection.
+    math::Matrix printable_input_conductances() const;
+    math::Matrix printable_bias_conductances() const;
+    math::Matrix printable_drain_conductances() const;
+    /// Inversion flags (true = input routed through the negative-weight
+    /// circuit) per (input, output) pair.
+    std::vector<std::vector<bool>> inversion_flags() const;
+
+    /// Sample variation factors for this layer's component counts.
+    LayerVariation sample_variation(const circuit::VariationModel& model,
+                                    math::Rng& rng) const;
+
+    const PnnOptions& options() const { return options_; }
+
+private:
+    ad::Var projected(const ad::Var& theta, const math::Matrix* factors) const;
+
+    std::size_t n_in_, n_out_;
+    PnnOptions options_;
+    ad::Var theta_in_;     // n_in x n_out
+    ad::Var theta_bias_;   // 1 x n_out
+    ad::Var theta_drain_;  // 1 x n_out
+    NonlinearParam act_;
+    NonlinearParam neg_;
+};
+
+}  // namespace pnc::pnn

@@ -1,0 +1,64 @@
+#include "pnn/robustness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+
+namespace pnc::pnn {
+
+using math::Matrix;
+
+YieldResult estimate_yield(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
+                           double accuracy_spec, double eps, int n_mc, std::uint64_t seed) {
+    if (n_mc < 2) throw std::invalid_argument("estimate_yield: n_mc must be >= 2");
+    const circuit::VariationModel model(eps);
+    math::Rng rng(seed);
+
+    std::vector<double> accuracies;
+    accuracies.reserve(static_cast<std::size_t>(n_mc));
+    std::size_t passing = 0;
+    for (int s = 0; s < n_mc; ++s) {
+        const NetworkVariation factors = pnn.sample_variation(model, rng);
+        const double acc = ad::accuracy(pnn.predict(x, &factors), y);
+        accuracies.push_back(acc);
+        passing += acc >= accuracy_spec;
+    }
+    std::sort(accuracies.begin(), accuracies.end());
+
+    YieldResult result;
+    result.n_samples = n_mc;
+    result.yield = static_cast<double>(passing) / static_cast<double>(n_mc);
+    result.worst_accuracy = accuracies.front();
+    result.p5_accuracy = accuracies[static_cast<std::size_t>(0.05 * (n_mc - 1))];
+    result.median_accuracy = math::median(accuracies);
+    return result;
+}
+
+double worst_corner_accuracy(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
+                             double eps, int n_corners, std::uint64_t seed) {
+    if (n_corners < 1) throw std::invalid_argument("worst_corner_accuracy: n_corners >= 1");
+    const circuit::VariationModel model(eps);
+    math::Rng rng(seed);
+
+    const auto snap_to_corner = [eps](Matrix& factors, math::Rng& r) {
+        for (std::size_t i = 0; i < factors.size(); ++i)
+            factors[i] = r.uniform() < 0.5 ? 1.0 - eps : 1.0 + eps;
+    };
+
+    double worst = 1.0;
+    for (int c = 0; c < n_corners; ++c) {
+        NetworkVariation corner = pnn.sample_variation(model, rng);
+        for (auto& layer : corner) {
+            snap_to_corner(layer.theta_in, rng);
+            snap_to_corner(layer.theta_bias, rng);
+            snap_to_corner(layer.theta_drain, rng);
+            snap_to_corner(layer.omega_act, rng);
+            snap_to_corner(layer.omega_neg, rng);
+        }
+        worst = std::min(worst, ad::accuracy(pnn.predict(x, &corner), y));
+    }
+    return worst;
+}
+
+}  // namespace pnc::pnn

@@ -1,0 +1,36 @@
+// Manufacturing-robustness analysis beyond mean +- std.
+//
+// A printed batch is usable only if enough of its copies meet spec, so the
+// quantity a fab actually cares about is *yield*: the fraction of variation
+// realizations whose accuracy clears a threshold. This module estimates
+// yield by Monte-Carlo, the accuracy quantiles of the variation
+// distribution, and a corner-style worst case (every component pushed to a
+// random extreme of its tolerance band).
+#pragma once
+
+#include "pnn/training.hpp"
+
+namespace pnc::pnn {
+
+struct YieldResult {
+    double yield = 0.0;          ///< fraction of realizations >= the spec
+    double worst_accuracy = 1.0; ///< minimum over the sampled realizations
+    double p5_accuracy = 0.0;    ///< 5th percentile
+    double median_accuracy = 0.0;
+    int n_samples = 0;
+};
+
+/// Monte-Carlo yield of a design at variation eps against an accuracy spec.
+YieldResult estimate_yield(const Pnn& pnn, const math::Matrix& x,
+                           const std::vector<int>& y, double accuracy_spec, double eps,
+                           int n_mc = 200, std::uint64_t seed = 777);
+
+/// Corner analysis: every variation factor is pushed to 1 - eps or 1 + eps
+/// (random sign assignment per corner). Returns the minimum accuracy over
+/// `n_corners` sampled corners — a pessimistic bound the uniform Monte-Carlo
+/// rarely reaches.
+double worst_corner_accuracy(const Pnn& pnn, const math::Matrix& x,
+                             const std::vector<int>& y, double eps, int n_corners = 64,
+                             std::uint64_t seed = 778);
+
+}  // namespace pnc::pnn

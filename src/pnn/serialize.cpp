@@ -1,0 +1,76 @@
+#include "pnn/serialize.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pnc::pnn {
+
+using math::Matrix;
+
+namespace {
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+    os << m.rows() << " " << m.cols() << "\n";
+    for (std::size_t i = 0; i < m.size(); ++i) os << m[i] << " ";
+    os << "\n";
+}
+
+Matrix read_matrix(std::istream& is) {
+    std::size_t rows = 0, cols = 0;
+    is >> rows >> cols;
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) is >> m[i];
+    if (!is) throw std::runtime_error("load_pnn: truncated matrix");
+    return m;
+}
+
+}  // namespace
+
+void save_pnn(const Pnn& pnn, std::ostream& os) {
+    os << "pnc-pnn 1\n" << pnn.layer_sizes().size() << "\n";
+    for (std::size_t s : pnn.layer_sizes()) os << s << " ";
+    os << "\n";
+    os.precision(17);
+    for (const auto& p : pnn.theta_params()) write_matrix(os, p.value());
+    for (const auto& p : pnn.omega_params()) write_matrix(os, p.value());
+}
+
+void save_pnn_file(const Pnn& pnn, const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("save_pnn_file: cannot write " + path);
+    save_pnn(pnn, os);
+}
+
+Pnn load_pnn(std::istream& is, const surrogate::SurrogateModel* act_surrogate,
+             const surrogate::SurrogateModel* neg_surrogate,
+             const surrogate::DesignSpace& space, const PnnOptions& options) {
+    std::string magic;
+    int version = 0;
+    std::size_t n_sizes = 0;
+    is >> magic >> version >> n_sizes;
+    if (magic != "pnc-pnn" || version != 1)
+        throw std::runtime_error("load_pnn: bad header");
+    std::vector<std::size_t> sizes(n_sizes);
+    for (auto& s : sizes) is >> s;
+    if (!is) throw std::runtime_error("load_pnn: truncated header");
+
+    // Construct with a throwaway RNG; every parameter is overwritten below.
+    math::Rng rng(0);
+    Pnn pnn(sizes, act_surrogate, neg_surrogate, space, rng, options);
+    std::vector<Matrix> values;
+    const std::size_t expected = pnn.theta_params().size() + pnn.omega_params().size();
+    values.reserve(expected);
+    for (std::size_t i = 0; i < expected; ++i) values.push_back(read_matrix(is));
+    pnn.restore(values);
+    return pnn;
+}
+
+Pnn load_pnn_file(const std::string& path, const surrogate::SurrogateModel* act_surrogate,
+                  const surrogate::SurrogateModel* neg_surrogate,
+                  const surrogate::DesignSpace& space, const PnnOptions& options) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("load_pnn_file: cannot read " + path);
+    return load_pnn(is, act_surrogate, neg_surrogate, space, options);
+}
+
+}  // namespace pnc::pnn

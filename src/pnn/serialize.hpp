@@ -1,0 +1,29 @@
+// Persistence of trained printed neural networks.
+//
+// A saved pNN stores its topology plus every learnable value (the theta
+// blocks and the raw nonlinear-circuit parameters). Surrogate models are
+// *not* embedded — they are shared artifacts — so loading takes the same
+// surrogate pair and design space the network was built with.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pnn/pnn.hpp"
+
+namespace pnc::pnn {
+
+void save_pnn(const Pnn& pnn, std::ostream& os);
+void save_pnn_file(const Pnn& pnn, const std::string& path);
+
+/// Reconstruct a saved network. Throws std::runtime_error on malformed
+/// input. The freshly constructed network is bit-identical in behaviour to
+/// the saved one (same parameter values; surrogates supplied by the caller).
+Pnn load_pnn(std::istream& is, const surrogate::SurrogateModel* act_surrogate,
+             const surrogate::SurrogateModel* neg_surrogate,
+             const surrogate::DesignSpace& space, const PnnOptions& options = {});
+Pnn load_pnn_file(const std::string& path, const surrogate::SurrogateModel* act_surrogate,
+                  const surrogate::SurrogateModel* neg_surrogate,
+                  const surrogate::DesignSpace& space, const PnnOptions& options = {});
+
+}  // namespace pnc::pnn

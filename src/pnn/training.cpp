@@ -1,0 +1,162 @@
+#include "pnn/training.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+
+namespace pnc::pnn {
+
+using ad::Var;
+using math::Matrix;
+
+Var classification_loss(const Var& outputs, const std::vector<int>& labels, LossKind kind,
+                        double margin) {
+    switch (kind) {
+        case LossKind::kMargin:
+            return ad::margin_loss(outputs, labels, margin);
+        case LossKind::kCrossEntropy:
+            // Output voltages live in ~[0, 1]; widen them into a useful
+            // logit range around the rail midpoint.
+            return ad::cross_entropy(ad::mul_scalar(ad::add_scalar(outputs, -0.5), 10.0),
+                                     labels);
+    }
+    throw std::logic_error("classification_loss: unknown kind");
+}
+
+namespace {
+
+/// Mean loss over n_mc Monte-Carlo variation samples (graph-building).
+Var monte_carlo_loss(const Pnn& pnn, const Var& x, const std::vector<int>& y,
+                     const circuit::VariationModel& variation, int n_mc, math::Rng& rng,
+                     LossKind loss_kind, double margin) {
+    if (variation.is_nominal() || n_mc <= 1) {
+        const auto factors = variation.is_nominal()
+                                 ? nullptr
+                                 : std::make_unique<NetworkVariation>(
+                                       pnn.sample_variation(variation, rng));
+        return classification_loss(pnn.forward(x, factors.get()), y, loss_kind, margin);
+    }
+    Var total;
+    for (int s = 0; s < n_mc; ++s) {
+        const NetworkVariation factors = pnn.sample_variation(variation, rng);
+        const Var loss = classification_loss(pnn.forward(x, &factors), y, loss_kind, margin);
+        total = total.valid() ? ad::add(total, loss) : loss;
+    }
+    return ad::mul_scalar(total, 1.0 / static_cast<double>(n_mc));
+}
+
+/// Rows of x / y selected by indices [begin, end) of the permutation.
+std::pair<Matrix, std::vector<int>> take_batch(const Matrix& x, const std::vector<int>& y,
+                                               const std::vector<std::size_t>& order,
+                                               std::size_t begin, std::size_t end) {
+    Matrix bx(end - begin, x.cols());
+    std::vector<int> by(end - begin);
+    for (std::size_t r = begin; r < end; ++r) {
+        for (std::size_t c = 0; c < x.cols(); ++c) bx(r - begin, c) = x(order[r], c);
+        by[r - begin] = y[order[r]];
+    }
+    return {std::move(bx), std::move(by)};
+}
+
+}  // namespace
+
+TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptions& options) {
+    if (options.n_mc_train < 1 || options.n_mc_val < 1)
+        throw std::invalid_argument("train_pnn: Monte-Carlo counts must be >= 1");
+    const circuit::VariationModel variation(options.epsilon);
+    math::Rng rng(options.seed);
+
+    std::vector<ad::ParamGroup> groups;
+    groups.push_back({pnn.theta_params(), options.lr_theta});
+    if (options.learnable_nonlinear && options.lr_omega > 0.0)
+        groups.push_back({pnn.omega_params(), options.lr_omega});
+    ad::Adam optimizer(std::move(groups));
+
+    const Var x_train = ad::constant(data.x_train);
+    const Var x_val = ad::constant(data.x_val);
+
+    TrainResult result;
+    double best_val = 1e300;
+    std::vector<Matrix> best_params = pnn.snapshot();
+    int since_best = 0;
+
+    std::vector<std::size_t> order = math::iota_indices(data.x_train.rows());
+
+    for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+        if (options.batch_size == 0 || options.batch_size >= data.x_train.rows()) {
+            optimizer.zero_grad();
+            const Var loss = monte_carlo_loss(pnn, x_train, data.y_train, variation,
+                                              options.n_mc_train, rng, options.loss,
+                                              options.margin);
+            ad::backward(loss);
+            optimizer.step();
+            result.final_train_loss = loss.scalar();
+        } else {
+            rng.shuffle(order);
+            double epoch_loss = 0.0;
+            std::size_t batches = 0;
+            for (std::size_t begin = 0; begin < order.size();
+                 begin += options.batch_size) {
+                const std::size_t end = std::min(begin + options.batch_size, order.size());
+                auto [bx, by] = take_batch(data.x_train, data.y_train, order, begin, end);
+                optimizer.zero_grad();
+                const Var loss = monte_carlo_loss(pnn, ad::constant(std::move(bx)), by,
+                                                  variation, options.n_mc_train, rng,
+                                                  options.loss, options.margin);
+                ad::backward(loss);
+                optimizer.step();
+                epoch_loss += loss.scalar();
+                ++batches;
+            }
+            result.final_train_loss = epoch_loss / static_cast<double>(batches);
+        }
+        result.epochs_run = epoch + 1;
+
+        const Var val_loss = monte_carlo_loss(pnn, x_val, data.y_val, variation,
+                                              options.n_mc_val, rng, options.loss,
+                                              options.margin);
+        if (val_loss.scalar() < best_val) {
+            best_val = val_loss.scalar();
+            best_params = pnn.snapshot();
+            result.best_epoch = epoch;
+            since_best = 0;
+        } else if (++since_best > options.patience) {
+            break;
+        }
+        if (options.log_every > 0 && epoch % options.log_every == 0)
+            std::cerr << "[pnn] epoch " << epoch << " train " << result.final_train_loss
+                      << " val " << val_loss.scalar() << "\n";
+    }
+
+    pnn.restore(best_params);
+    result.best_val_loss = best_val;
+    return result;
+}
+
+EvalResult evaluate_pnn(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
+                        const EvalOptions& options) {
+    if (options.n_mc < 1) throw std::invalid_argument("evaluate_pnn: n_mc must be >= 1");
+    const circuit::VariationModel variation(options.epsilon);
+    math::Rng rng(options.seed);
+
+    EvalResult result;
+    result.per_sample_accuracy.reserve(static_cast<std::size_t>(options.n_mc));
+    for (int s = 0; s < options.n_mc; ++s) {
+        if (variation.is_nominal()) {
+            result.per_sample_accuracy.push_back(ad::accuracy(pnn.predict(x), y));
+            break;  // deterministic: one sample suffices
+        }
+        const NetworkVariation factors = pnn.sample_variation(variation, rng);
+        result.per_sample_accuracy.push_back(ad::accuracy(pnn.predict(x, &factors), y));
+    }
+    result.mean_accuracy = math::mean(result.per_sample_accuracy);
+    result.std_accuracy = result.per_sample_accuracy.size() > 1
+                              ? math::stddev(result.per_sample_accuracy)
+                              : 0.0;
+    return result;
+}
+
+}  // namespace pnc::pnn

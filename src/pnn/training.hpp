@@ -1,0 +1,70 @@
+// Nominal and variation-aware pNN training (Sec. III-C) plus Monte-Carlo
+// evaluation.
+//
+// Variation-aware training minimizes the expected loss over the printing
+// variation: each epoch draws N_train i.i.d. factor sets eps_theta / eps_omega
+// ~ U[1 - eps, 1 + eps], evaluates the loss for each perturbed circuit and
+// averages (the paper's Monte-Carlo approximation). With eps = 0 this
+// degenerates to nominal training with a single deterministic sample.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "pnn/pnn.hpp"
+
+namespace pnc::pnn {
+
+enum class LossKind { kMargin, kCrossEntropy };
+
+struct TrainOptions {
+    int max_epochs = 3000;
+    /// Early stopping patience (epochs without validation improvement).
+    /// The paper uses 5000 epochs of patience with a much larger budget.
+    int patience = 300;
+    double lr_theta = 0.1;    ///< alpha_theta (paper)
+    double lr_omega = 0.005;  ///< alpha_omega; learnable nonlinear circuits
+    bool learnable_nonlinear = true;  ///< false = alpha_omega = 0 baseline
+    double epsilon = 0.0;     ///< training variation (0 = nominal)
+    int n_mc_train = 20;      ///< N_train Monte-Carlo samples per epoch
+    int n_mc_val = 5;         ///< MC samples for the validation criterion
+    LossKind loss = LossKind::kMargin;
+    double margin = 0.3;
+    /// 0 = full-batch (the paper's regime for these small datasets);
+    /// otherwise shuffled minibatches of this size per epoch.
+    std::size_t batch_size = 0;
+    std::uint64_t seed = 1;
+    int log_every = 0;  ///< 0 = silent
+};
+
+struct TrainResult {
+    double best_val_loss = 0.0;
+    int best_epoch = 0;
+    int epochs_run = 0;
+    double final_train_loss = 0.0;
+};
+
+/// Train in place; the best-validation parameters are restored on return.
+TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data,
+                      const TrainOptions& options);
+
+struct EvalOptions {
+    double epsilon = 0.0;  ///< test variation
+    int n_mc = 100;        ///< N_test Monte-Carlo samples
+    std::uint64_t seed = 12345;
+};
+
+struct EvalResult {
+    double mean_accuracy = 0.0;
+    double std_accuracy = 0.0;  ///< the paper's robustness measure
+    std::vector<double> per_sample_accuracy;
+};
+
+/// Accuracy under printing variation: N_test perturbed copies of the
+/// circuit are evaluated and mean/std reported (Table II entries).
+EvalResult evaluate_pnn(const Pnn& pnn, const math::Matrix& x, const std::vector<int>& y,
+                        const EvalOptions& options);
+
+/// Loss of a forward output (shared by training and tests).
+ad::Var classification_loss(const ad::Var& outputs, const std::vector<int>& labels,
+                            LossKind kind, double margin);
+
+}  // namespace pnc::pnn

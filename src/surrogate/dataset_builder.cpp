@@ -1,0 +1,91 @@
+#include "surrogate/dataset_builder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace pnc::surrogate {
+
+using circuit::NonlinearCircuitKind;
+using math::Matrix;
+
+SurrogateDataset build_surrogate_dataset(NonlinearCircuitKind kind, const DesignSpace& space,
+                                         const DatasetBuildOptions& options) {
+    if (options.samples == 0)
+        throw std::invalid_argument("build_surrogate_dataset: samples == 0");
+
+    math::SobolSequence sobol(DesignSpace::kDimension);
+    sobol.skip(1);  // the all-zeros origin sits on the design-space boundary
+    const auto omegas = space.sample_batch(sobol, options.samples);
+
+    SurrogateDataset ds;
+    ds.kind = kind;
+    ds.omega = Matrix(options.samples, circuit::Omega::kDimension);
+    ds.eta = Matrix(options.samples, fit::Eta::kDimension);
+    ds.fit_rmse.resize(options.samples);
+
+    for (std::size_t i = 0; i < omegas.size(); ++i) {
+        const auto curve = circuit::simulate_characteristic(omegas[i], kind,
+                                                            options.sweep_points, options.egt);
+        auto fitted = fit::fit_ptanh(curve, kind);
+        fitted.eta.eta3 = std::clamp(fitted.eta.eta3, options.eta3_clip_lo, options.eta3_clip_hi);
+        fitted.eta.eta4 = std::clamp(fitted.eta.eta4, options.eta4_clip_lo, options.eta4_clip_hi);
+
+        const auto oa = omegas[i].to_array();
+        for (std::size_t c = 0; c < oa.size(); ++c) ds.omega(i, c) = oa[c];
+        const auto ea = fitted.eta.to_array();
+        for (std::size_t c = 0; c < ea.size(); ++c) ds.eta(i, c) = ea[c];
+        ds.fit_rmse[i] = fitted.rmse;
+    }
+    return ds;
+}
+
+void SurrogateDataset::save(std::ostream& os) const {
+    os << "pnc-surrogate-dataset 1\n";
+    os << (kind == NonlinearCircuitKind::kPtanh ? "ptanh" : "negative_weight") << "\n";
+    os << size() << "\n";
+    os.precision(17);
+    for (std::size_t i = 0; i < size(); ++i) {
+        for (std::size_t c = 0; c < omega.cols(); ++c) os << omega(i, c) << " ";
+        for (std::size_t c = 0; c < eta.cols(); ++c) os << eta(i, c) << " ";
+        os << fit_rmse[i] << "\n";
+    }
+}
+
+SurrogateDataset SurrogateDataset::load(std::istream& is) {
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != "pnc-surrogate-dataset" || version != 1)
+        throw std::runtime_error("SurrogateDataset::load: bad header");
+    std::string kind_name;
+    std::size_t n = 0;
+    is >> kind_name >> n;
+    SurrogateDataset ds;
+    ds.kind = kind_name == "ptanh" ? NonlinearCircuitKind::kPtanh
+                                   : NonlinearCircuitKind::kNegativeWeight;
+    ds.omega = Matrix(n, circuit::Omega::kDimension);
+    ds.eta = Matrix(n, fit::Eta::kDimension);
+    ds.fit_rmse.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < ds.omega.cols(); ++c) is >> ds.omega(i, c);
+        for (std::size_t c = 0; c < ds.eta.cols(); ++c) is >> ds.eta(i, c);
+        is >> ds.fit_rmse[i];
+    }
+    if (!is) throw std::runtime_error("SurrogateDataset::load: truncated stream");
+    return ds;
+}
+
+void SurrogateDataset::save_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("SurrogateDataset: cannot write " + path);
+    save(os);
+}
+
+SurrogateDataset SurrogateDataset::load_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("SurrogateDataset: cannot read " + path);
+    return load(is);
+}
+
+}  // namespace pnc::surrogate

@@ -1,0 +1,52 @@
+// Surrogate-model dataset construction (Fig. 3 pipeline, green boxes).
+//
+// Quasi Monte-Carlo samples of the feasible design space are simulated with
+// the analog DC substrate (the SPICE stand-in) and each characteristic curve
+// is fitted with the 4-parameter ptanh form; the resulting (omega, eta)
+// pairs are the training data of the surrogate NN.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/nonlinear_circuit.hpp"
+#include "fit/ptanh_fit.hpp"
+#include "math/matrix.hpp"
+#include "surrogate/design_space.hpp"
+
+namespace pnc::surrogate {
+
+struct SurrogateDataset {
+    circuit::NonlinearCircuitKind kind = circuit::NonlinearCircuitKind::kPtanh;
+    math::Matrix omega;      ///< n x 7 raw physical parameters
+    math::Matrix eta;        ///< n x 4 fitted (conditioned) curve parameters
+    std::vector<double> fit_rmse;  ///< per-sample curve-fit residual
+
+    std::size_t size() const { return omega.rows(); }
+
+    void save(std::ostream& os) const;
+    static SurrogateDataset load(std::istream& is);
+    void save_file(const std::string& path) const;
+    static SurrogateDataset load_file(const std::string& path);
+};
+
+struct DatasetBuildOptions {
+    std::size_t samples = 10000;     ///< paper: 10 000 QMC points
+    std::size_t sweep_points = 48;   ///< DC sweep resolution per sample
+    circuit::EgtParams egt{};
+    // Target conditioning: for (near-)flat curves eta3/eta4 are
+    // unidentifiable — any value fits equally well — so they are clamped to
+    // keep the regression targets smooth. Documented in DESIGN.md.
+    double eta3_clip_lo = -0.5;
+    double eta3_clip_hi = 1.5;
+    double eta4_clip_lo = 0.05;
+    double eta4_clip_hi = 80.0;
+};
+
+/// Build the dataset for one circuit kind. Deterministic (Sobol sequence,
+/// origin skipped).
+SurrogateDataset build_surrogate_dataset(circuit::NonlinearCircuitKind kind,
+                                         const DesignSpace& space,
+                                         const DatasetBuildOptions& options = {});
+
+}  // namespace pnc::surrogate

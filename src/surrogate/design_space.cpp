@@ -1,0 +1,75 @@
+#include "surrogate/design_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnc::surrogate {
+
+using circuit::Omega;
+
+DesignSpace DesignSpace::table1() {
+    return DesignSpace({10.0, 5.0, 10e3, 8e3, 10e3, 200.0, 10.0},
+                       {500.0, 250.0, 500e3, 400e3, 500e3, 800.0, 70.0});
+}
+
+DesignSpace::DesignSpace(std::array<double, kDimension> mins,
+                         std::array<double, kDimension> maxs)
+    : mins_(mins), maxs_(maxs) {
+    for (std::size_t i = 0; i < kDimension; ++i)
+        if (!(mins_[i] > 0.0) || !(maxs_[i] > mins_[i]))
+            throw std::invalid_argument("DesignSpace: need 0 < min < max per dimension");
+}
+
+Omega DesignSpace::sample(const std::array<double, kDimension>& unit_point) const {
+    for (double u : unit_point)
+        if (u < 0.0 || u > 1.0)
+            throw std::invalid_argument("DesignSpace::sample: point outside unit cube");
+    std::array<double, kDimension> v{};
+    for (std::size_t i = 0; i < kDimension; ++i)
+        v[i] = mins_[i] + unit_point[i] * (maxs_[i] - mins_[i]);
+    // Re-map R2 into [R2_min, min(R1, R2_max)) and R4 likewise so R1 > R2 and
+    // R3 > R4 hold for every unit point.
+    const double r2_hi = std::min(v[0], maxs_[1]);
+    v[1] = mins_[1] + unit_point[1] * (r2_hi - mins_[1]) * 0.999;
+    const double r4_hi = std::min(v[2], maxs_[3]);
+    v[3] = mins_[3] + unit_point[3] * (r4_hi - mins_[3]) * 0.999;
+    return Omega::from_array(v);
+}
+
+std::vector<Omega> DesignSpace::sample_batch(math::SobolSequence& sobol,
+                                             std::size_t n) const {
+    if (sobol.dimension() != kDimension)
+        throw std::invalid_argument("DesignSpace::sample_batch: Sobol dimension mismatch");
+    std::vector<Omega> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto p = sobol.next();
+        std::array<double, kDimension> u{};
+        std::copy(p.begin(), p.end(), u.begin());
+        out.push_back(sample(u));
+    }
+    return out;
+}
+
+bool DesignSpace::contains(const Omega& omega) const {
+    const auto a = omega.to_array();
+    for (std::size_t i = 0; i < kDimension; ++i)
+        if (a[i] < mins_[i] || a[i] > maxs_[i]) return false;
+    return omega.r1 > omega.r2 && omega.r3 > omega.r4;
+}
+
+Omega DesignSpace::clip(const Omega& omega) const {
+    auto a = omega.to_array();
+    for (std::size_t i = 0; i < kDimension; ++i) a[i] = std::clamp(a[i], mins_[i], maxs_[i]);
+    // Enforce the voltage-divider inequalities by pulling the shunt value
+    // just below its series partner.
+    a[1] = std::min(a[1], a[0] * 0.999);
+    a[3] = std::min(a[3], a[2] * 0.999);
+    // The pull can undershoot the box for extreme inputs; re-clamp the lower
+    // bound only (upper is untouched by construction).
+    a[1] = std::max(a[1], mins_[1]);
+    a[3] = std::max(a[3], mins_[3]);
+    return Omega::from_array(a);
+}
+
+}  // namespace pnc::surrogate

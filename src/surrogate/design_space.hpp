@@ -1,0 +1,54 @@
+// Feasible design space of the nonlinear circuits (Table I).
+//
+//            R1 (Ohm)  R2 (Ohm)  R3 (kOhm)  R4 (kOhm)  R5 (kOhm)  W (um)  L (um)
+//  minimal        10         5         10          8         10     200      10
+//  maximal       500       250        500        400        500     800      70
+//  inequality  R1 > R2             R3 > R4
+//
+// Sampling draws a 7-dimensional quasi Monte-Carlo point and maps the R2/R4
+// coordinates onto [min, min(R1 or R3, max)] so the inequality constraints
+// hold by construction.
+#pragma once
+
+#include <array>
+
+#include "circuit/nonlinear_circuit.hpp"
+#include "math/matrix.hpp"
+#include "math/sobol.hpp"
+
+namespace pnc::surrogate {
+
+class DesignSpace {
+public:
+    static constexpr std::size_t kDimension = circuit::Omega::kDimension;
+
+    /// The Table I space. All resistances in Ohm, geometry in micrometers.
+    static DesignSpace table1();
+
+    DesignSpace(std::array<double, kDimension> mins, std::array<double, kDimension> maxs);
+
+    double min(std::size_t i) const { return mins_.at(i); }
+    double max(std::size_t i) const { return maxs_.at(i); }
+    const std::array<double, kDimension>& mins() const { return mins_; }
+    const std::array<double, kDimension>& maxs() const { return maxs_; }
+
+    /// Map a unit-cube point to a feasible Omega (inequalities enforced by
+    /// construction: the R2/R4 coordinates parameterize the feasible slice).
+    circuit::Omega sample(const std::array<double, kDimension>& unit_point) const;
+
+    /// Draw n feasible samples from a Sobol sequence (consumes n points).
+    std::vector<circuit::Omega> sample_batch(math::SobolSequence& sobol, std::size_t n) const;
+
+    /// Bounds check including the R1 > R2 and R3 > R4 inequalities.
+    bool contains(const circuit::Omega& omega) const;
+
+    /// Clip every value to its box bounds and enforce the inequalities by
+    /// reducing R2/R4 (the projection used for "printable values", Fig. 5).
+    circuit::Omega clip(const circuit::Omega& omega) const;
+
+private:
+    std::array<double, kDimension> mins_;
+    std::array<double, kDimension> maxs_;
+};
+
+}  // namespace pnc::surrogate

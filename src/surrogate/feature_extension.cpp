@@ -1,0 +1,46 @@
+#include "surrogate/feature_extension.hpp"
+
+#include <stdexcept>
+
+namespace pnc::surrogate {
+
+using math::Matrix;
+
+Matrix extend_features(const circuit::Omega& omega) {
+    Matrix row(1, kExtendedDimension);
+    const auto a = omega.to_array();
+    for (std::size_t i = 0; i < a.size(); ++i) row(0, i) = a[i];
+    row(0, 7) = omega.k1();
+    row(0, 8) = omega.k2();
+    row(0, 9) = omega.k3();
+    return row;
+}
+
+Matrix extend_features(const Matrix& omega_rows) {
+    if (omega_rows.cols() != circuit::Omega::kDimension)
+        throw std::invalid_argument("extend_features: expected 7 columns");
+    Matrix out(omega_rows.rows(), kExtendedDimension);
+    for (std::size_t r = 0; r < omega_rows.rows(); ++r) {
+        for (std::size_t c = 0; c < circuit::Omega::kDimension; ++c)
+            out(r, c) = omega_rows(r, c);
+        out(r, 7) = omega_rows(r, 1) / omega_rows(r, 0);
+        out(r, 8) = omega_rows(r, 3) / omega_rows(r, 2);
+        out(r, 9) = omega_rows(r, 5) / omega_rows(r, 6);
+    }
+    return out;
+}
+
+ad::Var extend_features(const ad::Var& omega_rows) {
+    if (omega_rows.cols() != circuit::Omega::kDimension)
+        throw std::invalid_argument("extend_features: expected 7 columns");
+    using namespace ad;
+    const Var r1 = slice_cols(omega_rows, 0, 1);
+    const Var r2 = slice_cols(omega_rows, 1, 1);
+    const Var r3 = slice_cols(omega_rows, 2, 1);
+    const Var r4 = slice_cols(omega_rows, 3, 1);
+    const Var w = slice_cols(omega_rows, 5, 1);
+    const Var l = slice_cols(omega_rows, 6, 1);
+    return concat_cols({omega_rows, div(r2, r1), div(r4, r3), div(w, l)});
+}
+
+}  // namespace pnc::surrogate

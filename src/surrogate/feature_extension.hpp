@@ -1,0 +1,33 @@
+// Ratio feature extension (Sec. III-A c).
+//
+// Independently normalizing each design parameter weakens the divider and
+// aspect ratios the circuits actually depend on, so the 7 physical
+// parameters are extended with k1 = R2/R1, k2 = R4/R3 and k3 = W/L before
+// normalization:
+//
+//   omega -> [R1, R2, R3, R4, R5, W, L, k1, k2, k3]
+//
+// Both a plain-matrix version (dataset building) and a differentiable
+// version (inside the pNN training graph) are provided.
+#pragma once
+
+#include "autodiff/ops.hpp"
+#include "circuit/nonlinear_circuit.hpp"
+#include "math/matrix.hpp"
+
+namespace pnc::surrogate {
+
+/// 7 physical parameters + 3 ratios.
+inline constexpr std::size_t kExtendedDimension = circuit::Omega::kDimension + 3;
+
+/// One omega to a 1 x 10 row.
+math::Matrix extend_features(const circuit::Omega& omega);
+
+/// Row-wise extension of an n x 7 matrix to n x 10.
+math::Matrix extend_features(const math::Matrix& omega_rows);
+
+/// Differentiable extension of an n x 7 Var to n x 10 (gradient flows back
+/// into the raw parameters through the ratio columns as well).
+ad::Var extend_features(const ad::Var& omega_rows);
+
+}  // namespace pnc::surrogate

@@ -1,0 +1,150 @@
+#include "surrogate/mlp.hpp"
+
+#include <cmath>
+#include <istream>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pnc::surrogate {
+
+using ad::Var;
+using math::Matrix;
+
+std::vector<std::size_t> paper_surrogate_layers() {
+    return {10, 9, 9, 8, 8, 7, 7, 6, 6, 6, 5, 5, 5, 4};
+}
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, math::Rng& rng)
+    : layer_sizes_(std::move(layer_sizes)) {
+    if (layer_sizes_.size() < 2)
+        throw std::invalid_argument("Mlp: need at least input and output layers");
+    for (std::size_t s : layer_sizes_)
+        if (s == 0) throw std::invalid_argument("Mlp: zero-size layer");
+    for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+        const std::size_t fan_in = layer_sizes_[l];
+        const std::size_t fan_out = layer_sizes_[l + 1];
+        const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+        weights_.push_back(ad::parameter(rng.uniform_matrix(fan_in, fan_out, -bound, bound)));
+        biases_.push_back(ad::parameter(Matrix(1, fan_out)));
+    }
+}
+
+Var Mlp::forward(const Var& input) const {
+    if (input.cols() != input_dimension())
+        throw std::invalid_argument("Mlp::forward: expected " +
+                                    std::to_string(input_dimension()) + " columns, got " +
+                                    std::to_string(input.cols()));
+    Var h = input;
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        h = ad::add_rowvec(ad::matmul(h, weights_[l]), biases_[l]);
+        const bool is_output = l + 1 == weights_.size();
+        if (!is_output) h = ad::tanh(h);
+    }
+    return h;
+}
+
+Matrix Mlp::predict(const Matrix& input) const { return forward(ad::constant(input)).value(); }
+
+std::vector<Var> Mlp::parameters() const {
+    std::vector<Var> params;
+    params.reserve(weights_.size() * 2);
+    for (const auto& w : weights_) params.push_back(w);
+    for (const auto& b : biases_) params.push_back(b);
+    return params;
+}
+
+std::vector<Matrix> Mlp::snapshot() const {
+    std::vector<Matrix> values;
+    for (const auto& p : parameters()) values.push_back(p.value());
+    return values;
+}
+
+void Mlp::restore(const std::vector<Matrix>& snapshot) {
+    auto params = parameters();
+    if (snapshot.size() != params.size())
+        throw std::invalid_argument("Mlp::restore: snapshot size mismatch");
+    for (std::size_t i = 0; i < params.size(); ++i) params[i].set_value(snapshot[i]);
+}
+
+void Mlp::save(std::ostream& os) const {
+    os << "pnc-mlp 1\n" << layer_sizes_.size() << "\n";
+    for (std::size_t s : layer_sizes_) os << s << " ";
+    os << "\n";
+    os.precision(17);
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        const Matrix& w = weights_[l].value();
+        for (std::size_t i = 0; i < w.size(); ++i) os << w[i] << " ";
+        os << "\n";
+        const Matrix& b = biases_[l].value();
+        for (std::size_t i = 0; i < b.size(); ++i) os << b[i] << " ";
+        os << "\n";
+    }
+}
+
+Mlp Mlp::load(std::istream& is) {
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != "pnc-mlp" || version != 1) throw std::runtime_error("Mlp::load: bad header");
+    std::size_t n_layers = 0;
+    is >> n_layers;
+    Mlp mlp;
+    mlp.layer_sizes_.resize(n_layers);
+    for (auto& s : mlp.layer_sizes_) is >> s;
+    for (std::size_t l = 0; l + 1 < n_layers; ++l) {
+        Matrix w(mlp.layer_sizes_[l], mlp.layer_sizes_[l + 1]);
+        for (std::size_t i = 0; i < w.size(); ++i) is >> w[i];
+        Matrix b(1, mlp.layer_sizes_[l + 1]);
+        for (std::size_t i = 0; i < b.size(); ++i) is >> b[i];
+        mlp.weights_.push_back(ad::parameter(std::move(w)));
+        mlp.biases_.push_back(ad::parameter(std::move(b)));
+    }
+    if (!is) throw std::runtime_error("Mlp::load: truncated stream");
+    return mlp;
+}
+
+MlpTrainResult train_regression(Mlp& mlp, const Matrix& x_train, const Matrix& y_train,
+                                const Matrix& x_val, const Matrix& y_val,
+                                const MlpTrainOptions& options) {
+    if (x_train.rows() != y_train.rows() || x_val.rows() != y_val.rows())
+        throw std::invalid_argument("train_regression: sample count mismatch");
+
+    ad::Adam optimizer({{mlp.parameters(), options.learning_rate}});
+    const Var x = ad::constant(x_train);
+    const Var xv = ad::constant(x_val);
+
+    MlpTrainResult result;
+    double best_val = 1e300;
+    std::vector<Matrix> best_weights = mlp.snapshot();
+    int since_best = 0;
+
+    for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+        optimizer.zero_grad();
+        const Var loss = ad::mse(mlp.forward(x), y_train);
+        ad::backward(loss);
+        optimizer.step();
+
+        const Var val_loss = ad::mse(mlp.forward(xv), y_val);
+        result.train_mse = loss.scalar();
+        result.validation_mse = val_loss.scalar();
+        result.epochs_run = epoch + 1;
+
+        if (val_loss.scalar() < best_val) {
+            best_val = val_loss.scalar();
+            best_weights = mlp.snapshot();
+            since_best = 0;
+        } else if (++since_best > options.patience) {
+            break;
+        }
+        if (options.log_every > 0 && epoch % options.log_every == 0)
+            std::cerr << "[mlp] epoch " << epoch << " train " << result.train_mse << " val "
+                      << result.validation_mse << "\n";
+    }
+
+    mlp.restore(best_weights);
+    result.validation_mse = best_val;
+    return result;
+}
+
+}  // namespace pnc::surrogate

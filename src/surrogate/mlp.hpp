@@ -1,0 +1,81 @@
+// Fully-connected regression network.
+//
+// The paper's hyperparameter search settles on a 13-layer MLP with neuron
+// counts 10-9-9-8-8-7-7-6-6-6-5-5-5-4 as the surrogate of each nonlinear
+// circuit; this class implements that family (any layer-size list) on top
+// of the autodiff engine. Hidden activations are tanh, the output is
+// linear — the targets are min-max normalized curve parameters.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "autodiff/ops.hpp"
+#include "autodiff/optimizer.hpp"
+#include "math/random.hpp"
+
+namespace pnc::surrogate {
+
+/// The paper's final surrogate architecture.
+std::vector<std::size_t> paper_surrogate_layers();
+
+class Mlp {
+public:
+    /// layer_sizes = [input, hidden..., output]; Xavier-uniform init.
+    Mlp(std::vector<std::size_t> layer_sizes, math::Rng& rng);
+
+    const std::vector<std::size_t>& layer_sizes() const { return layer_sizes_; }
+    std::size_t input_dimension() const { return layer_sizes_.front(); }
+    std::size_t output_dimension() const { return layer_sizes_.back(); }
+
+    /// Build the forward graph for a batch (n x input_dimension Var).
+    /// Gradients flow to both the weights and the input.
+    ad::Var forward(const ad::Var& input) const;
+
+    /// Plain prediction on a constant batch.
+    math::Matrix predict(const math::Matrix& input) const;
+
+    /// Trainable parameters (weights and biases) for an optimizer.
+    std::vector<ad::Var> parameters() const;
+
+    /// Per-layer weight matrices (used e.g. for Lipschitz bounds).
+    std::size_t n_weight_layers() const { return weights_.size(); }
+    const ad::Var& weight(std::size_t layer) const { return weights_.at(layer); }
+
+    /// Deep copies of the current parameter values / restore them.
+    std::vector<math::Matrix> snapshot() const;
+    void restore(const std::vector<math::Matrix>& snapshot);
+
+    void save(std::ostream& os) const;
+    static Mlp load(std::istream& is);
+
+private:
+    Mlp() = default;
+
+    std::vector<std::size_t> layer_sizes_;
+    std::vector<ad::Var> weights_;  // [in x out] per layer
+    std::vector<ad::Var> biases_;   // [1 x out] per layer
+};
+
+struct MlpTrainOptions {
+    int max_epochs = 3000;
+    double learning_rate = 3e-3;
+    int patience = 300;          ///< early stop on validation MSE
+    int log_every = 0;           ///< 0 = silent
+};
+
+struct MlpTrainResult {
+    double train_mse = 0.0;
+    double validation_mse = 0.0;
+    int epochs_run = 0;
+};
+
+/// Full-batch Adam regression training with early stopping on validation
+/// MSE; the best-validation weights are restored on return.
+MlpTrainResult train_regression(Mlp& mlp, const math::Matrix& x_train,
+                                const math::Matrix& y_train, const math::Matrix& x_val,
+                                const math::Matrix& y_val,
+                                const MlpTrainOptions& options = {});
+
+}  // namespace pnc::surrogate

@@ -1,0 +1,167 @@
+#include "surrogate/surrogate_model.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+
+namespace pnc::surrogate {
+
+using ad::Var;
+using math::Matrix;
+
+namespace {
+
+Matrix take_rows(const Matrix& m, const std::vector<std::size_t>& idx, std::size_t begin,
+                 std::size_t end) {
+    Matrix out(end - begin, m.cols());
+    for (std::size_t r = begin; r < end; ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c) out(r - begin, c) = m(idx[r], c);
+    return out;
+}
+
+/// Affine normalization as graph ops: (x - min) / (max - min) per column.
+Var normalize_var(const Var& x, const math::MinMaxNormalizer& norm) {
+    Matrix scale(1, norm.dimension());
+    Matrix shift(1, norm.dimension());
+    for (std::size_t c = 0; c < norm.dimension(); ++c) {
+        const double range = norm.maxs()[c] - norm.mins()[c];
+        scale(0, c) = range == 0.0 ? 0.0 : 1.0 / range;
+        shift(0, c) = range == 0.0 ? 0.5 : -norm.mins()[c] / range;
+    }
+    return ad::add_rowvec(ad::mul_rowvec(x, ad::constant(scale)), ad::constant(shift));
+}
+
+Var denormalize_var(const Var& x, const math::MinMaxNormalizer& norm) {
+    Matrix scale(1, norm.dimension());
+    Matrix shift(1, norm.dimension());
+    for (std::size_t c = 0; c < norm.dimension(); ++c) {
+        scale(0, c) = norm.maxs()[c] - norm.mins()[c];
+        shift(0, c) = norm.mins()[c];
+    }
+    return ad::add_rowvec(ad::mul_rowvec(x, ad::constant(scale)), ad::constant(shift));
+}
+
+}  // namespace
+
+SurrogateModel::SurrogateModel(circuit::NonlinearCircuitKind kind,
+                               math::MinMaxNormalizer omega_norm,
+                               math::MinMaxNormalizer eta_norm, Mlp mlp)
+    : kind_(kind),
+      omega_norm_(std::move(omega_norm)),
+      eta_norm_(std::move(eta_norm)),
+      mlp_(std::move(mlp)) {}
+
+SurrogateModel SurrogateModel::train(const SurrogateDataset& dataset,
+                                     const SurrogateTrainOptions& options,
+                                     SurrogateMetrics* metrics) {
+    if (dataset.size() < 10)
+        throw std::invalid_argument("SurrogateModel::train: dataset too small");
+    if (options.layers.front() != kExtendedDimension ||
+        options.layers.back() != fit::Eta::kDimension)
+        throw std::invalid_argument("SurrogateModel::train: layer sizes must map 10 -> 4");
+
+    const Matrix extended = extend_features(dataset.omega);
+    auto omega_norm = math::MinMaxNormalizer::fit(extended);
+    auto eta_norm = math::MinMaxNormalizer::fit(dataset.eta);
+    const Matrix x = omega_norm.normalize(extended);
+    const Matrix y = eta_norm.normalize(dataset.eta);
+
+    // Random 70/20/10 split.
+    math::Rng rng(options.seed);
+    auto idx = math::iota_indices(dataset.size());
+    rng.shuffle(idx);
+    const auto n = dataset.size();
+    const auto n_train = static_cast<std::size_t>(options.train_fraction * static_cast<double>(n));
+    const auto n_val =
+        static_cast<std::size_t>(options.val_fraction * static_cast<double>(n));
+    const Matrix x_train = take_rows(x, idx, 0, n_train);
+    const Matrix y_train = take_rows(y, idx, 0, n_train);
+    const Matrix x_val = take_rows(x, idx, n_train, n_train + n_val);
+    const Matrix y_val = take_rows(y, idx, n_train, n_train + n_val);
+    const Matrix x_test = take_rows(x, idx, n_train + n_val, n);
+    const Matrix y_test = take_rows(y, idx, n_train + n_val, n);
+
+    Mlp mlp(options.layers, rng);
+    const auto train_result = train_regression(mlp, x_train, y_train, x_val, y_val, options.mlp);
+
+    if (metrics) {
+        metrics->train_mse = train_result.train_mse;
+        metrics->validation_mse = train_result.validation_mse;
+        metrics->epochs_run = train_result.epochs_run;
+        const Matrix pred = mlp.predict(x_test);
+        double mse = 0.0;
+        for (std::size_t i = 0; i < pred.size(); ++i) {
+            const double d = pred[i] - y_test[i];
+            mse += d * d;
+        }
+        metrics->test_mse = mse / static_cast<double>(pred.size());
+        metrics->test_r2.clear();
+        for (std::size_t c = 0; c < pred.cols(); ++c) {
+            std::vector<double> target(pred.rows()), prediction(pred.rows());
+            for (std::size_t r = 0; r < pred.rows(); ++r) {
+                target[r] = y_test(r, c);
+                prediction[r] = pred(r, c);
+            }
+            metrics->test_r2.push_back(math::r_squared(target, prediction));
+        }
+    }
+
+    return SurrogateModel(dataset.kind, std::move(omega_norm), std::move(eta_norm),
+                          std::move(mlp));
+}
+
+Var SurrogateModel::forward_normalized(const Var& omega_ext_norm) const {
+    return mlp_.forward(omega_ext_norm);
+}
+
+Var SurrogateModel::forward_raw(const Var& omega_ext) const {
+    const Var normalized = normalize_var(omega_ext, omega_norm_);
+    const Var eta_norm = mlp_.forward(normalized);
+    return denormalize_var(eta_norm, eta_norm_);
+}
+
+fit::Eta SurrogateModel::predict(const circuit::Omega& omega) const {
+    const Matrix ext = extend_features(omega);
+    const Matrix eta = forward_raw(ad::constant(ext)).value();
+    return fit::Eta{eta(0, 0), eta(0, 1), eta(0, 2), eta(0, 3)};
+}
+
+void SurrogateModel::save(std::ostream& os) const {
+    os << "pnc-surrogate-model 1\n";
+    os << (kind_ == circuit::NonlinearCircuitKind::kPtanh ? "ptanh" : "negative_weight")
+       << "\n";
+    omega_norm_.save(os);
+    eta_norm_.save(os);
+    mlp_.save(os);
+}
+
+SurrogateModel SurrogateModel::load(std::istream& is) {
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != "pnc-surrogate-model" || version != 1)
+        throw std::runtime_error("SurrogateModel::load: bad header");
+    std::string kind_name;
+    is >> kind_name;
+    const auto kind = kind_name == "ptanh" ? circuit::NonlinearCircuitKind::kPtanh
+                                           : circuit::NonlinearCircuitKind::kNegativeWeight;
+    auto omega_norm = math::MinMaxNormalizer::load(is);
+    auto eta_norm = math::MinMaxNormalizer::load(is);
+    auto mlp = Mlp::load(is);
+    return SurrogateModel(kind, std::move(omega_norm), std::move(eta_norm), std::move(mlp));
+}
+
+void SurrogateModel::save_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("SurrogateModel: cannot write " + path);
+    save(os);
+}
+
+SurrogateModel SurrogateModel::load_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("SurrogateModel: cannot read " + path);
+    return load(is);
+}
+
+}  // namespace pnc::surrogate

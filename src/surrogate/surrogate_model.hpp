@@ -1,0 +1,79 @@
+// The trained surrogate of a nonlinear circuit: eta_hat(omega).
+//
+// Bundles the ratio extension, the min-max normalizers for the extended
+// design parameters and for eta, and the regression MLP. The differentiable
+// entry point works on normalized coordinates so the pNN can keep its
+// learnable nonlinear-circuit parameters normalized (Sec. III-B); the
+// convenience predict() maps a raw Omega straight to an Eta.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fit/ptanh_fit.hpp"
+#include "math/normalizer.hpp"
+#include "surrogate/dataset_builder.hpp"
+#include "surrogate/feature_extension.hpp"
+#include "surrogate/mlp.hpp"
+
+namespace pnc::surrogate {
+
+struct SurrogateTrainOptions {
+    MlpTrainOptions mlp{};
+    std::vector<std::size_t> layers = paper_surrogate_layers();
+    double train_fraction = 0.7;  ///< paper split 70/20/10
+    double val_fraction = 0.2;
+    std::uint64_t seed = 7;
+};
+
+/// Quality metrics of a trained surrogate on its held-out splits.
+struct SurrogateMetrics {
+    double train_mse = 0.0;
+    double validation_mse = 0.0;
+    double test_mse = 0.0;
+    /// Per-target-column R^2 on the test split (normalized coordinates).
+    std::vector<double> test_r2;
+    int epochs_run = 0;
+};
+
+class SurrogateModel {
+public:
+    /// Train from a dataset (normalizers fitted on the extended features /
+    /// eta of the full dataset, as the paper saves omega/eta min-max).
+    static SurrogateModel train(const SurrogateDataset& dataset,
+                                const SurrogateTrainOptions& options = {},
+                                SurrogateMetrics* metrics = nullptr);
+
+    circuit::NonlinearCircuitKind kind() const { return kind_; }
+    const math::MinMaxNormalizer& omega_normalizer() const { return omega_norm_; }
+    const math::MinMaxNormalizer& eta_normalizer() const { return eta_norm_; }
+    const Mlp& mlp() const { return mlp_; }
+
+    /// Differentiable core: normalized extended omega (n x 10) to normalized
+    /// eta (n x 4).
+    ad::Var forward_normalized(const ad::Var& omega_ext_norm) const;
+
+    /// Differentiable convenience: raw extended omega (n x 10 Var) to raw
+    /// eta (n x 4 Var); normalization/denormalization are affine and are
+    /// built into the graph.
+    ad::Var forward_raw(const ad::Var& omega_ext) const;
+
+    /// Non-differentiable convenience on one design point.
+    fit::Eta predict(const circuit::Omega& omega) const;
+
+    void save(std::ostream& os) const;
+    static SurrogateModel load(std::istream& is);
+    void save_file(const std::string& path) const;
+    static SurrogateModel load_file(const std::string& path);
+
+private:
+    SurrogateModel(circuit::NonlinearCircuitKind kind, math::MinMaxNormalizer omega_norm,
+                   math::MinMaxNormalizer eta_norm, Mlp mlp);
+
+    circuit::NonlinearCircuitKind kind_;
+    math::MinMaxNormalizer omega_norm_;  ///< over the 10 extended features
+    math::MinMaxNormalizer eta_norm_;    ///< over the 4 eta targets
+    Mlp mlp_;
+};
+
+}  // namespace pnc::surrogate

@@ -1,0 +1,152 @@
+// Aging-extension tests: drift model properties, composition with printing
+// variation, aging-aware training behaviour.
+#include <gtest/gtest.h>
+
+#include "data/registry.hpp"
+#include "pnn/aging.hpp"
+
+using namespace pnc;
+using math::Matrix;
+
+namespace {
+
+const surrogate::SurrogateModel& aging_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+pnn::Pnn aging_net(std::uint64_t seed = 51) {
+    math::Rng rng(seed);
+    return pnn::Pnn({2, 3, 2}, &aging_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &aging_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+}  // namespace
+
+TEST(AgingModel, FreshDeviceIsUnchanged) {
+    const pnn::AgingModel model;
+    math::Rng rng(1);
+    EXPECT_DOUBLE_EQ(model.sample_factor(rng, 0.0), 1.0);
+}
+
+TEST(AgingModel, ConductanceOnlyDecays) {
+    const pnn::AgingModel model;
+    math::Rng rng(2);
+    for (double age : {1.0, 10.0, 1000.0, 1e5}) {
+        for (int i = 0; i < 50; ++i) {
+            const double f = model.sample_factor(rng, age);
+            EXPECT_LE(f, 1.0);
+            EXPECT_GE(f, 0.05);  // physical floor
+        }
+    }
+}
+
+TEST(AgingModel, DriftGrowsLogarithmically) {
+    const pnn::AgingModel model{.drift_per_decade = 0.1, .device_spread = 0.0};
+    math::Rng rng(3);
+    const double f10 = model.sample_factor(rng, 9.0);      // ~1 decade
+    const double f100 = model.sample_factor(rng, 99.0);    // ~2 decades
+    const double f1000 = model.sample_factor(rng, 999.0);  // ~3 decades
+    EXPECT_NEAR(f10, 0.9, 1e-9);
+    EXPECT_NEAR(f100, 0.8, 1e-9);
+    EXPECT_NEAR(f1000, 0.7, 1e-9);
+}
+
+TEST(AgingModel, RejectsNegativeAge) {
+    const pnn::AgingModel model;
+    math::Rng rng(4);
+    EXPECT_THROW(model.sample_factor(rng, -1.0), std::invalid_argument);
+}
+
+TEST(AgedNetwork, FactorsDecayThetaAndGrowResistors) {
+    const auto net = aging_net();
+    const pnn::AgingModel model{.drift_per_decade = 0.1, .device_spread = 0.1};
+    math::Rng rng(5);
+    const auto aged = pnn::sample_aged_network(net, model, 1000.0, 0.0, rng);
+    ASSERT_EQ(aged.size(), 2u);
+    for (const auto& layer : aged) {
+        for (std::size_t i = 0; i < layer.theta_in.size(); ++i)
+            EXPECT_LT(layer.theta_in[i], 1.0);  // conductances decay
+        for (std::size_t r = 0; r < layer.omega_act.rows(); ++r) {
+            for (std::size_t c = 0; c < 5; ++c)
+                EXPECT_GT(layer.omega_act(r, c), 1.0);  // resistances grow
+            // Transistor geometry is frozen at print time.
+            EXPECT_DOUBLE_EQ(layer.omega_act(r, 5), 1.0);
+            EXPECT_DOUBLE_EQ(layer.omega_act(r, 6), 1.0);
+        }
+    }
+}
+
+TEST(AgedNetwork, ComposesWithPrintingVariation) {
+    const auto net = aging_net();
+    const pnn::AgingModel model{.drift_per_decade = 0.0, .device_spread = 0.0};
+    math::Rng rng(6);
+    // Zero drift: factors reduce to pure printing variation.
+    const auto aged = pnn::sample_aged_network(net, model, 100.0, 0.1, rng);
+    for (const auto& layer : aged)
+        for (std::size_t i = 0; i < layer.theta_in.size(); ++i) {
+            EXPECT_GE(layer.theta_in[i], 0.9);
+            EXPECT_LE(layer.theta_in[i], 1.1);
+        }
+}
+
+TEST(AgingTraining, RunsAndImprovesAgedAccuracy) {
+    // Aging-aware training should beat nominal training when evaluated on
+    // an old circuit.
+    math::Rng data_rng(61);
+    data::Dataset ds;
+    ds.name = "blobs";
+    ds.n_classes = 2;
+    ds.features = Matrix(80, 2);
+    for (int i = 0; i < 80; ++i) {
+        const int label = i % 2;
+        ds.labels.push_back(label);
+        ds.features(i, 0) = data_rng.normal(label ? 0.75 : 0.25, 0.1);
+        ds.features(i, 1) = data_rng.normal(label ? 0.25 : 0.75, 0.1);
+    }
+    const auto split = data::split_and_normalize(ds, 9);
+    const pnn::AgingModel model{.drift_per_decade = 0.15, .device_spread = 0.4};
+
+    auto nominal = aging_net(52);
+    pnn::TrainOptions base;
+    base.max_epochs = 200;
+    base.patience = 200;
+    pnn::train_pnn(nominal, split, base);
+
+    auto aware = aging_net(52);
+    pnn::AgingTrainOptions options;
+    options.base = base;
+    options.model = model;
+    options.n_mc_ages = 6;
+    options.lifetime_hours = 10000.0;
+    const auto trained = pnn::train_pnn_aging_aware(aware, split, options);
+    EXPECT_GT(trained.epochs_run, 0);
+
+    const auto old_nominal =
+        pnn::evaluate_pnn_aged(nominal, split.x_test, split.y_test, model, 10000.0, 0.0,
+                               40, 7);
+    const auto old_aware =
+        pnn::evaluate_pnn_aged(aware, split.x_test, split.y_test, model, 10000.0, 0.0,
+                               40, 7);
+    EXPECT_GE(old_aware.mean_accuracy, old_nominal.mean_accuracy - 0.03);
+}
+
+TEST(AgingEvaluation, Validation) {
+    const auto net = aging_net(53);
+    const pnn::AgingModel model;
+    EXPECT_THROW(pnn::evaluate_pnn_aged(net, Matrix(2, 2), {0, 1}, model, 1.0, 0.0, 0, 1),
+                 std::invalid_argument);
+}

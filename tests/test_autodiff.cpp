@@ -1,0 +1,354 @@
+// Autodiff engine tests: every operation's value semantics and gradient
+// (checked against central finite differences), backward-pass topology,
+// straight-through estimators, losses and optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/optimizer.hpp"
+#include "math/random.hpp"
+#include "test_util.hpp"
+
+using namespace pnc;
+using ad::Var;
+using math::Matrix;
+using pnc::testutil::expect_gradients_match;
+
+namespace {
+
+Matrix random_matrix(std::uint64_t seed, std::size_t r, std::size_t c, double lo = -1.0,
+                     double hi = 1.0) {
+    math::Rng rng(seed);
+    return rng.uniform_matrix(r, c, lo, hi);
+}
+
+}  // namespace
+
+// ---- value semantics ---------------------------------------------------
+
+TEST(AutodiffValues, AddSubMulDiv) {
+    const Var a = ad::constant(Matrix{{1.0, 2.0}, {3.0, 4.0}});
+    const Var b = ad::constant(Matrix{{5.0, 6.0}, {7.0, 8.0}});
+    EXPECT_DOUBLE_EQ(ad::add(a, b).value()(0, 0), 6.0);
+    EXPECT_DOUBLE_EQ(ad::sub(a, b).value()(1, 1), -4.0);
+    EXPECT_DOUBLE_EQ(ad::mul(a, b).value()(1, 0), 21.0);
+    EXPECT_DOUBLE_EQ(ad::div(b, a).value()(0, 1), 3.0);
+}
+
+TEST(AutodiffValues, MatmulMatchesManual) {
+    const Var a = ad::constant(Matrix{{1.0, 2.0, 3.0}});
+    const Var b = ad::constant(Matrix{{1.0}, {10.0}, {100.0}});
+    EXPECT_DOUBLE_EQ(ad::matmul(a, b).value()(0, 0), 321.0);
+}
+
+TEST(AutodiffValues, ShapeMismatchThrows) {
+    const Var a = ad::constant(Matrix(2, 3));
+    const Var b = ad::constant(Matrix(3, 2));
+    EXPECT_THROW(ad::add(a, b), std::invalid_argument);
+    EXPECT_THROW(ad::mul(a, b), std::invalid_argument);
+    EXPECT_THROW(ad::matmul(a, a), std::invalid_argument);
+}
+
+TEST(AutodiffValues, ReductionsAndBroadcasts) {
+    const Var a = ad::constant(Matrix{{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(ad::sum(a).scalar(), 10.0);
+    EXPECT_DOUBLE_EQ(ad::mean(a).scalar(), 2.5);
+    const Var cols = ad::sum_rows(a);
+    EXPECT_DOUBLE_EQ(cols.value()(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(cols.value()(0, 1), 6.0);
+    const Var r = ad::constant(Matrix{{10.0, 20.0}});
+    EXPECT_DOUBLE_EQ(ad::add_rowvec(a, r).value()(1, 1), 24.0);
+    EXPECT_DOUBLE_EQ(ad::mul_rowvec(a, r).value()(0, 1), 40.0);
+    EXPECT_DOUBLE_EQ(ad::div_rowvec(a, r).value()(1, 0), 0.3);
+}
+
+TEST(AutodiffValues, SliceAndConcat) {
+    const Var a = ad::constant(Matrix{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    const Var s = ad::slice_cols(a, 1, 2);
+    EXPECT_EQ(s.cols(), 2u);
+    EXPECT_DOUBLE_EQ(s.value()(1, 0), 5.0);
+    const Var joined = ad::concat_cols({s, s});
+    EXPECT_EQ(joined.cols(), 4u);
+    EXPECT_DOUBLE_EQ(joined.value()(0, 3), 3.0);
+    EXPECT_THROW(ad::slice_cols(a, 2, 2), std::invalid_argument);
+}
+
+TEST(AutodiffValues, ClampSteValue) {
+    const Var a = ad::constant(Matrix{{-2.0, 0.5, 3.0}});
+    const Var c = ad::clamp_ste(a, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(c.value()(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(c.value()(0, 1), 0.5);
+    EXPECT_DOUBLE_EQ(c.value()(0, 2), 1.0);
+}
+
+TEST(AutodiffValues, ConductanceProjection) {
+    const Var theta = ad::constant(Matrix{{-150.0, -0.04, 0.02, 0.06, 5.0, 150.0}});
+    const Var p = ad::project_conductance_ste(theta, 0.1, 100.0);
+    EXPECT_DOUBLE_EQ(p.value()(0, 0), -100.0);  // clamped magnitude, sign kept
+    EXPECT_DOUBLE_EQ(p.value()(0, 1), 0.0);     // below g_min/2: not printed
+    EXPECT_DOUBLE_EQ(p.value()(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(p.value()(0, 3), 0.1);     // snapped up to g_min
+    EXPECT_DOUBLE_EQ(p.value()(0, 4), 5.0);
+    EXPECT_DOUBLE_EQ(p.value()(0, 5), 100.0);
+    EXPECT_THROW(ad::project_conductance_ste(theta, -1.0, 10.0), std::invalid_argument);
+}
+
+// ---- gradients (finite differences) ------------------------------------
+
+struct UnaryOpCase {
+    const char* name;
+    std::function<Var(const Var&)> op;
+    double lo, hi;  // input value range keeping the op smooth
+};
+
+class UnaryGradient : public ::testing::TestWithParam<UnaryOpCase> {};
+
+TEST_P(UnaryGradient, MatchesFiniteDifferences) {
+    const auto& param = GetParam();
+    Var x = ad::parameter(random_matrix(42, 3, 4, param.lo, param.hi));
+    expect_gradients_match({x}, [&] { return ad::sum(param.op(x)); });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, UnaryGradient,
+    ::testing::Values(
+        UnaryOpCase{"tanh", [](const Var& v) { return ad::tanh(v); }, -2.0, 2.0},
+        UnaryOpCase{"sigmoid", [](const Var& v) { return ad::sigmoid(v); }, -3.0, 3.0},
+        UnaryOpCase{"exp", [](const Var& v) { return ad::exp(v); }, -1.0, 1.0},
+        UnaryOpCase{"log", [](const Var& v) { return ad::log(v); }, 0.5, 3.0},
+        UnaryOpCase{"softplus", [](const Var& v) { return ad::softplus(v); }, -3.0, 3.0},
+        UnaryOpCase{"relu", [](const Var& v) { return ad::relu(v); }, 0.2, 2.0},
+        UnaryOpCase{"abs", [](const Var& v) { return ad::abs(v); }, 0.2, 2.0},
+        UnaryOpCase{"square", [](const Var& v) { return ad::square(v); }, -2.0, 2.0},
+        UnaryOpCase{"neg", [](const Var& v) { return ad::neg(v); }, -2.0, 2.0},
+        UnaryOpCase{"mul_scalar", [](const Var& v) { return ad::mul_scalar(v, 2.5); }, -2.0, 2.0},
+        UnaryOpCase{"add_scalar", [](const Var& v) { return ad::add_scalar(v, 1.5); }, -2.0, 2.0},
+        UnaryOpCase{"transpose", [](const Var& v) { return ad::transpose(v); }, -2.0, 2.0},
+        UnaryOpCase{"sum_rows", [](const Var& v) { return ad::sum_rows(v); }, -2.0, 2.0},
+        UnaryOpCase{"mean", [](const Var& v) { return ad::mean(v); }, -2.0, 2.0},
+        UnaryOpCase{"slice", [](const Var& v) { return ad::slice_cols(v, 1, 2); }, -2.0, 2.0}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(AutodiffGradients, BinaryElementwise) {
+    Var a = ad::parameter(random_matrix(1, 2, 3, 0.5, 2.0));
+    Var b = ad::parameter(random_matrix(2, 2, 3, 0.5, 2.0));
+    expect_gradients_match({a, b}, [&] { return ad::sum(ad::add(a, b)); });
+    expect_gradients_match({a, b}, [&] { return ad::sum(ad::sub(a, b)); });
+    expect_gradients_match({a, b}, [&] { return ad::sum(ad::mul(a, b)); });
+    expect_gradients_match({a, b}, [&] { return ad::sum(ad::div(a, b)); });
+}
+
+TEST(AutodiffGradients, Matmul) {
+    Var a = ad::parameter(random_matrix(3, 2, 4));
+    Var b = ad::parameter(random_matrix(4, 4, 3));
+    expect_gradients_match({a, b}, [&] { return ad::sum(ad::matmul(a, b)); });
+}
+
+TEST(AutodiffGradients, RowvecBroadcasts) {
+    Var a = ad::parameter(random_matrix(5, 3, 4, 0.5, 2.0));
+    Var r = ad::parameter(random_matrix(6, 1, 4, 0.5, 2.0));
+    expect_gradients_match({a, r}, [&] { return ad::sum(ad::add_rowvec(a, r)); });
+    expect_gradients_match({a, r}, [&] { return ad::sum(ad::mul_rowvec(a, r)); });
+    expect_gradients_match({a, r}, [&] { return ad::sum(ad::div_rowvec(a, r)); });
+}
+
+TEST(AutodiffGradients, ScalarBroadcasts) {
+    Var s = ad::parameter(Matrix(1, 1, 0.7));
+    Var a = ad::parameter(random_matrix(7, 3, 3));
+    expect_gradients_match({s, a}, [&] { return ad::sum(ad::scalar_add(s, a)); });
+    expect_gradients_match({s, a}, [&] { return ad::sum(ad::scalar_mul(s, a)); });
+    expect_gradients_match({s, a}, [&] { return ad::sum(ad::scalar_sub_from(a, s)); });
+}
+
+TEST(AutodiffGradients, ConcatAndSelect) {
+    Var a = ad::parameter(random_matrix(8, 2, 2));
+    Var b = ad::parameter(random_matrix(9, 2, 2));
+    expect_gradients_match({a, b}, [&] {
+        return ad::sum(ad::square(ad::concat_cols({a, b, a})));
+    });
+    Matrix mask{{1.0, 0.0}, {0.0, 1.0}};
+    expect_gradients_match({a, b}, [&] { return ad::sum(ad::select(mask, a, b)); });
+}
+
+TEST(AutodiffGradients, StraightThroughIsIdentity) {
+    // STE: the forward is clamped but the gradient must equal the gradient
+    // of the identity.
+    Var a = ad::parameter(Matrix{{-2.0, 0.5, 3.0}});
+    a.zero_grad();
+    ad::backward(ad::sum(ad::clamp_ste(a, 0.0, 1.0)));
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a.grad()[i], 1.0);
+
+    Var theta = ad::parameter(Matrix{{-150.0, 0.01, 5.0}});
+    theta.zero_grad();
+    ad::backward(ad::sum(ad::project_conductance_ste(theta, 0.1, 100.0)));
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(theta.grad()[i], 1.0);
+}
+
+TEST(AutodiffGradients, DeepChainAndReuse) {
+    // A node used twice must receive both adjoint contributions.
+    Var x = ad::parameter(Matrix(1, 1, 0.3));
+    expect_gradients_match({x}, [&] {
+        const Var t = ad::tanh(x);
+        return ad::sum(ad::mul(t, t));  // t^2 -> d/dx = 2 tanh(x)(1 - tanh^2)
+    });
+}
+
+TEST(AutodiffGradients, StopGradientBlocksFlow) {
+    Var x = ad::parameter(Matrix(1, 1, 0.5));
+    x.zero_grad();
+    ad::backward(ad::sum(ad::mul(ad::stop_gradient(x), x)));
+    // d/dx [c * x] = c = 0.5, not 2x.
+    EXPECT_DOUBLE_EQ(x.grad()(0, 0), 0.5);
+}
+
+TEST(AutodiffGradients, GradAccumulatesAcrossBackwardCalls) {
+    Var x = ad::parameter(Matrix(1, 1, 1.0));
+    x.zero_grad();
+    ad::backward(ad::sum(ad::mul_scalar(x, 3.0)));
+    ad::backward(ad::sum(ad::mul_scalar(x, 4.0)));
+    EXPECT_DOUBLE_EQ(x.grad()(0, 0), 7.0);
+    x.zero_grad();
+    EXPECT_DOUBLE_EQ(x.grad()(0, 0), 0.0);
+}
+
+// ---- losses --------------------------------------------------------------
+
+TEST(AutodiffLosses, MarginLossValue) {
+    // Row 0: correct by a margin > 0.3 -> no loss. Row 1: violated.
+    const Var out = ad::constant(Matrix{{0.9, 0.1}, {0.4, 0.5}});
+    const std::vector<int> labels = {0, 0};
+    const double loss = ad::margin_loss(out, labels, 0.3).scalar();
+    EXPECT_NEAR(loss, 0.5 * (0.3 - 0.4 + 0.5), 1e-12);
+}
+
+TEST(AutodiffLosses, MarginLossGradient) {
+    Var out = ad::parameter(Matrix{{0.6, 0.5, 0.1}, {0.2, 0.3, 0.4}});
+    const std::vector<int> labels = {0, 2};
+    expect_gradients_match({out}, [&] { return ad::margin_loss(out, labels, 0.3); });
+}
+
+TEST(AutodiffLosses, CrossEntropyGradient) {
+    Var logits = ad::parameter(random_matrix(11, 4, 3));
+    const std::vector<int> labels = {0, 1, 2, 1};
+    expect_gradients_match({logits}, [&] { return ad::cross_entropy(logits, labels); });
+}
+
+TEST(AutodiffLosses, CrossEntropyMatchesManual) {
+    const Var logits = ad::constant(Matrix{{1.0, 0.0}});
+    const double loss = ad::cross_entropy(logits, {0}).scalar();
+    EXPECT_NEAR(loss, std::log(1.0 + std::exp(-1.0)), 1e-12);
+}
+
+TEST(AutodiffLosses, MseGradient) {
+    Var pred = ad::parameter(random_matrix(12, 3, 2));
+    const Matrix target = random_matrix(13, 3, 2);
+    expect_gradients_match({pred}, [&] { return ad::mse(pred, target); });
+}
+
+TEST(AutodiffLosses, LabelValidation) {
+    const Var out = ad::constant(Matrix(2, 2));
+    EXPECT_THROW(ad::margin_loss(out, {0}, 0.3), std::invalid_argument);
+    EXPECT_THROW(ad::margin_loss(out, {0, 5}, 0.3), std::invalid_argument);
+    EXPECT_THROW(ad::cross_entropy(out, {0, -1}), std::invalid_argument);
+}
+
+TEST(AutodiffLosses, AccuracyHelper) {
+    const Matrix out{{0.9, 0.1}, {0.2, 0.8}, {0.6, 0.4}};
+    EXPECT_NEAR(ad::accuracy(out, {0, 1, 1}), 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(ad::argmax_rows(out), (std::vector<int>{0, 1, 0}));
+}
+
+// ---- backward-pass mechanics ------------------------------------------------
+
+TEST(AutodiffBackward, RequiresScalarRoot) {
+    const Var a = ad::parameter(Matrix(2, 2, 1.0));
+    EXPECT_THROW(ad::backward(ad::add(a, a)), std::logic_error);
+}
+
+TEST(AutodiffBackward, ConstantSubtreesAreSkipped) {
+    // A graph of pure constants allocates no backprop closures.
+    const Var c = ad::constant(Matrix(2, 2, 1.0));
+    const Var d = ad::add(c, c);
+    EXPECT_FALSE(d.node()->backprop);
+    const Var p = ad::parameter(Matrix(2, 2, 1.0));
+    EXPECT_TRUE(ad::add(d, p).node()->backprop);
+}
+
+TEST(AutodiffBackward, SetValueRejectsInteriorAndShapeChange) {
+    Var a = ad::parameter(Matrix(2, 2, 1.0));
+    Var b = ad::add(a, a);
+    EXPECT_THROW(b.set_value(Matrix(2, 2)), std::logic_error);
+    EXPECT_THROW(a.set_value(Matrix(3, 2)), std::invalid_argument);
+}
+
+// ---- optimizers ----------------------------------------------------------------
+
+TEST(Optimizers, SgdConvergesOnQuadratic) {
+    Var x = ad::parameter(Matrix(1, 1, 5.0));
+    ad::Sgd opt({{{x}, 0.1}});
+    for (int i = 0; i < 200; ++i) {
+        opt.zero_grad();
+        ad::backward(ad::square(x));
+        opt.step();
+    }
+    EXPECT_NEAR(x.value()(0, 0), 0.0, 1e-6);
+}
+
+TEST(Optimizers, SgdMomentumConverges) {
+    Var x = ad::parameter(Matrix(1, 1, 5.0));
+    ad::Sgd opt({{{x}, 0.05}}, 0.9);
+    for (int i = 0; i < 300; ++i) {
+        opt.zero_grad();
+        ad::backward(ad::square(x));
+        opt.step();
+    }
+    EXPECT_NEAR(x.value()(0, 0), 0.0, 1e-4);
+}
+
+TEST(Optimizers, AdamConvergesOnRosenbrockish) {
+    Var x = ad::parameter(Matrix(1, 1, -1.0));
+    Var y = ad::parameter(Matrix(1, 1, 2.0));
+    ad::Adam opt({{{x, y}, 0.05}});
+    for (int i = 0; i < 2000; ++i) {
+        opt.zero_grad();
+        // (1-x)^2 + 5 (y - x^2)^2
+        const Var a = ad::square(ad::add_scalar(ad::neg(x), 1.0));
+        const Var b = ad::mul_scalar(ad::square(ad::sub(y, ad::square(x))), 5.0);
+        ad::backward(ad::add(a, b));
+        opt.step();
+    }
+    EXPECT_NEAR(x.value()(0, 0), 1.0, 0.05);
+    EXPECT_NEAR(y.value()(0, 0), 1.0, 0.1);
+}
+
+TEST(Optimizers, PerGroupLearningRates) {
+    Var fast = ad::parameter(Matrix(1, 1, 1.0));
+    Var slow = ad::parameter(Matrix(1, 1, 1.0));
+    ad::Sgd opt({{{fast}, 0.1}, {{slow}, 0.001}});
+    opt.zero_grad();
+    ad::backward(ad::add(ad::square(fast), ad::square(slow)));
+    opt.step();
+    // Both gradients are 2.0; steps differ by the group learning rate.
+    EXPECT_NEAR(fast.value()(0, 0), 0.8, 1e-12);
+    EXPECT_NEAR(slow.value()(0, 0), 0.998, 1e-12);
+}
+
+TEST(Optimizers, LinearRegressionEndToEnd) {
+    // Fit y = 2x + 1 with Adam on the engine only.
+    math::Rng rng(3);
+    const Matrix x_data = rng.uniform_matrix(64, 1, -1.0, 1.0);
+    Matrix y_data(64, 1);
+    for (std::size_t i = 0; i < 64; ++i) y_data(i, 0) = 2.0 * x_data(i, 0) + 1.0;
+    Var w = ad::parameter(Matrix(1, 1, 0.0));
+    Var b = ad::parameter(Matrix(1, 1, 0.0));
+    ad::Adam opt({{{w, b}, 0.05}});
+    const Var x = ad::constant(x_data);
+    for (int epoch = 0; epoch < 500; ++epoch) {
+        opt.zero_grad();
+        const Var pred = ad::scalar_add(b, ad::scalar_mul(w, x));
+        ad::backward(ad::mse(pred, y_data));
+        opt.step();
+    }
+    EXPECT_NEAR(w.value()(0, 0), 2.0, 1e-3);
+    EXPECT_NEAR(b.value()(0, 0), 1.0, 1e-3);
+}

@@ -1,0 +1,203 @@
+// Certified-robustness tests: soundness of the interval propagation
+// (certified bounds must contain every sampled realization), Lipschitz
+// machinery, and the relation between certified and empirical accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/registry.hpp"
+#include "pnn/certification.hpp"
+#include "pnn/training.hpp"
+
+using namespace pnc;
+using math::Matrix;
+using pnn::CertificationOptions;
+using pnn::CertifiedScope;
+using pnn::Interval;
+
+namespace {
+
+const surrogate::SurrogateModel& cert_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+struct Fixture {
+    data::SplitDataset split;
+    pnn::Pnn net;
+};
+
+Fixture& fixture() {
+    static Fixture fx = [] {
+        auto split = data::split_and_normalize(data::make_dataset("iris"), 44);
+        math::Rng rng(91);
+        pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                     &cert_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                     &cert_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                     surrogate::DesignSpace::table1(), rng);
+        pnn::TrainOptions options;
+        options.max_epochs = 300;
+        options.patience = 120;
+        pnn::train_pnn(net, split, options);
+        return Fixture{std::move(split), std::move(net)};
+    }();
+    return fx;
+}
+
+}  // namespace
+
+TEST(Lipschitz, SingleLayerMatchesColumnNorm) {
+    math::Rng rng(1);
+    surrogate::Mlp mlp({2, 2}, rng);  // single linear layer
+    // Set W = [[1, -3], [2, 4]]: column abs sums 3 and 7 -> L = 7.
+    mlp.weight(0).set_value(Matrix{{1.0, -3.0}, {2.0, 4.0}});
+    EXPECT_DOUBLE_EQ(pnn::mlp_lipschitz_inf(mlp), 7.0);
+}
+
+TEST(Lipschitz, BoundsActualPerturbations) {
+    math::Rng rng(2);
+    const surrogate::Mlp mlp({3, 5, 4, 2}, rng);
+    const double l = pnn::mlp_lipschitz_inf(mlp);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Matrix x = rng.uniform_matrix(1, 3, 0.0, 1.0);
+        Matrix x2 = x;
+        const std::size_t c = rng.index(3);
+        const double delta = rng.uniform(-0.1, 0.1);
+        x2(0, c) += delta;
+        const Matrix y1 = mlp.predict(x);
+        const Matrix y2 = mlp.predict(x2);
+        EXPECT_LE(math::max_abs_diff(y1, y2), l * std::abs(delta) + 1e-12);
+    }
+}
+
+TEST(CertifiedEta, ZeroEpsIsPointInterval) {
+    const auto& fx = fixture();
+    const auto eta = pnn::certified_eta_interval(fx.net.layer(0).activation(), 0.0);
+    const auto nominal = fx.net.layer(0).activation().eta_value().to_array();
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(eta[c].lo, nominal[c]);
+        EXPECT_DOUBLE_EQ(eta[c].hi, nominal[c]);
+    }
+}
+
+TEST(CertifiedEta, ContainsSampledRealizations) {
+    const auto& fx = fixture();
+    const double eps = 0.05;
+    const auto& param = fx.net.layer(0).activation();
+    const auto bounds = pnn::certified_eta_interval(param, eps);
+    const circuit::VariationModel model(eps);
+    math::Rng rng(7);
+    for (int s = 0; s < 30; ++s) {
+        const Matrix factors = model.sample_factors(rng, 1, 7);
+        const Matrix eta = param.eta(1, &factors).value();
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_TRUE(bounds[c].contains(eta(0, c)))
+                << "component " << c << ": " << eta(0, c) << " outside [" << bounds[c].lo
+                << ", " << bounds[c].hi << "]";
+    }
+}
+
+TEST(CertifiedBounds, ZeroEpsEqualsNominalForward) {
+    const auto& fx = fixture();
+    CertificationOptions options;
+    options.epsilon = 0.0;
+    std::vector<double> input(fx.split.n_features(), 0.5);
+    const auto bounds = pnn::certified_output_bounds(fx.net, input, options);
+    const Matrix nominal = fx.net.predict(Matrix::row(input));
+    ASSERT_EQ(bounds.size(), nominal.cols());
+    for (std::size_t j = 0; j < bounds.size(); ++j) {
+        EXPECT_NEAR(bounds[j].lo, nominal(0, j), 1e-9);
+        EXPECT_NEAR(bounds[j].hi, nominal(0, j), 1e-9);
+    }
+}
+
+TEST(CertifiedBounds, SoundnessAgainstSampledVariation) {
+    // The central property: every Monte-Carlo realization of the crossbar
+    // variation must land inside the certified output intervals.
+    const auto& fx = fixture();
+    const double eps = 0.08;
+    CertificationOptions options;
+    options.epsilon = eps;
+    options.scope = CertifiedScope::kCrossbarOnly;
+
+    math::Rng rng(17);
+    const circuit::VariationModel model(eps);
+    for (int sample = 0; sample < 5; ++sample) {
+        std::vector<double> input(fx.split.n_features());
+        for (auto& v : input) v = rng.uniform(0.0, 1.0);
+        const auto bounds = pnn::certified_output_bounds(fx.net, input, options);
+
+        for (int trial = 0; trial < 40; ++trial) {
+            // Crossbar-only scope: keep the nonlinear circuits nominal.
+            pnn::NetworkVariation factors = fx.net.sample_variation(model, rng);
+            for (auto& layer : factors) {
+                layer.omega_act = Matrix(layer.omega_act.rows(), 7, 1.0);
+                layer.omega_neg = Matrix(layer.omega_neg.rows(), 7, 1.0);
+            }
+            const Matrix out = fx.net.predict(Matrix::row(input), &factors);
+            for (std::size_t j = 0; j < bounds.size(); ++j) {
+                EXPECT_GE(out(0, j), bounds[j].lo - 1e-9);
+                EXPECT_LE(out(0, j), bounds[j].hi + 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Certify, CertifiedAccuracyIsLowerBound) {
+    const auto& fx = fixture();
+    CertificationOptions options;
+    options.epsilon = 0.03;
+    const auto cert = pnn::certify(fx.net, fx.split.x_test, fx.split.y_test, options);
+    EXPECT_LE(cert.certified_accuracy, cert.certified_fraction);
+
+    // Empirical accuracy under the same variation can only be higher.
+    pnn::EvalOptions eval;
+    eval.epsilon = 0.03;
+    eval.n_mc = 50;
+    const auto mc = pnn::evaluate_pnn(fx.net, fx.split.x_test, fx.split.y_test, eval);
+    EXPECT_LE(cert.certified_accuracy, mc.mean_accuracy + 1e-9);
+}
+
+TEST(Certify, TightensAsEpsShrinks) {
+    const auto& fx = fixture();
+    CertificationOptions tight;
+    tight.epsilon = 0.01;
+    CertificationOptions loose;
+    loose.epsilon = 0.10;
+    const auto a = pnn::certify(fx.net, fx.split.x_test, fx.split.y_test, tight);
+    const auto b = pnn::certify(fx.net, fx.split.x_test, fx.split.y_test, loose);
+    EXPECT_GE(a.certified_fraction + 1e-12, b.certified_fraction);
+    // At tiny eps, a trained network certifies a nontrivial share.
+    EXPECT_GT(a.certified_fraction, 0.5);
+}
+
+TEST(Certify, FullLipschitzIsMoreConservative) {
+    const auto& fx = fixture();
+    CertificationOptions crossbar;
+    crossbar.epsilon = 0.02;
+    crossbar.scope = CertifiedScope::kCrossbarOnly;
+    CertificationOptions full;
+    full.epsilon = 0.02;
+    full.scope = CertifiedScope::kFullLipschitz;
+    const auto a = pnn::certify(fx.net, fx.split.x_test, fx.split.y_test, crossbar);
+    const auto b = pnn::certify(fx.net, fx.split.x_test, fx.split.y_test, full);
+    EXPECT_GE(a.certified_fraction + 1e-12, b.certified_fraction);
+}
+
+TEST(Certify, Validation) {
+    const auto& fx = fixture();
+    EXPECT_THROW(pnn::certify(fx.net, fx.split.x_test, {0}, {}), std::invalid_argument);
+    EXPECT_THROW(pnn::certified_output_bounds(fx.net, {0.5}, {}), std::invalid_argument);
+}

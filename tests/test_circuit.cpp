@@ -1,0 +1,399 @@
+// Analog substrate tests: EGT compact model, netlist, MNA Newton solver
+// (validated against closed-form resistor networks), nonlinear circuit
+// curve properties and the crossbar (Eq. 1 vs full netlist solve).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/nonlinear_circuit.hpp"
+#include "circuit/variation.hpp"
+#include "math/sobol.hpp"
+#include "surrogate/design_space.hpp"
+
+using namespace pnc;
+using circuit::Egt;
+using circuit::EgtParams;
+using circuit::Netlist;
+using circuit::NonlinearCircuitKind;
+
+// ---- EGT compact model ----------------------------------------------------
+
+TEST(Egt, OffBelowThreshold) {
+    const Egt t(400.0, 40.0);
+    // Well below threshold the channel current is negligible.
+    EXPECT_LT(t.drain_current(1.0, 0.0, 0.0), 2e-7);
+}
+
+TEST(Egt, CurrentIncreasesWithGate) {
+    const Egt t(400.0, 40.0);
+    double previous = -1.0;
+    for (double vg = 0.0; vg <= 1.0; vg += 0.1) {
+        const double id = t.drain_current(1.0, vg, 0.0);
+        EXPECT_GT(id, previous);
+        previous = id;
+    }
+}
+
+TEST(Egt, CurrentIncreasesWithDrain) {
+    const Egt t(400.0, 40.0);
+    double previous = -1.0;
+    for (double vd = 0.0; vd <= 1.0; vd += 0.1) {
+        const double id = t.drain_current(vd, 0.6, 0.0);
+        EXPECT_GE(id, previous);
+        previous = id;
+    }
+}
+
+TEST(Egt, ScalesWithAspectRatio) {
+    const Egt narrow(200.0, 70.0);
+    const Egt wide(800.0, 10.0);
+    const double i_narrow = narrow.drain_current(0.5, 0.6, 0.0);
+    const double i_wide = wide.drain_current(0.5, 0.6, 0.0);
+    EXPECT_NEAR(i_wide / i_narrow, (800.0 / 10.0) / (200.0 / 70.0), 1e-9);
+}
+
+TEST(Egt, AntisymmetricUnderTerminalExchange) {
+    const Egt t(400.0, 40.0);
+    // Swapping drain and source negates the current (channel symmetry).
+    const double forward = t.drain_current(0.8, 0.6, 0.2);
+    const double backward = t.drain_current(0.2, 0.6, 0.8);
+    EXPECT_NEAR(forward, -backward, 1e-15);
+}
+
+TEST(Egt, AnalyticDerivativesMatchFiniteDifferences) {
+    const Egt t(523.0, 31.0);
+    const double vd = 0.63, vg = 0.41, vs = 0.12, h = 1e-7;
+    const auto op = t.evaluate(vd, vg, vs);
+    EXPECT_NEAR(op.did_dvd,
+                (t.drain_current(vd + h, vg, vs) - t.drain_current(vd - h, vg, vs)) / (2 * h),
+                1e-6 * std::abs(op.did_dvd) + 1e-12);
+    EXPECT_NEAR(op.did_dvg,
+                (t.drain_current(vd, vg + h, vs) - t.drain_current(vd, vg - h, vs)) / (2 * h),
+                1e-6 * std::abs(op.did_dvg) + 1e-12);
+    EXPECT_NEAR(op.did_dvs,
+                (t.drain_current(vd, vg, vs + h) - t.drain_current(vd, vg, vs - h)) / (2 * h),
+                1e-6 * std::abs(op.did_dvs) + 1e-12);
+}
+
+TEST(Egt, RejectsNonPositiveGeometry) {
+    EXPECT_THROW(Egt(0.0, 40.0), std::invalid_argument);
+    EXPECT_THROW(Egt(400.0, -1.0), std::invalid_argument);
+}
+
+// ---- netlist -----------------------------------------------------------------
+
+TEST(Netlist, NodeManagement) {
+    Netlist net;
+    const auto a = net.node("a");
+    EXPECT_EQ(net.node("a"), a);  // idempotent
+    EXPECT_TRUE(net.has_node("a"));
+    EXPECT_FALSE(net.has_node("b"));
+    EXPECT_THROW(net.find_node("b"), std::invalid_argument);
+    EXPECT_EQ(net.node_count(), 2u);  // ground + a
+}
+
+TEST(Netlist, ComponentValidation) {
+    Netlist net;
+    const auto a = net.node("a");
+    EXPECT_THROW(net.add_resistor(a, a, 100.0), std::invalid_argument);
+    EXPECT_THROW(net.add_resistor(a, Netlist::kGround, -5.0), std::invalid_argument);
+    EXPECT_THROW(net.add_resistor(a, 99, 5.0), std::invalid_argument);
+    EXPECT_THROW(net.add_voltage_source(Netlist::kGround, 1.0), std::invalid_argument);
+}
+
+TEST(Netlist, SourceReplacement) {
+    Netlist net;
+    const auto a = net.node("a");
+    net.add_voltage_source(a, 1.0);
+    net.set_source_voltage(a, 0.5);
+    EXPECT_EQ(net.sources().size(), 1u);
+    EXPECT_DOUBLE_EQ(*net.source_voltage(a), 0.5);
+}
+
+TEST(Netlist, SpiceExportMentionsComponents) {
+    const auto net = circuit::build_nonlinear_circuit(
+        circuit::default_omega(NonlinearCircuitKind::kPtanh), NonlinearCircuitKind::kPtanh);
+    const std::string spice = net.to_spice();
+    EXPECT_NE(spice.find("R1 "), std::string::npos);
+    EXPECT_NE(spice.find("XT1"), std::string::npos);
+    EXPECT_NE(spice.find(".end"), std::string::npos);
+}
+
+// ---- DC solver ------------------------------------------------------------------
+
+TEST(DcSolver, VoltageDividerExact) {
+    Netlist net;
+    const auto vin = net.node("in");
+    const auto mid = net.node("mid");
+    net.add_voltage_source(vin, 1.0);
+    net.add_resistor(vin, mid, 1000.0);
+    net.add_resistor(mid, Netlist::kGround, 3000.0);
+    const auto sol = circuit::DcSolver().solve(net);
+    EXPECT_TRUE(sol.converged);
+    EXPECT_NEAR(sol.voltages[mid], 0.75, 1e-9);
+}
+
+TEST(DcSolver, WheatstoneBridge) {
+    Netlist net;
+    const auto top = net.node("top");
+    const auto left = net.node("left");
+    const auto right = net.node("right");
+    net.add_voltage_source(top, 1.0);
+    net.add_resistor(top, left, 100.0);
+    net.add_resistor(top, right, 200.0);
+    net.add_resistor(left, Netlist::kGround, 200.0);
+    net.add_resistor(right, Netlist::kGround, 100.0);
+    net.add_resistor(left, right, 50.0);  // bridge
+    const auto sol = circuit::DcSolver().solve(net);
+    // Nodal analysis by hand: G matrix [[1/100+1/200+1/50, -1/50],[-1/50, 1/200+1/100+1/50]]
+    // I = [1/100, 1/200].
+    const double g11 = 1.0 / 100 + 1.0 / 200 + 1.0 / 50;
+    const double g22 = 1.0 / 200 + 1.0 / 100 + 1.0 / 50;
+    const double g12 = -1.0 / 50;
+    const double det = g11 * g22 - g12 * g12;
+    const double v_left = (g22 * (1.0 / 100) - g12 * (1.0 / 200)) / det;
+    const double v_right = (g11 * (1.0 / 200) - g12 * (1.0 / 100)) / det;
+    EXPECT_NEAR(sol.voltages[left], v_left, 1e-9);
+    EXPECT_NEAR(sol.voltages[right], v_right, 1e-9);
+}
+
+TEST(DcSolver, InverterTransfersHighToLow) {
+    // A single resistor-loaded EGT inverter: output near VDD for gate low,
+    // near ground for gate high.
+    Netlist net;
+    const auto vdd = net.node("vdd");
+    const auto gate = net.node("g");
+    const auto drain = net.node("d");
+    net.add_voltage_source(vdd, 1.0);
+    net.add_voltage_source(gate, 0.0);
+    net.add_resistor(vdd, drain, 100e3);
+    net.add_transistor(drain, gate, Netlist::kGround, Egt(600.0, 20.0));
+    circuit::DcSolver solver;
+    auto sol = solver.solve(net);
+    EXPECT_GT(sol.voltages[drain], 0.95);
+    net.set_source_voltage(gate, 1.0);
+    sol = solver.solve(net);
+    EXPECT_LT(sol.voltages[drain], 0.1);
+}
+
+TEST(DcSolver, KclResidualIsSmall) {
+    const auto net = circuit::build_nonlinear_circuit(
+        circuit::default_omega(NonlinearCircuitKind::kPtanh), NonlinearCircuitKind::kPtanh);
+    auto copy = net;
+    copy.set_source_voltage(copy.find_node("in"), 0.5);
+    const auto sol = circuit::DcSolver().solve(copy);
+    EXPECT_TRUE(sol.converged);
+    EXPECT_LT(sol.residual, 1e-10);
+}
+
+TEST(DcSolver, SweepWarmStartMatchesColdSolves) {
+    auto net = circuit::build_nonlinear_circuit(
+        circuit::default_omega(NonlinearCircuitKind::kNegativeWeight),
+        NonlinearCircuitKind::kNegativeWeight);
+    const auto in = net.find_node("in");
+    const auto out = net.find_node("out");
+    circuit::DcSolver solver;
+    const std::vector<double> values = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const auto swept = solver.sweep(net, in, out, values);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        net.set_source_voltage(in, values[i]);
+        const auto cold = solver.solve(net);
+        // Newton stops on a KCL-current tolerance; at high-impedance
+        // nodes that maps to micro-volt-level voltage agreement.
+        EXPECT_NEAR(swept[i], cold.voltages[out], 1e-5);
+    }
+}
+
+TEST(DcSolver, RejectsBadInitialGuessSize) {
+    Netlist net;
+    const auto a = net.node("a");
+    net.add_voltage_source(a, 1.0);
+    net.add_resistor(a, Netlist::kGround, 100.0);
+    EXPECT_THROW(circuit::DcSolver().solve(net, {1.0}), std::invalid_argument);
+}
+
+// ---- nonlinear circuits -----------------------------------------------------------
+
+TEST(NonlinearCircuit, PtanhIsIncreasingWithHealthySwing) {
+    const auto curve = circuit::simulate_characteristic(
+        circuit::default_omega(NonlinearCircuitKind::kPtanh), NonlinearCircuitKind::kPtanh, 33);
+    EXPECT_TRUE(curve.is_monotone(true));
+    EXPECT_GT(curve.swing(), 0.5);
+    for (double v : curve.vout) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(NonlinearCircuit, NegativeWeightIsDecreasing) {
+    const auto curve = circuit::simulate_characteristic(
+        circuit::default_omega(NonlinearCircuitKind::kNegativeWeight),
+        NonlinearCircuitKind::kNegativeWeight, 33);
+    EXPECT_TRUE(curve.is_monotone(false));
+    EXPECT_GT(curve.swing(), 0.3);
+}
+
+TEST(NonlinearCircuit, MonotoneAcrossDesignSpace) {
+    // Property sweep: every feasible design yields a monotone transfer in
+    // the right direction (the basis of the tanh-parameterization).
+    const auto space = surrogate::DesignSpace::table1();
+    math::SobolSequence sobol(7);
+    sobol.skip(1);
+    for (const auto& omega : space.sample_batch(sobol, 60)) {
+        const auto up = circuit::simulate_characteristic(
+            omega, NonlinearCircuitKind::kPtanh, 17);
+        EXPECT_TRUE(up.is_monotone(true));
+        const auto down = circuit::simulate_characteristic(
+            omega, NonlinearCircuitKind::kNegativeWeight, 17);
+        EXPECT_TRUE(down.is_monotone(false));
+    }
+}
+
+TEST(NonlinearCircuit, RatiosMatter) {
+    // Same divider ratios, different absolute values: gate leakage makes the
+    // curves differ (the Table I discussion's "surrounding circuit elements").
+    circuit::Omega a = circuit::default_omega(NonlinearCircuitKind::kPtanh);
+    circuit::Omega b = a;
+    b.r3 *= 1.8;
+    b.r4 *= 1.8;  // k2 unchanged
+    const auto curve_a =
+        circuit::simulate_characteristic(a, NonlinearCircuitKind::kPtanh, 17);
+    const auto curve_b =
+        circuit::simulate_characteristic(b, NonlinearCircuitKind::kPtanh, 17);
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < curve_a.vout.size(); ++i)
+        max_diff = std::max(max_diff, std::abs(curve_a.vout[i] - curve_b.vout[i]));
+    EXPECT_GT(max_diff, 0.005);
+}
+
+TEST(NonlinearCircuit, InputValidation) {
+    circuit::Omega bad = circuit::default_omega(NonlinearCircuitKind::kPtanh);
+    bad.r5 = 0.0;
+    EXPECT_THROW(circuit::build_nonlinear_circuit(bad, NonlinearCircuitKind::kPtanh),
+                 std::invalid_argument);
+    EXPECT_THROW(circuit::simulate_characteristic(
+                     circuit::default_omega(NonlinearCircuitKind::kPtanh),
+                     NonlinearCircuitKind::kPtanh, 1),
+                 std::invalid_argument);
+}
+
+TEST(NonlinearCircuit, OmegaHelpers) {
+    const circuit::Omega omega{100.0, 50.0, 200e3, 100e3, 300e3, 400.0, 40.0};
+    EXPECT_DOUBLE_EQ(omega.k1(), 0.5);
+    EXPECT_DOUBLE_EQ(omega.k2(), 0.5);
+    EXPECT_DOUBLE_EQ(omega.k3(), 10.0);
+    const auto round_trip = circuit::Omega::from_array(omega.to_array());
+    EXPECT_DOUBLE_EQ(round_trip.r5, 300e3);
+}
+
+// ---- crossbar ------------------------------------------------------------------------
+
+TEST(Crossbar, ClosedFormMatchesHandComputation) {
+    circuit::CrossbarColumn column;
+    column.input_conductances = {1e-6, 3e-6};
+    column.bias_conductance = 2e-6;
+    column.drain_conductance = 4e-6;
+    const double vz = column.output({1.0, 0.5});
+    // (1*1 + 3*0.5 + 2*1) / (1+3+2+4) = 4.5/10
+    EXPECT_NEAR(vz, 0.45, 1e-12);
+}
+
+TEST(Crossbar, MatchesAnalogNetlistSolve) {
+    // Eq. 1 against the MNA solver on the physically realized column.
+    circuit::CrossbarColumn column;
+    column.input_conductances = {2e-6, 0.0, 5e-6, 1e-6};  // one not printed
+    column.bias_conductance = 3e-6;
+    column.drain_conductance = 2e-6;
+    const std::vector<double> inputs = {0.9, 0.4, 0.1, 0.7};
+    auto net = circuit::build_crossbar_netlist(column);
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        net.set_source_voltage(net.find_node("in" + std::to_string(i)), inputs[i]);
+    const auto sol = circuit::DcSolver().solve(net);
+    EXPECT_NEAR(sol.voltages[net.find_node("z")], column.output(inputs), 1e-7);
+}
+
+TEST(Crossbar, OutputIsConvexCombination) {
+    circuit::CrossbarColumn column;
+    column.input_conductances = {1e-6, 2e-6, 3e-6};
+    column.bias_conductance = 1e-6;
+    column.drain_conductance = 0.0;
+    const double vz = column.output({0.2, 0.8, 0.5});
+    EXPECT_GT(vz, 0.2);
+    EXPECT_LT(vz, 1.0);
+    // The drain conductance only pulls the output down.
+    column.drain_conductance = 5e-6;
+    EXPECT_LT(column.output({0.2, 0.8, 0.5}), vz);
+}
+
+TEST(Crossbar, Validation) {
+    circuit::CrossbarColumn column;
+    column.input_conductances = {1e-6};
+    EXPECT_THROW(column.output({0.5, 0.5}), std::invalid_argument);
+    circuit::CrossbarColumn floating;
+    floating.input_conductances = {0.0};
+    EXPECT_THROW(floating.output({0.5}), std::invalid_argument);
+    circuit::CrossbarColumn negative;
+    negative.input_conductances = {-1e-6};
+    negative.bias_conductance = 1e-6;
+    EXPECT_THROW(negative.output({0.5}), std::invalid_argument);
+}
+
+TEST(Crossbar, MultiColumn) {
+    circuit::Crossbar xbar;
+    for (int j = 0; j < 3; ++j) {
+        circuit::CrossbarColumn column;
+        column.input_conductances = {1e-6 * (j + 1), 2e-6};
+        column.bias_conductance = 1e-6;
+        column.drain_conductance = 1e-6;
+        xbar.columns.push_back(column);
+    }
+    const auto out = xbar.outputs({0.5, 0.25});
+    EXPECT_EQ(out.size(), 3u);
+    for (double v : out) {
+        EXPECT_GT(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+// ---- variation model --------------------------------------------------------------------
+
+TEST(Variation, FactorsWithinBand) {
+    const circuit::VariationModel model(0.1);
+    math::Rng rng(3);
+    const auto factors = model.sample_factors(rng, 50, 50);
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+        ASSERT_GE(factors[i], 0.9);
+        ASSERT_LT(factors[i], 1.1);
+    }
+    // Mean stays close to 1.
+    EXPECT_NEAR(factors.sum() / static_cast<double>(factors.size()), 1.0, 0.01);
+}
+
+TEST(Variation, NominalIsExactlyOne) {
+    const circuit::VariationModel model(0.0);
+    math::Rng rng(4);
+    EXPECT_TRUE(model.is_nominal());
+    EXPECT_DOUBLE_EQ(model.sample_factor(rng), 1.0);
+    const auto factors = model.sample_factors(rng, 3, 3);
+    for (std::size_t i = 0; i < factors.size(); ++i) EXPECT_DOUBLE_EQ(factors[i], 1.0);
+}
+
+TEST(Variation, PerturbsOmegaComponentwise) {
+    const circuit::VariationModel model(0.05);
+    math::Rng rng(5);
+    const auto base = circuit::default_omega(NonlinearCircuitKind::kPtanh);
+    const auto perturbed = model.perturb(base, rng);
+    const auto a = base.to_array();
+    const auto b = perturbed.to_array();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_GE(b[i], a[i] * 0.95);
+        EXPECT_LE(b[i], a[i] * 1.05);
+        EXPECT_NE(b[i], a[i]);
+    }
+}
+
+TEST(Variation, RejectsBadEpsilon) {
+    EXPECT_THROW(circuit::VariationModel(-0.1), std::invalid_argument);
+    EXPECT_THROW(circuit::VariationModel(1.0), std::invalid_argument);
+}

@@ -1,0 +1,164 @@
+// CSV ingestion and minibatch-training tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csv_loader.hpp"
+#include "data/registry.hpp"
+#include "pnn/training.hpp"
+
+using namespace pnc;
+using data::CsvOptions;
+
+// ---- CSV loader ----------------------------------------------------------
+
+TEST(CsvLoader, ParsesNumericRowsAndStringLabels) {
+    std::stringstream csv(
+        "5.1,3.5,setosa\n"
+        "4.9,3.0,setosa\n"
+        "6.3,2.9,virginica\n"
+        "5.8,2.7,virginica\n");
+    const auto ds = data::load_csv(csv, "mini_iris");
+    EXPECT_EQ(ds.size(), 4u);
+    EXPECT_EQ(ds.n_features(), 2u);
+    EXPECT_EQ(ds.n_classes, 2);
+    // First-appearance class ordering.
+    EXPECT_EQ(ds.labels, (std::vector<int>{0, 0, 1, 1}));
+    EXPECT_DOUBLE_EQ(ds.features(2, 0), 6.3);
+}
+
+TEST(CsvLoader, HeaderAndCustomDelimiter) {
+    std::stringstream csv(
+        "a;b;label\n"
+        "1;2;x\n"
+        "3;4;y\n");
+    CsvOptions options;
+    options.delimiter = ';';
+    options.has_header = true;
+    const auto ds = data::load_csv(csv, "semi", options);
+    EXPECT_EQ(ds.size(), 2u);
+    EXPECT_DOUBLE_EQ(ds.features(1, 1), 4.0);
+}
+
+TEST(CsvLoader, LabelColumnSelection) {
+    std::stringstream csv(
+        "x,1.0,2.0\n"
+        "y,3.0,4.0\n"
+        "x,3.5,4.5\n"
+        "y,3.6,4.6\n");
+    CsvOptions options;
+    options.label_column = 0;
+    const auto ds = data::load_csv(csv, "labelfirst", options);
+    EXPECT_EQ(ds.n_features(), 2u);
+    EXPECT_EQ(ds.labels, (std::vector<int>{0, 1, 0, 1}));
+    EXPECT_DOUBLE_EQ(ds.features(0, 0), 1.0);
+}
+
+TEST(CsvLoader, MissingValueHandling) {
+    const std::string text =
+        "1.0,2.0,a\n"
+        "?,4.0,b\n"
+        "5.0,6.0,a\n"
+        "7.0,8.0,b\n";
+    {
+        std::stringstream csv(text);
+        const auto ds = data::load_csv(csv, "skipper");  // default: drop the row
+        EXPECT_EQ(ds.size(), 3u);
+    }
+    {
+        std::stringstream csv(text);
+        CsvOptions options;
+        options.skip_missing_rows = false;
+        EXPECT_THROW(data::load_csv(csv, "strict", options), std::runtime_error);
+    }
+}
+
+TEST(CsvLoader, RejectsMalformedInput) {
+    std::stringstream ragged("1,2,a\n1,b\n");
+    EXPECT_THROW(data::load_csv(ragged, "ragged"), std::runtime_error);
+    std::stringstream textual("hello,world,a\n");
+    EXPECT_THROW(data::load_csv(textual, "textual"), std::runtime_error);
+    std::stringstream empty("");
+    EXPECT_THROW(data::load_csv(empty, "empty"), std::runtime_error);
+    EXPECT_THROW(data::load_csv_file("/no/such/file.csv", "nofile"), std::runtime_error);
+}
+
+TEST(CsvLoader, RoundTripsIntoSplitPipeline) {
+    // A CSV-loaded dataset flows through the standard split/normalize path.
+    std::stringstream csv;
+    math::Rng rng(3);
+    for (int i = 0; i < 60; ++i) {
+        const int label = i % 2;
+        csv << rng.normal(label ? 2.0 : -2.0, 0.5) << "," << rng.normal(0.0, 1.0) << ","
+            << (label ? "pos" : "neg") << "\n";
+    }
+    const auto ds = data::load_csv(csv, "csv_blobs");
+    const auto split = data::split_and_normalize(ds, 5);
+    EXPECT_EQ(split.x_train.rows() + split.x_val.rows() + split.x_test.rows(), 60u);
+    EXPECT_EQ(split.n_classes, 2);
+}
+
+// ---- minibatch training ----------------------------------------------------
+
+namespace {
+
+const surrogate::SurrogateModel& mb_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+}  // namespace
+
+TEST(Minibatch, TrainsToComparableAccuracy) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 55);
+    const auto train_with_batch = [&](std::size_t batch) {
+        math::Rng rng(81);
+        pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                     &mb_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                     &mb_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                     surrogate::DesignSpace::table1(), rng);
+        pnn::TrainOptions options;
+        options.max_epochs = 150;
+        options.patience = 150;
+        options.batch_size = batch;
+        pnn::train_pnn(net, split, options);
+        return ad::accuracy(net.predict(split.x_test), split.y_test);
+    };
+    const double full_batch = train_with_batch(0);
+    const double mini_batch = train_with_batch(16);
+    EXPECT_GT(full_batch, 0.8);
+    EXPECT_GT(mini_batch, 0.8);
+}
+
+TEST(Minibatch, OversizedBatchEqualsFullBatch) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 56);
+    const auto run = [&](std::size_t batch) {
+        math::Rng rng(82);
+        pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                     &mb_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                     &mb_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                     surrogate::DesignSpace::table1(), rng);
+        pnn::TrainOptions options;
+        options.max_epochs = 30;
+        options.patience = 30;
+        options.batch_size = batch;
+        pnn::train_pnn(net, split, options);
+        return net.predict(split.x_test);
+    };
+    // batch >= n_train falls back to the (deterministic) full-batch path.
+    const auto a = run(0);
+    const auto b = run(1000000);
+    EXPECT_DOUBLE_EQ(math::max_abs_diff(a, b), 0.0);
+}

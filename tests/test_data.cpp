@@ -1,0 +1,231 @@
+// Dataset generator and registry tests, including exactness properties of
+// the closed-form datasets and split/normalization behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/generators.hpp"
+#include "data/registry.hpp"
+
+using namespace pnc;
+using data::Dataset;
+
+// ---- parameterized spec conformance ------------------------------------
+
+class DatasetSpecTest : public ::testing::TestWithParam<data::DatasetSpec> {};
+
+TEST_P(DatasetSpecTest, MatchesSpec) {
+    const auto& spec = GetParam();
+    const Dataset ds = data::make_dataset(spec.name);
+    EXPECT_EQ(ds.size(), spec.samples);
+    EXPECT_EQ(ds.n_features(), spec.features);
+    EXPECT_EQ(ds.n_classes, spec.classes);
+    EXPECT_NO_THROW(ds.validate());
+}
+
+TEST_P(DatasetSpecTest, Deterministic) {
+    const auto& spec = GetParam();
+    const Dataset a = data::make_dataset(spec.name);
+    const Dataset b = data::make_dataset(spec.name);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_DOUBLE_EQ(math::max_abs_diff(a.features, b.features), 0.0);
+}
+
+TEST_P(DatasetSpecTest, EveryClassHasReasonableSupport) {
+    const auto& spec = GetParam();
+    const Dataset ds = data::make_dataset(spec.name);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(ds.n_classes), 0);
+    for (int y : ds.labels) ++counts[static_cast<std::size_t>(y)];
+    for (std::size_t c = 0; c < counts.size(); ++c)
+        EXPECT_GE(counts[c], ds.size() / 50) << "class " << c << " nearly empty";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DatasetSpecTest,
+                         ::testing::ValuesIn(data::benchmark_specs()),
+                         [](const auto& info) { return info.param.name; });
+
+// ---- exact datasets ------------------------------------------------------
+
+TEST(BalanceScale, ExactLabelRule) {
+    const Dataset ds = data::make_balance_scale();
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        const double torque = ds.features(i, 0) * ds.features(i, 1) -
+                              ds.features(i, 2) * ds.features(i, 3);
+        const int expected = torque > 0 ? 0 : (torque == 0 ? 1 : 2);
+        ASSERT_EQ(ds.labels[i], expected) << "row " << i;
+    }
+}
+
+TEST(BalanceScale, ExactClassCounts) {
+    const Dataset ds = data::make_balance_scale();
+    std::vector<int> counts(3, 0);
+    for (int y : ds.labels) ++counts[static_cast<std::size_t>(y)];
+    EXPECT_EQ(counts[0], 288);  // left heavier (UCI: L)
+    EXPECT_EQ(counts[1], 49);   // balanced (UCI: B)
+    EXPECT_EQ(counts[2], 288);  // right heavier (UCI: R)
+}
+
+TEST(TicTacToe, ExactUciCounts) {
+    const Dataset ds = data::make_tictactoe_endgame();
+    EXPECT_EQ(ds.size(), 958u);  // the UCI dataset size
+    int positive = 0;
+    for (int y : ds.labels) positive += y == 1;
+    EXPECT_EQ(positive, 626);  // "x wins" boards in the UCI dataset
+}
+
+TEST(TicTacToe, AllBoardsAreUniqueAndLegal) {
+    const Dataset ds = data::make_tictactoe_endgame();
+    std::set<std::vector<double>> seen;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        std::vector<double> row(9);
+        int x_count = 0, o_count = 0;
+        for (std::size_t c = 0; c < 9; ++c) {
+            row[c] = ds.features(i, c);
+            x_count += row[c] == 1.0;
+            o_count += row[c] == 0.0;
+        }
+        EXPECT_TRUE(seen.insert(row).second) << "duplicate board at row " << i;
+        // x moves first: x count equals o count or one more.
+        EXPECT_TRUE(x_count == o_count || x_count == o_count + 1);
+    }
+}
+
+TEST(AcuteInflammation, LabelFollowsDiagnosisRule) {
+    const Dataset ds = data::make_acute_inflammation(101);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        const bool urine_pushing = ds.features(i, 3) > 0.5;
+        const bool micturition = ds.features(i, 4) > 0.5;
+        const bool burning = ds.features(i, 5) > 0.5;
+        const int expected = (urine_pushing && (micturition || burning)) ? 1 : 0;
+        ASSERT_EQ(ds.labels[i], expected);
+    }
+}
+
+// ---- synthetic dataset sanity ----------------------------------------------
+
+TEST(BreastCancer, ScoresAreIntegerGradesInRange) {
+    const Dataset ds = data::make_breast_cancer(103);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        for (std::size_t c = 0; c < ds.n_features(); ++c) {
+            const double v = ds.features(i, c);
+            ASSERT_GE(v, 1.0);
+            ASSERT_LE(v, 10.0);
+            ASSERT_DOUBLE_EQ(v, std::round(v));
+        }
+    }
+}
+
+TEST(BreastCancer, ClassesAreLinearlySeparableish) {
+    // Mean malignant score must clearly exceed mean benign score.
+    const Dataset ds = data::make_breast_cancer(103);
+    double benign = 0.0, malignant = 0.0;
+    std::size_t nb = 0, nm = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        double row_mean = 0.0;
+        for (std::size_t c = 0; c < ds.n_features(); ++c) row_mean += ds.features(i, c);
+        row_mean /= static_cast<double>(ds.n_features());
+        if (ds.labels[i] == 1) {
+            malignant += row_mean;
+            ++nm;
+        } else {
+            benign += row_mean;
+            ++nb;
+        }
+    }
+    EXPECT_GT(malignant / static_cast<double>(nm), benign / static_cast<double>(nb) + 2.0);
+}
+
+TEST(Pendigits, CoordinatesInTabletRange) {
+    const Dataset ds = data::make_pendigits(109);
+    for (std::size_t i = 0; i < ds.size(); i += 97) {  // stride: dataset is large
+        for (std::size_t c = 0; c < 16; ++c) {
+            ASSERT_GE(ds.features(i, c), 0.0);
+            ASSERT_LE(ds.features(i, c), 100.0);
+        }
+    }
+}
+
+TEST(EnergyDatasets, ShareFeaturesButDifferInLabels) {
+    const Dataset y1 = data::make_energy_y1(105);
+    const Dataset y2 = data::make_energy_y2(106);
+    ASSERT_EQ(y1.size(), y2.size());
+    // Heating and cooling loads are correlated but not identical: some rows
+    // must differ in class.
+    int differing = 0;
+    for (std::size_t i = 0; i < y1.size(); ++i) differing += y1.labels[i] != y2.labels[i];
+    EXPECT_GT(differing, 20);
+}
+
+TEST(Registry, UnknownNameThrows) {
+    EXPECT_THROW(data::make_dataset("no_such_dataset"), std::invalid_argument);
+}
+
+TEST(Registry, MakeAllProducesThirteen) {
+    const auto all = data::make_all_datasets();
+    EXPECT_EQ(all.size(), 13u);
+}
+
+// ---- split / normalization -----------------------------------------------------
+
+TEST(Split, FractionsRespected) {
+    const Dataset ds = data::make_dataset("iris");
+    const auto split = data::split_and_normalize(ds, 1);
+    EXPECT_EQ(split.x_train.rows(), 90u);
+    EXPECT_EQ(split.x_val.rows(), 30u);
+    EXPECT_EQ(split.x_test.rows(), 30u);
+    EXPECT_EQ(split.y_train.size(), 90u);
+    EXPECT_EQ(split.n_classes, 3);
+}
+
+TEST(Split, FeaturesAreVoltages) {
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 2);
+    const auto check = [](const math::Matrix& x) {
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            ASSERT_GE(x[i], 0.0);
+            ASSERT_LE(x[i], 1.0);
+        }
+    };
+    check(split.x_train);
+    check(split.x_val);
+    check(split.x_test);
+    // The training split spans the full range per feature (min-max fit).
+    for (std::size_t c = 0; c < split.n_features(); ++c) {
+        double lo = 1.0, hi = 0.0;
+        for (std::size_t r = 0; r < split.x_train.rows(); ++r) {
+            lo = std::min(lo, split.x_train(r, c));
+            hi = std::max(hi, split.x_train(r, c));
+        }
+        EXPECT_DOUBLE_EQ(lo, 0.0);
+        EXPECT_DOUBLE_EQ(hi, 1.0);
+    }
+}
+
+TEST(Split, SeedChangesPartitionButNotSizes) {
+    const Dataset ds = data::make_dataset("iris");
+    const auto a = data::split_and_normalize(ds, 1);
+    const auto b = data::split_and_normalize(ds, 2);
+    EXPECT_EQ(a.x_train.rows(), b.x_train.rows());
+    EXPECT_NE(a.y_train, b.y_train);
+    const auto a2 = data::split_and_normalize(ds, 1);
+    EXPECT_EQ(a.y_train, a2.y_train);  // deterministic per seed
+}
+
+TEST(Split, BadFractionsThrow) {
+    const Dataset ds = data::make_dataset("iris");
+    EXPECT_THROW(data::split_and_normalize(ds, 1, {0.9, 0.2}), std::invalid_argument);
+    EXPECT_THROW(data::split_and_normalize(ds, 1, {0.0, 0.2}), std::invalid_argument);
+}
+
+TEST(DatasetValidate, CatchesCorruption) {
+    Dataset ds = data::make_dataset("iris");
+    ds.labels[0] = 7;
+    EXPECT_THROW(ds.validate(), std::logic_error);
+    ds = data::make_dataset("iris");
+    ds.labels.pop_back();
+    EXPECT_THROW(ds.validate(), std::logic_error);
+    ds = data::make_dataset("iris");
+    ds.n_classes = 4;  // class 3 has no samples
+    EXPECT_THROW(ds.validate(), std::logic_error);
+}

@@ -1,0 +1,173 @@
+// Experiment-harness tests: environment configuration, result aggregation
+// and serialization, and a miniature end-to-end Table II cell run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "exp/artifacts.hpp"
+#include "exp/experiment.hpp"
+
+using namespace pnc;
+
+namespace {
+
+struct EnvGuard {
+    explicit EnvGuard(std::vector<const char*> names) : names_(std::move(names)) {}
+    ~EnvGuard() {
+        for (const char* name : names_) unsetenv(name);
+    }
+    std::vector<const char*> names_;
+};
+
+const surrogate::SurrogateModel& mini_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 500;
+        train.mlp.patience = 120;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+}  // namespace
+
+TEST(ExperimentConfig, DefaultsAreReduced) {
+    EnvGuard guard({"PNC_FULL", "PNC_SEEDS", "PNC_EPOCHS", "PNC_DATASETS"});
+    const auto config = exp::ExperimentConfig::from_env();
+    EXPECT_EQ(config.seeds.size(), 3u);
+    EXPECT_LT(config.patience, 5000);
+    EXPECT_TRUE(config.datasets.empty());  // = all 13
+}
+
+TEST(ExperimentConfig, FullProtocolMatchesPaper) {
+    EnvGuard guard({"PNC_FULL"});
+    setenv("PNC_FULL", "1", 1);
+    const auto config = exp::ExperimentConfig::from_env();
+    EXPECT_EQ(config.seeds.size(), 10u);   // seeds 1..10
+    EXPECT_EQ(config.patience, 5000);      // early-stop patience
+    EXPECT_EQ(config.n_mc_train, 20);      // N_train
+    EXPECT_EQ(config.n_mc_test, 100);      // N_test
+    EXPECT_EQ(config.max_train_samples, 0u);
+}
+
+TEST(ExperimentConfig, EnvOverrides) {
+    EnvGuard guard({"PNC_SEEDS", "PNC_EPOCHS", "PNC_DATASETS"});
+    setenv("PNC_SEEDS", "5", 1);
+    setenv("PNC_EPOCHS", "123", 1);
+    setenv("PNC_DATASETS", "iris,seeds", 1);
+    const auto config = exp::ExperimentConfig::from_env();
+    EXPECT_EQ(config.seeds.size(), 5u);
+    EXPECT_EQ(config.max_epochs, 123);
+    ASSERT_EQ(config.datasets.size(), 2u);
+    EXPECT_EQ(config.datasets[0], "iris");
+    EXPECT_EQ(config.datasets[1], "seeds");
+}
+
+TEST(EnvHelpers, ParseAndFallback) {
+    EnvGuard guard({"PNC_TEST_INT", "PNC_TEST_DOUBLE", "PNC_TEST_STR"});
+    EXPECT_EQ(exp::env_int("PNC_TEST_INT", 7), 7);
+    setenv("PNC_TEST_INT", "42", 1);
+    EXPECT_EQ(exp::env_int("PNC_TEST_INT", 7), 42);
+    setenv("PNC_TEST_DOUBLE", "2.5", 1);
+    EXPECT_DOUBLE_EQ(exp::env_double("PNC_TEST_DOUBLE", 0.0), 2.5);
+    EXPECT_EQ(exp::env_string("PNC_TEST_STR", "dflt"), "dflt");
+}
+
+TEST(TableResults, SaveLoadRoundTrip) {
+    exp::TableResults table;
+    exp::DatasetResults ds;
+    ds.display_name = "Iris Flower Set";
+    for (int l = 0; l < 2; ++l)
+        for (int v = 0; v < 2; ++v)
+            for (int e = 0; e < 2; ++e) ds.cells[l][v][e] = {0.5 + 0.01 * (l + v + e), 0.02};
+    table.datasets.push_back(ds);
+    for (int l = 0; l < 2; ++l)
+        for (int v = 0; v < 2; ++v)
+            for (int e = 0; e < 2; ++e) table.average[l][v][e] = {0.7, 0.01};
+
+    std::stringstream ss;
+    table.save(ss);
+    const auto loaded = exp::TableResults::load(ss);
+    ASSERT_EQ(loaded.datasets.size(), 1u);
+    EXPECT_EQ(loaded.datasets[0].display_name, "Iris Flower Set");
+    EXPECT_DOUBLE_EQ(loaded.datasets[0].cells[1][1][1].mean, 0.53);
+    EXPECT_DOUBLE_EQ(loaded.average[0][0][0].mean, 0.7);
+}
+
+TEST(TableResults, MultiDatasetRoundTrip) {
+    // Regression: names are full lines and cell rows end with a trailing
+    // space, so the loader must skip to end-of-line between records.
+    exp::TableResults table;
+    for (const char* name : {"Acute Inflammation", "Balance Scale", "Iris"}) {
+        exp::DatasetResults ds;
+        ds.display_name = name;
+        ds.cells[1][0][1] = {0.42, 0.05};
+        table.datasets.push_back(ds);
+    }
+    std::stringstream ss;
+    table.save(ss);
+    const auto loaded = exp::TableResults::load(ss);
+    ASSERT_EQ(loaded.datasets.size(), 3u);
+    EXPECT_EQ(loaded.datasets[1].display_name, "Balance Scale");
+    EXPECT_DOUBLE_EQ(loaded.datasets[2].cells[1][0][1].mean, 0.42);
+}
+
+TEST(ExperimentRunner, MiniIrisGridHasSaneCells) {
+    exp::ExperimentConfig config;
+    config.datasets = {"iris"};
+    config.seeds = {1};
+    config.max_epochs = 150;
+    config.patience = 60;
+    config.n_mc_train = 3;
+    config.n_mc_val = 2;
+    config.n_mc_test = 20;
+    exp::ExperimentRunner runner(&mini_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                                 &mini_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                                 config);
+    const auto results = runner.run_all();
+    ASSERT_EQ(results.datasets.size(), 1u);
+    EXPECT_EQ(results.datasets[0].display_name, "Iris");
+    for (int l = 0; l < 2; ++l)
+        for (int v = 0; v < 2; ++v)
+            for (int e = 0; e < 2; ++e) {
+                const auto& cell = results.datasets[0].cells[l][v][e];
+                EXPECT_GT(cell.mean, 0.3) << l << v << e;  // far above random (1/3)
+                EXPECT_LE(cell.mean, 1.0);
+                EXPECT_GE(cell.stddev, 0.0);
+                // Averages over one dataset equal the dataset cells.
+                EXPECT_DOUBLE_EQ(results.average[l][v][e].mean, cell.mean);
+            }
+}
+
+TEST(ExperimentRunner, PrintersProduceTables) {
+    exp::TableResults table;
+    exp::DatasetResults ds;
+    ds.display_name = "Iris";
+    table.datasets.push_back(ds);
+    exp::ExperimentConfig config;
+    std::ostringstream os2, os3;
+    exp::print_table2(os2, table, config);
+    exp::print_table3(os3, table);
+    EXPECT_NE(os2.str().find("TABLE II"), std::string::npos);
+    EXPECT_NE(os2.str().find("Iris"), std::string::npos);
+    EXPECT_NE(os2.str().find("Average"), std::string::npos);
+    EXPECT_NE(os3.str().find("TABLE III"), std::string::npos);
+}
+
+TEST(Artifacts, DirectoryIsCreated) {
+    EnvGuard guard({"PNC_ARTIFACTS"});
+    setenv("PNC_ARTIFACTS", "/tmp/pnc_test_artifacts", 1);
+    const auto dir = exp::artifact_dir();
+    EXPECT_EQ(dir, "/tmp/pnc_test_artifacts");
+    EXPECT_TRUE(std::filesystem::exists(dir));
+    std::filesystem::remove_all(dir);
+}

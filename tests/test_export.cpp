@@ -1,0 +1,118 @@
+// Netlist-export and analog hardware-in-the-loop tests: design extraction,
+// SPICE emission and the consistency between the pNN abstraction and the
+// analog re-simulation of the printed design.
+#include <gtest/gtest.h>
+
+#include "autodiff/ops.hpp"
+#include "data/registry.hpp"
+#include "pnn/netlist_export.hpp"
+#include "pnn/training.hpp"
+
+using namespace pnc;
+using math::Matrix;
+
+namespace {
+
+const surrogate::SurrogateModel& surrogate_for(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 500;
+        options.sweep_points = 25;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 1200;
+        train.mlp.patience = 250;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+pnn::Pnn trained_iris_net() {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 3);
+    math::Rng rng(9);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &surrogate_for(circuit::NonlinearCircuitKind::kPtanh),
+                 &surrogate_for(circuit::NonlinearCircuitKind::kNegativeWeight),
+                 surrogate::DesignSpace::table1(), rng);
+    pnn::TrainOptions options;
+    options.max_epochs = 400;
+    options.patience = 150;
+    pnn::train_pnn(net, split, options);
+    return net;
+}
+
+}  // namespace
+
+TEST(DesignExtraction, ShapesAndFeasibility) {
+    const auto net = trained_iris_net();
+    const auto design = pnn::extract_design(net);
+    ASSERT_EQ(design.layers.size(), 2u);
+    EXPECT_EQ(design.layer_sizes, (std::vector<std::size_t>{4, 3, 3}));
+    EXPECT_TRUE(design.layers[0].has_activation);
+    EXPECT_FALSE(design.layers[1].has_activation);  // readout layer
+    const auto space = surrogate::DesignSpace::table1();
+    for (const auto& layer : design.layers) {
+        EXPECT_TRUE(space.contains(layer.activation_omega));
+        EXPECT_TRUE(space.contains(layer.negation_omega));
+        // All printed conductances inside the printable set.
+        for (std::size_t i = 0; i < layer.input_conductances.size(); ++i) {
+            const double g = layer.input_conductances[i];
+            EXPECT_TRUE(g == 0.0 || (g >= 0.1 && g <= 100.0)) << g;
+        }
+    }
+    EXPECT_GT(design.component_count(), 20u);
+}
+
+TEST(DesignExtraction, InversionFlagsMatchThetaSigns) {
+    const auto net = trained_iris_net();
+    const auto design = pnn::extract_design(net);
+    const Matrix& theta = net.layer(0).theta_params()[0].value();
+    for (std::size_t i = 0; i < theta.rows(); ++i)
+        for (std::size_t j = 0; j < theta.cols(); ++j)
+            EXPECT_EQ(design.layers[0].inverted[i][j], theta(i, j) < 0.0);
+}
+
+TEST(SpiceExport, ContainsAllStructuralElements) {
+    const auto design = pnn::extract_design(trained_iris_net());
+    const std::string spice = pnn::export_spice(design);
+    EXPECT_NE(spice.find("VDD vdd 0 1"), std::string::npos);
+    EXPECT_NE(spice.find("* ---- layer 0"), std::string::npos);
+    EXPECT_NE(spice.find("* ---- layer 1"), std::string::npos);
+    EXPECT_NE(spice.find("RXB_L0_"), std::string::npos);
+    EXPECT_NE(spice.find("XACT_L0N0_"), std::string::npos);
+    EXPECT_NE(spice.find(".end"), std::string::npos);
+    // The readout layer carries no ptanh instance.
+    EXPECT_EQ(spice.find("XACT_L1"), std::string::npos);
+}
+
+TEST(AnalogChecker, ForwardProducesVoltages) {
+    const auto design = pnn::extract_design(trained_iris_net());
+    const pnn::AnalogChecker checker(design, 33);
+    const auto out = checker.forward({0.5, 0.5, 0.5, 0.5});
+    ASSERT_EQ(out.size(), 3u);
+    for (double v : out) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+    EXPECT_THROW(checker.forward({0.5}), std::invalid_argument);
+}
+
+TEST(AnalogChecker, AgreesWithAbstraction) {
+    // The analog re-simulation must reproduce most pNN decisions — this
+    // bounds the modelling error of the surrogate + ptanh fit end to end.
+    const auto net = trained_iris_net();
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 3);
+    const auto design = pnn::extract_design(net);
+    const pnn::AnalogChecker checker(design);
+    const auto reference = ad::argmax_rows(net.predict(split.x_test));
+    EXPECT_GT(checker.agreement(split.x_test, reference), 0.8);
+}
+
+TEST(AnalogChecker, AgreementValidatesInput) {
+    const auto design = pnn::extract_design(trained_iris_net());
+    const pnn::AnalogChecker checker(design, 17);
+    EXPECT_THROW(checker.agreement(Matrix(2, 4), {0}), std::invalid_argument);
+}

@@ -1,0 +1,180 @@
+// Levenberg-Marquardt and ptanh eta-extraction tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/nonlinear_circuit.hpp"
+#include "fit/ptanh_fit.hpp"
+#include "math/random.hpp"
+
+using namespace pnc;
+using fit::Eta;
+
+// ---- generic LM ------------------------------------------------------------
+
+TEST(LevenbergMarquardt, SolvesLinearLeastSquares) {
+    // Residuals r_i = a * x_i + b - y_i with exact solution a=2, b=-1.
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys = {-1.0, 1.0, 3.0, 5.0};
+    const auto fn = [&](const std::vector<double>& p, std::vector<double>& r,
+                        math::Matrix* jac) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            r[i] = p[0] * xs[i] + p[1] - ys[i];
+            if (jac) {
+                (*jac)(i, 0) = xs[i];
+                (*jac)(i, 1) = 1.0;
+            }
+        }
+    };
+    const auto result = fit::levenberg_marquardt(fn, {0.0, 0.0}, xs.size());
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.params[0], 2.0, 1e-8);
+    EXPECT_NEAR(result.params[1], -1.0, 1e-8);
+    EXPECT_NEAR(result.rmse, 0.0, 1e-8);
+}
+
+TEST(LevenbergMarquardt, SolvesNonlinearExponentialFit) {
+    // y = 3 exp(-1.7 x), recover (3, 1.7) from samples.
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(0.1 * i);
+        ys.push_back(3.0 * std::exp(-1.7 * 0.1 * i));
+    }
+    const auto fn = [&](const std::vector<double>& p, std::vector<double>& r,
+                        math::Matrix* jac) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double e = std::exp(-p[1] * xs[i]);
+            r[i] = p[0] * e - ys[i];
+            if (jac) {
+                (*jac)(i, 0) = e;
+                (*jac)(i, 1) = -p[0] * xs[i] * e;
+            }
+        }
+    };
+    const auto result = fit::levenberg_marquardt(fn, {1.0, 0.5}, xs.size());
+    EXPECT_NEAR(result.params[0], 3.0, 1e-6);
+    EXPECT_NEAR(result.params[1], 1.7, 1e-6);
+}
+
+TEST(LevenbergMarquardt, HandlesOverparameterizedFlatResidual) {
+    // Constant residuals independent of parameters: should stop gracefully.
+    const auto fn = [](const std::vector<double>&, std::vector<double>& r, math::Matrix* jac) {
+        r[0] = 1.0;
+        if (jac) (*jac)(0, 0) = 0.0;
+    };
+    const auto result = fit::levenberg_marquardt(fn, {5.0}, 1);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.params[0], 5.0, 1e-12);
+}
+
+TEST(LevenbergMarquardt, InputValidation) {
+    const auto fn = [](const std::vector<double>&, std::vector<double>&, math::Matrix*) {};
+    EXPECT_THROW(fit::levenberg_marquardt(fn, {}, 3), std::invalid_argument);
+    EXPECT_THROW(fit::levenberg_marquardt(fn, {1.0}, 0), std::invalid_argument);
+}
+
+// ---- ptanh evaluation ---------------------------------------------------------
+
+TEST(Ptanh, EvaluatesEq2AndEq3) {
+    const Eta eta{0.5, 0.4, 0.5, 10.0};
+    EXPECT_NEAR(fit::ptanh(eta, 0.5), 0.5, 1e-12);  // center
+    EXPECT_NEAR(fit::ptanh(eta, 10.0), 0.9, 1e-6);  // saturated high
+    EXPECT_NEAR(fit::ptanh(eta, -10.0), 0.1, 1e-6);
+    EXPECT_NEAR(fit::ptanh_negated(eta, 0.5), -0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(
+        fit::evaluate_characteristic(eta, 0.3, circuit::NonlinearCircuitKind::kPtanh),
+        fit::ptanh(eta, 0.3));
+    EXPECT_DOUBLE_EQ(
+        fit::evaluate_characteristic(eta, 0.3, circuit::NonlinearCircuitKind::kNegativeWeight),
+        fit::ptanh_negated(eta, 0.3));
+}
+
+// ---- ptanh fitting ---------------------------------------------------------------
+
+TEST(PtanhFit, RecoversSyntheticGroundTruth) {
+    const Eta truth{0.45, 0.38, 0.52, 9.0};
+    circuit::CharacteristicCurve curve;
+    for (int i = 0; i <= 32; ++i) {
+        const double v = i / 32.0;
+        curve.vin.push_back(v);
+        curve.vout.push_back(fit::ptanh(truth, v));
+    }
+    const auto result = fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kPtanh);
+    EXPECT_LT(result.rmse, 1e-4);
+    EXPECT_NEAR(result.eta.eta1, truth.eta1, 0.02);
+    EXPECT_NEAR(result.eta.eta2, truth.eta2, 0.02);
+    EXPECT_NEAR(result.eta.eta3, truth.eta3, 0.02);
+    EXPECT_NEAR(result.eta.eta4, truth.eta4, 0.5);
+}
+
+TEST(PtanhFit, RecoversNegatedGroundTruth) {
+    const Eta truth{-0.5, 0.3, 0.4, 12.0};
+    circuit::CharacteristicCurve curve;
+    for (int i = 0; i <= 32; ++i) {
+        const double v = i / 32.0;
+        curve.vin.push_back(v);
+        curve.vout.push_back(fit::ptanh_negated(truth, v));
+    }
+    const auto result = fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kNegativeWeight);
+    EXPECT_LT(result.rmse, 1e-3);
+    EXPECT_NEAR(result.eta.eta1, truth.eta1, 0.02);
+    EXPECT_NEAR(result.eta.eta2, truth.eta2, 0.02);
+}
+
+TEST(PtanhFit, RobustToNoise) {
+    const Eta truth{0.5, 0.4, 0.5, 8.0};
+    math::Rng rng(17);
+    circuit::CharacteristicCurve curve;
+    for (int i = 0; i <= 48; ++i) {
+        const double v = i / 48.0;
+        curve.vin.push_back(v);
+        curve.vout.push_back(fit::ptanh(truth, v) + rng.normal(0.0, 0.01));
+    }
+    const auto result = fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kPtanh);
+    EXPECT_LT(result.rmse, 0.02);
+    EXPECT_NEAR(result.eta.eta3, truth.eta3, 0.05);
+}
+
+TEST(PtanhFit, CanonicalFormHasPositiveSlope) {
+    // Whatever the LM start, the returned eta4 is positive (tanh oddness
+    // resolved), keeping the surrogate targets single-valued.
+    const auto curve = circuit::simulate_characteristic(
+        circuit::default_omega(circuit::NonlinearCircuitKind::kPtanh),
+        circuit::NonlinearCircuitKind::kPtanh, 33);
+    const auto result = fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kPtanh);
+    EXPECT_GT(result.eta.eta4, 0.0);
+    EXPECT_GT(result.eta.eta2, 0.0);  // increasing curve
+}
+
+TEST(PtanhFit, FlatCurveIsConditionedByPriors) {
+    // A perfectly flat curve leaves eta3/eta4 unidentified; the priors keep
+    // them near their nominal values instead of exploding.
+    circuit::CharacteristicCurve curve;
+    for (int i = 0; i <= 16; ++i) {
+        curve.vin.push_back(i / 16.0);
+        curve.vout.push_back(0.42);
+    }
+    const auto result = fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kPtanh);
+    EXPECT_LT(result.rmse, 1e-3);  // priors induce a tiny residual slope
+    EXPECT_LT(std::abs(result.eta.eta2), 0.2);
+    EXPECT_LT(std::abs(result.eta.eta4), 60.0);
+}
+
+TEST(PtanhFit, FitsSimulatedCircuitsAccurately) {
+    // End-to-end: both default circuits fit to low RMSE (Fig. 4 left).
+    for (auto kind : {circuit::NonlinearCircuitKind::kPtanh,
+                      circuit::NonlinearCircuitKind::kNegativeWeight}) {
+        const auto curve =
+            circuit::simulate_characteristic(circuit::default_omega(kind), kind, 48);
+        const auto result = fit::fit_ptanh(curve, kind);
+        EXPECT_LT(result.rmse, 0.02) << "kind " << static_cast<int>(kind);
+    }
+}
+
+TEST(PtanhFit, RejectsTooFewPoints) {
+    circuit::CharacteristicCurve curve;
+    curve.vin = {0.0, 1.0};
+    curve.vout = {0.0, 1.0};
+    EXPECT_THROW(fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kPtanh),
+                 std::invalid_argument);
+}

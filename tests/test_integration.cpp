@@ -1,0 +1,107 @@
+// Cross-module integration tests: the paper's central claims at miniature
+// scale — (a) the full pipeline from circuit simulation to a trained
+// classifier, (b) variation-aware training improves robustness, (c) the
+// learnable nonlinear circuit does not hurt and typically helps, and
+// (d) abstraction vs analog consistency after the complete flow.
+#include <gtest/gtest.h>
+
+#include "autodiff/ops.hpp"
+#include "data/registry.hpp"
+#include "pnn/netlist_export.hpp"
+#include "pnn/training.hpp"
+
+using namespace pnc;
+
+namespace {
+
+struct Pipeline {
+    surrogate::SurrogateModel act;
+    surrogate::SurrogateModel neg;
+};
+
+const Pipeline& pipeline() {
+    static const Pipeline p = [] {
+        const auto build = [](circuit::NonlinearCircuitKind kind) {
+            surrogate::DatasetBuildOptions options;
+            options.samples = 600;
+            options.sweep_points = 25;
+            const auto ds = surrogate::build_surrogate_dataset(
+                kind, surrogate::DesignSpace::table1(), options);
+            surrogate::SurrogateTrainOptions train;
+            train.mlp.max_epochs = 1500;
+            train.mlp.patience = 300;
+            return surrogate::SurrogateModel::train(ds, train);
+        };
+        return Pipeline{build(circuit::NonlinearCircuitKind::kPtanh),
+                        build(circuit::NonlinearCircuitKind::kNegativeWeight)};
+    }();
+    return p;
+}
+
+pnn::EvalResult train_and_eval(const data::SplitDataset& split, bool learnable,
+                               double train_eps, double test_eps, std::uint64_t seed) {
+    math::Rng rng(seed);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &pipeline().act, &pipeline().neg, surrogate::DesignSpace::table1(), rng);
+    pnn::TrainOptions options;
+    options.max_epochs = 800;
+    options.patience = 200;
+    options.learnable_nonlinear = learnable;
+    options.epsilon = train_eps;
+    options.n_mc_train = train_eps > 0 ? 8 : 1;
+    options.seed = seed;
+    pnn::train_pnn(net, split, options);
+    pnn::EvalOptions eval;
+    eval.epsilon = test_eps;
+    eval.n_mc = 60;
+    return pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
+}
+
+}  // namespace
+
+TEST(Integration, FullPipelineReachesGoodAccuracy) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 21);
+    const auto result = train_and_eval(split, true, 0.0, 0.0, 2);
+    EXPECT_GT(result.mean_accuracy, 0.85);
+}
+
+TEST(Integration, VariationAwareTrainingImprovesRobustness) {
+    // The paper's core robustness claim: at 10% test variation, the
+    // variation-aware model shows higher mean accuracy and smaller spread
+    // than the nominally trained one.
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 22);
+    const auto nominal = train_and_eval(split, false, 0.0, 0.10, 3);
+    const auto aware = train_and_eval(split, false, 0.10, 0.10, 3);
+    EXPECT_GE(aware.mean_accuracy, nominal.mean_accuracy - 0.02);
+    EXPECT_LT(aware.std_accuracy, nominal.std_accuracy + 0.02);
+    // At least one of the two improvements must be strict.
+    EXPECT_TRUE(aware.mean_accuracy > nominal.mean_accuracy ||
+                aware.std_accuracy < nominal.std_accuracy);
+}
+
+TEST(Integration, FullMethodBeatsBaseline) {
+    // Learnable nonlinear circuit + variation-aware vs plain baseline
+    // (Table III's top vs bottom row) on one dataset.
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 23);
+    const auto baseline = train_and_eval(split, false, 0.0, 0.10, 4);
+    const auto full = train_and_eval(split, true, 0.10, 0.10, 4);
+    EXPECT_GT(full.mean_accuracy + 1e-9, baseline.mean_accuracy);
+    EXPECT_LT(full.std_accuracy, baseline.std_accuracy + 0.02);
+}
+
+TEST(Integration, TrainedDesignSurvivesAnalogResimulation) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 24);
+    math::Rng rng(6);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &pipeline().act, &pipeline().neg, surrogate::DesignSpace::table1(), rng);
+    pnn::TrainOptions options;
+    options.max_epochs = 600;
+    options.patience = 200;
+    pnn::train_pnn(net, split, options);
+
+    const double model_acc = ad::accuracy(net.predict(split.x_test), split.y_test);
+    const pnn::AnalogChecker checker(pnn::extract_design(net));
+    const double analog_acc = checker.agreement(split.x_test, split.y_test);
+    // The analog realization keeps most of the abstraction's accuracy.
+    EXPECT_GT(analog_acc, model_acc - 0.15);
+}

@@ -1,0 +1,302 @@
+// Tests of the numeric substrate: Matrix, LU/Cholesky, RNG, Sobol,
+// statistics and the min-max normalizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "math/linalg.hpp"
+#include "math/matrix.hpp"
+#include "math/normalizer.hpp"
+#include "math/random.hpp"
+#include "math/sobol.hpp"
+#include "math/stats.hpp"
+
+using namespace pnc::math;
+
+// ---- Matrix -------------------------------------------------------------
+
+TEST(Matrix, ConstructionAndAccess) {
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 1) = 2.0;
+    EXPECT_DOUBLE_EQ(m[1], 2.0);  // row-major flat access
+}
+
+TEST(Matrix, InitializerListAndFactories) {
+    const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_THROW((Matrix{{1.0}, {2.0, 3.0}}), std::invalid_argument);
+    const Matrix i = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i(2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(i(0, 2), 0.0);
+    const Matrix r = Matrix::row({1.0, 2.0, 3.0});
+    EXPECT_EQ(r.rows(), 1u);
+    const Matrix c = Matrix::col({1.0, 2.0});
+    EXPECT_EQ(c.cols(), 1u);
+    const Matrix g = Matrix::generate(2, 2, [](std::size_t r2, std::size_t c2) {
+        return static_cast<double>(10 * r2 + c2);
+    });
+    EXPECT_DOUBLE_EQ(g(1, 1), 11.0);
+}
+
+TEST(Matrix, Arithmetic) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+    EXPECT_DOUBLE_EQ((a + b)(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ((a - b)(1, 1), 3.0);
+    EXPECT_DOUBLE_EQ((a * 2.0)(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ((-a)(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(hadamard(a, b)(1, 0), 6.0);
+    EXPECT_DOUBLE_EQ(elementwise_div(a, b)(1, 1), 4.0);
+    EXPECT_THROW(a + Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulAndTranspose) {
+    const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    const Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+    const Matrix c = matmul(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+    const Matrix at = transpose(a);
+    EXPECT_EQ(at.rows(), 3u);
+    EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+    EXPECT_THROW(matmul(a, a), std::invalid_argument);
+}
+
+TEST(Matrix, ReductionsAndBroadcast) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+    EXPECT_DOUBLE_EQ(sum_rows(a)(0, 1), 6.0);
+    EXPECT_DOUBLE_EQ(sum_cols(a)(1, 0), 7.0);
+    const Matrix br = broadcast_row(Matrix{{1.0, 2.0}}, 3);
+    EXPECT_EQ(br.rows(), 3u);
+    EXPECT_DOUBLE_EQ(br(2, 1), 2.0);
+    EXPECT_THROW(broadcast_row(a, 2), std::invalid_argument);
+    EXPECT_NEAR(frobenius_norm(Matrix{{3.0, 4.0}}), 5.0, 1e-12);
+    EXPECT_DOUBLE_EQ(max_abs_diff(a, a), 0.0);
+}
+
+// ---- linear algebra -------------------------------------------------------
+
+TEST(Linalg, LuSolvesKnownSystem) {
+    const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+    const Matrix b = Matrix::col({5.0, 10.0});
+    const Matrix x = lu_solve(a, b);
+    EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(Linalg, LuHandlesPivoting) {
+    // Zero on the diagonal requires a row swap.
+    const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+    const Matrix x = lu_solve(a, Matrix::col({2.0, 3.0}));
+    EXPECT_NEAR(x(0, 0), 3.0, 1e-12);
+    EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(Linalg, LuRandomRoundTrip) {
+    Rng rng(5);
+    const Matrix a = rng.uniform_matrix(8, 8, -1.0, 1.0) + Matrix::identity(8) * 4.0;
+    const Matrix x_true = rng.uniform_matrix(8, 1, -1.0, 1.0);
+    const Matrix x = lu_solve(a, matmul(a, x_true));
+    EXPECT_LT(max_abs_diff(x, x_true), 1e-10);
+}
+
+TEST(Linalg, SingularMatrixThrows) {
+    const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(LuFactorization{a}, std::runtime_error);
+}
+
+TEST(Linalg, Determinant) {
+    const Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+    EXPECT_NEAR(LuFactorization(a).determinant(), 6.0, 1e-12);
+    const Matrix swapped{{0.0, 1.0}, {1.0, 0.0}};
+    EXPECT_NEAR(LuFactorization(swapped).determinant(), -1.0, 1e-12);
+}
+
+TEST(Linalg, CholeskySolvesSpd) {
+    const Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+    const Matrix x = cholesky_solve(a, Matrix::col({1.0, 2.0}));
+    // verify residual
+    const Matrix r = matmul(a, x) - Matrix::col({1.0, 2.0});
+    EXPECT_LT(r.max_abs(), 1e-12);
+    EXPECT_THROW(cholesky_solve(Matrix{{1.0, 2.0}, {2.0, 1.0}}, Matrix::col({1.0, 1.0})),
+                 std::runtime_error);  // indefinite
+}
+
+TEST(Linalg, InverseRoundTrip) {
+    Rng rng(6);
+    const Matrix a = rng.uniform_matrix(5, 5, -1.0, 1.0) + Matrix::identity(5) * 3.0;
+    EXPECT_LT(max_abs_diff(matmul(a, inverse(a)), Matrix::identity(5)), 1e-10);
+}
+
+// ---- RNG ---------------------------------------------------------------------
+
+TEST(Random, DeterministicAcrossInstances) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Random, UniformRangeAndMean) {
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform(2.0, 4.0);
+        ASSERT_GE(u, 2.0);
+        ASSERT_LT(u, 4.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 3.0, 0.02);
+}
+
+TEST(Random, NormalMoments) {
+    Rng rng(8);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(1.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 1.0, 0.05);
+    EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Random, ShuffleIsPermutation) {
+    Rng rng(9);
+    auto v = iota_indices(100);
+    rng.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, iota_indices(100));
+    EXPECT_NE(v, iota_indices(100));  // astronomically unlikely to be identity
+}
+
+TEST(Random, SplitStreamsAreIndependentlySeeded) {
+    Rng parent(10);
+    Rng child1 = parent.split();
+    Rng child2 = parent.split();
+    EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+// ---- Sobol ----------------------------------------------------------------------
+
+TEST(Sobol, FirstPointsOfDimensionOne) {
+    SobolSequence sobol(1);
+    EXPECT_DOUBLE_EQ(sobol.next()[0], 0.0);
+    EXPECT_DOUBLE_EQ(sobol.next()[0], 0.5);
+    EXPECT_DOUBLE_EQ(sobol.next()[0], 0.75);
+    EXPECT_DOUBLE_EQ(sobol.next()[0], 0.25);
+}
+
+TEST(Sobol, PointsInUnitCube) {
+    SobolSequence sobol(7);
+    for (int i = 0; i < 1000; ++i) {
+        for (double x : sobol.next()) {
+            ASSERT_GE(x, 0.0);
+            ASSERT_LT(x, 1.0);
+        }
+    }
+}
+
+TEST(Sobol, BeatsPseudoRandomUniformity) {
+    // Quasi Monte-Carlo should have clearly lower discrepancy than an
+    // equally sized pseudo-random sample.
+    SobolSequence sobol(2);
+    sobol.skip(1);
+    const Matrix qmc = sobol.sample_matrix(512);
+    Rng rng(11);
+    const Matrix mc = rng.uniform_matrix(512, 2, 0.0, 1.0);
+    EXPECT_LT(uniformity_deviation(qmc), uniformity_deviation(mc));
+}
+
+TEST(Sobol, BalancedFirstDyadicBlock) {
+    // The first 2^k Sobol points (origin included) place exactly half of
+    // each coordinate in [0, 0.5).
+    SobolSequence sobol(5);
+    const Matrix pts = sobol.sample_matrix(64);
+    for (std::size_t d = 0; d < 5; ++d) {
+        int low = 0;
+        for (std::size_t i = 0; i < 64; ++i) low += pts(i, d) < 0.5;
+        EXPECT_EQ(low, 32) << "dimension " << d;
+    }
+}
+
+TEST(Sobol, DimensionLimits) {
+    EXPECT_THROW(SobolSequence(0), std::invalid_argument);
+    EXPECT_THROW(SobolSequence(SobolSequence::kMaxDimension + 1), std::invalid_argument);
+    EXPECT_NO_THROW(SobolSequence(SobolSequence::kMaxDimension));
+}
+
+// ---- stats ---------------------------------------------------------------------
+
+TEST(Stats, Basics) {
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+    EXPECT_NEAR(sample_stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(minimum(v), 1.0);
+    EXPECT_DOUBLE_EQ(maximum(v), 4.0);
+    EXPECT_DOUBLE_EQ(median(v), 2.5);
+    EXPECT_DOUBLE_EQ(median({1.0, 5.0, 3.0}), 3.0);
+    EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, CorrelationAndR2) {
+    const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+    std::vector<double> anti(y.rbegin(), y.rend());
+    EXPECT_NEAR(pearson_correlation(x, anti), -1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(pearson_correlation(x, {1.0, 1.0, 1.0, 1.0}), 0.0);
+    EXPECT_NEAR(r_squared(y, y), 1.0, 1e-12);
+    EXPECT_NEAR(rmse(x, y), std::sqrt((1.0 + 4.0 + 9.0 + 16.0) / 4.0), 1e-12);
+}
+
+// ---- normalizer ----------------------------------------------------------------
+
+TEST(Normalizer, FitNormalizeDenormalizeRoundTrip) {
+    const Matrix data{{1.0, 10.0}, {3.0, 30.0}, {2.0, 20.0}};
+    const auto norm = MinMaxNormalizer::fit(data);
+    const Matrix n = norm.normalize(data);
+    EXPECT_DOUBLE_EQ(n(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(n(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(n(2, 0), 0.5);
+    EXPECT_LT(max_abs_diff(norm.denormalize(n), data), 1e-12);
+}
+
+TEST(Normalizer, ConstantColumnMapsToHalf) {
+    const Matrix data{{5.0}, {5.0}};
+    const auto norm = MinMaxNormalizer::fit(data);
+    EXPECT_DOUBLE_EQ(norm.normalize(data)(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(norm.denormalize(Matrix(1, 1, 0.3))(0, 0), 5.0);
+}
+
+TEST(Normalizer, SaveLoadRoundTrip) {
+    const auto norm = MinMaxNormalizer({1.0, 2.0}, {3.0, 8.0});
+    std::stringstream ss;
+    norm.save(ss);
+    const auto loaded = MinMaxNormalizer::load(ss);
+    EXPECT_EQ(loaded.mins(), norm.mins());
+    EXPECT_EQ(loaded.maxs(), norm.maxs());
+}
+
+TEST(Normalizer, Validation) {
+    EXPECT_THROW(MinMaxNormalizer({1.0}, {0.5}), std::invalid_argument);
+    EXPECT_THROW(MinMaxNormalizer({1.0}, {2.0, 3.0}), std::invalid_argument);
+    const auto norm = MinMaxNormalizer({0.0}, {1.0});
+    EXPECT_THROW(norm.normalize(Matrix(1, 2)), std::invalid_argument);
+}

@@ -1,0 +1,428 @@
+// Printed-neural-network tests: the Fig. 5 learnable-parameter pipeline,
+// crossbar layer semantics (checked against the closed-form Eq. 1), sign
+// routing through the negative-weight circuit, variation handling, training
+// and Monte-Carlo evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/crossbar.hpp"
+#include "data/registry.hpp"
+#include "pnn/training.hpp"
+#include "test_util.hpp"
+
+using namespace pnc;
+using ad::Var;
+using circuit::NonlinearCircuitKind;
+using circuit::Omega;
+using math::Matrix;
+
+namespace {
+
+const surrogate::SurrogateModel& shared_surrogate(NonlinearCircuitKind kind) {
+    static const auto build = [](NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 400;
+        options.sweep_points = 17;
+        const auto dataset =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 800;
+        train.mlp.patience = 150;
+        return surrogate::SurrogateModel::train(dataset, train);
+    };
+    static const surrogate::SurrogateModel act = build(NonlinearCircuitKind::kPtanh);
+    static const surrogate::SurrogateModel neg = build(NonlinearCircuitKind::kNegativeWeight);
+    return kind == NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+pnn::Pnn make_net(const std::vector<std::size_t>& layers, std::uint64_t seed = 11) {
+    math::Rng rng(seed);
+    return pnn::Pnn(layers, &shared_surrogate(NonlinearCircuitKind::kPtanh),
+                    &shared_surrogate(NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+}  // namespace
+
+// ---- NonlinearParam (Fig. 5 pipeline) -----------------------------------
+
+TEST(NonlinearParam, InitializationRoundTripsOmega) {
+    const auto space = surrogate::DesignSpace::table1();
+    const Omega initial = circuit::kDefaultPtanhOmega;
+    const pnn::NonlinearParam param(&shared_surrogate(NonlinearCircuitKind::kPtanh), space,
+                                    initial);
+    const Omega printable = param.printable_omega();
+    EXPECT_NEAR(printable.r1, initial.r1, initial.r1 * 0.01);
+    EXPECT_NEAR(printable.r2, initial.r2, initial.r2 * 0.01);
+    EXPECT_NEAR(printable.r3, initial.r3, initial.r3 * 0.01);
+    EXPECT_NEAR(printable.r4, initial.r4, initial.r4 * 0.01);
+    EXPECT_NEAR(printable.w, initial.w, initial.w * 0.01);
+}
+
+TEST(NonlinearParam, PrintableAlwaysFeasible) {
+    // Whatever the raw values, the processed design stays in the space.
+    const auto space = surrogate::DesignSpace::table1();
+    pnn::NonlinearParam param(&shared_surrogate(NonlinearCircuitKind::kPtanh), space,
+                              circuit::kDefaultPtanhOmega);
+    math::Rng rng(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        param.raw().set_value(rng.uniform_matrix(1, 7, -6.0, 6.0));
+        const Omega omega = param.printable_omega();
+        EXPECT_TRUE(space.contains(omega))
+            << "r1=" << omega.r1 << " r2=" << omega.r2 << " r3=" << omega.r3
+            << " r4=" << omega.r4;
+    }
+}
+
+TEST(NonlinearParam, InstancesReplicateDesign) {
+    const auto space = surrogate::DesignSpace::table1();
+    const pnn::NonlinearParam param(&shared_surrogate(NonlinearCircuitKind::kPtanh), space,
+                                    circuit::kDefaultPtanhOmega);
+    const Matrix three = param.printable(3).value();
+    ASSERT_EQ(three.rows(), 3u);
+    for (std::size_t c = 0; c < 7; ++c) {
+        EXPECT_DOUBLE_EQ(three(0, c), three(1, c));
+        EXPECT_DOUBLE_EQ(three(0, c), three(2, c));
+    }
+}
+
+TEST(NonlinearParam, VariationPerturbsEachInstance) {
+    const auto space = surrogate::DesignSpace::table1();
+    const pnn::NonlinearParam param(&shared_surrogate(NonlinearCircuitKind::kPtanh), space,
+                                    circuit::kDefaultPtanhOmega);
+    math::Rng rng(14);
+    const circuit::VariationModel model(0.1);
+    const Matrix factors = model.sample_factors(rng, 2, 7);
+    const Matrix perturbed = param.printable(2, &factors).value();
+    const Matrix nominal = param.printable(2).value();
+    for (std::size_t c = 0; c < 7; ++c) {
+        EXPECT_NEAR(perturbed(0, c), nominal(0, c) * factors(0, c), 1e-9);
+        EXPECT_NEAR(perturbed(1, c), nominal(1, c) * factors(1, c), 1e-9);
+    }
+    EXPECT_THROW(param.printable(3, &factors), std::invalid_argument);
+}
+
+TEST(NonlinearParam, EtaGradientFlowsToRaw) {
+    const auto space = surrogate::DesignSpace::table1();
+    const pnn::NonlinearParam param(&shared_surrogate(NonlinearCircuitKind::kPtanh), space,
+                                    circuit::kDefaultPtanhOmega);
+    pnc::testutil::expect_gradients_match({param.raw()},
+                                          [&] { return ad::sum(param.eta()); }, 1e-5, 2e-3);
+}
+
+TEST(NonlinearParam, RejectsBadSetup) {
+    const auto space = surrogate::DesignSpace::table1();
+    EXPECT_THROW(pnn::NonlinearParam(nullptr, space, circuit::kDefaultPtanhOmega),
+                 std::invalid_argument);
+    Omega outside = circuit::kDefaultPtanhOmega;
+    outside.w = 5000.0;
+    EXPECT_THROW(pnn::NonlinearParam(&shared_surrogate(NonlinearCircuitKind::kPtanh), space,
+                                     outside),
+                 std::invalid_argument);
+}
+
+// ---- ptanh application --------------------------------------------------------
+
+TEST(ApplyPtanh, MatchesFormulaPerColumn) {
+    const Matrix eta{{0.5, 0.4, 0.5, 10.0}, {0.2, 0.1, 0.3, 5.0}};
+    const Matrix x{{0.1, 0.9}, {0.7, 0.2}};
+    const Matrix out = pnn::apply_ptanh(ad::constant(eta), ad::constant(x)).value();
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            const double expected =
+                eta(j, 0) + eta(j, 1) * std::tanh((x(i, j) - eta(j, 2)) * eta(j, 3));
+            EXPECT_NEAR(out(i, j), expected, 1e-12);
+        }
+    }
+    const Matrix neg_out =
+        pnn::apply_negated_ptanh(ad::constant(eta), ad::constant(x)).value();
+    EXPECT_NEAR(neg_out(0, 0), -out(0, 0), 1e-12);
+}
+
+TEST(ApplyPtanh, GradientCheck) {
+    math::Rng rng(15);
+    Var eta = ad::parameter(Matrix{{0.5, 0.4, 0.5, 8.0}, {0.3, 0.2, 0.4, 4.0}});
+    Var x = ad::parameter(rng.uniform_matrix(3, 2, 0.0, 1.0));
+    pnc::testutil::expect_gradients_match(
+        {eta, x}, [&] { return ad::sum(pnn::apply_ptanh(eta, x)); }, 1e-6, 1e-4);
+}
+
+TEST(ApplyPtanh, ShapeValidation) {
+    const Var eta = ad::constant(Matrix(3, 4));
+    const Var x = ad::constant(Matrix(5, 2));
+    EXPECT_THROW(pnn::apply_ptanh(eta, x), std::invalid_argument);
+}
+
+// ---- PrintedLayer -----------------------------------------------------------------
+
+TEST(PrintedLayer, ForwardMatchesClosedFormCrossbar) {
+    // Pin theta to known values and compare the layer (without activation)
+    // against Eq. 1 computed by the circuit::CrossbarColumn closed form.
+    auto net = make_net({2, 1});
+    auto& layer = net.layer(0);
+    auto params = layer.theta_params();
+    params[0].set_value(Matrix{{4.0}, {7.0}});  // positive: no inversion
+    params[1].set_value(Matrix{{2.0}});         // bias
+    params[2].set_value(Matrix{{3.0}});         // drain
+    const Matrix x{{0.3, 0.9}};
+    const Matrix out = layer.forward(ad::constant(x), nullptr, false).value();
+
+    circuit::CrossbarColumn column;
+    column.input_conductances = {4.0e-6, 7.0e-6};
+    column.bias_conductance = 2.0e-6;
+    column.drain_conductance = 3.0e-6;
+    EXPECT_NEAR(out(0, 0), column.output({0.3, 0.9}), 1e-12);
+}
+
+TEST(PrintedLayer, NegativeThetaRoutesThroughInverter) {
+    auto net = make_net({1, 1});
+    auto& layer = net.layer(0);
+    auto params = layer.theta_params();
+    params[0].set_value(Matrix{{-5.0}});
+    params[1].set_value(Matrix{{1.0}});
+    params[2].set_value(Matrix{{1.0}});
+    const Matrix x{{0.8}};
+    const double out = layer.forward(ad::constant(x), nullptr, false).value()(0, 0);
+    // Expected: w = 5/7 applied to inv(0.8), bias 1/7 * 1V.
+    const auto eta = layer.negation().eta_value();
+    const double inverted = -(eta.eta1 + eta.eta2 * std::tanh((0.8 - eta.eta3) * eta.eta4));
+    EXPECT_NEAR(out, (5.0 * inverted + 1.0) / 7.0, 1e-9);
+    const auto flags = layer.inversion_flags();
+    EXPECT_TRUE(flags[0][0]);
+}
+
+TEST(PrintedLayer, ProjectionZeroesTinyConductances) {
+    auto net = make_net({2, 1});
+    auto& layer = net.layer(0);
+    auto params = layer.theta_params();
+    params[0].set_value(Matrix{{0.01}, {4.0}});  // below g_min/2 -> not printed
+    params[1].set_value(Matrix{{1.0}});
+    params[2].set_value(Matrix{{1.0}});
+    const Matrix printable = layer.printable_input_conductances();
+    EXPECT_DOUBLE_EQ(printable(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(printable(1, 0), 4.0);
+    // Input 0 cannot influence the output.
+    const Matrix a{{0.0, 0.5}};
+    const Matrix b{{1.0, 0.5}};
+    EXPECT_NEAR(layer.forward(ad::constant(a), nullptr, false).value()(0, 0),
+                layer.forward(ad::constant(b), nullptr, false).value()(0, 0), 1e-12);
+}
+
+TEST(PrintedLayer, OutputsAreVoltagesWithActivation) {
+    auto net = make_net({4, 3}, 21);
+    math::Rng rng(22);
+    const Matrix x = rng.uniform_matrix(8, 4, 0.0, 1.0);
+    const Matrix out = net.layer(0).forward(ad::constant(x), nullptr, true).value();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_GT(out[i], -0.2);
+        EXPECT_LT(out[i], 1.2);
+    }
+}
+
+TEST(PrintedLayer, VariationChangesOutputs) {
+    auto net = make_net({3, 2}, 23);
+    auto& layer = net.layer(0);
+    math::Rng rng(24);
+    const circuit::VariationModel model(0.1);
+    const auto variation = layer.sample_variation(model, rng);
+    EXPECT_EQ(variation.theta_in.rows(), 3u);
+    EXPECT_EQ(variation.omega_act.rows(), 2u);
+    EXPECT_EQ(variation.omega_neg.rows(), 3u);
+    const Matrix x{{0.2, 0.5, 0.8}};
+    const Matrix nominal = layer.forward(ad::constant(x), nullptr).value();
+    const Matrix perturbed = layer.forward(ad::constant(x), &variation).value();
+    EXPECT_GT(math::max_abs_diff(nominal, perturbed), 1e-6);
+}
+
+TEST(PrintedLayer, ThetaGradientCheck) {
+    auto net = make_net({2, 2}, 25);
+    auto& layer = net.layer(0);
+    math::Rng rng(26);
+    const Matrix x = rng.uniform_matrix(4, 2, 0.1, 0.9);
+    auto thetas = layer.theta_params();
+    // Keep |theta| comfortably inside (g_min, g_max) so the projection is
+    // differentiable at the evaluation point.
+    thetas[0].set_value(Matrix{{3.0, -4.0}, {5.0, 2.0}});
+    thetas[1].set_value(Matrix{{1.5, 2.5}});
+    thetas[2].set_value(Matrix{{2.0, 1.0}});
+    pnc::testutil::expect_gradients_match(
+        {thetas[0], thetas[1], thetas[2]},
+        [&] { return ad::sum(layer.forward(ad::constant(x), nullptr)); }, 1e-5, 1e-4);
+}
+
+TEST(PrintedLayer, OmegaGradientCheck) {
+    auto net = make_net({2, 2}, 27);
+    auto& layer = net.layer(0);
+    math::Rng rng(28);
+    const Matrix x = rng.uniform_matrix(4, 2, 0.1, 0.9);
+    pnc::testutil::expect_gradients_match(
+        {layer.activation().raw(), layer.negation().raw()},
+        [&] { return ad::sum(layer.forward(ad::constant(x), nullptr)); }, 1e-5, 2e-3);
+}
+
+// ---- Pnn ------------------------------------------------------------------------------
+
+TEST(Pnn, TopologyAndParameterCounts) {
+    auto net = make_net({4, 3, 2});
+    EXPECT_EQ(net.n_layers(), 2u);
+    EXPECT_EQ(net.theta_params().size(), 6u);  // 3 blocks x 2 layers
+    EXPECT_EQ(net.omega_params().size(), 4u);  // act + neg per layer
+    EXPECT_THROW(make_net({4}), std::invalid_argument);
+}
+
+TEST(Pnn, PredictShapesAndDeterminism) {
+    auto net = make_net({4, 3, 2}, 31);
+    math::Rng rng(32);
+    const Matrix x = rng.uniform_matrix(10, 4, 0.0, 1.0);
+    const Matrix out = net.predict(x);
+    EXPECT_EQ(out.rows(), 10u);
+    EXPECT_EQ(out.cols(), 2u);
+    EXPECT_DOUBLE_EQ(math::max_abs_diff(out, net.predict(x)), 0.0);
+}
+
+TEST(Pnn, SnapshotRestoreRoundTrip) {
+    auto net = make_net({3, 3, 2}, 33);
+    math::Rng rng(34);
+    const Matrix x = rng.uniform_matrix(5, 3, 0.0, 1.0);
+    const Matrix before = net.predict(x);
+    const auto snapshot = net.snapshot();
+    // Scramble all parameters.
+    for (auto& p : net.theta_params())
+        p.set_value(rng.uniform_matrix(p.rows(), p.cols(), -1.0, 1.0));
+    for (auto& p : net.omega_params())
+        p.set_value(rng.uniform_matrix(p.rows(), p.cols(), -1.0, 1.0));
+    EXPECT_GT(math::max_abs_diff(before, net.predict(x)), 1e-9);
+    net.restore(snapshot);
+    EXPECT_DOUBLE_EQ(math::max_abs_diff(before, net.predict(x)), 0.0);
+}
+
+TEST(Pnn, VariationEntriesMustMatchLayers) {
+    auto net = make_net({3, 3, 2}, 35);
+    const pnn::NetworkVariation wrong(1);
+    EXPECT_THROW(net.forward(ad::constant(Matrix(2, 3)), &wrong), std::invalid_argument);
+}
+
+// ---- training / evaluation -----------------------------------------------------------
+
+namespace {
+
+data::SplitDataset blob_split() {
+    // Two well-separated Gaussian blobs: trivially learnable.
+    math::Rng rng(40);
+    data::Dataset ds;
+    ds.name = "blobs";
+    ds.n_classes = 2;
+    ds.features = Matrix(80, 2);
+    for (int i = 0; i < 80; ++i) {
+        const int label = i % 2;
+        ds.labels.push_back(label);
+        ds.features(i, 0) = rng.normal(label ? 0.8 : 0.2, 0.08);
+        ds.features(i, 1) = rng.normal(label ? 0.2 : 0.8, 0.08);
+    }
+    return data::split_and_normalize(ds, 7);
+}
+
+}  // namespace
+
+TEST(Training, LearnsSeparableBlobs) {
+    auto net = make_net({2, 3, 2}, 41);
+    auto split = blob_split();
+    pnn::TrainOptions options;
+    options.max_epochs = 300;
+    options.patience = 300;
+    const auto result = pnn::train_pnn(net, split, options);
+    EXPECT_GT(result.epochs_run, 0);
+    const double acc = ad::accuracy(net.predict(split.x_test), split.y_test);
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Training, NonLearnableKeepsOmegaFixed) {
+    auto net = make_net({2, 3, 2}, 42);
+    const Matrix raw_before = net.omega_params().front().value();
+    auto split = blob_split();
+    pnn::TrainOptions options;
+    options.max_epochs = 50;
+    options.patience = 50;
+    options.learnable_nonlinear = false;
+    pnn::train_pnn(net, split, options);
+    EXPECT_DOUBLE_EQ(math::max_abs_diff(net.omega_params().front().value(), raw_before), 0.0);
+}
+
+TEST(Training, LearnableMovesOmega) {
+    auto net = make_net({2, 3, 2}, 43);
+    const Matrix raw_before = net.omega_params().front().value();
+    auto split = blob_split();
+    pnn::TrainOptions options;
+    options.max_epochs = 50;
+    options.patience = 50;
+    options.learnable_nonlinear = true;
+    pnn::train_pnn(net, split, options);
+    EXPECT_GT(math::max_abs_diff(net.omega_params().front().value(), raw_before), 1e-6);
+}
+
+TEST(Training, VariationAwareUsesMonteCarlo) {
+    auto net = make_net({2, 3, 2}, 44);
+    auto split = blob_split();
+    pnn::TrainOptions options;
+    options.max_epochs = 40;
+    options.patience = 40;
+    options.epsilon = 0.1;
+    options.n_mc_train = 4;
+    const auto result = pnn::train_pnn(net, split, options);
+    EXPECT_GT(result.epochs_run, 0);
+    EXPECT_THROW(
+        [&] {
+            pnn::TrainOptions bad;
+            bad.n_mc_train = 0;
+            pnn::train_pnn(net, split, bad);
+        }(),
+        std::invalid_argument);
+}
+
+TEST(Evaluation, NominalIsDeterministicSingleSample) {
+    auto net = make_net({2, 3, 2}, 45);
+    auto split = blob_split();
+    pnn::EvalOptions options;
+    options.epsilon = 0.0;
+    options.n_mc = 100;
+    const auto result = pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+    EXPECT_EQ(result.per_sample_accuracy.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.std_accuracy, 0.0);
+}
+
+TEST(Evaluation, VariationProducesSpread) {
+    auto net = make_net({2, 3, 2}, 46);
+    auto split = blob_split();
+    pnn::TrainOptions train;
+    train.max_epochs = 150;
+    train.patience = 150;
+    pnn::train_pnn(net, split, train);
+    pnn::EvalOptions options;
+    options.epsilon = 0.1;
+    options.n_mc = 40;
+    const auto result = pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+    EXPECT_EQ(result.per_sample_accuracy.size(), 40u);
+    EXPECT_GT(result.mean_accuracy, 0.5);
+    // Repeatable for a fixed seed.
+    const auto again = pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+    EXPECT_DOUBLE_EQ(result.mean_accuracy, again.mean_accuracy);
+}
+
+TEST(Losses, BothKindsDecreaseUnderTraining) {
+    for (auto kind : {pnn::LossKind::kMargin, pnn::LossKind::kCrossEntropy}) {
+        auto net = make_net({2, 3, 2}, 47);
+        auto split = blob_split();
+        const Var x = ad::constant(split.x_train);
+        const double before =
+            pnn::classification_loss(net.forward(x), split.y_train, kind, 0.3).scalar();
+        pnn::TrainOptions options;
+        options.max_epochs = 120;
+        options.patience = 120;
+        options.loss = kind;
+        pnn::train_pnn(net, split, options);
+        const double after =
+            pnn::classification_loss(net.forward(x), split.y_train, kind, 0.3).scalar();
+        EXPECT_LT(after, before);
+    }
+}

@@ -1,0 +1,207 @@
+// Cross-cutting property suites: invariants that must hold over swept
+// parameters — linear-circuit superposition, crossbar closed form vs MNA
+// over random columns, EGT monotonicity over geometry, design-space
+// projection idempotence, training determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/crossbar.hpp"
+#include "data/registry.hpp"
+#include "pnn/training.hpp"
+#include "surrogate/design_space.hpp"
+
+using namespace pnc;
+using circuit::Netlist;
+
+// ---- DC solver: linear-circuit superposition --------------------------------
+
+class SuperpositionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuperpositionProperty, LinearNetworkIsAdditiveInSources) {
+    // For resistor-only networks the node voltages are linear in the source
+    // vector: v(a + b) = v(a) + v(b) - v(0).
+    math::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Netlist net;
+    const auto s1 = net.node("s1");
+    const auto s2 = net.node("s2");
+    std::vector<circuit::NodeId> inner;
+    for (int i = 0; i < 4; ++i) inner.push_back(net.node("n" + std::to_string(i)));
+    net.add_voltage_source(s1, 0.0);
+    net.add_voltage_source(s2, 0.0);
+    // Random connected resistor mesh.
+    for (std::size_t i = 0; i < inner.size(); ++i) {
+        net.add_resistor(s1, inner[i], rng.uniform(1e3, 1e5));
+        net.add_resistor(s2, inner[i], rng.uniform(1e3, 1e5));
+        net.add_resistor(inner[i], Netlist::kGround, rng.uniform(1e3, 1e5));
+        if (i > 0) net.add_resistor(inner[i - 1], inner[i], rng.uniform(1e3, 1e5));
+    }
+    const circuit::DcSolver solver;
+    const auto solve_at = [&](double v1, double v2) {
+        net.set_source_voltage(s1, v1);
+        net.set_source_voltage(s2, v2);
+        return solver.solve(net).voltages;
+    };
+    const auto va = solve_at(0.8, 0.0);
+    const auto vb = solve_at(0.0, 0.6);
+    const auto vab = solve_at(0.8, 0.6);
+    for (const auto node : inner)
+        EXPECT_NEAR(vab[node], va[node] + vb[node], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, SuperpositionProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- crossbar: closed form vs MNA over random columns ------------------------
+
+class CrossbarProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossbarProperty, ClosedFormMatchesNetlist) {
+    math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+    circuit::CrossbarColumn column;
+    const std::size_t n = 2 + rng.index(6);
+    std::vector<double> inputs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Mix of printed and absent conductances.
+        column.input_conductances.push_back(rng.uniform() < 0.25
+                                                ? 0.0
+                                                : rng.uniform(1e-7, 1e-4));
+        inputs[i] = rng.uniform(0.0, 1.0);
+    }
+    column.bias_conductance = rng.uniform(1e-7, 1e-4);
+    column.drain_conductance = rng.uniform(0.0, 1e-4);
+    auto net = circuit::build_crossbar_netlist(column);
+    for (std::size_t i = 0; i < n; ++i)
+        net.set_source_voltage(net.find_node("in" + std::to_string(i)), inputs[i]);
+    const auto sol = circuit::DcSolver().solve(net);
+    EXPECT_NEAR(sol.voltages[net.find_node("z")], column.output(inputs), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomColumns, CrossbarProperty,
+                         ::testing::Range(0, 10));
+
+// ---- EGT: monotone in geometry -----------------------------------------------
+
+class EgtGeometryProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(EgtGeometryProperty, CurrentMonotoneInWidthAndInverseInLength) {
+    const double vg = GetParam();
+    double previous = 0.0;
+    for (double w : {200.0, 400.0, 600.0, 800.0}) {
+        const double id = circuit::Egt(w, 40.0).drain_current(0.8, vg, 0.0);
+        EXPECT_GE(id, previous);
+        previous = id;
+    }
+    previous = 1e9;
+    for (double l : {10.0, 30.0, 50.0, 70.0}) {
+        const double id = circuit::Egt(400.0, l).drain_current(0.8, vg, 0.0);
+        EXPECT_LE(id, previous);
+        previous = id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GateVoltages, EgtGeometryProperty,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.8, 1.0));
+
+// ---- design space: projection properties -----------------------------------
+
+TEST(DesignSpaceProperty, ClipIsIdempotent) {
+    const auto space = surrogate::DesignSpace::table1();
+    math::Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        circuit::Omega wild{rng.uniform(1.0, 1000.0),  rng.uniform(1.0, 1000.0),
+                            rng.uniform(1e3, 1e6),     rng.uniform(1e3, 1e6),
+                            rng.uniform(1e3, 1e6),     rng.uniform(50.0, 2000.0),
+                            rng.uniform(1.0, 200.0)};
+        const auto once = space.clip(wild);
+        const auto twice = space.clip(once);
+        EXPECT_TRUE(space.contains(once));
+        for (std::size_t c = 0; c < 7; ++c)
+            EXPECT_DOUBLE_EQ(once.to_array()[c], twice.to_array()[c]);
+    }
+}
+
+TEST(DesignSpaceProperty, ClipIsIdentityOnFeasiblePoints) {
+    const auto space = surrogate::DesignSpace::table1();
+    math::SobolSequence sobol(7);
+    sobol.skip(1);
+    for (const auto& omega : space.sample_batch(sobol, 50)) {
+        const auto clipped = space.clip(omega);
+        for (std::size_t c = 0; c < 7; ++c)
+            EXPECT_NEAR(clipped.to_array()[c], omega.to_array()[c],
+                        1e-9 * omega.to_array()[c]);
+    }
+}
+
+// ---- training: determinism ---------------------------------------------------
+
+namespace {
+
+const surrogate::SurrogateModel& prop_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 250;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 300;
+        train.mlp.patience = 80;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+math::Matrix train_and_predict(std::uint64_t seed) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    math::Rng rng(seed);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &prop_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                 &prop_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                 surrogate::DesignSpace::table1(), rng);
+    pnn::TrainOptions options;
+    options.max_epochs = 80;
+    options.patience = 80;
+    options.epsilon = 0.05;
+    options.n_mc_train = 3;
+    options.seed = seed;
+    pnn::train_pnn(net, split, options);
+    return net.predict(split.x_test);
+}
+
+}  // namespace
+
+TEST(TrainingProperty, FullyDeterministicPerSeed) {
+    // Identical seeds must give bit-identical trained networks — the whole
+    // experiment table depends on this.
+    const auto a = train_and_predict(5);
+    const auto b = train_and_predict(5);
+    EXPECT_DOUBLE_EQ(math::max_abs_diff(a, b), 0.0);
+}
+
+TEST(TrainingProperty, DifferentSeedsDiffer) {
+    const auto a = train_and_predict(5);
+    const auto b = train_and_predict(6);
+    EXPECT_GT(math::max_abs_diff(a, b), 1e-12);
+}
+
+// ---- nonlinear parameter: clip honors printable bounds -----------------------
+
+TEST(NonlinearParamProperty, ShuntResistorsStayPrintableUnderExtremeRatios) {
+    const auto space = surrogate::DesignSpace::table1();
+    pnn::NonlinearParam param(&prop_surrogate(circuit::NonlinearCircuitKind::kPtanh), space,
+                              circuit::kDefaultPtanhOmega);
+    // Drive k1, k2 to their sigmoid extremes.
+    math::Matrix raw(1, 7);
+    for (std::size_t c = 0; c < 7; ++c) raw(0, c) = 0.0;
+    raw(0, 5) = -30.0;  // k1 -> 0: R2 = R1 k1 would underflow without the clip
+    raw(0, 6) = 30.0;   // k2 -> 1
+    param.raw().set_value(raw);
+    const auto omega = param.printable_omega();
+    EXPECT_GE(omega.r2, space.min(1));
+    EXPECT_LE(omega.r2, space.max(1));
+    EXPECT_GE(omega.r4, space.min(3));
+    EXPECT_LE(omega.r4, space.max(3));
+    EXPECT_TRUE(space.contains(omega));
+}

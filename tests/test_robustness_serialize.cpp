@@ -1,0 +1,163 @@
+// Tests for yield estimation, corner analysis, cost analysis and pNN
+// serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/registry.hpp"
+#include "pnn/cost_analysis.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/serialize.hpp"
+#include "pnn/training.hpp"
+
+using namespace pnc;
+using math::Matrix;
+
+namespace {
+
+const surrogate::SurrogateModel& rs_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+struct Fixture {
+    data::SplitDataset split;
+    pnn::Pnn net;
+};
+
+Fixture trained_fixture() {
+    auto split = data::split_and_normalize(data::make_dataset("iris"), 33);
+    math::Rng rng(71);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &rs_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                 &rs_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                 surrogate::DesignSpace::table1(), rng);
+    pnn::TrainOptions options;
+    options.max_epochs = 300;
+    options.patience = 120;
+    pnn::train_pnn(net, split, options);
+    return {std::move(split), std::move(net)};
+}
+
+}  // namespace
+
+// ---- yield ---------------------------------------------------------------
+
+TEST(Yield, TrivialSpecsBracketTheDistribution) {
+    const auto fx = trained_fixture();
+    const auto always = pnn::estimate_yield(fx.net, fx.split.x_test, fx.split.y_test,
+                                            0.0, 0.05, 50);
+    EXPECT_DOUBLE_EQ(always.yield, 1.0);
+    const auto never = pnn::estimate_yield(fx.net, fx.split.x_test, fx.split.y_test,
+                                           1.01, 0.05, 50);
+    EXPECT_DOUBLE_EQ(never.yield, 0.0);
+}
+
+TEST(Yield, QuantilesAreOrdered) {
+    const auto fx = trained_fixture();
+    const auto result = pnn::estimate_yield(fx.net, fx.split.x_test, fx.split.y_test,
+                                            0.8, 0.10, 100);
+    EXPECT_LE(result.worst_accuracy, result.p5_accuracy);
+    EXPECT_LE(result.p5_accuracy, result.median_accuracy);
+    EXPECT_EQ(result.n_samples, 100);
+}
+
+TEST(Yield, HigherVariationNeverHelps) {
+    const auto fx = trained_fixture();
+    const auto low = pnn::estimate_yield(fx.net, fx.split.x_test, fx.split.y_test,
+                                         0.85, 0.02, 100);
+    const auto high = pnn::estimate_yield(fx.net, fx.split.x_test, fx.split.y_test,
+                                          0.85, 0.15, 100);
+    EXPECT_GE(low.yield + 1e-12, high.yield);
+    EXPECT_GE(low.worst_accuracy, high.worst_accuracy - 0.05);
+}
+
+TEST(Yield, Validation) {
+    const auto fx = trained_fixture();
+    EXPECT_THROW(pnn::estimate_yield(fx.net, fx.split.x_test, fx.split.y_test, 0.5, 0.05, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(pnn::worst_corner_accuracy(fx.net, fx.split.x_test, fx.split.y_test, 0.05,
+                                            0),
+                 std::invalid_argument);
+}
+
+TEST(CornerAnalysis, IsAtMostMonteCarloWorst) {
+    // Corners push every component to a tolerance extreme; the result must
+    // be no better than the uniform Monte-Carlo median.
+    const auto fx = trained_fixture();
+    const auto mc = pnn::estimate_yield(fx.net, fx.split.x_test, fx.split.y_test, 0.8,
+                                        0.10, 80);
+    const double corner =
+        pnn::worst_corner_accuracy(fx.net, fx.split.x_test, fx.split.y_test, 0.10, 40);
+    EXPECT_LE(corner, mc.median_accuracy + 1e-9);
+}
+
+// ---- cost analysis -----------------------------------------------------------
+
+TEST(CostAnalysis, ReportsPositivePhysicalNumbers) {
+    const auto fx = trained_fixture();
+    const auto design = pnn::extract_design(fx.net);
+    pnn::CostAnalysisOptions options;
+    options.transient.time_step = 50e-6;
+    options.transient.duration = 20e-3;
+    const auto cost = pnn::analyze_design_cost(design, options);
+    ASSERT_EQ(cost.layers.size(), 2u);
+    EXPECT_GT(cost.total_watts, 1e-6);
+    EXPECT_LT(cost.total_watts, 1.0);
+    EXPECT_GT(cost.latency_seconds, 0.0);
+    EXPECT_LT(cost.latency_seconds, 0.1);
+    EXPECT_GT(cost.components, 20u);
+    // Hidden layer has nonlinear circuits; the readout layer may only have
+    // negative-weight instances.
+    EXPECT_GT(cost.layers[0].nonlinear_watts, 0.0);
+    EXPECT_GT(cost.layers[0].settle_seconds, 0.0);
+}
+
+// ---- serialization --------------------------------------------------------------
+
+TEST(Serialize, RoundTripPreservesBehaviour) {
+    const auto fx = trained_fixture();
+    std::stringstream ss;
+    pnn::save_pnn(fx.net, ss);
+    const auto loaded =
+        pnn::load_pnn(ss, &rs_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                      &rs_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                      surrogate::DesignSpace::table1());
+    EXPECT_EQ(loaded.layer_sizes(), fx.net.layer_sizes());
+    const Matrix a = fx.net.predict(fx.split.x_test);
+    const Matrix b = loaded.predict(fx.split.x_test);
+    EXPECT_LT(math::max_abs_diff(a, b), 1e-12);
+}
+
+TEST(Serialize, RoundTripPreservesDesign) {
+    const auto fx = trained_fixture();
+    std::stringstream ss;
+    pnn::save_pnn(fx.net, ss);
+    const auto loaded =
+        pnn::load_pnn(ss, &rs_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                      &rs_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                      surrogate::DesignSpace::table1());
+    const auto original_design = pnn::extract_design(fx.net);
+    const auto loaded_design = pnn::extract_design(loaded);
+    EXPECT_EQ(pnn::export_spice(original_design), pnn::export_spice(loaded_design));
+}
+
+TEST(Serialize, RejectsGarbage) {
+    std::stringstream ss("not-a-pnn 9\n");
+    EXPECT_THROW(pnn::load_pnn(ss, &rs_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                               &rs_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                               surrogate::DesignSpace::table1()),
+                 std::runtime_error);
+}

@@ -1,0 +1,314 @@
+// Surrogate pipeline tests: design space, ratio feature extension (plain
+// and differentiable), dataset building, the MLP and the bundled surrogate
+// model (training, serialization, differentiability).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "surrogate/surrogate_model.hpp"
+#include "test_util.hpp"
+
+using namespace pnc;
+using circuit::NonlinearCircuitKind;
+using circuit::Omega;
+using math::Matrix;
+
+// ---- design space ---------------------------------------------------------
+
+TEST(DesignSpace, Table1Bounds) {
+    const auto space = surrogate::DesignSpace::table1();
+    EXPECT_DOUBLE_EQ(space.min(0), 10.0);
+    EXPECT_DOUBLE_EQ(space.max(0), 500.0);
+    EXPECT_DOUBLE_EQ(space.min(3), 8e3);
+    EXPECT_DOUBLE_EQ(space.max(6), 70.0);
+}
+
+TEST(DesignSpace, SamplesSatisfyAllConstraints) {
+    const auto space = surrogate::DesignSpace::table1();
+    math::SobolSequence sobol(7);
+    for (const auto& omega : space.sample_batch(sobol, 500)) {
+        ASSERT_TRUE(space.contains(omega));
+        ASSERT_GT(omega.r1, omega.r2);
+        ASSERT_GT(omega.r3, omega.r4);
+    }
+}
+
+TEST(DesignSpace, ContainsRejectsViolations) {
+    const auto space = surrogate::DesignSpace::table1();
+    Omega omega = circuit::kDefaultPtanhOmega;
+    EXPECT_TRUE(space.contains(omega));
+    omega.r2 = omega.r1 + 1.0;  // violates R1 > R2 (and the R2 box)
+    EXPECT_FALSE(space.contains(omega));
+    omega = circuit::kDefaultPtanhOmega;
+    omega.w = 1000.0;
+    EXPECT_FALSE(space.contains(omega));
+}
+
+TEST(DesignSpace, ClipProjectsIntoFeasibleSet) {
+    const auto space = surrogate::DesignSpace::table1();
+    Omega omega{600.0, 590.0, 5e3, 450e3, 900e3, 100.0, 100.0};
+    const Omega clipped = space.clip(omega);
+    EXPECT_TRUE(space.contains(clipped));
+}
+
+TEST(DesignSpace, RejectsBadBounds) {
+    EXPECT_THROW(surrogate::DesignSpace({1, 1, 1, 1, 1, 1, 1}, {2, 2, 0.5, 2, 2, 2, 2}),
+                 std::invalid_argument);
+}
+
+// ---- feature extension -------------------------------------------------------
+
+TEST(FeatureExtension, AppendsRatios) {
+    const Omega omega{100.0, 50.0, 200e3, 40e3, 300e3, 600.0, 30.0};
+    const Matrix ext = surrogate::extend_features(omega);
+    ASSERT_EQ(ext.cols(), 10u);
+    EXPECT_DOUBLE_EQ(ext(0, 7), 0.5);   // k1
+    EXPECT_DOUBLE_EQ(ext(0, 8), 0.2);   // k2
+    EXPECT_DOUBLE_EQ(ext(0, 9), 20.0);  // k3
+}
+
+TEST(FeatureExtension, MatrixAndVarVersionsAgree) {
+    math::Rng rng(3);
+    Matrix omega_rows(4, 7);
+    const auto space = surrogate::DesignSpace::table1();
+    math::SobolSequence sobol(7);
+    const auto omegas = space.sample_batch(sobol, 4);
+    for (std::size_t r = 0; r < 4; ++r) {
+        const auto a = omegas[r].to_array();
+        for (std::size_t c = 0; c < 7; ++c) omega_rows(r, c) = a[c];
+    }
+    const Matrix plain = surrogate::extend_features(omega_rows);
+    const Matrix via_var = surrogate::extend_features(ad::constant(omega_rows)).value();
+    EXPECT_LT(math::max_abs_diff(plain, via_var), 1e-12);
+}
+
+TEST(FeatureExtension, DifferentiableThroughRatios) {
+    // Gradient must flow into the raw parameters through the ratio columns.
+    math::Rng rng(4);
+    ad::Var omega = ad::parameter(rng.uniform_matrix(2, 7, 10.0, 100.0));
+    pnc::testutil::expect_gradients_match(
+        {omega}, [&] { return ad::sum(surrogate::extend_features(omega)); }, 1e-4, 1e-4);
+}
+
+// ---- dataset builder ------------------------------------------------------------
+
+namespace {
+
+const surrogate::SurrogateDataset& tiny_dataset(NonlinearCircuitKind kind) {
+    static const auto build = [](NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 200;
+        options.sweep_points = 17;
+        return surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(),
+                                                  options);
+    };
+    static const surrogate::SurrogateDataset ptanh = build(NonlinearCircuitKind::kPtanh);
+    static const surrogate::SurrogateDataset neg =
+        build(NonlinearCircuitKind::kNegativeWeight);
+    return kind == NonlinearCircuitKind::kPtanh ? ptanh : neg;
+}
+
+}  // namespace
+
+TEST(DatasetBuilder, ShapesAndResiduals) {
+    const auto& ds = tiny_dataset(NonlinearCircuitKind::kPtanh);
+    EXPECT_EQ(ds.size(), 200u);
+    EXPECT_EQ(ds.omega.cols(), 7u);
+    EXPECT_EQ(ds.eta.cols(), 4u);
+    for (double rmse : ds.fit_rmse) EXPECT_LT(rmse, 0.05);
+}
+
+TEST(DatasetBuilder, TargetsAreConditioned) {
+    const auto& ds = tiny_dataset(NonlinearCircuitKind::kPtanh);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        EXPECT_GE(ds.eta(i, 2), -0.5);
+        EXPECT_LE(ds.eta(i, 2), 1.5);
+        EXPECT_GE(std::abs(ds.eta(i, 3)), 0.0);
+        EXPECT_LE(ds.eta(i, 3), 80.0);
+    }
+}
+
+TEST(DatasetBuilder, NegativeWeightEtaHasNegativeOffset) {
+    // Eq. 3 fits of decreasing positive curves put eta1 < 0 (the leading
+    // minus makes the physical output -(eta1 + ...)).
+    const auto& ds = tiny_dataset(NonlinearCircuitKind::kNegativeWeight);
+    int negative_eta1 = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) negative_eta1 += ds.eta(i, 0) < 0.0;
+    EXPECT_GT(negative_eta1, static_cast<int>(ds.size() * 0.9));
+}
+
+TEST(DatasetBuilder, SaveLoadRoundTrip) {
+    const auto& ds = tiny_dataset(NonlinearCircuitKind::kPtanh);
+    std::stringstream ss;
+    ds.save(ss);
+    const auto loaded = surrogate::SurrogateDataset::load(ss);
+    EXPECT_EQ(loaded.kind, ds.kind);
+    EXPECT_EQ(loaded.size(), ds.size());
+    EXPECT_LT(math::max_abs_diff(loaded.omega, ds.omega), 1e-12);
+    EXPECT_LT(math::max_abs_diff(loaded.eta, ds.eta), 1e-12);
+}
+
+// ---- MLP ----------------------------------------------------------------------------
+
+TEST(Mlp, PaperArchitecture) {
+    const auto layers = surrogate::paper_surrogate_layers();
+    EXPECT_EQ(layers.size(), 14u);  // 13 weight layers
+    EXPECT_EQ(layers.front(), 10u);
+    EXPECT_EQ(layers.back(), 4u);
+}
+
+TEST(Mlp, ForwardShapeAndDeterminism) {
+    math::Rng rng(5);
+    const surrogate::Mlp mlp({3, 8, 2}, rng);
+    const Matrix x = rng.uniform_matrix(5, 3, 0.0, 1.0);
+    const Matrix y1 = mlp.predict(x);
+    const Matrix y2 = mlp.predict(x);
+    EXPECT_EQ(y1.rows(), 5u);
+    EXPECT_EQ(y1.cols(), 2u);
+    EXPECT_DOUBLE_EQ(math::max_abs_diff(y1, y2), 0.0);
+    EXPECT_THROW(mlp.predict(Matrix(5, 4)), std::invalid_argument);
+}
+
+TEST(Mlp, LearnsSimpleFunction) {
+    math::Rng rng(6);
+    surrogate::Mlp mlp({1, 8, 8, 1}, rng);
+    Matrix x(64, 1), y(64, 1);
+    for (std::size_t i = 0; i < 64; ++i) {
+        x(i, 0) = static_cast<double>(i) / 64.0;
+        y(i, 0) = std::sin(3.0 * x(i, 0));
+    }
+    surrogate::MlpTrainOptions options;
+    options.max_epochs = 1500;
+    options.learning_rate = 1e-2;
+    options.patience = 1500;
+    const auto result = surrogate::train_regression(mlp, x, y, x, y, options);
+    EXPECT_LT(result.validation_mse, 1e-3);
+}
+
+TEST(Mlp, EarlyStoppingRestoresBestWeights) {
+    math::Rng rng(7);
+    surrogate::Mlp mlp({1, 4, 1}, rng);
+    const Matrix x(8, 1, 0.5);
+    const Matrix y(8, 1, 1.0);
+    surrogate::MlpTrainOptions options;
+    options.max_epochs = 50;
+    options.patience = 5;
+    const auto result = surrogate::train_regression(mlp, x, y, x, y, options);
+    // Validation of the restored model equals the reported best value.
+    const Matrix pred = mlp.predict(x);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        const double d = pred[i] - y[i];
+        mse += d * d;
+    }
+    mse /= static_cast<double>(pred.size());
+    EXPECT_NEAR(mse, result.validation_mse, 1e-12);
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+    math::Rng rng(8);
+    const surrogate::Mlp mlp({2, 5, 3}, rng);
+    std::stringstream ss;
+    mlp.save(ss);
+    const auto loaded = surrogate::Mlp::load(ss);
+    EXPECT_EQ(loaded.layer_sizes(), mlp.layer_sizes());
+    const Matrix x = rng.uniform_matrix(4, 2, -1.0, 1.0);
+    EXPECT_LT(math::max_abs_diff(loaded.predict(x), mlp.predict(x)), 1e-12);
+}
+
+TEST(Mlp, GradientFlowsToInput) {
+    // The pNN relies on d(eta)/d(omega) through the frozen surrogate.
+    math::Rng rng(9);
+    const surrogate::Mlp mlp({3, 6, 2}, rng);
+    ad::Var x = ad::parameter(rng.uniform_matrix(1, 3, 0.0, 1.0));
+    pnc::testutil::expect_gradients_match({x}, [&] { return ad::sum(mlp.forward(x)); },
+                                          1e-6, 1e-5);
+}
+
+TEST(Mlp, Validation) {
+    math::Rng rng(10);
+    EXPECT_THROW(surrogate::Mlp({5}, rng), std::invalid_argument);
+    EXPECT_THROW(surrogate::Mlp({5, 0, 2}, rng), std::invalid_argument);
+}
+
+// ---- surrogate model -------------------------------------------------------------------
+
+namespace {
+
+const surrogate::SurrogateModel& tiny_model() {
+    static const surrogate::SurrogateModel model = [] {
+        surrogate::SurrogateTrainOptions options;
+        options.mlp.max_epochs = 400;
+        options.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(tiny_dataset(NonlinearCircuitKind::kPtanh),
+                                                options);
+    }();
+    return model;
+}
+
+}  // namespace
+
+TEST(SurrogateModel, TrainingReportsMetrics) {
+    surrogate::SurrogateTrainOptions options;
+    options.mlp.max_epochs = 300;
+    options.mlp.patience = 100;
+    surrogate::SurrogateMetrics metrics;
+    const auto model = surrogate::SurrogateModel::train(
+        tiny_dataset(NonlinearCircuitKind::kPtanh), options, &metrics);
+    EXPECT_GT(metrics.epochs_run, 0);
+    EXPECT_GT(metrics.test_mse, 0.0);
+    EXPECT_LT(metrics.test_mse, 0.1);
+    EXPECT_EQ(metrics.test_r2.size(), 4u);
+}
+
+TEST(SurrogateModel, PredictsNearFittedEta) {
+    // On the default design the surrogate must be close to the direct fit.
+    const auto& model = tiny_model();
+    const Omega omega = circuit::kDefaultPtanhOmega;
+    const auto predicted = model.predict(omega);
+    const auto curve =
+        circuit::simulate_characteristic(omega, NonlinearCircuitKind::kPtanh, 33);
+    const auto fitted = fit::fit_ptanh(curve, NonlinearCircuitKind::kPtanh);
+    EXPECT_NEAR(predicted.eta1, fitted.eta.eta1, 0.15);
+    EXPECT_NEAR(predicted.eta2, fitted.eta.eta2, 0.15);
+    EXPECT_NEAR(predicted.eta3, fitted.eta.eta3, 0.15);
+}
+
+TEST(SurrogateModel, ForwardRawMatchesPredict) {
+    const auto& model = tiny_model();
+    const Omega omega = circuit::kDefaultPtanhOmega;
+    const auto via_predict = model.predict(omega);
+    const Matrix ext = surrogate::extend_features(omega);
+    const Matrix via_var = model.forward_raw(ad::constant(ext)).value();
+    EXPECT_NEAR(via_var(0, 0), via_predict.eta1, 1e-12);
+    EXPECT_NEAR(via_var(0, 3), via_predict.eta4, 1e-12);
+}
+
+TEST(SurrogateModel, DifferentiableEndToEnd) {
+    const auto& model = tiny_model();
+    const Matrix ext = surrogate::extend_features(circuit::kDefaultPtanhOmega);
+    ad::Var omega_ext = ad::parameter(ext);
+    pnc::testutil::expect_gradients_match(
+        {omega_ext}, [&] { return ad::sum(model.forward_raw(omega_ext)); }, 1e-3, 1e-3);
+}
+
+TEST(SurrogateModel, SaveLoadRoundTrip) {
+    const auto& model = tiny_model();
+    std::stringstream ss;
+    model.save(ss);
+    const auto loaded = surrogate::SurrogateModel::load(ss);
+    EXPECT_EQ(loaded.kind(), model.kind());
+    const auto a = model.predict(circuit::kDefaultPtanhOmega);
+    const auto b = loaded.predict(circuit::kDefaultPtanhOmega);
+    EXPECT_DOUBLE_EQ(a.eta1, b.eta1);
+    EXPECT_DOUBLE_EQ(a.eta4, b.eta4);
+}
+
+TEST(SurrogateModel, RejectsWrongArchitecture) {
+    surrogate::SurrogateTrainOptions options;
+    options.layers = {10, 5, 3};  // output must be 4
+    EXPECT_THROW(surrogate::SurrogateModel::train(
+                     tiny_dataset(NonlinearCircuitKind::kPtanh), options),
+                 std::invalid_argument);
+}

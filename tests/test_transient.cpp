@@ -1,0 +1,183 @@
+// Transient-analysis and power-analysis tests: backward-Euler integration
+// against analytic RC responses, EGT gate-capacitance latency behaviour and
+// static power accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/power.hpp"
+#include "circuit/transient.hpp"
+
+using namespace pnc;
+using circuit::Netlist;
+using circuit::NonlinearCircuitKind;
+
+// ---- netlist capacitors --------------------------------------------------
+
+TEST(Capacitors, Validation) {
+    Netlist net;
+    const auto a = net.node("a");
+    EXPECT_THROW(net.add_capacitor(a, a, 1e-9), std::invalid_argument);
+    EXPECT_THROW(net.add_capacitor(a, Netlist::kGround, 0.0), std::invalid_argument);
+    net.add_capacitor(a, Netlist::kGround, 1e-9);
+    EXPECT_EQ(net.capacitors().size(), 1u);
+    EXPECT_NE(net.to_spice().find("C1 "), std::string::npos);
+}
+
+// ---- RC analytic checks -----------------------------------------------------
+
+TEST(Transient, RcChargingMatchesAnalytic) {
+    // R-C low-pass driven by a step: v(t) = V (1 - exp(-t / RC)).
+    Netlist net;
+    const auto in = net.node("in");
+    const auto out = net.node("out");
+    net.add_voltage_source(in, 0.0);
+    const double r = 10e3, c = 1e-9;  // tau = 10 us
+    net.add_resistor(in, out, r);
+    net.add_capacitor(out, Netlist::kGround, c);
+
+    circuit::TransientOptions options;
+    options.time_step = 2e-7;
+    options.duration = 50e-6;
+    const circuit::TransientSolver solver(options);
+    const auto result = solver.simulate(net, [&](double t, Netlist& n) {
+        n.set_source_voltage(in, t > 0.0 ? 1.0 : 0.0);
+    });
+
+    const auto waveform = result.node_waveform(out);
+    for (std::size_t i = 1; i < result.time.size(); i += 25) {
+        const double expected = 1.0 - std::exp(-result.time[i] / (r * c));
+        EXPECT_NEAR(waveform[i], expected, 0.02) << "t=" << result.time[i];
+    }
+    // After 5 tau the output has settled.
+    EXPECT_NEAR(waveform.back(), 1.0, 0.01);
+}
+
+TEST(Transient, RcDischargeTimeConstant) {
+    // Capacitor charged to 1 V through a divider settles at the divider
+    // voltage with tau = (R1 || R2) C.
+    Netlist net;
+    const auto in = net.node("in");
+    const auto out = net.node("out");
+    net.add_voltage_source(in, 1.0);
+    net.add_resistor(in, out, 20e3);
+    net.add_resistor(out, Netlist::kGround, 20e3);
+    net.add_capacitor(out, Netlist::kGround, 1e-9);
+
+    circuit::TransientOptions options;
+    options.time_step = 2e-7;
+    options.duration = 60e-6;
+    const auto result = circuit::TransientSolver(options).simulate(net);
+    const auto waveform = result.node_waveform(out);
+    // DC start: already at 0.5 V, stays there.
+    for (double v : waveform) EXPECT_NEAR(v, 0.5, 1e-6);
+}
+
+TEST(Transient, Validation) {
+    Netlist net;
+    net.add_voltage_source(net.node("a"), 1.0);
+    circuit::TransientOptions bad;
+    bad.time_step = 0.0;
+    EXPECT_THROW(circuit::TransientSolver(bad).simulate(net), std::invalid_argument);
+}
+
+// ---- EGT gate capacitance & latency --------------------------------------------
+
+TEST(Transient, GateCapacitancesScaleWithArea) {
+    auto net = circuit::build_nonlinear_circuit(
+        circuit::default_omega(NonlinearCircuitKind::kPtanh), NonlinearCircuitKind::kPtanh);
+    const auto before = net.capacitors().size();
+    circuit::add_egt_gate_capacitances(net);
+    EXPECT_EQ(net.capacitors().size(), before + net.transistors().size());
+    for (const auto& cap : net.capacitors()) {
+        EXPECT_GT(cap.capacitance, 0.0);
+        EXPECT_LT(cap.capacitance, 1e-6);
+    }
+}
+
+TEST(Transient, PtanhStepResponseSettlesInMilliseconds) {
+    // Printed neuromorphic circuits are slow by silicon standards: the
+    // settle time must be physical (micro- to milliseconds), not zero and
+    // not beyond the simulation window.
+    circuit::TransientOptions options;
+    options.time_step = 20e-6;
+    options.duration = 50e-3;
+    const double latency = circuit::measure_step_response_latency(
+        circuit::default_omega(NonlinearCircuitKind::kPtanh), NonlinearCircuitKind::kPtanh,
+        0.02, options);
+    EXPECT_GT(latency, options.time_step);
+    EXPECT_LT(latency, options.duration);
+}
+
+TEST(Transient, LargerGateAreaIsSlower) {
+    // The ptanh circuit's second gate is driven through the kOhm-range R3,
+    // so its settle time is dominated by R3 * C_gate with C_gate ~ W * L:
+    // a bigger transistor must be measurably slower.
+    circuit::TransientOptions options;
+    options.time_step = 5e-6;
+    options.duration = 80e-3;
+    circuit::Omega small = circuit::default_omega(NonlinearCircuitKind::kPtanh);
+    small.w = 200.0;
+    small.l = 10.0;
+    circuit::Omega large = small;
+    large.w = 800.0;
+    large.l = 70.0;
+    const double fast = circuit::measure_step_response_latency(
+        small, NonlinearCircuitKind::kPtanh, 0.02, options);
+    const double slow = circuit::measure_step_response_latency(
+        large, NonlinearCircuitKind::kPtanh, 0.02, options);
+    EXPECT_GT(slow, 2.0 * fast);
+}
+
+// ---- power ------------------------------------------------------------------------
+
+TEST(Power, ResistorDividerAnalytic) {
+    Netlist net;
+    const auto in = net.node("in");
+    const auto mid = net.node("mid");
+    net.add_voltage_source(in, 1.0);
+    net.add_resistor(in, mid, 1000.0);
+    net.add_resistor(mid, Netlist::kGround, 1000.0);
+    const auto report = circuit::analyze_power(net);
+    // 1 V across 2 kOhm: P = 0.5 mW total, 0.25 mW per resistor.
+    EXPECT_NEAR(report.resistor_watts, 0.5e-3, 1e-9);
+    EXPECT_DOUBLE_EQ(report.transistor_watts, 0.0);
+    ASSERT_EQ(report.source_currents.size(), 1u);
+    EXPECT_NEAR(report.source_currents[0], 0.5e-3, 1e-9);
+}
+
+TEST(Power, EnergyConservation) {
+    // Total dissipation equals the power delivered by the sources.
+    auto net = circuit::build_nonlinear_circuit(
+        circuit::default_omega(NonlinearCircuitKind::kPtanh), NonlinearCircuitKind::kPtanh);
+    net.set_source_voltage(net.find_node("in"), 0.7);
+    const auto solution = circuit::DcSolver().solve(net);
+    const auto report = circuit::analyze_power(net, solution);
+    double delivered = 0.0;
+    for (std::size_t s = 0; s < net.sources().size(); ++s)
+        delivered += net.sources()[s].voltage * report.source_currents[s];
+    EXPECT_NEAR(report.total(), delivered, 1e-9 + 1e-6 * std::abs(delivered));
+}
+
+TEST(Power, InverterBurnsMoreWhenOn) {
+    Netlist net;
+    const auto vdd = net.node("vdd");
+    const auto gate = net.node("g");
+    const auto drain = net.node("d");
+    net.add_voltage_source(vdd, 1.0);
+    net.add_voltage_source(gate, 0.0);
+    net.add_resistor(vdd, drain, 100e3);
+    net.add_transistor(drain, gate, Netlist::kGround, circuit::Egt(600.0, 20.0));
+    const double off_power = circuit::analyze_power(net).total();
+    net.set_source_voltage(gate, 1.0);
+    const double on_power = circuit::analyze_power(net).total();
+    EXPECT_GT(on_power, 10.0 * off_power);
+}
+
+TEST(Power, RejectsMismatchedSolution) {
+    Netlist net;
+    net.add_voltage_source(net.node("a"), 1.0);
+    circuit::DcSolution bogus;
+    bogus.voltages = {0.0};
+    EXPECT_THROW(circuit::analyze_power(net, bogus), std::invalid_argument);
+}

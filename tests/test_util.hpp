@@ -1,0 +1,48 @@
+// Shared test helpers: finite-difference gradient checking against the
+// autodiff engine.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "autodiff/ops.hpp"
+
+namespace pnc::testutil {
+
+/// Builds a scalar expression from leaf parameters. The callable must
+/// rebuild the graph from the *current* leaf values on every call.
+using ScalarBuilder = std::function<ad::Var()>;
+
+/// Verify d(expr)/d(leaf) for every element of every leaf against central
+/// finite differences. The builder is re-invoked after each perturbation.
+inline void expect_gradients_match(const std::vector<ad::Var>& leaves,
+                                   const ScalarBuilder& build, double step = 1e-6,
+                                   double tolerance = 1e-5) {
+    // Analytic gradients.
+    for (const auto& leaf : leaves) leaf.zero_grad();
+    ad::Var root = build();
+    ad::backward(root);
+    std::vector<math::Matrix> analytic;
+    for (const auto& leaf : leaves) analytic.push_back(leaf.grad());
+
+    for (std::size_t p = 0; p < leaves.size(); ++p) {
+        math::Matrix values = leaves[p].value();
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            const double original = values[i];
+            values[i] = original + step;
+            leaves[p].set_value(values);
+            const double f_plus = build().scalar();
+            values[i] = original - step;
+            leaves[p].set_value(values);
+            const double f_minus = build().scalar();
+            values[i] = original;
+            leaves[p].set_value(values);
+            const double numeric = (f_plus - f_minus) / (2.0 * step);
+            EXPECT_NEAR(analytic[p][i], numeric, tolerance)
+                << "leaf " << p << " element " << i;
+        }
+    }
+}
+
+}  // namespace pnc::testutil

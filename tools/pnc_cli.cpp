@@ -1,0 +1,268 @@
+// pnc — command-line interface to the printed-neuromorphic library.
+//
+//   pnc curve      --kind ptanh|inv [--omega r1,r2,r3,r4,r5,w,l] [--points N]
+//   pnc fit        --kind ptanh|inv [--omega ...]
+//   pnc datasets
+//   pnc dataset    --name iris [--seed N]
+//   pnc train      --dataset iris --out model.pnn [--eps 0.1] [--learnable 0|1]
+//                  [--epochs N] [--patience N] [--hidden N] [--seed N]
+//   pnc eval       --model model.pnn --dataset iris [--eps 0.1] [--mc N]
+//   pnc certify    --model model.pnn --dataset iris [--eps 0.05]
+//   pnc export     --model model.pnn [--out netlist.sp]
+//   pnc cost       --model model.pnn
+//
+// Surrogate models are loaded from (or built into) the artifact cache, the
+// same one the benches use ($PNC_ARTIFACTS, default ./artifacts).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "data/registry.hpp"
+#include "exp/artifacts.hpp"
+#include "pnn/certification.hpp"
+#include "pnn/cost_analysis.hpp"
+#include "pnn/netlist_export.hpp"
+#include "pnn/serialize.hpp"
+#include "pnn/training.hpp"
+
+using namespace pnc;
+
+namespace {
+
+struct Args {
+    std::string command;
+    std::map<std::string, std::string> options;
+
+    std::string get(const std::string& key, const std::string& fallback = "") const {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+    double number(const std::string& key, double fallback) const {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : std::stod(it->second);
+    }
+    std::string require(const std::string& key) const {
+        const auto it = options.find(key);
+        if (it == options.end())
+            throw std::runtime_error("missing required option --" + key);
+        return it->second;
+    }
+};
+
+Args parse_args(int argc, char** argv) {
+    Args args;
+    if (argc < 2) throw std::runtime_error("no command given (try 'pnc help')");
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0)
+            throw std::runtime_error("expected --option, got '" + token + "'");
+        token = token.substr(2);
+        if (i + 1 >= argc) throw std::runtime_error("--" + token + " needs a value");
+        args.options[token] = argv[++i];
+    }
+    return args;
+}
+
+circuit::NonlinearCircuitKind parse_kind(const std::string& kind) {
+    if (kind == "ptanh") return circuit::NonlinearCircuitKind::kPtanh;
+    if (kind == "inv" || kind == "negative_weight")
+        return circuit::NonlinearCircuitKind::kNegativeWeight;
+    throw std::runtime_error("unknown circuit kind '" + kind + "' (ptanh | inv)");
+}
+
+circuit::Omega parse_omega(const Args& args, circuit::NonlinearCircuitKind kind) {
+    const std::string spec = args.get("omega");
+    if (spec.empty()) return circuit::default_omega(kind);
+    std::array<double, circuit::Omega::kDimension> values{};
+    std::stringstream ss(spec);
+    std::string cell;
+    std::size_t i = 0;
+    while (std::getline(ss, cell, ',') && i < values.size()) values[i++] = std::stod(cell);
+    if (i != values.size())
+        throw std::runtime_error("--omega needs 7 comma-separated values");
+    return circuit::Omega::from_array(values);
+}
+
+int cmd_curve(const Args& args) {
+    const auto kind = parse_kind(args.get("kind", "ptanh"));
+    const auto omega = parse_omega(args, kind);
+    const auto points = static_cast<std::size_t>(args.number("points", 33));
+    const auto curve = circuit::simulate_characteristic(omega, kind, points);
+    std::printf("# Vin Vout\n");
+    for (std::size_t i = 0; i < curve.vin.size(); ++i)
+        std::printf("%.4f %.6f\n", curve.vin[i], curve.vout[i]);
+    return 0;
+}
+
+int cmd_fit(const Args& args) {
+    const auto kind = parse_kind(args.get("kind", "ptanh"));
+    const auto omega = parse_omega(args, kind);
+    const auto curve = circuit::simulate_characteristic(omega, kind, 48);
+    const auto fit = fit::fit_ptanh(curve, kind);
+    std::printf("eta1 = %.6f\neta2 = %.6f\neta3 = %.6f\neta4 = %.6f\nrmse = %.6f V\n",
+                fit.eta.eta1, fit.eta.eta2, fit.eta.eta3, fit.eta.eta4, fit.rmse);
+    return 0;
+}
+
+int cmd_datasets() {
+    std::printf("%-22s %8s %6s %8s %7s\n", "name", "samples", "dims", "classes", "exact");
+    for (const auto& spec : data::benchmark_specs())
+        std::printf("%-22s %8zu %6zu %8d %7s\n", spec.name.c_str(), spec.samples,
+                    spec.features, spec.classes, spec.exact ? "yes" : "no");
+    return 0;
+}
+
+int cmd_dataset(const Args& args) {
+    const auto ds = data::make_dataset(args.require("name"));
+    const auto split = data::split_and_normalize(
+        ds, static_cast<std::uint64_t>(args.number("seed", 99)));
+    std::printf("%s: %zu samples, %zu features, %d classes\n", ds.name.c_str(), ds.size(),
+                ds.n_features(), ds.n_classes);
+    std::printf("split: %zu train / %zu val / %zu test (features scaled to [0,1] V)\n",
+                split.x_train.rows(), split.x_val.rows(), split.x_test.rows());
+    return 0;
+}
+
+struct Surrogates {
+    surrogate::SurrogateModel act;
+    surrogate::SurrogateModel neg;
+};
+
+Surrogates load_surrogates() {
+    return {exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+            exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight)};
+}
+
+int cmd_train(const Args& args) {
+    const auto surrogates = load_surrogates();
+    const auto split = data::split_and_normalize(
+        data::make_dataset(args.require("dataset")),
+        static_cast<std::uint64_t>(args.number("seed", 99)));
+    const auto hidden = static_cast<std::size_t>(args.number("hidden", 3));
+
+    math::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+    pnn::Pnn net({split.n_features(), hidden, static_cast<std::size_t>(split.n_classes)},
+                 &surrogates.act, &surrogates.neg, surrogate::DesignSpace::table1(), rng);
+
+    pnn::TrainOptions options;
+    options.epsilon = args.number("eps", 0.0);
+    options.n_mc_train = options.epsilon > 0 ? static_cast<int>(args.number("mc", 10)) : 1;
+    options.learnable_nonlinear = args.number("learnable", 1) != 0;
+    options.max_epochs = static_cast<int>(args.number("epochs", 1500));
+    options.patience = static_cast<int>(args.number("patience", 300));
+    options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+    const auto result = pnn::train_pnn(net, split, options);
+    std::printf("trained %d epochs, best validation loss %.5f\n", result.epochs_run,
+                result.best_val_loss);
+
+    const std::string out = args.get("out", "model.pnn");
+    pnn::save_pnn_file(net, out);
+    std::printf("model written to %s\n", out.c_str());
+    return 0;
+}
+
+pnn::Pnn load_model(const Args& args, const Surrogates& surrogates) {
+    return pnn::load_pnn_file(args.require("model"), &surrogates.act, &surrogates.neg,
+                              surrogate::DesignSpace::table1());
+}
+
+int cmd_eval(const Args& args) {
+    const auto surrogates = load_surrogates();
+    const auto net = load_model(args, surrogates);
+    const auto split = data::split_and_normalize(
+        data::make_dataset(args.require("dataset")),
+        static_cast<std::uint64_t>(args.number("seed", 99)));
+    pnn::EvalOptions options;
+    options.epsilon = args.number("eps", 0.0);
+    options.n_mc = static_cast<int>(args.number("mc", 100));
+    const auto result = pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+    std::printf("test accuracy @%.0f%% variation: %.4f +- %.4f (%zu Monte-Carlo samples)\n",
+                options.epsilon * 100, result.mean_accuracy, result.std_accuracy,
+                result.per_sample_accuracy.size());
+    return 0;
+}
+
+int cmd_certify(const Args& args) {
+    const auto surrogates = load_surrogates();
+    const auto net = load_model(args, surrogates);
+    const auto split = data::split_and_normalize(
+        data::make_dataset(args.require("dataset")),
+        static_cast<std::uint64_t>(args.number("seed", 99)));
+    pnn::CertificationOptions options;
+    options.epsilon = args.number("eps", 0.05);
+    const auto result = pnn::certify(net, split.x_test, split.y_test, options);
+    std::printf("certified accuracy @%.0f%%: %.4f (decision-stable fraction %.4f, "
+                "%zu samples)\n",
+                options.epsilon * 100, result.certified_accuracy,
+                result.certified_fraction, result.samples);
+    return 0;
+}
+
+int cmd_export(const Args& args) {
+    const auto surrogates = load_surrogates();
+    const auto net = load_model(args, surrogates);
+    const auto design = pnn::extract_design(net);
+    const std::string spice = pnn::export_spice(design);
+    const std::string out = args.get("out");
+    if (out.empty()) {
+        std::fputs(spice.c_str(), stdout);
+    } else {
+        std::ofstream(out) << spice;
+        std::printf("netlist (%zu components) written to %s\n", design.component_count(),
+                    out.c_str());
+    }
+    return 0;
+}
+
+int cmd_cost(const Args& args) {
+    const auto surrogates = load_surrogates();
+    const auto net = load_model(args, surrogates);
+    const auto design = pnn::extract_design(net);
+    pnn::CostAnalysisOptions options;
+    options.transient.time_step = 20e-6;
+    options.transient.duration = 40e-3;
+    const auto cost = pnn::analyze_design_cost(design, options);
+    std::printf("components: %zu\nstatic power: %.1f uW\nlatency: %.2f ms\n",
+                cost.components, cost.total_watts * 1e6, cost.latency_seconds * 1e3);
+    for (std::size_t l = 0; l < cost.layers.size(); ++l)
+        std::printf("  layer %zu: crossbar %.1f uW, nonlinear %.1f uW, settle %.2f ms\n", l,
+                    cost.layers[l].crossbar_watts * 1e6,
+                    cost.layers[l].nonlinear_watts * 1e6,
+                    cost.layers[l].settle_seconds * 1e3);
+    return 0;
+}
+
+int cmd_help() {
+    std::puts("pnc — printed neuromorphic circuit designer");
+    std::puts("commands: curve fit datasets dataset train eval certify export cost help");
+    std::puts("see the header of tools/pnc_cli.cpp for the option reference");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const Args args = parse_args(argc, argv);
+        if (args.command == "curve") return cmd_curve(args);
+        if (args.command == "fit") return cmd_fit(args);
+        if (args.command == "datasets") return cmd_datasets();
+        if (args.command == "dataset") return cmd_dataset(args);
+        if (args.command == "train") return cmd_train(args);
+        if (args.command == "eval") return cmd_eval(args);
+        if (args.command == "certify") return cmd_certify(args);
+        if (args.command == "export") return cmd_export(args);
+        if (args.command == "cost") return cmd_cost(args);
+        if (args.command == "help" || args.command == "--help") return cmd_help();
+        std::cerr << "unknown command '" << args.command << "'\n";
+        cmd_help();
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
