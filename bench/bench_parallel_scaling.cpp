@@ -1,0 +1,101 @@
+// Parallel Monte-Carlo scaling: wall-clock of the N_test=100 evaluation
+// sweep and the yield sweep vs thread count on a 3-layer pNN, plus a
+// bit-identity check across thread counts (the determinism contract of
+// src/runtime/). Results are appended to artifacts/parallel_scaling.csv.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/registry.hpp"
+#include "exp/artifacts.hpp"
+#include "pnn/robustness.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace pnc;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double best_of_ms(int reps, const std::function<void()>& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        fn();
+        const std::chrono::duration<double, std::milli> elapsed = Clock::now() - start;
+        best = std::min(best, elapsed.count());
+    }
+    return best;
+}
+
+}  // namespace
+
+int main() {
+    const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto neg =
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 17);
+    const auto space = surrogate::DesignSpace::table1();
+
+    // A 3-layer (two hidden) pNN: a heavier forward pass than the paper's
+    // #in-3-#out topology, so per-sample work dominates the fan-out cost.
+    math::Rng rng(5);
+    pnn::Pnn net({split.n_features(), 6, 4, static_cast<std::size_t>(split.n_classes)},
+                 &act, &neg, space, rng);
+
+    pnn::EvalOptions eval;
+    eval.epsilon = 0.10;
+    eval.n_mc = exp::env_int("PNC_MC_TEST", 100);
+    const int yield_mc = exp::env_int("PNC_MC_YIELD", 100);
+    const int reps = exp::env_int("PNC_BENCH_REPS", 3);
+
+    std::printf("parallel Monte-Carlo scaling (N_test=%d eval, %d-sample yield, "
+                "hardware threads: %zu)\n\n",
+                eval.n_mc, yield_mc, runtime::ThreadPool::default_thread_count());
+    std::printf("%8s %12s %10s %12s %10s %14s\n", "threads", "eval ms", "speedup",
+                "yield ms", "speedup", "mean acc");
+
+    const std::string csv_path = exp::artifact_dir() + "/parallel_scaling.csv";
+    std::ofstream csv(csv_path);
+    csv << "threads,eval_ms,eval_speedup,yield_ms,yield_speedup,mean_accuracy\n";
+
+    double eval_baseline_ms = 0.0, yield_baseline_ms = 0.0;
+    double reference_mean = 0.0;
+    bool bit_identical = true;
+    for (std::size_t threads : {1, 2, 4, 8}) {
+        runtime::set_global_threads(threads);
+
+        pnn::EvalResult result;  // warmup + correctness probe
+        result = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
+        if (threads == 1)
+            reference_mean = result.mean_accuracy;
+        else
+            bit_identical &= result.mean_accuracy == reference_mean;
+
+        const double eval_ms = best_of_ms(reps, [&] {
+            result = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
+        });
+        const double yield_ms = best_of_ms(reps, [&] {
+            pnn::estimate_yield(net, split.x_test, split.y_test, 0.8, 0.10, yield_mc);
+        });
+        if (threads == 1) {
+            eval_baseline_ms = eval_ms;
+            yield_baseline_ms = yield_ms;
+        }
+
+        const double eval_speedup = eval_baseline_ms / eval_ms;
+        const double yield_speedup = yield_baseline_ms / yield_ms;
+        std::printf("%8zu %12.2f %9.2fx %12.2f %9.2fx %14.4f\n", threads, eval_ms,
+                    eval_speedup, yield_ms, yield_speedup, result.mean_accuracy);
+        csv << threads << ',' << eval_ms << ',' << eval_speedup << ',' << yield_ms << ','
+            << yield_speedup << ',' << result.mean_accuracy << '\n';
+    }
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+
+    std::printf("\nbit-identical across thread counts: %s\n", bit_identical ? "yes" : "NO");
+    std::printf("wrote %s\n", csv_path.c_str());
+    return bit_identical ? 0 : 1;
+}

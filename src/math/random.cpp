@@ -85,6 +85,13 @@ void Rng::shuffle(std::vector<std::size_t>& v) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::vector<Rng> Rng::split_n(std::size_t n) {
+    std::vector<Rng> children;
+    children.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) children.push_back(split());
+    return children;
+}
+
 std::vector<std::size_t> iota_indices(std::size_t n) {
     std::vector<std::size_t> v(n);
     std::iota(v.begin(), v.end(), std::size_t{0});

@@ -46,6 +46,12 @@ public:
     /// subsystem its own stream without coupling their consumption order.
     Rng split();
 
+    /// n children split in index order. The Monte-Carlo hot paths pre-split
+    /// one stream per sample before fanning out, so which randomness sample
+    /// i consumes is fixed by (seed, i) alone — never by the execution
+    /// schedule — and parallel results are bit-identical to serial ones.
+    std::vector<Rng> split_n(std::size_t n);
+
 private:
     std::uint64_t state_[4];
     bool have_cached_normal_ = false;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "autodiff/ops.hpp"
+#include "runtime/thread_pool.hpp"
 #include "surrogate/feature_extension.hpp"
 
 namespace pnc::pnn {
@@ -171,8 +173,12 @@ CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<i
     CertificationResult result;
     result.samples = x.rows();
 
-    std::size_t stable = 0, correct = 0;
-    for (std::size_t r = 0; r < x.rows(); ++r) {
+    // Rows are independent (and consume no randomness), so certification
+    // fans out per row; per-row flags land in index-keyed slots and are
+    // summed afterwards, identical at any thread count.
+    std::vector<std::uint8_t> row_stable(x.rows(), 0);
+    std::vector<std::uint8_t> row_correct(x.rows(), 0);
+    runtime::parallel_for(x.rows(), [&](std::size_t r) {
         std::vector<double> input(x.cols());
         for (std::size_t c = 0; c < x.cols(); ++c) input[c] = x(r, c);
         const auto bounds = certified_output_bounds(pnn, input, options);
@@ -187,8 +193,13 @@ CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<i
         bool is_stable = true;
         for (std::size_t j = 0; j < bounds.size() && is_stable; ++j)
             if (j != predicted) is_stable = bounds[predicted].lo > bounds[j].hi;
-        stable += is_stable;
-        correct += is_stable && static_cast<int>(predicted) == y[r];
+        row_stable[r] = is_stable;
+        row_correct[r] = is_stable && static_cast<int>(predicted) == y[r];
+    });
+    std::size_t stable = 0, correct = 0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        stable += row_stable[r];
+        correct += row_correct[r];
     }
     result.certified_fraction = static_cast<double>(stable) / static_cast<double>(x.rows());
     result.certified_accuracy = static_cast<double>(correct) / static_cast<double>(x.rows());

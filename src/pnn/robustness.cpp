@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "math/stats.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace pnc::pnn {
 
@@ -15,15 +16,17 @@ YieldResult estimate_yield(const Pnn& pnn, const Matrix& x, const std::vector<in
     const circuit::VariationModel model(eps);
     math::Rng rng(seed);
 
-    std::vector<double> accuracies;
-    accuracies.reserve(static_cast<std::size_t>(n_mc));
+    // Per-sample pre-split streams + index-keyed results: bit-identical to
+    // the serial sweep at any thread count (see DESIGN.md, "Threading model").
+    const auto n_samples = static_cast<std::size_t>(n_mc);
+    std::vector<math::Rng> streams = rng.split_n(n_samples);
+    std::vector<double> accuracies(n_samples);
+    runtime::parallel_for(n_samples, [&](std::size_t s) {
+        const NetworkVariation factors = pnn.sample_variation(model, streams[s]);
+        accuracies[s] = ad::accuracy(pnn.predict(x, &factors), y);
+    });
     std::size_t passing = 0;
-    for (int s = 0; s < n_mc; ++s) {
-        const NetworkVariation factors = pnn.sample_variation(model, rng);
-        const double acc = ad::accuracy(pnn.predict(x, &factors), y);
-        accuracies.push_back(acc);
-        passing += acc >= accuracy_spec;
-    }
+    for (double acc : accuracies) passing += acc >= accuracy_spec;
     std::sort(accuracies.begin(), accuracies.end());
 
     YieldResult result;
@@ -46,18 +49,23 @@ double worst_corner_accuracy(const Pnn& pnn, const Matrix& x, const std::vector<
             factors[i] = r.uniform() < 0.5 ? 1.0 - eps : 1.0 + eps;
     };
 
-    double worst = 1.0;
-    for (int c = 0; c < n_corners; ++c) {
-        NetworkVariation corner = pnn.sample_variation(model, rng);
+    const auto n_samples = static_cast<std::size_t>(n_corners);
+    std::vector<math::Rng> streams = rng.split_n(n_samples);
+    std::vector<double> corner_accuracy(n_samples);
+    runtime::parallel_for(n_samples, [&](std::size_t c) {
+        math::Rng& stream = streams[c];
+        NetworkVariation corner = pnn.sample_variation(model, stream);
         for (auto& layer : corner) {
-            snap_to_corner(layer.theta_in, rng);
-            snap_to_corner(layer.theta_bias, rng);
-            snap_to_corner(layer.theta_drain, rng);
-            snap_to_corner(layer.omega_act, rng);
-            snap_to_corner(layer.omega_neg, rng);
+            snap_to_corner(layer.theta_in, stream);
+            snap_to_corner(layer.theta_bias, stream);
+            snap_to_corner(layer.theta_drain, stream);
+            snap_to_corner(layer.omega_act, stream);
+            snap_to_corner(layer.omega_neg, stream);
         }
-        worst = std::min(worst, ad::accuracy(pnn.predict(x, &corner), y));
-    }
+        corner_accuracy[c] = ad::accuracy(pnn.predict(x, &corner), y);
+    });
+    double worst = 1.0;
+    for (double acc : corner_accuracy) worst = std::min(worst, acc);
     return worst;
 }
 

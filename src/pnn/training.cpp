@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "math/stats.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace pnc::pnn {
 
@@ -39,12 +40,19 @@ Var monte_carlo_loss(const Pnn& pnn, const Var& x, const std::vector<int>& y,
                                        pnn.sample_variation(variation, rng));
         return classification_loss(pnn.forward(x, factors.get()), y, loss_kind, margin);
     }
+    // One pre-split child stream per sample: which randomness sample s
+    // consumes is fixed before the fan-out, so the parallel schedule cannot
+    // change it. Graph building is thread-safe (each sample allocates its
+    // own nodes; shared parameter leaves are only read).
+    std::vector<math::Rng> streams = rng.split_n(static_cast<std::size_t>(n_mc));
+    std::vector<Var> losses(static_cast<std::size_t>(n_mc));
+    runtime::parallel_for(static_cast<std::size_t>(n_mc), [&](std::size_t s) {
+        const NetworkVariation factors = pnn.sample_variation(variation, streams[s]);
+        losses[s] = classification_loss(pnn.forward(x, &factors), y, loss_kind, margin);
+    });
+    // Reduce in sample-index order: bit-identical at every thread count.
     Var total;
-    for (int s = 0; s < n_mc; ++s) {
-        const NetworkVariation factors = pnn.sample_variation(variation, rng);
-        const Var loss = classification_loss(pnn.forward(x, &factors), y, loss_kind, margin);
-        total = total.valid() ? ad::add(total, loss) : loss;
-    }
+    for (const Var& loss : losses) total = total.valid() ? ad::add(total, loss) : loss;
     return ad::mul_scalar(total, 1.0 / static_cast<double>(n_mc));
 }
 
@@ -143,14 +151,17 @@ EvalResult evaluate_pnn(const Pnn& pnn, const Matrix& x, const std::vector<int>&
     math::Rng rng(options.seed);
 
     EvalResult result;
-    result.per_sample_accuracy.reserve(static_cast<std::size_t>(options.n_mc));
-    for (int s = 0; s < options.n_mc; ++s) {
-        if (variation.is_nominal()) {
-            result.per_sample_accuracy.push_back(ad::accuracy(pnn.predict(x), y));
-            break;  // deterministic: one sample suffices
-        }
-        const NetworkVariation factors = pnn.sample_variation(variation, rng);
-        result.per_sample_accuracy.push_back(ad::accuracy(pnn.predict(x, &factors), y));
+    if (variation.is_nominal()) {
+        // Deterministic: one sample suffices.
+        result.per_sample_accuracy.push_back(ad::accuracy(pnn.predict(x), y));
+    } else {
+        const auto n_mc = static_cast<std::size_t>(options.n_mc);
+        std::vector<math::Rng> streams = rng.split_n(n_mc);
+        result.per_sample_accuracy.resize(n_mc);
+        runtime::parallel_for(n_mc, [&](std::size_t s) {
+            const NetworkVariation factors = pnn.sample_variation(variation, streams[s]);
+            result.per_sample_accuracy[s] = ad::accuracy(pnn.predict(x, &factors), y);
+        });
     }
     result.mean_accuracy = math::mean(result.per_sample_accuracy);
     result.std_accuracy = result.per_sample_accuracy.size() > 1

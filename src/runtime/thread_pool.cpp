@@ -1,0 +1,148 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pnc::runtime {
+
+namespace {
+
+// Set while a pool worker runs a task: a nested parallel_for from inside a
+// task would wait on chunks no free worker can pick up, so it runs inline.
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+    std::mutex mutex;
+    std::condition_variable work_available;
+    std::deque<std::function<void()>> queue;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+
+    void worker_loop() {
+        t_inside_worker = true;
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                work_available.wait(lock, [&] { return stopping || !queue.empty(); });
+                if (queue.empty()) return;  // stopping and drained
+                task = std::move(queue.front());
+                queue.pop_front();
+            }
+            task();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads) : n_threads_(std::max<std::size_t>(n_threads, 1)) {
+    if (n_threads_ <= 1) return;  // inline-only: no workers, no queue
+    impl_ = std::make_unique<Impl>();
+    impl_->workers.reserve(n_threads_ - 1);
+    for (std::size_t i = 0; i + 1 < n_threads_; ++i)
+        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    if (!impl_) return;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stopping = true;
+    }
+    impl_->work_available.notify_all();
+    for (auto& worker : impl_->workers) worker.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    const std::size_t chunks = std::min(n_threads_, n);
+    if (chunks <= 1 || !impl_ || t_inside_worker) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    // One contiguous chunk per thread; the caller takes chunk 0 and the
+    // completion mutex hands the workers' writes back to the caller.
+    struct Join {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t pending;
+        std::exception_ptr error;
+    } join;
+    join.pending = chunks - 1;
+
+    const auto run_chunk = [&](std::size_t chunk) {
+        const std::size_t lo = n * chunk / chunks;
+        const std::size_t hi = n * (chunk + 1) / chunks;
+        try {
+            for (std::size_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(join.mutex);
+            if (!join.error) join.error = std::current_exception();
+        }
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        for (std::size_t chunk = 1; chunk < chunks; ++chunk)
+            impl_->queue.emplace_back([&join, &run_chunk, chunk] {
+                run_chunk(chunk);
+                // Notify while holding the mutex: the waiter owns `join` and
+                // destroys it as soon as it sees pending == 0, which it can
+                // only do after this worker has fully released the cv.
+                std::lock_guard<std::mutex> done_lock(join.mutex);
+                --join.pending;
+                join.done.notify_one();
+            });
+    }
+    impl_->work_available.notify_all();
+
+    run_chunk(0);
+    std::unique_lock<std::mutex> lock(join.mutex);
+    join.done.wait(lock, [&] { return join.pending == 0; });
+    if (join.error) std::rethrow_exception(join.error);
+}
+
+std::size_t ThreadPool::default_thread_count() {
+    if (const char* env = std::getenv("PNC_NUM_THREADS")) {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed >= 1)
+            return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool& global_pool() {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool) g_pool = std::make_unique<ThreadPool>(ThreadPool::default_thread_count());
+    return *g_pool;
+}
+
+void set_global_threads(std::size_t n_threads) {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_pool = std::make_unique<ThreadPool>(n_threads);
+}
+
+std::size_t global_thread_count() { return global_pool().n_threads(); }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    global_pool().parallel_for(n, fn);
+}
+
+}  // namespace pnc::runtime

@@ -1,0 +1,75 @@
+// Fixed-size thread pool for deterministic Monte-Carlo fan-out.
+//
+// Every expensive loop in this library is an embarrassingly-parallel
+// Monte-Carlo sweep (variation-aware training, MC evaluation, yield /
+// corner analysis, per-row certification). The pool is deliberately
+// minimal — no work stealing, no futures:
+//
+//  * parallel_for carves [0, n) into one contiguous chunk per thread, so
+//    which indices run concurrently is a pure function of (n, n_threads),
+//    never of timing;
+//  * determinism is the *call site's* contract: each Monte-Carlo site
+//    pre-splits one Rng per sample index from the parent stream and
+//    reduces results in index order, so outputs are bit-identical to the
+//    serial path at any thread count (see DESIGN.md, "Threading model");
+//  * a pool of size <= 1 spawns no workers at all and parallel_for runs
+//    inline on the calling thread, which keeps single-threaded debugging
+//    and sanitizer baselines trivial.
+//
+// The pool size defaults to $PNC_NUM_THREADS, falling back to
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace pnc::runtime {
+
+class ThreadPool {
+public:
+    /// A pool that executes parallel_for with up to `n_threads` concurrent
+    /// chunks (the calling thread counts as one; n_threads - 1 workers are
+    /// spawned). n_threads == 0 is treated as 1.
+    explicit ThreadPool(std::size_t n_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t n_threads() const { return n_threads_; }
+
+    /// Invoke fn(i) for every i in [0, n). Blocks until all indices are
+    /// done. The first exception thrown by any chunk is rethrown on the
+    /// calling thread (remaining chunks still run to completion, so the
+    /// pool stays reusable). Runs inline when n <= 1, the pool is
+    /// single-threaded, or the caller is itself a pool worker (nested
+    /// parallel_for degrades to serial instead of deadlocking).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// $PNC_NUM_THREADS if set to a positive integer, otherwise
+    /// hardware_concurrency() (minimum 1).
+    static std::size_t default_thread_count();
+
+private:
+    struct Impl;
+    std::size_t n_threads_;
+    std::unique_ptr<Impl> impl_;  ///< null for single-threaded pools
+};
+
+/// The process-wide pool used by the Monte-Carlo hot paths. Constructed on
+/// first use with default_thread_count().
+ThreadPool& global_pool();
+
+/// Replace the global pool with one of `n_threads`. Intended for tests and
+/// benchmarks that sweep thread counts; must not race with a concurrent
+/// parallel_for on the old pool.
+void set_global_threads(std::size_t n_threads);
+
+/// Size of the global pool (constructs it if needed).
+std::size_t global_thread_count();
+
+/// global_pool().parallel_for(n, fn).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace pnc::runtime

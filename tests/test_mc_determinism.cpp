@@ -1,0 +1,231 @@
+// Serial/parallel equivalence suite for the Monte-Carlo engine.
+//
+// The determinism contract (DESIGN.md, "Threading model"): every MC hot
+// path pre-splits one child Rng per sample index from the parent stream
+// and reduces results in sample-index order, so training, evaluation,
+// yield estimation, corner analysis and certification are bit-identical —
+// not merely statistically equivalent — at any thread count. These tests
+// run the same seeded workload at 1, 2 and 8 threads and compare results
+// to the last bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "pnn/certification.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+#include "surrogate/dataset_builder.hpp"
+
+using namespace pnc;
+using math::Matrix;
+
+namespace {
+
+const surrogate::SurrogateModel& det_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto dataset =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(dataset, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+pnn::Pnn make_net(std::uint64_t seed = 61) {
+    math::Rng rng(seed);
+    return pnn::Pnn({2, 3, 2}, &det_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &det_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+data::SplitDataset blob_split() {
+    math::Rng rng(62);
+    data::Dataset ds;
+    ds.name = "blobs";
+    ds.n_classes = 2;
+    ds.features = Matrix(60, 2);
+    for (int i = 0; i < 60; ++i) {
+        const int label = i % 2;
+        ds.labels.push_back(label);
+        ds.features(i, 0) = rng.normal(label ? 0.8 : 0.2, 0.08);
+        ds.features(i, 1) = rng.normal(label ? 0.2 : 0.8, 0.08);
+    }
+    return data::split_and_normalize(ds, 9);
+}
+
+/// Run fn under each thread count and return one result per count. The
+/// global pool is restored to its default size afterwards.
+template <typename Fn>
+auto sweep_threads(Fn&& fn) {
+    std::vector<decltype(fn())> results;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        runtime::set_global_threads(threads);
+        results.push_back(fn());
+    }
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    return results;
+}
+
+void expect_bitwise_equal(const Matrix& a, const Matrix& b, const char* what) {
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+}  // namespace
+
+TEST(McDeterminism, EvaluationBitIdenticalAcrossThreadCounts) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto results = sweep_threads([&] {
+        pnn::EvalOptions options;
+        options.epsilon = 0.1;
+        options.n_mc = 24;
+        return pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+    });
+    for (std::size_t t = 1; t < results.size(); ++t) {
+        EXPECT_EQ(results[0].mean_accuracy, results[t].mean_accuracy);
+        EXPECT_EQ(results[0].std_accuracy, results[t].std_accuracy);
+        ASSERT_EQ(results[0].per_sample_accuracy.size(),
+                  results[t].per_sample_accuracy.size());
+        for (std::size_t s = 0; s < results[0].per_sample_accuracy.size(); ++s)
+            EXPECT_EQ(results[0].per_sample_accuracy[s], results[t].per_sample_accuracy[s])
+                << "sample " << s << " at thread count index " << t;
+    }
+}
+
+TEST(McDeterminism, TrainingBitIdenticalAcrossThreadCounts) {
+    const auto split = blob_split();
+    struct Outcome {
+        pnn::TrainResult result;
+        std::vector<Matrix> params;
+    };
+    const auto outcomes = sweep_threads([&] {
+        auto net = make_net();  // same seed -> same initialization every run
+        pnn::TrainOptions options;
+        options.max_epochs = 12;
+        options.patience = 12;
+        options.epsilon = 0.1;
+        options.n_mc_train = 4;
+        options.n_mc_val = 2;
+        options.seed = 63;
+        const auto result = pnn::train_pnn(net, split, options);
+        return Outcome{result, net.snapshot()};
+    });
+    for (std::size_t t = 1; t < outcomes.size(); ++t) {
+        EXPECT_EQ(outcomes[0].result.best_val_loss, outcomes[t].result.best_val_loss);
+        EXPECT_EQ(outcomes[0].result.final_train_loss, outcomes[t].result.final_train_loss);
+        EXPECT_EQ(outcomes[0].result.best_epoch, outcomes[t].result.best_epoch);
+        EXPECT_EQ(outcomes[0].result.epochs_run, outcomes[t].result.epochs_run);
+        ASSERT_EQ(outcomes[0].params.size(), outcomes[t].params.size());
+        for (std::size_t p = 0; p < outcomes[0].params.size(); ++p)
+            expect_bitwise_equal(outcomes[0].params[p], outcomes[t].params[p],
+                                 "trained parameter");
+    }
+}
+
+TEST(McDeterminism, MinibatchTrainingBitIdenticalAcrossThreadCounts) {
+    const auto split = blob_split();
+    const auto outcomes = sweep_threads([&] {
+        auto net = make_net();
+        pnn::TrainOptions options;
+        options.max_epochs = 6;
+        options.patience = 6;
+        options.epsilon = 0.1;
+        options.n_mc_train = 3;
+        options.n_mc_val = 2;
+        options.batch_size = 16;
+        options.seed = 64;
+        pnn::train_pnn(net, split, options);
+        return net.snapshot();
+    });
+    for (std::size_t t = 1; t < outcomes.size(); ++t) {
+        ASSERT_EQ(outcomes[0].size(), outcomes[t].size());
+        for (std::size_t p = 0; p < outcomes[0].size(); ++p)
+            expect_bitwise_equal(outcomes[0][p], outcomes[t][p], "minibatch parameter");
+    }
+}
+
+TEST(McDeterminism, YieldBitIdenticalAcrossThreadCounts) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto results = sweep_threads([&] {
+        return pnn::estimate_yield(net, split.x_test, split.y_test, 0.6, 0.1, 32, 91);
+    });
+    for (std::size_t t = 1; t < results.size(); ++t) {
+        EXPECT_EQ(results[0].yield, results[t].yield);
+        EXPECT_EQ(results[0].worst_accuracy, results[t].worst_accuracy);
+        EXPECT_EQ(results[0].p5_accuracy, results[t].p5_accuracy);
+        EXPECT_EQ(results[0].median_accuracy, results[t].median_accuracy);
+    }
+}
+
+TEST(McDeterminism, CornerAnalysisBitIdenticalAcrossThreadCounts) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto results = sweep_threads([&] {
+        return pnn::worst_corner_accuracy(net, split.x_test, split.y_test, 0.1, 24, 92);
+    });
+    for (std::size_t t = 1; t < results.size(); ++t) EXPECT_EQ(results[0], results[t]);
+}
+
+TEST(McDeterminism, CertificationBitIdenticalAcrossThreadCounts) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto results = sweep_threads([&] {
+        pnn::CertificationOptions options;
+        options.epsilon = 0.02;
+        return pnn::certify(net, split.x_test, split.y_test, options);
+    });
+    for (std::size_t t = 1; t < results.size(); ++t) {
+        EXPECT_EQ(results[0].certified_accuracy, results[t].certified_accuracy);
+        EXPECT_EQ(results[0].certified_fraction, results[t].certified_fraction);
+        EXPECT_EQ(results[0].samples, results[t].samples);
+    }
+}
+
+TEST(McDeterminism, SameSeedSameThreadCountIsRepeatable) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    runtime::set_global_threads(2);
+    pnn::EvalOptions options;
+    options.epsilon = 0.1;
+    options.n_mc = 16;
+    const auto first = pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+    const auto second = pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    ASSERT_EQ(first.per_sample_accuracy.size(), second.per_sample_accuracy.size());
+    for (std::size_t s = 0; s < first.per_sample_accuracy.size(); ++s)
+        EXPECT_EQ(first.per_sample_accuracy[s], second.per_sample_accuracy[s]);
+    EXPECT_EQ(first.mean_accuracy, second.mean_accuracy);
+    EXPECT_EQ(first.std_accuracy, second.std_accuracy);
+}
+
+TEST(McDeterminism, DifferentSeedsStillDiffer) {
+    // Guard against the pre-split accidentally collapsing the stream: two
+    // different evaluation seeds must not produce identical sample sets.
+    const auto net = make_net();
+    const auto split = blob_split();
+    pnn::EvalOptions a;
+    a.epsilon = 0.1;
+    a.n_mc = 16;
+    a.seed = 1;
+    pnn::EvalOptions b = a;
+    b.seed = 2;
+    const auto ra = pnn::evaluate_pnn(net, split.x_test, split.y_test, a);
+    const auto rb = pnn::evaluate_pnn(net, split.x_test, split.y_test, b);
+    bool any_difference = false;
+    for (std::size_t s = 0; s < ra.per_sample_accuracy.size(); ++s)
+        any_difference |= ra.per_sample_accuracy[s] != rb.per_sample_accuracy[s];
+    EXPECT_TRUE(any_difference);
+}

@@ -1,0 +1,164 @@
+// ThreadPool unit tests: index coverage, inline fallback, exception
+// propagation, env-var sizing, and pool reuse. The determinism of the
+// Monte-Carlo call sites built on top is covered by test_mc_determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+using pnc::runtime::ThreadPool;
+
+TEST(ThreadPool, EmptyRangeNeverInvokes) {
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, EveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, RangeSmallerThanThreadCount) {
+    ThreadPool pool(8);
+    const std::size_t n = 3;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadedPoolRunsInline) {
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::set<std::thread::id> ids;
+    pool.parallel_for(16, [&](std::size_t) { ids.insert(std::this_thread::get_id()); });
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(*ids.begin(), caller);
+}
+
+TEST(ThreadPool, SingleElementRunsInlineEvenOnBigPool) {
+    ThreadPool pool(8);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id seen;
+    pool.parallel_for(1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, MultiThreadedPoolActuallyUsesWorkers) {
+    ThreadPool pool(4);
+    std::mutex m;
+    std::set<std::thread::id> ids;
+    // Large-ish chunks so every chunk records its thread even under heavy
+    // scheduling skew; with 4 contiguous chunks there must be > 1 id.
+    pool.parallel_for(64, [&](std::size_t) {
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](std::size_t i) {
+                                       if (i == 57) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(100, [&](std::size_t) { throw std::runtime_error("boom"); }),
+        std::runtime_error);
+    std::atomic<int> calls{0};
+    pool.parallel_for(100, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ThreadPool, InlinePathPropagatesExceptionsToo) {
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallel_for(4,
+                                   [&](std::size_t i) {
+                                       if (i == 2) throw std::invalid_argument("inline");
+                                   }),
+                 std::invalid_argument);
+}
+
+TEST(ThreadPool, ReuseAcrossManyCalls) {
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 200; ++round)
+        pool.parallel_for(32, [&](std::size_t i) { total += static_cast<long>(i); });
+    EXPECT_EQ(total.load(), 200l * (31l * 32l / 2l));
+}
+
+TEST(ThreadPool, NestedParallelForFallsBackToInline) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallel_for(4, [&](std::size_t outer) {
+        // A nested fan-out inside a worker must not deadlock waiting for
+        // workers that are all busy with the outer loop.
+        pool.parallel_for(16, [&](std::size_t inner) { ++hits[outer * 16 + inner]; });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ZeroThreadsTreatedAsOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.n_threads(), 1u);
+}
+
+// ---- PNC_NUM_THREADS sizing ----------------------------------------------
+
+TEST(ThreadPoolEnv, EnvVariableSetsDefaultThreadCount) {
+    ASSERT_EQ(setenv("PNC_NUM_THREADS", "5", 1), 0);
+    EXPECT_EQ(ThreadPool::default_thread_count(), 5u);
+    ASSERT_EQ(setenv("PNC_NUM_THREADS", "1", 1), 0);
+    EXPECT_EQ(ThreadPool::default_thread_count(), 1u);
+    unsetenv("PNC_NUM_THREADS");
+}
+
+TEST(ThreadPoolEnv, InvalidEnvFallsBackToHardware) {
+    const std::size_t hw = std::thread::hardware_concurrency() == 0
+                               ? 1
+                               : std::thread::hardware_concurrency();
+    for (const char* bad : {"0", "-3", "abc", ""}) {
+        ASSERT_EQ(setenv("PNC_NUM_THREADS", bad, 1), 0);
+        EXPECT_EQ(ThreadPool::default_thread_count(), hw) << "value: '" << bad << "'";
+    }
+    unsetenv("PNC_NUM_THREADS");
+}
+
+TEST(ThreadPoolEnv, ForcedSingleThreadRunsInline) {
+    ASSERT_EQ(setenv("PNC_NUM_THREADS", "1", 1), 0);
+    ThreadPool pool(ThreadPool::default_thread_count());
+    const auto caller = std::this_thread::get_id();
+    std::set<std::thread::id> ids;
+    pool.parallel_for(32, [&](std::size_t) { ids.insert(std::this_thread::get_id()); });
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(*ids.begin(), caller);
+    unsetenv("PNC_NUM_THREADS");
+}
+
+// ---- global pool ----------------------------------------------------------
+
+TEST(GlobalPool, SetThreadsResizes) {
+    pnc::runtime::set_global_threads(3);
+    EXPECT_EQ(pnc::runtime::global_thread_count(), 3u);
+    std::vector<std::atomic<int>> hits(10);
+    pnc::runtime::parallel_for(10, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+    pnc::runtime::set_global_threads(ThreadPool::default_thread_count());
+}

@@ -380,6 +380,61 @@ TEST(Training, VariationAwareUsesMonteCarlo) {
         std::invalid_argument);
 }
 
+// ---- early stopping -------------------------------------------------------
+
+TEST(EarlyStopping, PatienceTriggersAtExpectedEpoch) {
+    auto net = make_net({2, 3, 2}, 48);
+    auto split = blob_split();
+    pnn::TrainOptions options;
+    options.max_epochs = 400;
+    options.patience = 3;
+    const auto result = pnn::train_pnn(net, split, options);
+    // Easy blobs converge long before 400 epochs, so the patience counter
+    // must be what ended training...
+    ASSERT_LT(result.epochs_run, options.max_epochs);
+    // ...and the stopping epoch is fully determined by the contract: the
+    // loop breaks after `patience + 1` consecutive non-improving epochs.
+    EXPECT_EQ(result.epochs_run, result.best_epoch + options.patience + 2);
+}
+
+TEST(EarlyStopping, ZeroPatienceStopsAtFirstNonImprovement) {
+    auto net = make_net({2, 3, 2}, 49);
+    auto split = blob_split();
+    pnn::TrainOptions options;
+    options.max_epochs = 400;
+    options.patience = 0;
+    const auto result = pnn::train_pnn(net, split, options);
+    ASSERT_LT(result.epochs_run, options.max_epochs);
+    EXPECT_EQ(result.epochs_run, result.best_epoch + 2);
+}
+
+TEST(EarlyStopping, LargePatienceRunsFullBudget) {
+    auto net = make_net({2, 3, 2}, 50);
+    auto split = blob_split();
+    pnn::TrainOptions options;
+    options.max_epochs = 25;
+    options.patience = 1000;
+    const auto result = pnn::train_pnn(net, split, options);
+    EXPECT_EQ(result.epochs_run, options.max_epochs);
+}
+
+TEST(EarlyStopping, BestValidationParametersAreRestored) {
+    auto net = make_net({2, 3, 2}, 51);
+    auto split = blob_split();
+    pnn::TrainOptions options;
+    options.max_epochs = 200;
+    options.patience = 5;
+    const auto result = pnn::train_pnn(net, split, options);
+    // Nominal training (eps = 0): the validation criterion is the plain
+    // deterministic loss, so the returned parameters must reproduce
+    // best_val_loss exactly — anything later than the best epoch would not.
+    const double val_loss =
+        pnn::classification_loss(net.forward(ad::constant(split.x_val)), split.y_val,
+                                 options.loss, options.margin)
+            .scalar();
+    EXPECT_DOUBLE_EQ(val_loss, result.best_val_loss);
+}
+
 TEST(Evaluation, NominalIsDeterministicSingleSample) {
     auto net = make_net({2, 3, 2}, 45);
     auto split = blob_split();
