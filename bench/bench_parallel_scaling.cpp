@@ -12,6 +12,7 @@
 
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "obs/report.hpp"
 #include "pnn/robustness.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -34,6 +35,9 @@ double best_of_ms(int reps, const std::function<void()>& fn) {
 }  // namespace
 
 int main() {
+    const bool observed = exp::env_int("PNC_OBS", 1) != 0;
+    obs::set_enabled(observed);
+
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -97,5 +101,18 @@ int main() {
 
     std::printf("\nbit-identical across thread counts: %s\n", bit_identical ? "yes" : "NO");
     std::printf("wrote %s\n", csv_path.c_str());
+    if (observed) {
+        obs::RunMeta meta;
+        meta.tool = "bench_parallel_scaling";
+        meta.command = "parallel_scaling";
+        meta.extra.emplace_back("n_mc_eval", std::to_string(eval.n_mc));
+        meta.extra.emplace_back("n_mc_yield", std::to_string(yield_mc));
+        meta.extra.emplace_back("bit_identical", bit_identical ? "true" : "false");
+        const std::string report = exp::artifact_dir() + "/parallel_scaling_report.json";
+        const std::string trace = exp::artifact_dir() + "/parallel_scaling_trace.json";
+        obs::write_run_report(report, meta);
+        obs::write_trace_json(trace);
+        std::printf("telemetry: %s + %s\n", report.c_str(), trace.c_str());
+    }
     return bit_identical ? 0 : 1;
 }

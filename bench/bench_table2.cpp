@@ -8,13 +8,20 @@
 // directory for bench_table3.
 #include <chrono>
 #include <iostream>
+#include <string>
 
 #include "exp/artifacts.hpp"
 #include "exp/experiment.hpp"
+#include "obs/report.hpp"
 
 using namespace pnc;
 
 int main() {
+    // Telemetry is on by default for benches (PNC_OBS=0 disables); the run
+    // report lands next to the result cache in the artifact directory.
+    const bool observed = exp::env_int("PNC_OBS", 1) != 0;
+    obs::set_enabled(observed);
+
     const auto config = exp::ExperimentConfig::from_env();
     std::cout << "Table II reproduction (" << config.seeds.size() << " seeds, max "
               << config.max_epochs << " epochs, patience " << config.patience
@@ -38,5 +45,18 @@ int main() {
     std::cout << "\n(total experiment time " << elapsed << "s)\n";
 
     results.save_file(exp::artifact_dir() + "/table_results.txt");
+    if (observed) {
+        obs::RunMeta meta;
+        meta.tool = "bench_table2";
+        meta.command = "table2";
+        meta.extra.emplace_back("seeds", std::to_string(config.seeds.size()));
+        meta.extra.emplace_back("n_mc_train", std::to_string(config.n_mc_train));
+        meta.extra.emplace_back("n_mc_test", std::to_string(config.n_mc_test));
+        const std::string report = exp::artifact_dir() + "/table2_report.json";
+        const std::string trace = exp::artifact_dir() + "/table2_trace.json";
+        obs::write_run_report(report, meta);
+        obs::write_trace_json(trace);
+        std::cout << "telemetry: " << report << " + " << trace << "\n";
+    }
     return 0;
 }

@@ -3,16 +3,22 @@
 // when present; otherwise runs the experiment grid itself.
 #include <filesystem>
 #include <iostream>
+#include <string>
 
 #include "exp/artifacts.hpp"
 #include "exp/experiment.hpp"
+#include "obs/report.hpp"
 
 using namespace pnc;
 
 int main() {
+    const bool observed = exp::env_int("PNC_OBS", 1) != 0;
+    obs::set_enabled(observed);
+
     const std::string cache = exp::artifact_dir() + "/table_results.txt";
+    const bool from_cache = std::filesystem::exists(cache);
     exp::TableResults results;
-    if (std::filesystem::exists(cache)) {
+    if (from_cache) {
         std::cout << "(using experiment results cached by bench_table2: " << cache << ")\n\n";
         results = exp::TableResults::load_file(cache);
     } else {
@@ -38,6 +44,17 @@ int main() {
                   << acc_gain << "% and robustness (std reduction) by " << robustness_gain
                   << "% vs the baseline (paper: " << (e == 0 ? "19% / 73%" : "26% / 75%")
                   << ")\n";
+    }
+    if (observed) {
+        obs::RunMeta meta;
+        meta.tool = "bench_table3";
+        meta.command = "table3";
+        meta.extra.emplace_back("from_cache", from_cache ? "true" : "false");
+        const std::string report = exp::artifact_dir() + "/table3_report.json";
+        const std::string trace = exp::artifact_dir() + "/table3_trace.json";
+        obs::write_run_report(report, meta);
+        obs::write_trace_json(trace);
+        std::cout << "\ntelemetry: " << report << " + " << trace << "\n";
     }
     return 0;
 }

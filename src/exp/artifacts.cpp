@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <iostream>
 
+#include "obs/trace.hpp"
+
 namespace pnc::exp {
 
 std::string artifact_dir() {
@@ -45,6 +47,7 @@ surrogate::SurrogateModel load_or_build_surrogate(circuit::NonlinearCircuitKind 
                              std::to_string(config.samples) + ".txt";
     if (std::filesystem::exists(path)) return surrogate::SurrogateModel::load_file(path);
 
+    obs::ScopedTimer build_span("surrogate.load_or_build");
     std::cerr << "[artifacts] building " << name << " surrogate (" << config.samples
               << " circuit simulations + MLP training; cached at " << path << ")...\n";
     const auto start = std::chrono::steady_clock::now();

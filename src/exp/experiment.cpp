@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "exp/artifacts.hpp"
+#include "obs/trace.hpp"
 
 namespace pnc::exp {
 
@@ -73,6 +74,7 @@ void cap_training_split(SplitDataset& split, std::size_t cap) {
 }  // namespace
 
 DatasetResults ExperimentRunner::run_dataset(const std::string& name) const {
+    obs::ScopedTimer dataset_span("dataset." + name);
     const data::Dataset dataset = data::make_dataset(name);
     SplitDataset split = data::split_and_normalize(dataset, config_.split_seed);
     cap_training_split(split, config_.max_train_samples);

@@ -1,0 +1,23 @@
+#include "obs/config.hpp"
+
+#include <cstdlib>
+
+namespace pnc::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+ObsConfig ObsConfig::from_env() {
+    ObsConfig config;
+    if (const char* v = std::getenv("PNC_METRICS_OUT"); v && *v) config.metrics_out = v;
+    if (const char* v = std::getenv("PNC_TRACE_OUT"); v && *v) config.trace_out = v;
+    const char* flag = std::getenv("PNC_OBS");
+    config.enabled = (flag && *flag && std::atoi(flag) != 0) || !config.metrics_out.empty() ||
+                     !config.trace_out.empty();
+    return config;
+}
+
+}  // namespace pnc::obs

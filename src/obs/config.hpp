@@ -1,0 +1,41 @@
+// Observability master switch and run configuration.
+//
+// The whole obs layer is gated on one process-wide flag so the Monte-Carlo
+// hot paths pay a single relaxed atomic load when telemetry is off (the
+// default). Enabling it must never change numerical results: obs code reads
+// clocks and values, it never touches an Rng stream — the bit-identity of an
+// instrumented run against a plain run is enforced by
+// tests/test_obs.cpp (Determinism suite).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace pnc::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when telemetry collection is on. Hot paths call this once per
+/// operation (not per sample) and hoist metric handles outside their loops.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Turn collection on/off process-wide. Flipping it mid-span is safe:
+/// a ScopedTimer only records if it was active at construction.
+void set_enabled(bool on);
+
+/// Where a run wants its telemetry written. Filled from CLI flags
+/// (`--metrics-out`, `--trace-out`) or the PNC_OBS / PNC_METRICS_OUT /
+/// PNC_TRACE_OUT environment variables.
+struct ObsConfig {
+    bool enabled = false;
+    std::string metrics_out;  ///< run-report JSON path ("" = don't write)
+    std::string trace_out;    ///< trace-tree JSON path ("" = don't write)
+
+    /// PNC_OBS=1 enables collection; PNC_METRICS_OUT / PNC_TRACE_OUT set the
+    /// output paths (either one implies enabled).
+    static ObsConfig from_env();
+};
+
+}  // namespace pnc::obs

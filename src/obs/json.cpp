@@ -1,0 +1,358 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pnc::obs::json {
+
+Value Value::boolean(bool b) {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+}
+
+Value Value::number(double n) {
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = n;
+    return v;
+}
+
+Value Value::string(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value Value::array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+}
+
+Value Value::object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+}
+
+bool Value::as_bool() const {
+    if (kind_ != Kind::kBool) throw std::runtime_error("json: not a bool");
+    return bool_;
+}
+
+double Value::as_number() const {
+    if (kind_ != Kind::kNumber) throw std::runtime_error("json: not a number");
+    return number_;
+}
+
+const std::string& Value::as_string() const {
+    if (kind_ != Kind::kString) throw std::runtime_error("json: not a string");
+    return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+    if (kind_ != Kind::kArray) throw std::runtime_error("json: not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+    if (kind_ != Kind::kObject) throw std::runtime_error("json: not an object");
+    return members_;
+}
+
+const Value* Value::find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    const Value* found = nullptr;
+    for (const auto& [k, v] : members_)
+        if (k == key) found = &v;
+    return found;
+}
+
+void Value::push_back(Value v) {
+    if (kind_ != Kind::kArray) throw std::runtime_error("json: push_back on non-array");
+    items_.push_back(std::move(v));
+}
+
+void Value::set(const std::string& key, Value v) {
+    if (kind_ != Kind::kObject) throw std::runtime_error("json: set on non-object");
+    for (auto& [k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void dump_number(std::string& out, double n) {
+    if (!std::isfinite(n)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    out += buf;
+}
+
+void dump_value(std::string& out, const Value& v) {
+    switch (v.kind()) {
+        case Value::Kind::kNull: out += "null"; break;
+        case Value::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+        case Value::Kind::kNumber: dump_number(out, v.as_number()); break;
+        case Value::Kind::kString:
+            out += '"';
+            out += escape(v.as_string());
+            out += '"';
+            break;
+        case Value::Kind::kArray: {
+            out += '[';
+            bool first = true;
+            for (const auto& item : v.items()) {
+                if (!first) out += ',';
+                first = false;
+                dump_value(out, item);
+            }
+            out += ']';
+            break;
+        }
+        case Value::Kind::kObject: {
+            out += '{';
+            bool first = true;
+            for (const auto& [key, member] : v.members()) {
+                if (!first) out += ',';
+                first = false;
+                out += '"';
+                out += escape(key);
+                out += "\":";
+                dump_value(out, member);
+            }
+            out += '}';
+            break;
+        }
+    }
+}
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Value parse_document() {
+        Value v = parse_value();
+        skip_whitespace();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return v;
+    }
+
+private:
+    const std::string& text_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("json parse error at offset " + std::to_string(pos_) + ": " +
+                                 what);
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                       text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* literal) {
+        std::size_t len = 0;
+        while (literal[len]) ++len;
+        if (text_.compare(pos_, len, literal) != 0) return false;
+        pos_ += len;
+        return true;
+    }
+
+    Value parse_value() {
+        skip_whitespace();
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Value::string(parse_string());
+            case 't':
+                if (consume_literal("true")) return Value::boolean(true);
+                fail("bad literal");
+            case 'f':
+                if (consume_literal("false")) return Value::boolean(false);
+                fail("bad literal");
+            case 'n':
+                if (consume_literal("null")) return Value::null();
+                fail("bad literal");
+            default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Value obj = Value::object();
+        skip_whitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skip_whitespace();
+            std::string key = parse_string();
+            skip_whitespace();
+            expect(':');
+            obj.set(key, parse_value());
+            skip_whitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Value arr = Value::array();
+        skip_whitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push_back(parse_value());
+            skip_whitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // UTF-8 encode the basic-plane code point (surrogate
+                    // pairs are not emitted by our own writer).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("bad escape character");
+            }
+        }
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+            pos_ = start;
+            fail("malformed number '" + token + "'");
+        }
+        return Value::number(parsed);
+    }
+};
+
+}  // namespace
+
+Value Value::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+std::string Value::dump() const {
+    std::string out;
+    dump_value(out, *this);
+    return out;
+}
+
+}  // namespace pnc::obs::json

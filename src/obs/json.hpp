@@ -1,0 +1,66 @@
+// Minimal JSON document model: enough to serialize the obs run reports and
+// to parse them back for validation (tests, tooling). Not a general-purpose
+// JSON library — numbers are doubles, object key order is preserved,
+// duplicate keys keep the last value on lookup but both on dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pnc::obs::json {
+
+class Value {
+public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Value() = default;
+    static Value null() { return Value(); }
+    static Value boolean(bool b);
+    static Value number(double n);
+    static Value string(std::string s);
+    static Value array();
+    static Value object();
+
+    /// Parse a complete JSON document; throws std::runtime_error with an
+    /// offset-tagged message on malformed input or trailing garbage.
+    static Value parse(const std::string& text);
+
+    Kind kind() const { return kind_; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_string() const { return kind_ == Kind::kString; }
+    bool is_bool() const { return kind_ == Kind::kBool; }
+
+    /// Throwing accessors (std::runtime_error on kind mismatch).
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const std::vector<Value>& items() const;                          ///< array
+    const std::vector<std::pair<std::string, Value>>& members() const;  ///< object
+
+    /// Object lookup; nullptr when missing or not an object.
+    const Value* find(const std::string& key) const;
+
+    /// Builder API.
+    void push_back(Value v);                       ///< array append
+    void set(const std::string& key, Value v);     ///< object insert/overwrite
+
+    /// Serialize (compact, doubles at 17 significant digits).
+    std::string dump() const;
+
+private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string escape(const std::string& s);
+
+}  // namespace pnc::obs::json

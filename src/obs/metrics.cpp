@@ -1,0 +1,164 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pnc::obs {
+
+namespace {
+
+void atomic_min(std::atomic<double>& slot, double v) {
+    double current = slot.load(std::memory_order_relaxed);
+    while (v < current &&
+           !slot.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) {
+    double current = slot.load(std::memory_order_relaxed);
+    while (v > current &&
+           !slot.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_add(std::atomic<double>& slot, double delta) {
+    double current = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    if (bounds_.empty()) throw std::invalid_argument("Histogram: empty bucket bounds");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+}
+
+void Histogram::observe(double value) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const auto bucket = static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(sum_, value);
+    atomic_min(min_, value);
+    atomic_max(max_, value);
+}
+
+const std::vector<double>& Histogram::default_seconds_buckets() {
+    // 1-2-5 decades from 1 us to 10 s: per-sample circuit evaluations sit in
+    // the us..ms range, whole sweeps in the ms..s range.
+    static const std::vector<double> buckets = [] {
+        std::vector<double> b;
+        for (double decade = 1e-6; decade < 10.0; decade *= 10.0)
+            for (double step : {1.0, 2.0, 5.0}) b.push_back(decade * step);
+        b.push_back(10.0);
+        return b;
+    }();
+    return buckets;
+}
+
+double Histogram::min() const {
+    const double v = min_.load(std::memory_order_relaxed);
+    return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const {
+    const double v = max_.load(std::memory_order_relaxed);
+    return std::isinf(v) ? 0.0 : v;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> counts(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    return counts;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < bucket_counts.size(); ++b) {
+        if (bucket_counts[b] == 0) continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += bucket_counts[b];
+        if (static_cast<double>(cumulative) < target) continue;
+        // Interpolate inside bucket b: [lower, upper] is the bucket span,
+        // clamped to the observed extrema for the open-ended edges.
+        const double lower = b == 0 ? min : bounds[b - 1];
+        const double upper = b < bounds.size() ? bounds[b] : max;
+        const double fraction =
+            std::clamp((target - before) / static_cast<double>(bucket_counts[b]), 0.0, 1.0);
+        return std::clamp(lower + fraction * (upper - lower), min, max);
+    }
+    return max;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(bounds);
+    return *slot;
+}
+
+Series& MetricsRegistry::series(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = series_[name];
+    if (!slot) slot = std::make_unique<Series>();
+    return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto& [name, counter] : counters_) snap.counters.emplace_back(name, counter->value());
+    for (const auto& [name, gauge] : gauges_) snap.gauges.emplace_back(name, gauge->value());
+    for (const auto& [name, histogram] : histograms_) {
+        HistogramSnapshot h;
+        h.name = name;
+        h.bounds = histogram->bounds();
+        h.bucket_counts = histogram->bucket_counts();
+        h.count = histogram->count();
+        h.sum = histogram->sum();
+        h.min = histogram->min();
+        h.max = histogram->max();
+        snap.histograms.push_back(std::move(h));
+    }
+    for (const auto& [name, series] : series_) snap.series.emplace_back(name, series->values());
+    return snap;
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    series_.clear();
+}
+
+}  // namespace pnc::obs

@@ -1,0 +1,171 @@
+// Thread-safe metrics: counters, gauges, fixed-bucket histograms and
+// per-step series, collected in a process-wide registry.
+//
+// Concurrency model: every metric object is safe to update from any number
+// of threads (counters/gauges/histograms are lock-free atomics, series take
+// a short mutex). Registry lookups take the registry mutex, so hot loops
+// hoist their handles once — the returned references stay valid for the
+// registry's lifetime (metrics are heap-allocated and never moved) — and
+// then update lock-free from inside parallel_for bodies. See
+// docs/OBSERVABILITY.md for the metric catalogue and export schema.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/config.hpp"
+
+namespace pnc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// A point-in-time double. `set` overwrites, `add` accumulates (used for
+/// busy-time totals that several threads contribute to).
+class Gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double delta) {
+        double current = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(current, current + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending upper edges; an
+/// observation lands in the first bucket whose bound is >= the value, or in
+/// the implicit overflow bucket. Tracks count/sum/min/max exactly; quantiles
+/// are interpolated from the buckets at snapshot time.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value);
+
+    /// Ascending upper bucket edges (1-2-5 decades from 1 us to 10 s unless
+    /// the registry call supplied its own).
+    static const std::vector<double>& default_seconds_buckets();
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    double min() const;
+    double max() const;
+    std::vector<std::uint64_t> bucket_counts() const;  ///< bounds.size() + 1 (overflow last)
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Append-only sequence of doubles, one entry per step (e.g. per training
+/// epoch). Kept in insertion order for export.
+class Series {
+public:
+    void append(double v) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        values_.push_back(v);
+    }
+    std::vector<double> values() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return values_;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<double> values_;
+};
+
+struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    /// Bucket-interpolated quantile in [0, 1], clamped to [min, max];
+    /// 0 for an empty histogram.
+    double quantile(double q) const;
+};
+
+/// Point-in-time copy of every metric, detached from the live registry.
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+
+    bool empty() const {
+        return counters.empty() && gauges.empty() && histograms.empty() && series.empty();
+    }
+};
+
+/// Name -> metric map. Find-or-create accessors return references that stay
+/// valid until reset(); reset() must not race with metric users (it is meant
+/// for tests and between CLI phases).
+class MetricsRegistry {
+public:
+    static MetricsRegistry& global();
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /// `bounds` is only used when the histogram does not exist yet.
+    Histogram& histogram(const std::string& name,
+                         const std::vector<double>& bounds = Histogram::default_seconds_buckets());
+    Series& series(const std::string& name);
+
+    MetricsSnapshot snapshot() const;
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+// Convenience site helpers: no-ops (one relaxed atomic load) when obs is
+// disabled. Hot loops should hoist registry handles instead of calling these
+// per sample.
+inline void add_counter(const char* name, std::uint64_t n = 1) {
+    if (enabled()) MetricsRegistry::global().counter(name).add(n);
+}
+inline void set_gauge(const char* name, double v) {
+    if (enabled()) MetricsRegistry::global().gauge(name).set(v);
+}
+inline void add_gauge(const char* name, double delta) {
+    if (enabled()) MetricsRegistry::global().gauge(name).add(delta);
+}
+inline void observe(const char* name, double v) {
+    if (enabled()) MetricsRegistry::global().histogram(name).observe(v);
+}
+inline void append_series(const char* name, double v) {
+    if (enabled()) MetricsRegistry::global().series(name).append(v);
+}
+
+}  // namespace pnc::obs

@@ -1,0 +1,187 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pnc::obs {
+
+namespace {
+
+constexpr const char* kReportSchema = "pnc-run-report/1";
+constexpr const char* kTraceSchema = "pnc-trace/1";
+
+json::Value number_array(const std::vector<double>& values) {
+    json::Value arr = json::Value::array();
+    for (double v : values) arr.push_back(json::Value::number(v));
+    return arr;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("obs: cannot write " + path);
+    os << text;
+    if (!os) throw std::runtime_error("obs: failed writing " + path);
+}
+
+json::Value trace_node_document(const TraceNode& node) {
+    json::Value doc = json::Value::object();
+    doc.set("name", json::Value::string(node.name));
+    doc.set("count", json::Value::number(static_cast<double>(node.count)));
+    doc.set("seconds", json::Value::number(node.seconds));
+    json::Value children = json::Value::array();
+    for (const auto& child : node.children) children.push_back(trace_node_document(*child));
+    doc.set("children", std::move(children));
+    return doc;
+}
+
+}  // namespace
+
+json::Value run_report_document(const MetricsSnapshot& snapshot, const RunMeta& meta) {
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value::string(kReportSchema));
+
+    json::Value meta_obj = json::Value::object();
+    meta_obj.set("tool", json::Value::string(meta.tool));
+    meta_obj.set("command", json::Value::string(meta.command));
+    for (const auto& [key, value] : meta.extra) meta_obj.set(key, json::Value::string(value));
+    doc.set("meta", std::move(meta_obj));
+
+    json::Value counters = json::Value::object();
+    for (const auto& [name, value] : snapshot.counters)
+        counters.set(name, json::Value::number(static_cast<double>(value)));
+    doc.set("counters", std::move(counters));
+
+    json::Value gauges = json::Value::object();
+    for (const auto& [name, value] : snapshot.gauges)
+        gauges.set(name, json::Value::number(value));
+    doc.set("gauges", std::move(gauges));
+
+    json::Value histograms = json::Value::object();
+    for (const auto& h : snapshot.histograms) {
+        json::Value entry = json::Value::object();
+        entry.set("count", json::Value::number(static_cast<double>(h.count)));
+        entry.set("sum", json::Value::number(h.sum));
+        entry.set("min", json::Value::number(h.min));
+        entry.set("max", json::Value::number(h.max));
+        entry.set("p50", json::Value::number(h.quantile(0.50)));
+        entry.set("p90", json::Value::number(h.quantile(0.90)));
+        entry.set("p99", json::Value::number(h.quantile(0.99)));
+        entry.set("bounds", number_array(h.bounds));
+        json::Value counts = json::Value::array();
+        for (std::uint64_t c : h.bucket_counts)
+            counts.push_back(json::Value::number(static_cast<double>(c)));
+        entry.set("bucket_counts", std::move(counts));
+        histograms.set(h.name, std::move(entry));
+    }
+    doc.set("histograms", std::move(histograms));
+
+    json::Value series = json::Value::object();
+    for (const auto& [name, values] : snapshot.series) series.set(name, number_array(values));
+    doc.set("series", std::move(series));
+
+    return doc;
+}
+
+void write_run_report(const std::string& path, const RunMeta& meta) {
+    const auto doc = run_report_document(MetricsRegistry::global().snapshot(), meta);
+    write_text_file(path, doc.dump() + "\n");
+}
+
+std::string metrics_csv(const MetricsSnapshot& snapshot) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "kind,name,field,value\n";
+    for (const auto& [name, value] : snapshot.counters)
+        os << "counter," << name << ",value," << value << "\n";
+    for (const auto& [name, value] : snapshot.gauges)
+        os << "gauge," << name << ",value," << value << "\n";
+    for (const auto& h : snapshot.histograms) {
+        os << "histogram," << h.name << ",count," << h.count << "\n";
+        os << "histogram," << h.name << ",sum," << h.sum << "\n";
+        os << "histogram," << h.name << ",min," << h.min << "\n";
+        os << "histogram," << h.name << ",max," << h.max << "\n";
+        os << "histogram," << h.name << ",p50," << h.quantile(0.50) << "\n";
+        os << "histogram," << h.name << ",p90," << h.quantile(0.90) << "\n";
+        os << "histogram," << h.name << ",p99," << h.quantile(0.99) << "\n";
+    }
+    for (const auto& [name, values] : snapshot.series)
+        for (std::size_t i = 0; i < values.size(); ++i)
+            os << "series," << name << "," << i << "," << values[i] << "\n";
+    return os.str();
+}
+
+void write_metrics_csv(const std::string& path) {
+    write_text_file(path, metrics_csv(MetricsRegistry::global().snapshot()));
+}
+
+json::Value trace_document(const TraceNode& root) {
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value::string(kTraceSchema));
+    doc.set("root", trace_node_document(root));
+    return doc;
+}
+
+void write_trace_json(const std::string& path) {
+    const auto root = Tracer::global().snapshot();
+    write_text_file(path, trace_document(*root).dump() + "\n");
+}
+
+namespace {
+
+std::string check_numeric_object(const json::Value& doc, const char* key) {
+    const json::Value* section = doc.find(key);
+    if (!section || !section->is_object()) return std::string(key) + " object missing";
+    for (const auto& [name, value] : section->members())
+        if (!value.is_number()) return std::string(key) + "." + name + " is not a number";
+    return "";
+}
+
+}  // namespace
+
+std::string validate_run_report(const json::Value& doc) {
+    if (!doc.is_object()) return "document is not an object";
+    const json::Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != kReportSchema)
+        return std::string("schema is not \"") + kReportSchema + "\"";
+
+    const json::Value* meta = doc.find("meta");
+    if (!meta || !meta->is_object()) return "meta object missing";
+    for (const char* key : {"tool", "command"}) {
+        const json::Value* field = meta->find(key);
+        if (!field || !field->is_string()) return std::string("meta.") + key + " string missing";
+    }
+
+    if (auto err = check_numeric_object(doc, "counters"); !err.empty()) return err;
+    if (auto err = check_numeric_object(doc, "gauges"); !err.empty()) return err;
+
+    const json::Value* histograms = doc.find("histograms");
+    if (!histograms || !histograms->is_object()) return "histograms object missing";
+    for (const auto& [name, h] : histograms->members()) {
+        if (!h.is_object()) return "histograms." + name + " is not an object";
+        for (const char* key : {"count", "sum", "min", "max", "p50", "p90", "p99"}) {
+            const json::Value* field = h.find(key);
+            if (!field || !field->is_number())
+                return "histograms." + name + "." + key + " number missing";
+        }
+        const json::Value* bounds = h.find("bounds");
+        const json::Value* counts = h.find("bucket_counts");
+        if (!bounds || !bounds->is_array())
+            return "histograms." + name + ".bounds array missing";
+        if (!counts || !counts->is_array())
+            return "histograms." + name + ".bucket_counts array missing";
+        if (counts->items().size() != bounds->items().size() + 1)
+            return "histograms." + name + ": bucket_counts must have bounds+1 entries";
+    }
+
+    const json::Value* series = doc.find("series");
+    if (!series || !series->is_object()) return "series object missing";
+    for (const auto& [name, values] : series->members()) {
+        if (!values.is_array()) return "series." + name + " is not an array";
+        for (const auto& v : values.items())
+            if (!v.is_number()) return "series." + name + " has a non-number entry";
+    }
+    return "";
+}
+
+}  // namespace pnc::obs

@@ -1,0 +1,49 @@
+// Run-report and trace exporters.
+//
+// A run report is one JSON document ("pnc-run-report/1") with the full
+// metrics snapshot plus free-form meta; the trace tree is a separate
+// document ("pnc-trace/1"). The exact schema is documented in
+// docs/OBSERVABILITY.md and enforced by validate_run_report (used by the
+// tests and available to downstream tooling). CSV export flattens the same
+// snapshot for spreadsheet consumption.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pnc::obs {
+
+/// Free-form report header: which tool produced the run and with what
+/// parameters. All values land under the "meta" object as strings.
+struct RunMeta {
+    std::string tool;     ///< e.g. "pnc" or "bench_table2"
+    std::string command;  ///< subcommand or protocol summary
+    std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// The report document for a snapshot (pure function; no I/O).
+json::Value run_report_document(const MetricsSnapshot& snapshot, const RunMeta& meta);
+
+/// Snapshot the global registry and write the report JSON to `path`.
+/// Throws std::runtime_error if the file cannot be written.
+void write_run_report(const std::string& path, const RunMeta& meta);
+
+/// Flattened CSV of the global registry: `kind,name,field,value` rows
+/// (series emit one row per step with the step index in `field`).
+std::string metrics_csv(const MetricsSnapshot& snapshot);
+void write_metrics_csv(const std::string& path);
+
+/// The trace document ("pnc-trace/1") for a tree / the global Tracer.
+json::Value trace_document(const TraceNode& root);
+void write_trace_json(const std::string& path);
+
+/// "" when `doc` is a well-formed pnc-run-report/1, else a one-line
+/// description of the first violation.
+std::string validate_run_report(const json::Value& doc);
+
+}  // namespace pnc::obs

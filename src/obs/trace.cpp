@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+namespace pnc::obs {
+
+namespace {
+
+/// Innermost open span of this thread (nullptr between top-level spans).
+thread_local TraceNode* t_current = nullptr;
+
+}  // namespace
+
+TraceNode& TraceNode::child(std::string_view child_name) {
+    for (auto& c : children)
+        if (c->name == child_name) return *c;
+    children.push_back(std::make_unique<TraceNode>(child_name));
+    return *children.back();
+}
+
+std::unique_ptr<TraceNode> TraceNode::clone() const {
+    auto copy = std::make_unique<TraceNode>(name);
+    copy->count = count;
+    copy->seconds = seconds;
+    copy->children.reserve(children.size());
+    for (const auto& c : children) copy->children.push_back(c->clone());
+    return copy;
+}
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    return tracer;
+}
+
+std::unique_ptr<TraceNode> Tracer::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return root_.clone();
+}
+
+void Tracer::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    root_.children.clear();
+    root_.count = 0;
+    root_.seconds = 0.0;
+}
+
+void Tracer::merge_into(TraceNode& dst, const TraceNode& src) {
+    dst.count += src.count;
+    dst.seconds += src.seconds;
+    for (const auto& src_child : src.children)
+        merge_into(dst.child(src_child->name), *src_child);
+}
+
+void Tracer::merge_root(const TraceNode& completed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    merge_into(root_.child(completed.name), completed);
+}
+
+ScopedTimer::ScopedTimer(std::string_view name) {
+    if (!enabled()) return;
+    active_ = true;
+    parent_ = t_current;
+    if (parent_) {
+        node_ = &parent_->child(name);
+    } else {
+        owned_ = std::make_unique<TraceNode>(name);
+        node_ = owned_.get();
+    }
+    t_current = node_;
+    start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+    if (!active_) return;
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
+    node_->count += 1;
+    node_->seconds += elapsed.count();
+    t_current = parent_;
+    if (owned_) Tracer::global().merge_root(*owned_);
+}
+
+}  // namespace pnc::obs

@@ -1,0 +1,79 @@
+// Scoped wall-clock spans that nest into a lightweight trace tree.
+//
+// A ScopedTimer opens a span on the current thread; spans opened while it is
+// alive become its children. Repeated spans with the same name under the same
+// parent aggregate into one node (count + total seconds), so a 10 000-epoch
+// training loop costs one node, not 10 000. Each thread builds its own
+// pending tree locally (no locking while spans are open); when a thread's
+// outermost span closes, the finished tree is merged by name into the global
+// Tracer under a mutex. When obs is disabled a ScopedTimer is a single
+// relaxed atomic load and two dead stores.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/config.hpp"
+
+namespace pnc::obs {
+
+/// One aggregated span: `count` completions totalling `seconds`, with
+/// children keyed by name.
+struct TraceNode {
+    std::string name;
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+    std::vector<std::unique_ptr<TraceNode>> children;
+
+    explicit TraceNode(std::string_view n) : name(n) {}
+
+    /// Find-or-create the child with this name.
+    TraceNode& child(std::string_view child_name);
+
+    std::unique_ptr<TraceNode> clone() const;
+};
+
+/// Process-wide sink for completed span trees.
+class Tracer {
+public:
+    static Tracer& global();
+
+    /// Deep copy of the merged tree under a synthetic "root" node (count 0).
+    std::unique_ptr<TraceNode> snapshot() const;
+
+    void reset();
+
+    /// Merge a finished top-level span tree (called by ScopedTimer).
+    void merge_root(const TraceNode& completed);
+
+private:
+    mutable std::mutex mutex_;
+    TraceNode root_{"root"};
+
+    static void merge_into(TraceNode& dst, const TraceNode& src);
+};
+
+/// RAII span. Non-copyable, non-movable. The name is copied into the trace
+/// node on first use, so temporaries are fine.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(std::string_view name);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    bool active_ = false;
+    std::chrono::steady_clock::time_point start_;
+    TraceNode* node_ = nullptr;
+    TraceNode* parent_ = nullptr;
+    std::unique_ptr<TraceNode> owned_;  ///< set when this is a thread's outermost span
+};
+
+}  // namespace pnc::obs

@@ -1,11 +1,14 @@
 #include "pnn/certification.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
 
 #include "autodiff/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "surrogate/feature_extension.hpp"
 
@@ -170,6 +173,12 @@ std::vector<Interval> certified_output_bounds(const Pnn& pnn,
 CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
                             const CertificationOptions& options) {
     if (y.size() != x.rows()) throw std::invalid_argument("certify: labels/rows mismatch");
+    obs::ScopedTimer certify_span("certify");
+    obs::Histogram* row_hist =
+        obs::enabled() ? &obs::MetricsRegistry::global().histogram("cert.row_seconds")
+                       : nullptr;
+    const auto sweep_start = row_hist ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
     CertificationResult result;
     result.samples = x.rows();
 
@@ -179,6 +188,8 @@ CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<i
     std::vector<std::uint8_t> row_stable(x.rows(), 0);
     std::vector<std::uint8_t> row_correct(x.rows(), 0);
     runtime::parallel_for(x.rows(), [&](std::size_t r) {
+        const auto row_start = row_hist ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
         std::vector<double> input(x.cols());
         for (std::size_t c = 0; c < x.cols(); ++c) input[c] = x(r, c);
         const auto bounds = certified_output_bounds(pnn, input, options);
@@ -195,6 +206,11 @@ CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<i
             if (j != predicted) is_stable = bounds[predicted].lo > bounds[j].hi;
         row_stable[r] = is_stable;
         row_correct[r] = is_stable && static_cast<int>(predicted) == y[r];
+        if (row_hist) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - row_start;
+            row_hist->observe(elapsed.count());
+        }
     });
     std::size_t stable = 0, correct = 0;
     for (std::size_t r = 0; r < x.rows(); ++r) {
@@ -203,6 +219,16 @@ CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<i
     }
     result.certified_fraction = static_cast<double>(stable) / static_cast<double>(x.rows());
     result.certified_accuracy = static_cast<double>(correct) / static_cast<double>(x.rows());
+    if (row_hist) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("cert.rows_total").add(x.rows());
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - sweep_start;
+        if (wall.count() > 0.0)
+            registry.gauge("cert.rows_per_sec").set(static_cast<double>(x.rows()) / wall.count());
+        registry.gauge("cert.certified_fraction").set(result.certified_fraction);
+        registry.gauge("cert.certified_accuracy").set(result.certified_accuracy);
+    }
     return result;
 }
 

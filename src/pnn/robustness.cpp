@@ -1,18 +1,63 @@
 #include "pnn/robustness.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "math/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pnc::pnn {
 
 using math::Matrix;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Telemetry for one MC sweep: per-sample timing histogram plus
+/// samples_total / samples_per_sec under the given metric prefix.
+class SweepTelemetry {
+public:
+    explicit SweepTelemetry(const std::string& prefix) {
+        if (!obs::enabled()) return;
+        prefix_ = prefix;
+        hist_ = &obs::MetricsRegistry::global().histogram(prefix + ".sample_seconds");
+        start_ = Clock::now();
+    }
+
+    /// Null when telemetry is off; pass to time_sample from worker threads.
+    obs::Histogram* histogram() const { return hist_; }
+
+    void finish(std::size_t n_samples) {
+        if (!hist_) return;
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter(prefix_ + ".samples_total").add(n_samples);
+        const double wall = seconds_since(start_);
+        if (wall > 0.0)
+            registry.gauge(prefix_ + ".samples_per_sec").set(static_cast<double>(n_samples) / wall);
+    }
+
+private:
+    std::string prefix_;
+    obs::Histogram* hist_ = nullptr;
+    Clock::time_point start_;
+};
+
+}  // namespace
+
 YieldResult estimate_yield(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
                            double accuracy_spec, double eps, int n_mc, std::uint64_t seed) {
     if (n_mc < 2) throw std::invalid_argument("estimate_yield: n_mc must be >= 2");
+    obs::ScopedTimer yield_span("estimate_yield");
+    SweepTelemetry telemetry("mc.yield");
+    obs::Histogram* sample_hist = telemetry.histogram();
     const circuit::VariationModel model(eps);
     math::Rng rng(seed);
 
@@ -22,9 +67,12 @@ YieldResult estimate_yield(const Pnn& pnn, const Matrix& x, const std::vector<in
     std::vector<math::Rng> streams = rng.split_n(n_samples);
     std::vector<double> accuracies(n_samples);
     runtime::parallel_for(n_samples, [&](std::size_t s) {
+        const auto sample_start = sample_hist ? Clock::now() : Clock::time_point{};
         const NetworkVariation factors = pnn.sample_variation(model, streams[s]);
         accuracies[s] = ad::accuracy(pnn.predict(x, &factors), y);
+        if (sample_hist) sample_hist->observe(seconds_since(sample_start));
     });
+    telemetry.finish(n_samples);
     std::size_t passing = 0;
     for (double acc : accuracies) passing += acc >= accuracy_spec;
     std::sort(accuracies.begin(), accuracies.end());
@@ -41,6 +89,9 @@ YieldResult estimate_yield(const Pnn& pnn, const Matrix& x, const std::vector<in
 double worst_corner_accuracy(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
                              double eps, int n_corners, std::uint64_t seed) {
     if (n_corners < 1) throw std::invalid_argument("worst_corner_accuracy: n_corners >= 1");
+    obs::ScopedTimer corner_span("worst_corner_accuracy");
+    SweepTelemetry telemetry("mc.corner");
+    obs::Histogram* sample_hist = telemetry.histogram();
     const circuit::VariationModel model(eps);
     math::Rng rng(seed);
 
@@ -53,6 +104,7 @@ double worst_corner_accuracy(const Pnn& pnn, const Matrix& x, const std::vector<
     std::vector<math::Rng> streams = rng.split_n(n_samples);
     std::vector<double> corner_accuracy(n_samples);
     runtime::parallel_for(n_samples, [&](std::size_t c) {
+        const auto sample_start = sample_hist ? Clock::now() : Clock::time_point{};
         math::Rng& stream = streams[c];
         NetworkVariation corner = pnn.sample_variation(model, stream);
         for (auto& layer : corner) {
@@ -63,7 +115,9 @@ double worst_corner_accuracy(const Pnn& pnn, const Matrix& x, const std::vector<
             snap_to_corner(layer.omega_neg, stream);
         }
         corner_accuracy[c] = ad::accuracy(pnn.predict(x, &corner), y);
+        if (sample_hist) sample_hist->observe(seconds_since(sample_start));
     });
+    telemetry.finish(n_samples);
     double worst = 1.0;
     for (double acc : corner_accuracy) worst = std::min(worst, acc);
     return worst;

@@ -1,17 +1,30 @@
 #include "pnn/training.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
 
 #include "math/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pnc::pnn {
 
 using ad::Var;
 using math::Matrix;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 Var classification_loss(const Var& outputs, const std::vector<int>& labels, LossKind kind,
                         double margin) {
@@ -34,12 +47,21 @@ Var monte_carlo_loss(const Pnn& pnn, const Var& x, const std::vector<int>& y,
                      const circuit::VariationModel& variation, int n_mc, math::Rng& rng,
                      LossKind loss_kind, double margin) {
     if (variation.is_nominal() || n_mc <= 1) {
+        obs::add_counter("mc.train.samples_total");
         const auto factors = variation.is_nominal()
                                  ? nullptr
                                  : std::make_unique<NetworkVariation>(
                                        pnn.sample_variation(variation, rng));
         return classification_loss(pnn.forward(x, factors.get()), y, loss_kind, margin);
     }
+    // Telemetry handles hoisted outside the fan-out; per-sample updates are
+    // lock-free and never touch the Rng streams, so an instrumented run is
+    // bit-identical to a plain one.
+    obs::Histogram* sample_hist =
+        obs::enabled() ? &obs::MetricsRegistry::global().histogram("mc.train.sample_seconds")
+                       : nullptr;
+    const auto sweep_start = sample_hist ? Clock::now() : Clock::time_point{};
+
     // One pre-split child stream per sample: which randomness sample s
     // consumes is fixed before the fan-out, so the parallel schedule cannot
     // change it. Graph building is thread-safe (each sample allocates its
@@ -47,9 +69,18 @@ Var monte_carlo_loss(const Pnn& pnn, const Var& x, const std::vector<int>& y,
     std::vector<math::Rng> streams = rng.split_n(static_cast<std::size_t>(n_mc));
     std::vector<Var> losses(static_cast<std::size_t>(n_mc));
     runtime::parallel_for(static_cast<std::size_t>(n_mc), [&](std::size_t s) {
+        const auto sample_start = sample_hist ? Clock::now() : Clock::time_point{};
         const NetworkVariation factors = pnn.sample_variation(variation, streams[s]);
         losses[s] = classification_loss(pnn.forward(x, &factors), y, loss_kind, margin);
+        if (sample_hist) sample_hist->observe(seconds_since(sample_start));
     });
+    if (sample_hist) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("mc.train.samples_total").add(static_cast<std::uint64_t>(n_mc));
+        const double wall = seconds_since(sweep_start);
+        if (wall > 0.0)
+            registry.gauge("mc.train.samples_per_sec").set(n_mc / wall);
+    }
     // Reduce in sample-index order: bit-identical at every thread count.
     Var total;
     for (const Var& loss : losses) total = total.valid() ? ad::add(total, loss) : loss;
@@ -74,6 +105,24 @@ std::pair<Matrix, std::vector<int>> take_batch(const Matrix& x, const std::vecto
 TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptions& options) {
     if (options.n_mc_train < 1 || options.n_mc_val < 1)
         throw std::invalid_argument("train_pnn: Monte-Carlo counts must be >= 1");
+    obs::ScopedTimer train_span("train_pnn");
+    // Per-epoch telemetry (series handles hoisted once). Everything recorded
+    // here is read-only with respect to the training state: the validation
+    // accuracy probe uses the deterministic nominal forward pass (no Rng),
+    // so enabled-vs-disabled runs stay bit-identical (tested).
+    obs::Series* s_train_loss = nullptr;
+    obs::Series* s_val_loss = nullptr;
+    obs::Series* s_val_accuracy = nullptr;
+    obs::Series* s_epoch_seconds = nullptr;
+    obs::Series* s_epochs_since_best = nullptr;
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        s_train_loss = &registry.series("train.epoch_train_loss");
+        s_val_loss = &registry.series("train.epoch_val_loss");
+        s_val_accuracy = &registry.series("train.epoch_val_accuracy");
+        s_epoch_seconds = &registry.series("train.epoch_seconds");
+        s_epochs_since_best = &registry.series("train.epochs_since_best");
+    }
     const circuit::VariationModel variation(options.epsilon);
     math::Rng rng(options.seed);
 
@@ -94,6 +143,8 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
     std::vector<std::size_t> order = math::iota_indices(data.x_train.rows());
 
     for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+        obs::ScopedTimer epoch_span("epoch");
+        const auto epoch_start = s_epoch_seconds ? Clock::now() : Clock::time_point{};
         if (options.batch_size == 0 || options.batch_size >= data.x_train.rows()) {
             optimizer.zero_grad();
             const Var loss = monte_carlo_loss(pnn, x_train, data.y_train, variation,
@@ -126,14 +177,23 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
         const Var val_loss = monte_carlo_loss(pnn, x_val, data.y_val, variation,
                                               options.n_mc_val, rng, options.loss,
                                               options.margin);
+        bool stop = false;
         if (val_loss.scalar() < best_val) {
             best_val = val_loss.scalar();
             best_params = pnn.snapshot();
             result.best_epoch = epoch;
             since_best = 0;
         } else if (++since_best > options.patience) {
-            break;
+            stop = true;
         }
+        if (s_train_loss) {
+            s_train_loss->append(result.final_train_loss);
+            s_val_loss->append(val_loss.scalar());
+            s_val_accuracy->append(ad::accuracy(pnn.predict(data.x_val), data.y_val));
+            s_epochs_since_best->append(static_cast<double>(since_best));
+            s_epoch_seconds->append(seconds_since(epoch_start));
+        }
+        if (stop) break;
         if (options.log_every > 0 && epoch % options.log_every == 0)
             std::cerr << "[pnn] epoch " << epoch << " train " << result.final_train_loss
                       << " val " << val_loss.scalar() << "\n";
@@ -141,12 +201,25 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
 
     pnn.restore(best_params);
     result.best_val_loss = best_val;
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("train.runs_total").add(1);
+        registry.gauge("train.epochs_run").set(result.epochs_run);
+        registry.gauge("train.best_epoch").set(result.best_epoch);
+        registry.gauge("train.best_val_loss").set(best_val);
+        registry.gauge("train.early_stopped").set(result.epochs_run < options.max_epochs);
+    }
     return result;
 }
 
 EvalResult evaluate_pnn(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
                         const EvalOptions& options) {
     if (options.n_mc < 1) throw std::invalid_argument("evaluate_pnn: n_mc must be >= 1");
+    obs::ScopedTimer eval_span("evaluate_pnn");
+    obs::Histogram* sample_hist =
+        obs::enabled() ? &obs::MetricsRegistry::global().histogram("mc.eval.sample_seconds")
+                       : nullptr;
+    const auto sweep_start = sample_hist ? Clock::now() : Clock::time_point{};
     const circuit::VariationModel variation(options.epsilon);
     math::Rng rng(options.seed);
 
@@ -159,14 +232,25 @@ EvalResult evaluate_pnn(const Pnn& pnn, const Matrix& x, const std::vector<int>&
         std::vector<math::Rng> streams = rng.split_n(n_mc);
         result.per_sample_accuracy.resize(n_mc);
         runtime::parallel_for(n_mc, [&](std::size_t s) {
+            const auto sample_start = sample_hist ? Clock::now() : Clock::time_point{};
             const NetworkVariation factors = pnn.sample_variation(variation, streams[s]);
             result.per_sample_accuracy[s] = ad::accuracy(pnn.predict(x, &factors), y);
+            if (sample_hist) sample_hist->observe(seconds_since(sample_start));
         });
     }
     result.mean_accuracy = math::mean(result.per_sample_accuracy);
     result.std_accuracy = result.per_sample_accuracy.size() > 1
                               ? math::stddev(result.per_sample_accuracy)
                               : 0.0;
+    if (sample_hist) {
+        auto& registry = obs::MetricsRegistry::global();
+        const auto n = result.per_sample_accuracy.size();
+        registry.counter("mc.eval.samples_total").add(n);
+        const double wall = seconds_since(sweep_start);
+        if (wall > 0.0) registry.gauge("mc.eval.samples_per_sec").set(n / wall);
+        registry.gauge("eval.mean_accuracy").set(result.mean_accuracy);
+        registry.gauge("eval.std_accuracy").set(result.std_accuracy);
+    }
     return result;
 }
 

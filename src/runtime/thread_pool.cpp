@@ -1,21 +1,31 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace pnc::runtime {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 // Set while a pool worker runs a task: a nested parallel_for from inside a
 // task would wait on chunks no free worker can pick up, so it runs inline.
 thread_local bool t_inside_worker = false;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 }  // namespace
 
@@ -26,8 +36,10 @@ struct ThreadPool::Impl {
     bool stopping = false;
     std::vector<std::thread> workers;
 
-    void worker_loop() {
+    void worker_loop(std::size_t worker_index) {
         t_inside_worker = true;
+        // Created lazily so an obs-disabled run never touches the registry.
+        obs::Gauge* busy_gauge = nullptr;
         for (;;) {
             std::function<void()> task;
             {
@@ -37,7 +49,17 @@ struct ThreadPool::Impl {
                 task = std::move(queue.front());
                 queue.pop_front();
             }
-            task();
+            if (obs::enabled()) {
+                if (!busy_gauge)
+                    busy_gauge = &obs::MetricsRegistry::global().gauge(
+                        "pool.worker." + std::to_string(worker_index) + ".busy_seconds");
+                const auto start = Clock::now();
+                task();
+                busy_gauge->add(seconds_since(start));
+                obs::add_counter("pool.tasks_total");
+            } else {
+                task();
+            }
         }
     }
 };
@@ -47,7 +69,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) : n_threads_(std::max<std::size_t>
     impl_ = std::make_unique<Impl>();
     impl_->workers.reserve(n_threads_ - 1);
     for (std::size_t i = 0; i + 1 < n_threads_; ++i)
-        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+        impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -62,9 +84,32 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
+    const bool observed = obs::enabled();
+    // Metric handles are hoisted here (one registry lookup per parallel_for,
+    // none per index); updates inside the chunks are lock-free atomics.
+    obs::Histogram* chunk_hist = nullptr;
+    obs::Histogram* wait_hist = nullptr;
+    obs::Gauge* busy_gauge = nullptr;
+    if (observed) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("pool.parallel_for_total").add(1);
+        chunk_hist = &registry.histogram("pool.chunk_seconds");
+        wait_hist = &registry.histogram("pool.queue_wait_seconds");
+        busy_gauge = &registry.gauge("pool.busy_seconds");
+    }
+
     const std::size_t chunks = std::min(n_threads_, n);
     if (chunks <= 1 || !impl_ || t_inside_worker) {
+        if (!observed) {
+            for (std::size_t i = 0; i < n; ++i) fn(i);
+            return;
+        }
+        const auto start = Clock::now();
         for (std::size_t i = 0; i < n; ++i) fn(i);
+        const double elapsed = seconds_since(start);
+        chunk_hist->observe(elapsed);
+        busy_gauge->add(elapsed);
+        obs::add_counter("pool.chunks_total");
         return;
     }
 
@@ -81,18 +126,27 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     const auto run_chunk = [&](std::size_t chunk) {
         const std::size_t lo = n * chunk / chunks;
         const std::size_t hi = n * (chunk + 1) / chunks;
+        const auto start = observed ? Clock::now() : Clock::time_point{};
         try {
             for (std::size_t i = lo; i < hi; ++i) fn(i);
         } catch (...) {
             std::lock_guard<std::mutex> lock(join.mutex);
             if (!join.error) join.error = std::current_exception();
         }
+        if (observed) {
+            const double elapsed = seconds_since(start);
+            chunk_hist->observe(elapsed);
+            busy_gauge->add(elapsed);
+            obs::add_counter("pool.chunks_total");
+        }
     };
 
+    const auto enqueue_time = observed ? Clock::now() : Clock::time_point{};
     {
         std::lock_guard<std::mutex> lock(impl_->mutex);
         for (std::size_t chunk = 1; chunk < chunks; ++chunk)
-            impl_->queue.emplace_back([&join, &run_chunk, chunk] {
+            impl_->queue.emplace_back([&join, &run_chunk, chunk, wait_hist, enqueue_time] {
+                if (wait_hist) wait_hist->observe(seconds_since(enqueue_time));
                 run_chunk(chunk);
                 // Notify while holding the mutex: the waiter owns `join` and
                 // destroys it as soon as it sees pending == 0, which it can

@@ -1,8 +1,12 @@
 #include "surrogate/dataset_builder.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pnc::surrogate {
 
@@ -13,6 +17,15 @@ SurrogateDataset build_surrogate_dataset(NonlinearCircuitKind kind, const Design
                                          const DatasetBuildOptions& options) {
     if (options.samples == 0)
         throw std::invalid_argument("build_surrogate_dataset: samples == 0");
+    obs::ScopedTimer build_span("surrogate.build_dataset");
+    obs::Histogram* sim_hist = nullptr;
+    obs::Histogram* rmse_hist = nullptr;
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        sim_hist = &registry.histogram("surrogate.sim_fit_seconds");
+        rmse_hist = &registry.histogram("surrogate.fit_rmse");
+        registry.counter("surrogate.circuits_total").add(options.samples);
+    }
 
     math::SobolSequence sobol(DesignSpace::kDimension);
     sobol.skip(1);  // the all-zeros origin sits on the design-space boundary
@@ -25,9 +38,17 @@ SurrogateDataset build_surrogate_dataset(NonlinearCircuitKind kind, const Design
     ds.fit_rmse.resize(options.samples);
 
     for (std::size_t i = 0; i < omegas.size(); ++i) {
+        const auto sim_start = sim_hist ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
         const auto curve = circuit::simulate_characteristic(omegas[i], kind,
                                                             options.sweep_points, options.egt);
         auto fitted = fit::fit_ptanh(curve, kind);
+        if (sim_hist) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - sim_start;
+            sim_hist->observe(elapsed.count());
+            rmse_hist->observe(fitted.rmse);
+        }
         fitted.eta.eta3 = std::clamp(fitted.eta.eta3, options.eta3_clip_lo, options.eta3_clip_hi);
         fitted.eta.eta4 = std::clamp(fitted.eta.eta4, options.eta4_clip_lo, options.eta4_clip_hi);
 

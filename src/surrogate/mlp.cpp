@@ -6,6 +6,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pnc::surrogate {
 
 using ad::Var;
@@ -109,6 +112,16 @@ MlpTrainResult train_regression(Mlp& mlp, const Matrix& x_train, const Matrix& y
                                 const MlpTrainOptions& options) {
     if (x_train.rows() != y_train.rows() || x_val.rows() != y_val.rows())
         throw std::invalid_argument("train_regression: sample count mismatch");
+    obs::ScopedTimer mlp_span("surrogate.train_mlp");
+    obs::Series* s_train_mse = nullptr;
+    obs::Series* s_val_mse = nullptr;
+    obs::Counter* epoch_counter = nullptr;
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        s_train_mse = &registry.series("surrogate.mlp_epoch_train_mse");
+        s_val_mse = &registry.series("surrogate.mlp_epoch_val_mse");
+        epoch_counter = &registry.counter("surrogate.mlp_epochs_total");
+    }
 
     ad::Adam optimizer({{mlp.parameters(), options.learning_rate}});
     const Var x = ad::constant(x_train);
@@ -130,13 +143,20 @@ MlpTrainResult train_regression(Mlp& mlp, const Matrix& x_train, const Matrix& y
         result.validation_mse = val_loss.scalar();
         result.epochs_run = epoch + 1;
 
+        bool stop = false;
         if (val_loss.scalar() < best_val) {
             best_val = val_loss.scalar();
             best_weights = mlp.snapshot();
             since_best = 0;
         } else if (++since_best > options.patience) {
-            break;
+            stop = true;
         }
+        if (s_train_mse) {
+            s_train_mse->append(result.train_mse);
+            s_val_mse->append(result.validation_mse);
+            epoch_counter->add(1);
+        }
+        if (stop) break;
         if (options.log_every > 0 && epoch % options.log_every == 0)
             std::cerr << "[mlp] epoch " << epoch << " train " << result.train_mse << " val "
                       << result.validation_mse << "\n";

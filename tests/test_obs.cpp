@@ -1,0 +1,486 @@
+// Observability suite: metric primitives, the registry under the thread
+// pool, scoped-trace aggregation, exporter round-trips, and — the invariant
+// everything else depends on — that enabling telemetry does not perturb
+// training or evaluation by a single bit (obs reads clocks and values, it
+// never touches an Rng stream).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "obs/config.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+#include "surrogate/dataset_builder.hpp"
+
+using namespace pnc;
+
+namespace {
+
+/// Every test starts and ends with obs disabled and all global sinks empty,
+/// so suites can run in any order without leaking metrics into each other.
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override { reset_all(); }
+    void TearDown() override { reset_all(); }
+
+    static void reset_all() {
+        obs::set_enabled(false);
+        obs::MetricsRegistry::global().reset();
+        obs::Tracer::global().reset();
+    }
+};
+
+const obs::HistogramSnapshot* find_histogram(const obs::MetricsSnapshot& snapshot,
+                                             const std::string& name) {
+    for (const auto& h : snapshot.histograms)
+        if (h.name == name) return &h;
+    return nullptr;
+}
+
+const obs::TraceNode* find_child(const obs::TraceNode& node, const std::string& name) {
+    for (const auto& child : node.children)
+        if (child->name == name) return child.get();
+    return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- metrics
+
+TEST_F(ObsTest, CounterAndGaugeBasics) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("c").add();
+    registry.counter("c").add(41);
+    EXPECT_EQ(registry.counter("c").value(), 42u);
+
+    registry.gauge("g").set(2.5);
+    registry.gauge("g").add(-1.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 1.5);
+
+    const auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.counters.size(), 1u);
+    EXPECT_EQ(snapshot.counters[0].first, "c");
+    EXPECT_EQ(snapshot.counters[0].second, 42u);
+    ASSERT_EQ(snapshot.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 1.5);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndQuantiles) {
+    auto& hist = obs::MetricsRegistry::global().histogram(
+        "h", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
+    // 1000 observations uniform over (0, 10): 100 per bucket.
+    for (int i = 0; i < 1000; ++i) hist.observe((i % 10) + 0.5);
+
+    EXPECT_EQ(hist.count(), 1000u);
+    EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+    EXPECT_DOUBLE_EQ(hist.max(), 9.5);
+    EXPECT_NEAR(hist.sum(), 5000.0, 1e-9);
+    const auto buckets = hist.bucket_counts();
+    ASSERT_EQ(buckets.size(), 11u);  // 10 bounds + overflow
+    for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(buckets[b], 100u) << "bucket " << b;
+    EXPECT_EQ(buckets[10], 0u);
+
+    obs::HistogramSnapshot snap = *find_histogram(obs::MetricsRegistry::global().snapshot(), "h");
+    // Bucket interpolation on a uniform distribution: q-th quantile ~ 10 q.
+    EXPECT_NEAR(snap.quantile(0.50), 5.0, 1.0);
+    EXPECT_NEAR(snap.quantile(0.90), 9.0, 1.0);
+    // Quantiles are clamped to the observed range.
+    EXPECT_GE(snap.quantile(0.0), 0.5);
+    EXPECT_LE(snap.quantile(1.0), 9.5);
+}
+
+TEST_F(ObsTest, HistogramOverflowBucketCatchesLargeValues) {
+    auto& hist = obs::MetricsRegistry::global().histogram("h", {1.0, 2.0});
+    hist.observe(100.0);
+    const auto buckets = hist.bucket_counts();
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+}
+
+TEST_F(ObsTest, HistogramRejectsBadBounds) {
+    EXPECT_THROW(obs::Histogram(std::vector<double>{}), std::invalid_argument);
+    EXPECT_THROW(obs::Histogram((std::vector<double>{3.0, 1.0, 2.0})), std::invalid_argument);
+}
+
+TEST_F(ObsTest, EmptyHistogramQuantileIsZero) {
+    obs::MetricsRegistry::global().histogram("h", {1.0});
+    const auto snap = *find_histogram(obs::MetricsRegistry::global().snapshot(), "h");
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST_F(ObsTest, SeriesKeepsInsertionOrder) {
+    auto& series = obs::MetricsRegistry::global().series("s");
+    for (int i = 0; i < 5; ++i) series.append(i * 0.5);
+    const auto values = series.values();
+    ASSERT_EQ(values.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(values[i], i * 0.5);
+}
+
+TEST_F(ObsTest, SiteHelpersAreNoopsWhenDisabled) {
+    ASSERT_FALSE(obs::enabled());
+    obs::add_counter("nope");
+    obs::set_gauge("nope", 1.0);
+    obs::observe("nope", 1.0);
+    obs::append_series("nope", 1.0);
+    EXPECT_TRUE(obs::MetricsRegistry::global().snapshot().empty());
+}
+
+TEST_F(ObsTest, RegistryIsThreadSafeUnderThePool) {
+    obs::set_enabled(true);
+    runtime::set_global_threads(8);
+    auto& registry = obs::MetricsRegistry::global();
+    // Hoisted handles updated lock-free from every worker, plus dynamic
+    // name lookups racing the find-or-create path.
+    auto& counter = registry.counter("pool.counter");
+    auto& gauge = registry.gauge("pool.gauge");
+    auto& hist = registry.histogram("pool.hist", {0.25, 0.5, 0.75, 1.0});
+    constexpr std::size_t kN = 20000;
+    runtime::parallel_for(kN, [&](std::size_t i) {
+        counter.add();
+        gauge.add(1.0);
+        hist.observe(static_cast<double>(i % 4) * 0.25 + 0.1);
+        registry.counter("pool.dynamic." + std::to_string(i % 7)).add();
+    });
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+
+    EXPECT_EQ(counter.value(), kN);
+    EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kN));
+    EXPECT_EQ(hist.count(), kN);
+    std::uint64_t dynamic_total = 0;
+    for (int k = 0; k < 7; ++k)
+        dynamic_total += registry.counter("pool.dynamic." + std::to_string(k)).value();
+    EXPECT_EQ(dynamic_total, kN);
+}
+
+// ------------------------------------------------------------------ traces
+
+TEST_F(ObsTest, ScopedTimerNestsAndAggregates) {
+    obs::set_enabled(true);
+    {
+        obs::ScopedTimer outer("outer");
+        for (int i = 0; i < 3; ++i) obs::ScopedTimer inner("inner");
+        obs::ScopedTimer other("other");
+    }
+    const auto root = obs::Tracer::global().snapshot();
+    const auto* outer = find_child(*root, "outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->count, 1u);
+    EXPECT_GE(outer->seconds, 0.0);
+    const auto* inner = find_child(*outer, "inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->count, 3u);  // same-name spans aggregate into one node
+    ASSERT_NE(find_child(*outer, "other"), nullptr);
+    EXPECT_EQ(find_child(*root, "inner"), nullptr);  // nested, not top-level
+}
+
+TEST_F(ObsTest, RepeatedTopLevelSpansMergeByName) {
+    obs::set_enabled(true);
+    for (int i = 0; i < 2; ++i) {
+        obs::ScopedTimer span("phase");
+        obs::ScopedTimer child("step");
+    }
+    const auto root = obs::Tracer::global().snapshot();
+    const auto* phase = find_child(*root, "phase");
+    ASSERT_NE(phase, nullptr);
+    EXPECT_EQ(phase->count, 2u);
+    const auto* step = find_child(*phase, "step");
+    ASSERT_NE(step, nullptr);
+    EXPECT_EQ(step->count, 2u);
+}
+
+TEST_F(ObsTest, ScopedTimerIsInertWhenDisabled) {
+    {
+        obs::ScopedTimer span("ghost");
+        obs::ScopedTimer child("ghost-child");
+    }
+    EXPECT_TRUE(obs::Tracer::global().snapshot()->children.empty());
+}
+
+// --------------------------------------------------------------- exporters
+
+TEST_F(ObsTest, JsonDumpParseRoundTrip) {
+    obs::json::Value doc = obs::json::Value::object();
+    doc.set("str", obs::json::Value::string("a \"quoted\"\nline\twith\\escapes"));
+    doc.set("num", obs::json::Value::number(-0.125));
+    doc.set("yes", obs::json::Value::boolean(true));
+    doc.set("nil", obs::json::Value::null());
+    obs::json::Value arr = obs::json::Value::array();
+    arr.push_back(obs::json::Value::number(1e-300));
+    arr.push_back(obs::json::Value::string("x"));
+    doc.set("arr", std::move(arr));
+
+    const auto parsed = obs::json::Value::parse(doc.dump());
+    EXPECT_EQ(parsed.find("str")->as_string(), "a \"quoted\"\nline\twith\\escapes");
+    EXPECT_DOUBLE_EQ(parsed.find("num")->as_number(), -0.125);
+    EXPECT_TRUE(parsed.find("yes")->as_bool());
+    EXPECT_EQ(parsed.find("nil")->kind(), obs::json::Value::Kind::kNull);
+    ASSERT_EQ(parsed.find("arr")->items().size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.find("arr")->items()[0].as_number(), 1e-300);
+}
+
+TEST_F(ObsTest, JsonParseRejectsMalformedInput) {
+    EXPECT_THROW(obs::json::Value::parse("{"), std::runtime_error);
+    EXPECT_THROW(obs::json::Value::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(obs::json::Value::parse("{} trailing"), std::runtime_error);
+    EXPECT_THROW(obs::json::Value::parse("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(obs::json::Value::parse("nul"), std::runtime_error);
+}
+
+TEST_F(ObsTest, JsonParsesUnicodeEscapes) {
+    const auto value = obs::json::Value::parse("\"\\u00e9\\u0041\"");
+    EXPECT_EQ(value.as_string(), "\xc3\xa9\x41");  // é + A as UTF-8
+}
+
+TEST_F(ObsTest, RunReportRoundTripsThroughJson) {
+    obs::set_enabled(true);
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("events").add(7);
+    registry.gauge("rate").set(123.5);
+    auto& hist = registry.histogram("latency", {0.5, 1.0, 2.0});
+    hist.observe(0.25);
+    hist.observe(1.5);
+    for (int i = 0; i < 3; ++i) registry.series("loss").append(1.0 / (i + 1));
+
+    obs::RunMeta meta;
+    meta.tool = "test_obs";
+    meta.command = "round-trip";
+    meta.extra.emplace_back("dataset", "blobs");
+
+    namespace fs = std::filesystem;
+    const auto path = (fs::temp_directory_path() / "pnc_obs_roundtrip.json").string();
+    obs::write_run_report(path, meta);
+
+    std::ifstream is(path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const auto doc = obs::json::Value::parse(buffer.str());
+    fs::remove(path);
+
+    EXPECT_EQ(obs::validate_run_report(doc), "");
+    EXPECT_EQ(doc.find("meta")->find("tool")->as_string(), "test_obs");
+    EXPECT_EQ(doc.find("meta")->find("dataset")->as_string(), "blobs");
+    EXPECT_DOUBLE_EQ(doc.find("counters")->find("events")->as_number(), 7.0);
+    EXPECT_DOUBLE_EQ(doc.find("gauges")->find("rate")->as_number(), 123.5);
+    const auto* latency = doc.find("histograms")->find("latency");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_DOUBLE_EQ(latency->find("count")->as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(latency->find("sum")->as_number(), 1.75);
+    EXPECT_DOUBLE_EQ(latency->find("min")->as_number(), 0.25);
+    EXPECT_DOUBLE_EQ(latency->find("max")->as_number(), 1.5);
+    ASSERT_EQ(latency->find("bounds")->items().size(), 3u);
+    ASSERT_EQ(latency->find("bucket_counts")->items().size(), 4u);
+    const auto* loss = doc.find("series")->find("loss");
+    ASSERT_NE(loss, nullptr);
+    ASSERT_EQ(loss->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(loss->items()[2].as_number(), 1.0 / 3.0);
+}
+
+TEST_F(ObsTest, ValidateRejectsMalformedReports) {
+    obs::RunMeta meta;
+    meta.tool = "t";
+    meta.command = "c";
+    auto doc = obs::run_report_document(obs::MetricsRegistry::global().snapshot(), meta);
+    ASSERT_EQ(obs::validate_run_report(doc), "");
+
+    auto bad_schema = doc;
+    bad_schema.set("schema", obs::json::Value::string("nope/9"));
+    EXPECT_NE(obs::validate_run_report(bad_schema), "");
+
+    auto bad_counter = doc;
+    obs::json::Value counters = obs::json::Value::object();
+    counters.set("oops", obs::json::Value::string("NaN"));
+    bad_counter.set("counters", std::move(counters));
+    EXPECT_NE(obs::validate_run_report(bad_counter), "");
+
+    EXPECT_NE(obs::validate_run_report(obs::json::Value::array()), "");
+}
+
+TEST_F(ObsTest, CsvExportFlattensEveryKind) {
+    obs::set_enabled(true);
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("n").add(3);
+    registry.gauge("g").set(0.5);
+    registry.histogram("h", {1.0}).observe(0.5);
+    registry.series("s").append(7.0);
+    registry.series("s").append(8.0);
+
+    const std::string csv = obs::metrics_csv(registry.snapshot());
+    EXPECT_NE(csv.find("kind,name,field,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("counter,n,value,3\n"), std::string::npos);
+    EXPECT_NE(csv.find("gauge,g,value,0.5\n"), std::string::npos);
+    EXPECT_NE(csv.find("histogram,h,count,1\n"), std::string::npos);
+    EXPECT_NE(csv.find("series,s,0,7\n"), std::string::npos);
+    EXPECT_NE(csv.find("series,s,1,8\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceDocumentMirrorsTheTree) {
+    obs::set_enabled(true);
+    {
+        obs::ScopedTimer outer("outer");
+        obs::ScopedTimer inner("inner");
+    }
+    const auto root = obs::Tracer::global().snapshot();
+    const auto doc = obs::trace_document(*root);
+    EXPECT_EQ(doc.find("schema")->as_string(), "pnc-trace/1");
+    const auto* json_root = doc.find("root");
+    ASSERT_NE(json_root, nullptr);
+    EXPECT_EQ(json_root->find("name")->as_string(), "root");
+    ASSERT_EQ(json_root->find("children")->items().size(), 1u);
+    const auto& outer = json_root->find("children")->items()[0];
+    EXPECT_EQ(outer.find("name")->as_string(), "outer");
+    EXPECT_DOUBLE_EQ(outer.find("count")->as_number(), 1.0);
+    // Round-trip the document too: dump -> parse -> same shape.
+    const auto parsed = obs::json::Value::parse(doc.dump());
+    EXPECT_EQ(parsed.find("root")->find("children")->items()[0].find("name")->as_string(),
+              "outer");
+}
+
+// ----------------------------------------------------- the core invariant
+
+namespace {
+
+// Tiny surrogates (same recipe as test_mc_determinism) so the bit-identity
+// test trains a real pNN through the real pipeline in well under a second.
+const surrogate::SurrogateModel& obs_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto dataset =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(dataset, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+pnn::Pnn make_obs_net(std::uint64_t seed = 61) {
+    math::Rng rng(seed);
+    return pnn::Pnn({2, 3, 2}, &obs_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &obs_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+data::SplitDataset obs_blob_split() {
+    math::Rng rng(62);
+    data::Dataset ds;
+    ds.name = "blobs";
+    ds.n_classes = 2;
+    ds.features = math::Matrix(60, 2);
+    for (int i = 0; i < 60; ++i) {
+        const int label = i % 2;
+        ds.labels.push_back(label);
+        ds.features(i, 0) = rng.normal(label ? 0.8 : 0.2, 0.08);
+        ds.features(i, 1) = rng.normal(label ? 0.2 : 0.8, 0.08);
+    }
+    return data::split_and_normalize(ds, 9);
+}
+
+struct TrainOutcome {
+    pnn::TrainResult result;
+    std::vector<math::Matrix> params;
+    pnn::EvalResult eval;
+};
+
+TrainOutcome run_seeded_workload() {
+    const auto split = obs_blob_split();
+    auto net = make_obs_net();
+    pnn::TrainOptions options;
+    options.max_epochs = 12;
+    options.patience = 12;
+    options.epsilon = 0.1;
+    options.n_mc_train = 4;
+    options.n_mc_val = 2;
+    options.seed = 63;
+    const auto result = pnn::train_pnn(net, split, options);
+    pnn::EvalOptions eval_options;
+    eval_options.epsilon = 0.1;
+    eval_options.n_mc = 16;
+    const auto eval = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval_options);
+    return {result, net.snapshot(), eval};
+}
+
+}  // namespace
+
+TEST_F(ObsTest, TelemetryDoesNotChangeTrainingBitForBit) {
+    // The ISSUE acceptance criterion: train_pnn / evaluate_pnn with
+    // observability enabled are bit-identical to a disabled run. Telemetry
+    // only reads clocks and already-computed values, and the extra val
+    // accuracy probe uses the RNG-free nominal predict, so the Rng streams
+    // are untouched.
+    obs::set_enabled(false);
+    const auto plain = run_seeded_workload();
+
+    obs::set_enabled(true);
+    const auto observed = run_seeded_workload();
+
+    // Telemetry actually fired during the observed run...
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    EXPECT_FALSE(snapshot.empty());
+    bool has_epoch_series = false;
+    for (const auto& [name, values] : snapshot.series)
+        if (name == "train.epoch_train_loss") {
+            has_epoch_series = true;
+            EXPECT_EQ(values.size(),
+                      static_cast<std::size_t>(observed.result.epochs_run));
+        }
+    EXPECT_TRUE(has_epoch_series);
+
+    // ...and did not perturb a single bit of the numerical results.
+    EXPECT_EQ(plain.result.best_val_loss, observed.result.best_val_loss);
+    EXPECT_EQ(plain.result.final_train_loss, observed.result.final_train_loss);
+    EXPECT_EQ(plain.result.best_epoch, observed.result.best_epoch);
+    EXPECT_EQ(plain.result.epochs_run, observed.result.epochs_run);
+    ASSERT_EQ(plain.params.size(), observed.params.size());
+    for (std::size_t p = 0; p < plain.params.size(); ++p) {
+        ASSERT_EQ(plain.params[p].size(), observed.params[p].size());
+        for (std::size_t i = 0; i < plain.params[p].size(); ++i)
+            ASSERT_EQ(plain.params[p][i], observed.params[p][i])
+                << "parameter " << p << " element " << i;
+    }
+    EXPECT_EQ(plain.eval.mean_accuracy, observed.eval.mean_accuracy);
+    EXPECT_EQ(plain.eval.std_accuracy, observed.eval.std_accuracy);
+    ASSERT_EQ(plain.eval.per_sample_accuracy.size(), observed.eval.per_sample_accuracy.size());
+    for (std::size_t s = 0; s < plain.eval.per_sample_accuracy.size(); ++s)
+        EXPECT_EQ(plain.eval.per_sample_accuracy[s], observed.eval.per_sample_accuracy[s]);
+}
+
+TEST_F(ObsTest, TelemetryDoesNotChangeYieldOrCorners) {
+    const auto split = obs_blob_split();
+    const auto net = make_obs_net();
+
+    obs::set_enabled(false);
+    const auto plain_yield = pnn::estimate_yield(net, split.x_test, split.y_test, 0.6, 0.1, 16, 91);
+    const double plain_corner =
+        pnn::worst_corner_accuracy(net, split.x_test, split.y_test, 0.1, 12, 92);
+
+    obs::set_enabled(true);
+    const auto obs_yield = pnn::estimate_yield(net, split.x_test, split.y_test, 0.6, 0.1, 16, 91);
+    const double obs_corner =
+        pnn::worst_corner_accuracy(net, split.x_test, split.y_test, 0.1, 12, 92);
+
+    EXPECT_EQ(plain_yield.yield, obs_yield.yield);
+    EXPECT_EQ(plain_yield.worst_accuracy, obs_yield.worst_accuracy);
+    EXPECT_EQ(plain_yield.median_accuracy, obs_yield.median_accuracy);
+    EXPECT_EQ(plain_corner, obs_corner);
+    EXPECT_EQ(obs::MetricsRegistry::global().counter("mc.yield.samples_total").value(), 16u);
+    EXPECT_EQ(obs::MetricsRegistry::global().counter("mc.corner.samples_total").value(), 12u);
+}

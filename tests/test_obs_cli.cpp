@@ -1,0 +1,157 @@
+// End-to-end CLI telemetry: run the real `pnc` binary (path injected by
+// CMake as PNC_CLI_PATH) with --metrics-out/--trace-out and validate the
+// emitted documents against the schema in docs/OBSERVABILITY.md — the
+// ISSUE acceptance criterion that a run report carries per-epoch loss,
+// Monte-Carlo samples/sec and thread-pool busy time.
+//
+// Kept fast by shrinking the surrogate build via PNC_SURROGATE_SAMPLES /
+// PNC_SURROGATE_EPOCHS and pointing PNC_ARTIFACTS at a scratch directory
+// (the tiny surrogate cache is shared by the train and eval invocations).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+#ifndef PNC_CLI_PATH
+#error "PNC_CLI_PATH must be defined to the pnc binary location"
+#endif
+
+namespace fs = std::filesystem;
+using pnc::obs::json::Value;
+
+namespace {
+
+class ObsCliTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() / "pnc_obs_cli_test";
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        artifacts_ = (dir_ / "artifacts").string();
+        ::setenv("PNC_ARTIFACTS", artifacts_.c_str(), 1);
+        ::setenv("PNC_SURROGATE_SAMPLES", "120", 1);
+        ::setenv("PNC_SURROGATE_EPOCHS", "150", 1);
+    }
+
+    void TearDown() override {
+        ::unsetenv("PNC_ARTIFACTS");
+        ::unsetenv("PNC_SURROGATE_SAMPLES");
+        ::unsetenv("PNC_SURROGATE_EPOCHS");
+        fs::remove_all(dir_);
+    }
+
+    /// Run `pnc <args>`, asserting a zero exit code; stdout+stderr land in
+    /// a log file that is echoed into the failure message.
+    void run_cli(const std::string& cli_args) {
+        const std::string log = (dir_ / "cli.log").string();
+        const std::string cmd =
+            std::string(PNC_CLI_PATH) + " " + cli_args + " > " + log + " 2>&1";
+        const int rc = std::system(cmd.c_str());
+        ASSERT_EQ(rc, 0) << "command failed: " << cmd << "\n" << slurp(log);
+    }
+
+    static std::string slurp(const std::string& path) {
+        std::ifstream is(path);
+        std::stringstream buffer;
+        buffer << is.rdbuf();
+        return buffer.str();
+    }
+
+    static Value parse_file(const std::string& path) {
+        return Value::parse(slurp(path));
+    }
+
+    std::string path(const char* leaf) const { return (dir_ / leaf).string(); }
+
+    fs::path dir_;
+    std::string artifacts_;
+};
+
+}  // namespace
+
+TEST_F(ObsCliTest, TrainEmitsSchemaValidReportWithCoreTelemetry) {
+    run_cli("train --dataset iris --eps 0.1 --mc 2 --epochs 6 --patience 6 --hidden 2"
+            " --seed 3 --out " + path("model.pnn") +
+            " --metrics-out " + path("train_report.json") +
+            " --trace-out " + path("train_trace.json"));
+
+    const Value doc = parse_file(path("train_report.json"));
+    ASSERT_EQ(pnc::obs::validate_run_report(doc), "");
+    EXPECT_EQ(doc.find("meta")->find("tool")->as_string(), "pnc");
+    EXPECT_EQ(doc.find("meta")->find("command")->as_string(), "train");
+
+    // Per-epoch training telemetry: loss/accuracy series sized to the
+    // number of epochs actually run.
+    const Value* gauges = doc.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    const Value* epochs_run = gauges->find("train.epochs_run");
+    ASSERT_NE(epochs_run, nullptr);
+    const auto n_epochs = static_cast<std::size_t>(epochs_run->as_number());
+    EXPECT_GE(n_epochs, 1u);
+    const Value* series = doc.find("series");
+    for (const char* name : {"train.epoch_train_loss", "train.epoch_val_loss",
+                             "train.epoch_val_accuracy", "train.epoch_seconds"}) {
+        const Value* s = series->find(name);
+        ASSERT_NE(s, nullptr) << name;
+        EXPECT_EQ(s->items().size(), n_epochs) << name;
+    }
+
+    // Monte-Carlo throughput and thread-pool busy time.
+    const Value* samples_per_sec = gauges->find("mc.train.samples_per_sec");
+    ASSERT_NE(samples_per_sec, nullptr);
+    EXPECT_GT(samples_per_sec->as_number(), 0.0);
+    const Value* busy = gauges->find("pool.busy_seconds");
+    ASSERT_NE(busy, nullptr);
+    EXPECT_GT(busy->as_number(), 0.0);
+    const Value* counters = doc.find("counters");
+    EXPECT_GT(counters->find("mc.train.samples_total")->as_number(), 0.0);
+    EXPECT_GT(counters->find("pool.chunks_total")->as_number(), 0.0);
+    const Value* hist = doc.find("histograms")->find("mc.train.sample_seconds");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_GT(hist->find("count")->as_number(), 0.0);
+
+    // The trace tree: train_pnn at the top level with one epoch node
+    // aggregating all epochs.
+    const Value trace = parse_file(path("train_trace.json"));
+    EXPECT_EQ(trace.find("schema")->as_string(), "pnc-trace/1");
+    const Value* root = trace.find("root");
+    ASSERT_NE(root, nullptr);
+    const Value* train_span = nullptr;
+    for (const auto& child : root->find("children")->items())
+        if (child.find("name")->as_string() == "train_pnn") train_span = &child;
+    ASSERT_NE(train_span, nullptr);
+    EXPECT_DOUBLE_EQ(train_span->find("count")->as_number(), 1.0);
+    const Value* epoch_span = nullptr;
+    for (const auto& child : train_span->find("children")->items())
+        if (child.find("name")->as_string() == "epoch") epoch_span = &child;
+    ASSERT_NE(epoch_span, nullptr);
+    EXPECT_DOUBLE_EQ(epoch_span->find("count")->as_number(),
+                     static_cast<double>(n_epochs));
+
+    // Second invocation: eval the saved model and check the MC sweep
+    // telemetry (exact sample count this time — --mc 20).
+    run_cli("eval --model " + path("model.pnn") + " --dataset iris --eps 0.1 --mc 20"
+            " --metrics-out " + path("eval_report.json"));
+    const Value eval_doc = parse_file(path("eval_report.json"));
+    ASSERT_EQ(pnc::obs::validate_run_report(eval_doc), "");
+    EXPECT_EQ(eval_doc.find("meta")->find("command")->as_string(), "eval");
+    EXPECT_DOUBLE_EQ(eval_doc.find("counters")->find("mc.eval.samples_total")->as_number(),
+                     20.0);
+    EXPECT_GT(eval_doc.find("gauges")->find("mc.eval.samples_per_sec")->as_number(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        eval_doc.find("histograms")->find("mc.eval.sample_seconds")->find("count")->as_number(),
+        20.0);
+}
+
+TEST_F(ObsCliTest, NoReportIsWrittenWithoutTheFlags) {
+    run_cli("datasets");
+    EXPECT_FALSE(fs::exists(path("train_report.json")));
+    // And no stray report lands in the artifact or working directory.
+    EXPECT_FALSE(fs::exists(fs::path(artifacts_) / "report.json"));
+}

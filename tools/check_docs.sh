@@ -1,0 +1,51 @@
+#!/bin/sh
+# check_docs.sh — fail when any markdown file in the repo contains a broken
+# relative link. Checks inline links `[text](target)` in every tracked
+# *.md file; absolute URLs (http/https/mailto) are skipped and #fragments
+# are stripped before the existence check. Run from anywhere:
+#
+#   tools/check_docs.sh          # exit 0 = all links resolve
+#
+# Used as the docs counterpart of the test suite: new docs must keep every
+# cross-reference valid.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root" || exit 2
+
+if command -v git >/dev/null 2>&1 && git rev-parse --git-dir >/dev/null 2>&1; then
+    md_files=$(git ls-files --cached --others --exclude-standard '*.md')
+else
+    md_files=$(find . -name '*.md' -not -path './build*' | sed 's|^\./||')
+fi
+
+failures=0
+checked=0
+
+for file in $md_files; do
+    dir=$(dirname -- "$file")
+    # Pull out every (target) of an inline [text](target) link, one per line.
+    links=$(grep -oE '\[[^]]*\]\([^)]+\)' "$file" 2>/dev/null \
+                | sed -E 's/^\[[^]]*\]\(//; s/\)$//')
+    [ -n "$links" ] || continue
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*) continue ;;   # external
+            '#'*) continue ;;                          # same-file fragment
+        esac
+        target=${link%%#*}                             # strip #fragment
+        [ -n "$target" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$target" ]; then
+            echo "BROKEN: $file -> $link" >&2
+            failures=$((failures + 1))
+        fi
+    done
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "check_docs: $failures broken link(s) out of $checked checked" >&2
+    exit 1
+fi
+echo "check_docs: all $checked relative links resolve"
+exit 0

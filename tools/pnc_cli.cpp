@@ -11,6 +11,12 @@
 //   pnc export     --model model.pnn [--out netlist.sp]
 //   pnc cost       --model model.pnn
 //
+// Every command also accepts the telemetry flags (docs/OBSERVABILITY.md):
+//   --metrics-out report.json   write the run-report JSON on success
+//   --trace-out trace.json      write the scoped-timer trace tree
+// Either flag (or PNC_OBS=1 / PNC_METRICS_OUT / PNC_TRACE_OUT in the
+// environment) enables metric collection; it never changes results.
+//
 // Surrogate models are loaded from (or built into) the artifact cache, the
 // same one the benches use ($PNC_ARTIFACTS, default ./artifacts).
 #include <cstdio>
@@ -22,6 +28,7 @@
 
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "obs/report.hpp"
 #include "pnn/certification.hpp"
 #include "pnn/cost_analysis.hpp"
 #include "pnn/netlist_export.hpp"
@@ -239,8 +246,25 @@ int cmd_cost(const Args& args) {
 int cmd_help() {
     std::puts("pnc — printed neuromorphic circuit designer");
     std::puts("commands: curve fit datasets dataset train eval certify export cost help");
+    std::puts("global flags: --metrics-out report.json  --trace-out trace.json");
     std::puts("see the header of tools/pnc_cli.cpp for the option reference");
     return 0;
+}
+
+int dispatch(const Args& args) {
+    if (args.command == "curve") return cmd_curve(args);
+    if (args.command == "fit") return cmd_fit(args);
+    if (args.command == "datasets") return cmd_datasets();
+    if (args.command == "dataset") return cmd_dataset(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "eval") return cmd_eval(args);
+    if (args.command == "certify") return cmd_certify(args);
+    if (args.command == "export") return cmd_export(args);
+    if (args.command == "cost") return cmd_cost(args);
+    if (args.command == "help" || args.command == "--help") return cmd_help();
+    std::cerr << "unknown command '" << args.command << "'\n";
+    cmd_help();
+    return 2;
 }
 
 }  // namespace
@@ -248,19 +272,32 @@ int cmd_help() {
 int main(int argc, char** argv) {
     try {
         const Args args = parse_args(argc, argv);
-        if (args.command == "curve") return cmd_curve(args);
-        if (args.command == "fit") return cmd_fit(args);
-        if (args.command == "datasets") return cmd_datasets();
-        if (args.command == "dataset") return cmd_dataset(args);
-        if (args.command == "train") return cmd_train(args);
-        if (args.command == "eval") return cmd_eval(args);
-        if (args.command == "certify") return cmd_certify(args);
-        if (args.command == "export") return cmd_export(args);
-        if (args.command == "cost") return cmd_cost(args);
-        if (args.command == "help" || args.command == "--help") return cmd_help();
-        std::cerr << "unknown command '" << args.command << "'\n";
-        cmd_help();
-        return 2;
+
+        // Telemetry: CLI flags override the PNC_OBS / PNC_METRICS_OUT /
+        // PNC_TRACE_OUT environment.
+        auto obs_config = obs::ObsConfig::from_env();
+        if (const std::string v = args.get("metrics-out"); !v.empty()) obs_config.metrics_out = v;
+        if (const std::string v = args.get("trace-out"); !v.empty()) obs_config.trace_out = v;
+        obs_config.enabled |= !obs_config.metrics_out.empty() || !obs_config.trace_out.empty();
+        obs::set_enabled(obs_config.enabled);
+
+        const int rc = dispatch(args);
+
+        if (rc == 0 && !obs_config.metrics_out.empty()) {
+            obs::RunMeta meta;
+            meta.tool = "pnc";
+            meta.command = args.command;
+            for (const auto& [key, value] : args.options)
+                if (key != "metrics-out" && key != "trace-out") meta.extra.emplace_back(key, value);
+            obs::write_run_report(obs_config.metrics_out, meta);
+            std::fprintf(stderr, "[obs] run report written to %s\n",
+                         obs_config.metrics_out.c_str());
+        }
+        if (rc == 0 && !obs_config.trace_out.empty()) {
+            obs::write_trace_json(obs_config.trace_out);
+            std::fprintf(stderr, "[obs] trace written to %s\n", obs_config.trace_out.c_str());
+        }
+        return rc;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
