@@ -12,7 +12,8 @@
 using namespace pnc;
 
 int main() {
-    const bool observed = exp::env_int("PNC_OBS", 1) != 0;
+    // Telemetry is opt-in (PNC_OBS=1) so timings stay instrumentation-free.
+    const bool observed = exp::env_int("PNC_OBS", 0) != 0;
     obs::set_enabled(observed);
 
     const std::string cache = exp::artifact_dir() + "/table_results.txt";
@@ -55,6 +56,8 @@ int main() {
         obs::write_run_report(report, meta);
         obs::write_trace_json(trace);
         std::cout << "\ntelemetry: " << report << " + " << trace << "\n";
+    } else {
+        std::cout << "\n(set PNC_OBS=1 to capture a telemetry run report)\n";
     }
     return 0;
 }

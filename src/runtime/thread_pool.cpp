@@ -1,8 +1,10 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -27,6 +29,10 @@ double seconds_since(Clock::time_point start) {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// Pools can be replaced mid-process (set_global_threads); each gets its own
+// generation so per-worker gauges from different pools never share a name.
+std::atomic<std::uint64_t> g_pool_generation{0};
+
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -35,11 +41,13 @@ struct ThreadPool::Impl {
     std::deque<std::function<void()>> queue;
     bool stopping = false;
     std::vector<std::thread> workers;
+    const std::uint64_t generation = ++g_pool_generation;
 
     void worker_loop(std::size_t worker_index) {
         t_inside_worker = true;
-        // Created lazily so an obs-disabled run never touches the registry.
-        obs::Gauge* busy_gauge = nullptr;
+        const std::string busy_gauge_name = "pool.g" + std::to_string(generation) +
+                                            ".worker." + std::to_string(worker_index) +
+                                            ".busy_seconds";
         for (;;) {
             std::function<void()> task;
             {
@@ -50,12 +58,12 @@ struct ThreadPool::Impl {
                 queue.pop_front();
             }
             if (obs::enabled()) {
-                if (!busy_gauge)
-                    busy_gauge = &obs::MetricsRegistry::global().gauge(
-                        "pool.worker." + std::to_string(worker_index) + ".busy_seconds");
                 const auto start = Clock::now();
                 task();
-                busy_gauge->add(seconds_since(start));
+                // Re-fetched per task, never cached: MetricsRegistry::reset()
+                // destroys the metric objects while this worker lives on, so
+                // a handle held across tasks would dangle.
+                obs::MetricsRegistry::global().gauge(busy_gauge_name).add(seconds_since(start));
                 obs::add_counter("pool.tasks_total");
             } else {
                 task();

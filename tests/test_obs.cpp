@@ -5,6 +5,7 @@
 // never touches an Rng stream).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -164,6 +165,63 @@ TEST_F(ObsTest, RegistryIsThreadSafeUnderThePool) {
     for (int k = 0; k < 7; ++k)
         dynamic_total += registry.counter("pool.dynamic." + std::to_string(k)).value();
     EXPECT_EQ(dynamic_total, kN);
+}
+
+TEST_F(ObsTest, RegistryResetDoesNotInvalidateLivePoolWorkers) {
+    // Regression: the global pool's workers outlive MetricsRegistry::reset()
+    // (every ObsTest TearDown does one); an observed task executed after the
+    // reset must re-resolve its busy gauge, not reuse a destroyed one. The
+    // chunks spin for ~1 ms so every worker takes a task in both phases —
+    // with instant chunks one worker can drain a whole sweep, and the
+    // stale-handle reuse this test exists to catch would need a worker that
+    // ran tasks on both sides of the reset.
+    const auto spin = [](std::size_t) {
+        for (volatile int k = 0; k < 400000; ++k) {
+        }
+    };
+    constexpr std::uint64_t kSweeps = 3;
+    obs::set_enabled(true);
+    runtime::set_global_threads(4);
+    for (std::uint64_t s = 0; s < kSweeps; ++s) runtime::parallel_for(4, spin);
+    obs::MetricsRegistry::global().reset();
+    for (std::uint64_t s = 0; s < kSweeps; ++s) runtime::parallel_for(4, spin);
+    // Joining the pool (replacement destroys it) makes every worker-side
+    // metric update land before the assertions below read the counters.
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+
+    auto& registry = obs::MetricsRegistry::global();
+    // Only the post-reset sweeps are visible: kSweeps parallel_fors of 4
+    // chunks each (chunk updates complete before parallel_for returns, so
+    // the first phase's are all wiped by the reset). The per-task updates
+    // run after the chunk's join handshake, so up to 3 stragglers from the
+    // pre-reset phase may land on top of the second phase's 3 per sweep.
+    EXPECT_EQ(registry.counter("pool.parallel_for_total").value(), kSweeps);
+    EXPECT_EQ(registry.counter("pool.chunks_total").value(), 4 * kSweeps);
+    EXPECT_GE(registry.counter("pool.tasks_total").value(), 3 * kSweeps);
+    EXPECT_LE(registry.counter("pool.tasks_total").value(), 3 * kSweeps + 3);
+}
+
+TEST_F(ObsTest, PerWorkerGaugesDoNotMixAcrossPoolReplacements) {
+    // Each pool generation namespaces its per-worker busy gauges, so a run
+    // that resizes the pool keeps the two pools' busy time separate.
+    obs::set_enabled(true);
+    runtime::set_global_threads(4);
+    runtime::parallel_for(64, [](std::size_t) {});
+    runtime::set_global_threads(2);
+    runtime::parallel_for(64, [](std::size_t) {});
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+
+    std::vector<std::string> generations;
+    for (const auto& [name, value] : obs::MetricsRegistry::global().snapshot().gauges) {
+        const auto worker_pos = name.find(".worker.");
+        if (name.rfind("pool.g", 0) == 0 && worker_pos != std::string::npos) {
+            const std::string gen = name.substr(0, worker_pos);
+            if (std::find(generations.begin(), generations.end(), gen) == generations.end())
+                generations.push_back(gen);
+        }
+    }
+    // Two observed pools ran worker tasks -> two distinct gauge families.
+    EXPECT_GE(generations.size(), 2u);
 }
 
 // ------------------------------------------------------------------ traces

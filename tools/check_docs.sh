@@ -28,19 +28,27 @@ for file in $md_files; do
     links=$(grep -oE '\[[^]]*\]\([^)]+\)' "$file" 2>/dev/null \
                 | sed -E 's/^\[[^]]*\]\(//; s/\)$//')
     [ -n "$links" ] || continue
-    for link in $links; do
+    # One link per line (targets may contain spaces, so no word-splitting).
+    while IFS= read -r link; do
+        [ -n "$link" ] || continue
         case "$link" in
             http://*|https://*|mailto:*) continue ;;   # external
             '#'*) continue ;;                          # same-file fragment
         esac
-        target=${link%%#*}                             # strip #fragment
+        # Drop an optional quoted title (`[text](file.md "Title")`), then
+        # the #fragment.
+        target=$(printf '%s\n' "$link" \
+                     | sed -E "s/[[:space:]]+(\"[^\"]*\"|'[^']*')[[:space:]]*\$//")
+        target=${target%%#*}
         [ -n "$target" ] || continue
         checked=$((checked + 1))
         if [ ! -e "$dir/$target" ]; then
             echo "BROKEN: $file -> $link" >&2
             failures=$((failures + 1))
         fi
-    done
+    done <<EOF
+$links
+EOF
 done
 
 if [ "$failures" -ne 0 ]; then
