@@ -30,6 +30,29 @@ std::vector<double> Crossbar::outputs(const std::vector<double>& input_voltages)
     return out;
 }
 
+void apply_conductance_fault(CrossbarColumn& column, std::size_t resistor_index,
+                             ConductanceFaultKind kind, double value) {
+    const std::size_t n_in = column.input_conductances.size();
+    double* g = nullptr;
+    if (resistor_index < n_in)
+        g = &column.input_conductances[resistor_index];
+    else if (resistor_index == n_in)
+        g = &column.bias_conductance;
+    else if (resistor_index == n_in + 1)
+        g = &column.drain_conductance;
+    else
+        throw std::invalid_argument("apply_conductance_fault: resistor index " +
+                                    std::to_string(resistor_index) + " out of range");
+    switch (kind) {
+        case ConductanceFaultKind::kOpen: *g = 0.0; break;
+        case ConductanceFaultKind::kShort:
+        case ConductanceFaultKind::kStuckAt: *g = value; break;
+        case ConductanceFaultKind::kDrift: *g *= value; break;
+    }
+    if (*g < 0.0)
+        throw std::invalid_argument("apply_conductance_fault: negative conductance");
+}
+
 Netlist build_crossbar_netlist(const CrossbarColumn& column) {
     Netlist net;
     const NodeId z = net.node("z");

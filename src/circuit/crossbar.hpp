@@ -41,4 +41,20 @@ struct Crossbar {
 /// Zero conductances are skipped (component not printed).
 Netlist build_crossbar_netlist(const CrossbarColumn& column);
 
+/// Discrete defect of one printed resistor.
+enum class ConductanceFaultKind {
+    kOpen,     ///< broken print: g = 0 (the resistor vanishes from the netlist)
+    kShort,    ///< short to the rail pair: g = value (the technology G_max)
+    kStuckAt,  ///< conductance frozen at `value`
+    kDrift,    ///< systematic shift: g *= value
+};
+
+/// Apply a defect to one resistor of a column in place. `resistor_index`
+/// addresses the inputs first, then the bias resistor, then the drain
+/// resistor. The closed-form `output` of the faulted column matches the MNA
+/// solve of its faulted netlist (test-enforced), so the pNN-level fault
+/// abstraction and the analog ground truth agree.
+void apply_conductance_fault(CrossbarColumn& column, std::size_t resistor_index,
+                             ConductanceFaultKind kind, double value = 0.0);
+
 }  // namespace pnc::circuit

@@ -4,6 +4,26 @@
 
 namespace pnc::circuit {
 
+ConductanceOverlay ConductanceOverlay::identity(std::size_t rows, std::size_t cols) {
+    return {math::Matrix(rows, cols, 1.0), math::Matrix(rows, cols, 0.0)};
+}
+
+bool ConductanceOverlay::is_identity() const {
+    for (std::size_t i = 0; i < keep.size(); ++i)
+        if (keep[i] != 1.0) return false;
+    for (std::size_t i = 0; i < add.size(); ++i)
+        if (add[i] != 0.0) return false;
+    return true;
+}
+
+math::Matrix ConductanceOverlay::apply(const math::Matrix& g) const {
+    if (g.rows() != keep.rows() || g.cols() != keep.cols())
+        throw std::invalid_argument("ConductanceOverlay::apply: shape mismatch");
+    math::Matrix out(g.rows(), g.cols());
+    for (std::size_t i = 0; i < g.size(); ++i) out[i] = keep[i] * g[i] + add[i];
+    return out;
+}
+
 VariationModel::VariationModel(double eps) : eps_(eps) {
     if (eps < 0.0 || eps >= 1.0)
         throw std::invalid_argument("VariationModel: eps must be in [0, 1)");

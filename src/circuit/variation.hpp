@@ -12,6 +12,26 @@
 
 namespace pnc::circuit {
 
+/// Affine per-component overlay applied at conductance-materialization
+/// time: g' = keep .* g + add (elementwise, microsiemens). The identity is
+/// all-ones `keep`, all-zeros `add`. Discrete defects compose into this
+/// form — open (keep 0, add 0), short (keep 0, add G_max), stuck-at (keep
+/// 0, add g), drift (keep 1 + delta, add 0) — so one overlay per theta
+/// block captures an arbitrary fault set; the fault layer (src/faults)
+/// builds overlays and the pNN forward pass applies them after projection
+/// and printing variation.
+struct ConductanceOverlay {
+    math::Matrix keep;  ///< multiplicative part
+    math::Matrix add;   ///< additive part (microsiemens)
+
+    static ConductanceOverlay identity(std::size_t rows, std::size_t cols);
+
+    bool is_identity() const;
+
+    /// Materialized conductances: keep .* g + add.
+    math::Matrix apply(const math::Matrix& g) const;
+};
+
 class VariationModel {
 public:
     /// eps is the half-width of the relative variation (0.05 = 5%).

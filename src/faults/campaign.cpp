@@ -1,0 +1,148 @@
+#include "faults/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pnc::faults {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint32_t kind_bit(FaultKind kind) { return 1u << static_cast<std::uint32_t>(kind); }
+
+/// Shared fan-out: `realize` fills the sample's fault list from its stream.
+FaultCampaignResult run_campaign_impl(
+    std::size_t n_samples, std::uint64_t seed, const std::string& metric_prefix,
+    const NetworkShape& shape, const FaultDomain& domain, const FaultEvaluator& evaluate,
+    const std::function<void(std::size_t, math::Rng&, std::vector<Fault>&)>& realize) {
+    if (n_samples == 0)
+        throw std::invalid_argument("run_fault_campaign: need at least one sample");
+    obs::ScopedTimer campaign_span("fault_campaign");
+
+    obs::Histogram* sample_hist = nullptr;
+    if (obs::enabled() && !metric_prefix.empty())
+        sample_hist =
+            &obs::MetricsRegistry::global().histogram(metric_prefix + ".sample_seconds");
+    const auto sweep_start = Clock::now();
+
+    // Pre-split one child stream per sample index: which faults (and which
+    // extra randomness) sample s sees is fixed by (seed, s) alone, never by
+    // the execution schedule (DESIGN.md, "Threading model").
+    math::Rng rng(seed);
+    std::vector<math::Rng> streams = rng.split_n(n_samples);
+
+    FaultCampaignResult result;
+    result.scores.resize(n_samples);
+    result.fault_counts.resize(n_samples);
+    result.kind_masks.resize(n_samples);
+    runtime::parallel_for(n_samples, [&](std::size_t s) {
+        const auto sample_start = sample_hist ? Clock::now() : Clock::time_point{};
+        math::Rng& stream = streams[s];
+        std::vector<Fault> faults;
+        realize(s, stream, faults);
+        std::uint32_t mask = 0;
+        for (const Fault& fault : faults) mask |= kind_bit(fault.kind);
+        result.fault_counts[s] = faults.size();
+        result.kind_masks[s] = mask;
+        if (faults.empty()) {
+            // A defect-free realization takes the exact baseline path:
+            // no overlay object is even constructed.
+            result.scores[s] = evaluate(nullptr, stream);
+        } else {
+            const NetworkFaultOverlay overlay = materialize(shape, faults, domain);
+            result.scores[s] = evaluate(&overlay, stream);
+        }
+        if (sample_hist) sample_hist->observe(seconds_since(sample_start));
+    });
+
+    // Ordered, serial reduction.
+    double score_sum = 0.0;
+    double worst = result.scores.front();
+    std::size_t fault_sum = 0;
+    std::size_t per_kind[kFaultKindCount] = {};
+    for (std::size_t s = 0; s < n_samples; ++s) {
+        score_sum += result.scores[s];
+        worst = std::min(worst, result.scores[s]);
+        fault_sum += result.fault_counts[s];
+        for (std::size_t k = 0; k < kFaultKindCount; ++k)
+            if (result.kind_masks[s] & (1u << k)) ++per_kind[k];
+    }
+    result.mean_score = score_sum / static_cast<double>(n_samples);
+    result.worst_score = worst;
+    result.median_score = math::median(result.scores);
+    result.mean_fault_count =
+        static_cast<double>(fault_sum) / static_cast<double>(n_samples);
+
+    if (obs::enabled() && !metric_prefix.empty()) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter(metric_prefix + ".samples_total").add(n_samples);
+        registry.counter(metric_prefix + ".faults_total").add(fault_sum);
+        for (std::size_t k = 0; k < kFaultKindCount; ++k)
+            if (per_kind[k] > 0)
+                registry
+                    .counter(metric_prefix + ".samples_with." +
+                             fault_kind_name(static_cast<FaultKind>(k)))
+                    .add(per_kind[k]);
+        const double wall = seconds_since(sweep_start);
+        if (wall > 0.0)
+            registry.gauge(metric_prefix + ".samples_per_sec")
+                .set(static_cast<double>(n_samples) / wall);
+    }
+    return result;
+}
+
+}  // namespace
+
+double FaultCampaignResult::fraction_at_least(double spec) const {
+    std::size_t passing = 0;
+    for (double score : scores) passing += score >= spec;
+    return static_cast<double>(passing) / static_cast<double>(scores.size());
+}
+
+double FaultCampaignResult::score_quantile(double q) const {
+    std::vector<double> sorted = scores;
+    std::sort(sorted.begin(), sorted.end());
+    const auto index = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+    return sorted[index];
+}
+
+FaultCampaignResult run_fault_campaign(const FaultModel& model, const NetworkShape& shape,
+                                       const FaultEvaluator& evaluate,
+                                       const FaultCampaignOptions& options,
+                                       const FaultDomain& domain) {
+    if (options.n_samples < 1)
+        throw std::invalid_argument("run_fault_campaign: n_samples must be >= 1");
+    return run_campaign_impl(
+        static_cast<std::size_t>(options.n_samples), options.seed, options.metric_prefix,
+        shape, domain, evaluate,
+        [&](std::size_t, math::Rng& stream, std::vector<Fault>& faults) {
+            model.sample(shape, domain, stream, faults);
+        });
+}
+
+FaultCampaignResult run_fault_campaign(const std::vector<std::vector<Fault>>& fault_sets,
+                                       const NetworkShape& shape,
+                                       const FaultEvaluator& evaluate,
+                                       const FaultCampaignOptions& options,
+                                       const FaultDomain& domain) {
+    if (fault_sets.empty())
+        throw std::invalid_argument("run_fault_campaign: empty fault-set list");
+    return run_campaign_impl(fault_sets.size(), options.seed, options.metric_prefix, shape,
+                             domain, evaluate,
+                             [&](std::size_t s, math::Rng&, std::vector<Fault>& faults) {
+                                 faults = fault_sets[s];
+                             });
+}
+
+}  // namespace pnc::faults

@@ -1,0 +1,72 @@
+// Deterministic fault-injection campaigns.
+//
+// A campaign answers "what does the metric distribution look like over many
+// defective copies of the design?" by Monte-Carlo sampling fault sets from
+// a FaultModel (or enumerating fixed sets) and scoring each realization
+// with a caller-supplied evaluator. The driver owns the determinism
+// contract, mirroring the PR-1 Monte-Carlo engine: the parent Rng
+// pre-splits one child stream per sample index, samples fan out on the
+// global thread pool, and results land in index-keyed slots reduced in
+// order — so campaign results are bit-identical at any PNC_NUM_THREADS.
+//
+// The evaluator receives the sample's remaining stream after fault
+// sampling, so callers can draw additional per-sample randomness (e.g.
+// concurrent printing variation) without breaking determinism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "faults/fault_model.hpp"
+
+namespace pnc::faults {
+
+struct FaultCampaignOptions {
+    int n_samples = 200;          ///< Monte-Carlo realizations
+    std::uint64_t seed = 777;
+    /// Metric prefix for obs instrumentation ("" disables the campaign's
+    /// own telemetry even when obs is enabled).
+    std::string metric_prefix = "faults.campaign";
+};
+
+/// Scores one faulted realization. `overlay` is null for a fault-free
+/// realization (so the fault-free path stays bit-identical to the
+/// baseline); `rng` is the sample's stream positioned after fault sampling.
+using FaultEvaluator =
+    std::function<double(const NetworkFaultOverlay* overlay, math::Rng& rng)>;
+
+struct FaultCampaignResult {
+    std::vector<double> scores;             ///< sample-index order
+    std::vector<std::size_t> fault_counts;  ///< injected faults per sample
+    /// Bitmask of FaultKind values present in each sample (bit k set =
+    /// kind k injected at least once). Drives per-class attribution.
+    std::vector<std::uint32_t> kind_masks;
+    double mean_score = 0.0;
+    double worst_score = 0.0;
+    double median_score = 0.0;
+    double mean_fault_count = 0.0;
+
+    /// Fraction of samples with score >= spec.
+    double fraction_at_least(double spec) const;
+    /// Quantile of the score distribution (q in [0, 1], sorted copy).
+    double score_quantile(double q) const;
+};
+
+/// Monte-Carlo campaign: for sample s, child stream s draws a fault set
+/// from `model`, materializes it, and `evaluate` scores it. Bit-identical
+/// at any thread count.
+FaultCampaignResult run_fault_campaign(const FaultModel& model, const NetworkShape& shape,
+                                       const FaultEvaluator& evaluate,
+                                       const FaultCampaignOptions& options = {},
+                                       const FaultDomain& domain = {});
+
+/// Enumerated campaign over explicit fault sets (e.g. the exhaustive
+/// single-fault sweep from enumerate_single_faults). Each set still gets
+/// its own pre-split stream so evaluators may draw randomness.
+FaultCampaignResult run_fault_campaign(const std::vector<std::vector<Fault>>& fault_sets,
+                                       const NetworkShape& shape,
+                                       const FaultEvaluator& evaluate,
+                                       const FaultCampaignOptions& options = {},
+                                       const FaultDomain& domain = {});
+
+}  // namespace pnc::faults

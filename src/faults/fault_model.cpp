@@ -1,0 +1,323 @@
+#include "faults/fault_model.hpp"
+
+#include <stdexcept>
+
+namespace pnc::faults {
+
+using math::Matrix;
+
+const char* fault_kind_name(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::kStuckOpen: return "stuck_open";
+        case FaultKind::kStuckShort: return "stuck_short";
+        case FaultKind::kStuckAtConductance: return "stuck_at";
+        case FaultKind::kDeadNonlinear: return "dead_nonlinear";
+        case FaultKind::kDrift: return "drift";
+    }
+    return "unknown";
+}
+
+LayerFaultOverlay LayerFaultOverlay::identity(const LayerShape& shape) {
+    LayerFaultOverlay o;
+    o.theta_in = circuit::ConductanceOverlay::identity(shape.n_in, shape.n_out);
+    o.theta_bias = circuit::ConductanceOverlay::identity(1, shape.n_out);
+    o.theta_drain = circuit::ConductanceOverlay::identity(1, shape.n_out);
+    o.act_alive = Matrix(1, shape.n_out, 1.0);
+    o.act_rail = Matrix(1, shape.n_out, 0.0);
+    o.neg_alive = Matrix(1, shape.n_in, 1.0);
+    o.neg_rail = Matrix(1, shape.n_in, 0.0);
+    return o;
+}
+
+namespace {
+
+void check_rate(const char* what, double rate) {
+    if (rate < 0.0 || rate > 1.0)
+        throw std::invalid_argument(std::string(what) + ": rate must be in [0, 1]");
+}
+
+/// Overwrite one overlay cell with the affine form of a conductance fault.
+void set_conductance_cell(circuit::ConductanceOverlay& overlay, std::size_t row,
+                          std::size_t col, const Fault& fault, const FaultDomain& domain) {
+    switch (fault.kind) {
+        case FaultKind::kStuckOpen:
+            overlay.keep(row, col) = 0.0;
+            overlay.add(row, col) = 0.0;
+            break;
+        case FaultKind::kStuckShort:
+            overlay.keep(row, col) = 0.0;
+            overlay.add(row, col) = domain.g_max;
+            break;
+        case FaultKind::kStuckAtConductance:
+            overlay.keep(row, col) = 0.0;
+            overlay.add(row, col) = fault.value;
+            break;
+        case FaultKind::kDrift:
+            overlay.keep(row, col) *= fault.value;
+            break;
+        case FaultKind::kDeadNonlinear:
+            throw std::invalid_argument("materialize: dead-nonlinear fault on a resistor site");
+    }
+}
+
+}  // namespace
+
+NetworkFaultOverlay materialize(const NetworkShape& shape, const std::vector<Fault>& faults,
+                                const FaultDomain& domain) {
+    NetworkFaultOverlay overlay;
+    overlay.reserve(shape.size());
+    for (const auto& layer : shape) overlay.push_back(LayerFaultOverlay::identity(layer));
+
+    for (const auto& fault : faults) {
+        if (fault.site == FaultSite::kGlobal) {
+            if (fault.kind != FaultKind::kDrift)
+                throw std::invalid_argument("materialize: global site is drift-only");
+            for (auto& layer : overlay) {
+                for (std::size_t i = 0; i < layer.theta_in.keep.size(); ++i)
+                    layer.theta_in.keep[i] *= fault.value;
+                for (std::size_t i = 0; i < layer.theta_bias.keep.size(); ++i)
+                    layer.theta_bias.keep[i] *= fault.value;
+                for (std::size_t i = 0; i < layer.theta_drain.keep.size(); ++i)
+                    layer.theta_drain.keep[i] *= fault.value;
+                layer.has_theta_faults = true;
+            }
+            continue;
+        }
+        if (fault.layer >= shape.size())
+            throw std::invalid_argument("materialize: fault layer out of range");
+        LayerFaultOverlay& layer = overlay[fault.layer];
+        const LayerShape& dims = shape[fault.layer];
+        switch (fault.site) {
+            case FaultSite::kThetaIn:
+                if (fault.row >= dims.n_in || fault.col >= dims.n_out)
+                    throw std::invalid_argument("materialize: theta_in site out of range");
+                set_conductance_cell(layer.theta_in, fault.row, fault.col, fault, domain);
+                layer.has_theta_faults = true;
+                break;
+            case FaultSite::kThetaBias:
+                if (fault.col >= dims.n_out)
+                    throw std::invalid_argument("materialize: theta_bias site out of range");
+                set_conductance_cell(layer.theta_bias, 0, fault.col, fault, domain);
+                layer.has_theta_faults = true;
+                break;
+            case FaultSite::kThetaDrain:
+                if (fault.col >= dims.n_out)
+                    throw std::invalid_argument("materialize: theta_drain site out of range");
+                set_conductance_cell(layer.theta_drain, 0, fault.col, fault, domain);
+                layer.has_theta_faults = true;
+                break;
+            case FaultSite::kActivation:
+                if (fault.kind != FaultKind::kDeadNonlinear)
+                    throw std::invalid_argument("materialize: activation site is dead-only");
+                if (!dims.has_activation || fault.col >= dims.n_out)
+                    throw std::invalid_argument("materialize: activation site out of range");
+                layer.act_alive(0, fault.col) = 0.0;
+                layer.act_rail(0, fault.col) = fault.value;
+                layer.has_act_faults = true;
+                break;
+            case FaultSite::kNegation:
+                if (fault.kind != FaultKind::kDeadNonlinear)
+                    throw std::invalid_argument("materialize: negation site is dead-only");
+                if (fault.col >= dims.n_in)
+                    throw std::invalid_argument("materialize: negation site out of range");
+                layer.neg_alive(0, fault.col) = 0.0;
+                // Eq. 3 folds the weight-emulation sign into the model value,
+                // so a physically railed inverter output r reads as -r.
+                layer.neg_rail(0, fault.col) = -fault.value;
+                layer.has_neg_faults = true;
+                break;
+            case FaultSite::kGlobal:
+                break;  // handled above
+        }
+    }
+    return overlay;
+}
+
+// ---- Bernoulli per-resistor models ----------------------------------------
+
+namespace {
+
+/// Visit every crossbar resistor of the network in a fixed order and fault
+/// it with probability `rate`. `make` turns a site into a Fault.
+template <typename MakeFault>
+void sample_resistor_bernoulli(const NetworkShape& shape, double rate, math::Rng& rng,
+                               std::vector<Fault>& out, const MakeFault& make) {
+    if (rate == 0.0) return;  // must not consume randomness (determinism contract)
+    for (std::size_t l = 0; l < shape.size(); ++l) {
+        const LayerShape& dims = shape[l];
+        for (std::size_t i = 0; i < dims.n_in; ++i)
+            for (std::size_t j = 0; j < dims.n_out; ++j)
+                if (rng.uniform() < rate) out.push_back(make(FaultSite::kThetaIn, l, i, j));
+        for (std::size_t j = 0; j < dims.n_out; ++j)
+            if (rng.uniform() < rate) out.push_back(make(FaultSite::kThetaBias, l, 0, j));
+        for (std::size_t j = 0; j < dims.n_out; ++j)
+            if (rng.uniform() < rate) out.push_back(make(FaultSite::kThetaDrain, l, 0, j));
+    }
+}
+
+}  // namespace
+
+StuckOpen::StuckOpen(double rate) : rate_(rate) { check_rate("StuckOpen", rate); }
+
+void StuckOpen::sample(const NetworkShape& shape, const FaultDomain&, math::Rng& rng,
+                       std::vector<Fault>& out) const {
+    sample_resistor_bernoulli(shape, rate_, rng, out,
+                              [](FaultSite site, std::size_t l, std::size_t i, std::size_t j) {
+                                  return Fault{FaultKind::kStuckOpen, site, l, i, j, 0.0};
+                              });
+}
+
+StuckShort::StuckShort(double rate) : rate_(rate) { check_rate("StuckShort", rate); }
+
+void StuckShort::sample(const NetworkShape& shape, const FaultDomain&, math::Rng& rng,
+                        std::vector<Fault>& out) const {
+    sample_resistor_bernoulli(shape, rate_, rng, out,
+                              [](FaultSite site, std::size_t l, std::size_t i, std::size_t j) {
+                                  return Fault{FaultKind::kStuckShort, site, l, i, j, 0.0};
+                              });
+}
+
+StuckAtConductance::StuckAtConductance(double rate, double g_stuck)
+    : rate_(rate), g_stuck_(g_stuck) {
+    check_rate("StuckAtConductance", rate);
+    if (g_stuck < 0.0)
+        throw std::invalid_argument("StuckAtConductance: negative conductance");
+}
+
+void StuckAtConductance::sample(const NetworkShape& shape, const FaultDomain&, math::Rng& rng,
+                                std::vector<Fault>& out) const {
+    const double g = g_stuck_;
+    sample_resistor_bernoulli(
+        shape, rate_, rng, out,
+        [g](FaultSite site, std::size_t l, std::size_t i, std::size_t j) {
+            return Fault{FaultKind::kStuckAtConductance, site, l, i, j, g};
+        });
+}
+
+DeadNonlinearCircuit::DeadNonlinearCircuit(double rate) : rate_(rate) {
+    check_rate("DeadNonlinearCircuit", rate);
+}
+
+void DeadNonlinearCircuit::sample(const NetworkShape& shape, const FaultDomain& domain,
+                                  math::Rng& rng, std::vector<Fault>& out) const {
+    if (rate_ == 0.0) return;
+    for (std::size_t l = 0; l < shape.size(); ++l) {
+        const LayerShape& dims = shape[l];
+        if (dims.has_activation)
+            for (std::size_t j = 0; j < dims.n_out; ++j)
+                if (rng.uniform() < rate_) {
+                    const double rail = rng.uniform() < 0.5 ? 0.0 : domain.vdd;
+                    out.push_back(
+                        {FaultKind::kDeadNonlinear, FaultSite::kActivation, l, 0, j, rail});
+                }
+        for (std::size_t i = 0; i < dims.n_in; ++i)
+            if (rng.uniform() < rate_) {
+                const double rail = rng.uniform() < 0.5 ? 0.0 : domain.vdd;
+                out.push_back({FaultKind::kDeadNonlinear, FaultSite::kNegation, l, 0, i, rail});
+            }
+    }
+}
+
+DriftFault::DriftFault(double delta) : delta_(delta) {
+    if (delta < 0.0 || delta >= 1.0)
+        throw std::invalid_argument("DriftFault: delta must be in [0, 1)");
+}
+
+void DriftFault::sample(const NetworkShape&, const FaultDomain&, math::Rng& rng,
+                        std::vector<Fault>& out) const {
+    if (delta_ == 0.0) return;
+    const double factor = rng.uniform(1.0 - delta_, 1.0 + delta_);
+    out.push_back({FaultKind::kDrift, FaultSite::kGlobal, 0, 0, 0, factor});
+}
+
+CompositeFaultModel::CompositeFaultModel(std::vector<const FaultModel*> children)
+    : children_(std::move(children)) {
+    for (const FaultModel* child : children_)
+        if (!child) throw std::invalid_argument("CompositeFaultModel: null child");
+}
+
+std::string CompositeFaultModel::name() const {
+    std::string joined;
+    for (const FaultModel* child : children_) {
+        if (!joined.empty()) joined += "+";
+        joined += child->name();
+    }
+    return joined.empty() ? "composite" : joined;
+}
+
+void CompositeFaultModel::sample(const NetworkShape& shape, const FaultDomain& domain,
+                                 math::Rng& rng, std::vector<Fault>& out) const {
+    for (const FaultModel* child : children_) child->sample(shape, domain, rng, out);
+}
+
+namespace {
+
+/// Owns its children (make_fault_model's "mixed" spelling).
+class OwningComposite : public FaultModel {
+public:
+    explicit OwningComposite(std::vector<std::unique_ptr<FaultModel>> children)
+        : children_(std::move(children)) {}
+    std::string name() const override { return "mixed"; }
+    void sample(const NetworkShape& shape, const FaultDomain& domain, math::Rng& rng,
+                std::vector<Fault>& out) const override {
+        for (const auto& child : children_) child->sample(shape, domain, rng, out);
+    }
+
+private:
+    std::vector<std::unique_ptr<FaultModel>> children_;
+};
+
+}  // namespace
+
+std::unique_ptr<FaultModel> make_fault_model(const std::string& name, double rate,
+                                             const FaultDomain& domain) {
+    if (name == "stuck_open") return std::make_unique<StuckOpen>(rate);
+    if (name == "stuck_short") return std::make_unique<StuckShort>(rate);
+    if (name == "stuck_at")
+        return std::make_unique<StuckAtConductance>(rate, 0.5 * domain.g_max);
+    if (name == "dead_nonlinear") return std::make_unique<DeadNonlinearCircuit>(rate);
+    if (name == "drift") return std::make_unique<DriftFault>(rate);
+    if (name == "mixed") {
+        std::vector<std::unique_ptr<FaultModel>> children;
+        children.push_back(std::make_unique<StuckOpen>(rate));
+        children.push_back(std::make_unique<StuckShort>(rate));
+        children.push_back(std::make_unique<DeadNonlinearCircuit>(rate));
+        return std::make_unique<OwningComposite>(std::move(children));
+    }
+    throw std::invalid_argument(
+        "unknown fault model '" + name +
+        "' (stuck_open | stuck_short | stuck_at | dead_nonlinear | drift | mixed)");
+}
+
+std::vector<std::vector<Fault>> enumerate_single_faults(const NetworkShape& shape,
+                                                        FaultKind kind,
+                                                        const FaultDomain& domain) {
+    std::vector<std::vector<Fault>> sets;
+    const auto push = [&sets](Fault fault) { sets.push_back({fault}); };
+    if (kind == FaultKind::kDrift)
+        throw std::invalid_argument("enumerate_single_faults: drift has no discrete sites");
+    for (std::size_t l = 0; l < shape.size(); ++l) {
+        const LayerShape& dims = shape[l];
+        if (kind == FaultKind::kDeadNonlinear) {
+            for (std::size_t j = 0; dims.has_activation && j < dims.n_out; ++j)
+                for (double rail : {0.0, domain.vdd})
+                    push({kind, FaultSite::kActivation, l, 0, j, rail});
+            for (std::size_t i = 0; i < dims.n_in; ++i)
+                for (double rail : {0.0, domain.vdd})
+                    push({kind, FaultSite::kNegation, l, 0, i, rail});
+            continue;
+        }
+        const double value =
+            kind == FaultKind::kStuckAtConductance ? 0.5 * domain.g_max : 0.0;
+        for (std::size_t i = 0; i < dims.n_in; ++i)
+            for (std::size_t j = 0; j < dims.n_out; ++j)
+                push({kind, FaultSite::kThetaIn, l, i, j, value});
+        for (std::size_t j = 0; j < dims.n_out; ++j)
+            push({kind, FaultSite::kThetaBias, l, 0, j, value});
+        for (std::size_t j = 0; j < dims.n_out; ++j)
+            push({kind, FaultSite::kThetaDrain, l, 0, j, value});
+    }
+    return sets;
+}
+
+}  // namespace pnc::faults

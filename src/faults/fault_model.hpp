@@ -1,0 +1,219 @@
+// Discrete-defect models for printed circuits.
+//
+// The paper's robustness story (Sec. IV, Table III) covers only i.i.d.
+// multiplicative printing variation U[1 - eps, 1 + eps]. Real printed
+// batches also fail *discretely*: a crossbar resistor prints open or
+// shorts, a conductance freezes at the wrong value, a whole ptanh /
+// negative-weight subcircuit dies with its output pinned to a rail, or the
+// entire sheet drifts systematically. This module models those defect
+// classes as a composable `FaultModel` hierarchy and materializes sampled
+// fault sets into the affine `circuit::ConductanceOverlay` form the pNN
+// forward pass applies at conductance-materialization time.
+//
+// Determinism contract: `sample` visits fault sites in a fixed order and
+// draws exactly one uniform per Bernoulli site, so a fault set is a pure
+// function of (model, shape, rng state). A rate of exactly 0 draws
+// nothing, which keeps the zero-fault campaign bit-identical to the
+// fault-free baseline (test-enforced).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/variation.hpp"
+#include "math/random.hpp"
+
+namespace pnc::faults {
+
+/// Defect classes (docs/FAULTS.md has the catalogue).
+enum class FaultKind {
+    kStuckOpen,           ///< crossbar resistor prints open: g = 0
+    kStuckShort,          ///< resistor shorts: g = G_max
+    kStuckAtConductance,  ///< conductance frozen at a fixed value
+    kDeadNonlinear,       ///< ptanh / negative-weight circuit pinned to a rail
+    kDrift,               ///< systematic conductance shift g *= (1 + delta)
+};
+inline constexpr std::size_t kFaultKindCount = 5;
+
+/// Stable snake_case name (metric suffixes, report JSON).
+const char* fault_kind_name(FaultKind kind);
+
+/// Which component of a layer a fault hits.
+enum class FaultSite {
+    kThetaIn,     ///< input crossbar resistor (row, col)
+    kThetaBias,   ///< bias resistor of column `col`
+    kThetaDrain,  ///< drain resistor of column `col`
+    kActivation,  ///< ptanh instance of output neuron `col`
+    kNegation,    ///< negative-weight instance of input wire `col`
+    kGlobal,      ///< whole-network systematic effect (drift)
+};
+
+/// One concrete defect instance.
+struct Fault {
+    FaultKind kind = FaultKind::kStuckOpen;
+    FaultSite site = FaultSite::kThetaIn;
+    std::size_t layer = 0;
+    std::size_t row = 0;  ///< input index for kThetaIn, 0 otherwise
+    std::size_t col = 0;  ///< column / instance index
+    /// kStuckAtConductance: the frozen conductance (microsiemens).
+    /// kDeadNonlinear: the rail voltage the circuit output is pinned to.
+    /// kDrift: the multiplicative shift factor (1 + delta).
+    double value = 0.0;
+};
+
+/// Layer dimensions as the fault layer sees them (decoupled from pnn/).
+struct LayerShape {
+    std::size_t n_in = 0;
+    std::size_t n_out = 0;
+    /// False for the readout layer: its class decision is read off the
+    /// crossbar voltages, so no ptanh instances exist to kill there.
+    bool has_activation = true;
+};
+using NetworkShape = std::vector<LayerShape>;
+
+/// Technology constants needed to materialize faults.
+struct FaultDomain {
+    double g_max = 100.0;  ///< max printable conductance (microsiemens); shorts pin here
+    double vdd = 1.0;      ///< supply rail; dead circuits pin to 0 or vdd
+};
+
+/// Materialized faults of one layer: affine conductance overlays per theta
+/// block plus alive/rail masks for the nonlinear-circuit instances. The
+/// `has_*` flags let the forward pass skip untouched components entirely,
+/// keeping the fault-free path bit-identical to the baseline.
+struct LayerFaultOverlay {
+    circuit::ConductanceOverlay theta_in;     ///< n_in x n_out
+    circuit::ConductanceOverlay theta_bias;   ///< 1 x n_out
+    circuit::ConductanceOverlay theta_drain;  ///< 1 x n_out
+    math::Matrix act_alive;  ///< 1 x n_out, 1 = alive, 0 = dead
+    math::Matrix act_rail;   ///< 1 x n_out, pinned output when dead
+    math::Matrix neg_alive;  ///< 1 x n_in
+    math::Matrix neg_rail;   ///< 1 x n_in (model value, i.e. negated voltage)
+    bool has_theta_faults = false;
+    bool has_act_faults = false;
+    bool has_neg_faults = false;
+
+    static LayerFaultOverlay identity(const LayerShape& shape);
+};
+using NetworkFaultOverlay = std::vector<LayerFaultOverlay>;
+
+/// Turn a fault list into per-layer overlays. Later faults on the same
+/// site win (last-write). Note the negative-weight sign convention: the
+/// model value the crossbar consumes is Eq. 3's -(ptanh), so a dead
+/// inverter pinned to physical rail r materializes as neg_rail = -r.
+NetworkFaultOverlay materialize(const NetworkShape& shape, const std::vector<Fault>& faults,
+                                const FaultDomain& domain = {});
+
+// ---- the model hierarchy ---------------------------------------------------
+
+/// A distribution over fault sets.
+class FaultModel {
+public:
+    virtual ~FaultModel() = default;
+    /// Stable identifier used in reports and metric names.
+    virtual std::string name() const = 0;
+    /// Append one realization's faults for a network of `shape`. Must visit
+    /// sites in a fixed order and consume randomness deterministically; a
+    /// configuration that cannot fault (rate 0) must draw nothing.
+    virtual void sample(const NetworkShape& shape, const FaultDomain& domain, math::Rng& rng,
+                        std::vector<Fault>& out) const = 0;
+};
+
+/// Every crossbar resistor opens independently with probability `rate`.
+class StuckOpen : public FaultModel {
+public:
+    explicit StuckOpen(double rate);
+    std::string name() const override { return "stuck_open"; }
+    void sample(const NetworkShape& shape, const FaultDomain& domain, math::Rng& rng,
+                std::vector<Fault>& out) const override;
+
+private:
+    double rate_;
+};
+
+/// Every crossbar resistor shorts to G_max independently with probability
+/// `rate`.
+class StuckShort : public FaultModel {
+public:
+    explicit StuckShort(double rate);
+    std::string name() const override { return "stuck_short"; }
+    void sample(const NetworkShape& shape, const FaultDomain& domain, math::Rng& rng,
+                std::vector<Fault>& out) const override;
+
+private:
+    double rate_;
+};
+
+/// Every crossbar resistor freezes at conductance `g_stuck` independently
+/// with probability `rate`.
+class StuckAtConductance : public FaultModel {
+public:
+    StuckAtConductance(double rate, double g_stuck);
+    std::string name() const override { return "stuck_at"; }
+    void sample(const NetworkShape& shape, const FaultDomain& domain, math::Rng& rng,
+                std::vector<Fault>& out) const override;
+
+private:
+    double rate_;
+    double g_stuck_;
+};
+
+/// Every nonlinear-circuit instance (ptanh per output neuron, negative-
+/// weight per input wire) dies independently with probability `rate`; a
+/// dead circuit's output is pinned to ground or vdd (one fair coin per dead
+/// instance).
+class DeadNonlinearCircuit : public FaultModel {
+public:
+    explicit DeadNonlinearCircuit(double rate);
+    std::string name() const override { return "dead_nonlinear"; }
+    void sample(const NetworkShape& shape, const FaultDomain& domain, math::Rng& rng,
+                std::vector<Fault>& out) const override;
+
+private:
+    double rate_;
+};
+
+/// Systematic sheet-level conductance shift: every resistor of the
+/// realization scales by one common factor drawn from U[1 - delta, 1 + delta]
+/// (delta = 0 draws nothing and injects nothing).
+class DriftFault : public FaultModel {
+public:
+    explicit DriftFault(double delta);
+    std::string name() const override { return "drift"; }
+    void sample(const NetworkShape& shape, const FaultDomain& domain, math::Rng& rng,
+                std::vector<Fault>& out) const override;
+
+private:
+    double delta_;
+};
+
+/// Applies every child model in order (the children do not own each other;
+/// pointers must outlive the composite).
+class CompositeFaultModel : public FaultModel {
+public:
+    explicit CompositeFaultModel(std::vector<const FaultModel*> children);
+    std::string name() const override;
+    void sample(const NetworkShape& shape, const FaultDomain& domain, math::Rng& rng,
+                std::vector<Fault>& out) const override;
+
+private:
+    std::vector<const FaultModel*> children_;
+};
+
+/// Factory for the CLI / bench spellings: "stuck_open", "stuck_short",
+/// "stuck_at" (g frozen at domain.g_max / 2), "dead_nonlinear", "drift"
+/// (rate reused as the drift half-width) and "mixed" (open + short + dead,
+/// each at `rate`). Throws std::invalid_argument on unknown names.
+std::unique_ptr<FaultModel> make_fault_model(const std::string& name, double rate,
+                                             const FaultDomain& domain = {});
+
+/// All single-fault sets of one kind: every crossbar resistor (or every
+/// nonlinear instance for kDeadNonlinear, paired with both rails) faulted
+/// alone. The exhaustive k = 1 sweep for certification-style questions.
+std::vector<std::vector<Fault>> enumerate_single_faults(const NetworkShape& shape,
+                                                        FaultKind kind,
+                                                        const FaultDomain& domain = {});
+
+}  // namespace pnc::faults

@@ -1,0 +1,103 @@
+#include "faults/fault_report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pnc::faults {
+
+using obs::json::Value;
+
+namespace {
+
+constexpr const char* kSchema = "pnc-fault-report/1";
+
+/// Required numeric fields of one campaign entry, with [0, 1] range checks
+/// where the quantity is a fraction.
+struct NumericField {
+    const char* name;
+    bool is_fraction;
+};
+
+constexpr NumericField kNumericFields[] = {
+    {"fault_rate", false},       {"samples", false},
+    {"accuracy_spec", true},     {"baseline_accuracy", true},
+    {"yield", true},             {"mean_accuracy", true},
+    {"p5_accuracy", true},       {"median_accuracy", true},
+    {"worst_accuracy", true},    {"mean_fault_count", false},
+};
+
+}  // namespace
+
+Value fault_report_document(const FaultReport& report) {
+    Value doc = Value::object();
+    doc.set("schema", Value::string(kSchema));
+    Value meta = Value::object();
+    meta.set("tool", Value::string(report.tool));
+    doc.set("meta", std::move(meta));
+
+    Value campaigns = Value::array();
+    for (const FaultReportEntry& entry : report.campaigns) {
+        Value row = Value::object();
+        row.set("dataset", Value::string(entry.dataset));
+        row.set("model", Value::string(entry.model));
+        row.set("fault_rate", Value::number(entry.fault_rate));
+        row.set("samples", Value::number(entry.samples));
+        row.set("accuracy_spec", Value::number(entry.accuracy_spec));
+        row.set("baseline_accuracy", Value::number(entry.baseline_accuracy));
+        row.set("yield", Value::number(entry.yield));
+        row.set("mean_accuracy", Value::number(entry.mean_accuracy));
+        row.set("p5_accuracy", Value::number(entry.p5_accuracy));
+        row.set("median_accuracy", Value::number(entry.median_accuracy));
+        row.set("worst_accuracy", Value::number(entry.worst_accuracy));
+        row.set("mean_fault_count", Value::number(entry.mean_fault_count));
+        campaigns.push_back(std::move(row));
+    }
+    doc.set("campaigns", std::move(campaigns));
+    return doc;
+}
+
+void write_fault_report(const std::string& path, const FaultReport& report) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_fault_report: cannot write " + path);
+    os << fault_report_document(report).dump() << "\n";
+    if (!os) throw std::runtime_error("write_fault_report: write failed for " + path);
+}
+
+std::string validate_fault_report(const Value& doc) {
+    if (!doc.is_object()) return "document is not an object";
+    const Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != kSchema)
+        return std::string("schema must be \"") + kSchema + "\"";
+    const Value* meta = doc.find("meta");
+    if (!meta || !meta->is_object()) return "missing meta object";
+    const Value* tool = meta->find("tool");
+    if (!tool || !tool->is_string() || tool->as_string().empty())
+        return "meta.tool must be a non-empty string";
+    const Value* campaigns = doc.find("campaigns");
+    if (!campaigns || !campaigns->is_array()) return "missing campaigns array";
+    if (campaigns->items().empty()) return "campaigns array is empty";
+    for (std::size_t i = 0; i < campaigns->items().size(); ++i) {
+        const Value& row = campaigns->items()[i];
+        const std::string where = "campaigns[" + std::to_string(i) + "].";
+        if (!row.is_object()) return where + " is not an object";
+        for (const char* key : {"dataset", "model"}) {
+            const Value* s = row.find(key);
+            if (!s || !s->is_string() || s->as_string().empty())
+                return where + key + " must be a non-empty string";
+        }
+        for (const NumericField& field : kNumericFields) {
+            const Value* v = row.find(field.name);
+            if (!v || !v->is_number()) return where + field.name + " must be a number";
+            const double x = v->as_number();
+            if (x < 0.0) return where + field.name + " must be >= 0";
+            if (field.is_fraction && x > 1.0) return where + field.name + " must be <= 1";
+        }
+        if (row.find("samples")->as_number() < 1) return where + "samples must be >= 1";
+        if (row.find("worst_accuracy")->as_number() >
+            row.find("mean_accuracy")->as_number() + 1e-12)
+            return where + "worst_accuracy exceeds mean_accuracy";
+    }
+    return "";
+}
+
+}  // namespace pnc::faults

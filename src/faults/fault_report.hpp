@@ -1,0 +1,45 @@
+// The "pnc-fault-report/1" JSON document: one campaign summary per
+// (dataset, fault model) cell, written by bench_fault_yield and the CLI's
+// --fault-report flag, schema documented in docs/FAULTS.md and enforced by
+// validate_fault_report (used by the tests and downstream tooling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pnc::faults {
+
+/// One campaign's summary row.
+struct FaultReportEntry {
+    std::string dataset;
+    std::string model;           ///< FaultModel::name()
+    double fault_rate = 0.0;     ///< per-site rate (or drift half-width)
+    int samples = 0;
+    double accuracy_spec = 0.0;  ///< yield threshold
+    double baseline_accuracy = 0.0;  ///< fault-free, nominal accuracy
+    double yield = 0.0;
+    double mean_accuracy = 0.0;
+    double p5_accuracy = 0.0;
+    double median_accuracy = 0.0;
+    double worst_accuracy = 0.0;
+    double mean_fault_count = 0.0;
+};
+
+struct FaultReport {
+    std::string tool;  ///< e.g. "bench_fault_yield" or "pnc"
+    std::vector<FaultReportEntry> campaigns;
+};
+
+/// Serialize to the pnc-fault-report/1 document.
+obs::json::Value fault_report_document(const FaultReport& report);
+
+/// Write the document to `path`; throws std::runtime_error on I/O failure.
+void write_fault_report(const std::string& path, const FaultReport& report);
+
+/// "" when `doc` is a well-formed pnc-fault-report/1, else a one-line
+/// description of the first violation.
+std::string validate_fault_report(const obs::json::Value& doc);
+
+}  // namespace pnc::faults

@@ -155,6 +155,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 void MetricsRegistry::reset() {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Retire instead of destroy: a pool worker that fetched a metric just
+    // before the reset may still write to it, so freeing here would race
+    // (ThreadSanitizer catches the delete). Orphaned objects are cheap and
+    // invisible to snapshots.
+    for (auto& [name, counter] : counters_) retired_counters_.push_back(std::move(counter));
+    for (auto& [name, gauge] : gauges_) retired_gauges_.push_back(std::move(gauge));
+    for (auto& [name, histogram] : histograms_)
+        retired_histograms_.push_back(std::move(histogram));
+    for (auto& [name, series] : series_) retired_series_.push_back(std::move(series));
     counters_.clear();
     gauges_.clear();
     histograms_.clear();

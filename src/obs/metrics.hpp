@@ -125,8 +125,11 @@ struct MetricsSnapshot {
 };
 
 /// Name -> metric map. Find-or-create accessors return references that stay
-/// valid until reset(); reset() must not race with metric users (it is meant
-/// for tests and between CLI phases).
+/// valid for the registry's lifetime: reset() empties the live maps (so new
+/// snapshots start clean) but retires the metric objects instead of
+/// destroying them, so a stale reference held across a reset — e.g. by a
+/// long-lived pool worker — keeps writing to a valid, merely orphaned
+/// object instead of freed memory.
 class MetricsRegistry {
 public:
     static MetricsRegistry& global();
@@ -147,6 +150,11 @@ private:
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
     std::map<std::string, std::unique_ptr<Series>> series_;
+    /// Metrics evicted by reset(), kept alive for stale references.
+    std::vector<std::unique_ptr<Counter>> retired_counters_;
+    std::vector<std::unique_ptr<Gauge>> retired_gauges_;
+    std::vector<std::unique_ptr<Histogram>> retired_histograms_;
+    std::vector<std::unique_ptr<Series>> retired_series_;
 };
 
 // Convenience site helpers: no-ops (one relaxed atomic load) when obs is

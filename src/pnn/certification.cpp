@@ -110,10 +110,27 @@ struct LayerBounds {
 
 std::vector<Interval> certified_output_bounds(const Pnn& pnn,
                                               const std::vector<double>& input,
-                                              const CertificationOptions& options) {
+                                              const CertificationOptions& options,
+                                              const faults::NetworkFaultOverlay* faults) {
     if (input.size() != pnn.layer_sizes().front())
         throw std::invalid_argument("certified_output_bounds: input size mismatch");
+    if (faults && faults->size() != pnn.n_layers())
+        throw std::invalid_argument("certified_output_bounds: fault overlay size mismatch");
     const double eps = options.epsilon;
+
+    // Interval of one printed conductance: variation scales the printed
+    // value, then the copy's defect overlay rewrites the varied value
+    // (g' = keep * g * f + add, f in [1 - eps, 1 + eps]; keep, add >= 0
+    // so the interval stays nonnegative and ordered).
+    const auto effective = [eps](double g, const circuit::ConductanceOverlay* overlay,
+                                 std::size_t r, std::size_t c) -> Interval {
+        Interval out{g * (1.0 - eps), g * (1.0 + eps)};
+        if (overlay) {
+            out.lo = overlay->keep(r, c) * out.lo + overlay->add(r, c);
+            out.hi = overlay->keep(r, c) * out.hi + overlay->add(r, c);
+        }
+        return out;
+    };
 
     std::vector<Interval> values;
     values.reserve(input.size());
@@ -122,6 +139,13 @@ std::vector<Interval> certified_output_bounds(const Pnn& pnn,
     for (std::size_t l = 0; l < pnn.n_layers(); ++l) {
         const auto& layer = pnn.layer(l);
         const bool readout = l + 1 == pnn.n_layers();
+        const faults::LayerFaultOverlay* overlay = faults ? &(*faults)[l] : nullptr;
+        const bool theta_faulted = overlay && overlay->has_theta_faults;
+        const circuit::ConductanceOverlay* o_in = theta_faulted ? &overlay->theta_in : nullptr;
+        const circuit::ConductanceOverlay* o_bias =
+            theta_faulted ? &overlay->theta_bias : nullptr;
+        const circuit::ConductanceOverlay* o_drain =
+            theta_faulted ? &overlay->theta_drain : nullptr;
 
         LayerBounds bounds;
         const double eta_eps =
@@ -136,27 +160,43 @@ std::vector<Interval> certified_output_bounds(const Pnn& pnn,
         const std::size_t n_in = layer.n_in();
         const std::size_t n_out = layer.n_out();
 
-        // Negative-weight transfer of every input wire, as an interval.
+        // Negative-weight transfer of every input wire, as an interval. A
+        // dead inverter's model value is pinned exactly at its rail.
         std::vector<Interval> inverted_values(n_in);
-        for (std::size_t i = 0; i < n_in; ++i)
-            inverted_values[i] = negate(ptanh_interval(bounds.eta_neg, values[i]));
+        for (std::size_t i = 0; i < n_in; ++i) {
+            if (overlay && overlay->has_neg_faults && overlay->neg_alive(0, i) == 0.0) {
+                const double pinned = overlay->neg_rail(0, i);
+                inverted_values[i] = {pinned, pinned};
+            } else {
+                inverted_values[i] = negate(ptanh_interval(bounds.eta_neg, values[i]));
+            }
+        }
 
         std::vector<Interval> next(n_out);
         for (std::size_t j = 0; j < n_out; ++j) {
-            double n_lo = g_bias(0, j) * (1.0 - eps) * layer.options().bias_voltage;
-            double n_hi = g_bias(0, j) * (1.0 + eps) * layer.options().bias_voltage;
-            double d_lo = (g_bias(0, j) + g_drain(0, j)) * (1.0 - eps);
-            double d_hi = (g_bias(0, j) + g_drain(0, j)) * (1.0 + eps);
+            // A dead ptanh output is its rail no matter what the column
+            // does, so the column bounds (and any floating-column error)
+            // are irrelevant for this neuron.
+            if (!readout && overlay && overlay->has_act_faults &&
+                overlay->act_alive(0, j) == 0.0) {
+                const double pinned = overlay->act_rail(0, j);
+                next[j] = {pinned, pinned};
+                continue;
+            }
+            const Interval gb = effective(g_bias(0, j), o_bias, 0, j);
+            const Interval gd = effective(g_drain(0, j), o_drain, 0, j);
+            double n_lo = gb.lo * layer.options().bias_voltage;
+            double n_hi = gb.hi * layer.options().bias_voltage;
+            double d_lo = gb.lo + gd.lo;
+            double d_hi = gb.hi + gd.hi;
             for (std::size_t i = 0; i < n_in; ++i) {
-                const double g = g_in(i, j);
-                if (g == 0.0) continue;
-                const double a_lo = g * (1.0 - eps);
-                const double a_hi = g * (1.0 + eps);
+                const Interval a = effective(g_in(i, j), o_in, i, j);
+                if (a.hi == 0.0) continue;
                 const Interval& u = inverted[i][j] ? inverted_values[i] : values[i];
-                n_lo += u.lo >= 0.0 ? a_lo * u.lo : a_hi * u.lo;
-                n_hi += u.hi >= 0.0 ? a_hi * u.hi : a_lo * u.hi;
-                d_lo += a_lo;
-                d_hi += a_hi;
+                n_lo += u.lo >= 0.0 ? a.lo * u.lo : a.hi * u.lo;
+                n_hi += u.hi >= 0.0 ? a.hi * u.hi : a.lo * u.hi;
+                d_lo += a.lo;
+                d_hi += a.hi;
             }
             if (d_lo <= 0.0)
                 throw std::logic_error("certified_output_bounds: floating crossbar column");
@@ -170,13 +210,18 @@ std::vector<Interval> certified_output_bounds(const Pnn& pnn,
     return values;
 }
 
-CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
-                            const CertificationOptions& options) {
+namespace {
+
+CertificationResult certify_impl(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
+                                 const CertificationOptions& options,
+                                 const faults::NetworkFaultOverlay* faults,
+                                 const std::string& metric_prefix) {
     if (y.size() != x.rows()) throw std::invalid_argument("certify: labels/rows mismatch");
     obs::ScopedTimer certify_span("certify");
     obs::Histogram* row_hist =
-        obs::enabled() ? &obs::MetricsRegistry::global().histogram("cert.row_seconds")
-                       : nullptr;
+        obs::enabled()
+            ? &obs::MetricsRegistry::global().histogram(metric_prefix + ".row_seconds")
+            : nullptr;
     const auto sweep_start = row_hist ? std::chrono::steady_clock::now()
                                       : std::chrono::steady_clock::time_point{};
     CertificationResult result;
@@ -192,11 +237,12 @@ CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<i
                                         : std::chrono::steady_clock::time_point{};
         std::vector<double> input(x.cols());
         for (std::size_t c = 0; c < x.cols(); ++c) input[c] = x(r, c);
-        const auto bounds = certified_output_bounds(pnn, input, options);
+        const auto bounds = certified_output_bounds(pnn, input, options, faults);
 
-        // The nominal prediction, certified iff its lower bound clears every
-        // competitor's upper bound.
-        const Matrix nominal = pnn.predict(Matrix::row(input));
+        // The nominal prediction of this (possibly defective) copy,
+        // certified iff its lower bound clears every competitor's upper
+        // bound.
+        const Matrix nominal = pnn.predict(Matrix::row(input), nullptr, faults);
         std::size_t predicted = 0;
         for (std::size_t j = 1; j < bounds.size(); ++j)
             if (nominal(0, j) > nominal(0, predicted)) predicted = j;
@@ -221,15 +267,31 @@ CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<i
     result.certified_accuracy = static_cast<double>(correct) / static_cast<double>(x.rows());
     if (row_hist) {
         auto& registry = obs::MetricsRegistry::global();
-        registry.counter("cert.rows_total").add(x.rows());
+        registry.counter(metric_prefix + ".rows_total").add(x.rows());
         const std::chrono::duration<double> wall =
             std::chrono::steady_clock::now() - sweep_start;
         if (wall.count() > 0.0)
-            registry.gauge("cert.rows_per_sec").set(static_cast<double>(x.rows()) / wall.count());
-        registry.gauge("cert.certified_fraction").set(result.certified_fraction);
-        registry.gauge("cert.certified_accuracy").set(result.certified_accuracy);
+            registry.gauge(metric_prefix + ".rows_per_sec")
+                .set(static_cast<double>(x.rows()) / wall.count());
+        registry.gauge(metric_prefix + ".certified_fraction").set(result.certified_fraction);
+        registry.gauge(metric_prefix + ".certified_accuracy").set(result.certified_accuracy);
     }
     return result;
+}
+
+}  // namespace
+
+CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
+                            const CertificationOptions& options) {
+    return certify_impl(pnn, x, y, options, nullptr, "cert");
+}
+
+CertificationResult certify(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
+                            const CertificationOptions& options,
+                            const faults::NetworkFaultOverlay& faults) {
+    if (faults.size() != pnn.n_layers())
+        throw std::invalid_argument("certify: fault overlay size mismatch");
+    return certify_impl(pnn, x, y, options, &faults, "cert.faulted");
 }
 
 }  // namespace pnc::pnn

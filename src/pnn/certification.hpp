@@ -67,9 +67,22 @@ CertificationResult certify(const Pnn& pnn, const math::Matrix& x,
                             const std::vector<int>& y,
                             const CertificationOptions& options = {});
 
+/// Fault-aware certification: the same +-eps variation certificate, but for
+/// a *defective copy* carrying the materialized fault set `faults`. Each
+/// conductance interval is rewritten through the copy's affine overlay
+/// (g' in keep * g * [1 - eps, 1 + eps] + add) and dead nonlinear circuits
+/// propagate their pinned rail as a degenerate interval. The nominal
+/// decision being certified is the faulted copy's own prediction.
+CertificationResult certify(const Pnn& pnn, const math::Matrix& x,
+                            const std::vector<int>& y,
+                            const CertificationOptions& options,
+                            const faults::NetworkFaultOverlay& faults);
+
 /// Output intervals of the network for one input row (exposed for tests).
+/// `faults` may be nullptr (defect-free copy).
 std::vector<Interval> certified_output_bounds(const Pnn& pnn,
                                               const std::vector<double>& input,
-                                              const CertificationOptions& options = {});
+                                              const CertificationOptions& options = {},
+                                              const faults::NetworkFaultOverlay* faults = nullptr);
 
 }  // namespace pnc::pnn

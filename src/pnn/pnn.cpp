@@ -19,21 +19,34 @@ Pnn::Pnn(std::vector<std::size_t> layer_sizes, const surrogate::SurrogateModel* 
                              neg_surrogate, space, rng, options);
 }
 
-Var Pnn::forward(const Var& x, const NetworkVariation* variation) const {
+Var Pnn::forward(const Var& x, const NetworkVariation* variation,
+                 const faults::NetworkFaultOverlay* faults) const {
     if (variation && variation->size() != layers_.size())
         throw std::invalid_argument("Pnn::forward: variation entry count mismatch");
+    if (faults && faults->size() != layers_.size())
+        throw std::invalid_argument("Pnn::forward: fault overlay entry count mismatch");
     Var h = x;
     for (std::size_t l = 0; l < layers_.size(); ++l) {
         // The readout layer's class decision is taken directly from its
         // crossbar voltages, so no ptanh circuit is printed there.
         const bool apply_activation = l + 1 != layers_.size();
-        h = layers_[l].forward(h, variation ? &(*variation)[l] : nullptr, apply_activation);
+        h = layers_[l].forward(h, variation ? &(*variation)[l] : nullptr, apply_activation,
+                               faults ? &(*faults)[l] : nullptr);
     }
     return h;
 }
 
-Matrix Pnn::predict(const Matrix& x, const NetworkVariation* variation) const {
-    return forward(ad::constant(x), variation).value();
+Matrix Pnn::predict(const Matrix& x, const NetworkVariation* variation,
+                    const faults::NetworkFaultOverlay* faults) const {
+    return forward(ad::constant(x), variation, faults).value();
+}
+
+faults::NetworkShape Pnn::fault_shape() const {
+    faults::NetworkShape shape;
+    shape.reserve(layers_.size());
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+        shape.push_back({layers_[l].n_in(), layers_[l].n_out(), l + 1 != layers_.size()});
+    return shape;
 }
 
 std::vector<Var> Pnn::theta_params() const {

@@ -29,12 +29,18 @@ public:
     PrintedLayer& layer(std::size_t i) { return layers_.at(i); }
     const PrintedLayer& layer(std::size_t i) const { return layers_.at(i); }
 
-    /// Forward pass building the autodiff graph. `variation` may be nullptr.
-    ad::Var forward(const ad::Var& x, const NetworkVariation* variation = nullptr) const;
+    /// Forward pass building the autodiff graph. `variation` and `faults`
+    /// may be nullptr (nominal, defect-free forward).
+    ad::Var forward(const ad::Var& x, const NetworkVariation* variation = nullptr,
+                    const faults::NetworkFaultOverlay* faults = nullptr) const;
 
     /// Convenience on constant inputs: output voltages.
-    math::Matrix predict(const math::Matrix& x,
-                         const NetworkVariation* variation = nullptr) const;
+    math::Matrix predict(const math::Matrix& x, const NetworkVariation* variation = nullptr,
+                         const faults::NetworkFaultOverlay* faults = nullptr) const;
+
+    /// The network's dimensions as the fault layer sees them (the readout
+    /// layer prints no ptanh circuits, so has_activation is false there).
+    faults::NetworkShape fault_shape() const;
 
     /// All crossbar parameters / all nonlinear-circuit parameters.
     std::vector<ad::Var> theta_params() const;

@@ -30,24 +30,34 @@ PrintedLayer::PrintedLayer(std::size_t n_in, std::size_t n_out,
         throw std::invalid_argument("PrintedLayer: zero-sized layer");
 }
 
-Var PrintedLayer::projected(const Var& theta, const Matrix* factors) const {
+Var PrintedLayer::projected(const Var& theta, const Matrix* factors,
+                            const circuit::ConductanceOverlay* overlay) const {
     Var p = ad::project_conductance_ste(theta, options_.g_min, options_.g_max);
     // Variation multiplies the *printed* values (the projected ones).
     if (factors) p = ad::mul(p, ad::constant(*factors));
+    // Discrete defects act on the materialized conductance: open/short/
+    // stuck-at overwrite it, drift scales it (g' = keep .* g + add).
+    if (overlay) p = ad::add(ad::mul(p, ad::constant(overlay->keep)),
+                             ad::constant(overlay->add));
     return p;
 }
 
 Var PrintedLayer::forward(const Var& x, const LayerVariation* variation,
-                          bool apply_activation) const {
+                          bool apply_activation,
+                          const faults::LayerFaultOverlay* faults) const {
     using namespace ad;
     if (x.cols() != n_in_)
         throw std::invalid_argument("PrintedLayer::forward: expected " +
                                     std::to_string(n_in_) + " inputs, got " +
                                     std::to_string(x.cols()));
 
-    const Var g_in = projected(theta_in_, variation ? &variation->theta_in : nullptr);
-    const Var g_bias = projected(theta_bias_, variation ? &variation->theta_bias : nullptr);
-    const Var g_drain = projected(theta_drain_, variation ? &variation->theta_drain : nullptr);
+    const bool theta_faults = faults && faults->has_theta_faults;
+    const Var g_in = projected(theta_in_, variation ? &variation->theta_in : nullptr,
+                               theta_faults ? &faults->theta_in : nullptr);
+    const Var g_bias = projected(theta_bias_, variation ? &variation->theta_bias : nullptr,
+                                 theta_faults ? &faults->theta_bias : nullptr);
+    const Var g_drain = projected(theta_drain_, variation ? &variation->theta_drain : nullptr,
+                                  theta_faults ? &faults->theta_drain : nullptr);
 
     // Column-wise normalization G = sum_i |g_i| + |g_b| + |g_d| (Eq. 1).
     const Var a_in = ad::abs(g_in);
@@ -67,7 +77,12 @@ Var PrintedLayer::forward(const Var& x, const LayerVariation* variation,
         positive_mask[i] = theta_values[i] >= 0.0 ? 1.0 : 0.0;
 
     const Var eta_neg = neg_.eta(n_in_, variation ? &variation->omega_neg : nullptr);
-    const Var x_inverted = apply_negated_ptanh(eta_neg, x);
+    Var x_inverted = apply_negated_ptanh(eta_neg, x);
+    // A dead negative-weight circuit pins the value its wire feeds into the
+    // crossbar (model sign convention: physical rail r reads as -r).
+    if (faults && faults->has_neg_faults)
+        x_inverted = add_rowvec(mul_rowvec(x_inverted, constant(faults->neg_alive)),
+                                constant(faults->neg_rail));
 
     const Var w_positive = mul(w_in, constant(positive_mask));
     Matrix negative_mask = positive_mask.map([](double v) { return 1.0 - v; });
@@ -79,7 +94,12 @@ Var PrintedLayer::forward(const Var& x, const LayerVariation* variation,
 
     if (!apply_activation) return v_z;
     const Var eta_act = act_.eta(n_out_, variation ? &variation->omega_act : nullptr);
-    return apply_ptanh(eta_act, v_z);
+    Var activated = apply_ptanh(eta_act, v_z);
+    // A dead ptanh circuit's output sits at a supply rail.
+    if (faults && faults->has_act_faults)
+        activated = add_rowvec(mul_rowvec(activated, constant(faults->act_alive)),
+                               constant(faults->act_rail));
+    return activated;
 }
 
 namespace {

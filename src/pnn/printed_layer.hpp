@@ -9,6 +9,7 @@
 #pragma once
 
 #include "circuit/variation.hpp"
+#include "faults/fault_model.hpp"
 #include "pnn/nonlinear_param.hpp"
 #include "pnn/options.hpp"
 
@@ -40,9 +41,12 @@ public:
     /// Forward pass. `variation` may be nullptr (nominal forward). With
     /// apply_activation = false the crossbar output Vz is returned directly
     /// (used for the readout layer, whose class decision is taken from the
-    /// crossbar voltages).
+    /// crossbar voltages). `faults` (may be nullptr) applies a materialized
+    /// defect set: conductance overlays after projection + variation, rail
+    /// pinning after the nonlinear transfers.
     ad::Var forward(const ad::Var& x, const LayerVariation* variation,
-                    bool apply_activation = true) const;
+                    bool apply_activation = true,
+                    const faults::LayerFaultOverlay* faults = nullptr) const;
 
     /// Crossbar parameters for the optimizer.
     std::vector<ad::Var> theta_params() const { return {theta_in_, theta_bias_, theta_drain_}; }
@@ -71,7 +75,8 @@ public:
     const PnnOptions& options() const { return options_; }
 
 private:
-    ad::Var projected(const ad::Var& theta, const math::Matrix* factors) const;
+    ad::Var projected(const ad::Var& theta, const math::Matrix* factors,
+                      const circuit::ConductanceOverlay* overlay) const;
 
     std::size_t n_in_, n_out_;
     PnnOptions options_;

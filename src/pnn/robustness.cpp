@@ -86,6 +86,43 @@ YieldResult estimate_yield(const Pnn& pnn, const Matrix& x, const std::vector<in
     return result;
 }
 
+FaultYieldResult estimate_yield_under_faults(const Pnn& pnn, const Matrix& x,
+                                             const std::vector<int>& y, double accuracy_spec,
+                                             double eps, const faults::FaultModel& fault_model,
+                                             int n_mc, std::uint64_t seed) {
+    if (n_mc < 2) throw std::invalid_argument("estimate_yield_under_faults: n_mc must be >= 2");
+    obs::ScopedTimer yield_span("estimate_yield_under_faults");
+    const circuit::VariationModel model(eps);
+    const PnnOptions& opts = pnn.layer(0).options();
+    const faults::FaultDomain domain{opts.g_max, opts.bias_voltage};
+
+    faults::FaultCampaignOptions options;
+    options.n_samples = n_mc;
+    options.seed = seed;
+    options.metric_prefix = "faults.yield";
+    // Faults are drawn from the per-sample stream *before* the variation
+    // factors, so a zero-rate model (which draws nothing and yields a null
+    // overlay) leaves this evaluator on estimate_yield's exact code path.
+    const auto campaign = faults::run_fault_campaign(
+        fault_model, pnn.fault_shape(),
+        [&](const faults::NetworkFaultOverlay* overlay, math::Rng& stream) {
+            const NetworkVariation factors = pnn.sample_variation(model, stream);
+            return ad::accuracy(pnn.predict(x, &factors, overlay), y);
+        },
+        options, domain);
+
+    FaultYieldResult result;
+    result.yield.n_samples = n_mc;
+    result.yield.yield = campaign.fraction_at_least(accuracy_spec);
+    result.yield.worst_accuracy = campaign.worst_score;
+    result.yield.p5_accuracy = campaign.score_quantile(0.05);
+    result.yield.median_accuracy = campaign.median_score;
+    result.mean_accuracy = campaign.mean_score;
+    result.mean_fault_count = campaign.mean_fault_count;
+    result.campaign = campaign;
+    return result;
+}
+
 double worst_corner_accuracy(const Pnn& pnn, const Matrix& x, const std::vector<int>& y,
                              double eps, int n_corners, std::uint64_t seed) {
     if (n_corners < 1) throw std::invalid_argument("worst_corner_accuracy: n_corners >= 1");

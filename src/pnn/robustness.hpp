@@ -8,6 +8,7 @@
 // random extreme of its tolerance band).
 #pragma once
 
+#include "faults/campaign.hpp"
 #include "pnn/training.hpp"
 
 namespace pnc::pnn {
@@ -24,6 +25,25 @@ struct YieldResult {
 YieldResult estimate_yield(const Pnn& pnn, const math::Matrix& x,
                            const std::vector<int>& y, double accuracy_spec, double eps,
                            int n_mc = 200, std::uint64_t seed = 777);
+
+/// Yield under discrete defects on top of printing variation.
+struct FaultYieldResult {
+    YieldResult yield;               ///< same statistics as estimate_yield
+    double mean_accuracy = 0.0;      ///< mean over the faulted realizations
+    double mean_fault_count = 0.0;   ///< average injected defects per copy
+    faults::FaultCampaignResult campaign;  ///< raw per-sample data
+};
+
+/// Monte-Carlo yield of a design when each copy additionally suffers a
+/// defect set drawn from `fault_model` (sampled *before* the copy's
+/// variation factors, from the same per-sample stream). With a model whose
+/// fault rate is exactly 0 the result's accuracy statistics are
+/// bit-identical to estimate_yield(...) at the same (eps, n_mc, seed) —
+/// test-enforced.
+FaultYieldResult estimate_yield_under_faults(const Pnn& pnn, const math::Matrix& x,
+                                             const std::vector<int>& y, double accuracy_spec,
+                                             double eps, const faults::FaultModel& fault_model,
+                                             int n_mc = 200, std::uint64_t seed = 777);
 
 /// Corner analysis: every variation factor is pushed to 1 - eps or 1 + eps
 /// (random sign assignment per corner). Returns the minimum accuracy over

@@ -1,0 +1,438 @@
+// Fault-injection suite: defect materialization semantics (open / short /
+// stuck-at / dead rails / drift), the crossbar-level fault primitive against
+// the MNA ground truth, campaign determinism at 1 / 2 / 8 threads, the
+// zero-fault-rate == baseline bit-for-bit contract, and the
+// pnc-fault-report/1 schema validator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/dc_solver.hpp"
+#include "data/dataset.hpp"
+#include "faults/campaign.hpp"
+#include "faults/fault_report.hpp"
+#include "pnn/certification.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+#include "surrogate/dataset_builder.hpp"
+
+using namespace pnc;
+using math::Matrix;
+
+namespace {
+
+const surrogate::SurrogateModel& fault_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto dataset =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(dataset, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+pnn::Pnn make_net(std::uint64_t seed = 61) {
+    math::Rng rng(seed);
+    return pnn::Pnn({2, 3, 2}, &fault_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &fault_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+data::SplitDataset blob_split() {
+    math::Rng rng(62);
+    data::Dataset ds;
+    ds.name = "blobs";
+    ds.n_classes = 2;
+    ds.features = Matrix(60, 2);
+    for (int i = 0; i < 60; ++i) {
+        const int label = i % 2;
+        ds.labels.push_back(label);
+        ds.features(i, 0) = rng.normal(label ? 0.8 : 0.2, 0.08);
+        ds.features(i, 1) = rng.normal(label ? 0.2 : 0.8, 0.08);
+    }
+    return data::split_and_normalize(ds, 9);
+}
+
+/// Run fn under each thread count and return one result per count.
+template <typename Fn>
+auto sweep_threads(Fn&& fn) {
+    std::vector<decltype(fn())> results;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        runtime::set_global_threads(threads);
+        results.push_back(fn());
+    }
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    return results;
+}
+
+const faults::NetworkShape kTinyShape = {{2, 3, true}, {3, 2, false}};
+
+}  // namespace
+
+// ---- overlay / materialization semantics -----------------------------------
+
+TEST(FaultMaterialize, OpenShortStuckAtRewriteTheConductance) {
+    const faults::FaultDomain domain{100.0, 1.0};
+    const std::vector<faults::Fault> set = {
+        {faults::FaultKind::kStuckOpen, faults::FaultSite::kThetaIn, 0, 1, 2, 0.0},
+        {faults::FaultKind::kStuckShort, faults::FaultSite::kThetaBias, 0, 0, 0, 0.0},
+        {faults::FaultKind::kStuckAtConductance, faults::FaultSite::kThetaDrain, 1, 0, 1, 7.5},
+    };
+    const auto overlay = faults::materialize(kTinyShape, set, domain);
+    ASSERT_EQ(overlay.size(), 2u);
+    EXPECT_TRUE(overlay[0].has_theta_faults);
+    EXPECT_TRUE(overlay[1].has_theta_faults);
+
+    const Matrix g_in(2, 3, 10.0);
+    const Matrix faulted_in = overlay[0].theta_in.apply(g_in);
+    EXPECT_EQ(faulted_in(1, 2), 0.0);     // open: the resistor vanishes
+    EXPECT_EQ(faulted_in(0, 0), 10.0);    // untouched cells unchanged
+    const Matrix g_bias(1, 3, 10.0);
+    EXPECT_EQ(overlay[0].theta_bias.apply(g_bias)(0, 0), domain.g_max);  // short
+    const Matrix g_drain(1, 2, 10.0);
+    EXPECT_EQ(overlay[1].theta_drain.apply(g_drain)(0, 1), 7.5);  // stuck-at
+}
+
+TEST(FaultMaterialize, DeadNegationPinsTheNegatedRail) {
+    const faults::FaultDomain domain{100.0, 1.0};
+    const std::vector<faults::Fault> set = {
+        {faults::FaultKind::kDeadNonlinear, faults::FaultSite::kNegation, 0, 0, 1, domain.vdd},
+        {faults::FaultKind::kDeadNonlinear, faults::FaultSite::kActivation, 0, 0, 2, 0.0},
+    };
+    const auto overlay = faults::materialize(kTinyShape, set, domain);
+    EXPECT_TRUE(overlay[0].has_neg_faults);
+    EXPECT_TRUE(overlay[0].has_act_faults);
+    EXPECT_FALSE(overlay[0].has_theta_faults);
+    EXPECT_EQ(overlay[0].neg_alive(0, 1), 0.0);
+    // Eq. 3 sign convention: physical rail vdd reads as -vdd model-side.
+    EXPECT_EQ(overlay[0].neg_rail(0, 1), -domain.vdd);
+    EXPECT_EQ(overlay[0].neg_alive(0, 0), 1.0);
+    EXPECT_EQ(overlay[0].act_alive(0, 2), 0.0);
+    EXPECT_EQ(overlay[0].act_rail(0, 2), 0.0);
+}
+
+TEST(FaultMaterialize, GlobalDriftScalesEveryKeep) {
+    const std::vector<faults::Fault> set = {
+        {faults::FaultKind::kDrift, faults::FaultSite::kGlobal, 0, 0, 0, 1.25},
+    };
+    const auto overlay = faults::materialize(kTinyShape, set, {});
+    for (const auto& layer : overlay) {
+        EXPECT_TRUE(layer.has_theta_faults);
+        for (std::size_t i = 0; i < layer.theta_in.keep.size(); ++i)
+            EXPECT_EQ(layer.theta_in.keep[i], 1.25);
+        for (std::size_t i = 0; i < layer.theta_bias.keep.size(); ++i)
+            EXPECT_EQ(layer.theta_bias.keep[i], 1.25);
+    }
+}
+
+TEST(FaultMaterialize, RejectsOutOfRangeAndIllTypedSites) {
+    EXPECT_THROW(faults::materialize(
+                     kTinyShape, {{faults::FaultKind::kStuckOpen, faults::FaultSite::kThetaIn,
+                                   0, 5, 0, 0.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(faults::materialize(
+                     kTinyShape, {{faults::FaultKind::kStuckOpen, faults::FaultSite::kThetaIn,
+                                   7, 0, 0, 0.0}}),
+                 std::invalid_argument);
+    // The readout layer prints no ptanh circuits.
+    EXPECT_THROW(faults::materialize(kTinyShape, {{faults::FaultKind::kDeadNonlinear,
+                                                   faults::FaultSite::kActivation, 1, 0, 0,
+                                                   0.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(faults::materialize(kTinyShape, {{faults::FaultKind::kStuckOpen,
+                                                   faults::FaultSite::kActivation, 0, 0, 0,
+                                                   0.0}}),
+                 std::invalid_argument);
+}
+
+TEST(FaultModels, ZeroRateDrawsNoRandomness) {
+    // The determinism contract: a configuration that cannot fault must not
+    // advance the stream, or the zero-rate campaign would diverge from the
+    // baseline sweep.
+    const faults::FaultDomain domain;
+    for (const char* name : {"stuck_open", "stuck_short", "stuck_at", "dead_nonlinear",
+                             "drift", "mixed"}) {
+        const auto model = faults::make_fault_model(name, 0.0, domain);
+        math::Rng rng(123);
+        std::vector<faults::Fault> out;
+        model->sample(kTinyShape, domain, rng, out);
+        EXPECT_TRUE(out.empty()) << name;
+        math::Rng untouched(123);
+        EXPECT_EQ(rng.uniform(), untouched.uniform()) << name << " consumed randomness";
+    }
+}
+
+TEST(FaultModels, RateOneFaultsEverySite) {
+    const faults::FaultDomain domain;
+    const auto model = faults::make_fault_model("stuck_open", 1.0, domain);
+    math::Rng rng(5);
+    std::vector<faults::Fault> out;
+    model->sample(kTinyShape, domain, rng, out);
+    // (2*3 + 3 + 3) + (3*2 + 2 + 2) resistor sites.
+    EXPECT_EQ(out.size(), 22u);
+}
+
+TEST(FaultModels, UnknownNameThrows) {
+    EXPECT_THROW(faults::make_fault_model("stuck_openn", 0.1), std::invalid_argument);
+    EXPECT_THROW(faults::StuckOpen(1.5), std::invalid_argument);
+    EXPECT_THROW(faults::DriftFault(1.0), std::invalid_argument);
+}
+
+TEST(FaultEnumeration, SingleFaultSweepCoversEverySiteOnce) {
+    const auto opens =
+        faults::enumerate_single_faults(kTinyShape, faults::FaultKind::kStuckOpen);
+    EXPECT_EQ(opens.size(), 22u);
+    for (const auto& set : opens) EXPECT_EQ(set.size(), 1u);
+    // Dead sweep: (3 act + 2 neg) in layer 0, (0 act + 3 neg) in the
+    // readout, each paired with both rails.
+    const auto deads =
+        faults::enumerate_single_faults(kTinyShape, faults::FaultKind::kDeadNonlinear);
+    EXPECT_EQ(deads.size(), 16u);
+    EXPECT_THROW(faults::enumerate_single_faults(kTinyShape, faults::FaultKind::kDrift),
+                 std::invalid_argument);
+}
+
+// ---- crossbar-level fault primitive vs the analog ground truth -------------
+
+TEST(CrossbarFaults, FaultedClosedFormMatchesFaultedNetlistSolve) {
+    // The same defect applied at the conductance level and in the physical
+    // netlist must agree: Eq. 1 on the faulted column vs the MNA solve of
+    // its faulted netlist.
+    circuit::CrossbarColumn column;
+    column.input_conductances = {2e-6, 4e-6, 5e-6};
+    column.bias_conductance = 3e-6;
+    column.drain_conductance = 2e-6;
+    apply_conductance_fault(column, 0, circuit::ConductanceFaultKind::kOpen);
+    apply_conductance_fault(column, 1, circuit::ConductanceFaultKind::kShort, 100e-6);
+    apply_conductance_fault(column, 3, circuit::ConductanceFaultKind::kStuckAt, 7e-6);
+    apply_conductance_fault(column, 4, circuit::ConductanceFaultKind::kDrift, 1.3);
+    EXPECT_EQ(column.input_conductances[0], 0.0);
+    EXPECT_EQ(column.input_conductances[1], 100e-6);
+    EXPECT_EQ(column.bias_conductance, 7e-6);
+    EXPECT_NEAR(column.drain_conductance, 2.6e-6, 1e-18);
+
+    const std::vector<double> inputs = {0.9, 0.4, 0.1};
+    auto net = circuit::build_crossbar_netlist(column);
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        net.set_source_voltage(net.find_node("in" + std::to_string(i)), inputs[i]);
+    const auto sol = circuit::DcSolver().solve(net);
+    EXPECT_NEAR(sol.voltages[net.find_node("z")], column.output(inputs), 1e-7);
+}
+
+TEST(CrossbarFaults, RejectsBadIndexAndNegativeResult) {
+    circuit::CrossbarColumn column;
+    column.input_conductances = {2e-6};
+    EXPECT_THROW(
+        apply_conductance_fault(column, 3, circuit::ConductanceFaultKind::kOpen),
+        std::invalid_argument);
+    EXPECT_THROW(apply_conductance_fault(column, 0, circuit::ConductanceFaultKind::kStuckAt,
+                                         -1e-6),
+                 std::invalid_argument);
+}
+
+// ---- forward-pass semantics -------------------------------------------------
+
+TEST(FaultForward, DeadActivationPinsTheNeuronOutput) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto shape = net.fault_shape();
+    ASSERT_EQ(shape.size(), 2u);
+    EXPECT_TRUE(shape[0].has_activation);
+    EXPECT_FALSE(shape[1].has_activation);
+
+    // Kill hidden ptanh #1 at rail 0: layer-0 output column 1 must be
+    // exactly 0 for every row, which the readout then mixes.
+    const std::vector<faults::Fault> set = {
+        {faults::FaultKind::kDeadNonlinear, faults::FaultSite::kActivation, 0, 0, 1, 0.0}};
+    const auto overlay = faults::materialize(shape, set);
+    const Matrix hidden =
+        net.layer(0).forward(ad::constant(split.x_test), nullptr, true, &overlay[0]).value();
+    for (std::size_t r = 0; r < hidden.rows(); ++r) EXPECT_EQ(hidden(r, 1), 0.0);
+
+    const Matrix nominal = net.predict(split.x_test);
+    const Matrix faulted = net.predict(split.x_test, nullptr, &overlay);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < nominal.size(); ++i)
+        any_difference |= nominal[i] != faulted[i];
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultForward, EmptyOverlayIsBitIdenticalToNominal) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto overlay = faults::materialize(net.fault_shape(), {});
+    const Matrix nominal = net.predict(split.x_test);
+    const Matrix with_identity = net.predict(split.x_test, nullptr, &overlay);
+    ASSERT_EQ(nominal.size(), with_identity.size());
+    // The has_* flags are all false, so the fault path is never entered.
+    for (std::size_t i = 0; i < nominal.size(); ++i)
+        EXPECT_EQ(nominal[i], with_identity[i]);
+}
+
+// ---- campaign driver --------------------------------------------------------
+
+TEST(FaultCampaign, BitIdenticalAcrossThreadCounts) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto model = faults::make_fault_model("mixed", 0.03);
+    const auto results = sweep_threads([&] {
+        return pnn::estimate_yield_under_faults(net, split.x_test, split.y_test, 0.6, 0.1,
+                                                *model, 32, 91);
+    });
+    for (std::size_t t = 1; t < results.size(); ++t) {
+        EXPECT_EQ(results[0].yield.yield, results[t].yield.yield);
+        EXPECT_EQ(results[0].yield.worst_accuracy, results[t].yield.worst_accuracy);
+        EXPECT_EQ(results[0].yield.p5_accuracy, results[t].yield.p5_accuracy);
+        EXPECT_EQ(results[0].yield.median_accuracy, results[t].yield.median_accuracy);
+        EXPECT_EQ(results[0].mean_accuracy, results[t].mean_accuracy);
+        EXPECT_EQ(results[0].mean_fault_count, results[t].mean_fault_count);
+        ASSERT_EQ(results[0].campaign.scores.size(), results[t].campaign.scores.size());
+        for (std::size_t s = 0; s < results[0].campaign.scores.size(); ++s) {
+            EXPECT_EQ(results[0].campaign.scores[s], results[t].campaign.scores[s])
+                << "sample " << s;
+            EXPECT_EQ(results[0].campaign.fault_counts[s], results[t].campaign.fault_counts[s]);
+            EXPECT_EQ(results[0].campaign.kind_masks[s], results[t].campaign.kind_masks[s]);
+        }
+    }
+}
+
+TEST(FaultCampaign, ZeroRateReproducesBaselineYieldBitForBit) {
+    // The acceptance criterion: a model that cannot fault must leave every
+    // per-sample accuracy on estimate_yield's exact code path.
+    const auto net = make_net();
+    const auto split = blob_split();
+    const double spec = 0.6, eps = 0.1;
+    const int n_mc = 32;
+    const std::uint64_t seed = 91;
+    const auto baseline =
+        pnn::estimate_yield(net, split.x_test, split.y_test, spec, eps, n_mc, seed);
+    for (const char* name : {"stuck_open", "dead_nonlinear", "mixed", "drift"}) {
+        const auto model = faults::make_fault_model(name, 0.0);
+        const auto faulted = pnn::estimate_yield_under_faults(
+            net, split.x_test, split.y_test, spec, eps, *model, n_mc, seed);
+        EXPECT_EQ(faulted.yield.yield, baseline.yield) << name;
+        EXPECT_EQ(faulted.yield.worst_accuracy, baseline.worst_accuracy) << name;
+        EXPECT_EQ(faulted.yield.p5_accuracy, baseline.p5_accuracy) << name;
+        EXPECT_EQ(faulted.yield.median_accuracy, baseline.median_accuracy) << name;
+        EXPECT_EQ(faulted.mean_fault_count, 0.0) << name;
+    }
+}
+
+TEST(FaultCampaign, EnumeratedSweepScoresEverySingleFault) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto shape = net.fault_shape();
+    const auto sets = faults::enumerate_single_faults(shape, faults::FaultKind::kStuckOpen);
+    const auto result = faults::run_fault_campaign(
+        sets, shape,
+        [&](const faults::NetworkFaultOverlay* overlay, math::Rng&) {
+            return ad::accuracy(net.predict(split.x_test, nullptr, overlay), split.y_test);
+        });
+    ASSERT_EQ(result.scores.size(), sets.size());
+    for (std::size_t s = 0; s < result.scores.size(); ++s) {
+        EXPECT_EQ(result.fault_counts[s], 1u);
+        EXPECT_GE(result.scores[s], 0.0);
+        EXPECT_LE(result.scores[s], 1.0);
+    }
+    EXPECT_EQ(result.mean_fault_count, 1.0);
+}
+
+TEST(FaultCampaign, HighRateInjectsFaultsAndDegradesOrChanges) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const auto model = faults::make_fault_model("stuck_open", 0.5);
+    const auto result = pnn::estimate_yield_under_faults(net, split.x_test, split.y_test,
+                                                         0.6, 0.0, *model, 16, 7);
+    EXPECT_GT(result.mean_fault_count, 1.0);
+    // At eps = 0 the only variability is the fault sets themselves.
+    bool any_faulted_sample = false;
+    for (auto count : result.campaign.fault_counts) any_faulted_sample |= count > 0;
+    EXPECT_TRUE(any_faulted_sample);
+}
+
+// ---- fault-aware certification ---------------------------------------------
+
+TEST(FaultCertify, FaultedBoundsStaysSoundAndDeadRailIsTight) {
+    const auto net = make_net();
+    const std::vector<faults::Fault> set = {
+        {faults::FaultKind::kDeadNonlinear, faults::FaultSite::kActivation, 0, 0, 0, 1.0},
+        {faults::FaultKind::kStuckOpen, faults::FaultSite::kThetaIn, 1, 0, 0, 0.0}};
+    const auto overlay = faults::materialize(net.fault_shape(), set);
+    pnn::CertificationOptions options;
+    options.epsilon = 0.05;
+    const std::vector<double> input = {0.4, 0.7};
+    const auto bounds = pnn::certified_output_bounds(net, input, options, &overlay);
+
+    // The faulted forward at nominal variation must land inside the bounds.
+    const Matrix out = net.predict(Matrix::row(input), nullptr, &overlay);
+    ASSERT_EQ(bounds.size(), out.cols());
+    for (std::size_t j = 0; j < bounds.size(); ++j) {
+        EXPECT_GE(out(0, j), bounds[j].lo - 1e-9);
+        EXPECT_LE(out(0, j), bounds[j].hi + 1e-9);
+    }
+}
+
+TEST(FaultCertify, CertifiedAccuracyLowerBoundsTheFaultedCopy) {
+    const auto net = make_net();
+    const auto split = blob_split();
+    const std::vector<faults::Fault> set = {
+        {faults::FaultKind::kDeadNonlinear, faults::FaultSite::kNegation, 0, 0, 1, 0.0}};
+    const auto overlay = faults::materialize(net.fault_shape(), set);
+    pnn::CertificationOptions options;
+    options.epsilon = 0.02;
+    const auto cert = pnn::certify(net, split.x_test, split.y_test, options, overlay);
+    const double faulted_accuracy =
+        ad::accuracy(net.predict(split.x_test, nullptr, &overlay), split.y_test);
+    EXPECT_LE(cert.certified_accuracy, faulted_accuracy + 1e-12);
+    EXPECT_GE(cert.certified_fraction, cert.certified_accuracy);
+}
+
+// ---- report schema ----------------------------------------------------------
+
+TEST(FaultReport, RoundTripValidates) {
+    faults::FaultReport report;
+    report.tool = "test";
+    faults::FaultReportEntry entry;
+    entry.dataset = "blobs";
+    entry.model = "stuck_open";
+    entry.fault_rate = 0.01;
+    entry.samples = 32;
+    entry.accuracy_spec = 0.6;
+    entry.baseline_accuracy = 0.9;
+    entry.yield = 0.8;
+    entry.mean_accuracy = 0.7;
+    entry.p5_accuracy = 0.5;
+    entry.median_accuracy = 0.72;
+    entry.worst_accuracy = 0.4;
+    entry.mean_fault_count = 1.5;
+    report.campaigns.push_back(entry);
+    EXPECT_EQ(faults::validate_fault_report(faults::fault_report_document(report)), "");
+}
+
+TEST(FaultReport, ValidatorRejectsBrokenDocuments) {
+    faults::FaultReport report;
+    report.tool = "test";
+    EXPECT_NE(faults::validate_fault_report(faults::fault_report_document(report)), "")
+        << "empty campaign list must not validate";
+
+    faults::FaultReportEntry entry;
+    entry.dataset = "blobs";
+    entry.model = "stuck_open";
+    entry.samples = 0;  // invalid
+    entry.yield = 0.5;
+    report.campaigns.push_back(entry);
+    EXPECT_NE(faults::validate_fault_report(faults::fault_report_document(report)), "");
+
+    obs::json::Value not_a_report = obs::json::Value::object();
+    not_a_report.set("schema", obs::json::Value::string("something-else/9"));
+    EXPECT_NE(faults::validate_fault_report(not_a_report), "");
+}

@@ -15,6 +15,9 @@
 #include <sstream>
 #include <string>
 
+#include <sys/wait.h>
+
+#include "faults/fault_report.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 
@@ -30,7 +33,12 @@ namespace {
 class ObsCliTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        dir_ = fs::temp_directory_path() / "pnc_obs_cli_test";
+        // Unique per test case: ctest runs the discovered cases as separate
+        // processes, possibly concurrently, and they must not clobber each
+        // other's artifacts or model files.
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() /
+               (std::string("pnc_obs_cli_") + info->name());
         fs::remove_all(dir_);
         fs::create_directories(dir_);
         artifacts_ = (dir_ / "artifacts").string();
@@ -54,6 +62,17 @@ protected:
             std::string(PNC_CLI_PATH) + " " + cli_args + " > " + log + " 2>&1";
         const int rc = std::system(cmd.c_str());
         ASSERT_EQ(rc, 0) << "command failed: " << cmd << "\n" << slurp(log);
+    }
+
+    /// Run `pnc <args>` and return its exit code; stdout+stderr are
+    /// appended to `*output` when given.
+    int run_cli_rc(const std::string& cli_args, std::string* output = nullptr) {
+        const std::string log = (dir_ / "cli_rc.log").string();
+        const std::string cmd =
+            std::string(PNC_CLI_PATH) + " " + cli_args + " > " + log + " 2>&1";
+        const int status = std::system(cmd.c_str());
+        if (output) *output += slurp(log);
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
     }
 
     static std::string slurp(const std::string& path) {
@@ -154,4 +173,47 @@ TEST_F(ObsCliTest, NoReportIsWrittenWithoutTheFlags) {
     EXPECT_FALSE(fs::exists(path("train_report.json")));
     // And no stray report lands in the artifact or working directory.
     EXPECT_FALSE(fs::exists(fs::path(artifacts_) / "report.json"));
+}
+
+TEST_F(ObsCliTest, EvalFaultFlagsWriteSchemaValidFaultReport) {
+    run_cli("train --dataset iris --eps 0.1 --mc 2 --epochs 4 --patience 4 --hidden 2"
+            " --seed 5 --out " + path("model.pnn"));
+    run_cli("eval --model " + path("model.pnn") + " --dataset iris --eps 0.1 --mc 8"
+            " --fault-model mixed --fault-rate 0.05 --spec 0.6"
+            " --fault-report " + path("faults.json") +
+            " --metrics-out " + path("eval_report.json"));
+
+    const Value doc = parse_file(path("faults.json"));
+    ASSERT_EQ(pnc::faults::validate_fault_report(doc), "");
+    EXPECT_EQ(doc.find("meta")->find("tool")->as_string(), "pnc");
+    const auto& campaigns = doc.find("campaigns")->items();
+    ASSERT_EQ(campaigns.size(), 1u);
+    EXPECT_EQ(campaigns[0].find("dataset")->as_string(), "iris");
+    EXPECT_EQ(campaigns[0].find("model")->as_string(), "mixed");
+    EXPECT_DOUBLE_EQ(campaigns[0].find("fault_rate")->as_number(), 0.05);
+    EXPECT_DOUBLE_EQ(campaigns[0].find("samples")->as_number(), 8.0);
+
+    // The campaign's telemetry reaches the metrics report under the
+    // faults.yield prefix.
+    const Value metrics = parse_file(path("eval_report.json"));
+    ASSERT_EQ(pnc::obs::validate_run_report(metrics), "");
+    EXPECT_DOUBLE_EQ(
+        metrics.find("counters")->find("faults.yield.samples_total")->as_number(), 8.0);
+}
+
+TEST_F(ObsCliTest, InvalidInvocationsExitWithUsage) {
+    // Unknown flag, unknown command, and fault flags without a fault model
+    // must all fail fast with the usage text and exit code 2 — not run a
+    // different experiment than the one asked for.
+    for (const std::string& args :
+         {std::string("eval --bogus-flag 1"), std::string("frobnicate"),
+          std::string("eval --model m.pnn --dataset iris --fault-rate 0.1")}) {
+        std::string output;
+        EXPECT_EQ(run_cli_rc(args, &output), 2) << args;
+        EXPECT_NE(output.find("error:"), std::string::npos) << output;
+        EXPECT_NE(output.find("commands:"), std::string::npos) << output;
+    }
+    // And a bad invocation must not leave a partial report behind.
+    EXPECT_EQ(run_cli_rc("eval --metrics-out " + path("bad_report.json")), 2);
+    EXPECT_FALSE(fs::exists(path("bad_report.json")));
 }

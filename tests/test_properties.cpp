@@ -4,10 +4,16 @@
 // projection idempotence, training determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "circuit/crossbar.hpp"
+#include "circuit/nonlinear_circuit.hpp"
 #include "data/registry.hpp"
+#include "fit/ptanh_fit.hpp"
+#include "math/sobol.hpp"
+#include "pnn/serialize.hpp"
 #include "pnn/training.hpp"
 #include "surrogate/design_space.hpp"
 
@@ -184,6 +190,86 @@ TEST(TrainingProperty, DifferentSeedsDiffer) {
     const auto a = train_and_predict(5);
     const auto b = train_and_predict(6);
     EXPECT_GT(math::max_abs_diff(a, b), 1e-12);
+}
+
+// ---- ptanh fit: fit-then-evaluate round trips --------------------------------
+
+class PtanhFitRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PtanhFitRoundTrip, RecoversSynthesizedEta) {
+    // Curves synthesized exactly inside the model family: the multi-start
+    // LM must recover the generating eta (the weak Tikhonov priors shift
+    // well-saturated fits only negligibly).
+    math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 3);
+    fit::Eta truth;
+    truth.eta1 = rng.uniform(0.35, 0.65);
+    truth.eta2 = rng.uniform(0.25, 0.45);
+    truth.eta3 = rng.uniform(0.35, 0.65);
+    truth.eta4 = rng.uniform(6.0, 14.0);  // saturates inside [0, 1]
+    circuit::CharacteristicCurve curve;
+    for (int i = 0; i < 48; ++i) {
+        const double v = static_cast<double>(i) / 47.0;
+        curve.vin.push_back(v);
+        curve.vout.push_back(fit::ptanh(truth, v));
+    }
+    const auto result = fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kPtanh);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.rmse, 1e-3);
+    EXPECT_NEAR(result.eta.eta1, truth.eta1, 0.02);
+    EXPECT_NEAR(result.eta.eta2, truth.eta2, 0.04);
+    EXPECT_NEAR(result.eta.eta3, truth.eta3, 0.02);
+    EXPECT_NEAR(result.eta.eta4, truth.eta4, 0.06 * truth.eta4);
+    // Fit-then-evaluate: the recovered eta reproduces the curve pointwise.
+    for (std::size_t i = 0; i < curve.vin.size(); ++i)
+        EXPECT_NEAR(fit::ptanh(result.eta, curve.vin[i]), curve.vout[i], 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(SynthesizedEtas, PtanhFitRoundTrip, ::testing::Range(0, 8));
+
+TEST(PtanhFitProperty, SimulatedCurvesFitAcrossSobolSampledOmega) {
+    // Simulated (not exactly-in-family) characteristics over Sobol-sampled
+    // design points: the fit must converge and evaluate back onto the
+    // simulated curve within a loose physical tolerance.
+    const auto space = surrogate::DesignSpace::table1();
+    math::SobolSequence sobol(7);
+    sobol.skip(3);
+    for (const auto& omega : space.sample_batch(sobol, 6)) {
+        const auto curve = circuit::simulate_characteristic(
+            omega, circuit::NonlinearCircuitKind::kPtanh, 33);
+        const auto result = fit::fit_ptanh(curve, circuit::NonlinearCircuitKind::kPtanh);
+        EXPECT_TRUE(result.converged);
+        EXPECT_LT(result.rmse, 0.05);
+        double worst = 0.0;
+        for (std::size_t i = 0; i < curve.vin.size(); ++i)
+            worst = std::max(worst,
+                             std::abs(fit::ptanh(result.eta, curve.vin[i]) - curve.vout[i]));
+        EXPECT_LT(worst, 0.15);
+    }
+}
+
+// ---- serialization: save -> load -> save is byte-identical -------------------
+
+TEST(SerializeProperty, SaveLoadSaveIsByteIdentical) {
+    const auto& act = prop_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto& neg = prop_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    const auto space = surrogate::DesignSpace::table1();
+    math::Rng rng(1234);
+    const pnn::Pnn original({4, 3, 3}, &act, &neg, space, rng);
+
+    std::stringstream first;
+    pnn::save_pnn(original, first);
+    std::stringstream stored(first.str());
+    const pnn::Pnn restored = pnn::load_pnn(stored, &act, &neg, space);
+    std::stringstream second;
+    pnn::save_pnn(restored, second);
+    EXPECT_EQ(first.str(), second.str());
+
+    // And the reloaded network is behaviorally bit-identical.
+    math::Rng data_rng(77);
+    const math::Matrix x = data_rng.uniform_matrix(9, 4, 0.0, 1.0);
+    const math::Matrix a = original.predict(x);
+    const math::Matrix b = restored.predict(x);
+    EXPECT_DOUBLE_EQ(math::max_abs_diff(a, b), 0.0);
 }
 
 // ---- nonlinear parameter: clip honors printable bounds -----------------------

@@ -7,9 +7,14 @@
 //   pnc train      --dataset iris --out model.pnn [--eps 0.1] [--learnable 0|1]
 //                  [--epochs N] [--patience N] [--hidden N] [--seed N]
 //   pnc eval       --model model.pnn --dataset iris [--eps 0.1] [--mc N]
+//                  [--fault-model stuck_open|stuck_short|stuck_at|dead_nonlinear|
+//                   drift|mixed] [--fault-rate R] [--spec A] [--fault-report f.json]
 //   pnc certify    --model model.pnn --dataset iris [--eps 0.05]
 //   pnc export     --model model.pnn [--out netlist.sp]
 //   pnc cost       --model model.pnn
+//
+// Unknown options are rejected (usage + exit code 2): a typo like
+// --fault-rte must not silently run a different experiment.
 //
 // Every command also accepts the telemetry flags (docs/OBSERVABILITY.md):
 //   --metrics-out report.json   write the run-report JSON on success
@@ -26,18 +31,27 @@
 #include <sstream>
 #include <string>
 
+#include "autodiff/ops.hpp"
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "faults/fault_report.hpp"
 #include "obs/report.hpp"
 #include "pnn/certification.hpp"
 #include "pnn/cost_analysis.hpp"
 #include "pnn/netlist_export.hpp"
+#include "pnn/robustness.hpp"
 #include "pnn/serialize.hpp"
 #include "pnn/training.hpp"
 
 using namespace pnc;
 
 namespace {
+
+/// A bad invocation (as opposed to a failed run): main prints usage and
+/// exits with code 2.
+struct UsageError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
 
 struct Args {
     std::string command;
@@ -54,21 +68,36 @@ struct Args {
     std::string require(const std::string& key) const {
         const auto it = options.find(key);
         if (it == options.end())
-            throw std::runtime_error("missing required option --" + key);
+            throw UsageError("missing required option --" + key);
         return it->second;
     }
 };
 
+/// Reject any option outside the command's allow-list (plus the global
+/// telemetry flags), so typos fail loudly instead of running a silently
+/// different experiment.
+void validate_options(const Args& args, std::initializer_list<const char*> allowed) {
+    for (const auto& [key, value] : args.options) {
+        (void)value;
+        if (key == "metrics-out" || key == "trace-out") continue;
+        bool known = false;
+        for (const char* name : allowed) known |= key == name;
+        if (!known)
+            throw UsageError("unknown option --" + key + " for command '" + args.command +
+                             "'");
+    }
+}
+
 Args parse_args(int argc, char** argv) {
     Args args;
-    if (argc < 2) throw std::runtime_error("no command given (try 'pnc help')");
+    if (argc < 2) throw UsageError("no command given (try 'pnc help')");
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string token = argv[i];
         if (token.rfind("--", 0) != 0)
-            throw std::runtime_error("expected --option, got '" + token + "'");
+            throw UsageError("expected --option, got '" + token + "'");
         token = token.substr(2);
-        if (i + 1 >= argc) throw std::runtime_error("--" + token + " needs a value");
+        if (i + 1 >= argc) throw UsageError("--" + token + " needs a value");
         args.options[token] = argv[++i];
     }
     return args;
@@ -178,11 +207,17 @@ pnn::Pnn load_model(const Args& args, const Surrogates& surrogates) {
 }
 
 int cmd_eval(const Args& args) {
+    // Reject incoherent fault flags before any expensive work.
+    const std::string fault_model_name = args.get("fault-model");
+    if (fault_model_name.empty() &&
+        (!args.get("fault-rate").empty() || !args.get("fault-report").empty()))
+        throw UsageError("--fault-rate/--fault-report need --fault-model");
+
     const auto surrogates = load_surrogates();
     const auto net = load_model(args, surrogates);
+    const std::string dataset = args.require("dataset");
     const auto split = data::split_and_normalize(
-        data::make_dataset(args.require("dataset")),
-        static_cast<std::uint64_t>(args.number("seed", 99)));
+        data::make_dataset(dataset), static_cast<std::uint64_t>(args.number("seed", 99)));
     pnn::EvalOptions options;
     options.epsilon = args.number("eps", 0.0);
     options.n_mc = static_cast<int>(args.number("mc", 100));
@@ -190,6 +225,48 @@ int cmd_eval(const Args& args) {
     std::printf("test accuracy @%.0f%% variation: %.4f +- %.4f (%zu Monte-Carlo samples)\n",
                 options.epsilon * 100, result.mean_accuracy, result.std_accuracy,
                 result.per_sample_accuracy.size());
+
+    // Optional defect campaign on top of the variation sweep.
+    if (fault_model_name.empty()) return 0;
+    const double fault_rate = args.number("fault-rate", 0.01);
+    const double spec = args.number("spec", 0.8);
+    const auto n_mc = std::max(2, static_cast<int>(args.number("mc", 100)));
+    const pnn::PnnOptions& pnn_opts = net.layer(0).options();
+    const faults::FaultDomain domain{pnn_opts.g_max, pnn_opts.bias_voltage};
+    const auto model = faults::make_fault_model(fault_model_name, fault_rate, domain);
+    const auto fault_result = pnn::estimate_yield_under_faults(
+        net, split.x_test, split.y_test, spec, options.epsilon, *model, n_mc,
+        static_cast<std::uint64_t>(args.number("seed", 777)));
+    std::printf("fault campaign (%s @ rate %.4g, %d copies): yield %.4f @ spec %.2f\n",
+                model->name().c_str(), fault_rate, n_mc, fault_result.yield.yield, spec);
+    std::printf("  accuracy mean %.4f / median %.4f / p5 %.4f / worst %.4f, "
+                "mean defects per copy %.2f\n",
+                fault_result.mean_accuracy, fault_result.yield.median_accuracy,
+                fault_result.yield.p5_accuracy, fault_result.yield.worst_accuracy,
+                fault_result.mean_fault_count);
+
+    const std::string report_path = args.get("fault-report");
+    if (!report_path.empty()) {
+        faults::FaultReport report;
+        report.tool = "pnc";
+        faults::FaultReportEntry entry;
+        entry.dataset = dataset;
+        entry.model = model->name();
+        entry.fault_rate = fault_rate;
+        entry.samples = n_mc;
+        entry.accuracy_spec = spec;
+        entry.baseline_accuracy =
+            ad::accuracy(net.predict(split.x_test), split.y_test);
+        entry.yield = fault_result.yield.yield;
+        entry.mean_accuracy = fault_result.mean_accuracy;
+        entry.p5_accuracy = fault_result.yield.p5_accuracy;
+        entry.median_accuracy = fault_result.yield.median_accuracy;
+        entry.worst_accuracy = fault_result.yield.worst_accuracy;
+        entry.mean_fault_count = fault_result.mean_fault_count;
+        report.campaigns.push_back(entry);
+        faults::write_fault_report(report_path, report);
+        std::printf("fault report written to %s\n", report_path.c_str());
+    }
     return 0;
 }
 
@@ -247,24 +324,53 @@ int cmd_help() {
     std::puts("pnc — printed neuromorphic circuit designer");
     std::puts("commands: curve fit datasets dataset train eval certify export cost help");
     std::puts("global flags: --metrics-out report.json  --trace-out trace.json");
+    std::puts("fault flags (eval): --fault-model NAME --fault-rate R --spec A "
+              "--fault-report f.json");
     std::puts("see the header of tools/pnc_cli.cpp for the option reference");
     return 0;
 }
 
 int dispatch(const Args& args) {
-    if (args.command == "curve") return cmd_curve(args);
-    if (args.command == "fit") return cmd_fit(args);
-    if (args.command == "datasets") return cmd_datasets();
-    if (args.command == "dataset") return cmd_dataset(args);
-    if (args.command == "train") return cmd_train(args);
-    if (args.command == "eval") return cmd_eval(args);
-    if (args.command == "certify") return cmd_certify(args);
-    if (args.command == "export") return cmd_export(args);
-    if (args.command == "cost") return cmd_cost(args);
+    if (args.command == "curve") {
+        validate_options(args, {"kind", "omega", "points"});
+        return cmd_curve(args);
+    }
+    if (args.command == "fit") {
+        validate_options(args, {"kind", "omega"});
+        return cmd_fit(args);
+    }
+    if (args.command == "datasets") {
+        validate_options(args, {});
+        return cmd_datasets();
+    }
+    if (args.command == "dataset") {
+        validate_options(args, {"name", "seed"});
+        return cmd_dataset(args);
+    }
+    if (args.command == "train") {
+        validate_options(args, {"dataset", "out", "eps", "mc", "learnable", "epochs",
+                                "patience", "hidden", "seed"});
+        return cmd_train(args);
+    }
+    if (args.command == "eval") {
+        validate_options(args, {"model", "dataset", "eps", "mc", "seed", "fault-model",
+                                "fault-rate", "spec", "fault-report"});
+        return cmd_eval(args);
+    }
+    if (args.command == "certify") {
+        validate_options(args, {"model", "dataset", "eps", "seed"});
+        return cmd_certify(args);
+    }
+    if (args.command == "export") {
+        validate_options(args, {"model", "out"});
+        return cmd_export(args);
+    }
+    if (args.command == "cost") {
+        validate_options(args, {"model"});
+        return cmd_cost(args);
+    }
     if (args.command == "help" || args.command == "--help") return cmd_help();
-    std::cerr << "unknown command '" << args.command << "'\n";
-    cmd_help();
-    return 2;
+    throw UsageError("unknown command '" + args.command + "'");
 }
 
 }  // namespace
@@ -298,6 +404,10 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "[obs] trace written to %s\n", obs_config.trace_out.c_str());
         }
         return rc;
+    } catch (const UsageError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        cmd_help();
+        return 2;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
