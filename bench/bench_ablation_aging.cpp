@@ -7,11 +7,13 @@
 
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "pnn/aging.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_ablation_aging", argc, argv);
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -78,8 +80,13 @@ int main() {
                                                        aging, age, printing_eps,
                                                        exp::env_int("PNC_MC_TEST", 60), 99);
             std::printf("  %.3f+-%.3f", result.mean_accuracy, result.std_accuracy);
+            const bool end_of_life = age == ages[std::size(ages) - 1];
+            if (end_of_life && setup.mode == Mode::kNominal)
+                run.headline("accuracy.nominal.end_of_life", result.mean_accuracy);
+            if (end_of_life && setup.mode == Mode::kAgingAware)
+                run.headline("accuracy.aging_aware.end_of_life", result.mean_accuracy);
         }
         std::printf("\n");
     }
-    return 0;
+    return run.finish();
 }

@@ -4,14 +4,17 @@
 // and the wall-clock cost per choice.
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "pnn/training.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_ablation_mc", argc, argv);
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -23,7 +26,9 @@ int main() {
     std::printf("%8s  %18s  %12s  %10s\n", "N_train", "test acc (mean+-std)", "train time",
                 "epochs");
 
-    for (int n_mc : {1, 2, 5, 10, 20}) {
+    std::vector<int> sweep = {1, 2, 5, 10, 20};
+    if (run.smoke()) sweep = {1, 5};
+    for (int n_mc : sweep) {
         math::Rng rng(4);
         pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
                      &act, &neg, space, rng);
@@ -41,12 +46,15 @@ int main() {
 
         pnn::EvalOptions eval;
         eval.epsilon = 0.10;
-        eval.n_mc = 100;
+        eval.n_mc = run.smoke() ? 20 : 100;
         const auto result = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
         std::printf("%8d  %9.3f +- %.3f  %10.1fs  %10d\n", n_mc, result.mean_accuracy,
                     result.std_accuracy, seconds, trained.epochs_run);
+        const std::string prefix = "nmc" + std::to_string(n_mc);
+        run.headline("accuracy." + prefix + ".mean", result.mean_accuracy);
+        run.headline("train." + prefix + ".seconds", seconds);
     }
     std::printf("\n(the paper's N_train = 20 sits on the flat part of this curve;\n"
                 " small N already buys most of the robustness)\n");
-    return 0;
+    return run.finish();
 }

@@ -4,15 +4,18 @@
 // robustness and printed component count — the accuracy/area trade-off a
 // designer would actually consult.
 #include <cstdio>
+#include <vector>
 
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "pnn/netlist_export.hpp"
 #include "pnn/training.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_ablation_topology", argc, argv);
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -23,7 +26,9 @@ int main() {
                 "variation-aware @10%%\n\n");
     std::printf("%8s  %20s  %12s\n", "hidden", "test acc (mean+-std)", "components");
 
-    for (std::size_t hidden : {2u, 3u, 4u, 6u, 8u}) {
+    std::vector<std::size_t> widths = {2, 3, 4, 6, 8};
+    if (run.smoke()) widths = {2, 3};
+    for (std::size_t hidden : widths) {
         math::Rng rng(12);
         pnn::Pnn net({split.n_features(), hidden, static_cast<std::size_t>(split.n_classes)},
                      &act, &neg, space, rng);
@@ -38,11 +43,15 @@ int main() {
 
         pnn::EvalOptions eval;
         eval.epsilon = 0.10;
-        eval.n_mc = 100;
+        eval.n_mc = run.smoke() ? 20 : 100;
         const auto result = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
         const auto design = pnn::extract_design(net);
         std::printf("%8zu  %11.3f +- %.3f  %12zu\n", hidden, result.mean_accuracy,
                     result.std_accuracy, design.component_count());
+        const std::string prefix = "hidden" + std::to_string(hidden);
+        run.headline("accuracy." + prefix + ".mean", result.mean_accuracy);
+        run.headline(prefix + ".components",
+                     static_cast<double>(design.component_count()));
     }
-    return 0;
+    return run.finish();
 }

@@ -7,12 +7,14 @@
 
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "pnn/certification.hpp"
 #include "pnn/training.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_certified", argc, argv);
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -57,10 +59,16 @@ int main() {
             cert_options.epsilon = eps;
             const auto cert = pnn::certify(net, split.x_test, split.y_test, cert_options);
             std::printf("  %.3f  ", cert.certified_accuracy);
+            if (eps == 0.10) {
+                if (&setup == &setups[0])
+                    run.headline("certified.baseline.eps10", cert.certified_accuracy);
+                if (&setup == &setups[3])
+                    run.headline("certified.full.eps10", cert.certified_accuracy);
+            }
         }
         std::printf("\n");
     }
     std::printf("\n(variation-aware training should certify more at every eps — its\n"
                 " decision margins are wider by construction)\n");
-    return 0;
+    return run.finish();
 }

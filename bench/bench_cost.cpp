@@ -5,14 +5,18 @@
 // of the resulting bespoke design.
 #include <cstdio>
 
+#include <vector>
+
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "pnn/cost_analysis.hpp"
 #include "pnn/training.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_cost", argc, argv);
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -22,7 +26,10 @@ int main() {
     std::printf("%-26s %10s %12s %12s %14s\n", "dataset", "topology", "components",
                 "power (uW)", "latency (ms)");
 
-    for (const char* name : {"iris", "seeds", "vertebral_2c", "tictactoe_endgame"}) {
+    std::vector<const char*> datasets = {"iris", "seeds", "vertebral_2c",
+                                         "tictactoe_endgame"};
+    if (run.smoke()) datasets = {"iris", "seeds"};
+    for (const char* name : datasets) {
         const auto split = data::split_and_normalize(data::make_dataset(name), 13);
         math::Rng rng(6);
         pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
@@ -47,9 +54,13 @@ int main() {
                       split.n_classes);
         std::printf("%-26s %10s %12zu %12.1f %14.2f\n", name, topology, cost.components,
                     cost.total_watts * 1e6, cost.latency_seconds * 1e3);
+        const std::string prefix = std::string("cost.") + name;
+        run.headline(prefix + ".components", static_cast<double>(cost.components));
+        run.headline(prefix + ".watts", cost.total_watts);
+        run.headline(prefix + ".latency_ms", cost.latency_seconds * 1e3);
     }
     std::printf("\n(dozens of printed components per classifier; power is dominated by the\n"
                 " Ohm-range gate dividers of the nonlinear circuits, latency by the\n"
                 " electrolyte gate capacitances — both direct consequences of Table I)\n");
-    return 0;
+    return run.finish();
 }

@@ -1,0 +1,310 @@
+// pnc-bench: the unified suite driver of the regression observatory.
+//
+// Runs the declarative registry of bench binaries below (all of them, or a
+// --filter subset) as child processes, measures wall-clock and peak RSS per
+// bench (wait4 rusage), collects each bench's pnc-headline/1 side file, and
+// writes ONE consolidated pnc-bench-suite/1 artifact:
+//
+//   pnc-bench --smoke                 # cheap tier, BENCH_<utc>.json in artifacts/
+//   pnc report check --baseline baselines/ci.json   # gate on it (exit 3)
+//
+// Child stdout/stderr land in per-bench log files next to the artifact so a
+// regression can be chased without re-running the suite. Build/machine meta
+// (git sha, compiler, flags, threads) is baked in via compile definitions so
+// two artifacts can always be traced back to what produced them.
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/utsname.h>
+#include <sys/wait.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
+#include "obs/baseline.hpp"
+
+#ifndef PNC_GIT_SHA
+#define PNC_GIT_SHA "unknown"
+#endif
+#ifndef PNC_COMPILER
+#define PNC_COMPILER "unknown"
+#endif
+#ifndef PNC_CXX_FLAGS
+#define PNC_CXX_FLAGS ""
+#endif
+
+using namespace pnc;
+
+namespace {
+
+struct BenchSpec {
+    const char* name;        ///< short name used in --filter and the suite doc
+    const char* binary;      ///< executable next to the driver
+    bool needs_surrogate;    ///< gets the in-process cache pre-warm
+};
+
+// Declarative suite registry. table2 runs before table3 on purpose: table3
+// reuses table2's result cache and would otherwise re-run the whole grid.
+const BenchSpec kBenches[] = {
+    {"fig2", "bench_fig2", false},
+    {"fig4", "bench_fig4", false},
+    {"micro_circuit", "bench_micro_circuit", false},
+    {"micro_training", "bench_micro_training", false},
+    {"table2", "bench_table2", true},
+    {"table3", "bench_table3", true},
+    {"ablation_mc", "bench_ablation_mc", true},
+    {"ablation_topology", "bench_ablation_topology", true},
+    {"ablation_aging", "bench_ablation_aging", true},
+    {"cost", "bench_cost", true},
+    {"reference", "bench_reference", true},
+    {"yield", "bench_yield", true},
+    {"certified", "bench_certified", true},
+    {"fault_yield", "bench_fault_yield", true},
+    {"parallel_scaling", "bench_parallel_scaling", true},
+};
+
+[[noreturn]] void usage(int rc) {
+    std::fprintf(
+        rc == 0 ? stdout : stderr,
+        "usage: pnc-bench [--smoke | --full] [--filter SUBSTR] [--list]\n"
+        "                 [--out FILE] [--bench-dir DIR]\n"
+        "\n"
+        "Runs the bench suite and writes one pnc-bench-suite/1 artifact\n"
+        "(default: $PNC_ARTIFACTS/BENCH_<utc>.json) plus per-bench logs.\n"
+        "  --smoke       cheap tier: PNC_SMOKE=1 for every bench\n"
+        "  --full        full tier (default)\n"
+        "  --filter S    only benches whose name contains S\n"
+        "  --list        print the registry and exit\n"
+        "  --out FILE    artifact path\n"
+        "  --bench-dir D directory holding the bench binaries\n"
+        "                (default: the driver's own directory)\n");
+    std::exit(rc);
+}
+
+std::string dirname_of(const std::string& path) {
+    const auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+std::string utc_stamp() {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y%m%d-%H%M%S", &tm);
+    return buf;
+}
+
+struct ChildResult {
+    int exit_code = 0;
+    double wall_seconds = 0.0;
+    double peak_rss_kb = 0.0;
+};
+
+/// fork/exec one bench with stdout+stderr redirected to `log_path` and the
+/// headline side file requested via PNC_HEADLINE_OUT. wait4 gives peak RSS.
+ChildResult run_child(const std::string& binary, const std::string& log_path,
+                      const std::string& headline_path, bool smoke) {
+    const auto start = std::chrono::steady_clock::now();
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::perror("pnc-bench: fork");
+        return {127, 0.0, 0.0};
+    }
+    if (pid == 0) {
+        const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, STDOUT_FILENO);
+            ::dup2(fd, STDERR_FILENO);
+            if (fd > STDERR_FILENO) ::close(fd);
+        }
+        ::setenv("PNC_HEADLINE_OUT", headline_path.c_str(), 1);
+        if (smoke) ::setenv("PNC_SMOKE", "1", 1);
+        ::execl(binary.c_str(), binary.c_str(), static_cast<char*>(nullptr));
+        std::fprintf(stderr, "pnc-bench: cannot exec %s: %s\n", binary.c_str(),
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    struct rusage ru {};
+    int status = 0;
+    ::wait4(pid, &status, 0, &ru);
+    ChildResult result;
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    result.peak_rss_kb = static_cast<double>(ru.ru_maxrss);  // Linux: kilobytes
+    if (WIFEXITED(status))
+        result.exit_code = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        result.exit_code = 128 + WTERMSIG(status);
+    else
+        result.exit_code = 126;
+    return result;
+}
+
+/// Read a bench's pnc-headline/1 side file into `bench.metrics`.
+/// Returns "" on success, else the reason the headline was unusable.
+std::string read_headline(const std::string& path, obs::BenchResult& bench) {
+    std::ifstream is(path);
+    if (!is) return "bench wrote no headline file";
+    std::stringstream ss;
+    ss << is.rdbuf();
+    try {
+        const auto doc = obs::json::Value::parse(ss.str());
+        if (const std::string err = obs::validate_headline(doc); !err.empty())
+            return "invalid headline: " + err;
+        for (const auto& [name, value] : doc.find("metrics")->members())
+            bench.metrics.emplace_back(name, value.as_number());
+    } catch (const std::exception& e) {
+        return std::string("unparseable headline: ") + e.what();
+    }
+    return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    bool list = false;
+    std::string filter, out_path;
+    std::string bench_dir = dirname_of(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "pnc-bench: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--smoke") smoke = true;
+        else if (arg == "--full") smoke = false;
+        else if (arg == "--filter") filter = value();
+        else if (arg == "--list") list = true;
+        else if (arg == "--out") out_path = value();
+        else if (arg == "--bench-dir") bench_dir = value();
+        else if (arg == "--help" || arg == "-h") usage(0);
+        else {
+            std::fprintf(stderr, "pnc-bench: unknown argument '%s'\n", arg.c_str());
+            usage(2);
+        }
+    }
+
+    std::vector<const BenchSpec*> selected;
+    for (const auto& spec : kBenches)
+        if (filter.empty() || std::string(spec.name).find(filter) != std::string::npos)
+            selected.push_back(&spec);
+    if (list) {
+        for (const auto* spec : selected)
+            std::printf("%-20s %s%s\n", spec->name, spec->binary,
+                        spec->needs_surrogate ? "  (surrogate)" : "");
+        return 0;
+    }
+    if (selected.empty()) {
+        std::fprintf(stderr, "pnc-bench: --filter '%s' matches nothing\n", filter.c_str());
+        return 1;
+    }
+
+    const std::string stamp = utc_stamp();
+    const std::string art_dir = exp::artifact_dir();
+    if (out_path.empty()) out_path = art_dir + "/BENCH_" + stamp + ".json";
+    const std::string log_dir = art_dir + "/bench_logs";
+    ::mkdir(log_dir.c_str(), 0755);
+
+    // Pre-warm the surrogate cache in-process so the first surrogate-using
+    // bench is not charged the one-off build cost (minutes at full scale).
+    if (smoke) exp::apply_smoke_env_defaults();
+    double prewarm_seconds = 0.0;
+    for (const auto* spec : selected) {
+        if (!spec->needs_surrogate) continue;
+        std::printf("pnc-bench: pre-warming surrogate cache...\n");
+        std::fflush(stdout);
+        const auto t0 = std::chrono::steady_clock::now();
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+        prewarm_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        break;
+    }
+
+    obs::BenchSuite suite;
+    struct utsname uts {};
+    ::uname(&uts);
+    const char* threads_env = std::getenv("PNC_NUM_THREADS");
+    char buf[64];
+    suite.meta.emplace_back("tool", "pnc-bench");
+    suite.meta.emplace_back("tier", smoke ? "smoke" : "full");
+    suite.meta.emplace_back("created_utc", stamp);
+    suite.meta.emplace_back("git_sha", PNC_GIT_SHA);
+    suite.meta.emplace_back("compiler", PNC_COMPILER);
+    suite.meta.emplace_back("cxx_flags", PNC_CXX_FLAGS);
+    suite.meta.emplace_back("threads", threads_env && *threads_env ? threads_env : "default");
+    suite.meta.emplace_back("machine", std::string(uts.sysname) + " " + uts.machine);
+    std::snprintf(buf, sizeof buf, "%.3f", prewarm_seconds);
+    suite.meta.emplace_back("prewarm_seconds", buf);
+
+    int failures = 0;
+    std::printf("pnc-bench: %zu benches, %s tier\n%-20s %10s %12s %10s  %s\n",
+                selected.size(), smoke ? "smoke" : "full", "bench", "exit",
+                "wall (s)", "rss (MB)", "headline");
+    for (const auto* spec : selected) {
+        std::fflush(stdout);
+        const std::string binary = bench_dir + "/" + spec->binary;
+        const std::string log_path = log_dir + "/" + spec->name + ".log";
+        const std::string headline_path = log_dir + "/" + spec->name + ".headline.json";
+        ::unlink(headline_path.c_str());
+        const ChildResult child = run_child(binary, log_path, headline_path, smoke);
+
+        obs::BenchResult bench;
+        bench.name = spec->name;
+        bench.exit_code = child.exit_code;
+        bench.wall_seconds = child.wall_seconds;
+        bench.peak_rss_kb = child.peak_rss_kb;
+        std::string note;
+        if (child.exit_code == 0)
+            note = read_headline(headline_path, bench);
+        else
+            note = "failed, see " + log_path;
+        if (child.exit_code != 0 || (note.empty() && bench.metrics.empty()))
+            ++failures;  // a bench with zero headlines cannot be gated
+        if (!note.empty() && child.exit_code == 0) ++failures;
+        std::printf("%-20s %10d %12.2f %10.1f  %s\n", spec->name, bench.exit_code,
+                    bench.wall_seconds, bench.peak_rss_kb / 1024.0,
+                    note.empty() ? std::to_string(bench.metrics.size()).append(" metrics")
+                                       .c_str()
+                                 : note.c_str());
+        suite.benches.push_back(std::move(bench));
+    }
+
+    const auto doc = obs::bench_suite_document(suite);
+    if (const std::string err = obs::validate_bench_suite(doc); !err.empty()) {
+        std::fprintf(stderr, "pnc-bench: artifact failed self-validation: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    std::ofstream os(out_path);
+    os << doc.dump() << "\n";
+    if (!os) {
+        std::fprintf(stderr, "pnc-bench: cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("pnc-bench: wrote %s (schema pnc-bench-suite/1, logs in %s)\n",
+                out_path.c_str(), log_dir.c_str());
+    if (failures) {
+        std::fprintf(stderr, "pnc-bench: %d bench(es) failed or had no headline\n",
+                     failures);
+        return 1;
+    }
+    return 0;
+}

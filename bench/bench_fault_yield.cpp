@@ -7,6 +7,7 @@
 //
 // Knobs: PNC_EPOCHS, PNC_MC_TEST (campaign copies), PNC_FAULT_RATE,
 // PNC_YIELD_SPEC, PNC_FAULT_DATASETS (comma list).
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "autodiff/ops.hpp"
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "faults/fault_report.hpp"
 #include "pnn/robustness.hpp"
 #include "pnn/training.hpp"
@@ -33,7 +35,8 @@ std::vector<std::string> parse_list(const std::string& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_fault_yield", argc, argv);
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -108,5 +111,16 @@ int main() {
         return 1;
     }
     std::printf("\nreport written to %s (schema pnc-fault-report/1)\n", out.c_str());
-    return 0;
+
+    double yield_sum = 0.0, worst_yield = 1.0;
+    for (const auto& entry : report.campaigns) {
+        yield_sum += entry.yield;
+        worst_yield = std::min(worst_yield, entry.yield);
+    }
+    if (!report.campaigns.empty()) {
+        run.headline("yield.mean", yield_sum / static_cast<double>(report.campaigns.size()));
+        run.headline("yield.worst", worst_yield);
+        run.headline("campaigns.count", static_cast<double>(report.campaigns.size()));
+    }
+    return run.finish();
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "circuit/nonlinear_circuit.hpp"
+#include "exp/bench_support.hpp"
 #include "surrogate/design_space.hpp"
 
 using namespace pnc;
@@ -46,7 +47,8 @@ void print_family(circuit::NonlinearCircuitKind kind, const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_fig2", argc, argv);
     const auto space = surrogate::DesignSpace::table1();
     print_design_space(space);
 
@@ -59,7 +61,8 @@ int main() {
         circuit::default_omega(circuit::NonlinearCircuitKind::kPtanh)};
     std::vector<circuit::Omega> neg_family = {
         circuit::default_omega(circuit::NonlinearCircuitKind::kNegativeWeight)};
-    for (const auto& omega : space.sample_batch(sobol, 64)) {
+    const int budget = run.smoke() ? 16 : 64;
+    for (const auto& omega : space.sample_batch(sobol, budget)) {
         const auto curve =
             circuit::simulate_characteristic(omega, circuit::NonlinearCircuitKind::kPtanh, 21);
         if (curve.swing() > 0.4 && ptanh_family.size() < 5) ptanh_family.push_back(omega);
@@ -72,5 +75,18 @@ int main() {
     print_family(circuit::NonlinearCircuitKind::kPtanh, "left: ptanh circuit", ptanh_family);
     print_family(circuit::NonlinearCircuitKind::kNegativeWeight,
                  "right: negative weight circuit", neg_family);
-    return 0;
+
+    // Headlines: output swing of the default designs — a deterministic probe
+    // of the DC solver + netlist (drift here means the circuit model moved).
+    const auto ptanh_curve = circuit::simulate_characteristic(
+        circuit::default_omega(circuit::NonlinearCircuitKind::kPtanh),
+        circuit::NonlinearCircuitKind::kPtanh, 21);
+    const auto neg_curve = circuit::simulate_characteristic(
+        circuit::default_omega(circuit::NonlinearCircuitKind::kNegativeWeight),
+        circuit::NonlinearCircuitKind::kNegativeWeight, 21);
+    run.headline("swing.ptanh_default", ptanh_curve.swing());
+    run.headline("swing.neg_default", neg_curve.swing());
+    run.headline("family.ptanh_curves", static_cast<double>(ptanh_family.size()));
+    run.headline("family.neg_curves", static_cast<double>(neg_family.size()));
+    return run.finish();
 }

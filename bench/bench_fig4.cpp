@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "math/stats.hpp"
 #include "surrogate/surrogate_model.hpp"
 
@@ -17,7 +18,7 @@ using namespace pnc;
 
 namespace {
 
-void fit_demo(circuit::NonlinearCircuitKind kind, const char* name) {
+double fit_demo(circuit::NonlinearCircuitKind kind, const char* name) {
     const auto space = surrogate::DesignSpace::table1();
     math::SobolSequence sobol(surrogate::DesignSpace::kDimension);
     sobol.skip(33);
@@ -38,12 +39,14 @@ void fit_demo(circuit::NonlinearCircuitKind kind, const char* name) {
                     fit::evaluate_characteristic(fit.eta, curve.vin[i], kind));
     std::printf("fitted eta = [%.4f %.4f %.4f %.4f], RMSE = %.5f\n\n", fit.eta.eta1,
                 fit.eta.eta2, fit.eta.eta3, fit.eta.eta4, fit.rmse);
+    return fit.rmse;
 }
 
-void surrogate_scatter(circuit::NonlinearCircuitKind kind, const char* name) {
+void surrogate_scatter(circuit::NonlinearCircuitKind kind, const char* name,
+                       const char* key, exp::BenchRun& run) {
     // Rebuild a dataset at bench scale and retrain a surrogate while keeping
     // the train/val/test partition visible (the cached artifact hides it).
-    const int samples = exp::env_int("PNC_FIG4_SAMPLES", 2000);
+    const int samples = exp::env_int("PNC_FIG4_SAMPLES", run.smoke() ? 250 : 2000);
     surrogate::DatasetBuildOptions build;
     build.samples = static_cast<std::size_t>(samples);
     build.sweep_points = 32;
@@ -52,11 +55,13 @@ void surrogate_scatter(circuit::NonlinearCircuitKind kind, const char* name) {
 
     double rmse_sum = 0.0;
     for (double r : dataset.fit_rmse) rmse_sum += r;
+    const double mean_rmse = rmse_sum / static_cast<double>(dataset.size());
     std::printf("FIG 4 left (%s) aggregate: mean fit RMSE over %zu sampled circuits = %.5f\n",
-                name, dataset.size(), rmse_sum / static_cast<double>(dataset.size()));
+                name, dataset.size(), mean_rmse);
+    run.headline(std::string("fit.") + key + ".rmse", mean_rmse);
 
     surrogate::SurrogateTrainOptions train;
-    train.mlp.max_epochs = exp::env_int("PNC_FIG4_EPOCHS", 2500);
+    train.mlp.max_epochs = exp::env_int("PNC_FIG4_EPOCHS", run.smoke() ? 400 : 2500);
     train.mlp.patience = 400;
     surrogate::SurrogateMetrics metrics;
     const auto model = surrogate::SurrogateModel::train(dataset, train, &metrics);
@@ -85,23 +90,29 @@ void surrogate_scatter(circuit::NonlinearCircuitKind kind, const char* name) {
                 prediction.push_back(pred(0, c));
             }
         }
+        const double r2 = math::r_squared(truth, prediction);
         std::printf("%-12s %8zu %10.4f %10.4f\n", split, (end - begin),
-                    math::pearson_correlation(truth, prediction),
-                    math::r_squared(truth, prediction));
+                    math::pearson_correlation(truth, prediction), r2);
+        return r2;
     };
     report("train", 0, n_train);
     report("validation", n_train, n_train + n_val);
-    report("test", n_train + n_val, dataset.size());
+    const double test_r2 = report("test", n_train + n_val, dataset.size());
+    run.headline(std::string("surrogate.") + key + ".test_r2", test_r2);
     std::printf("surrogate training: %d epochs, val MSE %.5f, test MSE %.5f\n\n",
                 metrics.epochs_run, metrics.validation_mse, metrics.test_mse);
 }
 
 }  // namespace
 
-int main() {
-    fit_demo(circuit::NonlinearCircuitKind::kPtanh, "ptanh");
-    fit_demo(circuit::NonlinearCircuitKind::kNegativeWeight, "negative weight");
-    surrogate_scatter(circuit::NonlinearCircuitKind::kPtanh, "ptanh");
-    surrogate_scatter(circuit::NonlinearCircuitKind::kNegativeWeight, "negative weight");
-    return 0;
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_fig4", argc, argv);
+    run.headline("fit.ptanh.demo_rmse",
+                 fit_demo(circuit::NonlinearCircuitKind::kPtanh, "ptanh"));
+    run.headline("fit.neg.demo_rmse",
+                 fit_demo(circuit::NonlinearCircuitKind::kNegativeWeight, "negative weight"));
+    surrogate_scatter(circuit::NonlinearCircuitKind::kPtanh, "ptanh", "ptanh", run);
+    surrogate_scatter(circuit::NonlinearCircuitKind::kNegativeWeight, "negative weight",
+                      "neg", run);
+    return run.finish();
 }

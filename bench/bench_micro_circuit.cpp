@@ -7,6 +7,7 @@
 #include "circuit/crossbar.hpp"
 #include "circuit/nonlinear_circuit.hpp"
 #include "fit/ptanh_fit.hpp"
+#include "micro_support.hpp"
 
 using namespace pnc;
 
@@ -70,4 +71,6 @@ BENCHMARK(BM_SimulateAndFit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return pnc::bench::run_micro_benchmarks("bench_micro_circuit", argc, argv);
+}

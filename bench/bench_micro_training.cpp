@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "data/registry.hpp"
+#include "micro_support.hpp"
 #include "pnn/training.hpp"
 #include "surrogate/surrogate_model.hpp"
 
@@ -92,4 +93,6 @@ BENCHMARK(BM_PnnEpoch)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return pnc::bench::run_micro_benchmarks("bench_micro_training", argc, argv);
+}

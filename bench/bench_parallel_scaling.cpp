@@ -12,6 +12,7 @@
 
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "obs/report.hpp"
 #include "pnn/robustness.hpp"
 #include "runtime/thread_pool.hpp"
@@ -34,7 +35,8 @@ double best_of_ms(int reps, const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_parallel_scaling", argc, argv);
     // Telemetry is opt-in (PNC_OBS=1): this bench exists to measure the MC
     // hot loops, and the per-sample clock reads would skew the timings.
     const bool observed = exp::env_int("PNC_OBS", 0) != 0;
@@ -73,7 +75,9 @@ int main() {
     double eval_baseline_ms = 0.0, yield_baseline_ms = 0.0;
     double reference_mean = 0.0;
     bool bit_identical = true;
-    for (std::size_t threads : {1, 2, 4, 8}) {
+    std::vector<std::size_t> thread_sweep = {1, 2, 4, 8};
+    if (run.smoke()) thread_sweep = {1, 2};
+    for (std::size_t threads : thread_sweep) {
         runtime::set_global_threads(threads);
 
         pnn::EvalResult result;  // warmup + correctness probe
@@ -100,6 +104,10 @@ int main() {
                     eval_speedup, yield_ms, yield_speedup, result.mean_accuracy);
         csv << threads << ',' << eval_ms << ',' << eval_speedup << ',' << yield_ms << ','
             << yield_speedup << ',' << result.mean_accuracy << '\n';
+        const std::string t = "t" + std::to_string(threads);
+        run.headline("eval." + t + ".ms", eval_ms);
+        run.headline("eval." + t + ".speedup", eval_speedup);
+        if (threads == 1) run.headline("accuracy.eval.mean", result.mean_accuracy);
     }
     runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
 
@@ -120,5 +128,6 @@ int main() {
     } else {
         std::printf("(set PNC_OBS=1 to capture a telemetry run report)\n");
     }
-    return bit_identical ? 0 : 1;
+    const int headline_rc = run.finish();
+    return bit_identical ? headline_rc : 1;
 }

@@ -5,14 +5,18 @@
 // most of that gap.
 #include <cstdio>
 
+#include <vector>
+
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
 #include "exp/baselines.hpp"
+#include "exp/bench_support.hpp"
 #include "pnn/training.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_reference", argc, argv);
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -21,9 +25,11 @@ int main() {
     std::printf("REFERENCE baselines vs the full pNN method (nominal test accuracy)\n\n");
     std::printf("%-26s %10s %12s %14s\n", "dataset", "majority", "float NN", "pNN (full)");
 
-    for (const char* name :
-         {"iris", "seeds", "breast_cancer", "vertebral_3c", "tictactoe_endgame",
-          "balance_scale"}) {
+    std::vector<const char*> datasets = {"iris",          "seeds",
+                                         "breast_cancer", "vertebral_3c",
+                                         "tictactoe_endgame", "balance_scale"};
+    if (run.smoke()) datasets = {"iris", "seeds"};
+    for (const char* name : datasets) {
         auto split = data::split_and_normalize(data::make_dataset(name), 47);
         const auto baseline = exp::run_baselines(split);
 
@@ -43,9 +49,12 @@ int main() {
 
         std::printf("%-26s %10.3f %12.3f %14.3f\n", name, baseline.majority_accuracy,
                     baseline.float_nn_accuracy, result.mean_accuracy);
+        const std::string prefix = std::string("accuracy.") + name;
+        run.headline(prefix + ".pnn", result.mean_accuracy);
+        run.headline(prefix + ".float_nn", baseline.float_nn_accuracy);
     }
     std::printf("\n(the bespoke analog circuit should sit close to the float ceiling on\n"
                 " these small tasks despite conductance range limits, convex-combination\n"
                 " weights and circuit nonlinearities)\n");
-    return 0;
+    return run.finish();
 }

@@ -11,12 +11,14 @@
 #include <string>
 
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "exp/experiment.hpp"
 #include "obs/report.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_table2", argc, argv);
     // Telemetry is opt-in (PNC_OBS=1): the per-sample clock reads would
     // otherwise sit inside the very loops whose wall-clock this bench
     // reports. The run report lands next to the result cache.
@@ -47,6 +49,16 @@ int main() {
     exp::print_table2(std::cout, results, config);
     std::cout << "\n(total experiment time " << elapsed << "s)\n";
 
+    // Headlines: the Table III corner cells (baseline vs full method) at
+    // both test variation levels, plus the experiment wall-clock.
+    for (int e = 0; e < 2; ++e) {
+        const std::string eps = e == 0 ? "eps5" : "eps10";
+        run.headline("accuracy.baseline." + eps + ".mean", results.average[0][0][e].mean);
+        run.headline("accuracy.full." + eps + ".mean", results.average[1][1][e].mean);
+        run.headline("std.full." + eps, results.average[1][1][e].stddev);
+    }
+    run.headline("experiment.seconds", elapsed);
+
     results.save_file(exp::artifact_dir() + "/table_results.txt");
     if (observed) {
         obs::RunMeta meta;
@@ -63,5 +75,5 @@ int main() {
     } else {
         std::cout << "(set PNC_OBS=1 to capture a telemetry run report)\n";
     }
-    return 0;
+    return run.finish();
 }

@@ -6,12 +6,14 @@
 #include <string>
 
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "exp/experiment.hpp"
 #include "obs/report.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_table3", argc, argv);
     // Telemetry is opt-in (PNC_OBS=1) so timings stay instrumentation-free.
     const bool observed = exp::env_int("PNC_OBS", 0) != 0;
     obs::set_enabled(observed);
@@ -45,6 +47,12 @@ int main() {
                   << acc_gain << "% and robustness (std reduction) by " << robustness_gain
                   << "% vs the baseline (paper: " << (e == 0 ? "19% / 73%" : "26% / 75%")
                   << ")\n";
+        const std::string eps = e == 0 ? "eps5" : "eps10";
+        // "gain" names avoid the accuracy classifier on purpose: percent-scale
+        // deltas are too noisy for the absolute accuracy gate.
+        run.headline("gain." + eps + ".acc_pct", acc_gain);
+        run.headline("gain." + eps + ".robust_pct", robustness_gain);
+        run.headline("accuracy.full." + eps + ".mean", full[e].mean);
     }
     if (observed) {
         obs::RunMeta meta;
@@ -59,5 +67,5 @@ int main() {
     } else {
         std::cout << "\n(set PNC_OBS=1 to capture a telemetry run report)\n";
     }
-    return 0;
+    return run.finish();
 }

@@ -7,11 +7,13 @@
 
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
 #include "pnn/robustness.hpp"
 
 using namespace pnc;
 
-int main() {
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_yield", argc, argv);
     const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
     const auto neg =
         exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
@@ -57,6 +59,12 @@ int main() {
         std::printf("%-34s %7.1f%% %8.3f %8.3f %8.3f %12.3f\n", setup.name,
                     result.yield * 100.0, result.p5_accuracy, result.median_accuracy,
                     result.worst_accuracy, corner);
+        if (&setup == &setups[0]) run.headline("yield.baseline", result.yield);
+        if (&setup == &setups[3]) {
+            run.headline("yield.full", result.yield);
+            run.headline("yield.full.p5_accuracy", result.p5_accuracy);
+            run.headline("yield.full.corner_accuracy", corner);
+        }
     }
-    return 0;
+    return run.finish();
 }

@@ -1,0 +1,60 @@
+// Shared main() body of the google-benchmark micro benches: BenchRun flag
+// parsing (--smoke / --headline-out) layered under benchmark's own flags,
+// plus a reporter that mirrors every benchmark's real time into the
+// pnc-headline/1 side file so the suite driver can diff micro timings too.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/bench_support.hpp"
+
+namespace pnc::bench {
+
+class HeadlineReporter : public benchmark::ConsoleReporter {
+public:
+    explicit HeadlineReporter(exp::BenchRun* run) : run_(run) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const auto& r : runs) {
+            if (r.error_occurred) continue;
+            // "BM_CrossbarClosedForm/64" -> "BM_CrossbarClosedForm.64.real_ns"
+            std::string name = r.benchmark_name();
+            for (char& c : name)
+                if (c == '/' || c == ':') c = '.';
+            run_->headline(name + ".real_ns", r.GetAdjustedRealTime());
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+private:
+    exp::BenchRun* run_;
+};
+
+/// The whole micro-bench main: parse BenchRun flags (unknowns pass through
+/// to benchmark::Initialize), shrink --smoke runs via benchmark_min_time,
+/// run everything, write the headline file.
+inline int run_micro_benchmarks(const char* tool, int argc, char** argv) {
+    auto run = exp::BenchRun::init(tool, argc, argv, /*allow_passthrough=*/true);
+    std::vector<std::string> args = {tool};
+    // v1.7 flag syntax (plain seconds); placed first so an explicit
+    // passthrough --benchmark_min_time still wins.
+    if (run.smoke()) args.emplace_back("--benchmark_min_time=0.01");
+    for (const auto& arg : run.passthrough()) args.push_back(arg);
+
+    std::vector<char*> cargv;
+    cargv.reserve(args.size());
+    for (auto& arg : args) cargv.push_back(arg.data());
+    int cargc = static_cast<int>(cargv.size());
+    benchmark::Initialize(&cargc, cargv.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 2;
+
+    HeadlineReporter reporter(&run);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return run.finish();
+}
+
+}  // namespace pnc::bench

@@ -1,0 +1,79 @@
+#include "exp/bench_support.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "exp/artifacts.hpp"
+#include "obs/baseline.hpp"
+
+namespace pnc::exp {
+
+void apply_smoke_env_defaults() {
+    // overwrite=0 everywhere: an explicit PNC_* in the environment (a user
+    // tuning one knob, or the CI matrix) always beats the smoke profile.
+    static const std::pair<const char*, const char*> kProfile[] = {
+        {"PNC_SEEDS", "1"},
+        {"PNC_EPOCHS", "30"},
+        {"PNC_PATIENCE", "10"},
+        {"PNC_MC_TRAIN", "2"},
+        {"PNC_MC_TEST", "8"},
+        {"PNC_MC_YIELD", "8"},
+        {"PNC_MAX_TRAIN", "200"},
+        {"PNC_DATASETS", "iris,seeds"},
+        {"PNC_FAULT_DATASETS", "iris"},
+        {"PNC_BENCH_REPS", "1"},
+        {"PNC_SURROGATE_SAMPLES", "120"},
+        {"PNC_SURROGATE_EPOCHS", "150"},
+    };
+    for (const auto& [name, value] : kProfile) ::setenv(name, value, 0);
+}
+
+BenchRun BenchRun::init(std::string tool, int argc, char** argv, bool allow_passthrough) {
+    BenchRun run;
+    run.tool_ = std::move(tool);
+    run.smoke_ = env_int("PNC_SMOKE", 0) != 0;
+    run.headline_out_ = env_string("PNC_HEADLINE_OUT", "");
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            run.smoke_ = true;
+        } else if (arg == "--headline-out") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --headline-out needs a path\n",
+                             run.tool_.c_str());
+                std::exit(2);
+            }
+            run.headline_out_ = argv[++i];
+        } else if (allow_passthrough) {
+            run.passthrough_.push_back(arg);
+        } else {
+            std::fprintf(stderr,
+                         "%s: unknown argument '%s'\n"
+                         "usage: %s [--smoke] [--headline-out headline.json]\n",
+                         run.tool_.c_str(), arg.c_str(), run.tool_.c_str());
+            std::exit(2);
+        }
+    }
+    if (run.smoke_) apply_smoke_env_defaults();
+    return run;
+}
+
+void BenchRun::headline(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+}
+
+int BenchRun::finish() {
+    if (headline_out_.empty()) return 0;
+    const auto doc = obs::headline_document(tool_, smoke_, metrics_);
+    std::ofstream os(headline_out_);
+    if (os) os << doc.dump() << "\n";
+    if (!os) {
+        std::fprintf(stderr, "%s: cannot write headline file %s\n", tool_.c_str(),
+                     headline_out_.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace pnc::exp

@@ -1,0 +1,59 @@
+// Shared command-line surface of the bench binaries, used by every
+// bench_*.cpp and by the pnc-bench suite driver.
+//
+// Every bench accepts:
+//   --smoke             cheap tier: applies the shared reduced-knob
+//                       environment profile (setenv without overwrite, so
+//                       explicit PNC_* variables still win) and lets the
+//                       bench shrink its own sweeps via BenchRun::smoke()
+//   --headline-out F    write the bench's headline numbers as a
+//                       pnc-headline/1 JSON document (the driver reads it
+//                       back into the consolidated suite artifact)
+//
+// PNC_SMOKE=1 / PNC_HEADLINE_OUT are the env equivalents — the driver uses
+// the latter so it never has to guess a bench's flag syntax.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pnc::exp {
+
+/// Apply the smoke-tier PNC_* env profile (no overwrite): one seed, tiny
+/// epoch/patience budgets, few MC samples, two datasets, the 120-sample
+/// surrogate. Shared by --smoke and the suite driver.
+void apply_smoke_env_defaults();
+
+class BenchRun {
+public:
+    /// Parse a bench binary's argv. Unknown arguments are rejected with
+    /// usage + exit(2) unless `allow_passthrough` (the google-benchmark
+    /// micro benches forward theirs to benchmark::Initialize).
+    static BenchRun init(std::string tool, int argc, char** argv,
+                         bool allow_passthrough = false);
+
+    bool smoke() const { return smoke_; }
+    const std::string& tool() const { return tool_; }
+
+    /// Arguments init() did not recognize (allow_passthrough only).
+    const std::vector<std::string>& passthrough() const { return passthrough_; }
+
+    /// Record one headline number (accuracy, yield, samples/sec, ...).
+    /// Names use the metric-catalogue dot style, e.g. "accuracy.iris.mean".
+    void headline(const std::string& name, double value);
+
+    /// Write the pnc-headline/1 document when --headline-out (or
+    /// PNC_HEADLINE_OUT) asked for one. Returns the bench's exit code
+    /// contribution: 0, or 1 when the write failed.
+    int finish();
+
+private:
+    std::string tool_;
+    bool smoke_ = false;
+    std::string headline_out_;
+    std::vector<std::string> passthrough_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace pnc::exp

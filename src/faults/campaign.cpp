@@ -1,10 +1,12 @@
 #include "faults/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
 #include "math/stats.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -35,6 +37,12 @@ FaultCampaignResult run_campaign_impl(
         sample_hist =
             &obs::MetricsRegistry::global().histogram(metric_prefix + ".sample_seconds");
     const auto sweep_start = Clock::now();
+    obs::emit_event("campaign.start",
+                    {obs::EventField::num("samples", static_cast<double>(n_samples))});
+    // Progress ticks for long campaigns, ~10 per run. The counter is shared
+    // across workers but only drives event emission — never a result.
+    std::atomic<std::size_t> done{0};
+    const std::size_t tick = std::max<std::size_t>(1, n_samples / 10);
 
     // Pre-split one child stream per sample index: which faults (and which
     // extra randomness) sample s sees is fixed by (seed, s) alone, never by
@@ -64,6 +72,14 @@ FaultCampaignResult run_campaign_impl(
             result.scores[s] = evaluate(&overlay, stream);
         }
         if (sample_hist) sample_hist->observe(seconds_since(sample_start));
+        if (obs::events_active()) {
+            const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (n % tick == 0 || n == n_samples)
+                obs::emit_event("campaign.progress",
+                                {obs::EventField::num("done", static_cast<double>(n)),
+                                 obs::EventField::num("total",
+                                                      static_cast<double>(n_samples))});
+        }
     });
 
     // Ordered, serial reduction.
@@ -99,6 +115,11 @@ FaultCampaignResult run_campaign_impl(
             registry.gauge(metric_prefix + ".samples_per_sec")
                 .set(static_cast<double>(n_samples) / wall);
     }
+    obs::emit_event("campaign.finish",
+                    {obs::EventField::num("samples", static_cast<double>(n_samples)),
+                     obs::EventField::num("mean_score", result.mean_score),
+                     obs::EventField::num("worst_score", result.worst_score),
+                     obs::EventField::num("faults_total", static_cast<double>(fault_sum))});
     return result;
 }
 

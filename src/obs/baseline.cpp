@@ -1,0 +1,382 @@
+#include "obs/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pnc::obs {
+
+namespace {
+
+constexpr const char* kSuiteSchema = "pnc-bench-suite/1";
+constexpr const char* kHeadlineSchema = "pnc-headline/1";
+
+bool finite_number(const json::Value* v) {
+    return v && v->is_number() && std::isfinite(v->as_number());
+}
+
+std::string check_metric_object(const json::Value& metrics, const std::string& where) {
+    for (const auto& [name, value] : metrics.members()) {
+        if (name.empty()) return where + " has an empty metric name";
+        if (!value.is_number())
+            return where + "." + name + " is not a number (non-finite values serialize "
+                   "as null and are rejected)";
+        if (!std::isfinite(value.as_number()))
+            return where + "." + name + " is not finite";
+    }
+    return "";
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+    return haystack.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+    const std::size_t n = std::string(suffix).size();
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+const char* kind_name(MetricKind kind) {
+    switch (kind) {
+        case MetricKind::kAccuracy: return "accuracy";
+        case MetricKind::kQualityLoss: return "quality";
+        case MetricKind::kTiming: return "timing";
+        case MetricKind::kThroughput: return "throughput";
+        case MetricKind::kInfo: return "info";
+    }
+    return "?";
+}
+
+const char* verdict_name(Verdict v) {
+    switch (v) {
+        case Verdict::kOk: return "ok";
+        case Verdict::kImproved: return "improved";
+        case Verdict::kRegressed: return "REGRESSED";
+        case Verdict::kMissing: return "MISSING";
+        case Verdict::kNew: return "new";
+    }
+    return "?";
+}
+
+int verdict_rank(Verdict v) {
+    switch (v) {
+        case Verdict::kRegressed: return 0;
+        case Verdict::kMissing: return 1;
+        case Verdict::kImproved: return 2;
+        case Verdict::kNew: return 3;
+        case Verdict::kOk: return 4;
+    }
+    return 5;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ suite
+
+const BenchResult* BenchSuite::find(const std::string& name) const {
+    for (const auto& bench : benches)
+        if (bench.name == name) return &bench;
+    return nullptr;
+}
+
+std::string BenchSuite::meta_value(const std::string& key) const {
+    for (const auto& [k, v] : meta)
+        if (k == key) return v;
+    return "";
+}
+
+json::Value bench_suite_document(const BenchSuite& suite) {
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value::string(kSuiteSchema));
+    json::Value meta = json::Value::object();
+    for (const auto& [key, value] : suite.meta) meta.set(key, json::Value::string(value));
+    doc.set("meta", std::move(meta));
+    json::Value benches = json::Value::object();
+    for (const BenchResult& bench : suite.benches) {
+        json::Value row = json::Value::object();
+        row.set("exit_code", json::Value::number(bench.exit_code));
+        row.set("wall_seconds", json::Value::number(bench.wall_seconds));
+        row.set("peak_rss_kb", json::Value::number(bench.peak_rss_kb));
+        json::Value metrics = json::Value::object();
+        for (const auto& [name, value] : bench.metrics)
+            metrics.set(name, json::Value::number(value));
+        row.set("metrics", std::move(metrics));
+        benches.set(bench.name, std::move(row));
+    }
+    doc.set("benches", std::move(benches));
+    return doc;
+}
+
+std::string validate_bench_suite(const json::Value& doc) {
+    if (!doc.is_object()) return "document is not an object";
+    const json::Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != kSuiteSchema)
+        return std::string("schema is not \"") + kSuiteSchema + "\"";
+    const json::Value* meta = doc.find("meta");
+    if (!meta || !meta->is_object()) return "meta object missing";
+    for (const char* key : {"tool", "tier"}) {
+        const json::Value* v = meta->find(key);
+        if (!v || !v->is_string() || v->as_string().empty())
+            return std::string("meta.") + key + " must be a non-empty string";
+    }
+    for (const auto& [key, value] : meta->members())
+        if (!value.is_string()) return "meta." + key + " is not a string";
+    const json::Value* benches = doc.find("benches");
+    if (!benches || !benches->is_object()) return "benches object missing";
+    if (benches->members().empty()) return "benches object is empty";
+    for (const auto& [name, row] : benches->members()) {
+        const std::string where = "benches." + name;
+        if (!row.is_object()) return where + " is not an object";
+        for (const char* key : {"exit_code", "wall_seconds", "peak_rss_kb"}) {
+            const json::Value* v = row.find(key);
+            if (!finite_number(v)) return where + "." + key + " must be a finite number";
+        }
+        if (row.find("wall_seconds")->as_number() < 0.0)
+            return where + ".wall_seconds must be >= 0";
+        const json::Value* metrics = row.find("metrics");
+        if (!metrics || !metrics->is_object()) return where + ".metrics object missing";
+        if (auto err = check_metric_object(*metrics, where + ".metrics"); !err.empty())
+            return err;
+    }
+    return "";
+}
+
+BenchSuite parse_bench_suite(const json::Value& doc) {
+    if (const std::string err = validate_bench_suite(doc); !err.empty())
+        throw std::runtime_error("bench suite: " + err);
+    BenchSuite suite;
+    for (const auto& [key, value] : doc.find("meta")->members())
+        suite.meta.emplace_back(key, value.as_string());
+    for (const auto& [name, row] : doc.find("benches")->members()) {
+        BenchResult bench;
+        bench.name = name;
+        bench.exit_code = static_cast<int>(row.find("exit_code")->as_number());
+        bench.wall_seconds = row.find("wall_seconds")->as_number();
+        bench.peak_rss_kb = row.find("peak_rss_kb")->as_number();
+        for (const auto& [metric, value] : row.find("metrics")->members())
+            bench.metrics.emplace_back(metric, value.as_number());
+        suite.benches.push_back(std::move(bench));
+    }
+    return suite;
+}
+
+// --------------------------------------------------------------- headline
+
+json::Value headline_document(const std::string& tool, bool smoke,
+                              const std::vector<std::pair<std::string, double>>& metrics) {
+    json::Value doc = json::Value::object();
+    doc.set("schema", json::Value::string(kHeadlineSchema));
+    doc.set("tool", json::Value::string(tool));
+    doc.set("smoke", json::Value::boolean(smoke));
+    json::Value m = json::Value::object();
+    for (const auto& [name, value] : metrics) m.set(name, json::Value::number(value));
+    doc.set("metrics", std::move(m));
+    return doc;
+}
+
+std::string validate_headline(const json::Value& doc) {
+    if (!doc.is_object()) return "document is not an object";
+    const json::Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != kHeadlineSchema)
+        return std::string("schema is not \"") + kHeadlineSchema + "\"";
+    const json::Value* tool = doc.find("tool");
+    if (!tool || !tool->is_string() || tool->as_string().empty())
+        return "tool must be a non-empty string";
+    const json::Value* smoke = doc.find("smoke");
+    if (!smoke || !smoke->is_bool()) return "smoke bool missing";
+    const json::Value* metrics = doc.find("metrics");
+    if (!metrics || !metrics->is_object()) return "metrics object missing";
+    return check_metric_object(*metrics, "metrics");
+}
+
+// ------------------------------------------------------------- comparison
+
+MetricKind classify_metric(const std::string& name) {
+    // Throughput before timing: "samples_per_sec" contains no timing token,
+    // but "eval_ms_per_sample" style names must land on the higher-is-better
+    // side if they say per_sec/speedup.
+    if (contains(name, "per_sec") || contains(name, "speedup"))
+        return MetricKind::kThroughput;
+    if (contains(name, "seconds") || contains(name, "_ms") || contains(name, "_ns") ||
+        ends_with(name, ".ms") || ends_with(name, ".ns") || contains(name, "latency") ||
+        contains(name, "rss") || contains(name, "watts") || contains(name, "components"))
+        return MetricKind::kTiming;
+    if (contains(name, "accuracy") || contains(name, "yield") ||
+        contains(name, "certified") || contains(name, "fraction") ||
+        contains(name, "r2") || contains(name, "correlation"))
+        return MetricKind::kAccuracy;
+    if (contains(name, "rmse") || contains(name, "loss")) return MetricKind::kQualityLoss;
+    return MetricKind::kInfo;
+}
+
+double ToleranceConfig::threshold_for(const std::string& name, MetricKind kind) const {
+    for (const auto& [key, value] : overrides)
+        if (key == name) return value;
+    switch (kind) {
+        case MetricKind::kTiming:
+        case MetricKind::kThroughput: return rel_timing;
+        case MetricKind::kAccuracy:
+        case MetricKind::kQualityLoss: return abs_accuracy;
+        case MetricKind::kInfo: return 0.0;
+    }
+    return 0.0;
+}
+
+ToleranceConfig ToleranceConfig::from_json(const json::Value& doc) {
+    if (!doc.is_object()) throw std::runtime_error("tolerance file: not a JSON object");
+    ToleranceConfig config;
+    for (const auto& [key, value] : doc.members()) {
+        if (key == "rel_timing" || key == "abs_accuracy") {
+            if (!value.is_number() || !std::isfinite(value.as_number()) ||
+                value.as_number() < 0.0)
+                throw std::runtime_error("tolerance file: " + key +
+                                         " must be a finite number >= 0");
+            (key == "rel_timing" ? config.rel_timing : config.abs_accuracy) =
+                value.as_number();
+        } else if (key == "overrides") {
+            if (!value.is_object())
+                throw std::runtime_error("tolerance file: overrides must be an object");
+            for (const auto& [name, threshold] : value.members()) {
+                if (!threshold.is_number() || !std::isfinite(threshold.as_number()) ||
+                    threshold.as_number() < 0.0)
+                    throw std::runtime_error("tolerance file: overrides." + name +
+                                             " must be a finite number >= 0");
+                config.overrides.emplace_back(name, threshold.as_number());
+            }
+        } else {
+            throw std::runtime_error("tolerance file: unknown key \"" + key +
+                                     "\" (rel_timing | abs_accuracy | overrides)");
+        }
+    }
+    return config;
+}
+
+namespace {
+
+/// Positive = worse. Timing/throughput in relative units, accuracy-like in
+/// absolute units, matching how the thresholds are expressed.
+double degradation(MetricKind kind, double baseline, double candidate) {
+    switch (kind) {
+        case MetricKind::kTiming:
+            return (candidate - baseline) / std::max(std::abs(baseline), 1e-12);
+        case MetricKind::kThroughput:
+            return (baseline - candidate) / std::max(std::abs(baseline), 1e-12);
+        case MetricKind::kAccuracy: return baseline - candidate;
+        case MetricKind::kQualityLoss: return candidate - baseline;
+        case MetricKind::kInfo: return 0.0;
+    }
+    return 0.0;
+}
+
+void compare_metric(const std::string& name, double base, double cand,
+                    const ToleranceConfig& tolerances, DiffResult& out) {
+    MetricDelta delta;
+    delta.name = name;
+    delta.kind = classify_metric(name);
+    delta.baseline = base;
+    delta.candidate = cand;
+    delta.threshold = tolerances.threshold_for(name, delta.kind);
+    const double worse = degradation(delta.kind, base, cand);
+    if (delta.kind == MetricKind::kInfo) {
+        delta.verdict = Verdict::kOk;
+    } else if (worse > delta.threshold) {
+        delta.verdict = Verdict::kRegressed;
+        const bool timing_like =
+            delta.kind == MetricKind::kTiming || delta.kind == MetricKind::kThroughput;
+        (timing_like ? out.timing_regressed : out.accuracy_regressed) = true;
+    } else if (worse < -delta.threshold) {
+        delta.verdict = Verdict::kImproved;
+    } else {
+        delta.verdict = Verdict::kOk;
+    }
+    out.deltas.push_back(std::move(delta));
+}
+
+}  // namespace
+
+DiffResult diff_suites(const BenchSuite& baseline, const BenchSuite& candidate,
+                       const ToleranceConfig& tolerances) {
+    DiffResult out;
+    for (const BenchResult& base : baseline.benches) {
+        const BenchResult* cand = candidate.find(base.name);
+        if (!cand || cand->exit_code != 0) {
+            // A vanished or failing bench silently drops every number it
+            // used to report — treat as the hardest possible regression.
+            MetricDelta delta;
+            delta.name = base.name;
+            delta.kind = MetricKind::kAccuracy;
+            delta.verdict = Verdict::kMissing;
+            delta.baseline = 0.0;
+            delta.candidate = cand ? cand->exit_code : -1;
+            out.deltas.push_back(std::move(delta));
+            out.accuracy_regressed = true;
+            continue;
+        }
+        compare_metric(base.name + ".wall_seconds", base.wall_seconds, cand->wall_seconds,
+                       tolerances, out);
+        compare_metric(base.name + ".peak_rss_kb", base.peak_rss_kb, cand->peak_rss_kb,
+                       tolerances, out);
+        for (const auto& [metric, value] : base.metrics) {
+            const std::string full = base.name + "." + metric;
+            const auto it = std::find_if(cand->metrics.begin(), cand->metrics.end(),
+                                         [&](const auto& m) { return m.first == metric; });
+            if (it == cand->metrics.end()) {
+                MetricDelta delta;
+                delta.name = full;
+                delta.kind = classify_metric(metric);
+                delta.verdict = Verdict::kMissing;
+                delta.baseline = value;
+                out.deltas.push_back(std::move(delta));
+                out.accuracy_regressed = true;
+                continue;
+            }
+            compare_metric(full, value, it->second, tolerances, out);
+        }
+        for (const auto& [metric, value] : cand->metrics) {
+            if (std::none_of(base.metrics.begin(), base.metrics.end(),
+                             [&](const auto& m) { return m.first == metric; })) {
+                MetricDelta delta;
+                delta.name = base.name + "." + metric;
+                delta.kind = classify_metric(metric);
+                delta.verdict = Verdict::kNew;
+                delta.candidate = value;
+                out.deltas.push_back(std::move(delta));
+            }
+        }
+    }
+    for (const BenchResult& cand : candidate.benches) {
+        if (!baseline.find(cand.name)) {
+            MetricDelta delta;
+            delta.name = cand.name;
+            delta.verdict = Verdict::kNew;
+            delta.candidate = cand.exit_code;
+            out.deltas.push_back(std::move(delta));
+        }
+    }
+    return out;
+}
+
+std::string format_diff(const DiffResult& diff) {
+    std::vector<const MetricDelta*> rows;
+    rows.reserve(diff.deltas.size());
+    for (const MetricDelta& delta : diff.deltas) rows.push_back(&delta);
+    std::stable_sort(rows.begin(), rows.end(), [](const MetricDelta* a, const MetricDelta* b) {
+        return verdict_rank(a->verdict) < verdict_rank(b->verdict);
+    });
+    std::ostringstream os;
+    os.precision(6);
+    char line[256];
+    std::snprintf(line, sizeof line, "%-44s %-10s %12s %12s %10s  %s\n", "metric", "kind",
+                  "baseline", "candidate", "tolerance", "verdict");
+    os << line;
+    for (const MetricDelta* delta : rows) {
+        std::snprintf(line, sizeof line, "%-44s %-10s %12.6g %12.6g %10.4g  %s\n",
+                      delta->name.c_str(), kind_name(delta->kind), delta->baseline,
+                      delta->candidate, delta->threshold, verdict_name(delta->verdict));
+        os << line;
+    }
+    return os.str();
+}
+
+}  // namespace pnc::obs

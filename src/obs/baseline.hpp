@@ -1,0 +1,117 @@
+// Bench-suite artifacts and baseline diffing — the regression observatory.
+//
+// `pnc-bench` consolidates one suite run into a "pnc-bench-suite/1"
+// document (per-bench wall-clock, peak RSS, exit code and headline
+// metrics, plus machine/build meta). This module owns that schema — build,
+// parse, validate — and the noise-aware comparison between two suite
+// artifacts that `pnc report diff` / `pnc report check` expose: timings
+// and resources compare with *relative* thresholds (they jitter with the
+// machine), accuracies/yields with *absolute* ones (they must not drift at
+// all beyond FP noise). `check` exits 3 on regression so CI can gate.
+//
+// Individual benches hand their headline numbers to the driver through a
+// tiny "pnc-headline/1" side file (see exp::BenchRun), also validated here.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pnc::obs {
+
+// ---------------------------------------------------------------- suites
+
+/// One bench's row in a suite document.
+struct BenchResult {
+    std::string name;
+    int exit_code = 0;
+    double wall_seconds = 0.0;
+    double peak_rss_kb = 0.0;
+    /// Headline metrics in insertion order (accuracy/yield/samples-per-sec
+    /// style numbers reported by the bench itself).
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct BenchSuite {
+    /// Free-form meta, all string-valued (tier, git_sha, compiler, ...).
+    std::vector<std::pair<std::string, std::string>> meta;
+    std::vector<BenchResult> benches;
+
+    const BenchResult* find(const std::string& name) const;
+    std::string meta_value(const std::string& key) const;  ///< "" when absent
+};
+
+/// Serialize to / parse from the pnc-bench-suite/1 document.
+/// `parse_bench_suite` throws std::runtime_error on schema violations
+/// (it validates first).
+json::Value bench_suite_document(const BenchSuite& suite);
+BenchSuite parse_bench_suite(const json::Value& doc);
+
+/// "" when `doc` is a well-formed pnc-bench-suite/1 (finite numbers
+/// everywhere — a NaN that serialized as null fails loudly here), else a
+/// one-line description of the first violation.
+std::string validate_bench_suite(const json::Value& doc);
+
+// -------------------------------------------------------------- headlines
+
+/// The pnc-headline/1 side document a bench writes for the driver.
+json::Value headline_document(const std::string& tool, bool smoke,
+                              const std::vector<std::pair<std::string, double>>& metrics);
+std::string validate_headline(const json::Value& doc);
+
+// ------------------------------------------------------------ comparison
+
+/// How a metric is compared, classified from its name.
+enum class MetricKind {
+    kAccuracy,    ///< higher is better, absolute threshold (accuracy/yield/...)
+    kQualityLoss, ///< lower is better, absolute threshold (rmse/loss)
+    kTiming,      ///< lower is better, relative threshold (seconds/ms/rss/...)
+    kThroughput,  ///< higher is better, relative threshold (per_sec/speedup)
+    kInfo,        ///< reported, never gates
+};
+MetricKind classify_metric(const std::string& name);
+
+struct ToleranceConfig {
+    double rel_timing = 0.25;    ///< allowed fractional slowdown (and RSS growth)
+    double abs_accuracy = 0.02;  ///< allowed absolute drop in accuracy-like metrics
+    /// Per-metric absolute/relative override, keyed by the full
+    /// "<bench>.<metric>" name (kind decides how it is applied).
+    std::vector<std::pair<std::string, double>> overrides;
+
+    double threshold_for(const std::string& name, MetricKind kind) const;
+
+    /// Parse `{"rel_timing": .., "abs_accuracy": .., "overrides": {..}}`.
+    /// Unknown keys are rejected so typos cannot silently loosen a gate.
+    static ToleranceConfig from_json(const json::Value& doc);
+};
+
+enum class Verdict { kOk, kImproved, kRegressed, kMissing, kNew };
+
+struct MetricDelta {
+    std::string name;  ///< "<bench>.<metric>" (or ".wall_seconds" etc.)
+    MetricKind kind = MetricKind::kInfo;
+    Verdict verdict = Verdict::kOk;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    double threshold = 0.0;  ///< the tolerance that was applied
+};
+
+struct DiffResult {
+    std::vector<MetricDelta> deltas;
+    /// A bench present in the baseline but absent (or failing) in the
+    /// candidate is an accuracy-grade regression: coverage must not rot.
+    bool accuracy_regressed = false;
+    bool timing_regressed = false;
+};
+
+/// Compare every baseline metric against the candidate. Metrics that are
+/// new in the candidate are reported as kNew (informational).
+DiffResult diff_suites(const BenchSuite& baseline, const BenchSuite& candidate,
+                       const ToleranceConfig& tolerances);
+
+/// Human-readable verdict table (one line per delta, worst first).
+std::string format_diff(const DiffResult& diff);
+
+}  // namespace pnc::obs

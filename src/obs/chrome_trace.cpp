@@ -1,0 +1,116 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace pnc::obs {
+
+namespace {
+
+constexpr const char* kChromeTraceSchema = "pnc-chrome-trace/1";
+
+json::Value complete_event(const std::string& name, double ts_us, double dur_us,
+                           std::uint64_t count, double seconds) {
+    json::Value event = json::Value::object();
+    event.set("name", json::Value::string(name));
+    event.set("ph", json::Value::string("X"));
+    event.set("ts", json::Value::number(ts_us));
+    event.set("dur", json::Value::number(dur_us));
+    event.set("pid", json::Value::number(1));
+    event.set("tid", json::Value::number(1));
+    json::Value args = json::Value::object();
+    args.set("count", json::Value::number(static_cast<double>(count)));
+    if (count > 0)
+        args.set("mean_seconds", json::Value::number(seconds / static_cast<double>(count)));
+    event.set("args", std::move(args));
+    return event;
+}
+
+/// Lay `node` out at `start_us`, children back to back inside it.
+void layout(const TraceNode& node, double start_us, json::Value& events) {
+    const double dur_us = node.seconds * 1e6;
+    events.push_back(complete_event(node.name, start_us, dur_us, node.count, node.seconds));
+    double cursor = start_us;
+    for (const auto& child : node.children) {
+        layout(*child, cursor, events);
+        cursor += child->seconds * 1e6;
+    }
+}
+
+}  // namespace
+
+json::Value chrome_trace_document(const TraceNode& root) {
+    json::Value events = json::Value::array();
+    json::Value process_name = json::Value::object();
+    process_name.set("name", json::Value::string("process_name"));
+    process_name.set("ph", json::Value::string("M"));
+    process_name.set("pid", json::Value::number(1));
+    process_name.set("tid", json::Value::number(1));
+    json::Value name_args = json::Value::object();
+    name_args.set("name", json::Value::string("pnc"));
+    process_name.set("args", std::move(name_args));
+    events.push_back(std::move(process_name));
+
+    // The synthetic "root" node (count 0) is bookkeeping, not a span: its
+    // children are the real top-level spans, placed back to back.
+    double cursor = 0.0;
+    for (const auto& child : root.children) {
+        layout(*child, cursor, events);
+        cursor += child->seconds * 1e6;
+    }
+
+    json::Value doc = json::Value::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", json::Value::string("ms"));
+    json::Value other = json::Value::object();
+    other.set("schema", json::Value::string(kChromeTraceSchema));
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+void write_chrome_trace(const std::string& path) {
+    const auto root = Tracer::global().snapshot();
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("obs: cannot write " + path);
+    os << chrome_trace_document(*root).dump() << "\n";
+    if (!os) throw std::runtime_error("obs: failed writing " + path);
+}
+
+std::string validate_chrome_trace(const json::Value& doc) {
+    if (!doc.is_object()) return "document is not an object";
+    const json::Value* other = doc.find("otherData");
+    if (!other || !other->is_object()) return "otherData object missing";
+    const json::Value* schema = other->find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != kChromeTraceSchema)
+        return std::string("otherData.schema is not \"") + kChromeTraceSchema + "\"";
+    const json::Value* events = doc.find("traceEvents");
+    if (!events || !events->is_array()) return "traceEvents array missing";
+    for (std::size_t i = 0; i < events->items().size(); ++i) {
+        const json::Value& event = events->items()[i];
+        const std::string where = "traceEvents[" + std::to_string(i) + "].";
+        if (!event.is_object()) return where + " is not an object";
+        const json::Value* name = event.find("name");
+        if (!name || !name->is_string() || name->as_string().empty())
+            return where + "name must be a non-empty string";
+        const json::Value* ph = event.find("ph");
+        if (!ph || !ph->is_string() ||
+            (ph->as_string() != "X" && ph->as_string() != "M"))
+            return where + "ph must be \"X\" or \"M\"";
+        for (const char* key : {"pid", "tid"}) {
+            const json::Value* v = event.find(key);
+            if (!v || !v->is_number()) return where + key + " number missing";
+        }
+        if (ph->as_string() == "X") {
+            for (const char* key : {"ts", "dur"}) {
+                const json::Value* v = event.find(key);
+                if (!v || !v->is_number() || !std::isfinite(v->as_number()) ||
+                    v->as_number() < 0.0)
+                    return where + key + " must be a finite number >= 0";
+            }
+        }
+    }
+    return "";
+}
+
+}  // namespace pnc::obs

@@ -1,0 +1,32 @@
+// Chrome trace-event export of the aggregated ScopedTimer tree, loadable in
+// chrome://tracing or https://ui.perfetto.dev ("pnc-chrome-trace/1").
+//
+// The trace tree stores aggregates (count + total seconds per span name),
+// not individual begin/end stamps, so the exporter synthesizes a timeline:
+// every node becomes one complete ("X") event whose duration is its total
+// seconds, laid out depth-first inside its parent's span. Sibling spans are
+// placed back to back, which preserves the two things the tree actually
+// knows — nesting and totals — while giving the flame view real geometry.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace pnc::obs {
+
+/// The trace-event document for a tree. The top-level object carries
+/// `traceEvents` (what the viewers read) plus `otherData.schema` for our
+/// own tooling.
+json::Value chrome_trace_document(const TraceNode& root);
+
+/// Snapshot the global Tracer and write the document to `path`.
+void write_chrome_trace(const std::string& path);
+
+/// "" when `doc` is a well-formed pnc-chrome-trace/1 document (every event
+/// has a name, a known phase, and finite non-negative ts/dur), else a
+/// one-line description of the first violation.
+std::string validate_chrome_trace(const json::Value& doc);
+
+}  // namespace pnc::obs

@@ -14,9 +14,13 @@ ObsConfig ObsConfig::from_env() {
     ObsConfig config;
     if (const char* v = std::getenv("PNC_METRICS_OUT"); v && *v) config.metrics_out = v;
     if (const char* v = std::getenv("PNC_TRACE_OUT"); v && *v) config.trace_out = v;
+    if (const char* v = std::getenv("PNC_EVENTS_OUT"); v && *v) config.events_out = v;
+    if (const char* v = std::getenv("PNC_CHROME_TRACE_OUT"); v && *v)
+        config.chrome_trace_out = v;
     const char* flag = std::getenv("PNC_OBS");
     config.enabled = (flag && *flag && std::atoi(flag) != 0) || !config.metrics_out.empty() ||
-                     !config.trace_out.empty();
+                     !config.trace_out.empty() || !config.events_out.empty() ||
+                     !config.chrome_trace_out.empty();
     return config;
 }
 

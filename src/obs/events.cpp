@@ -1,0 +1,129 @@
+#include "obs/events.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <ctime>
+#include <stdexcept>
+
+namespace pnc::obs {
+
+namespace {
+
+constexpr const char* kEventsSchema = "pnc-events/1";
+
+double steady_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool is_reserved_key(const std::string& key) {
+    return key == "schema" || key == "seq" || key == "t" || key == "event";
+}
+
+}  // namespace
+
+EventStream& EventStream::global() {
+    static EventStream stream;
+    return stream;
+}
+
+void EventStream::open(const std::string& path, const std::string& tool) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (out_.is_open()) out_.close();
+    out_.open(path, std::ios::trunc);
+    if (!out_) throw std::runtime_error("obs: cannot write event stream " + path);
+    seq_ = 0;
+    t0_ = steady_seconds();
+    emit_locked("stream.open",
+                {EventField::str("tool", tool),
+                 EventField::num("wall_unix", static_cast<double>(std::time(nullptr)))});
+    active_.store(true, std::memory_order_relaxed);
+}
+
+void EventStream::close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_.is_open()) return;
+    emit_locked("stream.close", {});
+    active_.store(false, std::memory_order_relaxed);
+    out_.close();
+}
+
+void EventStream::emit(std::string_view event, const std::vector<EventField>& fields) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_.is_open()) return;
+    emit_locked(event, fields);
+}
+
+void EventStream::emit_locked(std::string_view event,
+                              const std::vector<EventField>& fields) {
+    json::Value line = json::Value::object();
+    line.set("schema", json::Value::string(kEventsSchema));
+    line.set("seq", json::Value::number(static_cast<double>(seq_++)));
+    line.set("t", json::Value::number(steady_seconds() - t0_));
+    line.set("event", json::Value::string(std::string(event)));
+    for (const EventField& field : fields) {
+        if (is_reserved_key(field.key)) continue;  // never shadow the envelope
+        line.set(field.key, field.kind == EventField::Kind::kNumber
+                                ? json::Value::number(field.number)
+                                : json::Value::string(field.text));
+    }
+    // One line per event, flushed immediately: `tail -f` is the UI.
+    out_ << line.dump() << "\n";
+    out_.flush();
+}
+
+std::string validate_events(const std::string& text) {
+    std::size_t line_no = 0;
+    std::size_t begin = 0;
+    std::uint64_t expected_seq = 0;
+    double last_t = 0.0;
+    bool saw_open = false;
+    while (begin < text.size()) {
+        std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos) end = text.size();
+        const std::string line = text.substr(begin, end - begin);
+        begin = end + 1;
+        if (line.empty()) continue;
+        ++line_no;
+        const std::string where = "line " + std::to_string(line_no) + ": ";
+
+        json::Value doc;
+        try {
+            doc = json::Value::parse(line);
+        } catch (const std::exception& e) {
+            return where + e.what();
+        }
+        if (!doc.is_object()) return where + "not a JSON object";
+
+        const json::Value* schema = doc.find("schema");
+        if (!schema || !schema->is_string() || schema->as_string() != kEventsSchema)
+            return where + "schema is not \"" + kEventsSchema + "\"";
+
+        const json::Value* seq = doc.find("seq");
+        if (!seq || !seq->is_number()) return where + "seq number missing";
+        if (seq->as_number() != static_cast<double>(expected_seq))
+            return where + "seq is " + std::to_string(seq->as_number()) + ", expected " +
+                   std::to_string(expected_seq);
+        ++expected_seq;
+
+        const json::Value* t = doc.find("t");
+        if (!t || !t->is_number() || !std::isfinite(t->as_number()))
+            return where + "t must be a finite number";
+        if (t->as_number() + 1e-9 < last_t) return where + "t went backwards";
+        last_t = t->as_number();
+
+        const json::Value* event = doc.find("event");
+        if (!event || !event->is_string() || event->as_string().empty())
+            return where + "event string missing";
+        if (line_no == 1) {
+            if (event->as_string() != "stream.open")
+                return where + "first event must be stream.open";
+            saw_open = true;
+        }
+    }
+    if (!saw_open) return "stream is empty (no stream.open header)";
+    return "";
+}
+
+}  // namespace pnc::obs

@@ -1,0 +1,85 @@
+// Structured event stream ("pnc-events/1"): one JSON object per line,
+// flushed as it happens, so a long run is watchable with `tail -f`.
+//
+// Events are coarse — run/epoch/campaign granularity, never per MC sample —
+// and, like the rest of the obs layer, read-only with respect to the
+// numerical state: enabling a stream changes no result bit-for-bit
+// (test-enforced by tests/test_events.cpp). Every line carries the schema
+// tag plus a strictly increasing `seq` and a monotonic `t` (seconds since
+// the stream opened), so a consumer can detect truncation and order lines
+// even after interleaved writers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pnc::obs {
+
+/// One key/value of an event line. Keys `schema`, `seq`, `t` and `event`
+/// are reserved for the stream itself.
+struct EventField {
+    enum class Kind { kNumber, kText };
+    Kind kind = Kind::kNumber;
+    std::string key;
+    double number = 0.0;
+    std::string text;
+
+    static EventField num(std::string k, double v) {
+        return {Kind::kNumber, std::move(k), v, {}};
+    }
+    static EventField str(std::string k, std::string v) {
+        return {Kind::kText, std::move(k), 0.0, std::move(v)};
+    }
+};
+
+/// Process-wide JSONL sink. `open` writes the `stream.open` header line;
+/// every `emit` appends one line and flushes. Thread-safe: lines are
+/// serialized under a mutex, `seq` is assigned inside it.
+class EventStream {
+public:
+    static EventStream& global();
+
+    /// Open (truncating) `path` and write the header event. Throws
+    /// std::runtime_error when the file cannot be created.
+    void open(const std::string& path, const std::string& tool);
+
+    /// Write the `stream.close` trailer and stop accepting events.
+    void close();
+
+    /// True between open() and close(). A single relaxed load, so emit
+    /// sites can guard with `if (events_active())` at near-zero cost.
+    bool active() const { return active_.load(std::memory_order_relaxed); }
+
+    void emit(std::string_view event, const std::vector<EventField>& fields = {});
+
+private:
+    std::atomic<bool> active_{false};
+    mutable std::mutex mutex_;
+    std::ofstream out_;
+    std::uint64_t seq_ = 0;
+    double t0_ = 0.0;  ///< steady-clock origin, set by open()
+
+    void emit_locked(std::string_view event, const std::vector<EventField>& fields);
+};
+
+inline bool events_active() { return EventStream::global().active(); }
+
+/// Convenience: no-op unless a stream is open.
+inline void emit_event(std::string_view event, const std::vector<EventField>& fields = {}) {
+    auto& stream = EventStream::global();
+    if (stream.active()) stream.emit(event, fields);
+}
+
+/// "" when `text` is a well-formed pnc-events/1 stream (header line,
+/// strictly increasing seq, non-decreasing finite t, reserved keys on every
+/// line), else a one-line description of the first violation.
+std::string validate_events(const std::string& text);
+
+}  // namespace pnc::obs

@@ -1,5 +1,6 @@
 #include "obs/report.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -88,26 +89,45 @@ void write_run_report(const std::string& path, const RunMeta& meta) {
     write_text_file(path, doc.dump() + "\n");
 }
 
+namespace {
+
+/// RFC-4180 field quoting: a name containing a comma, quote or newline is
+/// wrapped in quotes with inner quotes doubled, so the `kind,name,field,
+/// value` contract survives arbitrary metric names.
+std::string csv_field(const std::string& s) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
 std::string metrics_csv(const MetricsSnapshot& snapshot) {
     std::ostringstream os;
     os.precision(17);
     os << "kind,name,field,value\n";
     for (const auto& [name, value] : snapshot.counters)
-        os << "counter," << name << ",value," << value << "\n";
+        os << "counter," << csv_field(name) << ",value," << value << "\n";
     for (const auto& [name, value] : snapshot.gauges)
-        os << "gauge," << name << ",value," << value << "\n";
+        os << "gauge," << csv_field(name) << ",value," << value << "\n";
     for (const auto& h : snapshot.histograms) {
-        os << "histogram," << h.name << ",count," << h.count << "\n";
-        os << "histogram," << h.name << ",sum," << h.sum << "\n";
-        os << "histogram," << h.name << ",min," << h.min << "\n";
-        os << "histogram," << h.name << ",max," << h.max << "\n";
-        os << "histogram," << h.name << ",p50," << h.quantile(0.50) << "\n";
-        os << "histogram," << h.name << ",p90," << h.quantile(0.90) << "\n";
-        os << "histogram," << h.name << ",p99," << h.quantile(0.99) << "\n";
+        const std::string name = csv_field(h.name);
+        os << "histogram," << name << ",count," << h.count << "\n";
+        os << "histogram," << name << ",sum," << h.sum << "\n";
+        os << "histogram," << name << ",min," << h.min << "\n";
+        os << "histogram," << name << ",max," << h.max << "\n";
+        os << "histogram," << name << ",p50," << h.quantile(0.50) << "\n";
+        os << "histogram," << name << ",p90," << h.quantile(0.90) << "\n";
+        os << "histogram," << name << ",p99," << h.quantile(0.99) << "\n";
     }
     for (const auto& [name, values] : snapshot.series)
         for (std::size_t i = 0; i < values.size(); ++i)
-            os << "series," << name << "," << i << "," << values[i] << "\n";
+            os << "series," << csv_field(name) << "," << i << "," << values[i] << "\n";
     return os.str();
 }
 
@@ -129,11 +149,22 @@ void write_trace_json(const std::string& path) {
 
 namespace {
 
+/// Rejects non-numbers *and* non-finite numbers. A NaN/Inf value is dumped
+/// as `null` (JSON has neither), so after a round trip it shows up here as
+/// a non-number — name that case explicitly in the error.
+std::string check_finite(const json::Value& value, const std::string& where) {
+    if (!value.is_number())
+        return where + " is not a finite number (NaN/Inf serializes as null)";
+    if (!std::isfinite(value.as_number())) return where + " is not finite";
+    return "";
+}
+
 std::string check_numeric_object(const json::Value& doc, const char* key) {
     const json::Value* section = doc.find(key);
     if (!section || !section->is_object()) return std::string(key) + " object missing";
     for (const auto& [name, value] : section->members())
-        if (!value.is_number()) return std::string(key) + "." + name + " is not a number";
+        if (auto err = check_finite(value, std::string(key) + "." + name); !err.empty())
+            return err;
     return "";
 }
 
@@ -161,13 +192,19 @@ std::string validate_run_report(const json::Value& doc) {
         if (!h.is_object()) return "histograms." + name + " is not an object";
         for (const char* key : {"count", "sum", "min", "max", "p50", "p90", "p99"}) {
             const json::Value* field = h.find(key);
-            if (!field || !field->is_number())
-                return "histograms." + name + "." + key + " number missing";
+            if (!field) return "histograms." + name + "." + key + " number missing";
+            if (auto err = check_finite(*field, "histograms." + name + "." + key);
+                !err.empty())
+                return err;
         }
         const json::Value* bounds = h.find("bounds");
         const json::Value* counts = h.find("bucket_counts");
         if (!bounds || !bounds->is_array())
             return "histograms." + name + ".bounds array missing";
+        for (const auto& b : bounds->items())
+            if (auto err = check_finite(b, "histograms." + name + ".bounds entry");
+                !err.empty())
+                return err;
         if (!counts || !counts->is_array())
             return "histograms." + name + ".bucket_counts array missing";
         if (counts->items().size() != bounds->items().size() + 1)
@@ -179,9 +216,45 @@ std::string validate_run_report(const json::Value& doc) {
     for (const auto& [name, values] : series->members()) {
         if (!values.is_array()) return "series." + name + " is not an array";
         for (const auto& v : values.items())
-            if (!v.is_number()) return "series." + name + " has a non-number entry";
+            if (auto err = check_finite(v, "series." + name + " entry"); !err.empty())
+                return err;
     }
     return "";
+}
+
+namespace {
+
+std::string validate_trace_node(const json::Value& node, const std::string& where) {
+    if (!node.is_object()) return where + " is not an object";
+    const json::Value* name = node.find("name");
+    if (!name || !name->is_string() || name->as_string().empty())
+        return where + ".name must be a non-empty string";
+    for (const char* key : {"count", "seconds"}) {
+        const json::Value* v = node.find(key);
+        if (!v) return where + "." + key + " number missing";
+        if (auto err = check_finite(*v, where + "." + key); !err.empty()) return err;
+        if (v->as_number() < 0.0) return where + "." + key + " must be >= 0";
+    }
+    const json::Value* children = node.find("children");
+    if (!children || !children->is_array()) return where + ".children array missing";
+    for (std::size_t i = 0; i < children->items().size(); ++i) {
+        const std::string child_where = where + ".children[" + std::to_string(i) + "]";
+        if (auto err = validate_trace_node(children->items()[i], child_where); !err.empty())
+            return err;
+    }
+    return "";
+}
+
+}  // namespace
+
+std::string validate_trace(const json::Value& doc) {
+    if (!doc.is_object()) return "document is not an object";
+    const json::Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != kTraceSchema)
+        return std::string("schema is not \"") + kTraceSchema + "\"";
+    const json::Value* root = doc.find("root");
+    if (!root) return "root node missing";
+    return validate_trace_node(*root, "root");
 }
 
 }  // namespace pnc::obs

@@ -43,7 +43,14 @@ json::Value trace_document(const TraceNode& root);
 void write_trace_json(const std::string& path);
 
 /// "" when `doc` is a well-formed pnc-run-report/1, else a one-line
-/// description of the first violation.
+/// description of the first violation. Every counter/gauge/histogram value
+/// must be a *finite* number: a NaN/Inf serializes as `null` (see
+/// json::Value::dump) and is rejected here so it cannot slip into a
+/// baseline unnoticed.
 std::string validate_run_report(const json::Value& doc);
+
+/// "" when `doc` is a well-formed pnc-trace/1 tree (schema tag plus a root
+/// node of finite, non-negative counts/seconds all the way down).
+std::string validate_trace(const json::Value& doc);
 
 }  // namespace pnc::obs

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "math/stats.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -123,6 +124,12 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
         s_epoch_seconds = &registry.series("train.epoch_seconds");
         s_epochs_since_best = &registry.series("train.epochs_since_best");
     }
+    // Event stream mirror of the same telemetry, watchable live. Like the
+    // series above it only *reads* training state — never the Rng streams.
+    obs::emit_event("train.start",
+                    {obs::EventField::num("max_epochs", options.max_epochs),
+                     obs::EventField::num("epsilon", options.epsilon),
+                     obs::EventField::num("n_mc_train", options.n_mc_train)});
     const circuit::VariationModel variation(options.epsilon);
     math::Rng rng(options.seed);
 
@@ -193,7 +200,16 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
             s_epochs_since_best->append(static_cast<double>(since_best));
             s_epoch_seconds->append(seconds_since(epoch_start));
         }
-        if (stop) break;
+        obs::emit_event("train.epoch",
+                        {obs::EventField::num("epoch", epoch),
+                         obs::EventField::num("train_loss", result.final_train_loss),
+                         obs::EventField::num("val_loss", val_loss.scalar())});
+        if (stop) {
+            obs::emit_event("train.early_stop",
+                            {obs::EventField::num("epoch", epoch),
+                             obs::EventField::num("best_epoch", result.best_epoch)});
+            break;
+        }
         if (options.log_every > 0 && epoch % options.log_every == 0)
             std::cerr << "[pnn] epoch " << epoch << " train " << result.final_train_loss
                       << " val " << val_loss.scalar() << "\n";
@@ -209,6 +225,9 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
         registry.gauge("train.best_val_loss").set(best_val);
         registry.gauge("train.early_stopped").set(result.epochs_run < options.max_epochs);
     }
+    obs::emit_event("train.finish",
+                    {obs::EventField::num("epochs_run", result.epochs_run),
+                     obs::EventField::num("best_val_loss", best_val)});
     return result;
 }
 
@@ -220,6 +239,8 @@ EvalResult evaluate_pnn(const Pnn& pnn, const Matrix& x, const std::vector<int>&
         obs::enabled() ? &obs::MetricsRegistry::global().histogram("mc.eval.sample_seconds")
                        : nullptr;
     const auto sweep_start = sample_hist ? Clock::now() : Clock::time_point{};
+    obs::emit_event("eval.start", {obs::EventField::num("n_mc", options.n_mc),
+                                   obs::EventField::num("epsilon", options.epsilon)});
     const circuit::VariationModel variation(options.epsilon);
     math::Rng rng(options.seed);
 
@@ -251,6 +272,10 @@ EvalResult evaluate_pnn(const Pnn& pnn, const Matrix& x, const std::vector<int>&
         registry.gauge("eval.mean_accuracy").set(result.mean_accuracy);
         registry.gauge("eval.std_accuracy").set(result.std_accuracy);
     }
+    obs::emit_event("eval.finish",
+                    {obs::EventField::num("samples",
+                                          static_cast<double>(result.per_sample_accuracy.size())),
+                     obs::EventField::num("mean_accuracy", result.mean_accuracy)});
     return result;
 }
 

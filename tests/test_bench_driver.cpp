@@ -1,0 +1,190 @@
+// End-to-end regression-observatory flow against the real binaries: the
+// `pnc-bench` driver runs one real bench in smoke tier and writes a
+// pnc-bench-suite/1 artifact, then `pnc report check` gates a candidate
+// against it — green on itself, exit 3 on a doctored accuracy drop.
+//
+// ctest runs every discovered case as its own process, so the whole
+// driver → artifact → report flow lives in ONE test; the cheap usage-error
+// probes get their own.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/baseline.hpp"
+#include "obs/json.hpp"
+
+#ifndef PNC_BENCH_DRIVER_PATH
+#error "PNC_BENCH_DRIVER_PATH must point at the pnc-bench binary"
+#endif
+#ifndef PNC_CLI_PATH
+#error "PNC_CLI_PATH must point at the pnc binary"
+#endif
+
+using namespace pnc;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct CommandResult {
+    int exit_code = -1;
+    std::string output;  ///< stdout + stderr
+};
+
+/// Run through the shell, capturing combined output and the exit code.
+CommandResult run_command(const std::string& command) {
+    const fs::path capture =
+        fs::temp_directory_path() / ("pnc_bench_driver_out_" + std::to_string(getpid()));
+    const int status = std::system((command + " > " + capture.string() + " 2>&1").c_str());
+    CommandResult result;
+    if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+    std::ifstream in(capture);
+    std::ostringstream os;
+    os << in.rdbuf();
+    result.output = os.str();
+    fs::remove(capture);
+    return result;
+}
+
+std::string slurp(const fs::path& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/// Fresh scratch workspace per test case (cases are separate processes).
+class BenchDriverTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        workspace_ = fs::temp_directory_path() /
+                     (std::string("pnc_bench_driver_") + info->name());
+        fs::remove_all(workspace_);
+        fs::create_directories(workspace_);
+        setenv("PNC_ARTIFACTS", workspace_.string().c_str(), 1);
+    }
+    void TearDown() override {
+        unsetenv("PNC_ARTIFACTS");
+        std::error_code ec;
+        fs::remove_all(workspace_, ec);
+    }
+
+    fs::path suite_path() const { return workspace_ / "suite.json"; }
+    fs::path workspace_;
+};
+
+}  // namespace
+
+TEST_F(BenchDriverTest, ListAndUsageErrors) {
+    const auto list = run_command(std::string(PNC_BENCH_DRIVER_PATH) + " --list");
+    EXPECT_EQ(list.exit_code, 0);
+    EXPECT_NE(list.output.find("fig2"), std::string::npos) << list.output;
+    EXPECT_NE(list.output.find("table2"), std::string::npos) << list.output;
+
+    EXPECT_EQ(run_command(std::string(PNC_BENCH_DRIVER_PATH) + " --bogus").exit_code, 2);
+    EXPECT_EQ(
+        run_command(std::string(PNC_BENCH_DRIVER_PATH) + " --filter no_such_bench")
+            .exit_code,
+        1);
+}
+
+TEST_F(BenchDriverTest, ReportUsageErrors) {
+    EXPECT_EQ(run_command(std::string(PNC_CLI_PATH) + " report").exit_code, 2);
+    EXPECT_EQ(run_command(std::string(PNC_CLI_PATH) + " report diff onlyone").exit_code, 2);
+    // A missing candidate file is a runtime error (exit 1), not usage.
+    EXPECT_EQ(run_command(std::string(PNC_CLI_PATH) +
+                          " report diff nosuch_a.json nosuch_b.json")
+                  .exit_code,
+              1);
+}
+
+TEST_F(BenchDriverTest, SmokeRunThenReportCheckFlow) {
+    // ---- 1. Driver: one real bench, smoke tier, explicit artifact path.
+    const auto run = run_command(std::string(PNC_BENCH_DRIVER_PATH) +
+                                 " --smoke --filter fig2 --out " + suite_path().string());
+    ASSERT_EQ(run.exit_code, 0) << run.output;
+    ASSERT_TRUE(fs::exists(suite_path())) << run.output;
+
+    // The artifact is a valid pnc-bench-suite/1 with real content.
+    const obs::BenchSuite suite =
+        obs::parse_bench_suite(obs::json::Value::parse(slurp(suite_path())));
+    EXPECT_EQ(suite.meta_value("tool"), "pnc-bench");
+    EXPECT_EQ(suite.meta_value("tier"), "smoke");
+    EXPECT_FALSE(suite.meta_value("compiler").empty());
+    ASSERT_EQ(suite.benches.size(), 1u);
+    const obs::BenchResult* fig2 = suite.find("fig2");
+    ASSERT_NE(fig2, nullptr);
+    EXPECT_EQ(fig2->exit_code, 0);
+    EXPECT_GT(fig2->wall_seconds, 0.0);
+    EXPECT_GT(fig2->peak_rss_kb, 0.0);
+    EXPECT_FALSE(fig2->metrics.empty());
+
+    // The driver kept the bench's log under the artifact dir.
+    EXPECT_TRUE(fs::exists(workspace_ / "bench_logs" / "fig2.log"));
+
+    // ---- 2. report check against itself: green.
+    const auto check = run_command(std::string(PNC_CLI_PATH) + " report check " +
+                                   suite_path().string() + " --baseline " +
+                                   suite_path().string());
+    EXPECT_EQ(check.exit_code, 0) << check.output;
+    EXPECT_NE(check.output.find("regression-free"), std::string::npos) << check.output;
+
+    // ---- 3. Doctored artifact: exit 3 (the ISSUE acceptance gate).
+    // Degrade every accuracy-like headline; fig2's headlines are all
+    // informational (swing/family), so also drop one metric — a coverage
+    // loss, which the differ grades as an accuracy regression too.
+    obs::BenchSuite doctored = suite;
+    for (auto& bench : doctored.benches)
+        for (auto& [name, value] : bench.metrics)
+            if (obs::classify_metric(name) == obs::MetricKind::kAccuracy) value -= 0.5;
+    ASSERT_FALSE(doctored.benches[0].metrics.empty());
+    doctored.benches[0].metrics.pop_back();
+    const fs::path doctored_path = workspace_ / "doctored.json";
+    std::ofstream(doctored_path) << obs::bench_suite_document(doctored).dump() << "\n";
+
+    const auto bad = run_command(std::string(PNC_CLI_PATH) + " report check " +
+                                 doctored_path.string() + " --baseline " +
+                                 suite_path().string());
+    EXPECT_EQ(bad.exit_code, 3) << bad.output;
+    EXPECT_NE(bad.output.find("ACCURACY REGRESSION"), std::string::npos) << bad.output;
+
+    // `report diff` agrees and flags the dropped metric as MISSING.
+    const auto diff = run_command(std::string(PNC_CLI_PATH) + " report diff " +
+                                  suite_path().string() + " " + doctored_path.string());
+    EXPECT_EQ(diff.exit_code, 3) << diff.output;
+    EXPECT_NE(diff.output.find("MISSING"), std::string::npos) << diff.output;
+
+    // ---- 4. Timing regression: gates by default, warn-only on request.
+    obs::BenchSuite slow = suite;
+    for (auto& bench : slow.benches) bench.wall_seconds *= 10.0;
+    const fs::path slow_path = workspace_ / "slow.json";
+    std::ofstream(slow_path) << obs::bench_suite_document(slow).dump() << "\n";
+
+    const auto hard = run_command(std::string(PNC_CLI_PATH) + " report check " +
+                                  slow_path.string() + " --baseline " +
+                                  suite_path().string());
+    EXPECT_EQ(hard.exit_code, 3) << hard.output;
+
+    const auto soft = run_command(std::string(PNC_CLI_PATH) + " report check " +
+                                  slow_path.string() + " --baseline " +
+                                  suite_path().string() + " --timing-warn-only 1");
+    EXPECT_EQ(soft.exit_code, 0) << soft.output;
+
+    // ---- 5. With no explicit candidate, check picks the newest artifact
+    // in PNC_ARTIFACTS (BENCH_*.json) — run the driver once without --out.
+    const auto second = run_command(std::string(PNC_BENCH_DRIVER_PATH) +
+                                    " --smoke --filter fig2");
+    ASSERT_EQ(second.exit_code, 0) << second.output;
+    const auto implicit = run_command(std::string(PNC_CLI_PATH) +
+                                      " report check --baseline " +
+                                      suite_path().string());
+    EXPECT_EQ(implicit.exit_code, 0) << implicit.output;
+    EXPECT_NE(implicit.output.find("candidate: "), std::string::npos) << implicit.output;
+}

@@ -1,0 +1,319 @@
+// The structured event stream: JSONL round-trip through the global
+// EventStream, the pnc-events/1 validator's violation catalogue, and the
+// observatory's core invariant — an enabled stream changes no training or
+// evaluation result bit-for-bit, at any thread count.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "math/random.hpp"
+#include "obs/config.hpp"
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+#include "surrogate/dataset_builder.hpp"
+
+using namespace pnc;
+
+namespace {
+
+/// Every test starts and ends with the stream closed and obs disabled.
+class EventsTest : public ::testing::Test {
+protected:
+    void SetUp() override { reset_all(); }
+    void TearDown() override {
+        reset_all();
+        std::remove(stream_path().c_str());
+    }
+
+    static void reset_all() {
+        obs::EventStream::global().close();
+        obs::set_enabled(false);
+        obs::MetricsRegistry::global().reset();
+        obs::Tracer::global().reset();
+    }
+
+    static std::string stream_path() {
+        return (std::filesystem::temp_directory_path() /
+                ("pnc_events_test_" + std::to_string(::getpid()) + ".jsonl"))
+            .string();
+    }
+
+    static std::string slurp(const std::string& path) {
+        std::ifstream in(path);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    }
+
+    static std::vector<obs::json::Value> parse_lines(const std::string& text) {
+        std::vector<obs::json::Value> lines;
+        std::istringstream in(text);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty()) lines.push_back(obs::json::Value::parse(line));
+        return lines;
+    }
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- stream basics
+
+TEST_F(EventsTest, OpenEmitCloseProducesValidStream) {
+    auto& stream = obs::EventStream::global();
+    EXPECT_FALSE(stream.active());
+    EXPECT_FALSE(obs::events_active());
+
+    stream.open(stream_path(), "test_events");
+    EXPECT_TRUE(obs::events_active());
+    stream.emit("demo.step", {obs::EventField::num("value", 1.5),
+                              obs::EventField::str("phase", "warmup")});
+    obs::emit_event("demo.done");
+    stream.close();
+    EXPECT_FALSE(obs::events_active());
+
+    const std::string text = slurp(stream_path());
+    EXPECT_EQ(obs::validate_events(text), "");
+
+    const auto lines = parse_lines(text);
+    ASSERT_EQ(lines.size(), 4u);  // open, step, done, close
+
+    // Header: tool + wall-clock anchor, seq 0.
+    EXPECT_EQ(lines[0].find("event")->as_string(), "stream.open");
+    EXPECT_EQ(lines[0].find("tool")->as_string(), "test_events");
+    EXPECT_GT(lines[0].find("wall_unix")->as_number(), 0.0);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(lines[i].find("schema")->as_string(), "pnc-events/1");
+        EXPECT_DOUBLE_EQ(lines[i].find("seq")->as_number(), static_cast<double>(i));
+        EXPECT_GE(lines[i].find("t")->as_number(),
+                  i ? lines[i - 1].find("t")->as_number() : 0.0);
+    }
+    EXPECT_EQ(lines[1].find("event")->as_string(), "demo.step");
+    EXPECT_DOUBLE_EQ(lines[1].find("value")->as_number(), 1.5);
+    EXPECT_EQ(lines[1].find("phase")->as_string(), "warmup");
+    EXPECT_EQ(lines.back().find("event")->as_string(), "stream.close");
+}
+
+TEST_F(EventsTest, EmitWithoutOpenIsANoOp) {
+    obs::emit_event("orphan", {obs::EventField::num("x", 1.0)});
+    obs::EventStream::global().emit("orphan.direct");
+    EXPECT_FALSE(std::filesystem::exists(stream_path()));
+}
+
+TEST_F(EventsTest, ReservedKeysCannotBeShadowed) {
+    auto& stream = obs::EventStream::global();
+    stream.open(stream_path(), "test_events");
+    // A field named "seq" (or any reserved key) must not corrupt the envelope.
+    stream.emit("demo", {obs::EventField::num("seq", 999.0),
+                         obs::EventField::str("event", "forged"),
+                         obs::EventField::num("payload", 7.0)});
+    stream.close();
+
+    const std::string text = slurp(stream_path());
+    EXPECT_EQ(obs::validate_events(text), "");
+    const auto lines = parse_lines(text);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_DOUBLE_EQ(lines[1].find("seq")->as_number(), 1.0);
+    EXPECT_EQ(lines[1].find("event")->as_string(), "demo");
+    EXPECT_DOUBLE_EQ(lines[1].find("payload")->as_number(), 7.0);
+}
+
+TEST_F(EventsTest, ReopenTruncatesAndRestartsSeq) {
+    auto& stream = obs::EventStream::global();
+    stream.open(stream_path(), "first");
+    stream.emit("a");
+    stream.close();
+    stream.open(stream_path(), "second");
+    stream.close();
+
+    const auto lines = parse_lines(slurp(stream_path()));
+    ASSERT_EQ(lines.size(), 2u);  // truncated: only the second run
+    EXPECT_EQ(lines[0].find("tool")->as_string(), "second");
+    EXPECT_DOUBLE_EQ(lines[0].find("seq")->as_number(), 0.0);
+    EXPECT_EQ(obs::validate_events(slurp(stream_path())), "");
+}
+
+// -------------------------------------------------------------- validation
+
+namespace {
+
+std::string header_line(double t = 0.0) {
+    return R"({"schema":"pnc-events/1","seq":0,"t":)" + std::to_string(t) +
+           R"(,"event":"stream.open","tool":"x","wall_unix":1})" "\n";
+}
+
+}  // namespace
+
+TEST_F(EventsTest, ValidatorCatalogueOfViolations) {
+    // Well-formed two-line stream passes.
+    const std::string good =
+        header_line() +
+        R"({"schema":"pnc-events/1","seq":1,"t":0.5,"event":"done"})" "\n";
+    EXPECT_EQ(obs::validate_events(good), "");
+
+    // Empty stream: no header.
+    EXPECT_NE(obs::validate_events(""), "");
+    EXPECT_NE(obs::validate_events("\n\n"), "");
+
+    // First event must be stream.open.
+    EXPECT_NE(obs::validate_events(
+                  R"({"schema":"pnc-events/1","seq":0,"t":0,"event":"other"})" "\n"),
+              "");
+
+    // Malformed JSON line.
+    EXPECT_NE(obs::validate_events(header_line() + "{not json\n"), "");
+
+    // Wrong schema tag.
+    EXPECT_NE(obs::validate_events(
+                  R"({"schema":"pnc-events/2","seq":0,"t":0,"event":"stream.open"})" "\n"),
+              "");
+
+    // Sequence gap (seq 2 after 0).
+    EXPECT_NE(obs::validate_events(
+                  header_line() +
+                  R"({"schema":"pnc-events/1","seq":2,"t":0.5,"event":"gap"})" "\n"),
+              "");
+
+    // Time going backwards.
+    EXPECT_NE(obs::validate_events(
+                  header_line(5.0) +
+                  R"({"schema":"pnc-events/1","seq":1,"t":1.0,"event":"rewind"})" "\n"),
+              "");
+
+    // Non-finite t (serialized null).
+    EXPECT_NE(obs::validate_events(
+                  header_line() +
+                  R"({"schema":"pnc-events/1","seq":1,"t":null,"event":"nan"})" "\n"),
+              "");
+
+    // Missing reserved key (no event).
+    EXPECT_NE(obs::validate_events(header_line() +
+                                   R"({"schema":"pnc-events/1","seq":1,"t":0.5})" "\n"),
+              "");
+}
+
+// ----------------------------------------------------- the core invariant
+
+namespace {
+
+// Tiny surrogates (same recipe as test_obs) so the bit-identity test trains
+// a real pNN through the real pipeline in well under a second.
+const surrogate::SurrogateModel& events_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto dataset =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(dataset, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+data::SplitDataset events_blob_split() {
+    math::Rng rng(71);
+    data::Dataset ds;
+    ds.name = "blobs";
+    ds.n_classes = 2;
+    ds.features = math::Matrix(60, 2);
+    for (int i = 0; i < 60; ++i) {
+        const int label = i % 2;
+        ds.labels.push_back(label);
+        ds.features(i, 0) = rng.normal(label ? 0.8 : 0.2, 0.08);
+        ds.features(i, 1) = rng.normal(label ? 0.2 : 0.8, 0.08);
+    }
+    return data::split_and_normalize(ds, 9);
+}
+
+struct WorkloadOutcome {
+    pnn::TrainResult result;
+    std::vector<math::Matrix> params;
+    pnn::EvalResult eval;
+};
+
+WorkloadOutcome run_seeded_workload() {
+    const auto split = events_blob_split();
+    math::Rng rng(72);
+    pnn::Pnn net({2, 3, 2}, &events_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                 &events_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                 surrogate::DesignSpace::table1(), rng);
+    pnn::TrainOptions options;
+    options.max_epochs = 10;
+    options.patience = 10;
+    options.epsilon = 0.1;
+    options.n_mc_train = 4;
+    options.n_mc_val = 2;
+    options.seed = 73;
+    const auto result = pnn::train_pnn(net, split, options);
+    pnn::EvalOptions eval_options;
+    eval_options.epsilon = 0.1;
+    eval_options.n_mc = 16;
+    const auto eval = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval_options);
+    return {result, net.snapshot(), eval};
+}
+
+void expect_identical(const WorkloadOutcome& a, const WorkloadOutcome& b) {
+    EXPECT_EQ(a.result.best_val_loss, b.result.best_val_loss);
+    EXPECT_EQ(a.result.final_train_loss, b.result.final_train_loss);
+    EXPECT_EQ(a.result.best_epoch, b.result.best_epoch);
+    EXPECT_EQ(a.result.epochs_run, b.result.epochs_run);
+    ASSERT_EQ(a.params.size(), b.params.size());
+    for (std::size_t p = 0; p < a.params.size(); ++p) {
+        ASSERT_EQ(a.params[p].size(), b.params[p].size());
+        for (std::size_t i = 0; i < a.params[p].size(); ++i)
+            ASSERT_EQ(a.params[p][i], b.params[p][i])
+                << "parameter " << p << " element " << i;
+    }
+    EXPECT_EQ(a.eval.mean_accuracy, b.eval.mean_accuracy);
+    EXPECT_EQ(a.eval.std_accuracy, b.eval.std_accuracy);
+}
+
+}  // namespace
+
+TEST_F(EventsTest, EventStreamDoesNotChangeResultsBitForBit) {
+    // The ISSUE acceptance criterion for --events-out: enabling the stream
+    // changes no numerical result. Event emission reads already-computed
+    // values and a steady clock — never an Rng stream — and the guarded
+    // emit sites are exercised at one and several threads.
+    const std::size_t restore_threads = runtime::global_thread_count();
+    WorkloadOutcome plain;
+    {
+        runtime::set_global_threads(1);
+        plain = run_seeded_workload();
+    }
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        runtime::set_global_threads(threads);
+        obs::EventStream::global().open(stream_path(), "test_events");
+        const auto observed = run_seeded_workload();
+        obs::EventStream::global().close();
+
+        expect_identical(plain, observed);
+
+        // The stream actually recorded the run and is well-formed.
+        const std::string text = slurp(stream_path());
+        EXPECT_EQ(obs::validate_events(text), "") << "threads=" << threads;
+        EXPECT_NE(text.find("\"train.start\""), std::string::npos);
+        EXPECT_NE(text.find("\"train.epoch\""), std::string::npos);
+        EXPECT_NE(text.find("\"train.finish\""), std::string::npos);
+        EXPECT_NE(text.find("\"eval.finish\""), std::string::npos);
+    }
+    runtime::set_global_threads(restore_threads);
+}

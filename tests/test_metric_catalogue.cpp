@@ -1,0 +1,160 @@
+// Metric-catalogue drift gate: every metric the instrumented hot paths
+// register at runtime must be documented in docs/OBSERVABILITY.md. A new
+// metric without a catalogue row fails here, so the docs cannot silently
+// rot as instrumentation grows.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "faults/campaign.hpp"
+#include "math/random.hpp"
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pnn/certification.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/training.hpp"
+#include "surrogate/dataset_builder.hpp"
+
+#ifndef PNC_OBS_DOC_PATH
+#error "PNC_OBS_DOC_PATH must point at docs/OBSERVABILITY.md"
+#endif
+
+using namespace pnc;
+
+namespace {
+
+/// Instance-bearing names collapse to their documented patterns:
+/// pool.g<digits>.worker.<digits>.* -> pool.g<G>.worker.<i>.* and
+/// *.samples_with.<kind> -> *.samples_with.<kind>.
+std::string normalize(const std::string& name) {
+    std::string out;
+    std::size_t i = 0;
+    const auto starts = [&](const char* token) {
+        return name.compare(i, std::string(token).size(), token) == 0;
+    };
+    while (i < name.size()) {
+        if (starts(".g") && i + 2 < name.size() && std::isdigit(name[i + 2])) {
+            out += ".g<G>";
+            i += 2;
+            while (i < name.size() && std::isdigit(name[i])) ++i;
+        } else if (starts(".worker.") && i + 8 < name.size() &&
+                   std::isdigit(name[i + 8])) {
+            out += ".worker.<i>";
+            i += 8;
+            while (i < name.size() && std::isdigit(name[i])) ++i;
+        } else if (starts(".samples_with.")) {
+            out += ".samples_with.<kind>";
+            i = name.size();
+        } else {
+            out += name[i++];
+        }
+    }
+    return out;
+}
+
+const surrogate::SurrogateModel& catalogue_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto dataset =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(dataset, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+data::SplitDataset catalogue_split() {
+    math::Rng rng(81);
+    data::Dataset ds;
+    ds.name = "blobs";
+    ds.n_classes = 2;
+    ds.features = math::Matrix(60, 2);
+    for (int i = 0; i < 60; ++i) {
+        const int label = i % 2;
+        ds.labels.push_back(label);
+        ds.features(i, 0) = rng.normal(label ? 0.8 : 0.2, 0.08);
+        ds.features(i, 1) = rng.normal(label ? 0.2 : 0.8, 0.08);
+    }
+    return data::split_and_normalize(ds, 9);
+}
+
+}  // namespace
+
+TEST(MetricCatalogue, EveryRegisteredMetricIsDocumented) {
+    // Enable obs BEFORE the surrogates build so the surrogate pipeline's
+    // metrics register too, then touch every instrumented subsystem once.
+    obs::set_enabled(true);
+    obs::MetricsRegistry::global().reset();
+    obs::Tracer::global().reset();
+
+    const auto split = catalogue_split();
+    math::Rng rng(82);
+    pnn::Pnn net({2, 3, 2}, &catalogue_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                 &catalogue_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                 surrogate::DesignSpace::table1(), rng);
+
+    pnn::TrainOptions train;
+    train.max_epochs = 4;
+    train.patience = 4;
+    train.epsilon = 0.1;
+    train.n_mc_train = 2;
+    train.n_mc_val = 2;
+    train.seed = 83;
+    pnn::train_pnn(net, split, train);
+
+    pnn::EvalOptions eval;
+    eval.epsilon = 0.1;
+    eval.n_mc = 4;
+    pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
+    pnn::estimate_yield(net, split.x_test, split.y_test, 0.6, 0.1, 8, 84);
+    pnn::worst_corner_accuracy(net, split.x_test, split.y_test, 0.1, 8, 85);
+    pnn::certify(net, split.x_test, split.y_test, {});
+
+    const auto shape = net.fault_shape();
+    // A high rate so at least one realization actually draws a fault and
+    // the per-kind counter registers.
+    const auto model = faults::make_fault_model("stuck_open", 0.5);
+    faults::FaultCampaignOptions campaign;
+    campaign.n_samples = 8;
+    faults::run_fault_campaign(*model, shape,
+                               [](const faults::NetworkFaultOverlay*, math::Rng&) {
+                                   return 1.0;
+                               },
+                               campaign);
+
+    // Collect every name the workload registered.
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    std::set<std::string> names;
+    for (const auto& [name, value] : snapshot.counters) names.insert(normalize(name));
+    for (const auto& [name, value] : snapshot.gauges) names.insert(normalize(name));
+    for (const auto& hist : snapshot.histograms) names.insert(normalize(hist.name));
+    for (const auto& [name, values] : snapshot.series) names.insert(normalize(name));
+    ASSERT_GT(names.size(), 20u) << "workload did not exercise the instrumented paths";
+
+    std::ifstream in(PNC_OBS_DOC_PATH);
+    ASSERT_TRUE(in) << "cannot read " << PNC_OBS_DOC_PATH;
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string doc = os.str();
+
+    for (const std::string& name : names)
+        EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+            << "metric \"" << name
+            << "\" is registered by the code but has no row in docs/OBSERVABILITY.md";
+
+    obs::set_enabled(false);
+    obs::MetricsRegistry::global().reset();
+    obs::Tracer::global().reset();
+}

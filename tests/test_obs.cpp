@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -367,6 +369,28 @@ TEST_F(ObsTest, ValidateRejectsMalformedReports) {
     EXPECT_NE(obs::validate_run_report(obs::json::Value::array()), "");
 }
 
+TEST_F(ObsTest, NonFiniteValuesSerializeAsNullAndAreRejected) {
+    // Satellite contract: a NaN/Inf gauge must not round-trip silently. The
+    // JSON writer emits null (JSON has no NaN); the validator rejects the
+    // re-parsed document with a message naming the metric.
+    obs::set_enabled(true);
+    obs::MetricsRegistry::global().gauge("bad.gauge").set(std::nan(""));
+    obs::MetricsRegistry::global().gauge("worse.gauge").set(
+        std::numeric_limits<double>::infinity());
+    obs::RunMeta meta;
+    meta.tool = "t";
+    meta.command = "c";
+    const auto doc =
+        obs::run_report_document(obs::MetricsRegistry::global().snapshot(), meta);
+    const std::string text = doc.dump();
+    EXPECT_NE(text.find("null"), std::string::npos);
+
+    const auto reparsed = obs::json::Value::parse(text);
+    const std::string err = obs::validate_run_report(reparsed);
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("gauge"), std::string::npos) << err;
+}
+
 TEST_F(ObsTest, CsvExportFlattensEveryKind) {
     obs::set_enabled(true);
     auto& registry = obs::MetricsRegistry::global();
@@ -383,6 +407,64 @@ TEST_F(ObsTest, CsvExportFlattensEveryKind) {
     EXPECT_NE(csv.find("histogram,h,count,1\n"), std::string::npos);
     EXPECT_NE(csv.find("series,s,0,7\n"), std::string::npos);
     EXPECT_NE(csv.find("series,s,1,8\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, CsvEscapesCommasAndQuotesInNames) {
+    // RFC-4180 quoting keeps the kind,name,field,value contract intact for
+    // arbitrary metric names: commas wrap the field in quotes, embedded
+    // quotes double.
+    obs::set_enabled(true);
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("weird,name").add(1);
+    registry.gauge("say \"hi\"").set(2.0);
+    registry.gauge("plain").set(3.0);
+
+    const std::string csv = obs::metrics_csv(registry.snapshot());
+    EXPECT_NE(csv.find("counter,\"weird,name\",value,1\n"), std::string::npos) << csv;
+    EXPECT_NE(csv.find("gauge,\"say \"\"hi\"\"\",value,2\n"), std::string::npos) << csv;
+    EXPECT_NE(csv.find("gauge,plain,value,3\n"), std::string::npos) << csv;
+
+    // Every data row still splits into exactly four fields outside quotes.
+    std::istringstream lines(csv);
+    std::string line;
+    while (std::getline(lines, line)) {
+        int commas = 0;
+        bool quoted = false;
+        for (char c : line) {
+            if (c == '"') quoted = !quoted;
+            else if (c == ',' && !quoted) ++commas;
+        }
+        EXPECT_EQ(commas, 3) << line;
+    }
+}
+
+TEST_F(ObsTest, ValidateTraceAcceptsRealTreeAndRejectsCorruption) {
+    obs::set_enabled(true);
+    {
+        obs::ScopedTimer outer("outer");
+        obs::ScopedTimer inner("inner");
+    }
+    const auto doc = obs::trace_document(*obs::Tracer::global().snapshot());
+    EXPECT_EQ(obs::validate_trace(doc), "");
+    EXPECT_EQ(obs::validate_trace(obs::json::Value::parse(doc.dump())), "");
+
+    auto bad_schema = doc;
+    bad_schema.set("schema", obs::json::Value::string("pnc-trace/9"));
+    EXPECT_NE(obs::validate_trace(bad_schema), "");
+
+    auto no_root = doc;
+    no_root.set("root", obs::json::Value::null());
+    EXPECT_NE(obs::validate_trace(no_root), "");
+
+    // A node with negative seconds (or a NaN that serialized as null) fails.
+    obs::json::Value node = obs::json::Value::object();
+    node.set("name", obs::json::Value::string("root"));
+    node.set("count", obs::json::Value::number(0));
+    node.set("seconds", obs::json::Value::number(-1.0));
+    node.set("children", obs::json::Value::array());
+    auto negative = doc;
+    negative.set("root", std::move(node));
+    EXPECT_NE(obs::validate_trace(negative), "");
 }
 
 TEST_F(ObsTest, TraceDocumentMirrorsTheTree) {

@@ -18,6 +18,8 @@
 #include <sys/wait.h>
 
 #include "faults/fault_report.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 
@@ -201,6 +203,51 @@ TEST_F(ObsCliTest, EvalFaultFlagsWriteSchemaValidFaultReport) {
         metrics.find("counters")->find("faults.yield.samples_total")->as_number(), 8.0);
 }
 
+TEST_F(ObsCliTest, EventsOutWritesValidJsonlStream) {
+    run_cli("train --dataset iris --eps 0.1 --mc 2 --epochs 4 --patience 4 --hidden 2"
+            " --seed 7 --out " + path("model.pnn") +
+            " --events-out " + path("run.jsonl"));
+
+    const std::string text = slurp(path("run.jsonl"));
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(pnc::obs::validate_events(text), "") << text.substr(0, 400);
+
+    // The stream brackets the run and carries the training milestones.
+    EXPECT_NE(text.find("\"stream.open\""), std::string::npos);
+    EXPECT_NE(text.find("\"run.start\""), std::string::npos);
+    EXPECT_NE(text.find("\"train.start\""), std::string::npos);
+    EXPECT_NE(text.find("\"train.epoch\""), std::string::npos);
+    EXPECT_NE(text.find("\"train.finish\""), std::string::npos);
+    EXPECT_NE(text.find("\"run.finish\""), std::string::npos);
+    EXPECT_NE(text.find("\"stream.close\""), std::string::npos);
+
+    // run.finish reports the process exit code.
+    std::istringstream lines(text);
+    std::string line;
+    bool saw_finish = false;
+    while (std::getline(lines, line)) {
+        if (line.find("\"run.finish\"") == std::string::npos) continue;
+        const Value event = Value::parse(line);
+        EXPECT_DOUBLE_EQ(event.find("exit_code")->as_number(), 0.0);
+        saw_finish = true;
+    }
+    EXPECT_TRUE(saw_finish);
+}
+
+TEST_F(ObsCliTest, ChromeTraceOutWritesValidDocument) {
+    run_cli("train --dataset iris --eps 0.1 --mc 2 --epochs 4 --patience 4 --hidden 2"
+            " --seed 9 --out " + path("model.pnn") +
+            " --chrome-trace-out " + path("trace.json"));
+
+    const Value doc = parse_file(path("trace.json"));
+    ASSERT_EQ(pnc::obs::validate_chrome_trace(doc), "");
+    // Beyond the metadata event, the training span made it into the export.
+    bool saw_train = false;
+    for (const auto& event : doc.find("traceEvents")->items())
+        if (event.find("name")->as_string() == "train_pnn") saw_train = true;
+    EXPECT_TRUE(saw_train);
+}
+
 TEST_F(ObsCliTest, InvalidInvocationsExitWithUsage) {
     // Unknown flag, unknown command, and fault flags without a fault model
     // must all fail fast with the usage text and exit code 2 — not run a
@@ -216,4 +263,8 @@ TEST_F(ObsCliTest, InvalidInvocationsExitWithUsage) {
     // And a bad invocation must not leave a partial report behind.
     EXPECT_EQ(run_cli_rc("eval --metrics-out " + path("bad_report.json")), 2);
     EXPECT_FALSE(fs::exists(path("bad_report.json")));
+    // Same for the event stream: it opens before dispatch, so the usage
+    // handler must remove the just-created file.
+    EXPECT_EQ(run_cli_rc("frobnicate --events-out " + path("bad_events.jsonl")), 2);
+    EXPECT_FALSE(fs::exists(path("bad_events.jsonl")));
 }

@@ -1,0 +1,365 @@
+// The regression observatory: suite/headline schemas, metric
+// classification, tolerance configuration, baseline diffing and the Chrome
+// trace exporter. Everything here is pure document manipulation — no
+// benches run — so the verdict logic can be exercised exhaustively.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "obs/baseline.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+using namespace pnc;
+using obs::json::Value;
+
+namespace {
+
+obs::BenchSuite demo_suite() {
+    obs::BenchSuite suite;
+    suite.meta = {{"tool", "pnc-bench"}, {"tier", "smoke"}, {"git_sha", "abc123"}};
+    obs::BenchResult bench;
+    bench.name = "table2";
+    bench.exit_code = 0;
+    bench.wall_seconds = 12.5;
+    bench.peak_rss_kb = 40960.0;
+    bench.metrics = {{"accuracy.full.eps10.mean", 0.91}, {"experiment.seconds", 11.0}};
+    suite.benches.push_back(bench);
+    return suite;
+}
+
+/// Find the delta for `name`; fails the test when absent.
+const obs::MetricDelta& delta_for(const obs::DiffResult& diff, const std::string& name) {
+    for (const auto& delta : diff.deltas)
+        if (delta.name == name) return delta;
+    ADD_FAILURE() << "no delta named " << name;
+    static obs::MetricDelta missing;
+    return missing;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ suite schema
+
+TEST(BenchSuite, DocumentRoundTrips) {
+    const obs::BenchSuite suite = demo_suite();
+    const Value doc = obs::bench_suite_document(suite);
+    EXPECT_EQ(obs::validate_bench_suite(doc), "");
+
+    // Through text and back: what the driver writes, `pnc report` reads.
+    const obs::BenchSuite back = obs::parse_bench_suite(Value::parse(doc.dump()));
+    EXPECT_EQ(back.meta_value("tool"), "pnc-bench");
+    EXPECT_EQ(back.meta_value("tier"), "smoke");
+    EXPECT_EQ(back.meta_value("absent"), "");
+    ASSERT_EQ(back.benches.size(), 1u);
+    const obs::BenchResult* bench = back.find("table2");
+    ASSERT_NE(bench, nullptr);
+    EXPECT_EQ(bench->exit_code, 0);
+    EXPECT_DOUBLE_EQ(bench->wall_seconds, 12.5);
+    EXPECT_DOUBLE_EQ(bench->peak_rss_kb, 40960.0);
+    ASSERT_EQ(bench->metrics.size(), 2u);
+    EXPECT_EQ(bench->metrics[0].first, "accuracy.full.eps10.mean");
+    EXPECT_DOUBLE_EQ(bench->metrics[0].second, 0.91);
+    EXPECT_EQ(back.find("nope"), nullptr);
+}
+
+TEST(BenchSuite, ValidateRejectsViolations) {
+    const obs::BenchSuite suite = demo_suite();
+
+    Value doc = obs::bench_suite_document(suite);
+    doc.set("schema", Value::string("pnc-bench-suite/2"));
+    EXPECT_NE(obs::validate_bench_suite(doc), "");
+
+    doc = obs::bench_suite_document(suite);
+    Value meta = Value::object();
+    meta.set("tool", Value::string("pnc-bench"));  // tier missing
+    doc.set("meta", std::move(meta));
+    EXPECT_NE(obs::validate_bench_suite(doc), "");
+
+    doc = obs::bench_suite_document(suite);
+    doc.set("benches", Value::object());  // no benches at all
+    EXPECT_NE(obs::validate_bench_suite(doc), "");
+
+    EXPECT_NE(obs::validate_bench_suite(Value::number(3.0)), "");
+    EXPECT_THROW(obs::parse_bench_suite(Value::object()), std::runtime_error);
+}
+
+TEST(BenchSuite, NonFiniteMetricSerializesAsNullAndIsRejected) {
+    // Satellite contract: NaN must not round-trip silently. The writer emits
+    // null for non-finite doubles; the validator refuses the document.
+    obs::BenchSuite suite = demo_suite();
+    suite.benches[0].metrics.emplace_back("accuracy.broken", std::nan(""));
+    const Value doc = obs::bench_suite_document(suite);
+    const std::string text = doc.dump();
+    EXPECT_NE(text.find("null"), std::string::npos);
+
+    const std::string err = obs::validate_bench_suite(Value::parse(text));
+    EXPECT_NE(err.find("accuracy.broken"), std::string::npos) << err;
+    EXPECT_THROW(obs::parse_bench_suite(Value::parse(text)), std::runtime_error);
+}
+
+TEST(BenchSuite, NegativeWallSecondsRejected) {
+    obs::BenchSuite suite = demo_suite();
+    suite.benches[0].wall_seconds = -1.0;
+    EXPECT_NE(obs::validate_bench_suite(obs::bench_suite_document(suite)), "");
+}
+
+// --------------------------------------------------------------- headlines
+
+TEST(Headline, DocumentValidates) {
+    const Value doc = obs::headline_document("bench_fig2", true,
+                                             {{"swing.ptanh_default", 0.8}});
+    EXPECT_EQ(obs::validate_headline(doc), "");
+    EXPECT_EQ(obs::validate_headline(Value::parse(doc.dump())), "");
+
+    Value bad = obs::headline_document("bench_fig2", true, {});
+    bad.set("tool", Value::string(""));
+    EXPECT_NE(obs::validate_headline(bad), "");
+
+    bad = obs::headline_document("bench_fig2", false,
+                                 {{"x", std::numeric_limits<double>::infinity()}});
+    EXPECT_NE(obs::validate_headline(Value::parse(bad.dump())), "");
+    EXPECT_NE(obs::validate_headline(Value::string("nope")), "");
+}
+
+// ----------------------------------------------------------- classification
+
+TEST(ClassifyMetric, BucketsByNameToken) {
+    using K = obs::MetricKind;
+    // Throughput wins even when a timing token is also present.
+    EXPECT_EQ(obs::classify_metric("campaign.samples_per_sec"), K::kThroughput);
+    EXPECT_EQ(obs::classify_metric("eval.t2.speedup"), K::kThroughput);
+
+    EXPECT_EQ(obs::classify_metric("experiment.seconds"), K::kTiming);
+    EXPECT_EQ(obs::classify_metric("eval.t1.ms"), K::kTiming);
+    EXPECT_EQ(obs::classify_metric("kernel.real_ns"), K::kTiming);
+    EXPECT_EQ(obs::classify_metric("cost.iris.latency_ms"), K::kTiming);
+    EXPECT_EQ(obs::classify_metric("peak_rss_kb"), K::kTiming);
+    EXPECT_EQ(obs::classify_metric("cost.iris.watts"), K::kTiming);
+    EXPECT_EQ(obs::classify_metric("hidden3.components"), K::kTiming);
+
+    EXPECT_EQ(obs::classify_metric("accuracy.full.eps10.mean"), K::kAccuracy);
+    EXPECT_EQ(obs::classify_metric("yield.full"), K::kAccuracy);
+    EXPECT_EQ(obs::classify_metric("certified.baseline.eps10"), K::kAccuracy);
+    EXPECT_EQ(obs::classify_metric("surrogate.ptanh.test_r2"), K::kAccuracy);
+
+    EXPECT_EQ(obs::classify_metric("fit.ptanh.rmse"), K::kQualityLoss);
+    EXPECT_EQ(obs::classify_metric("train.best_val_loss"), K::kQualityLoss);
+
+    // Deliberately neutral names never gate (table3 percent-scale gains).
+    EXPECT_EQ(obs::classify_metric("gain.eps10.acc_pct"), K::kInfo);
+    EXPECT_EQ(obs::classify_metric("campaigns.count"), K::kInfo);
+}
+
+// --------------------------------------------------------------- tolerance
+
+TEST(ToleranceConfig, FromJsonAndOverrides) {
+    const Value doc = Value::parse(
+        R"({"rel_timing": 0.5, "abs_accuracy": 0.01,)"
+        R"( "overrides": {"table2.accuracy.full.eps10.mean": 0.05}})");
+    const obs::ToleranceConfig config = obs::ToleranceConfig::from_json(doc);
+    EXPECT_DOUBLE_EQ(config.rel_timing, 0.5);
+    EXPECT_DOUBLE_EQ(config.abs_accuracy, 0.01);
+    EXPECT_DOUBLE_EQ(config.threshold_for("table2.accuracy.full.eps10.mean",
+                                          obs::MetricKind::kAccuracy),
+                     0.05);
+    EXPECT_DOUBLE_EQ(config.threshold_for("other.accuracy", obs::MetricKind::kAccuracy),
+                     0.01);
+    EXPECT_DOUBLE_EQ(config.threshold_for("other.seconds", obs::MetricKind::kTiming), 0.5);
+    EXPECT_DOUBLE_EQ(config.threshold_for("whatever", obs::MetricKind::kInfo), 0.0);
+}
+
+TEST(ToleranceConfig, RejectsUnknownKeysAndBadValues) {
+    // A typo must not silently loosen a CI gate.
+    EXPECT_THROW(obs::ToleranceConfig::from_json(Value::parse(R"({"rel_timming": 0.5})")),
+                 std::runtime_error);
+    EXPECT_THROW(obs::ToleranceConfig::from_json(Value::parse(R"({"rel_timing": -1})")),
+                 std::runtime_error);
+    EXPECT_THROW(obs::ToleranceConfig::from_json(Value::parse(R"({"overrides": 3})")),
+                 std::runtime_error);
+    EXPECT_THROW(
+        obs::ToleranceConfig::from_json(Value::parse(R"({"overrides": {"a": "x"}})")),
+        std::runtime_error);
+    EXPECT_THROW(obs::ToleranceConfig::from_json(Value::number(1.0)), std::runtime_error);
+}
+
+// -------------------------------------------------------------------- diff
+
+TEST(DiffSuites, IdenticalSuitesAreRegressionFree) {
+    const obs::BenchSuite suite = demo_suite();
+    const obs::DiffResult diff = obs::diff_suites(suite, suite, {});
+    EXPECT_FALSE(diff.accuracy_regressed);
+    EXPECT_FALSE(diff.timing_regressed);
+    for (const auto& delta : diff.deltas) EXPECT_EQ(delta.verdict, obs::Verdict::kOk);
+}
+
+TEST(DiffSuites, AccuracyDropBeyondToleranceRegresses) {
+    const obs::BenchSuite baseline = demo_suite();
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].metrics[0].second = 0.91 - 0.05;  // > abs_accuracy 0.02
+    const obs::DiffResult diff = obs::diff_suites(baseline, candidate, {});
+    EXPECT_TRUE(diff.accuracy_regressed);
+    EXPECT_FALSE(diff.timing_regressed);
+    EXPECT_EQ(delta_for(diff, "table2.accuracy.full.eps10.mean").verdict,
+              obs::Verdict::kRegressed);
+
+    // Within tolerance: fine.
+    candidate.benches[0].metrics[0].second = 0.91 - 0.01;
+    EXPECT_FALSE(obs::diff_suites(baseline, candidate, {}).accuracy_regressed);
+
+    // Improvement beyond tolerance is flagged as improved, never regressed.
+    candidate.benches[0].metrics[0].second = 0.91 + 0.05;
+    const obs::DiffResult better = obs::diff_suites(baseline, candidate, {});
+    EXPECT_FALSE(better.accuracy_regressed);
+    EXPECT_EQ(delta_for(better, "table2.accuracy.full.eps10.mean").verdict,
+              obs::Verdict::kImproved);
+}
+
+TEST(DiffSuites, TimingUsesRelativeThreshold) {
+    const obs::BenchSuite baseline = demo_suite();
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].wall_seconds = 12.5 * 1.5;  // +50% > rel_timing 25%
+    obs::DiffResult diff = obs::diff_suites(baseline, candidate, {});
+    EXPECT_TRUE(diff.timing_regressed);
+    EXPECT_FALSE(diff.accuracy_regressed);
+    EXPECT_EQ(delta_for(diff, "table2.wall_seconds").verdict, obs::Verdict::kRegressed);
+
+    candidate.benches[0].wall_seconds = 12.5 * 1.2;  // +20% — inside tolerance
+    EXPECT_FALSE(obs::diff_suites(baseline, candidate, {}).timing_regressed);
+
+    // A loosened per-metric override rescues the +50% case.
+    obs::ToleranceConfig loose;
+    loose.overrides.emplace_back("table2.wall_seconds", 0.6);
+    candidate.benches[0].wall_seconds = 12.5 * 1.5;
+    EXPECT_FALSE(obs::diff_suites(baseline, candidate, loose).timing_regressed);
+}
+
+TEST(DiffSuites, MissingBenchIsAccuracyGradeRegression) {
+    const obs::BenchSuite baseline = demo_suite();
+    obs::BenchSuite candidate = baseline;
+    candidate.benches.clear();
+    obs::BenchResult other;
+    other.name = "other_bench";
+    candidate.benches.push_back(other);
+
+    const obs::DiffResult diff = obs::diff_suites(baseline, candidate, {});
+    EXPECT_TRUE(diff.accuracy_regressed);
+    EXPECT_EQ(delta_for(diff, "table2").verdict, obs::Verdict::kMissing);
+    // The candidate-only bench is informational.
+    EXPECT_EQ(delta_for(diff, "other_bench").verdict, obs::Verdict::kNew);
+}
+
+TEST(DiffSuites, FailingCandidateBenchCountsAsMissing) {
+    const obs::BenchSuite baseline = demo_suite();
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].exit_code = 1;
+    const obs::DiffResult diff = obs::diff_suites(baseline, candidate, {});
+    EXPECT_TRUE(diff.accuracy_regressed);
+    EXPECT_EQ(delta_for(diff, "table2").verdict, obs::Verdict::kMissing);
+}
+
+TEST(DiffSuites, MissingAndNewMetricsWithinABench) {
+    const obs::BenchSuite baseline = demo_suite();
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].metrics = {{"accuracy.full.eps10.mean", 0.91},
+                                    {"accuracy.extra", 0.5}};  // seconds dropped
+
+    const obs::DiffResult diff = obs::diff_suites(baseline, candidate, {});
+    EXPECT_TRUE(diff.accuracy_regressed);  // a dropped metric is a coverage loss
+    EXPECT_EQ(delta_for(diff, "table2.experiment.seconds").verdict,
+              obs::Verdict::kMissing);
+    EXPECT_EQ(delta_for(diff, "table2.accuracy.extra").verdict, obs::Verdict::kNew);
+}
+
+TEST(DiffSuites, InfoMetricsNeverGate) {
+    obs::BenchSuite baseline = demo_suite();
+    baseline.benches[0].metrics = {{"gain.eps10.acc_pct", 5.0}};
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].metrics = {{"gain.eps10.acc_pct", -40.0}};
+    const obs::DiffResult diff = obs::diff_suites(baseline, candidate, {});
+    EXPECT_FALSE(diff.accuracy_regressed);
+    EXPECT_FALSE(diff.timing_regressed);
+    EXPECT_EQ(delta_for(diff, "table2.gain.eps10.acc_pct").verdict, obs::Verdict::kOk);
+}
+
+TEST(FormatDiff, WorstVerdictsSortFirst) {
+    const obs::BenchSuite baseline = demo_suite();
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].metrics[0].second = 0.5;  // hard accuracy regression
+    const std::string table = obs::format_diff(obs::diff_suites(baseline, candidate, {}));
+
+    const auto regressed = table.find("REGRESSED");
+    const auto ok = table.find(" ok");
+    ASSERT_NE(regressed, std::string::npos) << table;
+    ASSERT_NE(ok, std::string::npos) << table;
+    EXPECT_LT(regressed, ok) << table;
+    EXPECT_NE(table.find("table2.accuracy.full.eps10.mean"), std::string::npos);
+}
+
+// ------------------------------------------------------------ chrome trace
+
+TEST(ChromeTrace, DocumentFromTreeValidates) {
+    obs::TraceNode root("root");
+    obs::TraceNode& experiment = root.child("experiment");
+    experiment.count = 1;
+    experiment.seconds = 2.0;
+    obs::TraceNode& train = experiment.child("train_pnn");
+    train.count = 3;
+    train.seconds = 1.5;
+    obs::TraceNode& eval = experiment.child("evaluate_pnn");
+    eval.count = 3;
+    eval.seconds = 0.25;
+
+    const Value doc = obs::chrome_trace_document(root);
+    EXPECT_EQ(obs::validate_chrome_trace(doc), "");
+    EXPECT_EQ(obs::validate_chrome_trace(Value::parse(doc.dump())), "");
+
+    // One metadata event plus one "X" per tree node.
+    const Value* events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    EXPECT_EQ(events->items().size(), 1u + 3u);
+    EXPECT_EQ(events->items()[0].find("ph")->as_string(), "M");
+    bool found_train = false;
+    for (const Value& event : events->items()) {
+        if (event.find("name") && event.find("name")->as_string() == "train_pnn") {
+            found_train = true;
+            EXPECT_EQ(event.find("ph")->as_string(), "X");
+            // Aggregate seconds → microseconds of synthesized duration.
+            EXPECT_NEAR(event.find("dur")->as_number(), 1.5e6, 1.0);
+        }
+    }
+    EXPECT_TRUE(found_train);
+
+    // Children are laid out inside their parent's span.
+    const Value& parent = events->items()[1];
+    const Value& child = events->items()[2];
+    EXPECT_GE(child.find("ts")->as_number(), parent.find("ts")->as_number());
+}
+
+TEST(ChromeTrace, ValidatorRejectsViolations) {
+    EXPECT_NE(obs::validate_chrome_trace(Value::number(1.0)), "");
+    EXPECT_NE(obs::validate_chrome_trace(Value::object()), "");
+
+    obs::TraceNode root("root");
+    root.child("span").count = 1;
+    Value doc = obs::chrome_trace_document(root);
+    // Corrupt an event's phase.
+    const std::string text = doc.dump();
+    Value tampered = Value::parse(text);
+    // Rebuild traceEvents with a bogus phase on the last event.
+    Value events = Value::array();
+    const auto& items = tampered.find("traceEvents")->items();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        Value event = items[i];
+        if (i + 1 == items.size()) event.set("ph", Value::string("Q"));
+        events.push_back(std::move(event));
+    }
+    tampered.set("traceEvents", std::move(events));
+    EXPECT_NE(obs::validate_chrome_trace(tampered), "");
+}

@@ -1,10 +1,14 @@
 #!/bin/sh
-# check_docs.sh — fail when any markdown file in the repo contains a broken
-# relative link. Checks inline links `[text](target)` in every tracked
-# *.md file; absolute URLs (http/https/mailto) are skipped and #fragments
-# are stripped before the existence check. Run from anywhere:
+# check_docs.sh — two docs gates, run from anywhere:
 #
-#   tools/check_docs.sh          # exit 0 = all links resolve
+#   tools/check_docs.sh          # exit 0 = all checks pass
+#
+# 1. Broken links: every inline `[text](target)` in every tracked *.md
+#    file must resolve (absolute URLs skipped, #fragments stripped).
+# 2. Schema coverage: every schema id `pnc-<name>/1` mentioned anywhere in
+#    the docs must have a matching `validate_<name>` symbol (dashes ->
+#    underscores) somewhere under src/ — a documented document format
+#    without a validator is either vapor-docs or a missing validator.
 #
 # Used as the docs counterpart of the test suite: new docs must keep every
 # cross-reference valid.
@@ -56,4 +60,27 @@ if [ "$failures" -ne 0 ]; then
     exit 1
 fi
 echo "check_docs: all $checked relative links resolve"
+
+# ---- schema ids must have validators ------------------------------------
+# Collect every pnc-<name>/1 schema id in the markdown set, map it to its
+# validator symbol (pnc-bench-suite/1 -> validate_bench_suite), and require
+# that symbol to appear in a C++ source/header under src/.
+schemas=$(grep -ohE 'pnc-[a-z0-9-]+/1' $md_files 2>/dev/null | sort -u)
+schema_failures=0
+schema_checked=0
+for schema in $schemas; do
+    name=${schema#pnc-}
+    name=${name%/1}
+    symbol="validate_$(printf '%s' "$name" | tr '-' '_')"
+    schema_checked=$((schema_checked + 1))
+    if ! grep -rqE "std::string ${symbol}\(" src/; then
+        echo "NO VALIDATOR: docs mention $schema but src/ has no '$symbol'" >&2
+        schema_failures=$((schema_failures + 1))
+    fi
+done
+if [ "$schema_failures" -ne 0 ]; then
+    echo "check_docs: $schema_failures schema id(s) without a validator" >&2
+    exit 1
+fi
+echo "check_docs: all $schema_checked documented schemas have validators"
 exit 0

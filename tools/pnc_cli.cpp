@@ -12,6 +12,16 @@
 //   pnc certify    --model model.pnn --dataset iris [--eps 0.05]
 //   pnc export     --model model.pnn [--out netlist.sp]
 //   pnc cost       --model model.pnn
+//   pnc report     diff BASELINE.json CANDIDATE.json [--tolerance-file F]
+//   pnc report     check [CANDIDATE.json] --baseline B.json
+//                  [--tolerance-file F] [--timing-warn-only 1]
+//
+// `report` compares pnc-bench-suite/1 artifacts (written by pnc-bench) with
+// noise-aware verdicts — relative thresholds for timings, absolute for
+// accuracies — and exits 3 when the candidate regressed, so CI can gate on
+// it. `check` defaults the candidate to the newest BENCH_*.json in the
+// artifact directory (the two-command workflow: pnc-bench --smoke, then
+// pnc report check --baseline baselines/ci.json).
 //
 // Unknown options are rejected (usage + exit code 2): a typo like
 // --fault-rte must not silently run a different experiment.
@@ -19,22 +29,30 @@
 // Every command also accepts the telemetry flags (docs/OBSERVABILITY.md):
 //   --metrics-out report.json   write the run-report JSON on success
 //   --trace-out trace.json      write the scoped-timer trace tree
-// Either flag (or PNC_OBS=1 / PNC_METRICS_OUT / PNC_TRACE_OUT in the
-// environment) enables metric collection; it never changes results.
+//   --events-out events.jsonl   stream pnc-events/1 lines as the run goes
+//   --chrome-trace-out t.json   Chrome trace-event view of the trace tree
+// Any of these flags (or PNC_OBS=1 / PNC_METRICS_OUT / PNC_TRACE_OUT /
+// PNC_EVENTS_OUT / PNC_CHROME_TRACE_OUT in the environment) enables metric
+// collection; it never changes results.
 //
 // Surrogate models are loaded from (or built into) the artifact cache, the
 // same one the benches use ($PNC_ARTIFACTS, default ./artifacts).
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "autodiff/ops.hpp"
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
 #include "faults/fault_report.hpp"
+#include "obs/baseline.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
 #include "obs/report.hpp"
 #include "pnn/certification.hpp"
 #include "pnn/cost_analysis.hpp"
@@ -55,6 +73,7 @@ struct UsageError : std::runtime_error {
 
 struct Args {
     std::string command;
+    std::vector<std::string> positionals;  ///< only `report` takes any
     std::map<std::string, std::string> options;
 
     std::string get(const std::string& key, const std::string& fallback = "") const {
@@ -79,7 +98,9 @@ struct Args {
 void validate_options(const Args& args, std::initializer_list<const char*> allowed) {
     for (const auto& [key, value] : args.options) {
         (void)value;
-        if (key == "metrics-out" || key == "trace-out") continue;
+        if (key == "metrics-out" || key == "trace-out" || key == "events-out" ||
+            key == "chrome-trace-out")
+            continue;
         bool known = false;
         for (const char* name : allowed) known |= key == name;
         if (!known)
@@ -94,8 +115,12 @@ Args parse_args(int argc, char** argv) {
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string token = argv[i];
-        if (token.rfind("--", 0) != 0)
-            throw UsageError("expected --option, got '" + token + "'");
+        if (token.rfind("--", 0) != 0) {
+            // Positional argument (subcommand / artifact path). Only the
+            // `report` command consumes any; dispatch() rejects the rest.
+            args.positionals.push_back(std::move(token));
+            continue;
+        }
         token = token.substr(2);
         if (i + 1 >= argc) throw UsageError("--" + token + " needs a value");
         args.options[token] = argv[++i];
@@ -320,10 +345,104 @@ int cmd_cost(const Args& args) {
     return 0;
 }
 
+obs::BenchSuite load_suite_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open suite artifact " + path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    try {
+        return obs::parse_bench_suite(obs::json::Value::parse(ss.str()));
+    } catch (const std::exception& e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+}
+
+obs::ToleranceConfig load_tolerances(const Args& args) {
+    const std::string path = args.get("tolerance-file");
+    if (path.empty()) return {};
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open tolerance file " + path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    try {
+        return obs::ToleranceConfig::from_json(obs::json::Value::parse(ss.str()));
+    } catch (const std::exception& e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+}
+
+/// Newest BENCH_<utc>.json in the artifact directory — the timestamped
+/// names sort lexicographically, so "newest" is the greatest filename.
+std::string newest_bench_artifact() {
+    std::string best;
+    for (const auto& entry : std::filesystem::directory_iterator(exp::artifact_dir())) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json" &&
+            name > best)
+            best = name;
+    }
+    if (best.empty())
+        throw std::runtime_error(
+            "no BENCH_*.json artifact found in " + exp::artifact_dir() +
+            " (run pnc-bench first, or name the candidate explicitly)");
+    return exp::artifact_dir() + "/" + best;
+}
+
+int report_verdict(const obs::DiffResult& diff, bool timing_warn_only) {
+    std::fputs(obs::format_diff(diff).c_str(), stdout);
+    if (diff.accuracy_regressed) {
+        std::printf("\nverdict: ACCURACY REGRESSION\n");
+        return 3;
+    }
+    if (diff.timing_regressed) {
+        if (timing_warn_only) {
+            std::printf("\nverdict: timing regression (warn-only, not gating)\n");
+            return 0;
+        }
+        std::printf("\nverdict: TIMING REGRESSION\n");
+        return 3;
+    }
+    std::printf("\nverdict: regression-free\n");
+    return 0;
+}
+
+int cmd_report(const Args& args) {
+    if (args.positionals.empty())
+        throw UsageError("report needs a subcommand: diff | check");
+    const std::string& sub = args.positionals[0];
+    if (sub == "diff") {
+        validate_options(args, {"tolerance-file"});
+        if (args.positionals.size() != 3)
+            throw UsageError("usage: pnc report diff BASELINE.json CANDIDATE.json");
+        const auto baseline = load_suite_file(args.positionals[1]);
+        const auto candidate = load_suite_file(args.positionals[2]);
+        return report_verdict(diff_suites(baseline, candidate, load_tolerances(args)),
+                              /*timing_warn_only=*/false);
+    }
+    if (sub == "check") {
+        validate_options(args, {"baseline", "tolerance-file", "timing-warn-only"});
+        if (args.positionals.size() > 2)
+            throw UsageError(
+                "usage: pnc report check [CANDIDATE.json] --baseline BASELINE.json");
+        const auto baseline = load_suite_file(args.require("baseline"));
+        const std::string candidate_path =
+            args.positionals.size() == 2 ? args.positionals[1] : newest_bench_artifact();
+        std::printf("candidate: %s\n", candidate_path.c_str());
+        const auto candidate = load_suite_file(candidate_path);
+        return report_verdict(diff_suites(baseline, candidate, load_tolerances(args)),
+                              args.number("timing-warn-only", 0) != 0);
+    }
+    throw UsageError("unknown report subcommand '" + sub + "' (diff | check)");
+}
+
 int cmd_help() {
     std::puts("pnc — printed neuromorphic circuit designer");
-    std::puts("commands: curve fit datasets dataset train eval certify export cost help");
+    std::puts("commands: curve fit datasets dataset train eval certify export cost report "
+              "help");
     std::puts("global flags: --metrics-out report.json  --trace-out trace.json");
+    std::puts("              --events-out events.jsonl  --chrome-trace-out trace.json");
+    std::puts("report: pnc report diff A.json B.json | pnc report check [CAND.json]");
+    std::puts("        --baseline B.json [--tolerance-file F] [--timing-warn-only 1]");
     std::puts("fault flags (eval): --fault-model NAME --fault-rate R --spec A "
               "--fault-report f.json");
     std::puts("see the header of tools/pnc_cli.cpp for the option reference");
@@ -331,6 +450,10 @@ int cmd_help() {
 }
 
 int dispatch(const Args& args) {
+    if (args.command == "report") return cmd_report(args);
+    if (!args.positionals.empty())
+        throw UsageError("command '" + args.command + "' takes no positional argument '" +
+                         args.positionals.front() + "'");
     if (args.command == "curve") {
         validate_options(args, {"kind", "omega", "points"});
         return cmd_curve(args);
@@ -376,16 +499,27 @@ int dispatch(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    std::string events_path;  // visible to the catch blocks for cleanup
     try {
         const Args args = parse_args(argc, argv);
 
-        // Telemetry: CLI flags override the PNC_OBS / PNC_METRICS_OUT /
-        // PNC_TRACE_OUT environment.
+        // Telemetry: CLI flags override the PNC_OBS / PNC_*_OUT environment.
         auto obs_config = obs::ObsConfig::from_env();
         if (const std::string v = args.get("metrics-out"); !v.empty()) obs_config.metrics_out = v;
         if (const std::string v = args.get("trace-out"); !v.empty()) obs_config.trace_out = v;
-        obs_config.enabled |= !obs_config.metrics_out.empty() || !obs_config.trace_out.empty();
+        if (const std::string v = args.get("events-out"); !v.empty()) obs_config.events_out = v;
+        if (const std::string v = args.get("chrome-trace-out"); !v.empty())
+            obs_config.chrome_trace_out = v;
+        obs_config.enabled |= !obs_config.metrics_out.empty() ||
+                              !obs_config.trace_out.empty() ||
+                              !obs_config.events_out.empty() ||
+                              !obs_config.chrome_trace_out.empty();
         obs::set_enabled(obs_config.enabled);
+        if (!obs_config.events_out.empty()) {
+            obs::EventStream::global().open(obs_config.events_out, "pnc");
+            events_path = obs_config.events_out;
+            obs::emit_event("run.start", {obs::EventField::str("command", args.command)});
+        }
 
         const int rc = dispatch(args);
 
@@ -403,12 +537,31 @@ int main(int argc, char** argv) {
             obs::write_trace_json(obs_config.trace_out);
             std::fprintf(stderr, "[obs] trace written to %s\n", obs_config.trace_out.c_str());
         }
+        if (rc == 0 && !obs_config.chrome_trace_out.empty()) {
+            obs::write_chrome_trace(obs_config.chrome_trace_out);
+            std::fprintf(stderr, "[obs] chrome trace written to %s\n",
+                         obs_config.chrome_trace_out.c_str());
+        }
+        if (!events_path.empty()) {
+            obs::emit_event("run.finish", {obs::EventField::num("exit_code", rc)});
+            obs::EventStream::global().close();
+        }
         return rc;
     } catch (const UsageError& e) {
+        // A bad invocation must leave no artifacts behind — remove the event
+        // stream if it was already open when validation rejected the options.
+        if (!events_path.empty()) {
+            obs::EventStream::global().close();
+            std::remove(events_path.c_str());
+        }
         std::cerr << "error: " << e.what() << "\n";
         cmd_help();
         return 2;
     } catch (const std::exception& e) {
+        if (!events_path.empty()) {
+            obs::emit_event("run.error", {obs::EventField::str("what", e.what())});
+            obs::EventStream::global().close();
+        }
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }
