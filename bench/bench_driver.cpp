@@ -212,8 +212,11 @@ int main(int argc, char** argv) {
         return 0;
     }
     if (selected.empty()) {
+        // A pattern that selects nothing is a bad invocation (usage-class
+        // exit 2), not a failed run: writing an empty suite artifact would
+        // let a typo'd CI filter pass silently.
         std::fprintf(stderr, "pnc-bench: --filter '%s' matches nothing\n", filter.c_str());
-        return 1;
+        return 2;
     }
 
     const std::string stamp = utc_stamp();

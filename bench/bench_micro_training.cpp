@@ -5,6 +5,8 @@
 
 #include "data/registry.hpp"
 #include "micro_support.hpp"
+#include "obs/config.hpp"
+#include "obs/health.hpp"
 #include "pnn/training.hpp"
 #include "surrogate/surrogate_model.hpp"
 
@@ -90,6 +92,31 @@ void BM_PnnEpoch(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_PnnEpoch)->Arg(0)->Arg(1);
+
+// Cost of one health-monitor epoch record (series appends + counter-delta
+// rates + watchdog rules) — the per-epoch overhead `pnc train --health-out`
+// adds on top of an instrumented run.
+void BM_HealthRecordEpoch(benchmark::State& state) {
+    const bool was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    obs::HealthMonitor monitor(obs::HealthConfig{},
+                               {{"tool", "bench_micro_training"}});
+    int epoch = 0;
+    for (auto _ : state) {
+        obs::EpochHealth snapshot;
+        snapshot.epoch = epoch;
+        snapshot.train_loss = 0.3 + 0.001 * (epoch % 7);
+        snapshot.val_loss = 0.35 + 0.001 * (epoch % 5);
+        snapshot.grad_norm_theta = 0.5;
+        snapshot.grad_norm_omega = 0.1;
+        snapshot.grad_norm_global = 0.51;
+        monitor.record_epoch(snapshot);
+        ++epoch;
+    }
+    obs::set_enabled(was_enabled);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HealthRecordEpoch);
 
 }  // namespace
 

@@ -10,10 +10,12 @@
 #include <iostream>
 #include <string>
 
+#include "data/registry.hpp"
 #include "exp/artifacts.hpp"
 #include "exp/bench_support.hpp"
 #include "exp/experiment.hpp"
 #include "obs/report.hpp"
+#include "pnn/training.hpp"
 
 using namespace pnc;
 
@@ -58,6 +60,33 @@ int main(int argc, char** argv) {
         run.headline("std.full." + eps, results.average[1][1][e].stddev);
     }
     run.headline("experiment.seconds", elapsed);
+
+    // Training-health probe: one tiny seeded variation-aware training with
+    // the health monitor live (after the timed grid, so it cannot perturb
+    // the wall-clock headlines). The health.* headlines are informational —
+    // a healthy tree must report verdict 0 anomalies / no divergence.
+    {
+        const bool was_enabled = obs::enabled();
+        obs::set_enabled(true);
+        const auto split = data::split_and_normalize(data::make_dataset("iris"), 99);
+        math::Rng probe_rng(7);
+        pnn::Pnn probe_net({split.n_features(), 3,
+                            static_cast<std::size_t>(split.n_classes)},
+                           &act, &neg, surrogate::DesignSpace::table1(), probe_rng);
+        pnn::TrainOptions probe_options;
+        probe_options.max_epochs = 25;
+        probe_options.patience = 25;
+        probe_options.epsilon = 0.1;
+        probe_options.n_mc_train = 3;
+        probe_options.n_mc_val = 2;
+        probe_options.seed = 7;
+        const auto probe = pnn::train_pnn(probe_net, split, probe_options);
+        obs::set_enabled(was_enabled);
+        run.headline("health.probe.anomalies",
+                     static_cast<double>(probe.health.anomalies));
+        run.headline("health.probe.diverged", probe.health.diverged ? 1.0 : 0.0);
+        run.headline("health.probe.max_grad_norm", probe.health.max_grad_norm);
+    }
 
     results.save_file(exp::artifact_dir() + "/table_results.txt");
     if (observed) {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace pnc::ad {
 
@@ -376,6 +379,17 @@ Var stop_gradient(const Var& a) { return constant(a.value()); }
 // ---- straight-through estimators --------------------------------------------------
 
 Var clamp_ste(const Var& a, double lo, double hi) {
+    // Health instrumentation: how often the learnable parameters actually
+    // hit their clip bounds (reads values only, never an Rng stream).
+    if (obs::enabled()) {
+        const Matrix& v = a.value();
+        std::uint64_t saturated = 0;
+        for (std::size_t i = 0; i < v.size(); ++i)
+            if (v[i] < lo || v[i] > hi) ++saturated;
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("ad.clamp_ste.elements_total").add(v.size());
+        registry.counter("ad.clamp_ste.saturated_total").add(saturated);
+    }
     return make_node(a.value().map([lo, hi](double v) { return std::clamp(v, lo, hi); }),
                      {a},
                      [](Node& self) { parent(self, 0).accumulate(self.grad); });
@@ -384,6 +398,19 @@ Var clamp_ste(const Var& a, double lo, double hi) {
 Var project_conductance_ste(const Var& theta, double g_min, double g_max) {
     if (!(0.0 < g_min && g_min < g_max))
         throw std::invalid_argument("project_conductance_ste: need 0 < g_min < g_max");
+    // Health instrumentation: fraction of conductances altered by the
+    // projection (pruned to zero or clamped to the printable range).
+    if (obs::enabled()) {
+        const Matrix& v = theta.value();
+        std::uint64_t saturated = 0;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            const double mag = std::abs(v[i]);
+            if (mag < g_min || mag > g_max) ++saturated;
+        }
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("ad.project_g.elements_total").add(v.size());
+        registry.counter("ad.project_g.saturated_total").add(saturated);
+    }
     return make_node(theta.value().map([g_min, g_max](double v) {
                          const double mag = std::abs(v);
                          if (mag < 0.5 * g_min) return 0.0;

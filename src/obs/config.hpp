@@ -26,15 +26,17 @@ inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed)
 void set_enabled(bool on);
 
 /// Where a run wants its telemetry written. Filled from CLI flags
-/// (`--metrics-out`, `--trace-out`, `--events-out`, `--chrome-trace-out`)
-/// or the PNC_OBS / PNC_METRICS_OUT / PNC_TRACE_OUT / PNC_EVENTS_OUT /
-/// PNC_CHROME_TRACE_OUT environment variables.
+/// (`--metrics-out`, `--trace-out`, `--events-out`, `--chrome-trace-out`,
+/// `--health-out`) or the PNC_OBS / PNC_METRICS_OUT / PNC_TRACE_OUT /
+/// PNC_EVENTS_OUT / PNC_CHROME_TRACE_OUT / PNC_HEALTH_OUT environment
+/// variables.
 struct ObsConfig {
     bool enabled = false;
     std::string metrics_out;       ///< run-report JSON path ("" = don't write)
     std::string trace_out;         ///< trace-tree JSON path ("" = don't write)
     std::string events_out;        ///< JSONL event-stream path ("" = no stream)
     std::string chrome_trace_out;  ///< Chrome trace-event JSON path
+    std::string health_out;        ///< training flight-recorder JSON path
 
     /// PNC_OBS=1 enables collection; any *_OUT variable sets the matching
     /// output path (each one implies enabled).

@@ -1,0 +1,462 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace pnc::obs {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+    const char* raw = std::getenv(name);
+    if (!raw || !*raw) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw || *end != '\0' || !std::isfinite(v) || v <= 0.0) return fallback;
+    return v;
+}
+
+/// Median of the last `window` entries of `history` (empty -> 0).
+double trailing_median(const std::vector<double>& history, int window) {
+    if (history.empty()) return 0.0;
+    const std::size_t n = std::min<std::size_t>(history.size(),
+                                                static_cast<std::size_t>(std::max(window, 1)));
+    std::vector<double> tail(history.end() - static_cast<std::ptrdiff_t>(n), history.end());
+    const std::size_t mid = tail.size() / 2;
+    std::nth_element(tail.begin(), tail.begin() + static_cast<std::ptrdiff_t>(mid), tail.end());
+    if (tail.size() % 2 == 1) return tail[mid];
+    const double upper = tail[mid];
+    std::nth_element(tail.begin(), tail.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                     tail.begin() + static_cast<std::ptrdiff_t>(mid));
+    return 0.5 * (tail[mid - 1] + upper);
+}
+
+/// Severity order for verdicts; higher wins.
+int verdict_rank(const std::string& kind) {
+    if (kind == "loss_divergence") return 3;
+    if (kind == "gradient_explosion") return 2;
+    if (kind == "sustained_saturation") return 1;
+    return 0;
+}
+
+bool is_divergence_kind(const std::string& kind) {
+    return kind == "loss_divergence" || kind == "gradient_explosion";
+}
+
+std::mutex g_health_out_mutex;
+std::string g_health_out_path;
+std::string g_health_out_tool = "pnc";
+
+struct CounterProbe {
+    Counter* elements = nullptr;
+    Counter* hits = nullptr;
+};
+
+/// Rate of `hits` per `elements` accumulated since the last probe.
+double delta_rate(const CounterProbe& probe, std::uint64_t& elems_seen,
+                  std::uint64_t& hits_seen) {
+    const std::uint64_t elems = probe.elements->value();
+    const std::uint64_t hits = probe.hits->value();
+    const std::uint64_t d_elems = elems >= elems_seen ? elems - elems_seen : elems;
+    const std::uint64_t d_hits = hits >= hits_seen ? hits - hits_seen : hits;
+    elems_seen = elems;
+    hits_seen = hits;
+    if (d_elems == 0) return 0.0;
+    return static_cast<double>(d_hits) / static_cast<double>(d_elems);
+}
+
+}  // namespace
+
+HealthConfig HealthConfig::from_env() {
+    HealthConfig config;
+    config.loss_spike_factor = env_double("PNC_HEALTH_SPIKE_FACTOR", config.loss_spike_factor);
+    config.grad_norm_limit = env_double("PNC_HEALTH_GRAD_LIMIT", config.grad_norm_limit);
+    config.ring_depth = static_cast<std::size_t>(
+        env_double("PNC_HEALTH_RING", static_cast<double>(config.ring_depth)));
+    return config;
+}
+
+void set_health_out(const std::string& path, const std::string& tool) {
+    std::lock_guard<std::mutex> lock(g_health_out_mutex);
+    g_health_out_path = path;
+    g_health_out_tool = tool;
+}
+
+std::string health_out_path() {
+    std::lock_guard<std::mutex> lock(g_health_out_mutex);
+    return g_health_out_path;
+}
+
+std::string health_out_tool() {
+    std::lock_guard<std::mutex> lock(g_health_out_mutex);
+    return g_health_out_tool;
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config,
+                             std::vector<std::pair<std::string, std::string>> meta)
+    : config_(std::move(config)), meta_(std::move(meta)) {
+    if (config_.ring_depth == 0) config_.ring_depth = 1;
+    // Baseline the instrumentation counters so rates cover only this run.
+    auto& registry = MetricsRegistry::global();
+    clamp_elems_seen_ = registry.counter("ad.clamp_ste.elements_total").value();
+    clamp_sat_seen_ = registry.counter("ad.clamp_ste.saturated_total").value();
+    proj_elems_seen_ = registry.counter("ad.project_g.elements_total").value();
+    proj_sat_seen_ = registry.counter("ad.project_g.saturated_total").value();
+    ood_elems_seen_ = registry.counter("surrogate.ood.features_total").value();
+    ood_out_seen_ = registry.counter("surrogate.ood.out_of_domain_total").value();
+}
+
+void HealthMonitor::record_epoch(EpochHealth epoch) {
+    if (finished_) return;
+    auto& registry = MetricsRegistry::global();
+    const CounterProbe clamp{&registry.counter("ad.clamp_ste.elements_total"),
+                             &registry.counter("ad.clamp_ste.saturated_total")};
+    const CounterProbe proj{&registry.counter("ad.project_g.elements_total"),
+                            &registry.counter("ad.project_g.saturated_total")};
+    const CounterProbe ood{&registry.counter("surrogate.ood.features_total"),
+                           &registry.counter("surrogate.ood.out_of_domain_total")};
+    epoch.omega_sat_rate = delta_rate(clamp, clamp_elems_seen_, clamp_sat_seen_);
+    epoch.theta_sat_rate = delta_rate(proj, proj_elems_seen_, proj_sat_seen_);
+    epoch.surrogate_ood_fraction = delta_rate(ood, ood_elems_seen_, ood_out_seen_);
+
+    registry.series("health.grad_norm_global").append(epoch.grad_norm_global);
+    registry.series("health.grad_norm_theta").append(epoch.grad_norm_theta);
+    registry.series("health.grad_norm_omega").append(epoch.grad_norm_omega);
+    registry.series("health.theta_sat_rate").append(epoch.theta_sat_rate);
+    registry.series("health.omega_sat_rate").append(epoch.omega_sat_rate);
+    registry.series("health.surrogate_ood_fraction").append(epoch.surrogate_ood_fraction);
+
+    ++epochs_;
+    if (std::isfinite(epoch.grad_norm_global))
+        max_grad_norm_ = std::max(max_grad_norm_, epoch.grad_norm_global);
+
+    const std::uint64_t before = anomalies_total_;
+    run_watchdog(epoch);
+
+    ring_.push_back(epoch);
+    while (ring_.size() > config_.ring_depth) ring_.pop_front();
+
+    // First anomaly: flush the flight recorder immediately so the dump
+    // survives even if the run is killed mid-divergence.
+    if (before == 0 && anomalies_total_ > 0) write_dump();
+}
+
+void HealthMonitor::run_watchdog(const EpochHealth& e) {
+    // ---- loss_divergence -------------------------------------------------
+    if (!std::isfinite(e.train_loss) || !std::isfinite(e.val_loss)) {
+        ++nonfinite_loss_total_;
+        MetricsRegistry::global().counter("health.nonfinite_loss_total").add(1);
+        flag("loss_divergence", "non_finite", e.epoch,
+             std::isfinite(e.train_loss) ? e.val_loss : e.train_loss, 0.0);
+    }
+    if (std::isfinite(e.train_loss)) {
+        const double median = trailing_median(train_losses_, config_.trailing_window);
+        if (static_cast<int>(train_losses_.size()) >= config_.min_history &&
+            median > config_.loss_floor &&
+            e.train_loss > config_.loss_spike_factor * median) {
+            flag("loss_divergence", "spike", e.epoch, e.train_loss,
+                 config_.loss_spike_factor * median);
+        }
+        if (has_best_loss_ && e.epoch >= config_.warmup_epochs) {
+            const double base = std::max(best_loss_, config_.loss_floor);
+            if (e.train_loss > config_.loss_runaway_factor * base) {
+                flag("loss_divergence", "runaway", e.epoch, e.train_loss,
+                     config_.loss_runaway_factor * base);
+            }
+        }
+        train_losses_.push_back(e.train_loss);
+        if (!has_best_loss_ || e.train_loss < best_loss_) {
+            best_loss_ = e.train_loss;
+            has_best_loss_ = true;
+        }
+    }
+
+    // ---- gradient_explosion ----------------------------------------------
+    if (e.nonfinite_grad_elements > 0 || !std::isfinite(e.grad_norm_global)) {
+        nonfinite_grad_total_ += std::max<std::uint64_t>(e.nonfinite_grad_elements, 1);
+        MetricsRegistry::global()
+            .counter("health.nonfinite_grad_total")
+            .add(std::max<std::uint64_t>(e.nonfinite_grad_elements, 1));
+        flag("gradient_explosion", "non_finite", e.epoch,
+             static_cast<double>(e.nonfinite_grad_elements), 0.0);
+    }
+    if (std::isfinite(e.grad_norm_global)) {
+        if (e.grad_norm_global > config_.grad_norm_limit) {
+            flag("gradient_explosion", "limit", e.epoch, e.grad_norm_global,
+                 config_.grad_norm_limit);
+        }
+        const double median = trailing_median(grad_norms_, config_.trailing_window);
+        if (static_cast<int>(grad_norms_.size()) >= config_.min_history &&
+            median > config_.grad_floor &&
+            e.grad_norm_global > config_.grad_spike_factor * median) {
+            flag("gradient_explosion", "spike", e.epoch, e.grad_norm_global,
+                 config_.grad_spike_factor * median);
+        }
+        grad_norms_.push_back(e.grad_norm_global);
+    }
+
+    // ---- sustained_saturation --------------------------------------------
+    if (e.omega_sat_rate >= config_.saturation_rate) {
+        ++saturated_run_;
+        if (saturated_run_ >= config_.saturation_epochs && !saturation_flagged_) {
+            saturation_flagged_ = true;
+            flag("sustained_saturation", "omega_clip", e.epoch, e.omega_sat_rate,
+                 config_.saturation_rate);
+        }
+    } else {
+        saturated_run_ = 0;
+        saturation_flagged_ = false;
+    }
+}
+
+void HealthMonitor::flag(const char* kind, const char* detail, int epoch, double value,
+                         double threshold) {
+    ++anomalies_total_;
+    MetricsRegistry::global().counter("health.anomalies_total").add(1);
+    if (anomalies_.size() < config_.max_anomalies)
+        anomalies_.push_back({kind, detail, epoch, value, threshold});
+    if (anomaly_events_ < config_.max_anomaly_events) {
+        ++anomaly_events_;
+        emit_event("health.anomaly",
+                   {EventField::str("kind", kind), EventField::str("detail", detail),
+                    EventField::num("epoch", epoch), EventField::num("value", value),
+                    EventField::num("threshold", threshold)});
+    }
+}
+
+HealthMonitor::Summary HealthMonitor::summarize() const {
+    Summary summary;
+    summary.epochs = epochs_;
+    summary.anomalies_total = anomalies_total_;
+    summary.max_grad_norm = max_grad_norm_;
+    int rank = 0;
+    for (const auto& anomaly : anomalies_) {
+        if (is_divergence_kind(anomaly.kind)) summary.diverged = true;
+        const int r = verdict_rank(anomaly.kind);
+        if (r > rank) {
+            rank = r;
+            summary.verdict = anomaly.kind;
+        }
+    }
+    return summary;
+}
+
+HealthMonitor::Summary HealthMonitor::finish() {
+    const Summary summary = summarize();
+    if (finished_) return summary;
+    finished_ = true;
+    auto& registry = MetricsRegistry::global();
+    registry.gauge("health.diverged").set(summary.diverged ? 1.0 : 0.0);
+    registry.gauge("health.max_grad_norm").set(summary.max_grad_norm);
+    emit_event("health.finish",
+               {EventField::num("epochs", summary.epochs),
+                EventField::num("anomalies", static_cast<double>(summary.anomalies_total)),
+                EventField::num("diverged", summary.diverged ? 1.0 : 0.0),
+                EventField::str("verdict", summary.verdict)});
+    write_dump();
+    return summary;
+}
+
+json::Value HealthMonitor::document() const {
+    using json::Value;
+    const Summary summary = summarize();
+    Value doc = Value::object();
+    doc.set("schema", Value::string("pnc-health/1"));
+
+    Value meta = Value::object();
+    meta.set("tool", Value::string(health_out_tool()));
+    for (const auto& [key, value] : meta_) meta.set(key, Value::string(value));
+    doc.set("meta", std::move(meta));
+
+    Value config = Value::object();
+    config.set("loss_spike_factor", Value::number(config_.loss_spike_factor));
+    config.set("loss_runaway_factor", Value::number(config_.loss_runaway_factor));
+    config.set("loss_floor", Value::number(config_.loss_floor));
+    config.set("trailing_window", Value::number(config_.trailing_window));
+    config.set("min_history", Value::number(config_.min_history));
+    config.set("warmup_epochs", Value::number(config_.warmup_epochs));
+    config.set("grad_norm_limit", Value::number(config_.grad_norm_limit));
+    config.set("grad_spike_factor", Value::number(config_.grad_spike_factor));
+    config.set("grad_floor", Value::number(config_.grad_floor));
+    config.set("saturation_rate", Value::number(config_.saturation_rate));
+    config.set("saturation_epochs", Value::number(config_.saturation_epochs));
+    config.set("ring_depth", Value::number(static_cast<double>(config_.ring_depth)));
+    doc.set("config", std::move(config));
+
+    Value status = Value::object();
+    status.set("epochs_run", Value::number(epochs_));
+    status.set("anomalies_total", Value::number(static_cast<double>(anomalies_total_)));
+    status.set("nonfinite_loss_total",
+               Value::number(static_cast<double>(nonfinite_loss_total_)));
+    status.set("nonfinite_grad_total",
+               Value::number(static_cast<double>(nonfinite_grad_total_)));
+    status.set("diverged", Value::boolean(summary.diverged));
+    status.set("verdict", Value::string(summary.verdict));
+    status.set("max_grad_norm", Value::number(summary.max_grad_norm));
+    doc.set("status", std::move(status));
+
+    Value anomalies = Value::array();
+    for (const auto& a : anomalies_) {
+        Value entry = Value::object();
+        entry.set("kind", Value::string(a.kind));
+        entry.set("detail", Value::string(a.detail));
+        entry.set("epoch", Value::number(a.epoch));
+        entry.set("value", Value::number(a.value));
+        entry.set("threshold", Value::number(a.threshold));
+        anomalies.push_back(std::move(entry));
+    }
+    doc.set("anomalies", std::move(anomalies));
+
+    Value ring = Value::array();
+    for (const auto& e : ring_) {
+        Value entry = Value::object();
+        entry.set("epoch", Value::number(e.epoch));
+        entry.set("train_loss", Value::number(e.train_loss));
+        entry.set("val_loss", Value::number(e.val_loss));
+        entry.set("grad_norm_theta", Value::number(e.grad_norm_theta));
+        entry.set("grad_norm_omega", Value::number(e.grad_norm_omega));
+        entry.set("grad_norm_global", Value::number(e.grad_norm_global));
+        entry.set("nonfinite_grad_elements",
+                  Value::number(static_cast<double>(e.nonfinite_grad_elements)));
+        entry.set("rng_streams_consumed",
+                  Value::number(static_cast<double>(e.rng_streams_consumed)));
+        entry.set("theta_sat_rate", Value::number(e.theta_sat_rate));
+        entry.set("omega_sat_rate", Value::number(e.omega_sat_rate));
+        entry.set("surrogate_ood_fraction", Value::number(e.surrogate_ood_fraction));
+        ring.push_back(std::move(entry));
+    }
+    doc.set("ring", std::move(ring));
+    return doc;
+}
+
+void HealthMonitor::write_dump() const {
+    const std::string path = health_out_path();
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "[obs] cannot write health dump to %s\n", path.c_str());
+        return;
+    }
+    out << document().dump() << "\n";
+}
+
+namespace {
+
+const char* kVerdicts[] = {"healthy", "sustained_saturation", "gradient_explosion",
+                           "loss_divergence"};
+const char* kKinds[] = {"loss_divergence", "gradient_explosion", "sustained_saturation"};
+
+bool known_verdict(const std::string& v) {
+    for (const char* k : kVerdicts)
+        if (v == k) return true;
+    return false;
+}
+
+bool known_kind(const std::string& v) {
+    for (const char* k : kKinds)
+        if (v == k) return true;
+    return false;
+}
+
+/// Number or null (non-finite values serialize as null).
+bool numeric_or_null(const json::Value* v) {
+    return v != nullptr && (v->is_number() || v->kind() == json::Value::Kind::kNull);
+}
+
+}  // namespace
+
+std::string validate_health(const json::Value& doc) {
+    using json::Value;
+    if (!doc.is_object()) return "health document is not an object";
+    const Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != "pnc-health/1")
+        return "schema is not \"pnc-health/1\"";
+
+    const Value* meta = doc.find("meta");
+    if (!meta || !meta->is_object()) return "missing meta object";
+    for (const auto& [key, value] : meta->members())
+        if (!value.is_string()) return "meta." + key + " is not a string";
+
+    const Value* config = doc.find("config");
+    if (!config || !config->is_object()) return "missing config object";
+    for (const auto& [key, value] : config->members())
+        if (!value.is_number()) return "config." + key + " is not a number";
+
+    const Value* status = doc.find("status");
+    if (!status || !status->is_object()) return "missing status object";
+    for (const char* key : {"epochs_run", "anomalies_total"}) {
+        const Value* v = status->find(key);
+        if (!v || !v->is_number()) return std::string("status.") + key + " is not a number";
+    }
+    const Value* diverged = status->find("diverged");
+    if (!diverged || !diverged->is_bool()) return "status.diverged is not a bool";
+    const Value* verdict = status->find("verdict");
+    if (!verdict || !verdict->is_string() || !known_verdict(verdict->as_string()))
+        return "status.verdict is not a known verdict";
+
+    const Value* anomalies = doc.find("anomalies");
+    if (!anomalies || !anomalies->is_array()) return "missing anomalies array";
+    for (const Value& entry : anomalies->items()) {
+        if (!entry.is_object()) return "anomaly entry is not an object";
+        const Value* kind = entry.find("kind");
+        if (!kind || !kind->is_string() || !known_kind(kind->as_string()))
+            return "anomaly kind is not a known kind";
+        const Value* detail = entry.find("detail");
+        if (!detail || !detail->is_string()) return "anomaly detail is not a string";
+        const Value* epoch = entry.find("epoch");
+        if (!epoch || !epoch->is_number()) return "anomaly epoch is not a number";
+        // value / threshold may be null: non-finite observations (NaN loss)
+        // have no JSON number representation.
+        if (!numeric_or_null(entry.find("value"))) return "anomaly value is not numeric";
+        if (!numeric_or_null(entry.find("threshold")))
+            return "anomaly threshold is not numeric";
+    }
+
+    const Value* ring = doc.find("ring");
+    if (!ring || !ring->is_array()) return "missing ring array";
+    for (const Value& entry : ring->items()) {
+        if (!entry.is_object()) return "ring entry is not an object";
+        const Value* epoch = entry.find("epoch");
+        if (!epoch || !epoch->is_number()) return "ring epoch is not a number";
+        for (const char* key :
+             {"train_loss", "val_loss", "grad_norm_theta", "grad_norm_omega",
+              "grad_norm_global", "theta_sat_rate", "omega_sat_rate",
+              "surrogate_ood_fraction"}) {
+            if (!numeric_or_null(entry.find(key)))
+                return std::string("ring.") + key + " is not numeric";
+        }
+    }
+    return "";
+}
+
+HealthReading classify_health(const json::Value& doc) {
+    const std::string error = validate_health(doc);
+    if (!error.empty()) throw std::runtime_error("invalid pnc-health/1 document: " + error);
+
+    HealthReading reading;
+    const json::Value& status = *doc.find("status");
+    reading.verdict = status.find("verdict")->as_string();
+    reading.diverged = status.find("diverged")->as_bool();
+    reading.epochs_run = static_cast<int>(status.find("epochs_run")->as_number());
+    reading.anomalies_total =
+        static_cast<std::uint64_t>(status.find("anomalies_total")->as_number());
+
+    // Count recorded anomalies per kind, most severe first.
+    for (const char* kind : kKinds) {
+        std::uint64_t count = 0;
+        for (const json::Value& entry : doc.find("anomalies")->items())
+            if (entry.find("kind")->as_string() == kind) ++count;
+        if (count > 0) reading.kinds.emplace_back(kind, count);
+    }
+    return reading;
+}
+
+}  // namespace pnc::obs

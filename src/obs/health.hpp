@@ -1,0 +1,178 @@
+// Training-health observatory: per-epoch numeric introspection, a rule-based
+// divergence watchdog, and a bounded flight recorder.
+//
+// The monitor rides the existing obs gate: train_pnn constructs one only when
+// obs::enabled(), feeds it one EpochHealth record per epoch (gradient norms
+// read from the autodiff leaves *after* backward — clocks and values only,
+// never an Rng stream, so instrumented runs stay bit-identical to plain runs,
+// test-enforced by tests/test_health.cpp), and the monitor derives clip/
+// saturation hit-rates and surrogate out-of-domain fractions from the
+// instrumentation counters in ops.cpp / surrogate_model.cpp. A small rule
+// set (loss spike vs trailing median, runaway loss vs best-so-far, gradient
+// explosion, non-finite loss/gradients, sustained ω-clip saturation) flags
+// anomalies as structured `health.*` events; on the first anomaly — and again
+// at the end of training — the last K epochs of health state are dumped as a
+// self-validated `pnc-health/1` artifact that `pnc doctor` can classify.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pnc::obs {
+
+/// Watchdog thresholds and flight-recorder bounds. The defaults are
+/// deliberately conservative (a healthy seeded run must never trip them);
+/// from_env() lets CI canaries and tests sensitize individual rules.
+struct HealthConfig {
+    // loss_divergence: train/val loss > spike_factor x trailing median of the
+    // last `trailing_window` losses (needs >= min_history history and the
+    // loss above `loss_floor`), OR loss > runaway_factor x best-so-far after
+    // `warmup_epochs`, OR a non-finite loss.
+    double loss_spike_factor = 2.5;
+    double loss_runaway_factor = 3.0;
+    double loss_floor = 0.05;
+    int trailing_window = 8;
+    int min_history = 3;
+    int warmup_epochs = 5;
+    // gradient_explosion: global grad norm above an absolute ceiling, OR
+    // > grad_spike_factor x trailing median of past norms, OR any
+    // non-finite gradient element.
+    double grad_norm_limit = 1e3;
+    double grad_spike_factor = 20.0;
+    double grad_floor = 1e-3;
+    // sustained_saturation: omega clip-saturation rate >= saturation_rate for
+    // saturation_epochs consecutive epochs (warning verdict, not divergence).
+    double saturation_rate = 0.95;
+    int saturation_epochs = 8;
+    // Flight recorder bounds.
+    std::size_t ring_depth = 16;          ///< epochs kept in the dump
+    std::size_t max_anomalies = 64;       ///< anomalies kept in the dump
+    std::size_t max_anomaly_events = 16;  ///< `health.anomaly` lines emitted
+
+    /// Defaults overridden by PNC_HEALTH_SPIKE_FACTOR, PNC_HEALTH_GRAD_LIMIT,
+    /// PNC_HEALTH_RING (positive finite values only; bad values ignored).
+    static HealthConfig from_env();
+};
+
+/// One epoch of health state. The caller (train_pnn) fills the loss and
+/// gradient fields; record_epoch() derives the *_rate / ood fields from the
+/// instrumentation counter deltas since the previous epoch.
+struct EpochHealth {
+    int epoch = 0;
+    double train_loss = 0.0;
+    double val_loss = 0.0;
+    double grad_norm_theta = 0.0;   ///< L2 over the theta parameter group
+    double grad_norm_omega = 0.0;   ///< L2 over the omega group (0 if frozen)
+    double grad_norm_global = 0.0;  ///< L2 over all trainable leaves
+    std::uint64_t nonfinite_grad_elements = 0;
+    std::uint64_t rng_streams_consumed = 0;  ///< cumulative split() children
+    // Derived by the monitor from counter deltas — leave zero when feeding.
+    double theta_sat_rate = 0.0;  ///< conductance-projection clip hit-rate
+    double omega_sat_rate = 0.0;  ///< clamp_ste clip hit-rate (r2/r4 bounds)
+    double surrogate_ood_fraction = 0.0;  ///< normalized features outside [0,1]
+};
+
+/// One watchdog firing. `kind` is the verdict family the rule belongs to;
+/// `detail` names the specific rule ("spike", "runaway", "non_finite", ...).
+struct HealthAnomaly {
+    std::string kind;  ///< loss_divergence | gradient_explosion | sustained_saturation
+    std::string detail;
+    int epoch = 0;
+    double value = 0.0;      ///< observation that tripped the rule
+    double threshold = 0.0;  ///< limit it was compared against
+};
+
+/// Per-run training-health monitor. Single-writer (the training loop);
+/// reads process-wide instrumentation counters that any thread may bump.
+class HealthMonitor {
+public:
+    /// `meta` is stamped into the dump verbatim (seed, options, tool, ...).
+    HealthMonitor(HealthConfig config,
+                  std::vector<std::pair<std::string, std::string>> meta);
+
+    /// Feed one epoch: derives counter-delta rates, appends the health.*
+    /// series, runs the watchdog, emits events, and (re)writes the flight
+    /// recorder dump on the first anomaly when an output path is set.
+    void record_epoch(EpochHealth epoch);
+
+    struct Summary {
+        int epochs = 0;
+        std::uint64_t anomalies_total = 0;
+        bool diverged = false;
+        std::string verdict = "healthy";
+        double max_grad_norm = 0.0;
+    };
+
+    /// Finalize: set the summary gauges, emit `health.finish`, write the
+    /// dump (healthy runs get one too, so `pnc doctor` can certify exit 0).
+    Summary finish();
+
+    const std::vector<HealthAnomaly>& anomalies() const { return anomalies_; }
+    std::uint64_t anomalies_total() const { return anomalies_total_; }
+
+    /// Current state as a `pnc-health/1` document (ring bounded at
+    /// config.ring_depth, anomalies at config.max_anomalies).
+    json::Value document() const;
+
+private:
+    void run_watchdog(const EpochHealth& e);
+    void flag(const char* kind, const char* detail, int epoch, double value,
+              double threshold);
+    void write_dump() const;
+    Summary summarize() const;
+
+    HealthConfig config_;
+    std::vector<std::pair<std::string, std::string>> meta_;
+    std::deque<EpochHealth> ring_;
+    std::vector<HealthAnomaly> anomalies_;  ///< bounded at max_anomalies
+    std::uint64_t anomalies_total_ = 0;
+    std::uint64_t anomaly_events_ = 0;
+    std::vector<double> train_losses_;  ///< finite history for medians
+    std::vector<double> grad_norms_;    ///< finite history for medians
+    double best_loss_ = 0.0;
+    bool has_best_loss_ = false;
+    int saturated_run_ = 0;      ///< consecutive epochs over saturation_rate
+    bool saturation_flagged_ = false;
+    int epochs_ = 0;
+    double max_grad_norm_ = 0.0;
+    std::uint64_t nonfinite_loss_total_ = 0;
+    std::uint64_t nonfinite_grad_total_ = 0;
+    // Last-seen instrumentation counter values, for per-epoch deltas.
+    std::uint64_t clamp_elems_seen_ = 0, clamp_sat_seen_ = 0;
+    std::uint64_t proj_elems_seen_ = 0, proj_sat_seen_ = 0;
+    std::uint64_t ood_elems_seen_ = 0, ood_out_seen_ = 0;
+    bool finished_ = false;
+};
+
+/// Process-wide flight-recorder output path (CLI --health-out /
+/// PNC_HEALTH_OUT). Empty = monitors collect but never write a dump.
+void set_health_out(const std::string& path, const std::string& tool = "pnc");
+std::string health_out_path();
+std::string health_out_tool();
+
+/// "" when `doc` is a well-formed pnc-health/1 document, else a one-line
+/// description of the first violation.
+std::string validate_health(const json::Value& doc);
+
+/// What `pnc doctor` prints and exits on. Divergence (loss_divergence or
+/// gradient_explosion) is exit 4; healthy / saturation warnings exit 0.
+struct HealthReading {
+    std::string verdict = "healthy";
+    bool diverged = false;
+    int epochs_run = 0;
+    std::uint64_t anomalies_total = 0;
+    /// kind -> recorded count, insertion-ordered by severity.
+    std::vector<std::pair<std::string, std::uint64_t>> kinds;
+};
+
+/// Classify a validated dump; throws std::runtime_error when validate_health
+/// rejects it.
+HealthReading classify_health(const json::Value& doc);
+
+}  // namespace pnc::obs

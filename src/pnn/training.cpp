@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "math/stats.hpp"
 #include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -88,6 +91,50 @@ Var monte_carlo_loss(const Pnn& pnn, const Var& x, const std::vector<int>& y,
     return ad::mul_scalar(total, 1.0 / static_cast<double>(n_mc));
 }
 
+/// Per-group gradient L2 norms read from the autodiff leaves after
+/// backward(). Pure reads of already-computed adjoints — never an Rng
+/// stream — so enabling health monitoring keeps training bit-identical.
+struct GradStats {
+    double theta_norm = 0.0;
+    double omega_norm = 0.0;
+    double global_norm = 0.0;
+    std::uint64_t nonfinite = 0;
+};
+
+GradStats gradient_stats(const std::vector<ad::ParamGroup>& groups) {
+    GradStats stats;
+    // groups[0] is theta (crossbar conductances), groups[1] — when the
+    // nonlinear circuits are learnable — is omega.
+    double sq[2] = {0.0, 0.0};
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        double acc = 0.0;
+        for (const Var& p : groups[g].params) {
+            const Matrix& grad = p.grad();
+            for (std::size_t i = 0; i < grad.size(); ++i) {
+                const double v = grad[i];
+                if (std::isfinite(v))
+                    acc += v * v;
+                else
+                    ++stats.nonfinite;
+            }
+        }
+        sq[std::min<std::size_t>(g, 1)] += acc;
+    }
+    stats.theta_norm = std::sqrt(sq[0]);
+    stats.omega_norm = std::sqrt(sq[1]);
+    stats.global_norm = std::sqrt(sq[0] + sq[1]);
+    return stats;
+}
+
+/// Worst-case merge across the minibatches of one epoch: an explosion in a
+/// single batch must not be averaged away.
+void merge_grad_stats(GradStats& epoch, const GradStats& batch) {
+    epoch.theta_norm = std::max(epoch.theta_norm, batch.theta_norm);
+    epoch.omega_norm = std::max(epoch.omega_norm, batch.omega_norm);
+    epoch.global_norm = std::max(epoch.global_norm, batch.global_norm);
+    epoch.nonfinite += batch.nonfinite;
+}
+
 /// Rows of x / y selected by indices [begin, end) of the permutation.
 std::pair<Matrix, std::vector<int>> take_batch(const Matrix& x, const std::vector<int>& y,
                                                const std::vector<std::size_t>& order,
@@ -139,6 +186,28 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
         groups.push_back({pnn.omega_params(), options.lr_omega});
     ad::Adam optimizer(std::move(groups));
 
+    // Training-health observatory (docs/OBSERVABILITY.md): rides the same
+    // obs gate as the series above, records per-epoch gradient norms and
+    // watchdog state, and dumps a flight recorder on divergence.
+    std::unique_ptr<obs::HealthMonitor> health;
+    if (obs::enabled()) {
+        std::vector<std::pair<std::string, std::string>> meta = {
+            {"seed", std::to_string(options.seed)},
+            {"epsilon", std::to_string(options.epsilon)},
+            {"n_mc_train", std::to_string(options.n_mc_train)},
+            {"n_mc_val", std::to_string(options.n_mc_val)},
+            {"lr_theta", std::to_string(options.lr_theta)},
+            {"lr_omega", std::to_string(options.lr_omega)},
+            {"loss", options.loss == LossKind::kMargin ? "margin" : "cross_entropy"},
+            {"max_epochs", std::to_string(options.max_epochs)},
+            {"batch_size", std::to_string(options.batch_size)},
+            {"learnable_nonlinear", options.learnable_nonlinear ? "1" : "0"},
+        };
+        health = std::make_unique<obs::HealthMonitor>(obs::HealthConfig::from_env(),
+                                                      std::move(meta));
+    }
+    std::uint64_t rng_streams_consumed = 0;
+
     const Var x_train = ad::constant(data.x_train);
     const Var x_val = ad::constant(data.x_val);
 
@@ -152,12 +221,15 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
     for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
         obs::ScopedTimer epoch_span("epoch");
         const auto epoch_start = s_epoch_seconds ? Clock::now() : Clock::time_point{};
+        GradStats epoch_grads;
+        std::size_t epoch_batches = 1;
         if (options.batch_size == 0 || options.batch_size >= data.x_train.rows()) {
             optimizer.zero_grad();
             const Var loss = monte_carlo_loss(pnn, x_train, data.y_train, variation,
                                               options.n_mc_train, rng, options.loss,
                                               options.margin);
             ad::backward(loss);
+            if (health) epoch_grads = gradient_stats(optimizer.groups());
             optimizer.step();
             result.final_train_loss = loss.scalar();
         } else {
@@ -173,11 +245,13 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
                                                   variation, options.n_mc_train, rng,
                                                   options.loss, options.margin);
                 ad::backward(loss);
+                if (health) merge_grad_stats(epoch_grads, gradient_stats(optimizer.groups()));
                 optimizer.step();
                 epoch_loss += loss.scalar();
                 ++batches;
             }
             result.final_train_loss = epoch_loss / static_cast<double>(batches);
+            epoch_batches = batches;
         }
         result.epochs_run = epoch + 1;
 
@@ -200,6 +274,23 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
             s_epochs_since_best->append(static_cast<double>(since_best));
             s_epoch_seconds->append(seconds_since(epoch_start));
         }
+        if (health) {
+            // Streams are pre-split per MC sample (monte_carlo_loss), so the
+            // count is pure arithmetic on the options — no Rng reads here.
+            if (!variation.is_nominal())
+                rng_streams_consumed += epoch_batches * options.n_mc_train +
+                                        static_cast<std::size_t>(options.n_mc_val);
+            obs::EpochHealth snapshot;
+            snapshot.epoch = epoch;
+            snapshot.train_loss = result.final_train_loss;
+            snapshot.val_loss = val_loss.scalar();
+            snapshot.grad_norm_theta = epoch_grads.theta_norm;
+            snapshot.grad_norm_omega = epoch_grads.omega_norm;
+            snapshot.grad_norm_global = epoch_grads.global_norm;
+            snapshot.nonfinite_grad_elements = epoch_grads.nonfinite;
+            snapshot.rng_streams_consumed = rng_streams_consumed;
+            health->record_epoch(snapshot);
+        }
         obs::emit_event("train.epoch",
                         {obs::EventField::num("epoch", epoch),
                          obs::EventField::num("train_loss", result.final_train_loss),
@@ -217,6 +308,14 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
 
     pnn.restore(best_params);
     result.best_val_loss = best_val;
+    if (health) {
+        const obs::HealthMonitor::Summary summary = health->finish();
+        result.health.monitored = true;
+        result.health.anomalies = summary.anomalies_total;
+        result.health.diverged = summary.diverged;
+        result.health.verdict = summary.verdict;
+        result.health.max_grad_norm = summary.max_grad_norm;
+    }
     if (obs::enabled()) {
         auto& registry = obs::MetricsRegistry::global();
         registry.counter("train.runs_total").add(1);

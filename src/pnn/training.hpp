@@ -8,6 +8,9 @@
 // degenerates to nominal training with a single deterministic sample.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "data/dataset.hpp"
 #include "pnn/pnn.hpp"
 
@@ -35,11 +38,23 @@ struct TrainOptions {
     int log_every = 0;  ///< 0 = silent
 };
 
+/// Summary of the training-health monitor (docs/OBSERVABILITY.md, "Training
+/// health"). Only populated when obs::enabled() at train time; a plain run
+/// leaves `monitored` false and the defaults in place.
+struct TrainHealth {
+    bool monitored = false;
+    std::uint64_t anomalies = 0;
+    bool diverged = false;
+    std::string verdict = "healthy";
+    double max_grad_norm = 0.0;
+};
+
 struct TrainResult {
     double best_val_loss = 0.0;
     int best_epoch = 0;
     int epochs_run = 0;
     double final_train_loss = 0.0;
+    TrainHealth health;
 };
 
 /// Train in place; the best-validation parameters are restored on return.

@@ -1,9 +1,11 @@
 #include "surrogate/surrogate_model.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <stdexcept>
 
 #include "math/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace pnc::surrogate {
 
@@ -117,6 +119,18 @@ Var SurrogateModel::forward_normalized(const Var& omega_ext_norm) const {
 
 Var SurrogateModel::forward_raw(const Var& omega_ext) const {
     const Var normalized = normalize_var(omega_ext, omega_norm_);
+    // Health instrumentation: the MLP was fit on min-max-normalized features
+    // in [0,1]; count how often training pushes ω̃ outside that domain,
+    // where the surrogate extrapolates (values only, no Rng use).
+    if (obs::enabled()) {
+        const Matrix& v = normalized.value();
+        std::uint64_t outside = 0;
+        for (std::size_t i = 0; i < v.size(); ++i)
+            if (v[i] < 0.0 || v[i] > 1.0) ++outside;
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("surrogate.ood.features_total").add(v.size());
+        registry.counter("surrogate.ood.out_of_domain_total").add(outside);
+    }
     const Var eta_norm = mlp_.forward(normalized);
     return denormalize_var(eta_norm, eta_norm_);
 }

@@ -89,20 +89,23 @@ TEST_F(BenchDriverTest, ListAndUsageErrors) {
     EXPECT_NE(list.output.find("table2"), std::string::npos) << list.output;
 
     EXPECT_EQ(run_command(std::string(PNC_BENCH_DRIVER_PATH) + " --bogus").exit_code, 2);
-    EXPECT_EQ(
-        run_command(std::string(PNC_BENCH_DRIVER_PATH) + " --filter no_such_bench")
-            .exit_code,
-        1);
+    // A filter matching nothing is usage-class (exit 2) and names the
+    // unmatched pattern, so a typo'd CI filter cannot pass silently.
+    const auto nomatch =
+        run_command(std::string(PNC_BENCH_DRIVER_PATH) + " --filter no_such_bench");
+    EXPECT_EQ(nomatch.exit_code, 2);
+    EXPECT_NE(nomatch.output.find("no_such_bench"), std::string::npos) << nomatch.output;
 }
 
 TEST_F(BenchDriverTest, ReportUsageErrors) {
     EXPECT_EQ(run_command(std::string(PNC_CLI_PATH) + " report").exit_code, 2);
     EXPECT_EQ(run_command(std::string(PNC_CLI_PATH) + " report diff onlyone").exit_code, 2);
-    // A missing candidate file is a runtime error (exit 1), not usage.
+    // Naming a file that is not there is usage-class (exit 2) and the error
+    // reports the path (test_observatory covers the message content).
     EXPECT_EQ(run_command(std::string(PNC_CLI_PATH) +
                           " report diff nosuch_a.json nosuch_b.json")
                   .exit_code,
-              1);
+              2);
 }
 
 TEST_F(BenchDriverTest, SmokeRunThenReportCheckFlow) {
@@ -179,11 +182,14 @@ TEST_F(BenchDriverTest, SmokeRunThenReportCheckFlow) {
 
     // ---- 5. With no explicit candidate, check picks the newest artifact
     // in PNC_ARTIFACTS (BENCH_*.json) — run the driver once without --out.
+    // Timing warn-only: this step tests candidate selection, not the timing
+    // gate (step 4 covers that); a ~10 ms bench re-run jitters far beyond
+    // the relative threshold whenever the machine is loaded.
     const auto second = run_command(std::string(PNC_BENCH_DRIVER_PATH) +
                                     " --smoke --filter fig2");
     ASSERT_EQ(second.exit_code, 0) << second.output;
     const auto implicit = run_command(std::string(PNC_CLI_PATH) +
-                                      " report check --baseline " +
+                                      " report check --timing-warn-only 1 --baseline " +
                                       suite_path().string());
     EXPECT_EQ(implicit.exit_code, 0) << implicit.output;
     EXPECT_NE(implicit.output.find("candidate: "), std::string::npos) << implicit.output;

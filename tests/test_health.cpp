@@ -1,0 +1,424 @@
+// Training-health observatory suite: watchdog rules on synthetic epoch
+// series, flight-recorder bounds, pnc-health/1 validation/classification,
+// dump-on-anomaly, and — the ISSUE acceptance criterion — that health
+// monitoring keeps training bit-identical at 1 and 4 threads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "obs/config.hpp"
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+#include "surrogate/dataset_builder.hpp"
+
+using namespace pnc;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Every test starts and ends with obs disabled, empty sinks, and no
+/// flight-recorder output path, so suites compose in any order.
+class HealthTest : public ::testing::Test {
+protected:
+    void SetUp() override { reset_all(); }
+    void TearDown() override {
+        reset_all();
+        unsetenv("PNC_HEALTH_GRAD_LIMIT");
+    }
+
+    static void reset_all() {
+        obs::set_enabled(false);
+        obs::set_health_out("");
+        obs::MetricsRegistry::global().reset();
+        obs::Tracer::global().reset();
+    }
+};
+
+/// Feed one synthetic epoch (losses + gradient norms; counter-derived
+/// rates come from the registry, untouched unless a test bumps them).
+void feed(obs::HealthMonitor& monitor, int epoch, double loss, double grad,
+          std::uint64_t nonfinite_grads = 0) {
+    obs::EpochHealth e;
+    e.epoch = epoch;
+    e.train_loss = loss;
+    e.val_loss = loss;
+    e.grad_norm_theta = grad;
+    e.grad_norm_global = grad;
+    e.nonfinite_grad_elements = nonfinite_grads;
+    monitor.record_epoch(e);
+}
+
+bool has_anomaly(const obs::HealthMonitor& monitor, const std::string& kind,
+                 const std::string& detail = "") {
+    for (const auto& a : monitor.anomalies())
+        if (a.kind == kind && (detail.empty() || a.detail == detail)) return true;
+    return false;
+}
+
+// Small shared surrogates (built once per process) for the training tests.
+const surrogate::SurrogateModel& health_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 300;
+        options.sweep_points = 17;
+        const auto dataset =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 400;
+        train.mlp.patience = 100;
+        return surrogate::SurrogateModel::train(dataset, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+data::SplitDataset health_blob_split() {
+    math::Rng rng(62);
+    data::Dataset ds;
+    ds.name = "blobs";
+    ds.n_classes = 2;
+    ds.features = math::Matrix(60, 2);
+    for (int i = 0; i < 60; ++i) {
+        const int label = i % 2;
+        ds.labels.push_back(label);
+        ds.features(i, 0) = rng.normal(label ? 0.8 : 0.2, 0.08);
+        ds.features(i, 1) = rng.normal(label ? 0.2 : 0.8, 0.08);
+    }
+    return data::split_and_normalize(ds, 9);
+}
+
+struct TrainOutcome {
+    pnn::TrainResult result;
+    std::vector<math::Matrix> params;
+    pnn::EvalResult eval;
+};
+
+TrainOutcome run_seeded_workload() {
+    const auto split = health_blob_split();
+    math::Rng rng(61);
+    pnn::Pnn net({2, 3, 2}, &health_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                 &health_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                 surrogate::DesignSpace::table1(), rng);
+    pnn::TrainOptions options;
+    options.max_epochs = 12;
+    options.patience = 12;
+    options.epsilon = 0.1;
+    options.n_mc_train = 4;
+    options.n_mc_val = 2;
+    options.seed = 63;
+    const auto result = pnn::train_pnn(net, split, options);
+    pnn::EvalOptions eval_options;
+    eval_options.epsilon = 0.1;
+    eval_options.n_mc = 16;
+    const auto eval = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval_options);
+    return {result, net.snapshot(), eval};
+}
+
+fs::path scratch_file(const std::string& name) {
+    return fs::temp_directory_path() / ("pnc_health_" + name);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- watchdog
+
+TEST_F(HealthTest, WatchdogFlagsLossSpike) {
+    obs::HealthMonitor monitor({}, {});
+    for (int epoch = 0; epoch < 10; ++epoch) feed(monitor, epoch, 0.3, 0.5);
+    EXPECT_EQ(monitor.anomalies_total(), 0u);
+    feed(monitor, 10, 2.0, 0.5);  // > 2.5 x trailing median of 0.3
+    EXPECT_TRUE(has_anomaly(monitor, "loss_divergence", "spike"));
+    const auto summary = monitor.finish();
+    EXPECT_TRUE(summary.diverged);
+    EXPECT_EQ(summary.verdict, "loss_divergence");
+}
+
+TEST_F(HealthTest, WatchdogFlagsRunawayLoss) {
+    obs::HealthMonitor monitor({}, {});
+    // Slow creep: 1.15x per epoch stays under the 2.5x spike threshold of
+    // the trailing 8-epoch median (1.15^4.5 ~ 1.9x), but climbs far above
+    // 3x the best loss after warmup.
+    double loss = 0.2;
+    for (int epoch = 0; epoch < 20; ++epoch) {
+        feed(monitor, epoch, loss, 0.5);
+        loss *= 1.15;
+    }
+    EXPECT_TRUE(has_anomaly(monitor, "loss_divergence", "runaway"));
+    EXPECT_FALSE(has_anomaly(monitor, "loss_divergence", "spike"));
+}
+
+TEST_F(HealthTest, WatchdogFlagsNonFiniteLoss) {
+    obs::HealthMonitor monitor({}, {});
+    for (int epoch = 0; epoch < 4; ++epoch) feed(monitor, epoch, 0.3, 0.5);
+    feed(monitor, 4, std::numeric_limits<double>::quiet_NaN(), 0.5);
+    EXPECT_TRUE(has_anomaly(monitor, "loss_divergence", "non_finite"));
+    EXPECT_TRUE(monitor.finish().diverged);
+}
+
+TEST_F(HealthTest, WatchdogFlagsGradientExplosion) {
+    obs::HealthMonitor monitor({}, {});
+    for (int epoch = 0; epoch < 6; ++epoch) feed(monitor, epoch, 0.3, 0.5);
+    feed(monitor, 6, 0.3, 1e5);  // over both the absolute limit and 20x median
+    EXPECT_TRUE(has_anomaly(monitor, "gradient_explosion", "limit"));
+    EXPECT_TRUE(has_anomaly(monitor, "gradient_explosion", "spike"));
+    const auto summary = monitor.finish();
+    EXPECT_TRUE(summary.diverged);
+    EXPECT_EQ(summary.verdict, "gradient_explosion");
+    EXPECT_DOUBLE_EQ(summary.max_grad_norm, 1e5);
+}
+
+TEST_F(HealthTest, WatchdogFlagsNonFiniteGradients) {
+    obs::HealthMonitor monitor({}, {});
+    feed(monitor, 0, 0.3, 0.5, /*nonfinite_grads=*/3);
+    EXPECT_TRUE(has_anomaly(monitor, "gradient_explosion", "non_finite"));
+}
+
+TEST_F(HealthTest, WatchdogFlagsSustainedSaturationAsWarningOnly) {
+    auto& registry = obs::MetricsRegistry::global();
+    obs::HealthMonitor monitor({}, {});
+    for (int epoch = 0; epoch < 10; ++epoch) {
+        // Fake a fully saturated clamp_ste epoch via the real counters.
+        registry.counter("ad.clamp_ste.elements_total").add(100);
+        registry.counter("ad.clamp_ste.saturated_total").add(100);
+        feed(monitor, epoch, 0.3, 0.5);
+    }
+    EXPECT_TRUE(has_anomaly(monitor, "sustained_saturation", "omega_clip"));
+    const auto summary = monitor.finish();
+    EXPECT_FALSE(summary.diverged) << "saturation is a warning, not divergence";
+    EXPECT_EQ(summary.verdict, "sustained_saturation");
+}
+
+TEST_F(HealthTest, HealthyRunHasNoAnomalies) {
+    obs::HealthMonitor monitor({}, {});
+    double loss = 1.0;
+    for (int epoch = 0; epoch < 30; ++epoch) {
+        feed(monitor, epoch, loss, 0.4 + 0.01 * (epoch % 3));
+        loss *= 0.95;
+    }
+    EXPECT_EQ(monitor.anomalies_total(), 0u);
+    const auto summary = monitor.finish();
+    EXPECT_FALSE(summary.diverged);
+    EXPECT_EQ(summary.verdict, "healthy");
+    EXPECT_EQ(summary.epochs, 30);
+}
+
+// ------------------------------------------------------- flight recorder
+
+TEST_F(HealthTest, RingBufferIsBounded) {
+    obs::HealthConfig config;
+    config.ring_depth = 4;
+    obs::HealthMonitor monitor(config, {});
+    for (int epoch = 0; epoch < 10; ++epoch) feed(monitor, epoch, 0.3, 0.5);
+    const auto doc = monitor.document();
+    const auto* ring = doc.find("ring");
+    ASSERT_NE(ring, nullptr);
+    ASSERT_EQ(ring->items().size(), 4u);
+    EXPECT_DOUBLE_EQ(ring->items().front().find("epoch")->as_number(), 6.0);
+    EXPECT_DOUBLE_EQ(ring->items().back().find("epoch")->as_number(), 9.0);
+}
+
+TEST_F(HealthTest, RecordedAnomaliesAreCapped) {
+    obs::HealthConfig config;
+    config.max_anomalies = 5;
+    obs::HealthMonitor monitor(config, {});
+    for (int epoch = 0; epoch < 8; ++epoch)
+        feed(monitor, epoch, 0.3, 0.5, /*nonfinite_grads=*/1);
+    EXPECT_EQ(monitor.anomalies().size(), 5u);
+    EXPECT_EQ(monitor.anomalies_total(), 8u);
+    const std::string error = obs::validate_health(monitor.document());
+    EXPECT_TRUE(error.empty()) << error;
+}
+
+TEST_F(HealthTest, DocumentValidatesAndClassifiesAfterDivergence) {
+    obs::HealthMonitor monitor({}, {{"seed", "63"}, {"lr_theta", "0.1"}});
+    for (int epoch = 0; epoch < 10; ++epoch) feed(monitor, epoch, 0.3, 0.5);
+    feed(monitor, 10, 5.0, 0.5);
+    monitor.finish();
+
+    const auto doc = monitor.document();
+    const std::string error = obs::validate_health(doc);
+    ASSERT_TRUE(error.empty()) << error;
+
+    // Round-trip through text, as `pnc doctor` consumes it.
+    const auto parsed = obs::json::Value::parse(doc.dump());
+    const auto reading = obs::classify_health(parsed);
+    EXPECT_EQ(reading.verdict, "loss_divergence");
+    EXPECT_TRUE(reading.diverged);
+    EXPECT_EQ(reading.epochs_run, 11);
+    ASSERT_FALSE(reading.kinds.empty());
+    EXPECT_EQ(reading.kinds[0].first, "loss_divergence");
+    EXPECT_EQ(parsed.find("meta")->find("seed")->as_string(), "63");
+}
+
+TEST_F(HealthTest, NonFiniteLossDumpsAsNullAndStillValidates) {
+    obs::HealthMonitor monitor({}, {});
+    feed(monitor, 0, std::numeric_limits<double>::quiet_NaN(), 0.5);
+    const auto doc = obs::json::Value::parse(monitor.document().dump());
+    const std::string error = obs::validate_health(doc);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(doc.find("ring")->items().front().find("train_loss")->kind(),
+              obs::json::Value::Kind::kNull);
+    EXPECT_TRUE(obs::classify_health(doc).diverged);
+}
+
+TEST_F(HealthTest, ValidateHealthRejectsMalformedDocuments) {
+    using obs::json::Value;
+    EXPECT_FALSE(obs::validate_health(Value::number(3.0)).empty());
+
+    obs::HealthMonitor monitor({}, {});
+    feed(monitor, 0, 0.3, 0.5);
+
+    auto wrong_schema = monitor.document();
+    wrong_schema.set("schema", Value::string("pnc-health/2"));
+    EXPECT_FALSE(obs::validate_health(wrong_schema).empty());
+
+    auto no_status = monitor.document();
+    no_status.set("status", Value::null());
+    EXPECT_FALSE(obs::validate_health(no_status).empty());
+
+    auto bad_verdict = monitor.document();
+    auto status = Value::object();
+    status.set("epochs_run", Value::number(1));
+    status.set("anomalies_total", Value::number(0));
+    status.set("diverged", Value::boolean(false));
+    status.set("verdict", Value::string("mystery"));
+    bad_verdict.set("status", std::move(status));
+    EXPECT_FALSE(obs::validate_health(bad_verdict).empty());
+
+    auto bad_ring = monitor.document();
+    bad_ring.set("ring", Value::number(0));
+    EXPECT_FALSE(obs::validate_health(bad_ring).empty());
+
+    EXPECT_THROW(obs::classify_health(wrong_schema), std::runtime_error);
+}
+
+TEST_F(HealthTest, DumpIsWrittenOnFirstAnomaly) {
+    const fs::path dump = scratch_file("first_anomaly.json");
+    fs::remove(dump);
+    obs::set_health_out(dump.string(), "test_health");
+    obs::HealthMonitor monitor({}, {});
+    for (int epoch = 0; epoch < 6; ++epoch) feed(monitor, epoch, 0.3, 0.5);
+    ASSERT_FALSE(fs::exists(dump)) << "no anomaly yet, no dump yet";
+    feed(monitor, 6, 5.0, 0.5);  // spike -> immediate flush
+    ASSERT_TRUE(fs::exists(dump));
+
+    std::ifstream in(dump);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const auto doc = obs::json::Value::parse(ss.str());
+    EXPECT_TRUE(obs::validate_health(doc).empty());
+    EXPECT_EQ(doc.find("meta")->find("tool")->as_string(), "test_health");
+    EXPECT_TRUE(obs::classify_health(doc).diverged);
+    fs::remove(dump);
+}
+
+// ------------------------------------------------- train_pnn integration
+
+TEST_F(HealthTest, TrainingRecordsHealthSeriesAndSummary) {
+    obs::set_enabled(true);
+    const auto outcome = run_seeded_workload();
+    EXPECT_TRUE(outcome.result.health.monitored);
+    EXPECT_FALSE(outcome.result.health.diverged);
+    EXPECT_GT(outcome.result.health.max_grad_norm, 0.0);
+
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    bool found = false;
+    for (const auto& [name, values] : snapshot.series)
+        if (name == "health.grad_norm_global") {
+            found = true;
+            EXPECT_EQ(values.size(),
+                      static_cast<std::size_t>(outcome.result.epochs_run));
+        }
+    EXPECT_TRUE(found);
+    // The instrumentation counters fired (clamp_ste runs per forward).
+    EXPECT_GT(obs::MetricsRegistry::global()
+                  .counter("ad.clamp_ste.elements_total")
+                  .value(),
+              0u);
+    EXPECT_GT(obs::MetricsRegistry::global()
+                  .counter("surrogate.ood.features_total")
+                  .value(),
+              0u);
+}
+
+TEST_F(HealthTest, UnmonitoredTrainingLeavesHealthEmpty) {
+    const auto outcome = run_seeded_workload();
+    EXPECT_FALSE(outcome.result.health.monitored);
+    EXPECT_EQ(outcome.result.health.anomalies, 0u);
+    EXPECT_EQ(outcome.result.health.verdict, "healthy");
+}
+
+TEST_F(HealthTest, MonitoredTrainingBitIdenticalAtOneAndFourThreads) {
+    // The ISSUE acceptance criterion: health monitoring enabled vs disabled
+    // is bit-identical for trained parameters and test accuracy at 1 and 4
+    // threads. Gradient-norm extraction reads leaf adjoints after backward,
+    // saturation rates read counters — no Rng stream is ever touched.
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        runtime::set_global_threads(threads);
+
+        reset_all();
+        const auto plain = run_seeded_workload();
+
+        obs::set_enabled(true);
+        const auto observed = run_seeded_workload();
+        ASSERT_TRUE(observed.result.health.monitored);
+
+        EXPECT_EQ(plain.result.best_val_loss, observed.result.best_val_loss)
+            << threads << " threads";
+        EXPECT_EQ(plain.result.final_train_loss, observed.result.final_train_loss);
+        EXPECT_EQ(plain.result.epochs_run, observed.result.epochs_run);
+        ASSERT_EQ(plain.params.size(), observed.params.size());
+        for (std::size_t p = 0; p < plain.params.size(); ++p) {
+            ASSERT_EQ(plain.params[p].size(), observed.params[p].size());
+            for (std::size_t i = 0; i < plain.params[p].size(); ++i)
+                ASSERT_EQ(plain.params[p][i], observed.params[p][i])
+                    << threads << " threads, parameter " << p << " element " << i;
+        }
+        EXPECT_EQ(plain.eval.mean_accuracy, observed.eval.mean_accuracy);
+        EXPECT_EQ(plain.eval.std_accuracy, observed.eval.std_accuracy);
+        ASSERT_EQ(plain.eval.per_sample_accuracy.size(),
+                  observed.eval.per_sample_accuracy.size());
+        for (std::size_t s = 0; s < plain.eval.per_sample_accuracy.size(); ++s)
+            EXPECT_EQ(plain.eval.per_sample_accuracy[s],
+                      observed.eval.per_sample_accuracy[s]);
+    }
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+}
+
+TEST_F(HealthTest, SensitizedTrainingWritesDivergentDump) {
+    // PNC_HEALTH_GRAD_LIMIT makes any finite gradient an "explosion", so a
+    // perfectly ordinary run must produce a divergent flight recorder —
+    // exercising the train_pnn -> monitor -> dump path deterministically.
+    setenv("PNC_HEALTH_GRAD_LIMIT", "1e-12", 1);
+    const fs::path dump = scratch_file("sensitized.json");
+    fs::remove(dump);
+    obs::set_health_out(dump.string(), "test_health");
+    obs::set_enabled(true);
+
+    const auto outcome = run_seeded_workload();
+    EXPECT_TRUE(outcome.result.health.diverged);
+    EXPECT_EQ(outcome.result.health.verdict, "gradient_explosion");
+
+    ASSERT_TRUE(fs::exists(dump));
+    std::ifstream in(dump);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const auto reading = obs::classify_health(obs::json::Value::parse(ss.str()));
+    EXPECT_TRUE(reading.diverged);
+    EXPECT_EQ(reading.verdict, "gradient_explosion");
+    EXPECT_EQ(reading.epochs_run, outcome.result.epochs_run);
+    fs::remove(dump);
+}

@@ -113,6 +113,36 @@ TEST_F(ObsTest, HistogramOverflowBucketCatchesLargeValues) {
     EXPECT_DOUBLE_EQ(hist.max(), 100.0);
 }
 
+TEST_F(ObsTest, SingleSampleQuantilesClampToObservedValue) {
+    // One observation: every percentile must collapse to that value —
+    // bucket interpolation must not invent mass below min or above max.
+    auto& hist = obs::MetricsRegistry::global().histogram("h", {1.0, 2.0, 4.0});
+    hist.observe(1.5);
+    const auto snap = *find_histogram(obs::MetricsRegistry::global().snapshot(), "h");
+    ASSERT_EQ(snap.count, 1u);
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_GE(snap.quantile(q), 1.5) << "q=" << q;
+        EXPECT_LE(snap.quantile(q), 1.5) << "q=" << q;
+    }
+}
+
+TEST_F(ObsTest, OverflowOnlyQuantilesClampToObservedRange) {
+    // All mass in the overflow bucket, whose upper edge is +inf: quantiles
+    // must stay inside [min, max] instead of interpolating to infinity.
+    auto& hist = obs::MetricsRegistry::global().histogram("h", {1.0, 2.0});
+    hist.observe(50.0);
+    hist.observe(75.0);
+    hist.observe(100.0);
+    const auto snap = *find_histogram(obs::MetricsRegistry::global().snapshot(), "h");
+    ASSERT_EQ(snap.bucket_counts.back(), 3u);
+    for (const double q : {0.5, 0.9, 0.99}) {
+        const double v = snap.quantile(q);
+        EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+        EXPECT_GE(v, 50.0) << "q=" << q;
+        EXPECT_LE(v, 100.0) << "q=" << q;
+    }
+}
+
 TEST_F(ObsTest, HistogramRejectsBadBounds) {
     EXPECT_THROW(obs::Histogram(std::vector<double>{}), std::invalid_argument);
     EXPECT_THROW(obs::Histogram((std::vector<double>{3.0, 1.0, 2.0})), std::invalid_argument);

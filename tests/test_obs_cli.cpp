@@ -20,6 +20,7 @@
 #include "faults/fault_report.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 
@@ -267,4 +268,52 @@ TEST_F(ObsCliTest, InvalidInvocationsExitWithUsage) {
     // handler must remove the just-created file.
     EXPECT_EQ(run_cli_rc("frobnicate --events-out " + path("bad_events.jsonl")), 2);
     EXPECT_FALSE(fs::exists(path("bad_events.jsonl")));
+}
+
+TEST_F(ObsCliTest, HealthOutWritesValidDumpAndDoctorSaysHealthy) {
+    run_cli("train --dataset iris --eps 0.1 --mc 2 --epochs 6 --patience 6 --hidden 2"
+            " --seed 11 --out " + path("model.pnn") +
+            " --health-out " + path("health.json"));
+
+    const Value doc = parse_file(path("health.json"));
+    ASSERT_EQ(pnc::obs::validate_health(doc), "");
+    EXPECT_EQ(doc.find("meta")->find("tool")->as_string(), "pnc");
+    EXPECT_EQ(doc.find("status")->find("verdict")->as_string(), "healthy");
+    EXPECT_FALSE(doc.find("status")->find("diverged")->as_bool());
+    // The flight recorder captured the run's tail.
+    EXPECT_GE(doc.find("ring")->items().size(), 1u);
+
+    std::string output;
+    EXPECT_EQ(run_cli_rc("doctor " + path("health.json"), &output), 0);
+    EXPECT_NE(output.find("healthy"), std::string::npos) << output;
+}
+
+TEST_F(ObsCliTest, DivergentRunIsClassifiedLossDivergenceByDoctor) {
+    // An absurd learning rate on the cross-entropy loss under heavy
+    // single-sample variation noise makes the seeded run's loss spike past
+    // the trailing-median and best-so-far rules (margins of 60%+ over the
+    // thresholds, so platform-level FP drift cannot flip the verdict); the
+    // watchdog must flag it and `pnc doctor` must name the anomaly kind
+    // with the dedicated divergence exit code.
+    std::string train_out;
+    run_cli_rc("train --dataset iris --eps 0.9 --mc 1 --epochs 30 --patience 30"
+               " --hidden 2 --seed 3 --loss xent --lr-theta 50 --lr-omega 5"
+               " --out " + path("model.pnn") +
+               " --health-out " + path("health.json"),
+               &train_out);
+    ASSERT_TRUE(fs::exists(path("health.json"))) << train_out;
+
+    const Value doc = parse_file(path("health.json"));
+    ASSERT_EQ(pnc::obs::validate_health(doc), "");
+    EXPECT_TRUE(doc.find("status")->find("diverged")->as_bool()) << train_out;
+
+    std::string output;
+    EXPECT_EQ(run_cli_rc("doctor " + path("health.json"), &output), 4) << output;
+    EXPECT_NE(output.find("loss_divergence"), std::string::npos) << output;
+
+    // Doctor usage errors: missing operand and an unreadable path exit 2.
+    EXPECT_EQ(run_cli_rc("doctor"), 2);
+    std::string missing;
+    EXPECT_EQ(run_cli_rc("doctor " + path("nosuch.json"), &missing), 2);
+    EXPECT_NE(missing.find("nosuch.json"), std::string::npos) << missing;
 }

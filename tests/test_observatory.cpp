@@ -363,3 +363,62 @@ TEST(ChromeTrace, ValidatorRejectsViolations) {
     tampered.set("traceEvents", std::move(events));
     EXPECT_NE(obs::validate_chrome_trace(tampered), "");
 }
+
+// ---------------------------------------------------- report CLI errors
+
+#ifdef PNC_CLI_PATH
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+struct CliResult {
+    int exit_code = -1;
+    std::string output;  ///< stdout + stderr
+};
+
+CliResult run_cli(const std::string& arguments) {
+    const auto capture = std::filesystem::temp_directory_path() /
+                         ("pnc_observatory_cli_" + std::to_string(getpid()));
+    const int status = std::system((std::string(PNC_CLI_PATH) + " " + arguments + " > " +
+                                    capture.string() + " 2>&1")
+                                       .c_str());
+    CliResult result;
+    if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+    std::ifstream in(capture);
+    std::ostringstream os;
+    os << in.rdbuf();
+    result.output = os.str();
+    std::filesystem::remove(capture);
+    return result;
+}
+
+}  // namespace
+
+TEST(ReportCli, MissingBaselineFileIsUsageErrorNamingThePath) {
+    // `report diff` against a file that does not exist is a bad invocation
+    // (exit 2) whose message names the offending path — not a generic JSON
+    // parse failure (exit 1).
+    const std::string missing = "/nonexistent/pnc_no_such_baseline.json";
+    const auto diff = run_cli("report diff " + missing + " " + missing);
+    EXPECT_EQ(diff.exit_code, 2) << diff.output;
+    EXPECT_NE(diff.output.find(missing), std::string::npos) << diff.output;
+
+    const auto check = run_cli("report check --baseline " + missing);
+    EXPECT_EQ(check.exit_code, 2) << check.output;
+    EXPECT_NE(check.output.find(missing), std::string::npos) << check.output;
+
+    // A present-but-malformed artifact stays a runtime error (exit 1).
+    const auto garbled = std::filesystem::temp_directory_path() /
+                         ("pnc_observatory_garbled_" + std::to_string(getpid()) + ".json");
+    std::ofstream(garbled) << "{not json";
+    const auto parse = run_cli("report diff " + garbled.string() + " " + garbled.string());
+    EXPECT_EQ(parse.exit_code, 1) << parse.output;
+    std::filesystem::remove(garbled);
+}
+#endif  // PNC_CLI_PATH

@@ -6,6 +6,7 @@
 //   pnc dataset    --name iris [--seed N]
 //   pnc train      --dataset iris --out model.pnn [--eps 0.1] [--learnable 0|1]
 //                  [--epochs N] [--patience N] [--hidden N] [--seed N]
+//                  [--lr-theta A] [--lr-omega A] [--loss margin|xent]
 //   pnc eval       --model model.pnn --dataset iris [--eps 0.1] [--mc N]
 //                  [--fault-model stuck_open|stuck_short|stuck_at|dead_nonlinear|
 //                   drift|mixed] [--fault-rate R] [--spec A] [--fault-report f.json]
@@ -15,6 +16,12 @@
 //   pnc report     diff BASELINE.json CANDIDATE.json [--tolerance-file F]
 //   pnc report     check [CANDIDATE.json] --baseline B.json
 //                  [--tolerance-file F] [--timing-warn-only 1]
+//   pnc doctor     HEALTH.json
+//
+// `doctor` classifies a pnc-health/1 training flight recorder (written by
+// `pnc train --health-out` / PNC_HEALTH_OUT) into a named verdict and exits
+// 4 when the run diverged (loss_divergence / gradient_explosion), so CI
+// divergence canaries can gate on it.
 //
 // `report` compares pnc-bench-suite/1 artifacts (written by pnc-bench) with
 // noise-aware verdicts — relative thresholds for timings, absolute for
@@ -31,9 +38,10 @@
 //   --trace-out trace.json      write the scoped-timer trace tree
 //   --events-out events.jsonl   stream pnc-events/1 lines as the run goes
 //   --chrome-trace-out t.json   Chrome trace-event view of the trace tree
+//   --health-out health.json    training flight recorder (pnc-health/1)
 // Any of these flags (or PNC_OBS=1 / PNC_METRICS_OUT / PNC_TRACE_OUT /
-// PNC_EVENTS_OUT / PNC_CHROME_TRACE_OUT in the environment) enables metric
-// collection; it never changes results.
+// PNC_EVENTS_OUT / PNC_CHROME_TRACE_OUT / PNC_HEALTH_OUT in the
+// environment) enables metric collection; it never changes results.
 //
 // Surrogate models are loaded from (or built into) the artifact cache, the
 // same one the benches use ($PNC_ARTIFACTS, default ./artifacts).
@@ -53,6 +61,7 @@
 #include "obs/baseline.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/events.hpp"
+#include "obs/health.hpp"
 #include "obs/report.hpp"
 #include "pnn/certification.hpp"
 #include "pnn/cost_analysis.hpp"
@@ -99,7 +108,7 @@ void validate_options(const Args& args, std::initializer_list<const char*> allow
     for (const auto& [key, value] : args.options) {
         (void)value;
         if (key == "metrics-out" || key == "trace-out" || key == "events-out" ||
-            key == "chrome-trace-out")
+            key == "chrome-trace-out" || key == "health-out")
             continue;
         bool known = false;
         for (const char* name : allowed) known |= key == name;
@@ -216,9 +225,28 @@ int cmd_train(const Args& args) {
     options.max_epochs = static_cast<int>(args.number("epochs", 1500));
     options.patience = static_cast<int>(args.number("patience", 300));
     options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+    options.lr_theta = args.number("lr-theta", options.lr_theta);
+    options.lr_omega = args.number("lr-omega", options.lr_omega);
+    if (const std::string loss = args.get("loss"); !loss.empty()) {
+        if (loss == "margin")
+            options.loss = pnn::LossKind::kMargin;
+        else if (loss == "xent" || loss == "cross_entropy")
+            options.loss = pnn::LossKind::kCrossEntropy;
+        else
+            throw UsageError("unknown --loss '" + loss + "' (margin | xent)");
+    }
     const auto result = pnn::train_pnn(net, split, options);
     std::printf("trained %d epochs, best validation loss %.5f\n", result.epochs_run,
                 result.best_val_loss);
+    if (result.health.monitored) {
+        std::printf("health: verdict %s (%llu anomalies, max grad norm %.4g)\n",
+                    result.health.verdict.c_str(),
+                    static_cast<unsigned long long>(result.health.anomalies),
+                    result.health.max_grad_norm);
+        const std::string dump = obs::health_out_path();
+        if (!dump.empty())
+            std::printf("health dump written to %s\n", dump.c_str());
+    }
 
     const std::string out = args.get("out", "model.pnn");
     pnn::save_pnn_file(net, out);
@@ -347,7 +375,9 @@ int cmd_cost(const Args& args) {
 
 obs::BenchSuite load_suite_file(const std::string& path) {
     std::ifstream is(path);
-    if (!is) throw std::runtime_error("cannot open suite artifact " + path);
+    // Naming a file that is not there is a bad invocation (exit 2, path in
+    // the message), distinct from a present-but-malformed artifact (exit 1).
+    if (!is) throw UsageError("cannot open suite artifact " + path);
     std::stringstream ss;
     ss << is.rdbuf();
     try {
@@ -435,14 +465,49 @@ int cmd_report(const Args& args) {
     throw UsageError("unknown report subcommand '" + sub + "' (diff | check)");
 }
 
+/// `pnc doctor HEALTH.json` — classify a training flight recorder. Exit 4
+/// on divergence (loss_divergence / gradient_explosion), 0 on a healthy run
+/// or a saturation-only warning, 1 on an unreadable/invalid dump.
+int cmd_doctor(const Args& args) {
+    validate_options(args, {});
+    if (args.positionals.size() != 1)
+        throw UsageError("usage: pnc doctor HEALTH.json");
+    const std::string& path = args.positionals[0];
+    std::ifstream is(path);
+    if (!is) throw UsageError("cannot open health dump " + path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    obs::HealthReading reading;
+    try {
+        reading = obs::classify_health(obs::json::Value::parse(ss.str()));
+    } catch (const std::exception& e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+    std::printf("health dump: %s\n", path.c_str());
+    std::printf("epochs run: %d, anomalies: %llu\n", reading.epochs_run,
+                static_cast<unsigned long long>(reading.anomalies_total));
+    for (const auto& [kind, count] : reading.kinds)
+        std::printf("  %s: %llu recorded\n", kind.c_str(),
+                    static_cast<unsigned long long>(count));
+    std::printf("verdict: %s\n", reading.verdict.c_str());
+    if (reading.diverged) {
+        std::printf("training DIVERGED — inspect the flight-recorder ring in %s\n",
+                    path.c_str());
+        return 4;
+    }
+    return 0;
+}
+
 int cmd_help() {
     std::puts("pnc — printed neuromorphic circuit designer");
     std::puts("commands: curve fit datasets dataset train eval certify export cost report "
-              "help");
+              "doctor help");
     std::puts("global flags: --metrics-out report.json  --trace-out trace.json");
     std::puts("              --events-out events.jsonl  --chrome-trace-out trace.json");
+    std::puts("              --health-out health.json   (training flight recorder)");
     std::puts("report: pnc report diff A.json B.json | pnc report check [CAND.json]");
     std::puts("        --baseline B.json [--tolerance-file F] [--timing-warn-only 1]");
+    std::puts("doctor: pnc doctor HEALTH.json   (exit 4 when training diverged)");
     std::puts("fault flags (eval): --fault-model NAME --fault-rate R --spec A "
               "--fault-report f.json");
     std::puts("see the header of tools/pnc_cli.cpp for the option reference");
@@ -451,6 +516,7 @@ int cmd_help() {
 
 int dispatch(const Args& args) {
     if (args.command == "report") return cmd_report(args);
+    if (args.command == "doctor") return cmd_doctor(args);
     if (!args.positionals.empty())
         throw UsageError("command '" + args.command + "' takes no positional argument '" +
                          args.positionals.front() + "'");
@@ -472,7 +538,8 @@ int dispatch(const Args& args) {
     }
     if (args.command == "train") {
         validate_options(args, {"dataset", "out", "eps", "mc", "learnable", "epochs",
-                                "patience", "hidden", "seed"});
+                                "patience", "hidden", "seed", "lr-theta", "lr-omega",
+                                "loss"});
         return cmd_train(args);
     }
     if (args.command == "eval") {
@@ -510,11 +577,16 @@ int main(int argc, char** argv) {
         if (const std::string v = args.get("events-out"); !v.empty()) obs_config.events_out = v;
         if (const std::string v = args.get("chrome-trace-out"); !v.empty())
             obs_config.chrome_trace_out = v;
+        if (const std::string v = args.get("health-out"); !v.empty())
+            obs_config.health_out = v;
         obs_config.enabled |= !obs_config.metrics_out.empty() ||
                               !obs_config.trace_out.empty() ||
                               !obs_config.events_out.empty() ||
-                              !obs_config.chrome_trace_out.empty();
+                              !obs_config.chrome_trace_out.empty() ||
+                              !obs_config.health_out.empty();
         obs::set_enabled(obs_config.enabled);
+        if (!obs_config.health_out.empty())
+            obs::set_health_out(obs_config.health_out, "pnc");
         if (!obs_config.events_out.empty()) {
             obs::EventStream::global().open(obs_config.events_out, "pnc");
             events_path = obs_config.events_out;
