@@ -73,6 +73,7 @@ const BenchSpec kBenches[] = {
     {"certified", "bench_certified", true},
     {"fault_yield", "bench_fault_yield", true},
     {"parallel_scaling", "bench_parallel_scaling", true},
+    {"inference", "bench_inference", true},
 };
 
 [[noreturn]] void usage(int rc) {

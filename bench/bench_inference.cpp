@@ -1,0 +1,185 @@
+// Compiled-engine throughput: the Table II evaluation workload (paper
+// topology #in-3-#out, eps = 10% Monte-Carlo sweep) run through the
+// autodiff reference path and the compiled inference engine, reporting
+// samples/sec for both plus the speedup — and checking the two backends
+// stay bit-identical while racing. Results append to
+// artifacts/inference.csv; headlines gate in CI via baselines/ci.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/registry.hpp"
+#include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
+#include "infer/backend.hpp"
+#include "infer/engine.hpp"
+#include "obs/report.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace pnc;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double best_of_ms(int reps, const std::function<void()>& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        fn();
+        const std::chrono::duration<double, std::milli> elapsed = Clock::now() - start;
+        best = std::min(best, elapsed.count());
+    }
+    return best;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i]) return false;
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_inference", argc, argv);
+    // Telemetry off by default: this bench measures the MC hot loops and the
+    // per-sample clock reads would skew the race.
+    const bool observed = exp::env_int("PNC_OBS", 0) != 0;
+    obs::set_enabled(observed);
+    if (observed)
+        std::printf("(PNC_OBS=1: timings below include telemetry overhead)\n");
+
+    const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto neg =
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 17);
+    const auto space = surrogate::DesignSpace::table1();
+
+    // The paper's Table II topology: #in - 3 - #classes.
+    math::Rng rng(5);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &act, &neg, space, rng);
+    const infer::CompiledPnn compiled(net);
+
+    pnn::EvalOptions eval;
+    eval.epsilon = 0.10;
+    eval.n_mc = exp::env_int("PNC_MC_TEST", 100);
+    const int yield_mc = exp::env_int("PNC_MC_YIELD", eval.n_mc);
+    const int reps = exp::env_int("PNC_BENCH_REPS", 3);
+
+    std::printf("compiled inference engine vs autodiff reference "
+                "(N_test=%d eval, %d-sample yield, %zu rows, %zu threads)\n\n",
+                eval.n_mc, yield_mc, split.x_test.rows(), runtime::global_thread_count());
+
+    // Correctness probe before the race: the speedup headlines are only
+    // worth reporting if both backends agree bit-for-bit.
+    math::Matrix ref_out = net.predict(split.x_test);
+    math::Matrix com_out = compiled.predict(split.x_test);
+    bool batch_identical = ref_out.size() == com_out.size();
+    for (std::size_t i = 0; batch_identical && i < ref_out.size(); ++i)
+        batch_identical = ref_out[i] == com_out[i];
+
+    // Stage 1 — the serving path: nominal batched classification. The
+    // compiled plan answers from precompiled weight/eta tables; the
+    // reference rebuilds the autodiff graph (surrogate MLP included) on
+    // every call. This is where the engine earns its keep.
+    const double ref_batch_ms = best_of_ms(reps, [&] { ref_out = net.predict(split.x_test); });
+    const double com_batch_ms =
+        best_of_ms(reps, [&] { com_out = compiled.predict(split.x_test); });
+
+    // Stage 2/3 — the Monte-Carlo drivers, where per-sample perturbed eta
+    // tables must be recomputed (tanh-bound on both backends).
+    pnn::EvalResult ref_result = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
+    pnn::EvalResult com_result = compiled.evaluate(split.x_test, split.y_test, eval);
+    bool bit_identical =
+        bitwise_equal(ref_result.per_sample_accuracy, com_result.per_sample_accuracy);
+
+    const double ref_eval_ms = best_of_ms(reps, [&] {
+        ref_result = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
+    });
+    const double com_eval_ms = best_of_ms(reps, [&] {
+        com_result = compiled.evaluate(split.x_test, split.y_test, eval);
+    });
+    bit_identical &=
+        bitwise_equal(ref_result.per_sample_accuracy, com_result.per_sample_accuracy);
+
+    pnn::YieldResult ref_yield, com_yield;
+    const double ref_yield_ms = best_of_ms(reps, [&] {
+        ref_yield = pnn::estimate_yield(net, split.x_test, split.y_test, 0.8, 0.10, yield_mc);
+    });
+    const double com_yield_ms = best_of_ms(reps, [&] {
+        com_yield = compiled.estimate_yield(split.x_test, split.y_test, 0.8, 0.10, yield_mc);
+    });
+    bit_identical &= ref_yield.yield == com_yield.yield &&
+                     ref_yield.worst_accuracy == com_yield.worst_accuracy &&
+                     ref_yield.median_accuracy == com_yield.median_accuracy;
+
+    bit_identical &= batch_identical;
+
+    const auto per_sec = [](double samples, double ms) { return samples / (ms / 1000.0); };
+    const double rows = static_cast<double>(split.x_test.rows());
+    const double ref_batch_ps = per_sec(rows, ref_batch_ms);
+    const double com_batch_ps = per_sec(rows, com_batch_ms);
+    const double ref_eval_ps = per_sec(eval.n_mc, ref_eval_ms);
+    const double com_eval_ps = per_sec(eval.n_mc, com_eval_ms);
+    const double ref_yield_ps = per_sec(yield_mc, ref_yield_ms);
+    const double com_yield_ps = per_sec(yield_mc, com_yield_ms);
+    const double batch_speedup = ref_batch_ms / com_batch_ms;
+    const double eval_speedup = ref_eval_ms / com_eval_ms;
+    const double yield_speedup = ref_yield_ms / com_yield_ms;
+
+    std::printf("%12s %12s %16s %12s %16s %12s %16s\n", "backend", "batch ms", "rows/s",
+                "eval ms", "eval samples/s", "yield ms", "yield samples/s");
+    std::printf("%12s %12.3f %16.1f %12.2f %16.1f %12.2f %16.1f\n", "reference",
+                ref_batch_ms, ref_batch_ps, ref_eval_ms, ref_eval_ps, ref_yield_ms,
+                ref_yield_ps);
+    std::printf("%12s %12.3f %16.1f %12.2f %16.1f %12.2f %16.1f\n", "compiled", com_batch_ms,
+                com_batch_ps, com_eval_ms, com_eval_ps, com_yield_ms, com_yield_ps);
+    std::printf("\nspeedup: batch %.2fx, eval %.2fx, yield %.2fx\n", batch_speedup,
+                eval_speedup, yield_speedup);
+    std::printf("bit-identical across backends: %s\n", bit_identical ? "yes" : "NO");
+
+    const std::string csv_path = exp::artifact_dir() + "/inference.csv";
+    std::ofstream csv(csv_path);
+    csv << "backend,batch_ms,rows_per_sec,eval_ms,eval_samples_per_sec,"
+           "yield_ms,yield_samples_per_sec\n";
+    csv << "reference," << ref_batch_ms << ',' << ref_batch_ps << ',' << ref_eval_ms << ','
+        << ref_eval_ps << ',' << ref_yield_ms << ',' << ref_yield_ps << '\n';
+    csv << "compiled," << com_batch_ms << ',' << com_batch_ps << ',' << com_eval_ms << ','
+        << com_eval_ps << ',' << com_yield_ms << ',' << com_yield_ps << '\n';
+    std::printf("wrote %s\n", csv_path.c_str());
+
+    // The primary claim: serving-path throughput. The MC drivers improve
+    // less — the per-sample perturbed eta recomputation (std::tanh, which
+    // the bit-identity contract pins) is common cost both backends pay.
+    run.headline("infer.batch.speedup", batch_speedup);
+    run.headline("infer.batch.compiled.samples_per_sec", com_batch_ps);
+    run.headline("infer.batch.reference.samples_per_sec", ref_batch_ps);
+    run.headline("infer.eval.speedup", eval_speedup);
+    run.headline("infer.eval.compiled.samples_per_sec", com_eval_ps);
+    run.headline("infer.eval.reference.samples_per_sec", ref_eval_ps);
+    run.headline("infer.yield.speedup", yield_speedup);
+    run.headline("infer.yield.compiled.samples_per_sec", com_yield_ps);
+    run.headline("accuracy.eval.mean", com_result.mean_accuracy);
+
+    if (observed) {
+        obs::RunMeta meta;
+        meta.tool = "bench_inference";
+        meta.command = "inference";
+        meta.extra.emplace_back("n_mc_eval", std::to_string(eval.n_mc));
+        meta.extra.emplace_back("n_mc_yield", std::to_string(yield_mc));
+        meta.extra.emplace_back("bit_identical", bit_identical ? "true" : "false");
+        const std::string report = exp::artifact_dir() + "/inference_report.json";
+        obs::write_run_report(report, meta);
+        std::printf("telemetry: %s\n", report.c_str());
+    }
+    const int headline_rc = run.finish();
+    return bit_identical ? headline_rc : 1;
+}

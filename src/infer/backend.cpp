@@ -1,0 +1,56 @@
+#include "infer/backend.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pnc::infer {
+
+std::optional<Backend> parse_backend(std::string_view name) {
+    if (name == "reference") return Backend::kReference;
+    if (name == "compiled") return Backend::kCompiled;
+    return std::nullopt;
+}
+
+const char* backend_name(Backend backend) {
+    return backend == Backend::kCompiled ? "compiled" : "reference";
+}
+
+Backend backend_from_env(Backend fallback) {
+    const char* env = std::getenv("PNC_INFER_BACKEND");
+    if (!env || *env == '\0') return fallback;
+    const auto parsed = parse_backend(env);
+    if (!parsed)
+        throw std::invalid_argument(
+            "PNC_INFER_BACKEND must be 'reference' or 'compiled', got '" + std::string(env) +
+            "'");
+    return *parsed;
+}
+
+pnn::EvalResult evaluate_pnn(Backend backend, const pnn::Pnn& net, const math::Matrix& x,
+                             const std::vector<int>& y, const pnn::EvalOptions& options) {
+    if (backend == Backend::kCompiled) return CompiledPnn(net).evaluate(x, y, options);
+    return pnn::evaluate_pnn(net, x, y, options);
+}
+
+pnn::YieldResult estimate_yield(Backend backend, const pnn::Pnn& net, const math::Matrix& x,
+                                const std::vector<int>& y, double accuracy_spec, double eps,
+                                int n_mc, std::uint64_t seed) {
+    if (backend == Backend::kCompiled)
+        return CompiledPnn(net).estimate_yield(x, y, accuracy_spec, eps, n_mc, seed);
+    return pnn::estimate_yield(net, x, y, accuracy_spec, eps, n_mc, seed);
+}
+
+pnn::FaultYieldResult estimate_yield_under_faults(Backend backend, const pnn::Pnn& net,
+                                                  const math::Matrix& x,
+                                                  const std::vector<int>& y,
+                                                  double accuracy_spec, double eps,
+                                                  const faults::FaultModel& fault_model,
+                                                  int n_mc, std::uint64_t seed) {
+    if (backend == Backend::kCompiled)
+        return CompiledPnn(net).estimate_yield_under_faults(x, y, accuracy_spec, eps,
+                                                            fault_model, n_mc, seed);
+    return pnn::estimate_yield_under_faults(net, x, y, accuracy_spec, eps, fault_model, n_mc,
+                                            seed);
+}
+
+}  // namespace pnc::infer

@@ -1,0 +1,54 @@
+// Backend selection between the autodiff reference path and the compiled
+// engine.
+//
+// Both backends produce bitwise-identical results (the differential harness
+// enforces it), so the choice is purely a performance knob: the reference
+// path stays available as the oracle, the compiled path is the serving
+// default candidate. Selection precedence: explicit argument (CLI flag) >
+// PNC_INFER_BACKEND environment variable > reference.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "infer/engine.hpp"
+
+namespace pnc::infer {
+
+enum class Backend {
+    kReference,  ///< autodiff graph forward (pnn::evaluate_pnn et al.)
+    kCompiled,   ///< flat-plan engine (CompiledPnn)
+};
+
+/// "reference" / "compiled" -> Backend; anything else -> nullopt.
+std::optional<Backend> parse_backend(std::string_view name);
+
+/// Stable name for logs and reports.
+const char* backend_name(Backend backend);
+
+/// PNC_INFER_BACKEND, or `fallback` when unset. An unparsable value throws
+/// std::invalid_argument (a silently wrong backend would invalidate a
+/// benchmark run).
+Backend backend_from_env(Backend fallback = Backend::kReference);
+
+/// evaluate_pnn through the selected backend. Results are bit-identical
+/// across backends; compiled emits `infer.*` telemetry instead of the
+/// reference path's `mc.eval` spans.
+pnn::EvalResult evaluate_pnn(Backend backend, const pnn::Pnn& net, const math::Matrix& x,
+                             const std::vector<int>& y, const pnn::EvalOptions& options);
+
+/// estimate_yield through the selected backend.
+pnn::YieldResult estimate_yield(Backend backend, const pnn::Pnn& net, const math::Matrix& x,
+                                const std::vector<int>& y, double accuracy_spec, double eps,
+                                int n_mc = 200, std::uint64_t seed = 777);
+
+/// estimate_yield_under_faults through the selected backend.
+pnn::FaultYieldResult estimate_yield_under_faults(Backend backend, const pnn::Pnn& net,
+                                                  const math::Matrix& x,
+                                                  const std::vector<int>& y,
+                                                  double accuracy_spec, double eps,
+                                                  const faults::FaultModel& fault_model,
+                                                  int n_mc = 200, std::uint64_t seed = 777);
+
+}  // namespace pnc::infer

@@ -1,0 +1,528 @@
+// The compiled forward pass and its Monte-Carlo drivers.
+//
+// Every loop here replicates the exact per-element double-operation
+// sequence of the autodiff reference path (each reference op rounds once;
+// fused source expressions below keep those roundings because the build
+// sets -ffp-contract=off). Comments of the form "ref: ..." name the
+// reference op chain a loop mirrors. Do not "simplify" arithmetic in this
+// file — reassociating or fusing a single operation breaks the bitwise
+// contract enforced by tests/test_infer_differential.cpp.
+#include "infer/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "autodiff/ops.hpp"
+#include "circuit/nonlinear_circuit.hpp"
+#include "math/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pnc::infer {
+
+using math::Matrix;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Pointer-stable bump allocator over a reusable per-thread store. The
+/// caller sizes it exactly (plan.table_doubles / batch_doubles) before the
+/// first alloc, so pointers never move mid-evaluation.
+class Bump {
+public:
+    Bump(std::vector<double>& store, std::size_t need) : store_(store) {
+        if (store_.size() < need) store_.resize(need);
+    }
+    double* alloc(std::size_t n) {
+        double* p = store_.data() + used_;
+        used_ += n;
+        return p;
+    }
+    std::size_t mark() const { return used_; }
+    void reset(std::size_t mark) { used_ = mark; }
+
+private:
+    std::vector<double>& store_;
+    std::size_t used_ = 0;
+};
+
+// Separate stores for the two phases: tables live on the calling thread
+// while batch chunks (possibly including the caller as chunk 0) bump their
+// own store, so the two never alias.
+thread_local std::vector<double> t_table_store;
+thread_local std::vector<double> t_batch_store;
+
+/// Materialized per-perturbation tables of one layer: pointers either into
+/// the plan (nominal fast path) or into the table arena.
+struct LayerTables {
+    const double* w_pos = nullptr;      // n_in x n_out
+    const double* w_neg = nullptr;      // n_in x n_out
+    const double* bias_term = nullptr;  // n_out
+    const double* eta_act = nullptr;    // n_out x 4 (null when no activation)
+    const double* eta_neg = nullptr;    // n_in x 4
+};
+
+/// Run the surrogate eta pipeline for `inst` perturbed circuit copies.
+/// ref: NonlinearParam::eta = printable (replicate, hadamard) ->
+/// extend_features -> normalize -> Mlp::forward -> denormalize.
+const double* compute_eta(Bump& bump, const SurrogatePlan& sp, const Matrix& var,
+                          std::size_t inst) {
+    double* eta = bump.alloc(inst * 4);
+    double* ping = bump.alloc(inst * sp.max_width);
+    double* pong = bump.alloc(inst * sp.max_width);
+
+    // ref: replicate (exact copy) -> mul with variation factors ->
+    // extend_features (three elementwise divisions) -> normalize
+    // (mul_rowvec then add_rowvec).
+    const std::size_t ext = 10;  // surrogate::kExtendedDimension
+    const double* base = sp.omega_base.data();
+    for (std::size_t r = 0; r < inst; ++r) {
+        double* e = ping + r * ext;
+        for (std::size_t c = 0; c < 7; ++c) e[c] = base[c] * var(r, c);
+        e[7] = e[1] / e[0];
+        e[8] = e[3] / e[2];
+        e[9] = e[5] / e[6];
+        for (std::size_t c = 0; c < ext; ++c) {
+            const double scaled = e[c] * sp.norm_scale[c];
+            e[c] = scaled + sp.norm_shift[c];
+        }
+    }
+
+    // ref: Mlp::forward — per layer add_rowvec(matmul(h, W), b), tanh on
+    // hidden layers. The matmul keeps math::matmul's exact k-serial
+    // accumulation with the aik == 0 skip.
+    double* cur = ping;
+    double* nxt = pong;
+    std::size_t width = ext;
+    const std::size_t n_layers = sp.weights.size();
+    for (std::size_t l = 0; l < n_layers; ++l) {
+        const Matrix& w = sp.weights[l];
+        const Matrix& b = sp.biases[l];
+        const std::size_t w_out = w.cols();
+        std::fill(nxt, nxt + inst * w_out, 0.0);
+        for (std::size_t r = 0; r < inst; ++r) {
+            const double* h = cur + r * width;
+            double* o = nxt + r * w_out;
+            for (std::size_t k = 0; k < width; ++k) {
+                const double aik = h[k];
+                if (aik == 0.0) continue;
+                for (std::size_t j = 0; j < w_out; ++j) o[j] += aik * w(k, j);
+            }
+        }
+        const bool is_output = l + 1 == n_layers;
+        for (std::size_t r = 0; r < inst; ++r) {
+            double* o = nxt + r * w_out;
+            for (std::size_t j = 0; j < w_out; ++j) {
+                const double z = o[j] + b(0, j);
+                o[j] = is_output ? z : std::tanh(z);
+            }
+        }
+        std::swap(cur, nxt);
+        width = w_out;
+    }
+
+    // ref: denormalize_var — mul_rowvec then add_rowvec.
+    for (std::size_t r = 0; r < inst; ++r)
+        for (std::size_t c = 0; c < 4; ++c) {
+            const double scaled = cur[r * 4 + c] * sp.denorm_scale[c];
+            eta[r * 4 + c] = scaled + sp.denorm_shift[c];
+        }
+    return eta;
+}
+
+/// Materialize one block's |conductance| values.
+/// ref: project_conductance_ste -> mul(factors) -> mul(keep) + add -> abs.
+void materialize_abs(const Matrix& proj, const Matrix* factors,
+                     const circuit::ConductanceOverlay* overlay, double* out) {
+    const std::size_t n = proj.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        double g = proj[i];
+        if (factors) g = g * (*factors)[i];
+        if (overlay) {
+            g = g * overlay->keep[i];
+            g = g + overlay->add[i];
+        }
+        out[i] = std::abs(g);
+    }
+}
+
+LayerTables materialize_tables(Bump& bump, const LayerPlan& layer,
+                               const pnn::LayerVariation* variation,
+                               const faults::LayerFaultOverlay* faults) {
+    LayerTables tables;
+    const bool theta_faults = faults && faults->has_theta_faults;
+    const std::size_t n_in = layer.n_in;
+    const std::size_t n_out = layer.n_out;
+
+    if (!variation && !theta_faults) {
+        tables.w_pos = layer.w_pos_nom.data();
+        tables.w_neg = layer.w_neg_nom.data();
+        tables.bias_term = layer.bias_term_nom.data();
+    } else {
+        double* a_in = bump.alloc(n_in * n_out);
+        double* a_bias = bump.alloc(n_out);
+        double* a_drain = bump.alloc(n_out);
+        double* total = bump.alloc(n_out);
+        materialize_abs(layer.proj_in, variation ? &variation->theta_in : nullptr,
+                        theta_faults ? &faults->theta_in : nullptr, a_in);
+        materialize_abs(layer.proj_bias, variation ? &variation->theta_bias : nullptr,
+                        theta_faults ? &faults->theta_bias : nullptr, a_bias);
+        materialize_abs(layer.proj_drain, variation ? &variation->theta_drain : nullptr,
+                        theta_faults ? &faults->theta_drain : nullptr, a_drain);
+
+        // ref: total = add(add(sum_rows(a_in), a_bias), a_drain).
+        std::fill(total, total + n_out, 0.0);
+        for (std::size_t i = 0; i < n_in; ++i)
+            for (std::size_t j = 0; j < n_out; ++j) total[j] += a_in[i * n_out + j];
+        for (std::size_t j = 0; j < n_out; ++j) {
+            total[j] = total[j] + a_bias[j];
+            total[j] = total[j] + a_drain[j];
+        }
+
+        // ref: w_in = div_rowvec(a_in, total); w_pos/w_neg = mul with the
+        // routing masks; bias_term = mul_scalar(div_rowvec(a_bias, total), Vb).
+        double* w_pos = bump.alloc(n_in * n_out);
+        double* w_neg = bump.alloc(n_in * n_out);
+        double* bias_term = bump.alloc(n_out);
+        for (std::size_t i = 0; i < n_in; ++i)
+            for (std::size_t j = 0; j < n_out; ++j) {
+                const std::size_t idx = i * n_out + j;
+                const double w_in = a_in[idx] / total[j];
+                w_pos[idx] = w_in * layer.positive_mask[idx];
+                w_neg[idx] = w_in * layer.negative_mask[idx];
+            }
+        for (std::size_t j = 0; j < n_out; ++j) {
+            const double w_bias = a_bias[j] / total[j];
+            bias_term[j] = w_bias * layer.bias_voltage;
+        }
+        tables.w_pos = w_pos;
+        tables.w_neg = w_neg;
+        tables.bias_term = bias_term;
+    }
+
+    tables.eta_neg = variation ? compute_eta(bump, layer.neg, variation->omega_neg, n_in)
+                               : layer.eta_neg_nom.data();
+    if (layer.apply_activation)
+        tables.eta_act = variation ? compute_eta(bump, layer.act, variation->omega_act, n_out)
+                                   : layer.eta_act_nom.data();
+    return tables;
+}
+
+/// ref: apply_ptanh — add_rowvec(x, neg(e3)), mul_rowvec(e4), tanh,
+/// mul_rowvec(e2), add_rowvec(e1). `eta` points at this instance's row.
+inline double ptanh(const double* eta, double x) {
+    const double shifted = x + (-eta[2]);
+    const double activated = std::tanh(shifted * eta[3]);
+    const double scaled = activated * eta[1];
+    return scaled + eta[0];
+}
+
+}  // namespace
+
+void CompiledPnn::forward_rows(const Matrix& x, std::size_t row_lo, std::size_t row_hi,
+                               const pnn::NetworkVariation* variation,
+                               const faults::NetworkFaultOverlay* faults, Matrix& out) const {
+    const std::size_t rows = row_hi - row_lo;
+    const std::size_t n_layers = plan_.layers.size();
+
+    Bump table_bump(t_table_store, plan_.table_doubles());
+    std::vector<LayerTables> tables(n_layers);
+    for (std::size_t l = 0; l < n_layers; ++l)
+        tables[l] = materialize_tables(table_bump, plan_.layers[l],
+                                       variation ? &(*variation)[l] : nullptr,
+                                       faults ? &(*faults)[l] : nullptr);
+
+    Bump bump(t_batch_store, plan_.batch_doubles(rows));
+    std::size_t max_width = 0;
+    for (std::size_t s : plan_.layer_sizes) max_width = std::max(max_width, s);
+    double* ping = bump.alloc(rows * max_width);
+    double* pong = bump.alloc(rows * max_width);
+    const std::size_t layer_mark = bump.mark();
+
+    const double* h = x.data() + row_lo * x.cols();
+    for (std::size_t l = 0; l < n_layers; ++l) {
+        bump.reset(layer_mark);
+        const LayerPlan& layer = plan_.layers[l];
+        const LayerTables& t = tables[l];
+        const faults::LayerFaultOverlay* lf = faults ? &(*faults)[l] : nullptr;
+        const std::size_t n_in = layer.n_in;
+        const std::size_t n_out = layer.n_out;
+        const bool is_last = l + 1 == n_layers;
+        double* v_z = is_last ? out.data() + row_lo * n_out : (l % 2 == 0 ? ping : pong);
+
+        // ref: x_inverted = apply_negated_ptanh(eta_neg, x), then the dead-
+        // circuit masks (mul_rowvec(alive), add_rowvec(rail)).
+        double* x_inv = bump.alloc(rows * n_in);
+        const bool neg_faults = lf && lf->has_neg_faults;
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t k = 0; k < n_in; ++k) {
+                double v = -ptanh(t.eta_neg + k * 4, h[i * n_in + k]);
+                if (neg_faults) {
+                    v = v * lf->neg_alive[k];
+                    v = v + lf->neg_rail[k];
+                }
+                x_inv[i * n_in + k] = v;
+            }
+
+        // ref: v_z = add(matmul(x, w_pos), matmul(x_inv, w_neg)) then
+        // add_rowvec(mul_scalar(w_bias, Vb)). Both matmuls keep
+        // math::matmul's k-serial accumulation and aik == 0 skip.
+        double* v2 = bump.alloc(rows * n_out);
+        std::fill(v_z, v_z + rows * n_out, 0.0);
+        std::fill(v2, v2 + rows * n_out, 0.0);
+        for (std::size_t i = 0; i < rows; ++i) {
+            const double* hi_row = h + i * n_in;
+            double* o1 = v_z + i * n_out;
+            double* o2 = v2 + i * n_out;
+            for (std::size_t k = 0; k < n_in; ++k) {
+                const double aik = hi_row[k];
+                if (aik == 0.0) continue;
+                const double* w = t.w_pos + k * n_out;
+                for (std::size_t j = 0; j < n_out; ++j) o1[j] += aik * w[j];
+            }
+            for (std::size_t k = 0; k < n_in; ++k) {
+                const double aik = x_inv[i * n_in + k];
+                if (aik == 0.0) continue;
+                const double* w = t.w_neg + k * n_out;
+                for (std::size_t j = 0; j < n_out; ++j) o2[j] += aik * w[j];
+            }
+            for (std::size_t j = 0; j < n_out; ++j) {
+                const double summed = o1[j] + o2[j];
+                o1[j] = summed + t.bias_term[j];
+            }
+        }
+
+        // ref: apply_ptanh(eta_act, v_z) + dead-circuit masks; skipped on
+        // the readout layer.
+        if (layer.apply_activation) {
+            const bool act_faults = lf && lf->has_act_faults;
+            for (std::size_t i = 0; i < rows; ++i)
+                for (std::size_t j = 0; j < n_out; ++j) {
+                    double v = ptanh(t.eta_act + j * 4, v_z[i * n_out + j]);
+                    if (act_faults) {
+                        v = v * lf->act_alive[j];
+                        v = v + lf->act_rail[j];
+                    }
+                    v_z[i * n_out + j] = v;
+                }
+        }
+        h = v_z;
+    }
+}
+
+Matrix CompiledPnn::predict(const Matrix& x, const pnn::NetworkVariation* variation,
+                            const faults::NetworkFaultOverlay* faults) const {
+    if (x.cols() != plan_.n_inputs())
+        throw std::invalid_argument("CompiledPnn::predict: expected " +
+                                    std::to_string(plan_.n_inputs()) + " inputs, got " +
+                                    std::to_string(x.cols()));
+    if (variation && variation->size() != plan_.layers.size())
+        throw std::invalid_argument("CompiledPnn::predict: variation entry count mismatch");
+    if (faults && faults->size() != plan_.layers.size())
+        throw std::invalid_argument("CompiledPnn::predict: fault overlay entry count mismatch");
+
+    obs::Histogram* batch_hist =
+        obs::enabled() ? &obs::MetricsRegistry::global().histogram("infer.batch_seconds")
+                       : nullptr;
+    const auto start = batch_hist ? Clock::now() : Clock::time_point{};
+
+    Matrix out(x.rows(), plan_.n_outputs());
+    const std::size_t n = x.rows();
+    const std::size_t chunks = std::min(runtime::global_thread_count(), n);
+    if (chunks <= 1) {
+        forward_rows(x, 0, n, variation, faults, out);
+    } else {
+        // Rows are independent, so the chunk split cannot change any bit;
+        // each chunk re-derives the (deterministic) tables on its thread.
+        runtime::parallel_for(chunks, [&](std::size_t chunk) {
+            const auto [lo, hi] = runtime::ThreadPool::chunk_bounds(n, chunks, chunk);
+            forward_rows(x, lo, hi, variation, faults, out);
+        });
+    }
+    if (batch_hist) batch_hist->observe(seconds_since(start));
+    return out;
+}
+
+double CompiledPnn::accuracy(const Matrix& x, const std::vector<int>& y,
+                             const pnn::NetworkVariation* variation,
+                             const faults::NetworkFaultOverlay* faults) const {
+    return ad::accuracy(predict(x, variation, faults), y);
+}
+
+pnn::NetworkVariation CompiledPnn::sample_variation(const circuit::VariationModel& model,
+                                                    math::Rng& rng) const {
+    // Same draw order as PrintedLayer::sample_variation, per layer.
+    pnn::NetworkVariation variation;
+    variation.reserve(plan_.layers.size());
+    for (const LayerPlan& layer : plan_.layers) {
+        pnn::LayerVariation v;
+        v.theta_in = model.sample_factors(rng, layer.n_in, layer.n_out);
+        v.theta_bias = model.sample_factors(rng, 1, layer.n_out);
+        v.theta_drain = model.sample_factors(rng, 1, layer.n_out);
+        v.omega_act = model.sample_factors(rng, layer.n_out, circuit::Omega::kDimension);
+        v.omega_neg = model.sample_factors(rng, layer.n_in, circuit::Omega::kDimension);
+        variation.push_back(std::move(v));
+    }
+    return variation;
+}
+
+faults::NetworkShape CompiledPnn::fault_shape() const {
+    faults::NetworkShape shape;
+    shape.reserve(plan_.layers.size());
+    for (const LayerPlan& layer : plan_.layers)
+        shape.push_back({layer.n_in, layer.n_out, layer.apply_activation});
+    return shape;
+}
+
+namespace {
+
+/// Same shape as robustness.cpp's SweepTelemetry, under an infer.* prefix.
+class SweepTelemetry {
+public:
+    explicit SweepTelemetry(const std::string& prefix) {
+        if (!obs::enabled()) return;
+        prefix_ = prefix;
+        hist_ = &obs::MetricsRegistry::global().histogram(prefix + ".sample_seconds");
+        start_ = Clock::now();
+    }
+    obs::Histogram* histogram() const { return hist_; }
+    void finish(std::size_t n_samples) {
+        if (!hist_) return;
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter(prefix_ + ".samples_total").add(n_samples);
+        const double wall = seconds_since(start_);
+        if (wall > 0.0)
+            registry.gauge(prefix_ + ".samples_per_sec")
+                .set(static_cast<double>(n_samples) / wall);
+    }
+
+private:
+    std::string prefix_;
+    obs::Histogram* hist_ = nullptr;
+    Clock::time_point start_;
+};
+
+}  // namespace
+
+pnn::EvalResult CompiledPnn::evaluate(const Matrix& x, const std::vector<int>& y,
+                                      const pnn::EvalOptions& options) const {
+    // Mirrors evaluate_pnn: same Rng seeding/splitting, same reductions.
+    if (options.n_mc < 1) throw std::invalid_argument("evaluate_pnn: n_mc must be >= 1");
+    obs::ScopedTimer eval_span("infer.evaluate");
+    SweepTelemetry telemetry("infer.eval");
+    obs::Histogram* sample_hist = telemetry.histogram();
+    const circuit::VariationModel variation(options.epsilon);
+    math::Rng rng(options.seed);
+
+    pnn::EvalResult result;
+    if (variation.is_nominal()) {
+        result.per_sample_accuracy.push_back(accuracy(x, y));
+        telemetry.finish(1);
+    } else {
+        const auto n_mc = static_cast<std::size_t>(options.n_mc);
+        std::vector<math::Rng> streams = rng.split_n(n_mc);
+        result.per_sample_accuracy.resize(n_mc);
+        runtime::parallel_for(n_mc, [&](std::size_t s) {
+            const auto sample_start = sample_hist ? Clock::now() : Clock::time_point{};
+            const pnn::NetworkVariation factors = sample_variation(variation, streams[s]);
+            Matrix out(x.rows(), plan_.n_outputs());
+            forward_rows(x, 0, x.rows(), &factors, nullptr, out);
+            result.per_sample_accuracy[s] = ad::accuracy(out, y);
+            if (sample_hist) sample_hist->observe(seconds_since(sample_start));
+        });
+        telemetry.finish(n_mc);
+    }
+    result.mean_accuracy = math::mean(result.per_sample_accuracy);
+    result.std_accuracy = result.per_sample_accuracy.size() > 1
+                              ? math::stddev(result.per_sample_accuracy)
+                              : 0.0;
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.gauge("eval.mean_accuracy").set(result.mean_accuracy);
+        registry.gauge("eval.std_accuracy").set(result.std_accuracy);
+    }
+    return result;
+}
+
+pnn::YieldResult CompiledPnn::estimate_yield(const Matrix& x, const std::vector<int>& y,
+                                             double accuracy_spec, double eps, int n_mc,
+                                             std::uint64_t seed) const {
+    // Mirrors pnn::estimate_yield's control flow exactly.
+    if (n_mc < 2) throw std::invalid_argument("estimate_yield: n_mc must be >= 2");
+    obs::ScopedTimer yield_span("infer.estimate_yield");
+    SweepTelemetry telemetry("infer.yield");
+    obs::Histogram* sample_hist = telemetry.histogram();
+    const circuit::VariationModel model(eps);
+    math::Rng rng(seed);
+
+    const auto n_samples = static_cast<std::size_t>(n_mc);
+    std::vector<math::Rng> streams = rng.split_n(n_samples);
+    std::vector<double> accuracies(n_samples);
+    runtime::parallel_for(n_samples, [&](std::size_t s) {
+        const auto sample_start = sample_hist ? Clock::now() : Clock::time_point{};
+        const pnn::NetworkVariation factors = sample_variation(model, streams[s]);
+        Matrix out(x.rows(), plan_.n_outputs());
+        forward_rows(x, 0, x.rows(), &factors, nullptr, out);
+        accuracies[s] = ad::accuracy(out, y);
+        if (sample_hist) sample_hist->observe(seconds_since(sample_start));
+    });
+    telemetry.finish(n_samples);
+    std::size_t passing = 0;
+    for (double acc : accuracies) passing += acc >= accuracy_spec;
+    std::sort(accuracies.begin(), accuracies.end());
+
+    pnn::YieldResult result;
+    result.n_samples = n_mc;
+    result.yield = static_cast<double>(passing) / static_cast<double>(n_mc);
+    result.worst_accuracy = accuracies.front();
+    result.p5_accuracy = accuracies[static_cast<std::size_t>(0.05 * (n_mc - 1))];
+    result.median_accuracy = math::median(accuracies);
+    return result;
+}
+
+pnn::FaultYieldResult CompiledPnn::estimate_yield_under_faults(
+    const Matrix& x, const std::vector<int>& y, double accuracy_spec, double eps,
+    const faults::FaultModel& fault_model, int n_mc, std::uint64_t seed) const {
+    // The campaign driver (fault sampling, materialization, reductions) is
+    // shared with the reference path; only the evaluator is compiled.
+    if (n_mc < 2) throw std::invalid_argument("estimate_yield_under_faults: n_mc must be >= 2");
+    obs::ScopedTimer yield_span("infer.estimate_yield_under_faults");
+    const circuit::VariationModel model(eps);
+    const faults::FaultDomain domain{plan_.g_max, plan_.bias_voltage};
+
+    faults::FaultCampaignOptions options;
+    options.n_samples = n_mc;
+    options.seed = seed;
+    options.metric_prefix = "faults.yield";
+    const auto campaign = faults::run_fault_campaign(
+        fault_model, fault_shape(),
+        [&](const faults::NetworkFaultOverlay* overlay, math::Rng& stream) {
+            const pnn::NetworkVariation factors = sample_variation(model, stream);
+            Matrix out(x.rows(), plan_.n_outputs());
+            forward_rows(x, 0, x.rows(), &factors, overlay, out);
+            return ad::accuracy(out, y);
+        },
+        options, domain);
+
+    pnn::FaultYieldResult result;
+    result.yield.n_samples = n_mc;
+    result.yield.yield = campaign.fraction_at_least(accuracy_spec);
+    result.yield.worst_accuracy = campaign.worst_score;
+    result.yield.p5_accuracy = campaign.score_quantile(0.05);
+    result.yield.median_accuracy = campaign.median_score;
+    result.mean_accuracy = campaign.mean_score;
+    result.mean_fault_count = campaign.mean_fault_count;
+    result.campaign = campaign;
+    return result;
+}
+
+}  // namespace pnc::infer

@@ -1,0 +1,84 @@
+// Compiled batched inference over an InferencePlan.
+//
+// CompiledPnn is the serving-path counterpart of Pnn + the pnn:: Monte-
+// Carlo drivers: same results, no autodiff. The determinism contract is
+// inherited twice over:
+//
+//  * per forward pass, the engine's flat loops replicate the reference
+//    graph's exact sequence of individually rounded double operations
+//    (docs/ARCHITECTURE.md, "The compiled inference plan"), so predict()
+//    is bitwise equal to Pnn::predict for any variation / fault overlay;
+//  * per sweep, the drivers replicate the reference control flow — same
+//    Rng seeding and split order, same per-sample draw order, same
+//    index-keyed reductions — so evaluate / estimate_yield /
+//    estimate_yield_under_faults are bitwise equal to their pnn::
+//    counterparts at any PNC_NUM_THREADS.
+//
+// Both halves are enforced by tests/test_infer_differential.cpp.
+#pragma once
+
+#include "faults/campaign.hpp"
+#include "infer/plan.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/training.hpp"
+
+namespace pnc::infer {
+
+class CompiledPnn {
+public:
+    /// Compile `net`'s current parameter values. The engine keeps no
+    /// reference to the network afterwards.
+    explicit CompiledPnn(const pnn::Pnn& net) : plan_(compile(net)) {}
+    explicit CompiledPnn(InferencePlan plan) : plan_(std::move(plan)) {}
+
+    const InferencePlan& plan() const { return plan_; }
+
+    /// Output voltages, bit-identical to Pnn::predict(x, variation,
+    /// faults). Large batches are row-chunked over the global ThreadPool
+    /// (rows are independent, so the split cannot change any bit).
+    math::Matrix predict(const math::Matrix& x,
+                         const pnn::NetworkVariation* variation = nullptr,
+                         const faults::NetworkFaultOverlay* faults = nullptr) const;
+
+    /// ad::accuracy(predict(...), y).
+    double accuracy(const math::Matrix& x, const std::vector<int>& y,
+                    const pnn::NetworkVariation* variation = nullptr,
+                    const faults::NetworkFaultOverlay* faults = nullptr) const;
+
+    /// Same draws in the same order as Pnn::sample_variation, reproduced
+    /// from the plan's shapes alone.
+    pnn::NetworkVariation sample_variation(const circuit::VariationModel& model,
+                                           math::Rng& rng) const;
+
+    /// Network dimensions for the fault layer (matches Pnn::fault_shape).
+    faults::NetworkShape fault_shape() const;
+
+    /// Compiled evaluate_pnn: same results, `infer.*` telemetry.
+    pnn::EvalResult evaluate(const math::Matrix& x, const std::vector<int>& y,
+                             const pnn::EvalOptions& options) const;
+
+    /// Compiled estimate_yield.
+    pnn::YieldResult estimate_yield(const math::Matrix& x, const std::vector<int>& y,
+                                    double accuracy_spec, double eps, int n_mc = 200,
+                                    std::uint64_t seed = 777) const;
+
+    /// Compiled estimate_yield_under_faults (the campaign driver itself is
+    /// shared with the reference path — only the evaluator is compiled).
+    pnn::FaultYieldResult estimate_yield_under_faults(const math::Matrix& x,
+                                                      const std::vector<int>& y,
+                                                      double accuracy_spec, double eps,
+                                                      const faults::FaultModel& fault_model,
+                                                      int n_mc = 200,
+                                                      std::uint64_t seed = 777) const;
+
+private:
+    /// Single-thread forward of rows [row_lo, row_hi) into `out` (used by
+    /// the chunked predict and, whole-batch, by the MC drivers).
+    void forward_rows(const math::Matrix& x, std::size_t row_lo, std::size_t row_hi,
+                      const pnn::NetworkVariation* variation,
+                      const faults::NetworkFaultOverlay* faults, math::Matrix& out) const;
+
+    InferencePlan plan_;
+};
+
+}  // namespace pnc::infer

@@ -1,0 +1,167 @@
+#include "infer/plan.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "math/normalizer.hpp"
+#include "obs/metrics.hpp"
+#include "surrogate/surrogate_model.hpp"
+
+namespace pnc::infer {
+
+using math::Matrix;
+
+namespace {
+
+/// The exact projection map of ad::project_conductance_ste (sign kept).
+Matrix project_signed(const Matrix& theta, double g_min, double g_max) {
+    return theta.map([g_min, g_max](double v) {
+        const double mag = std::abs(v);
+        if (mag < 0.5 * g_min) return 0.0;
+        const double sign = v >= 0.0 ? 1.0 : -1.0;
+        return sign * std::clamp(mag, g_min, g_max);
+    });
+}
+
+SurrogatePlan compile_surrogate(const pnn::NonlinearParam& param) {
+    SurrogatePlan plan;
+    // Everything before the per-instance replication (sigmoid, Table I
+    // denormalization, shunt reassembly, STE clips) is perturbation-free:
+    // freeze it by running the reference chain once.
+    plan.omega_base = param.printable(1, nullptr).value();
+
+    const surrogate::SurrogateModel& model = param.surrogate_model();
+    const math::MinMaxNormalizer& omega_norm = model.omega_normalizer();
+    plan.norm_scale = Matrix(1, omega_norm.dimension());
+    plan.norm_shift = Matrix(1, omega_norm.dimension());
+    for (std::size_t c = 0; c < omega_norm.dimension(); ++c) {
+        // Same expressions as surrogate_model.cpp's normalize_var, so the
+        // precomputed rows are bitwise identical to the reference ones.
+        const double range = omega_norm.maxs()[c] - omega_norm.mins()[c];
+        plan.norm_scale(0, c) = range == 0.0 ? 0.0 : 1.0 / range;
+        plan.norm_shift(0, c) = range == 0.0 ? 0.5 : -omega_norm.mins()[c] / range;
+    }
+    const math::MinMaxNormalizer& eta_norm = model.eta_normalizer();
+    plan.denorm_scale = Matrix(1, eta_norm.dimension());
+    plan.denorm_shift = Matrix(1, eta_norm.dimension());
+    for (std::size_t c = 0; c < eta_norm.dimension(); ++c) {
+        plan.denorm_scale(0, c) = eta_norm.maxs()[c] - eta_norm.mins()[c];
+        plan.denorm_shift(0, c) = eta_norm.mins()[c];
+    }
+
+    // Mlp::parameters() lists all weights, then all biases.
+    const auto params = model.mlp().parameters();
+    const std::size_t n_weight_layers = params.size() / 2;
+    plan.weights.reserve(n_weight_layers);
+    plan.biases.reserve(n_weight_layers);
+    for (std::size_t l = 0; l < n_weight_layers; ++l) {
+        plan.weights.push_back(params[l].value());
+        plan.biases.push_back(params[n_weight_layers + l].value());
+    }
+    plan.max_width = surrogate::kExtendedDimension;
+    for (std::size_t s : model.mlp().layer_sizes()) plan.max_width = std::max(plan.max_width, s);
+    return plan;
+}
+
+LayerPlan compile_layer(const pnn::PrintedLayer& layer, bool apply_activation) {
+    LayerPlan plan;
+    plan.n_in = layer.n_in();
+    plan.n_out = layer.n_out();
+    plan.apply_activation = apply_activation;
+    const pnn::PnnOptions& options = layer.options();
+    plan.bias_voltage = options.bias_voltage;
+
+    // theta_params() = {theta_in, theta_bias, theta_drain}.
+    const auto thetas = layer.theta_params();
+    const Matrix& theta_in = thetas[0].value();
+    plan.proj_in = project_signed(theta_in, options.g_min, options.g_max);
+    plan.proj_bias = project_signed(thetas[1].value(), options.g_min, options.g_max);
+    plan.proj_drain = project_signed(thetas[2].value(), options.g_min, options.g_max);
+
+    plan.positive_mask = Matrix(plan.n_in, plan.n_out);
+    for (std::size_t i = 0; i < plan.positive_mask.size(); ++i)
+        plan.positive_mask[i] = theta_in[i] >= 0.0 ? 1.0 : 0.0;
+    plan.negative_mask = plan.positive_mask.map([](double v) { return 1.0 - v; });
+
+    // Nominal fast path: with no variation factors and no theta faults the
+    // crossbar weights are batch-invariant. Replicate the reference op
+    // sequence once (abs -> ((sum + bias) + drain) -> div -> mask mul).
+    const Matrix a_in = plan.proj_in.map([](double v) { return std::abs(v); });
+    const Matrix a_bias = plan.proj_bias.map([](double v) { return std::abs(v); });
+    const Matrix a_drain = plan.proj_drain.map([](double v) { return std::abs(v); });
+    const Matrix total = (math::sum_rows(a_in) + a_bias) + a_drain;
+    Matrix w_in(plan.n_in, plan.n_out);
+    for (std::size_t i = 0; i < plan.n_in; ++i)
+        for (std::size_t j = 0; j < plan.n_out; ++j) w_in(i, j) = a_in(i, j) / total(0, j);
+    plan.w_pos_nom = math::hadamard(w_in, plan.positive_mask);
+    plan.w_neg_nom = math::hadamard(w_in, plan.negative_mask);
+    plan.bias_term_nom = Matrix(1, plan.n_out);
+    for (std::size_t j = 0; j < plan.n_out; ++j) {
+        const double w_bias = a_bias(0, j) / total(0, j);
+        plan.bias_term_nom(0, j) = w_bias * options.bias_voltage;
+    }
+
+    // Nominal eta tables straight from the reference surrogate chain.
+    plan.eta_neg_nom = layer.negation().eta(plan.n_in, nullptr).value();
+    plan.neg = compile_surrogate(layer.negation());
+    if (apply_activation) {
+        plan.eta_act_nom = layer.activation().eta(plan.n_out, nullptr).value();
+        plan.act = compile_surrogate(layer.activation());
+    }
+    return plan;
+}
+
+}  // namespace
+
+std::size_t InferencePlan::table_doubles() const {
+    std::size_t tables = 0;
+    for (const LayerPlan& layer : layers) {
+        const std::size_t crossbar = layer.n_in * layer.n_out;
+        std::size_t need = crossbar;                 // a_in
+        need += 3 * layer.n_out;                     // a_bias, a_drain, total
+        need += 2 * crossbar + layer.n_out;          // w_pos, w_neg, bias_term
+        need += layer.n_in * 4 + 2 * layer.n_in * layer.neg.max_width;  // eta_neg + MLP scratch
+        if (layer.apply_activation)
+            need += layer.n_out * 4 + 2 * layer.n_out * layer.act.max_width;
+        tables += need;
+    }
+    return tables;
+}
+
+std::size_t InferencePlan::batch_doubles(std::size_t rows) const {
+    std::size_t batch_layer = 0;
+    std::size_t max_width = 0;
+    for (const LayerPlan& layer : layers)
+        batch_layer = std::max(batch_layer, rows * (layer.n_in + layer.n_out));
+    for (std::size_t s : layer_sizes) max_width = std::max(max_width, s);
+    return 2 * rows * max_width + batch_layer;
+}
+
+std::size_t InferencePlan::scratch_doubles(std::size_t rows) const {
+    // Phase 1 (per-sample tables) + phase 2 (batch buffers); the engine
+    // carves both from bump allocators that never grow mid-evaluation.
+    return table_doubles() + batch_doubles(rows);
+}
+
+InferencePlan compile(const pnn::Pnn& net) {
+    const auto start = std::chrono::steady_clock::now();
+    InferencePlan plan;
+    plan.layer_sizes = net.layer_sizes();
+    plan.layers.reserve(net.n_layers());
+    for (std::size_t l = 0; l < net.n_layers(); ++l)
+        plan.layers.push_back(compile_layer(net.layer(l), l + 1 != net.n_layers()));
+    const pnn::PnnOptions& options = net.layer(0).options();
+    plan.g_max = options.g_max;
+    plan.bias_voltage = options.bias_voltage;
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("infer.compiles_total").add(1);
+        registry.histogram("infer.compile_seconds")
+            .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                         .count());
+    }
+    return plan;
+}
+
+}  // namespace pnc::infer

@@ -1,0 +1,97 @@
+// Flat execution plan compiled from a trained pNN (the inference IR).
+//
+// `compile` walks the network once and freezes everything the forward pass
+// needs that does not depend on the per-sample perturbation: projected
+// signed conductances, the positive/negative routing masks, the printable
+// base design of every nonlinear circuit, the surrogate normalizer rows and
+// MLP weights, and — for the fully nominal fast path — the crossbar weight
+// matrices and eta tables themselves. The engine (engine.hpp) then
+// evaluates batches against this plan with plain double loops in SoA
+// layout: no autodiff::Var graph, no per-op allocation.
+//
+// Determinism contract: every run-time loop in the engine replicates the
+// reference path's exact sequence of individually rounded double
+// operations (see docs/ARCHITECTURE.md, "The compiled inference plan"), so
+// plan evaluation is bitwise equal to Pnn::forward / predict for any input,
+// variation factor set, and fault overlay. Compile-time constants are
+// produced by the *reference implementation itself* (projection map,
+// NonlinearParam::printable, surrogate eta), which makes them exact by
+// construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "pnn/pnn.hpp"
+
+namespace pnc::infer {
+
+/// Compiled copy of one NonlinearParam + SurrogateModel eta pipeline.
+/// Everything up to the per-instance replication is perturbation-free, so
+/// it collapses into `omega_base`; the rest (ratio extension, min-max
+/// affine maps, MLP) is stored as flat matrices the engine re-executes only
+/// when variation factors are present.
+struct SurrogatePlan {
+    math::Matrix omega_base;     ///< 1 x 7 printable base design
+    math::Matrix norm_scale;     ///< 1 x 10 feature normalizer (v*scale + shift)
+    math::Matrix norm_shift;     ///< 1 x 10
+    math::Matrix denorm_scale;   ///< 1 x 4 eta denormalizer
+    math::Matrix denorm_shift;   ///< 1 x 4
+    std::vector<math::Matrix> weights;  ///< MLP weight matrices, input to output
+    std::vector<math::Matrix> biases;   ///< matching 1 x fan_out bias rows
+    std::size_t max_width = 0;          ///< widest MLP layer (scratch sizing)
+};
+
+/// One layer of the plan. `proj_*` are the signed projected conductances
+/// ({0} u [g_min, g_max] with sign); the nominal fast-path members are the
+/// crossbar weights / eta tables of the unperturbed, defect-free forward.
+struct LayerPlan {
+    std::size_t n_in = 0;
+    std::size_t n_out = 0;
+    bool apply_activation = true;  ///< false for the readout layer
+    double bias_voltage = 1.0;
+
+    math::Matrix proj_in;        ///< n_in x n_out, signed
+    math::Matrix proj_bias;      ///< 1 x n_out
+    math::Matrix proj_drain;     ///< 1 x n_out
+    math::Matrix positive_mask;  ///< n_in x n_out, 1.0 where theta >= 0
+    math::Matrix negative_mask;  ///< 1 - positive_mask
+
+    // Nominal fast path (no variation factors, no theta faults).
+    math::Matrix w_pos_nom;     ///< n_in x n_out
+    math::Matrix w_neg_nom;     ///< n_in x n_out
+    math::Matrix bias_term_nom; ///< 1 x n_out (w_bias * Vb)
+    math::Matrix eta_act_nom;   ///< n_out x 4 (empty when !apply_activation)
+    math::Matrix eta_neg_nom;   ///< n_in x 4
+
+    SurrogatePlan act;  ///< unused (empty) when !apply_activation
+    SurrogatePlan neg;
+};
+
+struct InferencePlan {
+    std::vector<std::size_t> layer_sizes;  ///< [n_in, hidden..., n_out]
+    std::vector<LayerPlan> layers;
+    double g_max = 100.0;        ///< FaultDomain ingredients for campaigns
+    double bias_voltage = 1.0;
+
+    std::size_t n_inputs() const { return layer_sizes.front(); }
+    std::size_t n_outputs() const { return layer_sizes.back(); }
+
+    /// Arena requirement (in doubles) for materializing one perturbation's
+    /// weight/eta tables (engine phase 1).
+    std::size_t table_doubles() const;
+    /// Arena requirement for streaming `rows` input rows through the plan
+    /// against materialized tables (engine phase 2).
+    std::size_t batch_doubles(std::size_t rows) const;
+    /// Total requirement for one evaluation of `rows` rows, perturbed path
+    /// included. The engine reserves up front so no buffer ever reallocates
+    /// mid-batch.
+    std::size_t scratch_doubles(std::size_t rows) const;
+};
+
+/// Freeze the current parameter values of `net` into a plan. The plan is a
+/// value type: it stays valid after the network is mutated or destroyed.
+InferencePlan compile(const pnn::Pnn& net);
+
+}  // namespace pnc::infer

@@ -282,9 +282,11 @@ void compare_metric(const std::string& name, double base, double cand,
         delta.verdict = Verdict::kOk;
     } else if (worse > delta.threshold) {
         delta.verdict = Verdict::kRegressed;
-        const bool timing_like =
-            delta.kind == MetricKind::kTiming || delta.kind == MetricKind::kThroughput;
-        (timing_like ? out.timing_regressed : out.accuracy_regressed) = true;
+        switch (delta.kind) {
+            case MetricKind::kTiming: out.timing_regressed = true; break;
+            case MetricKind::kThroughput: out.throughput_regressed = true; break;
+            default: out.accuracy_regressed = true; break;
+        }
     } else if (worse < -delta.threshold) {
         delta.verdict = Verdict::kImproved;
     } else {

@@ -104,6 +104,10 @@ struct DiffResult {
     /// candidate is an accuracy-grade regression: coverage must not rot.
     bool accuracy_regressed = false;
     bool timing_regressed = false;
+    /// Throughput metrics (per_sec/speedup) gate separately from wall-clock
+    /// timings: a samples/sec drop is a real perf regression even on noisy
+    /// CI machines, so --timing-warn-only does not downgrade it.
+    bool throughput_regressed = false;
 };
 
 /// Compare every baseline metric against the candidate. Metrics that are

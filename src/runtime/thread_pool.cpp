@@ -132,8 +132,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     join.pending = chunks - 1;
 
     const auto run_chunk = [&](std::size_t chunk) {
-        const std::size_t lo = n * chunk / chunks;
-        const std::size_t hi = n * (chunk + 1) / chunks;
+        const auto [lo, hi] = chunk_bounds(n, chunks, chunk);
         const auto start = observed ? Clock::now() : Clock::time_point{};
         try {
             for (std::size_t i = lo; i < hi; ++i) fn(i);
@@ -170,6 +169,13 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     std::unique_lock<std::mutex> lock(join.mutex);
     join.done.wait(lock, [&] { return join.pending == 0; });
     if (join.error) std::rethrow_exception(join.error);
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_bounds(std::size_t n,
+                                                             std::size_t chunks,
+                                                             std::size_t chunk) {
+    if (chunks == 0) return {0, n};  // degenerate: one chunk covers everything
+    return {n * chunk / chunks, n * (chunk + 1) / chunks};
 }
 
 std::size_t ThreadPool::default_thread_count() {

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <utility>
 
 namespace pnc::runtime {
 
@@ -50,6 +51,16 @@ public:
     /// $PNC_NUM_THREADS if set to a positive integer, otherwise
     /// hardware_concurrency() (minimum 1).
     static std::size_t default_thread_count();
+
+    /// The contiguous half-open index range [lo, hi) that `chunk` of
+    /// `chunks` covers when [0, n) is carved into `chunks` pieces. This is
+    /// the exact partition parallel_for executes, exposed so batch callers
+    /// (and tests) can reproduce the split: chunk sizes differ by at most
+    /// one, the union is [0, n) in order, and the bounds depend only on
+    /// (n, chunks, chunk) — never on timing.
+    static std::pair<std::size_t, std::size_t> chunk_bounds(std::size_t n,
+                                                            std::size_t chunks,
+                                                            std::size_t chunk);
 
 private:
     struct Impl;

@@ -1,0 +1,253 @@
+// Differential harness for the compiled inference engine.
+//
+// The compiled backend's whole value rests on one claim: it is bitwise
+// equal to the autodiff reference path — same outputs, same accuracies,
+// same yields — for every dataset, thread count, fault overlay, and batch
+// shape. This suite sweeps that matrix and asserts exact equality
+// (EXPECT_DOUBLE_EQ / memcmp-grade comparisons, no tolerances). Any
+// reassociation, fused contraction, or RNG drift in src/infer shows up
+// here as a one-ULP diff long before it could corrupt a Table II entry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/registry.hpp"
+#include "faults/fault_model.hpp"
+#include "infer/backend.hpp"
+#include "infer/engine.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+#include "surrogate/dataset_builder.hpp"
+#include "surrogate/design_space.hpp"
+
+using namespace pnc;
+
+namespace {
+
+const surrogate::SurrogateModel& diff_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 250;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 300;
+        train.mlp.patience = 80;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+/// Untrained net over a dataset: random Xavier-style init exercises the
+/// full conductance range (including sub-threshold thetas that project to
+/// exactly 0), which is all the differential comparison needs.
+pnn::Pnn make_net(const data::SplitDataset& split, std::uint64_t seed) {
+    math::Rng rng(seed);
+    return pnn::Pnn({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                    &diff_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &diff_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+void expect_bitwise_equal(const math::Matrix& a, const math::Matrix& b,
+                          const std::string& what) {
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_DOUBLE_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a, const std::vector<double>& b,
+                          const std::string& what) {
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_DOUBLE_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+void expect_equal_yield(const pnn::YieldResult& ref, const pnn::YieldResult& got,
+                        const std::string& what) {
+    EXPECT_DOUBLE_EQ(ref.yield, got.yield) << what;
+    EXPECT_DOUBLE_EQ(ref.worst_accuracy, got.worst_accuracy) << what;
+    EXPECT_DOUBLE_EQ(ref.p5_accuracy, got.p5_accuracy) << what;
+    EXPECT_DOUBLE_EQ(ref.median_accuracy, got.median_accuracy) << what;
+    EXPECT_EQ(ref.n_samples, got.n_samples) << what;
+}
+
+/// RAII thread-count override (the global pool is process-wide state).
+class ThreadGuard {
+public:
+    explicit ThreadGuard(std::size_t n) { runtime::set_global_threads(n); }
+    ~ThreadGuard() {
+        runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    }
+};
+
+}  // namespace
+
+// ---- full sweep: every dataset, both thread counts, all overlay kinds -------
+
+class InferDifferential : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InferDifferential, CompiledMatchesReferenceBitwise) {
+    const std::string name = GetParam();
+    const auto split = data::split_and_normalize(data::make_dataset(name), 66);
+    const auto net = make_net(split, 91);
+    const infer::CompiledPnn compiled(net);
+
+    const circuit::VariationModel variation(0.1);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadGuard guard(threads);
+        const std::string ctx = name + " threads=" + std::to_string(threads);
+
+        // Fault-free predictions, nominal and perturbed.
+        expect_bitwise_equal(net.predict(split.x_test), compiled.predict(split.x_test),
+                             ctx + " nominal predict");
+        math::Rng ref_rng(17), inf_rng(17);
+        const auto ref_factors = net.sample_variation(variation, ref_rng);
+        const auto inf_factors = compiled.sample_variation(variation, inf_rng);
+        expect_bitwise_equal(net.predict(split.x_test, &ref_factors),
+                             compiled.predict(split.x_test, &inf_factors),
+                             ctx + " perturbed predict");
+
+        // Stuck-at and drift overlays on top of the perturbed copy.
+        for (const char* fault : {"stuck_open", "drift"}) {
+            const auto model = faults::make_fault_model(fault, 0.3);
+            math::Rng fault_rng(23);
+            std::vector<faults::Fault> sampled;
+            model->sample(net.fault_shape(), {}, fault_rng, sampled);
+            const auto overlay = faults::materialize(net.fault_shape(), sampled);
+            expect_bitwise_equal(
+                net.predict(split.x_test, &ref_factors, &overlay),
+                compiled.predict(split.x_test, &inf_factors, &overlay),
+                ctx + " predict under " + fault);
+        }
+
+        // Monte-Carlo drivers: equal statistics AND equal per-sample data.
+        pnn::EvalOptions eval;
+        eval.epsilon = 0.1;
+        eval.n_mc = 6;
+        const auto ref_eval = pnn::evaluate_pnn(net, split.x_test, split.y_test, eval);
+        const auto inf_eval = compiled.evaluate(split.x_test, split.y_test, eval);
+        EXPECT_DOUBLE_EQ(ref_eval.mean_accuracy, inf_eval.mean_accuracy) << ctx;
+        EXPECT_DOUBLE_EQ(ref_eval.std_accuracy, inf_eval.std_accuracy) << ctx;
+        expect_bitwise_equal(ref_eval.per_sample_accuracy, inf_eval.per_sample_accuracy,
+                             ctx + " eval per-sample");
+
+        expect_equal_yield(pnn::estimate_yield(net, split.x_test, split.y_test, 0.5, 0.1, 8, 77),
+                           compiled.estimate_yield(split.x_test, split.y_test, 0.5, 0.1, 8, 77),
+                           ctx + " yield");
+
+        const auto fault_model = faults::make_fault_model("stuck_open", 0.2);
+        const auto ref_fy = pnn::estimate_yield_under_faults(net, split.x_test, split.y_test,
+                                                             0.5, 0.1, *fault_model, 6, 78);
+        const auto inf_fy = compiled.estimate_yield_under_faults(split.x_test, split.y_test,
+                                                                 0.5, 0.1, *fault_model, 6, 78);
+        expect_equal_yield(ref_fy.yield, inf_fy.yield, ctx + " fault yield");
+        EXPECT_DOUBLE_EQ(ref_fy.mean_accuracy, inf_fy.mean_accuracy) << ctx;
+        EXPECT_DOUBLE_EQ(ref_fy.mean_fault_count, inf_fy.mean_fault_count) << ctx;
+        expect_bitwise_equal(ref_fy.campaign.scores, inf_fy.campaign.scores,
+                             ctx + " fault yield scores");
+    }
+}
+
+namespace {
+
+std::vector<std::string> all_dataset_names() {
+    std::vector<std::string> names;
+    for (const auto& spec : data::benchmark_specs()) names.push_back(spec.name);
+    return names;
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, InferDifferential,
+                         ::testing::ValuesIn(all_dataset_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                             return info.param;
+                         });
+
+// ---- batch shapes ------------------------------------------------------------
+
+TEST(InferDifferentialShapes, BatchShapesMatchReference) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net = make_net(split, 92);
+    const infer::CompiledPnn compiled(net);
+
+    // Empty batch, single row, odd slice, full test set.
+    const math::Matrix empty(0, split.n_features());
+    expect_bitwise_equal(net.predict(empty), compiled.predict(empty), "empty batch");
+    for (const std::size_t rows : {std::size_t{1}, std::size_t{3}, split.x_test.rows()}) {
+        math::Matrix x(rows, split.n_features());
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t j = 0; j < split.n_features(); ++j) x(i, j) = split.x_test(i, j);
+        expect_bitwise_equal(net.predict(x), compiled.predict(x),
+                             "batch rows=" + std::to_string(rows));
+    }
+}
+
+// ---- backend dispatch --------------------------------------------------------
+
+TEST(InferBackend, DispatchersSelectBackends) {
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 66);
+    const auto net = make_net(split, 93);
+
+    pnn::EvalOptions eval;
+    eval.epsilon = 0.05;
+    eval.n_mc = 4;
+    const auto ref = infer::evaluate_pnn(infer::Backend::kReference, net, split.x_test,
+                                         split.y_test, eval);
+    const auto com = infer::evaluate_pnn(infer::Backend::kCompiled, net, split.x_test,
+                                         split.y_test, eval);
+    EXPECT_DOUBLE_EQ(ref.mean_accuracy, com.mean_accuracy);
+    expect_bitwise_equal(ref.per_sample_accuracy, com.per_sample_accuracy, "dispatch eval");
+
+    expect_equal_yield(
+        infer::estimate_yield(infer::Backend::kReference, net, split.x_test, split.y_test,
+                              0.5, 0.05, 6, 71),
+        infer::estimate_yield(infer::Backend::kCompiled, net, split.x_test, split.y_test,
+                              0.5, 0.05, 6, 71),
+        "dispatch yield");
+}
+
+TEST(InferBackend, ParseAndEnvPrecedence) {
+    EXPECT_EQ(infer::parse_backend("reference"), infer::Backend::kReference);
+    EXPECT_EQ(infer::parse_backend("compiled"), infer::Backend::kCompiled);
+    EXPECT_FALSE(infer::parse_backend("fast").has_value());
+    EXPECT_STREQ(infer::backend_name(infer::Backend::kCompiled), "compiled");
+
+    unsetenv("PNC_INFER_BACKEND");
+    EXPECT_EQ(infer::backend_from_env(), infer::Backend::kReference);
+    EXPECT_EQ(infer::backend_from_env(infer::Backend::kCompiled), infer::Backend::kCompiled);
+    ASSERT_EQ(setenv("PNC_INFER_BACKEND", "compiled", 1), 0);
+    EXPECT_EQ(infer::backend_from_env(), infer::Backend::kCompiled);
+    ASSERT_EQ(setenv("PNC_INFER_BACKEND", "turbo", 1), 0);
+    EXPECT_THROW(infer::backend_from_env(), std::invalid_argument);
+    unsetenv("PNC_INFER_BACKEND");
+}
+
+// ---- driver argument validation ---------------------------------------------
+
+TEST(InferBackend, CompiledDriversValidateLikeReference) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net = make_net(split, 94);
+    const infer::CompiledPnn compiled(net);
+
+    pnn::EvalOptions eval;
+    eval.n_mc = 0;
+    EXPECT_THROW(compiled.evaluate(split.x_test, split.y_test, eval), std::invalid_argument);
+    EXPECT_THROW(compiled.estimate_yield(split.x_test, split.y_test, 0.5, 0.1, 1, 7),
+                 std::invalid_argument);
+    const auto model = faults::make_fault_model("stuck_open", 0.1);
+    EXPECT_THROW(
+        compiled.estimate_yield_under_faults(split.x_test, split.y_test, 0.5, 0.1, *model, 1, 7),
+        std::invalid_argument);
+
+    math::Matrix wrong(2, split.n_features() + 1);
+    EXPECT_THROW(compiled.predict(wrong), std::invalid_argument);
+}

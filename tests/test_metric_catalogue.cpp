@@ -12,6 +12,7 @@
 
 #include "data/dataset.hpp"
 #include "faults/campaign.hpp"
+#include "infer/engine.hpp"
 #include "math/random.hpp"
 #include "obs/config.hpp"
 #include "obs/metrics.hpp"
@@ -121,6 +122,13 @@ TEST(MetricCatalogue, EveryRegisteredMetricIsDocumented) {
     pnn::estimate_yield(net, split.x_test, split.y_test, 0.6, 0.1, 8, 84);
     pnn::worst_corner_accuracy(net, split.x_test, split.y_test, 0.1, 8, 85);
     pnn::certify(net, split.x_test, split.y_test, {});
+
+    // The compiled inference engine: plan build + serving-path batch +
+    // both MC drivers, so every infer.* metric registers.
+    const infer::CompiledPnn compiled(net);
+    compiled.predict(split.x_test);
+    compiled.evaluate(split.x_test, split.y_test, eval);
+    compiled.estimate_yield(split.x_test, split.y_test, 0.6, 0.1, 8, 84);
 
     const auto shape = net.fault_shape();
     // A high rate so at least one realization actually draws a fault and

@@ -317,3 +317,55 @@ TEST_F(ObsCliTest, DivergentRunIsClassifiedLossDivergenceByDoctor) {
     EXPECT_EQ(run_cli_rc("doctor " + path("nosuch.json"), &missing), 2);
     EXPECT_NE(missing.find("nosuch.json"), std::string::npos) << missing;
 }
+
+TEST_F(ObsCliTest, EvalCompiledBackendMatchesReferenceOutput) {
+    run_cli("train --dataset iris --eps 0.1 --mc 2 --epochs 4 --patience 4 --hidden 2"
+            " --seed 21 --out " + path("model.pnn"));
+
+    // Same command, both backends: the accuracy lines must agree verbatim
+    // (the compiled engine is bit-identical, so even the formatted digits
+    // cannot differ).
+    std::string ref_out, com_out, env_out;
+    ASSERT_EQ(run_cli_rc("eval --model " + path("model.pnn") +
+                             " --dataset iris --eps 0.1 --mc 4 --backend reference",
+                         &ref_out), 0) << ref_out;
+    ASSERT_EQ(run_cli_rc("eval --model " + path("model.pnn") +
+                             " --dataset iris --eps 0.1 --mc 4 --backend compiled",
+                         &com_out), 0) << com_out;
+    EXPECT_NE(ref_out.find("test accuracy"), std::string::npos) << ref_out;
+    EXPECT_EQ(ref_out, com_out);
+
+    // PNC_INFER_BACKEND selects the backend when the flag is absent.
+    ::setenv("PNC_INFER_BACKEND", "compiled", 1);
+    ASSERT_EQ(run_cli_rc("eval --model " + path("model.pnn") +
+                             " --dataset iris --eps 0.1 --mc 4",
+                         &env_out), 0) << env_out;
+    ::unsetenv("PNC_INFER_BACKEND");
+    EXPECT_EQ(env_out, com_out);
+}
+
+TEST_F(ObsCliTest, CompiledBackendRejectsUnsupportedCombinations) {
+    // A bad backend value, the unsupported --fault-report combination, and
+    // --backend on a command whose allow-list does not know it must all
+    // print usage and exit 2 — before any expensive work happens (no model
+    // file exists, so reaching the loader would fail differently).
+    const std::string eval_base =
+        "eval --model " + path("model.pnn") + " --dataset iris";
+    for (const std::string& args :
+         {eval_base + " --backend turbo",
+          eval_base + " --backend compiled --fault-model stuck_open --fault-report " +
+              path("f.json"),
+          std::string("certify --model m.pnn --dataset iris --backend compiled"),
+          std::string("train --dataset iris --backend compiled")}) {
+        std::string output;
+        EXPECT_EQ(run_cli_rc(args, &output), 2) << args << "\n" << output;
+        EXPECT_NE(output.find("error:"), std::string::npos) << output;
+        EXPECT_NE(output.find("commands:"), std::string::npos) << output;
+    }
+    // PNC_INFER_BACKEND garbage is a usage error too, not a crash.
+    ::setenv("PNC_INFER_BACKEND", "turbo", 1);
+    std::string output;
+    EXPECT_EQ(run_cli_rc(eval_base, &output), 2) << output;
+    ::unsetenv("PNC_INFER_BACKEND");
+    EXPECT_NE(output.find("PNC_INFER_BACKEND"), std::string::npos) << output;
+}

@@ -239,6 +239,39 @@ TEST(DiffSuites, TimingUsesRelativeThreshold) {
     EXPECT_FALSE(obs::diff_suites(baseline, candidate, loose).timing_regressed);
 }
 
+TEST(DiffSuites, ThroughputDropSetsItsOwnFlag) {
+    // per_sec / speedup metrics gate separately from wall-clock timings:
+    // a throughput collapse must raise throughput_regressed (exit 3 in
+    // `pnc report`, immune to --timing-warn-only), never timing_regressed.
+    obs::BenchSuite baseline = demo_suite();
+    baseline.benches[0].metrics = {{"infer.batch.compiled.samples_per_sec", 1000.0},
+                                   {"infer.batch.speedup", 10.0}};
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].metrics = {{"infer.batch.compiled.samples_per_sec", 400.0},
+                                    {"infer.batch.speedup", 10.0}};
+
+    const obs::DiffResult diff = obs::diff_suites(baseline, candidate, {});
+    EXPECT_TRUE(diff.throughput_regressed);
+    EXPECT_FALSE(diff.timing_regressed);
+    EXPECT_FALSE(diff.accuracy_regressed);
+    EXPECT_EQ(delta_for(diff, "table2.infer.batch.compiled.samples_per_sec").verdict,
+              obs::Verdict::kRegressed);
+    EXPECT_EQ(delta_for(diff, "table2.infer.batch.compiled.samples_per_sec").kind,
+              obs::MetricKind::kThroughput);
+
+    // Inside the relative tolerance (and faster-than-baseline) → clean.
+    candidate.benches[0].metrics[0].second = 900.0;
+    EXPECT_FALSE(obs::diff_suites(baseline, candidate, {}).throughput_regressed);
+    candidate.benches[0].metrics[0].second = 2000.0;
+    EXPECT_FALSE(obs::diff_suites(baseline, candidate, {}).throughput_regressed);
+
+    // A per-metric override rescues the drop, mirroring the timing gate.
+    obs::ToleranceConfig loose;
+    loose.overrides.emplace_back("table2.infer.batch.compiled.samples_per_sec", 0.7);
+    candidate.benches[0].metrics[0].second = 400.0;
+    EXPECT_FALSE(obs::diff_suites(baseline, candidate, loose).throughput_regressed);
+}
+
 TEST(DiffSuites, MissingBenchIsAccuracyGradeRegression) {
     const obs::BenchSuite baseline = demo_suite();
     obs::BenchSuite candidate = baseline;
@@ -420,5 +453,39 @@ TEST(ReportCli, MissingBaselineFileIsUsageErrorNamingThePath) {
     const auto parse = run_cli("report diff " + garbled.string() + " " + garbled.string());
     EXPECT_EQ(parse.exit_code, 1) << parse.output;
     std::filesystem::remove(garbled);
+}
+
+TEST(ReportCli, ThroughputRegressionExitsThreeEvenWithTimingWarnOnly) {
+    // This is the bench-smoke contract for the inference baselines: a
+    // samples/sec collapse must fail the job (exit 3) even though the job
+    // passes --timing-warn-only 1 for wall-clock jitter.
+    obs::BenchSuite baseline = demo_suite();
+    baseline.benches[0].metrics = {{"infer.batch.compiled.samples_per_sec", 1000.0}};
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].metrics = {{"infer.batch.compiled.samples_per_sec", 300.0}};
+
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto base_path =
+        dir / ("pnc_observatory_tp_base_" + std::to_string(getpid()) + ".json");
+    const auto cand_path =
+        dir / ("pnc_observatory_tp_cand_" + std::to_string(getpid()) + ".json");
+    std::ofstream(base_path) << obs::bench_suite_document(baseline).dump();
+    std::ofstream(cand_path) << obs::bench_suite_document(candidate).dump();
+
+    const auto check = run_cli("report check " + cand_path.string() + " --baseline " +
+                               base_path.string() + " --timing-warn-only 1");
+    EXPECT_EQ(check.exit_code, 3) << check.output;
+    EXPECT_NE(check.output.find("THROUGHPUT REGRESSION"), std::string::npos)
+        << check.output;
+
+    // The same pair inside tolerance is clean.
+    candidate.benches[0].metrics[0].second = 990.0;
+    std::ofstream(cand_path) << obs::bench_suite_document(candidate).dump();
+    const auto ok = run_cli("report check " + cand_path.string() + " --baseline " +
+                            base_path.string() + " --timing-warn-only 1");
+    EXPECT_EQ(ok.exit_code, 0) << ok.output;
+
+    std::filesystem::remove(base_path);
+    std::filesystem::remove(cand_path);
 }
 #endif  // PNC_CLI_PATH

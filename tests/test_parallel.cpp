@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <mutex>
 #include <set>
@@ -161,4 +162,77 @@ TEST(GlobalPool, SetThreadsResizes) {
     pnc::runtime::parallel_for(10, [&](std::size_t i) { ++hits[i]; });
     for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
     pnc::runtime::set_global_threads(ThreadPool::default_thread_count());
+}
+
+// ---- chunk partitioning ----------------------------------------------------
+//
+// chunk_bounds is the exact partition parallel_for executes, and the
+// compiled inference engine reuses it to row-chunk batches. These tests pin
+// the partition law: contiguous, ordered, exhaustive, balanced to within
+// one element — for uneven splits and for ranges smaller than the worker
+// count.
+
+TEST(ChunkBounds, PartitionIsContiguousExhaustiveAndBalanced) {
+    for (const std::size_t n : {0u, 1u, 3u, 7u, 16u, 100u, 101u, 1023u}) {
+        for (const std::size_t chunks : {1u, 2u, 3u, 4u, 5u, 8u, 16u}) {
+            std::size_t expected_lo = 0;
+            std::size_t min_size = n + 1, max_size = 0;
+            for (std::size_t c = 0; c < chunks; ++c) {
+                const auto [lo, hi] = ThreadPool::chunk_bounds(n, chunks, c);
+                EXPECT_EQ(lo, expected_lo) << "n=" << n << " chunks=" << chunks << " c=" << c;
+                EXPECT_LE(lo, hi);
+                min_size = std::min(min_size, hi - lo);
+                max_size = std::max(max_size, hi - lo);
+                expected_lo = hi;
+            }
+            EXPECT_EQ(expected_lo, n) << "n=" << n << " chunks=" << chunks;
+            EXPECT_LE(max_size - min_size, 1u) << "n=" << n << " chunks=" << chunks;
+        }
+    }
+}
+
+TEST(ChunkBounds, DegenerateChunkCounts) {
+    // chunks == 0 must still cover the whole range (inline fallback).
+    const auto [lo, hi] = ThreadPool::chunk_bounds(17, 0, 0);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 17u);
+    // More chunks than elements: every element still appears exactly once,
+    // the surplus chunks are empty.
+    std::size_t covered = 0;
+    for (std::size_t c = 0; c < 8; ++c) {
+        const auto [clo, chi] = ThreadPool::chunk_bounds(3, 8, c);
+        covered += chi - clo;
+    }
+    EXPECT_EQ(covered, 3u);
+}
+
+namespace {
+
+/// Index-keyed parallel reduction: each slot written once by its index.
+std::vector<double> keyed_results(ThreadPool& pool, std::size_t n) {
+    std::vector<double> out(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+        out[i] = std::sin(static_cast<double>(i)) * 1e6 + static_cast<double>(i);
+    });
+    return out;
+}
+
+}  // namespace
+
+TEST(ChunkBounds, UnevenSplitsReduceIdenticallyToInline) {
+    // N not divisible by the worker count, and N < workers: the threaded
+    // partition must produce bitwise the same ordered reduction as the
+    // inline (single-thread) path.
+    ThreadPool inline_pool(1);
+    for (const std::size_t n : {3u, 5u, 10u, 37u}) {
+        const auto expected = keyed_results(inline_pool, n);
+        for (const std::size_t workers : {3u, 4u, 8u}) {
+            ThreadPool pool(workers);
+            const auto got = keyed_results(pool, n);
+            ASSERT_EQ(got.size(), expected.size());
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(got[i], expected[i]) << "n=" << n << " workers=" << workers
+                                               << " index=" << i;
+        }
+    }
 }

@@ -11,7 +11,9 @@
 #include "circuit/crossbar.hpp"
 #include "circuit/nonlinear_circuit.hpp"
 #include "data/registry.hpp"
+#include "faults/fault_model.hpp"
 #include "fit/ptanh_fit.hpp"
+#include "infer/engine.hpp"
 #include "math/sobol.hpp"
 #include "pnn/serialize.hpp"
 #include "pnn/training.hpp"
@@ -290,4 +292,107 @@ TEST(NonlinearParamProperty, ShuntResistorsStayPrintableUnderExtremeRatios) {
     EXPECT_GE(omega.r4, space.min(3));
     EXPECT_LE(omega.r4, space.max(3));
     EXPECT_TRUE(space.contains(omega));
+}
+
+// ---- compiled inference plan: edge cases -------------------------------------
+
+namespace {
+
+/// Reference vs compiled predict, element-for-element exact.
+void expect_backends_agree(const pnn::Pnn& net, const infer::CompiledPnn& compiled,
+                           const math::Matrix& x,
+                           const pnn::NetworkVariation* variation = nullptr,
+                           const faults::NetworkFaultOverlay* overlay = nullptr) {
+    const auto ref = net.predict(x, variation, overlay);
+    const auto com = compiled.predict(x, variation, overlay);
+    ASSERT_EQ(ref.rows(), com.rows());
+    ASSERT_EQ(ref.cols(), com.cols());
+    for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_DOUBLE_EQ(ref[i], com[i]) << i;
+}
+
+pnn::Pnn plan_edge_net(std::size_t n_in, std::size_t hidden, std::size_t n_out,
+                       std::uint64_t seed) {
+    math::Rng rng(seed);
+    return pnn::Pnn({n_in, hidden, n_out},
+                    &prop_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &prop_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+}  // namespace
+
+TEST(InferPlanProperty, EmptyAndSingleRowBatchesMatchReference) {
+    const auto net = plan_edge_net(4, 3, 3, 311);
+    const infer::CompiledPnn compiled(net);
+    math::Rng rng(7);
+    expect_backends_agree(net, compiled, math::Matrix(0, 4));
+    expect_backends_agree(net, compiled, rng.uniform_matrix(1, 4, 0.0, 1.0));
+    // And perturbed single-row, where the per-sample tables dominate.
+    const circuit::VariationModel model(0.1);
+    math::Rng var_rng(8);
+    const auto factors = net.sample_variation(model, var_rng);
+    expect_backends_agree(net, compiled, rng.uniform_matrix(1, 4, 0.0, 1.0), &factors);
+}
+
+TEST(InferPlanProperty, SingleSampleMonteCarloMatchesReference) {
+    // n_mc = 1 exercises the stddev guard (reference reports 0.0, not NaN).
+    const auto net = plan_edge_net(4, 3, 2, 312);
+    const infer::CompiledPnn compiled(net);
+    math::Rng rng(9);
+    const math::Matrix x = rng.uniform_matrix(12, 4, 0.0, 1.0);
+    std::vector<int> y;
+    for (int i = 0; i < 12; ++i) y.push_back(i % 2);
+
+    pnn::EvalOptions options;
+    options.epsilon = 0.1;
+    options.n_mc = 1;
+    const auto ref = pnn::evaluate_pnn(net, x, y, options);
+    const auto com = compiled.evaluate(x, y, options);
+    EXPECT_DOUBLE_EQ(ref.mean_accuracy, com.mean_accuracy);
+    EXPECT_DOUBLE_EQ(ref.std_accuracy, com.std_accuracy);
+    ASSERT_EQ(ref.per_sample_accuracy.size(), com.per_sample_accuracy.size());
+    EXPECT_DOUBLE_EQ(ref.per_sample_accuracy[0], com.per_sample_accuracy[0]);
+}
+
+TEST(InferPlanProperty, SingleHiddenUnitNetworkMatchesReference) {
+    // hidden = 1: every crossbar weight normalizes against a one-element
+    // column sum, the narrowest shape the plan can compile.
+    const auto net = plan_edge_net(5, 1, 2, 313);
+    const infer::CompiledPnn compiled(net);
+    ASSERT_EQ(compiled.plan().layers[0].n_out, 1u);
+    math::Rng rng(10);
+    const math::Matrix x = rng.uniform_matrix(7, 5, 0.0, 1.0);
+    expect_backends_agree(net, compiled, x);
+    const circuit::VariationModel model(0.15);
+    math::Rng var_rng(11);
+    const auto factors = net.sample_variation(model, var_rng);
+    expect_backends_agree(net, compiled, x, &factors);
+}
+
+TEST(InferPlanProperty, DeadCircuitOverlayMatchesReference) {
+    // Degenerate overlay: every nonlinear circuit of the hidden layer is
+    // dead (outputs pinned to a rail). The compiled fault masks must follow
+    // the reference path bit-for-bit even when nothing is alive.
+    const auto net = plan_edge_net(4, 3, 3, 314);
+    const infer::CompiledPnn compiled(net);
+    const auto shape = net.fault_shape();
+    const pnn::PnnOptions& options = net.layer(0).options();
+    const faults::FaultDomain domain{options.g_max, options.bias_voltage};
+
+    std::vector<faults::Fault> dead;
+    for (std::size_t col = 0; col < shape[0].n_out; ++col)
+        dead.push_back({faults::FaultKind::kDeadNonlinear, faults::FaultSite::kActivation, 0,
+                        0, col, domain.vdd});
+    for (std::size_t col = 0; col < shape[0].n_in; ++col)
+        dead.push_back({faults::FaultKind::kDeadNonlinear, faults::FaultSite::kNegation, 0, 0,
+                        col, 0.0});
+    const auto overlay = faults::materialize(shape, dead, domain);
+
+    math::Rng rng(12);
+    const math::Matrix x = rng.uniform_matrix(9, 4, 0.0, 1.0);
+    expect_backends_agree(net, compiled, x, nullptr, &overlay);
+    const circuit::VariationModel model(0.1);
+    math::Rng var_rng(13);
+    const auto factors = net.sample_variation(model, var_rng);
+    expect_backends_agree(net, compiled, x, &factors, &overlay);
 }

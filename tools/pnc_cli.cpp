@@ -8,8 +8,15 @@
 //                  [--epochs N] [--patience N] [--hidden N] [--seed N]
 //                  [--lr-theta A] [--lr-omega A] [--loss margin|xent]
 //   pnc eval       --model model.pnn --dataset iris [--eps 0.1] [--mc N]
+//                  [--backend reference|compiled]
 //                  [--fault-model stuck_open|stuck_short|stuck_at|dead_nonlinear|
 //                   drift|mixed] [--fault-rate R] [--spec A] [--fault-report f.json]
+//
+// `eval --backend compiled` runs the Monte-Carlo sweep on the compiled
+// inference engine (src/infer) — bit-identical results, no autodiff graph.
+// PNC_INFER_BACKEND=reference|compiled selects the backend when the flag is
+// absent. --fault-report still needs the reference evaluator and is
+// rejected (usage, exit 2) in combination with --backend compiled.
 //   pnc certify    --model model.pnn --dataset iris [--eps 0.05]
 //   pnc export     --model model.pnn [--out netlist.sp]
 //   pnc cost       --model model.pnn
@@ -58,6 +65,7 @@
 #include "data/registry.hpp"
 #include "exp/artifacts.hpp"
 #include "faults/fault_report.hpp"
+#include "infer/backend.hpp"
 #include "obs/baseline.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/events.hpp"
@@ -266,6 +274,26 @@ int cmd_eval(const Args& args) {
         (!args.get("fault-rate").empty() || !args.get("fault-report").empty()))
         throw UsageError("--fault-rate/--fault-report need --fault-model");
 
+    // Backend selection: flag > PNC_INFER_BACKEND > reference.
+    infer::Backend backend = infer::Backend::kReference;
+    const std::string backend_arg = args.get("backend");
+    if (!backend_arg.empty()) {
+        const auto parsed = infer::parse_backend(backend_arg);
+        if (!parsed)
+            throw UsageError("--backend must be 'reference' or 'compiled', got '" +
+                             backend_arg + "'");
+        backend = *parsed;
+    } else {
+        try {
+            backend = infer::backend_from_env();
+        } catch (const std::invalid_argument& e) {
+            throw UsageError(e.what());
+        }
+    }
+    if (backend == infer::Backend::kCompiled && !args.get("fault-report").empty())
+        throw UsageError(
+            "--fault-report needs the reference evaluator (drop --backend compiled)");
+
     const auto surrogates = load_surrogates();
     const auto net = load_model(args, surrogates);
     const std::string dataset = args.require("dataset");
@@ -274,7 +302,7 @@ int cmd_eval(const Args& args) {
     pnn::EvalOptions options;
     options.epsilon = args.number("eps", 0.0);
     options.n_mc = static_cast<int>(args.number("mc", 100));
-    const auto result = pnn::evaluate_pnn(net, split.x_test, split.y_test, options);
+    const auto result = infer::evaluate_pnn(backend, net, split.x_test, split.y_test, options);
     std::printf("test accuracy @%.0f%% variation: %.4f +- %.4f (%zu Monte-Carlo samples)\n",
                 options.epsilon * 100, result.mean_accuracy, result.std_accuracy,
                 result.per_sample_accuracy.size());
@@ -287,8 +315,8 @@ int cmd_eval(const Args& args) {
     const pnn::PnnOptions& pnn_opts = net.layer(0).options();
     const faults::FaultDomain domain{pnn_opts.g_max, pnn_opts.bias_voltage};
     const auto model = faults::make_fault_model(fault_model_name, fault_rate, domain);
-    const auto fault_result = pnn::estimate_yield_under_faults(
-        net, split.x_test, split.y_test, spec, options.epsilon, *model, n_mc,
+    const auto fault_result = infer::estimate_yield_under_faults(
+        backend, net, split.x_test, split.y_test, spec, options.epsilon, *model, n_mc,
         static_cast<std::uint64_t>(args.number("seed", 777)));
     std::printf("fault campaign (%s @ rate %.4g, %d copies): yield %.4f @ spec %.2f\n",
                 model->name().c_str(), fault_rate, n_mc, fault_result.yield.yield, spec);
@@ -424,6 +452,12 @@ int report_verdict(const obs::DiffResult& diff, bool timing_warn_only) {
         std::printf("\nverdict: ACCURACY REGRESSION\n");
         return 3;
     }
+    if (diff.throughput_regressed) {
+        // Deliberately immune to --timing-warn-only: throughput baselines
+        // carry their own generous tolerances, so a breach is signal.
+        std::printf("\nverdict: THROUGHPUT REGRESSION\n");
+        return 3;
+    }
     if (diff.timing_regressed) {
         if (timing_warn_only) {
             std::printf("\nverdict: timing regression (warn-only, not gating)\n");
@@ -510,6 +544,7 @@ int cmd_help() {
     std::puts("doctor: pnc doctor HEALTH.json   (exit 4 when training diverged)");
     std::puts("fault flags (eval): --fault-model NAME --fault-rate R --spec A "
               "--fault-report f.json");
+    std::puts("eval backend: --backend reference|compiled (or PNC_INFER_BACKEND)");
     std::puts("see the header of tools/pnc_cli.cpp for the option reference");
     return 0;
 }
@@ -543,8 +578,8 @@ int dispatch(const Args& args) {
         return cmd_train(args);
     }
     if (args.command == "eval") {
-        validate_options(args, {"model", "dataset", "eps", "mc", "seed", "fault-model",
-                                "fault-rate", "spec", "fault-report"});
+        validate_options(args, {"model", "dataset", "eps", "mc", "seed", "backend",
+                                "fault-model", "fault-rate", "spec", "fault-report"});
         return cmd_eval(args);
     }
     if (args.command == "certify") {
