@@ -74,6 +74,7 @@ const BenchSpec kBenches[] = {
     {"fault_yield", "bench_fault_yield", true},
     {"parallel_scaling", "bench_parallel_scaling", true},
     {"inference", "bench_inference", true},
+    {"yield_scale", "bench_yield_scale", true},
 };
 
 [[noreturn]] void usage(int rc) {

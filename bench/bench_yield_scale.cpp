@@ -1,0 +1,107 @@
+// Million-sample yield-campaign throughput: the src/yield engine driving
+// the compiled inference plan through a statistical-mode Monte-Carlo
+// campaign at certification scale, reporting samples/sec and the reached
+// confidence interval. Before the scale run, a fixed-N probe checks the
+// campaign engine stays bit-identical to pnn::estimate_yield — the scale
+// numbers are only worth reporting if the bit-identity contract holds.
+// Results append to artifacts/yield_scale.csv; headlines gate in CI via
+// baselines/ci.json.
+//
+// Knobs: PNC_YIELD_SAMPLES (campaign budget; default 1e6, smoke 1e4),
+// PNC_YIELD_CI_WIDTH (early-stop target; default 0 = run the full budget),
+// PNC_YIELD_SPEC (accuracy spec; default 0.4 so the untrained Table II
+// topology lands mid-range and the CI has something to resolve).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/registry.hpp"
+#include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
+#include "infer/engine.hpp"
+#include "pnn/robustness.hpp"
+#include "runtime/thread_pool.hpp"
+#include "yield/campaign.hpp"
+
+using namespace pnc;
+using Clock = std::chrono::steady_clock;
+
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_yield_scale", argc, argv);
+
+    const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto neg =
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 17);
+
+    // The paper's Table II topology, same seed as bench_inference so the two
+    // benches exercise the same compiled plan.
+    math::Rng rng(5);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &act, &neg, surrogate::DesignSpace::table1(), rng);
+    const infer::CompiledPnn engine(net);
+
+    const double spec = exp::env_double("PNC_YIELD_SPEC", 0.4);
+    const std::uint64_t budget = static_cast<std::uint64_t>(
+        exp::env_int("PNC_YIELD_SAMPLES", run.smoke() ? 10'000 : 1'000'000));
+    const double ci_width = exp::env_double("PNC_YIELD_CI_WIDTH", 0.0);
+
+    // Bit-identity probe: fixed-N campaign vs the reference estimator at the
+    // reference's scale. Cheap, and gates the whole bench.
+    yield::YieldCampaignOptions probe;
+    probe.mode = yield::CampaignMode::kFixed;
+    probe.accuracy_spec = spec;
+    probe.epsilon = 0.10;
+    probe.n_samples = 200;
+    const auto fixed =
+        yield::run_yield_campaign(engine, split.x_test, split.y_test, probe);
+    const auto reference = pnn::estimate_yield(net, split.x_test, split.y_test, spec,
+                                               probe.epsilon, 200, probe.seed);
+    const bool bit_identical =
+        fixed.estimate.yield == reference.yield &&
+        fixed.estimate.n_passing == static_cast<std::uint64_t>(reference.n_passing) &&
+        fixed.estimate.worst_accuracy == reference.worst_accuracy &&
+        fixed.estimate.p5_accuracy == reference.p5_accuracy &&
+        fixed.estimate.median_accuracy == reference.median_accuracy;
+    std::printf("fixed-N probe vs pnn::estimate_yield (200 samples): %s\n",
+                bit_identical ? "bit-identical" : "MISMATCH");
+
+    // The scale run: statistical mode at certification scale.
+    yield::YieldCampaignOptions options;
+    options.mode = yield::CampaignMode::kStatistical;
+    options.accuracy_spec = spec;
+    options.epsilon = 0.10;
+    options.n_samples = budget;
+    options.ci_width = ci_width;
+    std::printf("statistical campaign: budget %llu samples, %zu test rows, %zu threads\n",
+                static_cast<unsigned long long>(budget), split.x_test.rows(),
+                runtime::global_thread_count());
+
+    const auto start = Clock::now();
+    const auto result =
+        yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    const auto& est = result.estimate;
+    const double samples_per_sec = static_cast<double>(est.n_samples) / seconds;
+
+    std::printf("yield %.6f @ spec %.2f, %.0f%% CI [%.6f, %.6f] width %.2e\n", est.yield,
+                spec, est.confidence * 100, est.ci_lo, est.ci_hi, est.ci_width());
+    std::printf("%llu samples in %.2f s (%zu rounds): %.0f samples/s\n",
+                static_cast<unsigned long long>(est.n_samples), seconds, est.rounds_used,
+                samples_per_sec);
+
+    const std::string csv_path = exp::artifact_dir() + "/yield_scale.csv";
+    std::ofstream csv(csv_path);
+    csv << "samples,seconds,samples_per_sec,yield,ci_lo,ci_hi,ci_width\n";
+    csv << est.n_samples << ',' << seconds << ',' << samples_per_sec << ',' << est.yield
+        << ',' << est.ci_lo << ',' << est.ci_hi << ',' << est.ci_width() << '\n';
+    std::printf("wrote %s\n", csv_path.c_str());
+
+    run.headline("yield_scale.samples_per_sec", samples_per_sec);
+    run.headline("yield_scale.samples", static_cast<double>(est.n_samples));
+    run.headline("yield_scale.ci_width", est.ci_width());
+    run.headline("accuracy.yield_scale.estimate", est.yield);
+    const int headline_rc = run.finish();
+    return bit_identical ? headline_rc : 1;
+}

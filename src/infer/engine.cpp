@@ -358,6 +358,27 @@ double CompiledPnn::accuracy(const Matrix& x, const std::vector<int>& y,
     return ad::accuracy(predict(x, variation, faults), y);
 }
 
+std::size_t CompiledPnn::correct_count(const Matrix& x, const std::vector<int>& y,
+                                       const pnn::NetworkVariation* variation,
+                                       const faults::NetworkFaultOverlay* faults,
+                                       Matrix& scratch) const {
+    if (y.size() != x.rows())
+        throw std::invalid_argument("CompiledPnn::correct_count: labels/rows mismatch");
+    if (scratch.rows() != x.rows() || scratch.cols() != plan_.n_outputs())
+        scratch = Matrix(x.rows(), plan_.n_outputs());
+    forward_rows(x, 0, x.rows(), variation, faults, scratch);
+    // ref: ad::accuracy = argmax_rows (strict >, first maximum wins) then
+    // the match count — everything except the final division.
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < scratch.rows(); ++i) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < scratch.cols(); ++j)
+            if (scratch(i, j) > scratch(i, best)) best = j;
+        correct += static_cast<int>(best) == y[i];
+    }
+    return correct;
+}
+
 pnn::NetworkVariation CompiledPnn::sample_variation(const circuit::VariationModel& model,
                                                     math::Rng& rng) const {
     // Same draw order as PrintedLayer::sample_variation, per layer.
@@ -482,6 +503,7 @@ pnn::YieldResult CompiledPnn::estimate_yield(const Matrix& x, const std::vector<
 
     pnn::YieldResult result;
     result.n_samples = n_mc;
+    result.n_passing = static_cast<int>(passing);
     result.yield = static_cast<double>(passing) / static_cast<double>(n_mc);
     result.worst_accuracy = accuracies.front();
     result.p5_accuracy = accuracies[static_cast<std::size_t>(0.05 * (n_mc - 1))];
@@ -515,6 +537,7 @@ pnn::FaultYieldResult CompiledPnn::estimate_yield_under_faults(
 
     pnn::FaultYieldResult result;
     result.yield.n_samples = n_mc;
+    for (double score : campaign.scores) result.yield.n_passing += score >= accuracy_spec;
     result.yield.yield = campaign.fraction_at_least(accuracy_spec);
     result.yield.worst_accuracy = campaign.worst_score;
     result.yield.p5_accuracy = campaign.score_quantile(0.05);

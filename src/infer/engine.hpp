@@ -45,6 +45,18 @@ public:
                     const pnn::NetworkVariation* variation = nullptr,
                     const faults::NetworkFaultOverlay* faults = nullptr) const;
 
+    /// ad::accuracy's numerator: how many rows of `x` the perturbed
+    /// forward pass classifies correctly (argmax replication, first
+    /// maximum wins). The batch perturbation entry point for the yield
+    /// campaign engine (src/yield): single-threaded by contract — callers
+    /// run it from inside their own chunked fan-out — and it forwards into
+    /// the caller's reusable `scratch` matrix (resized on mismatch) so a
+    /// million-sample sweep performs no per-sample allocation.
+    std::size_t correct_count(const math::Matrix& x, const std::vector<int>& y,
+                              const pnn::NetworkVariation* variation,
+                              const faults::NetworkFaultOverlay* faults,
+                              math::Matrix& scratch) const;
+
     /// Same draws in the same order as Pnn::sample_variation, reproduced
     /// from the plan's shapes alone.
     pnn::NetworkVariation sample_variation(const circuit::VariationModel& model,

@@ -73,6 +73,82 @@ void EventStream::emit_locked(std::string_view event,
     out_.flush();
 }
 
+std::string merge_event_streams(const std::vector<std::string>& streams,
+                                const std::string& tool) {
+    if (streams.empty())
+        throw std::invalid_argument("merge_event_streams: no input streams");
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        const std::string violation = validate_events(streams[i]);
+        if (!violation.empty())
+            throw std::invalid_argument("merge_event_streams: input " + std::to_string(i) +
+                                        " is not a valid pnc-events/1 stream: " + violation);
+    }
+
+    // wall_unix for the merged header comes from the first input's header,
+    // so the output is a pure function of the inputs (no clock reads here).
+    double wall_unix = 0.0;
+    {
+        const std::string& first = streams.front();
+        const std::string head = first.substr(0, first.find('\n'));
+        const json::Value* wall = json::Value::parse(head).find("wall_unix");
+        if (wall && wall->is_number()) wall_unix = wall->as_number();
+    }
+
+    std::string out;
+    std::uint64_t seq = 0;
+    const auto append = [&](const json::Value& line) {
+        out += line.dump();
+        out += '\n';
+    };
+    const auto envelope = [&](double t, const char* event) {
+        json::Value line = json::Value::object();
+        line.set("schema", json::Value::string(kEventsSchema));
+        line.set("seq", json::Value::number(static_cast<double>(seq++)));
+        line.set("t", json::Value::number(t));
+        line.set("event", json::Value::string(event));
+        return line;
+    };
+
+    json::Value header = envelope(0.0, "stream.open");
+    header.set("tool", json::Value::string(tool));
+    header.set("wall_unix", json::Value::number(wall_unix));
+    append(header);
+
+    double t_offset = 0.0;
+    double t_last = 0.0;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        const std::string& text = streams[i];
+        double stream_last = 0.0;
+        std::size_t begin = 0;
+        while (begin < text.size()) {
+            std::size_t end = text.find('\n', begin);
+            if (end == std::string::npos) end = text.size();
+            const std::string raw = text.substr(begin, end - begin);
+            begin = end + 1;
+            if (raw.empty()) continue;
+            json::Value line = json::Value::parse(raw);  // validated above
+            stream_last = line.find("t")->as_number();
+            const std::string& event = line.find("event")->as_string();
+            // Each input's own open/close envelope is dropped; the merged
+            // stream gets exactly one of each.
+            if (event == "stream.open" || event == "stream.close") continue;
+            // set() overwrites in place, so the reserved keys keep their
+            // leading positions; `shard` is a new key and lands last.
+            line.set("seq", json::Value::number(static_cast<double>(seq++)));
+            line.set("t", json::Value::number(t_offset + stream_last));
+            line.set("shard", json::Value::number(static_cast<double>(i)));
+            t_last = t_offset + stream_last;
+            append(line);
+        }
+        // Later inputs start where this one's clock stopped: merged t stays
+        // non-decreasing without inventing wall-clock relationships.
+        t_offset += stream_last;
+    }
+
+    append(envelope(t_last, "stream.close"));
+    return out;
+}
+
 std::string validate_events(const std::string& text) {
     std::size_t line_no = 0;
     std::size_t begin = 0;

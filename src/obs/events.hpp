@@ -82,4 +82,17 @@ inline void emit_event(std::string_view event, const std::vector<EventField>& fi
 /// line), else a one-line description of the first violation.
 std::string validate_events(const std::string& text);
 
+/// Merge several pnc-events/1 streams (e.g. the per-shard streams of a
+/// sharded yield campaign) into one valid stream. Deterministic ordered
+/// reduction: a fresh `stream.open` header (tool = `tool`, wall_unix taken
+/// from the first input) is followed by every input's body lines in input
+/// order — each input's own open/close envelope dropped, `seq` re-stamped
+/// consecutively, `t` offset by the cumulative duration of the preceding
+/// inputs so it stays non-decreasing, and a `shard` field (the input's
+/// position) added — then a fresh `stream.close` trailer. Inputs must
+/// individually validate; throws std::invalid_argument otherwise. The
+/// output passes validate_events.
+std::string merge_event_streams(const std::vector<std::string>& streams,
+                                const std::string& tool);
+
 }  // namespace pnc::obs

@@ -79,6 +79,7 @@ YieldResult estimate_yield(const Pnn& pnn, const Matrix& x, const std::vector<in
 
     YieldResult result;
     result.n_samples = n_mc;
+    result.n_passing = static_cast<int>(passing);
     result.yield = static_cast<double>(passing) / static_cast<double>(n_mc);
     result.worst_accuracy = accuracies.front();
     result.p5_accuracy = accuracies[static_cast<std::size_t>(0.05 * (n_mc - 1))];
@@ -113,6 +114,7 @@ FaultYieldResult estimate_yield_under_faults(const Pnn& pnn, const Matrix& x,
 
     FaultYieldResult result;
     result.yield.n_samples = n_mc;
+    for (double score : campaign.scores) result.yield.n_passing += score >= accuracy_spec;
     result.yield.yield = campaign.fraction_at_least(accuracy_spec);
     result.yield.worst_accuracy = campaign.worst_score;
     result.yield.p5_accuracy = campaign.score_quantile(0.05);

@@ -19,6 +19,10 @@ struct YieldResult {
     double p5_accuracy = 0.0;    ///< 5th percentile
     double median_accuracy = 0.0;
     int n_samples = 0;
+    /// Raw numerator of `yield` — the binomial success count the large-
+    /// scale campaign engine (src/yield) feeds into its confidence
+    /// intervals, exposed so callers never reconstruct it from the ratio.
+    int n_passing = 0;
 };
 
 /// Monte-Carlo yield of a design at variation eps against an accuracy spec.

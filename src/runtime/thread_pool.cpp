@@ -171,6 +171,18 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     if (join.error) std::rethrow_exception(join.error);
 }
 
+void ThreadPool::parallel_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    const std::size_t chunks = std::min(n_threads_, n);
+    // One parallel_for index per chunk: reuses the pool's queueing,
+    // exception propagation and telemetry unchanged.
+    parallel_for(chunks, [&](std::size_t chunk) {
+        const auto [lo, hi] = chunk_bounds(n, chunks, chunk);
+        fn(chunk, lo, hi);
+    });
+}
+
 std::pair<std::size_t, std::size_t> ThreadPool::chunk_bounds(std::size_t n,
                                                              std::size_t chunks,
                                                              std::size_t chunk) {
@@ -211,6 +223,15 @@ std::size_t global_thread_count() { return global_pool().n_threads(); }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     global_pool().parallel_for(n, fn);
+}
+
+void parallel_ranges(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    global_pool().parallel_ranges(n, fn);
+}
+
+std::size_t global_chunk_count(std::size_t n) {
+    return std::min(global_thread_count(), n);
 }
 
 }  // namespace pnc::runtime

@@ -52,6 +52,16 @@ public:
     /// hardware_concurrency() (minimum 1).
     static std::size_t default_thread_count();
 
+    /// Hand each thread its contiguous chunk of [0, n) directly:
+    /// fn(chunk, lo, hi) with [lo, hi) the chunk_bounds partition and
+    /// chunk in [0, min(n_threads, n)). Million-index Monte-Carlo sweeps
+    /// (src/yield) use this instead of parallel_for to skip the per-index
+    /// std::function dispatch — the body is itself a tight loop. The chunk
+    /// count depends only on (n, n_threads), never on timing, so ordered
+    /// per-chunk reductions stay bit-identical at any thread count.
+    void parallel_ranges(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
     /// The contiguous half-open index range [lo, hi) that `chunk` of
     /// `chunks` covers when [0, n) is carved into `chunks` pieces. This is
     /// the exact partition parallel_for executes, exposed so batch callers
@@ -82,5 +92,14 @@ std::size_t global_thread_count();
 
 /// global_pool().parallel_for(n, fn).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// global_pool().parallel_ranges(n, fn).
+void parallel_ranges(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Number of chunks parallel_ranges would hand out for n indices on the
+/// global pool: min(global_thread_count(), n). Callers size their ordered
+/// per-chunk reduction slots with this.
+std::size_t global_chunk_count(std::size_t n);
 
 }  // namespace pnc::runtime

@@ -1,0 +1,469 @@
+#include "yield/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "circuit/variation.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pnc::yield {
+
+using math::Matrix;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Accuracy of a sample that classified k of `test_rows` rows correctly.
+/// This is the reference reduction's exact expression
+/// (static_cast<double>(correct) / static_cast<double>(labels.size()) in
+/// ad::accuracy) — the bridge between histograms and the bit-identity
+/// contract, so it must never be "simplified".
+double accuracy_value(std::uint64_t k, std::size_t test_rows) {
+    return static_cast<double>(k) / static_cast<double>(test_rows);
+}
+
+std::uint64_t histogram_passing(const std::vector<std::uint64_t>& histogram,
+                                std::size_t test_rows, double accuracy_spec) {
+    std::uint64_t passing = 0;
+    for (std::size_t k = 0; k < histogram.size(); ++k)
+        if (accuracy_value(k, test_rows) >= accuracy_spec) passing += histogram[k];
+    return passing;
+}
+
+/// The `idx`-th smallest sample accuracy (0-based order statistic) of a
+/// correct-count histogram. Equivalent to sorted_accuracies[idx] in the
+/// reference path: k / R is strictly increasing in k, so sorting the
+/// accuracy vector is sorting by k.
+double order_statistic(const std::vector<std::uint64_t>& histogram, std::size_t test_rows,
+                       std::uint64_t idx) {
+    std::uint64_t seen = 0;
+    for (std::size_t k = 0; k < histogram.size(); ++k) {
+        seen += histogram[k];
+        if (seen > idx) return accuracy_value(k, test_rows);
+    }
+    throw std::logic_error("yield: order statistic beyond histogram population");
+}
+
+/// All estimate fields from one lossless histogram. Every accuracy
+/// statistic replicates the reference reduction formulas exactly
+/// (pnn::estimate_yield over a sorted accuracy vector + math::median).
+YieldEstimate estimate_from_histogram(const std::vector<std::uint64_t>& histogram,
+                                      std::size_t test_rows,
+                                      const YieldCampaignOptions& options) {
+    std::uint64_t n = 0;
+    std::uint64_t total_correct = 0;
+    for (std::size_t k = 0; k < histogram.size(); ++k) {
+        n += histogram[k];
+        total_correct += histogram[k] * static_cast<std::uint64_t>(k);
+    }
+    if (n == 0) throw std::invalid_argument("yield: estimate over zero samples");
+
+    YieldEstimate estimate;
+    estimate.n_samples = n;
+    estimate.n_passing = histogram_passing(histogram, test_rows, options.accuracy_spec);
+    // ref: static_cast<double>(passing) / static_cast<double>(n_mc)
+    estimate.yield =
+        static_cast<double>(estimate.n_passing) / static_cast<double>(n);
+    estimate.method = options.method;
+    estimate.confidence = options.confidence;
+    const BinomialInterval interval =
+        binomial_interval(options.method, estimate.n_passing, n, options.confidence);
+    estimate.ci_lo = interval.lo;
+    estimate.ci_hi = interval.hi;
+
+    estimate.mean_accuracy = static_cast<double>(total_correct) /
+                             static_cast<double>(n * static_cast<std::uint64_t>(test_rows));
+    // ref: accuracies.front() after the sort.
+    estimate.worst_accuracy = order_statistic(histogram, test_rows, 0);
+    // ref: accuracies[static_cast<std::size_t>(0.05 * (n_mc - 1))].
+    estimate.p5_accuracy = order_statistic(
+        histogram, test_rows,
+        static_cast<std::uint64_t>(0.05 * static_cast<double>(n - 1)));
+    // ref: math::median — v[n/2] for odd n, else 0.5 * (v[n/2 - 1] + v[n/2]).
+    estimate.median_accuracy =
+        n % 2 ? order_statistic(histogram, test_rows, n / 2)
+              : 0.5 * (order_statistic(histogram, test_rows, n / 2 - 1) +
+                       order_statistic(histogram, test_rows, n / 2));
+    return estimate;
+}
+
+bool stop_rule_active(const YieldCampaignOptions& options) {
+    return options.mode == CampaignMode::kStatistical && options.ci_width > 0.0;
+}
+
+void apply_stratum(pnn::NetworkVariation& variation, std::uint64_t stratum,
+                   std::uint64_t strata, double eps) {
+    if (eps == 0.0 || variation.empty() || variation.front().theta_in.size() == 0) return;
+    // Recover the underlying uniform of the first crossbar factor of layer
+    // 0 and remap it into the stratum's equal-width sub-interval of
+    // [1 - eps, 1 + eps]. With equal allocation across strata the union of
+    // the remapped draws has the original U[1 - eps, 1 + eps] law, so the
+    // estimator stays unbiased; the CI ignores the variance gain, which
+    // only makes the reported interval conservative.
+    double& factor = variation.front().theta_in[0];
+    const double lo = 1.0 - eps;
+    const double u = (factor - lo) / (2.0 * eps);
+    factor = lo + 2.0 * eps *
+                      ((static_cast<double>(stratum) + u) / static_cast<double>(strata));
+}
+
+Matrix reflect_factors(const Matrix& factors) {
+    Matrix mirrored(factors.rows(), factors.cols());
+    for (std::size_t i = 0; i < factors.size(); ++i) mirrored[i] = 2.0 - factors[i];
+    return mirrored;
+}
+
+void validate_common(const Matrix& x, const std::vector<int>& y,
+                     const YieldCampaignOptions& options, const char* what) {
+    const std::string where(what);
+    if (y.size() != x.rows())
+        throw std::invalid_argument(where + ": labels/rows mismatch");
+    if (x.rows() == 0) throw std::invalid_argument(where + ": needs at least one test row");
+    if (options.n_samples < 2)
+        throw std::invalid_argument(where + ": n_samples must be >= 2");
+    if (options.round_size == 0)
+        throw std::invalid_argument(where + ": round_size must be >= 1");
+    if (options.strata == 0)
+        throw std::invalid_argument(where + ": strata must be >= 1");
+    if (options.shard.count == 0 || options.shard.index >= options.shard.count)
+        throw std::invalid_argument(where + ": shard index must be < shard count");
+}
+
+/// Sum per-chunk partial histograms in chunk order. Integer addition, so
+/// the result is independent of which thread produced which partial.
+void accumulate_histograms(const std::vector<std::vector<std::uint64_t>>& partials,
+                           std::vector<std::uint64_t>& total) {
+    for (const auto& partial : partials)
+        for (std::size_t k = 0; k < total.size(); ++k) total[k] += partial[k];
+}
+
+}  // namespace
+
+const char* campaign_mode_name(CampaignMode mode) {
+    return mode == CampaignMode::kFixed ? "fixed" : "statistical";
+}
+
+pnn::NetworkVariation mirror_variation(const pnn::NetworkVariation& variation) {
+    pnn::NetworkVariation mirrored;
+    mirrored.reserve(variation.size());
+    for (const pnn::LayerVariation& layer : variation) {
+        pnn::LayerVariation m;
+        m.theta_in = reflect_factors(layer.theta_in);
+        m.theta_bias = reflect_factors(layer.theta_bias);
+        m.theta_drain = reflect_factors(layer.theta_drain);
+        m.omega_act = reflect_factors(layer.omega_act);
+        m.omega_neg = reflect_factors(layer.omega_neg);
+        mirrored.push_back(std::move(m));
+    }
+    return mirrored;
+}
+
+YieldEstimate finalize_rounds(std::vector<YieldRound>& rounds, std::size_t test_rows,
+                              const YieldCampaignOptions& options) {
+    if (rounds.empty()) throw std::invalid_argument("yield: no rounds to finalize");
+    std::vector<std::uint64_t> cumulative(test_rows + 1, 0);
+    std::uint64_t cum_n = 0;
+    std::uint64_t cum_passing = 0;
+    std::size_t used = rounds.size();
+    bool target_reached = false;
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+        const YieldRound& round = rounds[r];
+        if (round.histogram.size() != test_rows + 1)
+            throw std::invalid_argument("yield: round histogram size mismatch");
+        for (std::size_t k = 0; k <= test_rows; ++k) cumulative[k] += round.histogram[k];
+        cum_n += round.n;
+        cum_passing += histogram_passing(round.histogram, test_rows, options.accuracy_spec);
+        if (stop_rule_active(options) && cum_n > 0) {
+            const BinomialInterval interval =
+                binomial_interval(options.method, cum_passing, cum_n, options.confidence);
+            if (interval.width() <= options.ci_width) {
+                used = r + 1;
+                target_reached = true;
+                break;
+            }
+        }
+    }
+    // `cumulative` holds exactly rounds [0, used): the break fires before
+    // any later round is folded in.
+    rounds.resize(used);
+    YieldEstimate estimate = estimate_from_histogram(cumulative, test_rows, options);
+    estimate.rounds_used = used;
+    estimate.target_reached = target_reached;
+    return estimate;
+}
+
+YieldCampaignResult run_yield_campaign(const infer::CompiledPnn& engine, const Matrix& x,
+                                       const std::vector<int>& y,
+                                       const YieldCampaignOptions& options) {
+    validate_common(x, y, options, "run_yield_campaign");
+    if (options.mode == CampaignMode::kFixed) {
+        if (options.antithetic || options.strata > 1)
+            throw std::invalid_argument(
+                "run_yield_campaign: antithetic/stratified sampling changes the sampled "
+                "points and requires statistical mode (fixed mode is the bit-identity "
+                "contract)");
+        if (options.ci_width > 0.0)
+            throw std::invalid_argument(
+                "run_yield_campaign: adaptive stopping (ci_width) requires statistical mode");
+    }
+    if (options.antithetic && options.n_samples % 2 != 0)
+        throw std::invalid_argument(
+            "run_yield_campaign: antithetic pairs need an even sample budget");
+    const std::uint64_t per_unit = options.antithetic ? 2 : 1;
+    const std::uint64_t total_units = options.n_samples / per_unit;
+    if (options.strata > 1 && total_units % options.strata != 0)
+        throw std::invalid_argument(
+            "run_yield_campaign: sample budget must split evenly across strata");
+
+    obs::ScopedTimer campaign_span("yield.campaign");
+    const bool instrumented = obs::enabled() && !options.metric_prefix.empty();
+    obs::Histogram* round_hist = nullptr;
+    obs::Counter* samples_total = nullptr;
+    obs::Counter* rounds_total = nullptr;
+    if (instrumented) {
+        auto& registry = obs::MetricsRegistry::global();
+        round_hist = &registry.histogram(options.metric_prefix + ".round_seconds");
+        samples_total = &registry.counter(options.metric_prefix + ".samples_total");
+        rounds_total = &registry.counter(options.metric_prefix + ".rounds_total");
+    }
+    const auto campaign_start = Clock::now();
+
+    const circuit::VariationModel model(options.epsilon);
+    const std::size_t test_rows = x.rows();
+    const std::uint64_t units_per_round =
+        std::max<std::uint64_t>(1, options.round_size / per_unit);
+    const std::uint64_t n_rounds = (total_units + units_per_round - 1) / units_per_round;
+    math::Rng parent(options.seed);
+
+    YieldCampaignResult result;
+    result.test_rows = test_rows;
+    std::uint64_t cum_n = 0;
+    std::uint64_t cum_passing = 0;
+
+    for (std::uint64_t r = 0; r < n_rounds; ++r) {
+        const auto round_start = Clock::now();
+        const std::uint64_t unit_lo = r * units_per_round;
+        const std::uint64_t unit_hi = std::min(total_units, unit_lo + units_per_round);
+        const auto round_units = static_cast<std::size_t>(unit_hi - unit_lo);
+        const auto [slice_lo, slice_hi] = runtime::ThreadPool::chunk_bounds(
+            round_units, options.shard.count, options.shard.index);
+
+        // Materialize only this round's owned streams. The parent is
+        // advanced past every unit of the round — owned or not — with one
+        // split() each, so stream u is the same Rng the reference path's
+        // split_n would have produced for global sample index u, at O(round)
+        // instead of O(campaign) memory.
+        std::vector<math::Rng> streams;
+        streams.reserve(slice_hi - slice_lo);
+        for (std::size_t u = 0; u < round_units; ++u) {
+            math::Rng stream = parent.split();
+            if (u >= slice_lo && u < slice_hi) streams.push_back(stream);
+        }
+
+        YieldRound round;
+        round.histogram.assign(test_rows + 1, 0);
+        const std::size_t owned = streams.size();
+        if (owned > 0) {
+            const std::size_t chunks = runtime::global_chunk_count(owned);
+            std::vector<std::vector<std::uint64_t>> partials(
+                chunks, std::vector<std::uint64_t>(test_rows + 1, 0));
+            const std::uint64_t first_unit = unit_lo + slice_lo;
+            runtime::parallel_ranges(owned, [&](std::size_t chunk, std::size_t lo,
+                                                std::size_t hi) {
+                Matrix scratch(x.rows(), engine.plan().n_outputs());
+                std::vector<std::uint64_t>& hist = partials[chunk];
+                for (std::size_t i = lo; i < hi; ++i) {
+                    pnn::NetworkVariation variation =
+                        engine.sample_variation(model, streams[i]);
+                    if (options.strata > 1)
+                        apply_stratum(variation, (first_unit + i) % options.strata,
+                                      options.strata, options.epsilon);
+                    ++hist[engine.correct_count(x, y, &variation, nullptr, scratch)];
+                    if (options.antithetic) {
+                        const pnn::NetworkVariation mirrored = mirror_variation(variation);
+                        ++hist[engine.correct_count(x, y, &mirrored, nullptr, scratch)];
+                    }
+                }
+            });
+            accumulate_histograms(partials, round.histogram);
+        }
+        round.n = static_cast<std::uint64_t>(owned) * per_unit;
+        cum_n += round.n;
+        cum_passing +=
+            histogram_passing(round.histogram, test_rows, options.accuracy_spec);
+        result.rounds.push_back(std::move(round));
+
+        // The online stop decision below evaluates the same cumulative
+        // interval finalize_rounds replays, so the executed prefix is
+        // exactly the finalized prefix. Sharded runs never stop early: no
+        // shard sees the campaign-wide counts, so the rule moves to
+        // `pnc yield merge`.
+        bool stop = false;
+        double width = 0.0;
+        const bool check_stop =
+            !options.shard.is_sharded() && stop_rule_active(options) && cum_n > 0;
+        if (check_stop) {
+            const BinomialInterval interval = binomial_interval(
+                options.method, cum_passing, cum_n, options.confidence);
+            width = interval.width();
+            stop = width <= options.ci_width;
+        }
+
+        if (round_hist) round_hist->observe(seconds_since(round_start));
+        if (samples_total) samples_total->add(result.rounds.back().n);
+        if (rounds_total) rounds_total->add(1);
+        if (obs::events_active()) {
+            std::vector<obs::EventField> fields = {
+                obs::EventField::num("round", static_cast<double>(r)),
+                obs::EventField::num("round_n",
+                                     static_cast<double>(result.rounds.back().n)),
+                obs::EventField::num("n", static_cast<double>(cum_n)),
+                obs::EventField::num("passing", static_cast<double>(cum_passing)),
+            };
+            if (check_stop) fields.push_back(obs::EventField::num("ci_width", width));
+            obs::emit_event("yield.round", fields);
+        }
+        if (stop) break;
+    }
+
+    {
+        // Shards report their partial estimate with the stop rule disabled
+        // (they executed every round); the single-process path replays the
+        // rule, which truncates nothing beyond what the loop already ran.
+        YieldCampaignOptions finalize_options = options;
+        if (options.shard.is_sharded()) finalize_options.ci_width = 0.0;
+        result.estimate = finalize_rounds(result.rounds, test_rows, finalize_options);
+    }
+
+    if (instrumented) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.gauge(options.metric_prefix + ".estimate").set(result.estimate.yield);
+        registry.gauge(options.metric_prefix + ".ci_width")
+            .set(result.estimate.ci_width());
+        const double wall = seconds_since(campaign_start);
+        if (wall > 0.0)
+            registry.gauge(options.metric_prefix + ".samples_per_sec")
+                .set(static_cast<double>(cum_n) / wall);
+    }
+    if (obs::events_active())
+        obs::emit_event(
+            "yield.finish",
+            {obs::EventField::num("n", static_cast<double>(result.estimate.n_samples)),
+             obs::EventField::num("passing",
+                                  static_cast<double>(result.estimate.n_passing)),
+             obs::EventField::num("yield", result.estimate.yield),
+             obs::EventField::num("ci_lo", result.estimate.ci_lo),
+             obs::EventField::num("ci_hi", result.estimate.ci_hi),
+             obs::EventField::str("mode", campaign_mode_name(options.mode))});
+    return result;
+}
+
+PairedYieldResult compare_yield(const infer::CompiledPnn& a, const infer::CompiledPnn& b,
+                                const Matrix& x, const std::vector<int>& y,
+                                const YieldCampaignOptions& options) {
+    validate_common(x, y, options, "compare_yield");
+    if (options.antithetic || options.strata > 1)
+        throw std::invalid_argument(
+            "compare_yield: CRN pairing is the variance reduction here; antithetic/strata "
+            "are not supported");
+    if (options.shard.is_sharded())
+        throw std::invalid_argument("compare_yield: sharding is not supported");
+    const faults::NetworkShape shape_a = a.fault_shape();
+    const faults::NetworkShape shape_b = b.fault_shape();
+    bool same_shape = shape_a.size() == shape_b.size();
+    for (std::size_t l = 0; same_shape && l < shape_a.size(); ++l)
+        same_shape = shape_a[l].n_in == shape_b[l].n_in &&
+                     shape_a[l].n_out == shape_b[l].n_out &&
+                     shape_a[l].has_activation == shape_b[l].has_activation;
+    if (!same_shape)
+        throw std::invalid_argument(
+            "compare_yield: common random numbers need matching layer geometry");
+
+    obs::ScopedTimer compare_span("yield.compare");
+    const auto start = Clock::now();
+    const circuit::VariationModel model(options.epsilon);
+    const std::size_t test_rows = x.rows();
+    const auto n = static_cast<std::size_t>(options.n_samples);
+
+    // One pre-split stream per sample, one variation draw per stream,
+    // evaluated by *both* designs: the common-random-numbers coupling.
+    math::Rng parent(options.seed);
+    std::vector<math::Rng> streams = parent.split_n(n);
+
+    struct Partial {
+        std::vector<std::uint64_t> hist_a;
+        std::vector<std::uint64_t> hist_b;
+        std::uint64_t n10 = 0;
+        std::uint64_t n01 = 0;
+    };
+    const std::size_t chunks = runtime::global_chunk_count(n);
+    std::vector<Partial> partials(chunks);
+    for (Partial& partial : partials) {
+        partial.hist_a.assign(test_rows + 1, 0);
+        partial.hist_b.assign(test_rows + 1, 0);
+    }
+    runtime::parallel_ranges(n, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        Partial& partial = partials[chunk];
+        Matrix scratch_a(x.rows(), a.plan().n_outputs());
+        Matrix scratch_b(x.rows(), b.plan().n_outputs());
+        for (std::size_t i = lo; i < hi; ++i) {
+            const pnn::NetworkVariation variation = a.sample_variation(model, streams[i]);
+            const std::uint64_t ka = a.correct_count(x, y, &variation, nullptr, scratch_a);
+            const std::uint64_t kb = b.correct_count(x, y, &variation, nullptr, scratch_b);
+            ++partial.hist_a[ka];
+            ++partial.hist_b[kb];
+            const bool pass_a = accuracy_value(ka, test_rows) >= options.accuracy_spec;
+            const bool pass_b = accuracy_value(kb, test_rows) >= options.accuracy_spec;
+            partial.n10 += pass_a && !pass_b;
+            partial.n01 += !pass_a && pass_b;
+        }
+    });
+
+    std::vector<std::uint64_t> hist_a(test_rows + 1, 0);
+    std::vector<std::uint64_t> hist_b(test_rows + 1, 0);
+    PairedYieldResult result;
+    for (const Partial& partial : partials) {
+        for (std::size_t k = 0; k <= test_rows; ++k) {
+            hist_a[k] += partial.hist_a[k];
+            hist_b[k] += partial.hist_b[k];
+        }
+        result.n10 += partial.n10;
+        result.n01 += partial.n01;
+    }
+    result.n_samples = options.n_samples;
+    result.a = estimate_from_histogram(hist_a, test_rows, options);
+    result.b = estimate_from_histogram(hist_b, test_rows, options);
+    result.delta = (static_cast<double>(result.n10) - static_cast<double>(result.n01)) /
+                   static_cast<double>(options.n_samples);
+    result.delta_ci = paired_delta_interval(result.n10, result.n01, options.n_samples,
+                                            options.confidence);
+
+    if (obs::enabled() && !options.metric_prefix.empty()) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter(options.metric_prefix + ".samples_total").add(2 * n);
+        registry.gauge(options.metric_prefix + ".delta").set(result.delta);
+        const double wall = seconds_since(start);
+        if (wall > 0.0)
+            registry.gauge(options.metric_prefix + ".samples_per_sec")
+                .set(static_cast<double>(2 * n) / wall);
+    }
+    if (obs::events_active())
+        obs::emit_event("yield.compare",
+                        {obs::EventField::num("n", static_cast<double>(options.n_samples)),
+                         obs::EventField::num("delta", result.delta),
+                         obs::EventField::num("n10", static_cast<double>(result.n10)),
+                         obs::EventField::num("n01", static_cast<double>(result.n01))});
+    return result;
+}
+
+}  // namespace pnc::yield

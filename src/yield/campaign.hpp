@@ -1,0 +1,171 @@
+// Large-scale Monte-Carlo yield campaigns on the compiled engine.
+//
+// pnn::estimate_yield answers "what fraction of printed copies clear the
+// spec?" with a few hundred samples; this module scales the same question
+// to 10^6-10^7 samples and attaches a statistical contract to the answer.
+// Two modes (docs/YIELD.md is the authoritative contract):
+//
+//  * fixed-N — bit-identical to pnn::estimate_yield at the same
+//    (spec, eps, n, seed): same stream split order, same per-sample draw
+//    order, same reduction formulas. Test-enforced by tests/test_yield.cpp
+//    via the PR-6 differential-harness pattern. Variance reduction is
+//    rejected in this mode (it changes the sampled points by design).
+//  * statistical — guarantees only the *reported confidence interval*:
+//    the campaign runs in rounds and may stop early once the CI on yield
+//    is narrower than --ci-width, and may reshape sampling with antithetic
+//    pairs or stratification.
+//
+// The memory story is what lets fixed-N reach 10^7 where the reference
+// path cannot: instead of materializing one Rng and one accuracy per
+// sample, the campaign materializes one *round* of streams at a time and
+// reduces each round into a correct-count histogram. Accuracy over R test
+// rows takes only the R + 1 values k / R, so the histogram is a lossless
+// representation of the sample distribution — every statistic the
+// reference path computes from its sorted accuracy vector is recomputed
+// from the histogram with the reference's exact formulas, and histograms
+// from different shards merge by integer addition without losing a bit.
+//
+// Sharding: a campaign may be split across processes with --shard i/N.
+// Every shard walks the *same* global round structure and takes its
+// chunk_bounds slice of every round (advancing the parent stream past
+// units it does not own), so summing shard round histograms reproduces the
+// single-process round histograms exactly; `pnc yield merge` then replays
+// the adaptive stop rule on the merged rounds via the same finalize_rounds
+// used online, making the merged report byte-identical to the equivalent
+// single-process run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "infer/engine.hpp"
+#include "yield/estimators.hpp"
+
+namespace pnc::yield {
+
+/// Which slice of each global round this process evaluates. {0, 1} is the
+/// unsharded whole-campaign default.
+struct ShardSpec {
+    std::size_t index = 0;
+    std::size_t count = 1;
+
+    bool is_sharded() const { return count > 1; }
+};
+
+enum class CampaignMode {
+    kFixed,        ///< full budget, bit-identical to pnn::estimate_yield
+    kStatistical,  ///< CI-driven: adaptive stopping + variance reduction
+};
+
+/// "fixed" / "statistical" for CLI flags and reports.
+const char* campaign_mode_name(CampaignMode mode);
+
+struct YieldCampaignOptions {
+    double accuracy_spec = 0.8;  ///< a copy passes iff accuracy >= spec
+    double epsilon = 0.1;        ///< variation half-width (VariationModel)
+    std::uint64_t n_samples = 200;  ///< sample budget (exact count in fixed mode)
+    CampaignMode mode = CampaignMode::kStatistical;
+    CiMethod method = CiMethod::kWilson;
+    double confidence = 0.95;
+    /// Statistical mode stops once the CI width drops to this value
+    /// (0 disables early stopping and the full budget runs).
+    double ci_width = 0.0;
+    std::uint64_t round_size = 4096;  ///< samples per adaptive round
+    /// Antithetic pairs: each stream draws one variation V and also
+    /// evaluates its mirror (every factor f -> 2 - f), so a "unit" costs
+    /// two samples and the pair's factor means are exactly nominal.
+    bool antithetic = false;
+    /// Stratified epsilon-corner sampling: unit u belongs to stratum
+    /// u % strata, which remaps the first crossbar factor of layer 0 into
+    /// the stratum's equal-width sub-interval of [1 - eps, 1 + eps].
+    /// Equal allocation (n units divisible by strata) keeps the estimator
+    /// unbiased; 1 disables.
+    std::uint64_t strata = 1;
+    std::uint64_t seed = 777;
+    ShardSpec shard;
+    /// Metric prefix for obs instrumentation ("" disables the campaign's
+    /// own telemetry even when obs is enabled).
+    std::string metric_prefix = "yield";
+};
+
+/// One adaptive round's lossless reduction: `histogram[k]` counts samples
+/// that classified exactly k of the R test rows correctly (size R + 1).
+/// In a sharded run the counts cover only this shard's slice of the round.
+struct YieldRound {
+    std::uint64_t n = 0;
+    std::vector<std::uint64_t> histogram;
+};
+
+/// The certified answer. Accuracy statistics replicate the exact
+/// reduction formulas of pnn::YieldResult (bit-identity contract).
+struct YieldEstimate {
+    std::uint64_t n_samples = 0;  ///< samples actually consumed
+    std::uint64_t n_passing = 0;
+    double yield = 0.0;
+    double ci_lo = 0.0;
+    double ci_hi = 1.0;
+    double confidence = 0.95;
+    CiMethod method = CiMethod::kWilson;
+    /// True when an early-stop target was set and the CI met it.
+    bool target_reached = false;
+    std::size_t rounds_used = 0;
+    double mean_accuracy = 0.0;
+    double worst_accuracy = 1.0;
+    double p5_accuracy = 0.0;
+    double median_accuracy = 0.0;
+
+    double ci_width() const { return ci_hi - ci_lo; }
+};
+
+struct YieldCampaignResult {
+    /// For sharded runs this is the shard's own partial estimate (no stop
+    /// rule applied); the campaign-level answer comes from `pnc yield
+    /// merge` over all shard reports.
+    YieldEstimate estimate;
+    std::vector<YieldRound> rounds;  ///< executed rounds in global order
+    std::size_t test_rows = 0;       ///< R; histograms have R + 1 bins
+};
+
+/// The antithetic mirror of a variation draw: every multiplicative factor
+/// f in [1 - eps, 1 + eps] reflects about nominal to 2 - f, so each
+/// (V, mirror(V)) pair averages to exactly the nominal design
+/// (test-enforced mean preservation).
+pnn::NetworkVariation mirror_variation(const pnn::NetworkVariation& variation);
+
+/// Replay the adaptive stop rule over `rounds` in order, truncate the
+/// vector to the rounds actually used, and compute the estimate over that
+/// prefix. Shared by the online engine and `pnc yield merge` — the single
+/// source of truth that makes a merged report byte-identical to the
+/// equivalent single-process run.
+YieldEstimate finalize_rounds(std::vector<YieldRound>& rounds, std::size_t test_rows,
+                              const YieldCampaignOptions& options);
+
+/// Run a yield campaign on the compiled engine. Deterministic: the result
+/// is a pure function of (plan, x, y, options) at any PNC_NUM_THREADS.
+YieldCampaignResult run_yield_campaign(const infer::CompiledPnn& engine,
+                                       const math::Matrix& x, const std::vector<int>& y,
+                                       const YieldCampaignOptions& options);
+
+/// Paired comparison of two designs under common random numbers.
+struct PairedYieldResult {
+    YieldEstimate a;
+    YieldEstimate b;
+    double delta = 0.0;  ///< yield(a) - yield(b) = (n10 - n01) / n
+    BinomialInterval delta_ci;
+    std::uint64_t n10 = 0;  ///< a passes, b fails
+    std::uint64_t n01 = 0;  ///< a fails, b passes
+    std::uint64_t n_samples = 0;
+};
+
+/// Evaluate both compiled designs on the *same* variation draw per stream
+/// (common random numbers), so the yield difference is estimated from the
+/// discordant pairs alone — orders of magnitude tighter than differencing
+/// two independent campaigns. Requires matching layer geometry; always
+/// fixed-N (uses options.n_samples, seed, epsilon, spec, confidence,
+/// method; rejects antithetic / strata / sharding).
+PairedYieldResult compare_yield(const infer::CompiledPnn& a, const infer::CompiledPnn& b,
+                                const math::Matrix& x, const std::vector<int>& y,
+                                const YieldCampaignOptions& options);
+
+}  // namespace pnc::yield

@@ -1,0 +1,202 @@
+#include "yield/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pnc::yield {
+
+namespace {
+
+void require_confidence(double confidence) {
+    if (!(confidence > 0.0) || !(confidence < 1.0))
+        throw std::invalid_argument("confidence must be in (0, 1), got " +
+                                    std::to_string(confidence));
+}
+
+void require_counts(std::uint64_t k, std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("binomial interval needs n >= 1");
+    if (k > n)
+        throw std::invalid_argument("binomial interval needs k <= n, got k = " +
+                                    std::to_string(k) + ", n = " + std::to_string(n));
+}
+
+/// Continued fraction for the incomplete beta function (Numerical-Recipes
+/// style modified Lentz). Converges quickly for x < (a + 1) / (a + b + 2).
+double beta_continued_fraction(double a, double b, double x) {
+    constexpr int kMaxIter = 300;
+    constexpr double kTiny = 1e-300;
+    constexpr double kEps = 1e-16;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::abs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+        const double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < kEps) break;
+    }
+    return h;
+}
+
+}  // namespace
+
+const char* ci_method_name(CiMethod method) {
+    return method == CiMethod::kClopperPearson ? "clopper-pearson" : "wilson";
+}
+
+double normal_quantile(double p) {
+    if (!(p > 0.0) || !(p < 1.0))
+        throw std::invalid_argument("normal_quantile needs p in (0, 1), got " +
+                                    std::to_string(p));
+    // Acklam's rational approximation (relative error < 1.15e-9)...
+    static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+    double x;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    // ...then one Halley step against the exact CDF (erfc), pushing the
+    // error to the order of double rounding.
+    const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+    const double u = e * std::sqrt(2.0 * std::acos(-1.0)) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+double regularized_incomplete_beta(double a, double b, double x) {
+    if (!(a > 0.0) || !(b > 0.0))
+        throw std::invalid_argument("regularized_incomplete_beta needs a, b > 0");
+    if (!(x >= 0.0) || !(x <= 1.0))
+        throw std::invalid_argument("regularized_incomplete_beta needs x in [0, 1]");
+    if (x == 0.0) return 0.0;
+    if (x == 1.0) return 1.0;
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                            a * std::log(x) + b * std::log1p(-x);
+    const double front = std::exp(ln_front);
+    // Use the continued fraction on whichever side converges fast; the
+    // other side follows from I_x(a, b) = 1 - I_{1-x}(b, a).
+    if (x < (a + 1.0) / (a + b + 2.0)) return front * beta_continued_fraction(a, b, x) / a;
+    return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double beta_quantile(double a, double b, double p) {
+    if (!(p >= 0.0) || !(p <= 1.0))
+        throw std::invalid_argument("beta_quantile needs p in [0, 1]");
+    if (p == 0.0) return 0.0;
+    if (p == 1.0) return 1.0;
+    // Plain bisection with a fixed iteration count: deterministic, immune
+    // to the continued fraction's flat spots, and 200 halvings put the
+    // bracket far below double resolution.
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (mid == lo || mid == hi) break;
+        if (regularized_incomplete_beta(a, b, mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+BinomialInterval wilson_interval(std::uint64_t k, std::uint64_t n, double confidence) {
+    require_counts(k, n);
+    require_confidence(confidence);
+    const double z = normal_quantile(0.5 + confidence / 2.0);
+    const double z2 = z * z;
+    const double nd = static_cast<double>(n);
+    const double p_hat = static_cast<double>(k) / nd;
+    const double denom = 1.0 + z2 / nd;
+    const double center = (p_hat + z2 / (2.0 * nd)) / denom;
+    const double half =
+        z / denom * std::sqrt(p_hat * (1.0 - p_hat) / nd + z2 / (4.0 * nd * nd));
+    BinomialInterval interval;
+    // At the degenerate ends the score bound touches 0 (or 1) exactly; pin
+    // it there rather than leaving the FP residue of center - half.
+    interval.lo = k == 0 ? 0.0 : std::max(0.0, center - half);
+    interval.hi = k == n ? 1.0 : std::min(1.0, center + half);
+    return interval;
+}
+
+BinomialInterval clopper_pearson_interval(std::uint64_t k, std::uint64_t n,
+                                          double confidence) {
+    require_counts(k, n);
+    require_confidence(confidence);
+    const double alpha = 1.0 - confidence;
+    const double kd = static_cast<double>(k);
+    const double nd = static_cast<double>(n);
+    BinomialInterval interval;
+    interval.lo = k == 0 ? 0.0 : beta_quantile(kd, nd - kd + 1.0, alpha / 2.0);
+    interval.hi = k == n ? 1.0 : beta_quantile(kd + 1.0, nd - kd, 1.0 - alpha / 2.0);
+    return interval;
+}
+
+BinomialInterval binomial_interval(CiMethod method, std::uint64_t k, std::uint64_t n,
+                                   double confidence) {
+    return method == CiMethod::kClopperPearson
+               ? clopper_pearson_interval(k, n, confidence)
+               : wilson_interval(k, n, confidence);
+}
+
+BinomialInterval paired_delta_interval(std::uint64_t n10, std::uint64_t n01,
+                                       std::uint64_t n, double confidence) {
+    if (n == 0) throw std::invalid_argument("paired_delta_interval needs n >= 1");
+    if (n10 + n01 > n)
+        throw std::invalid_argument("paired_delta_interval: discordant count exceeds n");
+    require_confidence(confidence);
+    const double z = normal_quantile(0.5 + confidence / 2.0);
+    const double nd = static_cast<double>(n);
+    const double delta = (static_cast<double>(n10) - static_cast<double>(n01)) / nd;
+    // Paired (matched) variance: only discordant pairs move the difference.
+    const double var =
+        ((static_cast<double>(n10) + static_cast<double>(n01)) / nd - delta * delta) / nd;
+    const double half = z * std::sqrt(std::max(0.0, var));
+    BinomialInterval interval;
+    interval.lo = std::max(-1.0, delta - half);
+    interval.hi = std::min(1.0, delta + half);
+    return interval;
+}
+
+}  // namespace pnc::yield

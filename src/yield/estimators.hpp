@@ -1,0 +1,72 @@
+// Binomial-proportion interval estimators for the yield engine.
+//
+// A yield estimate is a binomial proportion: k of n printed copies clear
+// the accuracy spec. At the paper's N_test = 100 the sampling noise on that
+// proportion (~±10% at 95% confidence) swamps the effects being compared,
+// which is why the campaign engine (src/yield/campaign.hpp) drives sample
+// counts to 10^6+ and reports a *confidence interval* instead of a bare
+// point estimate. Two interval constructions are offered:
+//
+//  * Wilson score — the score-test inversion. Good coverage at every k
+//    (including k = 0 and k = n), narrow, and cheap; the default.
+//  * Clopper-Pearson — the "exact" tail inversion of the binomial CDF via
+//    the regularized incomplete beta function. Guaranteed >= nominal
+//    coverage, strictly conservative (wider than Wilson); the choice when
+//    a certificate must never under-cover.
+//
+// All functions are deterministic, std-only, and documented with their
+// exact formulas in docs/YIELD.md (the statistical contract).
+#pragma once
+
+#include <cstdint>
+
+namespace pnc::yield {
+
+/// Two-sided confidence interval on a binomial proportion.
+struct BinomialInterval {
+    double lo = 0.0;
+    double hi = 1.0;
+
+    double width() const { return hi - lo; }
+};
+
+enum class CiMethod {
+    kWilson,          ///< Wilson score interval (default)
+    kClopperPearson,  ///< exact beta-quantile tail inversion
+};
+
+/// "wilson" / "clopper-pearson" (or "cp") for CLI flags and reports.
+const char* ci_method_name(CiMethod method);
+
+/// Inverse standard-normal CDF. p in (0, 1); accurate to ~1e-13 (Acklam's
+/// rational approximation refined with one Halley step on std::erfc).
+double normal_quantile(double p);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0, x in
+/// [0, 1] (Lentz continued fraction, NR-style symmetry split).
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Inverse of I_x(a, b) in x: smallest x with I_x(a, b) >= p, resolved by
+/// bisection to ~1e-14 (deterministic iteration count, no tolerance races).
+double beta_quantile(double a, double b, double p);
+
+/// Wilson score interval for k successes of n at the given two-sided
+/// confidence (e.g. 0.95). n >= 1; throws std::invalid_argument otherwise.
+BinomialInterval wilson_interval(std::uint64_t k, std::uint64_t n, double confidence);
+
+/// Clopper-Pearson interval: lo = B^{-1}(alpha/2; k, n-k+1) (0 when k = 0),
+/// hi = B^{-1}(1 - alpha/2; k+1, n-k) (1 when k = n).
+BinomialInterval clopper_pearson_interval(std::uint64_t k, std::uint64_t n,
+                                          double confidence);
+
+/// Dispatch on `method`.
+BinomialInterval binomial_interval(CiMethod method, std::uint64_t k, std::uint64_t n,
+                                   double confidence);
+
+/// Wald-type interval on the *difference* of two paired proportions
+/// (common-random-number comparisons): delta = (n10 - n01) / n with
+/// n10/n01 the discordant pair counts. Clamped to [-1, 1].
+BinomialInterval paired_delta_interval(std::uint64_t n10, std::uint64_t n01,
+                                       std::uint64_t n, double confidence);
+
+}  // namespace pnc::yield

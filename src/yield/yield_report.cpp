@@ -1,0 +1,392 @@
+#include "yield/yield_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace pnc::yield {
+
+using obs::json::Value;
+
+namespace {
+
+constexpr const char* kSchema = "pnc-yield-report/1";
+
+bool is_count(double x) { return std::isfinite(x) && x >= 0.0 && x == std::floor(x); }
+
+Value meta_document(const YieldReportMeta& meta) {
+    Value doc = Value::object();
+    doc.set("tool", Value::string(meta.tool));
+    doc.set("dataset", Value::string(meta.dataset));
+    doc.set("model", Value::string(meta.model_file));
+    doc.set("mode", Value::string(campaign_mode_name(meta.mode)));
+    doc.set("method", Value::string(ci_method_name(meta.method)));
+    doc.set("accuracy_spec", Value::number(meta.accuracy_spec));
+    doc.set("epsilon", Value::number(meta.epsilon));
+    doc.set("confidence", Value::number(meta.confidence));
+    doc.set("ci_width", Value::number(meta.ci_width));
+    doc.set("n_samples", Value::number(static_cast<double>(meta.n_samples)));
+    doc.set("round_size", Value::number(static_cast<double>(meta.round_size)));
+    doc.set("seed", Value::number(static_cast<double>(meta.seed)));
+    doc.set("antithetic", Value::boolean(meta.antithetic));
+    doc.set("strata", Value::number(static_cast<double>(meta.strata)));
+    doc.set("test_rows", Value::number(static_cast<double>(meta.test_rows)));
+    return doc;
+}
+
+Value result_document(const YieldEstimate& estimate) {
+    Value doc = Value::object();
+    doc.set("n_samples", Value::number(static_cast<double>(estimate.n_samples)));
+    doc.set("n_passing", Value::number(static_cast<double>(estimate.n_passing)));
+    doc.set("yield", Value::number(estimate.yield));
+    doc.set("ci_lo", Value::number(estimate.ci_lo));
+    doc.set("ci_hi", Value::number(estimate.ci_hi));
+    doc.set("ci_width", Value::number(estimate.ci_width()));
+    doc.set("confidence", Value::number(estimate.confidence));
+    doc.set("method", Value::string(ci_method_name(estimate.method)));
+    doc.set("target_reached", Value::boolean(estimate.target_reached));
+    doc.set("rounds_used", Value::number(static_cast<double>(estimate.rounds_used)));
+    doc.set("mean_accuracy", Value::number(estimate.mean_accuracy));
+    doc.set("worst_accuracy", Value::number(estimate.worst_accuracy));
+    doc.set("p5_accuracy", Value::number(estimate.p5_accuracy));
+    doc.set("median_accuracy", Value::number(estimate.median_accuracy));
+    return doc;
+}
+
+const Value* require(const Value& parent, const char* key, const char* where,
+                     std::string& error) {
+    const Value* v = parent.find(key);
+    if (!v) error = std::string(where) + key + " is missing";
+    return v;
+}
+
+/// Fetch a non-negative integer-valued number; writes `error` on failure.
+bool get_count(const Value& parent, const char* key, const char* where,
+               std::uint64_t& out, std::string& error) {
+    const Value* v = require(parent, key, where, error);
+    if (!v) return false;
+    if (!v->is_number() || !is_count(v->as_number())) {
+        error = std::string(where) + key + " must be a non-negative integer";
+        return false;
+    }
+    out = static_cast<std::uint64_t>(v->as_number());
+    return true;
+}
+
+bool get_number(const Value& parent, const char* key, const char* where, double& out,
+                std::string& error) {
+    const Value* v = require(parent, key, where, error);
+    if (!v) return false;
+    if (!v->is_number() || !std::isfinite(v->as_number())) {
+        error = std::string(where) + key + " must be a finite number";
+        return false;
+    }
+    out = v->as_number();
+    return true;
+}
+
+bool get_string(const Value& parent, const char* key, const char* where, std::string& out,
+                std::string& error) {
+    const Value* v = require(parent, key, where, error);
+    if (!v) return false;
+    if (!v->is_string() || v->as_string().empty()) {
+        error = std::string(where) + key + " must be a non-empty string";
+        return false;
+    }
+    out = v->as_string();
+    return true;
+}
+
+}  // namespace
+
+CampaignMode parse_campaign_mode(const std::string& name) {
+    if (name == "fixed") return CampaignMode::kFixed;
+    if (name == "statistical") return CampaignMode::kStatistical;
+    throw std::invalid_argument("unknown campaign mode \"" + name +
+                                "\" (expected fixed|statistical)");
+}
+
+CiMethod parse_ci_method(const std::string& name) {
+    if (name == "wilson") return CiMethod::kWilson;
+    if (name == "cp" || name == "clopper-pearson") return CiMethod::kClopperPearson;
+    throw std::invalid_argument("unknown CI method \"" + name +
+                                "\" (expected wilson|cp|clopper-pearson)");
+}
+
+YieldCampaignOptions options_from_meta(const YieldReportMeta& meta) {
+    YieldCampaignOptions options;
+    options.accuracy_spec = meta.accuracy_spec;
+    options.epsilon = meta.epsilon;
+    options.n_samples = meta.n_samples;
+    options.mode = meta.mode;
+    options.method = meta.method;
+    options.confidence = meta.confidence;
+    options.ci_width = meta.ci_width;
+    options.round_size = meta.round_size;
+    options.antithetic = meta.antithetic;
+    options.strata = meta.strata;
+    options.seed = meta.seed;
+    options.shard = {0, 1};
+    return options;
+}
+
+Value yield_report_document(const YieldReport& report) {
+    Value doc = Value::object();
+    doc.set("schema", Value::string(kSchema));
+    doc.set("meta", meta_document(report.meta));
+
+    Value shard = Value::object();
+    shard.set("index", Value::number(static_cast<double>(report.shard.index)));
+    shard.set("count", Value::number(static_cast<double>(report.shard.count)));
+    doc.set("shard", std::move(shard));
+
+    Value rounds = Value::array();
+    for (const YieldRound& round : report.rounds) {
+        Value row = Value::object();
+        row.set("n", Value::number(static_cast<double>(round.n)));
+        Value histogram = Value::array();
+        for (std::uint64_t count : round.histogram)
+            histogram.push_back(Value::number(static_cast<double>(count)));
+        row.set("histogram", std::move(histogram));
+        rounds.push_back(std::move(row));
+    }
+    doc.set("rounds", std::move(rounds));
+    doc.set("result", result_document(report.result));
+    return doc;
+}
+
+void write_yield_report(const std::string& path, const YieldReport& report) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_yield_report: cannot write " + path);
+    os << yield_report_document(report).dump() << "\n";
+    if (!os) throw std::runtime_error("write_yield_report: write failed for " + path);
+}
+
+std::string validate_yield_report(const Value& doc) {
+    std::string error;
+    if (!doc.is_object()) return "document is not an object";
+    const Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != kSchema)
+        return std::string("schema must be \"") + kSchema + "\"";
+
+    const Value* meta = doc.find("meta");
+    if (!meta || !meta->is_object()) return "missing meta object";
+    std::string text;
+    for (const char* key : {"tool", "dataset", "model"})
+        if (!get_string(*meta, key, "meta.", text, error)) return error;
+    if (!get_string(*meta, "mode", "meta.", text, error)) return error;
+    try {
+        parse_campaign_mode(text);
+    } catch (const std::exception&) {
+        return "meta.mode must be fixed|statistical";
+    }
+    if (!get_string(*meta, "method", "meta.", text, error)) return error;
+    try {
+        parse_ci_method(text);
+    } catch (const std::exception&) {
+        return "meta.method must be wilson|clopper-pearson";
+    }
+    double number = 0.0;
+    for (const char* key : {"accuracy_spec", "epsilon", "confidence", "ci_width"}) {
+        if (!get_number(*meta, key, "meta.", number, error)) return error;
+        if (number < 0.0) return std::string("meta.") + key + " must be >= 0";
+    }
+    if (meta->find("confidence")->as_number() >= 1.0) return "meta.confidence must be < 1";
+    std::uint64_t count = 0;
+    for (const char* key : {"n_samples", "round_size", "seed", "strata", "test_rows"})
+        if (!get_count(*meta, key, "meta.", count, error)) return error;
+    const Value* antithetic = meta->find("antithetic");
+    if (!antithetic || !antithetic->is_bool()) return "meta.antithetic must be a boolean";
+    if (meta->find("n_samples")->as_number() < 2) return "meta.n_samples must be >= 2";
+    if (meta->find("round_size")->as_number() < 1) return "meta.round_size must be >= 1";
+    if (meta->find("strata")->as_number() < 1) return "meta.strata must be >= 1";
+    if (meta->find("test_rows")->as_number() < 1) return "meta.test_rows must be >= 1";
+    const auto test_rows =
+        static_cast<std::size_t>(meta->find("test_rows")->as_number());
+
+    const Value* shard = doc.find("shard");
+    if (!shard || !shard->is_object()) return "missing shard object";
+    std::uint64_t shard_index = 0;
+    std::uint64_t shard_count = 0;
+    if (!get_count(*shard, "index", "shard.", shard_index, error)) return error;
+    if (!get_count(*shard, "count", "shard.", shard_count, error)) return error;
+    if (shard_count < 1 || shard_index >= shard_count)
+        return "shard.index must be < shard.count";
+
+    const Value* rounds = doc.find("rounds");
+    if (!rounds || !rounds->is_array()) return "missing rounds array";
+    if (rounds->items().empty()) return "rounds array is empty";
+    std::uint64_t total_n = 0;
+    for (std::size_t r = 0; r < rounds->items().size(); ++r) {
+        const Value& row = rounds->items()[r];
+        const std::string where = "rounds[" + std::to_string(r) + "].";
+        if (!row.is_object()) return where + " is not an object";
+        std::uint64_t round_n = 0;
+        if (!get_count(row, "n", where.c_str(), round_n, error)) return error;
+        const Value* histogram = row.find("histogram");
+        if (!histogram || !histogram->is_array())
+            return where + "histogram must be an array";
+        if (histogram->items().size() != test_rows + 1)
+            return where + "histogram must have test_rows + 1 bins";
+        std::uint64_t histogram_sum = 0;
+        for (const Value& bin : histogram->items()) {
+            if (!bin.is_number() || !is_count(bin.as_number()))
+                return where + "histogram bins must be non-negative integers";
+            histogram_sum += static_cast<std::uint64_t>(bin.as_number());
+        }
+        if (histogram_sum != round_n)
+            return where + "histogram sums to " + std::to_string(histogram_sum) +
+                   ", expected n = " + std::to_string(round_n);
+        total_n += round_n;
+    }
+
+    const Value* result = doc.find("result");
+    if (!result || !result->is_object()) return "missing result object";
+    std::uint64_t result_n = 0;
+    std::uint64_t result_passing = 0;
+    if (!get_count(*result, "n_samples", "result.", result_n, error)) return error;
+    if (!get_count(*result, "n_passing", "result.", result_passing, error)) return error;
+    if (result_n != total_n)
+        return "result.n_samples is " + std::to_string(result_n) +
+               ", expected the rounds total " + std::to_string(total_n);
+    if (result_passing > result_n) return "result.n_passing exceeds result.n_samples";
+    for (const char* key : {"yield", "ci_lo", "ci_hi", "ci_width", "confidence",
+                            "mean_accuracy", "worst_accuracy", "p5_accuracy",
+                            "median_accuracy"}) {
+        if (!get_number(*result, key, "result.", number, error)) return error;
+        if (number < 0.0 || number > 1.0)
+            return std::string("result.") + key + " must be in [0, 1]";
+    }
+    if (result_n > 0 &&
+        std::abs(result->find("yield")->as_number() -
+                 static_cast<double>(result_passing) / static_cast<double>(result_n)) >
+            1e-12)
+        return "result.yield does not equal n_passing / n_samples";
+    if (result->find("ci_lo")->as_number() > result->find("ci_hi")->as_number())
+        return "result.ci_lo exceeds result.ci_hi";
+    if (result->find("worst_accuracy")->as_number() >
+        result->find("p5_accuracy")->as_number() + 1e-12)
+        return "result.worst_accuracy exceeds result.p5_accuracy";
+    if (!get_string(*result, "method", "result.", text, error)) return error;
+    try {
+        parse_ci_method(text);
+    } catch (const std::exception&) {
+        return "result.method must be wilson|clopper-pearson";
+    }
+    const Value* target = result->find("target_reached");
+    if (!target || !target->is_bool()) return "result.target_reached must be a boolean";
+    std::uint64_t rounds_used = 0;
+    if (!get_count(*result, "rounds_used", "result.", rounds_used, error)) return error;
+    if (rounds_used != rounds->items().size())
+        return "result.rounds_used must equal the number of recorded rounds";
+    return "";
+}
+
+YieldReport parse_yield_report(const Value& doc) {
+    const std::string violation = validate_yield_report(doc);
+    if (!violation.empty())
+        throw std::runtime_error("parse_yield_report: " + violation);
+
+    YieldReport report;
+    const Value& meta = *doc.find("meta");
+    report.meta.tool = meta.find("tool")->as_string();
+    report.meta.dataset = meta.find("dataset")->as_string();
+    report.meta.model_file = meta.find("model")->as_string();
+    report.meta.mode = parse_campaign_mode(meta.find("mode")->as_string());
+    report.meta.method = parse_ci_method(meta.find("method")->as_string());
+    report.meta.accuracy_spec = meta.find("accuracy_spec")->as_number();
+    report.meta.epsilon = meta.find("epsilon")->as_number();
+    report.meta.confidence = meta.find("confidence")->as_number();
+    report.meta.ci_width = meta.find("ci_width")->as_number();
+    report.meta.n_samples = static_cast<std::uint64_t>(meta.find("n_samples")->as_number());
+    report.meta.round_size =
+        static_cast<std::uint64_t>(meta.find("round_size")->as_number());
+    report.meta.seed = static_cast<std::uint64_t>(meta.find("seed")->as_number());
+    report.meta.antithetic = meta.find("antithetic")->as_bool();
+    report.meta.strata = static_cast<std::uint64_t>(meta.find("strata")->as_number());
+    report.meta.test_rows = static_cast<std::size_t>(meta.find("test_rows")->as_number());
+
+    const Value& shard = *doc.find("shard");
+    report.shard.index = static_cast<std::size_t>(shard.find("index")->as_number());
+    report.shard.count = static_cast<std::size_t>(shard.find("count")->as_number());
+
+    for (const Value& row : doc.find("rounds")->items()) {
+        YieldRound round;
+        round.n = static_cast<std::uint64_t>(row.find("n")->as_number());
+        for (const Value& bin : row.find("histogram")->items())
+            round.histogram.push_back(static_cast<std::uint64_t>(bin.as_number()));
+        report.rounds.push_back(std::move(round));
+    }
+
+    const Value& result = *doc.find("result");
+    report.result.n_samples =
+        static_cast<std::uint64_t>(result.find("n_samples")->as_number());
+    report.result.n_passing =
+        static_cast<std::uint64_t>(result.find("n_passing")->as_number());
+    report.result.yield = result.find("yield")->as_number();
+    report.result.ci_lo = result.find("ci_lo")->as_number();
+    report.result.ci_hi = result.find("ci_hi")->as_number();
+    report.result.confidence = result.find("confidence")->as_number();
+    report.result.method = parse_ci_method(result.find("method")->as_string());
+    report.result.target_reached = result.find("target_reached")->as_bool();
+    report.result.rounds_used =
+        static_cast<std::size_t>(result.find("rounds_used")->as_number());
+    report.result.mean_accuracy = result.find("mean_accuracy")->as_number();
+    report.result.worst_accuracy = result.find("worst_accuracy")->as_number();
+    report.result.p5_accuracy = result.find("p5_accuracy")->as_number();
+    report.result.median_accuracy = result.find("median_accuracy")->as_number();
+    return report;
+}
+
+YieldReport merge_yield_reports(const std::vector<YieldReport>& shards) {
+    if (shards.empty())
+        throw std::invalid_argument("merge_yield_reports: no shard reports");
+    const std::string reference_meta = meta_document(shards.front().meta).dump();
+    const std::size_t count = shards.front().shard.count;
+    if (count != shards.size())
+        throw std::invalid_argument("merge_yield_reports: expected " +
+                                    std::to_string(count) + " shards, got " +
+                                    std::to_string(shards.size()));
+    std::vector<const YieldReport*> by_index(count, nullptr);
+    for (const YieldReport& shard : shards) {
+        if (meta_document(shard.meta).dump() != reference_meta)
+            throw std::invalid_argument(
+                "merge_yield_reports: shard metas disagree (different campaigns?)");
+        if (shard.shard.count != count || shard.shard.index >= count)
+            throw std::invalid_argument("merge_yield_reports: inconsistent shard spec");
+        if (by_index[shard.shard.index])
+            throw std::invalid_argument("merge_yield_reports: duplicate shard index " +
+                                        std::to_string(shard.shard.index));
+        if (shard.rounds.size() != shards.front().rounds.size())
+            throw std::invalid_argument(
+                "merge_yield_reports: shards disagree on the round count");
+        by_index[shard.shard.index] = &shard;
+    }
+
+    YieldReport merged;
+    merged.meta = shards.front().meta;
+    merged.shard = {0, 1};
+    const std::size_t bins = merged.meta.test_rows + 1;
+    merged.rounds.resize(shards.front().rounds.size());
+    for (YieldRound& round : merged.rounds) round.histogram.assign(bins, 0);
+    // Ordered reduction: shards are folded in index order, rounds in round
+    // order. The sums are integer, so this is exact — not merely
+    // deterministic.
+    for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t r = 0; r < merged.rounds.size(); ++r) {
+            const YieldRound& part = by_index[i]->rounds[r];
+            if (part.histogram.size() != bins)
+                throw std::invalid_argument(
+                    "merge_yield_reports: round histogram size mismatch");
+            merged.rounds[r].n += part.n;
+            for (std::size_t k = 0; k < bins; ++k)
+                merged.rounds[r].histogram[k] += part.histogram[k];
+        }
+
+    const YieldCampaignOptions options = options_from_meta(merged.meta);
+    merged.result = finalize_rounds(merged.rounds, merged.meta.test_rows, options);
+    return merged;
+}
+
+}  // namespace pnc::yield

@@ -1,0 +1,86 @@
+// The "pnc-yield-report/1" JSON document: one yield campaign (or one shard
+// of one) with its full per-round correct-count histograms, written by
+// `pnc yield` and consumed by `pnc yield merge`. Schema documented in
+// docs/YIELD.md and enforced by validate_yield_report.
+//
+// The document is deliberately lossless: the rounds section carries enough
+// integer state to recompute the result from scratch, which is what makes
+// shard merging exact — `merge_yield_reports` sums the round histograms and
+// replays the adaptive stop rule through the same finalize_rounds the
+// online engine used, so the merged document is byte-identical to the one
+// the equivalent single-process run writes (test-enforced).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "yield/campaign.hpp"
+
+namespace pnc::yield {
+
+/// Inverse of campaign_mode_name ("fixed" / "statistical"); throws
+/// std::invalid_argument on anything else.
+CampaignMode parse_campaign_mode(const std::string& name);
+
+/// Inverse of ci_method_name; also accepts the short form "cp".
+CiMethod parse_ci_method(const std::string& name);
+
+/// Campaign identity: every field that must match across shards for a
+/// merge to be meaningful. n_samples is the requested budget (the result
+/// section carries the samples actually consumed).
+struct YieldReportMeta {
+    std::string tool = "pnc";
+    std::string dataset;
+    std::string model_file;
+    CampaignMode mode = CampaignMode::kStatistical;
+    CiMethod method = CiMethod::kWilson;
+    double accuracy_spec = 0.8;
+    double epsilon = 0.1;
+    double confidence = 0.95;
+    double ci_width = 0.0;
+    std::uint64_t n_samples = 0;
+    std::uint64_t round_size = 4096;
+    std::uint64_t seed = 777;
+    bool antithetic = false;
+    std::uint64_t strata = 1;
+    std::size_t test_rows = 0;
+};
+
+struct YieldReport {
+    YieldReportMeta meta;
+    ShardSpec shard;                 ///< {0, 1} for single-process / merged
+    std::vector<YieldRound> rounds;  ///< lossless per-round reductions
+    YieldEstimate result;
+};
+
+/// The campaign options a report's meta describes (shard reset to {0, 1});
+/// merge_yield_reports feeds this back into finalize_rounds.
+YieldCampaignOptions options_from_meta(const YieldReportMeta& meta);
+
+/// Serialize to the pnc-yield-report/1 document. Pure function of the
+/// report fields — no timestamps — so equal reports dump byte-identically.
+obs::json::Value yield_report_document(const YieldReport& report);
+
+/// Write the document (one line + newline); throws std::runtime_error on
+/// I/O failure.
+void write_yield_report(const std::string& path, const YieldReport& report);
+
+/// Parse a validated document back into a YieldReport; throws
+/// std::runtime_error quoting the first validation violation.
+YieldReport parse_yield_report(const obs::json::Value& doc);
+
+/// "" when `doc` is a well-formed pnc-yield-report/1 (schema tag, complete
+/// meta, shard bounds, per-round histogram/count consistency, result
+/// consistent with the rounds), else a one-line description of the first
+/// violation.
+std::string validate_yield_report(const obs::json::Value& doc);
+
+/// Merge shard reports into the single-process-equivalent report: metas
+/// must agree exactly, shard indices must cover 0..count-1, and every
+/// shard must carry the same global round structure. Round histograms are
+/// summed in round order and the adaptive stop rule is replayed via
+/// finalize_rounds. Throws std::invalid_argument on inconsistent shards.
+YieldReport merge_yield_reports(const std::vector<YieldReport>& shards);
+
+}  // namespace pnc::yield

@@ -21,6 +21,7 @@
 #include "pnn/robustness.hpp"
 #include "pnn/training.hpp"
 #include "surrogate/dataset_builder.hpp"
+#include "yield/campaign.hpp"
 
 #ifndef PNC_OBS_DOC_PATH
 #error "PNC_OBS_DOC_PATH must point at docs/OBSERVABILITY.md"
@@ -129,6 +130,15 @@ TEST(MetricCatalogue, EveryRegisteredMetricIsDocumented) {
     compiled.predict(split.x_test);
     compiled.evaluate(split.x_test, split.y_test, eval);
     compiled.estimate_yield(split.x_test, split.y_test, 0.6, 0.1, 8, 84);
+
+    // The large-scale yield campaign and its CRN comparison, so every
+    // yield.* metric registers.
+    yield::YieldCampaignOptions campaign_options;
+    campaign_options.accuracy_spec = 0.6;
+    campaign_options.n_samples = 8;
+    campaign_options.round_size = 4;
+    yield::run_yield_campaign(compiled, split.x_test, split.y_test, campaign_options);
+    yield::compare_yield(compiled, compiled, split.x_test, split.y_test, campaign_options);
 
     const auto shape = net.fault_shape();
     // A high rate so at least one realization actually draws a fault and

@@ -1,0 +1,511 @@
+// The yield engine's statistical-accuracy contract (docs/YIELD.md):
+//  * interval estimators reproduce tabulated Wilson / Clopper-Pearson
+//    values;
+//  * fixed-N campaigns are bit-identical to pnn::estimate_yield at any
+//    thread count (the same contract the compiled engine carries);
+//  * antithetic mirrors preserve the pair mean, CRN comparisons are
+//    thread-invariant, and a self-comparison has zero discordant pairs;
+//  * sharded campaigns merge to the byte-identical single-process report,
+//    including when the adaptive stop rule truncates the round list;
+//  * merged pnc-events/1 streams stay schema-valid.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/registry.hpp"
+#include "infer/engine.hpp"
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+#include "pnn/robustness.hpp"
+#include "runtime/thread_pool.hpp"
+#include "surrogate/dataset_builder.hpp"
+#include "surrogate/design_space.hpp"
+#include "yield/campaign.hpp"
+#include "yield/estimators.hpp"
+#include "yield/yield_report.hpp"
+
+using namespace pnc;
+
+namespace {
+
+const surrogate::SurrogateModel& test_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 250;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 300;
+        train.mlp.patience = 80;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+pnn::Pnn make_net(const data::SplitDataset& split, std::uint64_t seed) {
+    math::Rng rng(seed);
+    return pnn::Pnn({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                    &test_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &test_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+const data::SplitDataset& iris_split() {
+    static const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    return split;
+}
+
+/// RAII thread-count override (the global pool is process-wide state).
+class ThreadGuard {
+public:
+    explicit ThreadGuard(std::size_t n) { runtime::set_global_threads(n); }
+    ~ThreadGuard() {
+        runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    }
+};
+
+void expect_equal_estimates(const yield::YieldEstimate& a, const yield::YieldEstimate& b,
+                            const std::string& what) {
+    EXPECT_EQ(a.n_samples, b.n_samples) << what;
+    EXPECT_EQ(a.n_passing, b.n_passing) << what;
+    EXPECT_DOUBLE_EQ(a.yield, b.yield) << what;
+    EXPECT_DOUBLE_EQ(a.ci_lo, b.ci_lo) << what;
+    EXPECT_DOUBLE_EQ(a.ci_hi, b.ci_hi) << what;
+    EXPECT_DOUBLE_EQ(a.mean_accuracy, b.mean_accuracy) << what;
+    EXPECT_DOUBLE_EQ(a.worst_accuracy, b.worst_accuracy) << what;
+    EXPECT_DOUBLE_EQ(a.p5_accuracy, b.p5_accuracy) << what;
+    EXPECT_DOUBLE_EQ(a.median_accuracy, b.median_accuracy) << what;
+    EXPECT_EQ(a.rounds_used, b.rounds_used) << what;
+    EXPECT_EQ(a.target_reached, b.target_reached) << what;
+}
+
+}  // namespace
+
+// ---- interval estimators vs tabulated values --------------------------------
+
+TEST(YieldEstimators, NormalQuantileMatchesTabulatedValues) {
+    EXPECT_NEAR(yield::normal_quantile(0.975), 1.959963984540054, 1e-12);
+    EXPECT_NEAR(yield::normal_quantile(0.995), 2.575829303548901, 1e-12);
+    EXPECT_NEAR(yield::normal_quantile(0.5), 0.0, 1e-14);
+    EXPECT_NEAR(yield::normal_quantile(0.025), -1.959963984540054, 1e-12);
+}
+
+TEST(YieldEstimators, WilsonMatchesTabulatedValues) {
+    // k = 5 of n = 10 at 95%: the textbook Wilson interval.
+    const auto ci = yield::wilson_interval(5, 10, 0.95);
+    EXPECT_NEAR(ci.lo, 0.236593, 1e-5);
+    EXPECT_NEAR(ci.hi, 0.763407, 1e-5);
+    // Degenerate ends stay in [0, 1] and the k = 0 lower bound is exact 0.
+    EXPECT_DOUBLE_EQ(yield::wilson_interval(0, 10, 0.95).lo, 0.0);
+    EXPECT_DOUBLE_EQ(yield::wilson_interval(10, 10, 0.95).hi, 1.0);
+}
+
+TEST(YieldEstimators, ClopperPearsonMatchesTabulatedValues) {
+    // k = 5 of n = 10 at 95%: the exact interval (0.1871, 0.8129).
+    const auto ci = yield::clopper_pearson_interval(5, 10, 0.95);
+    EXPECT_NEAR(ci.lo, 0.18709, 1e-4);
+    EXPECT_NEAR(ci.hi, 0.81291, 1e-4);
+    // k = 0: lo = 0 and hi = 1 - alpha/2 ^ (1/n) ("rule of three" shape).
+    const auto zero = yield::clopper_pearson_interval(0, 10, 0.95);
+    EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+    EXPECT_NEAR(zero.hi, 0.30850, 1e-4);
+    const auto full = yield::clopper_pearson_interval(10, 10, 0.95);
+    EXPECT_NEAR(full.lo, 0.69150, 1e-4);
+    EXPECT_DOUBLE_EQ(full.hi, 1.0);
+    // Away from the boundary CP is conservative: it contains the Wilson
+    // interval. (At k = 0 / k = n the comparison inverts — Wilson's score
+    // bound dips below CP's exact tail — so only interior k qualifies.)
+    for (std::uint64_t k : {3ull, 50ull, 97ull}) {
+        const auto w = yield::wilson_interval(k, 100, 0.95);
+        const auto cp = yield::clopper_pearson_interval(k, 100, 0.95);
+        EXPECT_LE(cp.lo, w.lo + 1e-12) << "k=" << k;
+        EXPECT_GE(cp.hi, w.hi - 1e-12) << "k=" << k;
+    }
+}
+
+TEST(YieldEstimators, IncompleteBetaMatchesClosedForms) {
+    // I_x(1, 1) = x and I_x(2, 2) = 3x^2 - 2x^3.
+    for (double x : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+        EXPECT_NEAR(yield::regularized_incomplete_beta(1, 1, x), x, 1e-12);
+        EXPECT_NEAR(yield::regularized_incomplete_beta(2, 2, x), 3 * x * x - 2 * x * x * x,
+                    1e-12);
+    }
+    // The quantile inverts the CDF.
+    for (double p : {0.025, 0.3, 0.5, 0.7, 0.975}) {
+        const double x = yield::beta_quantile(5, 7, p);
+        EXPECT_NEAR(yield::regularized_incomplete_beta(5, 7, x), p, 1e-10);
+    }
+}
+
+TEST(YieldEstimators, PairedDeltaIntervalCoversTheDelta) {
+    // 30 discordant one way, 10 the other, of 1000 pairs: delta = 0.02.
+    const auto ci = yield::paired_delta_interval(30, 10, 1000, 0.95);
+    EXPECT_LT(ci.lo, 0.02);
+    EXPECT_GT(ci.hi, 0.02);
+    EXPECT_GT(ci.lo, 0.0);  // clearly discordant at this count
+    // Zero discordance collapses to a zero-width interval at 0.
+    const auto zero = yield::paired_delta_interval(0, 0, 1000, 0.95);
+    EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+    EXPECT_DOUBLE_EQ(zero.hi, 0.0);
+}
+
+// ---- fixed-N bit-identity ---------------------------------------------------
+
+TEST(YieldCampaign, FixedModeIsBitIdenticalToReferenceAtAnyThreadCount) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 91);
+    const infer::CompiledPnn engine(net);
+
+    yield::YieldCampaignOptions options;
+    options.mode = yield::CampaignMode::kFixed;
+    options.accuracy_spec = 0.5;
+    options.epsilon = 0.1;
+    options.n_samples = 200;
+    options.round_size = 64;  // multiple rounds on purpose
+
+    const auto reference =
+        pnn::estimate_yield(net, split.x_test, split.y_test, options.accuracy_spec,
+                            options.epsilon, 200, options.seed);
+    const auto compiled_ref = engine.estimate_yield(
+        split.x_test, split.y_test, options.accuracy_spec, options.epsilon, 200,
+        options.seed);
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadGuard guard(threads);
+        const std::string ctx = "threads=" + std::to_string(threads);
+        const auto result =
+            yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+        EXPECT_EQ(result.estimate.n_samples, 200u) << ctx;
+        EXPECT_DOUBLE_EQ(result.estimate.yield, reference.yield) << ctx;
+        EXPECT_EQ(result.estimate.n_passing,
+                  static_cast<std::uint64_t>(reference.n_passing))
+            << ctx;
+        EXPECT_DOUBLE_EQ(result.estimate.worst_accuracy, reference.worst_accuracy) << ctx;
+        EXPECT_DOUBLE_EQ(result.estimate.p5_accuracy, reference.p5_accuracy) << ctx;
+        EXPECT_DOUBLE_EQ(result.estimate.median_accuracy, reference.median_accuracy)
+            << ctx;
+        // ... and the compiled reference estimator agrees too (it is itself
+        // bit-identical to the autodiff path, test_infer_differential).
+        EXPECT_DOUBLE_EQ(result.estimate.yield, compiled_ref.yield) << ctx;
+        EXPECT_DOUBLE_EQ(result.estimate.median_accuracy, compiled_ref.median_accuracy)
+            << ctx;
+    }
+}
+
+TEST(YieldCampaign, StatisticalModeWithoutVarianceReductionMatchesFixed) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 92);
+    const infer::CompiledPnn engine(net);
+
+    yield::YieldCampaignOptions options;
+    options.accuracy_spec = 0.5;
+    options.n_samples = 128;
+    options.round_size = 32;
+    options.mode = yield::CampaignMode::kFixed;
+    const auto fixed = yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    options.mode = yield::CampaignMode::kStatistical;  // ci_width = 0: full budget
+    const auto statistical =
+        yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    expect_equal_estimates(fixed.estimate, statistical.estimate, "statistical == fixed");
+}
+
+TEST(YieldCampaign, FixedModeRejectsVarianceReductionAndEarlyStopping) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 93);
+    const infer::CompiledPnn engine(net);
+    yield::YieldCampaignOptions options;
+    options.mode = yield::CampaignMode::kFixed;
+    options.n_samples = 16;
+    options.antithetic = true;
+    EXPECT_THROW(yield::run_yield_campaign(engine, split.x_test, split.y_test, options),
+                 std::invalid_argument);
+    options.antithetic = false;
+    options.strata = 4;
+    EXPECT_THROW(yield::run_yield_campaign(engine, split.x_test, split.y_test, options),
+                 std::invalid_argument);
+    options.strata = 1;
+    options.ci_width = 0.01;
+    EXPECT_THROW(yield::run_yield_campaign(engine, split.x_test, split.y_test, options),
+                 std::invalid_argument);
+}
+
+// ---- variance reduction -----------------------------------------------------
+
+TEST(YieldCampaign, AntitheticMirrorPreservesThePairMean) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 94);
+    const infer::CompiledPnn engine(net);
+
+    const circuit::VariationModel variation(0.1);
+    math::Rng rng(123);
+    const auto draw = engine.sample_variation(variation, rng);
+    const auto mirror = yield::mirror_variation(draw);
+    ASSERT_EQ(draw.size(), mirror.size());
+    for (std::size_t l = 0; l < draw.size(); ++l) {
+        const auto check = [&](const math::Matrix& a, const math::Matrix& b,
+                               const char* what) {
+            ASSERT_EQ(a.size(), b.size()) << what;
+            for (std::size_t i = 0; i < a.size(); ++i)
+                EXPECT_NEAR(0.5 * (a[i] + b[i]), 1.0, 1e-15)
+                    << what << " layer " << l << " element " << i;
+        };
+        check(draw[l].theta_in, mirror[l].theta_in, "theta_in");
+        check(draw[l].theta_bias, mirror[l].theta_bias, "theta_bias");
+        check(draw[l].theta_drain, mirror[l].theta_drain, "theta_drain");
+        check(draw[l].omega_act, mirror[l].omega_act, "omega_act");
+        check(draw[l].omega_neg, mirror[l].omega_neg, "omega_neg");
+    }
+}
+
+TEST(YieldCampaign, AntitheticAndStratifiedCampaignsConsumeTheBudgetDeterministically) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 95);
+    const infer::CompiledPnn engine(net);
+
+    yield::YieldCampaignOptions options;
+    options.accuracy_spec = 0.5;
+    options.n_samples = 96;  // divisible by 2 (pairs) and 4 strata x 2
+    options.round_size = 32;
+    options.antithetic = true;
+    options.strata = 4;
+
+    yield::YieldCampaignResult first, second;
+    {
+        ThreadGuard guard(1);
+        first = yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    }
+    {
+        ThreadGuard guard(4);
+        second = yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    }
+    EXPECT_EQ(first.estimate.n_samples, 96u);
+    expect_equal_estimates(first.estimate, second.estimate, "antithetic+strata threads");
+    // The statistical-mode estimate remains in the plausible-yield range.
+    EXPECT_GE(first.estimate.yield, 0.0);
+    EXPECT_LE(first.estimate.yield, 1.0);
+}
+
+// ---- common random numbers --------------------------------------------------
+
+TEST(YieldCompare, SelfComparisonHasZeroDiscordantPairs) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 96);
+    const infer::CompiledPnn engine(net);
+
+    yield::YieldCampaignOptions options;
+    options.accuracy_spec = 0.5;
+    options.n_samples = 64;
+    const auto paired =
+        yield::compare_yield(engine, engine, split.x_test, split.y_test, options);
+    EXPECT_EQ(paired.n10, 0u);
+    EXPECT_EQ(paired.n01, 0u);
+    EXPECT_DOUBLE_EQ(paired.delta, 0.0);
+    EXPECT_DOUBLE_EQ(paired.delta_ci.lo, 0.0);
+    EXPECT_DOUBLE_EQ(paired.delta_ci.hi, 0.0);
+    EXPECT_EQ(paired.a.n_passing, paired.b.n_passing);
+}
+
+TEST(YieldCompare, CrnComparisonIsThreadInvariant) {
+    const auto& split = iris_split();
+    const auto net_a = make_net(split, 97);
+    const auto net_b = make_net(split, 98);
+    const infer::CompiledPnn a(net_a), b(net_b);
+
+    yield::YieldCampaignOptions options;
+    options.accuracy_spec = 0.5;
+    options.n_samples = 64;
+
+    yield::PairedYieldResult first, second;
+    {
+        ThreadGuard guard(1);
+        first = yield::compare_yield(a, b, split.x_test, split.y_test, options);
+    }
+    {
+        ThreadGuard guard(4);
+        second = yield::compare_yield(a, b, split.x_test, split.y_test, options);
+    }
+    EXPECT_EQ(first.n10, second.n10);
+    EXPECT_EQ(first.n01, second.n01);
+    EXPECT_DOUBLE_EQ(first.delta, second.delta);
+    EXPECT_DOUBLE_EQ(first.delta_ci.lo, second.delta_ci.lo);
+    EXPECT_DOUBLE_EQ(first.delta_ci.hi, second.delta_ci.hi);
+    expect_equal_estimates(first.a, second.a, "CRN design A");
+    expect_equal_estimates(first.b, second.b, "CRN design B");
+    // The discordant decomposition is consistent with the two estimates.
+    EXPECT_DOUBLE_EQ(first.delta, first.a.yield - first.b.yield);
+}
+
+// ---- shard / merge ----------------------------------------------------------
+
+namespace {
+
+yield::YieldReport make_report(const yield::YieldCampaignOptions& options,
+                               const yield::YieldCampaignResult& result) {
+    yield::YieldReport report;
+    report.meta.dataset = "iris";
+    report.meta.model_file = "model.pnn";
+    report.meta.mode = options.mode;
+    report.meta.method = options.method;
+    report.meta.accuracy_spec = options.accuracy_spec;
+    report.meta.epsilon = options.epsilon;
+    report.meta.confidence = options.confidence;
+    report.meta.ci_width = options.ci_width;
+    report.meta.n_samples = options.n_samples;
+    report.meta.round_size = options.round_size;
+    report.meta.seed = options.seed;
+    report.meta.antithetic = options.antithetic;
+    report.meta.strata = options.strata;
+    report.meta.test_rows = result.test_rows;
+    report.shard = options.shard;
+    report.rounds = result.rounds;
+    report.result = result.estimate;
+    return report;
+}
+
+}  // namespace
+
+TEST(YieldShard, MergedShardsAreByteIdenticalToSingleProcess) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 99);
+    const infer::CompiledPnn engine(net);
+
+    yield::YieldCampaignOptions options;
+    options.accuracy_spec = 0.5;
+    options.n_samples = 160;
+    options.round_size = 32;
+    // A stop target the campaign reaches mid-budget, so the merge must also
+    // replay the adaptive truncation to agree.
+    options.ci_width = 0.25;
+
+    const auto single = yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    EXPECT_TRUE(single.estimate.target_reached);
+    EXPECT_LT(single.estimate.n_samples, 160u);
+    const std::string single_doc =
+        yield::yield_report_document(make_report(options, single)).dump();
+
+    std::vector<yield::YieldReport> shards;
+    for (std::size_t i = 0; i < 3; ++i) {
+        auto opt = options;
+        opt.shard = {i, 3};
+        const auto part = yield::run_yield_campaign(engine, split.x_test, split.y_test, opt);
+        // Shards never stop early: every one carries the full round list.
+        EXPECT_EQ(part.rounds.size(), 5u) << "shard " << i;
+        shards.push_back(make_report(opt, part));
+    }
+    const auto merged = yield::merge_yield_reports(shards);
+    EXPECT_EQ(yield::yield_report_document(merged).dump(), single_doc);
+
+    // Thread count cannot change the merged bytes either.
+    ThreadGuard guard(4);
+    const auto single4 = yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    EXPECT_EQ(yield::yield_report_document(make_report(options, single4)).dump(),
+              single_doc);
+}
+
+TEST(YieldShard, ReportsRoundTripThroughValidateAndParse) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 100);
+    const infer::CompiledPnn engine(net);
+
+    yield::YieldCampaignOptions options;
+    options.accuracy_spec = 0.5;
+    options.n_samples = 64;
+    options.round_size = 32;
+    const auto result = yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    const auto report = make_report(options, result);
+    const auto doc = yield::yield_report_document(report);
+    ASSERT_EQ(yield::validate_yield_report(doc), "");
+
+    const auto parsed = yield::parse_yield_report(doc);
+    EXPECT_EQ(yield::yield_report_document(parsed).dump(), doc.dump());
+
+    // Corrupting a histogram count breaks the round/result consistency and
+    // the validator names the first violation.
+    auto broken = doc;
+    obs::json::Value new_rounds = obs::json::Value::array();
+    const auto& rounds = doc.find("rounds")->items();
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+        if (r != 0) {
+            new_rounds.push_back(rounds[r]);
+            continue;
+        }
+        obs::json::Value row = obs::json::Value::object();
+        row.set("n", *rounds[r].find("n"));
+        obs::json::Value histogram = obs::json::Value::array();
+        const auto& bins = rounds[r].find("histogram")->items();
+        for (std::size_t i = 0; i < bins.size(); ++i)
+            histogram.push_back(i == 0 ? obs::json::Value::number(bins[i].as_number() + 1)
+                                       : bins[i]);
+        row.set("histogram", std::move(histogram));
+        new_rounds.push_back(std::move(row));
+    }
+    broken.set("rounds", std::move(new_rounds));
+    EXPECT_NE(yield::validate_yield_report(broken), "");
+
+    // Merging a single {0, 1} report is the identity (merge idempotence).
+    const auto remerged = yield::merge_yield_reports({report});
+    EXPECT_EQ(yield::yield_report_document(remerged).dump(), doc.dump());
+}
+
+TEST(YieldShard, MergeRejectsInconsistentShards) {
+    const auto& split = iris_split();
+    const auto net = make_net(split, 101);
+    const infer::CompiledPnn engine(net);
+
+    yield::YieldCampaignOptions options;
+    options.accuracy_spec = 0.5;
+    options.n_samples = 64;
+    options.round_size = 32;
+    options.shard = {0, 2};
+    const auto part0 = yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    const auto report0 = make_report(options, part0);
+
+    // Missing shard 1.
+    EXPECT_THROW(yield::merge_yield_reports({report0}), std::invalid_argument);
+    // Duplicate shard index.
+    EXPECT_THROW(yield::merge_yield_reports({report0, report0}), std::invalid_argument);
+    // Mismatched meta (different seed on the second shard).
+    options.shard = {1, 2};
+    options.seed = 1234;
+    const auto part1 = yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    EXPECT_THROW(yield::merge_yield_reports({report0, make_report(options, part1)}),
+                 std::invalid_argument);
+}
+
+// ---- event-stream merging ---------------------------------------------------
+
+TEST(YieldEvents, MergedStreamsStayValidAndDeterministic) {
+    const auto make_stream = [](double wall, double base_t, const char* event) {
+        std::string s;
+        s += "{\"schema\":\"pnc-events/1\",\"seq\":0,\"t\":0,\"event\":\"stream.open\","
+             "\"tool\":\"pnc\",\"wall_unix\":" + std::to_string(wall) + "}\n";
+        s += "{\"schema\":\"pnc-events/1\",\"seq\":1,\"t\":" + std::to_string(base_t) +
+             ",\"event\":\"" + std::string(event) + "\",\"n\":64}\n";
+        s += "{\"schema\":\"pnc-events/1\",\"seq\":2,\"t\":" + std::to_string(base_t + 1) +
+             ",\"event\":\"stream.close\"}\n";
+        return s;
+    };
+    const std::string a = make_stream(1000, 0.5, "yield.round");
+    const std::string b = make_stream(2000, 0.25, "yield.finish");
+
+    const std::string merged = obs::merge_event_streams({a, b}, "pnc");
+    ASSERT_EQ(obs::validate_events(merged), "") << merged;
+    // Deterministic: merging the same inputs yields the same bytes.
+    EXPECT_EQ(obs::merge_event_streams({a, b}, "pnc"), merged);
+    // Each body line is tagged with its source shard; the per-stream
+    // open/close envelopes are dropped in favor of one merged pair.
+    EXPECT_NE(merged.find("\"event\":\"yield.round\""), std::string::npos);
+    EXPECT_NE(merged.find("\"shard\":0"), std::string::npos);
+    EXPECT_NE(merged.find("\"shard\":1"), std::string::npos);
+    EXPECT_EQ(merged.find("\"wall_unix\":2000"), std::string::npos);
+
+    // Garbage inputs are rejected, not silently merged.
+    EXPECT_THROW(obs::merge_event_streams({a, "not json\n"}, "pnc"),
+                 std::invalid_argument);
+    EXPECT_THROW(obs::merge_event_streams({}, "pnc"), std::invalid_argument);
+}

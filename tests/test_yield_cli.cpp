@@ -1,0 +1,180 @@
+// End-to-end `pnc yield`: drive the real binary (path injected by CMake as
+// PNC_CLI_PATH) through the sharded-certification workflow and assert the
+// ISSUE acceptance criteria at the process boundary — a merged shard run is
+// byte-identical to the single-process run, reports validate against
+// pnc-yield-report/1, merged event streams validate against pnc-events/1,
+// and the --min-yield certification gate uses its dedicated exit code.
+//
+// Kept fast the same way test_obs_cli is: a tiny surrogate cache shared by
+// all invocations via PNC_ARTIFACTS / PNC_SURROGATE_*.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+#include "yield/yield_report.hpp"
+
+#ifndef PNC_CLI_PATH
+#error "PNC_CLI_PATH must be defined to the pnc binary location"
+#endif
+
+namespace fs = std::filesystem;
+using pnc::obs::json::Value;
+
+namespace {
+
+class YieldCliTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() /
+               (std::string("pnc_yield_cli_") + info->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        ::setenv("PNC_ARTIFACTS", (dir_ / "artifacts").string().c_str(), 1);
+        ::setenv("PNC_SURROGATE_SAMPLES", "120", 1);
+        ::setenv("PNC_SURROGATE_EPOCHS", "150", 1);
+    }
+
+    void TearDown() override {
+        ::unsetenv("PNC_ARTIFACTS");
+        ::unsetenv("PNC_SURROGATE_SAMPLES");
+        ::unsetenv("PNC_SURROGATE_EPOCHS");
+        fs::remove_all(dir_);
+    }
+
+    int run_cli_rc(const std::string& cli_args, std::string* output = nullptr) {
+        const std::string log = (dir_ / "cli.log").string();
+        const std::string cmd =
+            std::string(PNC_CLI_PATH) + " " + cli_args + " > " + log + " 2>&1";
+        const int status = std::system(cmd.c_str());
+        if (output) *output += slurp(log);
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    void run_cli(const std::string& cli_args) {
+        std::string output;
+        const int rc = run_cli_rc(cli_args, &output);
+        ASSERT_EQ(rc, 0) << "pnc " << cli_args << "\n" << output;
+    }
+
+    /// Train the tiny iris model every yield invocation below shares.
+    void train_model() {
+        run_cli("train --dataset iris --eps 0.1 --mc 2 --epochs 6 --patience 6"
+                " --hidden 2 --seed 3 --out " + path("model.pnn"));
+    }
+
+    static std::string slurp(const std::string& path) {
+        std::ifstream is(path);
+        std::stringstream buffer;
+        buffer << is.rdbuf();
+        return buffer.str();
+    }
+
+    std::string path(const char* leaf) const { return (dir_ / leaf).string(); }
+
+    fs::path dir_;
+};
+
+}  // namespace
+
+TEST_F(YieldCliTest, ShardedMergeIsByteIdenticalToSingleProcess) {
+    train_model();
+    // A stop target the campaign reaches mid-budget, so the merge also has
+    // to replay the adaptive truncation to match.
+    const std::string flags = " --model " + path("model.pnn") +
+                              " --dataset iris --samples 2048 --round 256"
+                              " --spec 0.4 --ci-width 0.08";
+
+    run_cli("yield" + flags + " --report " + path("single.json"));
+    run_cli("yield" + flags + " --shard 0/2 --report " + path("s0.json") +
+            " --events-out " + path("e0.jsonl"));
+    run_cli("yield" + flags + " --shard 1/2 --report " + path("s1.json") +
+            " --events-out " + path("e1.jsonl"));
+    run_cli("yield merge " + path("s0.json") + " " + path("s1.json") +
+            " --out " + path("merged.json") +
+            " --merge-events " + path("e0.jsonl") + "," + path("e1.jsonl") +
+            " --merged-events " + path("events.jsonl"));
+
+    const std::string single = slurp(path("single.json"));
+    ASSERT_FALSE(single.empty());
+    EXPECT_EQ(single, slurp(path("merged.json")));
+
+    // All three reports validate against pnc-yield-report/1.
+    for (const char* leaf : {"single.json", "s0.json", "s1.json", "merged.json"})
+        EXPECT_EQ(pnc::yield::validate_yield_report(Value::parse(slurp(path(leaf)))), "")
+            << leaf;
+
+    // The merged event stream is a valid pnc-events/1 document carrying the
+    // campaign milestones with per-line shard attribution.
+    const std::string events = slurp(path("events.jsonl"));
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(pnc::obs::validate_events(events), "") << events.substr(0, 400);
+    EXPECT_NE(events.find("\"yield.round\""), std::string::npos);
+    EXPECT_NE(events.find("\"yield.finish\""), std::string::npos);
+    EXPECT_NE(events.find("\"shard\":1"), std::string::npos);
+}
+
+TEST_F(YieldCliTest, MinYieldGateUsesExitCodeThree) {
+    train_model();
+    const std::string flags = " --model " + path("model.pnn") +
+                              " --dataset iris --samples 256 --spec 0.4";
+    // An unreachable bar fails certification (exit 3), a trivial bar passes.
+    std::string output;
+    EXPECT_EQ(run_cli_rc("yield" + flags + " --min-yield 0.999999", &output), 3);
+    EXPECT_NE(output.find("NOT CERTIFIED"), std::string::npos) << output;
+    output.clear();
+    EXPECT_EQ(run_cli_rc("yield" + flags + " --min-yield 0.0", &output), 0);
+    EXPECT_NE(output.find("CERTIFIED"), std::string::npos) << output;
+}
+
+TEST_F(YieldCliTest, FixedModeAgreesWithReferenceDigits) {
+    train_model();
+    // `pnc yield --mode fixed` prints the same yield/median/worst numbers
+    // the pnn reference path computes; the library-level bit-identity test
+    // covers the doubles, this covers the CLI wiring end to end.
+    std::string out1, out4;
+    ::setenv("PNC_NUM_THREADS", "1", 1);
+    EXPECT_EQ(run_cli_rc("yield --model " + path("model.pnn") +
+                             " --dataset iris --mode fixed --samples 100 --spec 0.4",
+                         &out1), 0) << out1;
+    ::setenv("PNC_NUM_THREADS", "4", 1);
+    EXPECT_EQ(run_cli_rc("yield --model " + path("model.pnn") +
+                             " --dataset iris --mode fixed --samples 100 --spec 0.4",
+                         &out4), 0) << out4;
+    ::unsetenv("PNC_NUM_THREADS");
+    EXPECT_NE(out1.find("yield "), std::string::npos) << out1;
+    EXPECT_EQ(out1, out4);
+}
+
+TEST_F(YieldCliTest, InvalidInvocationsExitWithUsage) {
+    // Each of these is a bad invocation (usage + exit 2), rejected before
+    // any expensive work: fixed mode with variance reduction, a malformed
+    // shard spec, sharding without a report, certifying a partial shard,
+    // comparison flags mixed with campaign-only flags, a bogus subcommand,
+    // and merge without --out.
+    const std::string base =
+        "yield --model " + path("model.pnn") + " --dataset iris";
+    for (const std::string& args :
+         {base + " --mode fixed --antithetic 1",
+          base + " --mode fixed --ci-width 0.01",
+          base + " --shard 2of4 --report " + path("r.json"),
+          base + " --shard 3/2 --report " + path("r.json"),
+          base + " --shard 0/2",
+          base + " --shard 0/2 --report " + path("r.json") + " --min-yield 0.5",
+          base + " --baseline-model " + path("model.pnn") + " --shard 0/2",
+          base + " --mode sometimes",
+          std::string("yield frobnicate"),
+          std::string("yield merge " + path("a.json"))}) {
+        std::string output;
+        EXPECT_EQ(run_cli_rc(args, &output), 2) << args << "\n" << output;
+        EXPECT_NE(output.find("error:"), std::string::npos) << args << "\n" << output;
+    }
+}

@@ -18,12 +18,32 @@
 // absent. --fault-report still needs the reference evaluator and is
 // rejected (usage, exit 2) in combination with --backend compiled.
 //   pnc certify    --model model.pnn --dataset iris [--eps 0.05]
+//   pnc yield      --model model.pnn --dataset iris [--eps 0.1] [--spec 0.8]
+//                  [--samples N] [--mode statistical|fixed] [--ci wilson|cp]
+//                  [--ci-width W] [--confidence C] [--round N]
+//                  [--antithetic 0|1] [--strata S] [--seed N] [--shard i/N]
+//                  [--report shard.json] [--min-yield Y]
+//                  [--baseline-model other.pnn]
+//   pnc yield      merge SHARD.json... --out MERGED.json [--min-yield Y]
+//                  [--merge-events a.jsonl,b.jsonl --merged-events out.jsonl]
 //   pnc export     --model model.pnn [--out netlist.sp]
 //   pnc cost       --model model.pnn
 //   pnc report     diff BASELINE.json CANDIDATE.json [--tolerance-file F]
 //   pnc report     check [CANDIDATE.json] --baseline B.json
 //                  [--tolerance-file F] [--timing-warn-only 1]
 //   pnc doctor     HEALTH.json
+//
+// `yield` runs the large-scale Monte-Carlo yield campaign (src/yield) on
+// the compiled engine; docs/YIELD.md is the statistical contract. --seed
+// seeds the Monte-Carlo streams (the dataset split stays at its fixed
+// seed). --mode fixed is bit-identical to pnn::estimate_yield; statistical
+// mode may stop early on --ci-width and accepts --antithetic / --strata
+// (budgets are rounded up to the variance-reduction granularity).
+// --shard i/N runs one process-level shard (requires --report); `pnc yield
+// merge` folds the shard reports into the byte-identical single-process
+// report. --min-yield Y certifies the design (exit 3 when the CI lower
+// bound misses Y). --baseline-model compares two designs under common
+// random numbers instead of estimating one yield.
 //
 // `doctor` classifies a pnc-health/1 training flight recorder (written by
 // `pnc train --health-out` / PNC_HEALTH_OUT) into a named verdict and exits
@@ -52,6 +72,7 @@
 //
 // Surrogate models are loaded from (or built into) the artifact cache, the
 // same one the benches use ($PNC_ARTIFACTS, default ./artifacts).
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -77,6 +98,8 @@
 #include "pnn/robustness.hpp"
 #include "pnn/serialize.hpp"
 #include "pnn/training.hpp"
+#include "yield/campaign.hpp"
+#include "yield/yield_report.hpp"
 
 using namespace pnc;
 
@@ -90,7 +113,7 @@ struct UsageError : std::runtime_error {
 
 struct Args {
     std::string command;
-    std::vector<std::string> positionals;  ///< only `report` takes any
+    std::vector<std::string> positionals;  ///< only report/doctor/yield take any
     std::map<std::string, std::string> options;
 
     std::string get(const std::string& key, const std::string& fallback = "") const {
@@ -367,6 +390,240 @@ int cmd_certify(const Args& args) {
     return 0;
 }
 
+yield::ShardSpec parse_shard(const std::string& spec) {
+    const auto slash = spec.find('/');
+    const auto bad = [&] {
+        return UsageError("--shard must be i/N with 0 <= i < N, got '" + spec + "'");
+    };
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) throw bad();
+    yield::ShardSpec shard;
+    try {
+        shard.index = std::stoul(spec.substr(0, slash));
+        shard.count = std::stoul(spec.substr(slash + 1));
+    } catch (const std::exception&) {
+        throw bad();
+    }
+    if (shard.count == 0 || shard.index >= shard.count) throw bad();
+    return shard;
+}
+
+void print_yield_estimate(const yield::YieldEstimate& estimate,
+                          const yield::YieldCampaignOptions& options) {
+    std::printf("yield %.6f @ spec %.2f  (%llu passing / %llu samples, %zu rounds)\n",
+                estimate.yield, options.accuracy_spec,
+                static_cast<unsigned long long>(estimate.n_passing),
+                static_cast<unsigned long long>(estimate.n_samples),
+                estimate.rounds_used);
+    std::printf("%.0f%% CI [%.6f, %.6f]  width %.2e  (%s)%s\n", estimate.confidence * 100,
+                estimate.ci_lo, estimate.ci_hi, estimate.ci_width(),
+                yield::ci_method_name(estimate.method),
+                estimate.target_reached ? "  [target reached, stopped early]" : "");
+    std::printf("accuracy mean %.4f / median %.4f / p5 %.4f / worst %.4f\n",
+                estimate.mean_accuracy, estimate.median_accuracy, estimate.p5_accuracy,
+                estimate.worst_accuracy);
+}
+
+/// The certification gate: exit 3 when the CI lower bound misses the
+/// required yield, mirroring `pnc report`'s regression exit code.
+int certify_min_yield(const yield::YieldEstimate& estimate, double min_yield) {
+    const bool certified = estimate.ci_lo >= min_yield;
+    std::printf("certification: CI lower bound %.6f %s min yield %.6f -> %s\n",
+                estimate.ci_lo, certified ? ">=" : "<", min_yield,
+                certified ? "CERTIFIED" : "NOT CERTIFIED");
+    return certified ? 0 : 3;
+}
+
+std::string read_text_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw UsageError("cannot open " + path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/// `pnc yield merge SHARD.json... --out MERGED.json` — fold shard reports
+/// (and optionally their event streams) into the single-process-equivalent
+/// artifacts.
+int cmd_yield_merge(const Args& args) {
+    validate_options(args, {"out", "min-yield", "merge-events", "merged-events"});
+    if (args.positionals.size() < 2)
+        throw UsageError("usage: pnc yield merge SHARD.json... --out MERGED.json");
+    const std::string out = args.require("out");
+
+    std::vector<yield::YieldReport> shards;
+    for (std::size_t i = 1; i < args.positionals.size(); ++i) {
+        const std::string& path = args.positionals[i];
+        try {
+            shards.push_back(
+                yield::parse_yield_report(obs::json::Value::parse(read_text_file(path))));
+        } catch (const UsageError&) {
+            throw;  // missing file: bad invocation (exit 2)
+        } catch (const std::exception& e) {
+            throw std::runtime_error(path + ": " + e.what());
+        }
+    }
+    const yield::YieldReport merged = yield::merge_yield_reports(shards);
+    yield::write_yield_report(out, merged);
+    std::printf("merged %zu shard report(s) into %s\n", shards.size(), out.c_str());
+    print_yield_estimate(merged.result, yield::options_from_meta(merged.meta));
+
+    // Optional pnc-events/1 merge rides along: one validated stream with
+    // re-stamped seq and a `shard` field per line (docs/OBSERVABILITY.md).
+    const std::string event_inputs = args.get("merge-events");
+    const std::string event_out = args.get("merged-events");
+    if (event_inputs.empty() != event_out.empty())
+        throw UsageError("--merge-events and --merged-events go together");
+    if (!event_inputs.empty()) {
+        std::vector<std::string> streams;
+        std::stringstream ss(event_inputs);
+        std::string path;
+        while (std::getline(ss, path, ','))
+            if (!path.empty()) streams.push_back(read_text_file(path));
+        const std::string merged_events = obs::merge_event_streams(streams, "pnc");
+        std::ofstream os(event_out, std::ios::trunc);
+        if (!os) throw std::runtime_error("cannot write merged event stream " + event_out);
+        os << merged_events;
+        std::printf("merged %zu event stream(s) into %s\n", streams.size(),
+                    event_out.c_str());
+    }
+
+    if (args.options.count("min-yield"))
+        return certify_min_yield(merged.result, args.number("min-yield", 0.0));
+    return 0;
+}
+
+int cmd_yield(const Args& args) {
+    if (!args.positionals.empty()) {
+        if (args.positionals[0] == "merge") return cmd_yield_merge(args);
+        throw UsageError("unknown yield subcommand '" + args.positionals[0] +
+                         "' (only: merge)");
+    }
+    validate_options(args, {"model", "dataset", "eps", "spec", "samples", "mode", "ci",
+                            "ci-width", "confidence", "round", "antithetic", "strata",
+                            "seed", "shard", "report", "min-yield", "baseline-model"});
+
+    yield::YieldCampaignOptions options;
+    options.accuracy_spec = args.number("spec", 0.8);
+    options.epsilon = args.number("eps", 0.1);
+    options.confidence = args.number("confidence", 0.95);
+    options.ci_width = args.number("ci-width", 0.0);
+    options.round_size = static_cast<std::uint64_t>(args.number("round", 4096));
+    options.antithetic = args.number("antithetic", 0) != 0;
+    options.strata = static_cast<std::uint64_t>(args.number("strata", 1));
+    options.seed = static_cast<std::uint64_t>(args.number("seed", 777));
+    options.shard = parse_shard(args.get("shard", "0/1"));
+    try {
+        options.mode = yield::parse_campaign_mode(args.get("mode", "statistical"));
+        options.method = yield::parse_ci_method(args.get("ci", "wilson"));
+    } catch (const std::invalid_argument& e) {
+        throw UsageError(e.what());
+    }
+    if (options.mode == yield::CampaignMode::kFixed &&
+        (options.antithetic || options.strata > 1 || options.ci_width > 0))
+        throw UsageError(
+            "--antithetic/--strata/--ci-width need --mode statistical (fixed mode is "
+            "the bit-identity contract)");
+
+    // Round the budget up to the variance-reduction granularity: whole
+    // antithetic pairs, equal allocation across strata.
+    const std::uint64_t requested =
+        static_cast<std::uint64_t>(args.number("samples", 10000));
+    const std::uint64_t per_unit = options.antithetic ? 2 : 1;
+    std::uint64_t units = (std::max<std::uint64_t>(requested, 2) + per_unit - 1) / per_unit;
+    if (options.strata > 1)
+        units = (units + options.strata - 1) / options.strata * options.strata;
+    options.n_samples = units * per_unit;
+    if (options.n_samples != requested)
+        std::printf("note: budget rounded up %llu -> %llu (whole antithetic pairs / "
+                    "equal strata allocation)\n",
+                    static_cast<unsigned long long>(requested),
+                    static_cast<unsigned long long>(options.n_samples));
+
+    const std::string baseline_model = args.get("baseline-model");
+    const std::string report_path = args.get("report");
+    if (options.shard.is_sharded() && report_path.empty())
+        throw UsageError("--shard runs write partial results: --report is required");
+    if (options.shard.is_sharded() && args.options.count("min-yield"))
+        throw UsageError("--min-yield needs the whole campaign: certify the merged "
+                         "report via 'pnc yield merge --min-yield'");
+    if (!baseline_model.empty())
+        for (const char* flag : {"report", "shard", "min-yield", "mode", "ci-width",
+                                 "antithetic", "strata"})
+            if (args.options.count(flag))
+                throw UsageError("--" + std::string(flag) +
+                                 " does not apply to a --baseline-model comparison");
+
+    const auto surrogates = load_surrogates();
+    const auto net = load_model(args, surrogates);
+    const std::string dataset = args.require("dataset");
+    const auto split = data::split_and_normalize(data::make_dataset(dataset),
+                                                 /*seed=*/99);
+    const infer::CompiledPnn engine(net);
+
+    // Paired comparison under common random numbers.
+    if (!baseline_model.empty()) {
+        const auto baseline = pnn::load_pnn_file(baseline_model, &surrogates.act,
+                                                 &surrogates.neg,
+                                                 surrogate::DesignSpace::table1());
+        const infer::CompiledPnn engine_b(baseline);
+        const auto paired =
+            yield::compare_yield(engine, engine_b, split.x_test, split.y_test, options);
+        std::printf("paired yield comparison (common random numbers, %llu samples each)\n",
+                    static_cast<unsigned long long>(paired.n_samples));
+        std::printf("  %-24s yield %.6f  CI [%.6f, %.6f]\n", args.require("model").c_str(),
+                    paired.a.yield, paired.a.ci_lo, paired.a.ci_hi);
+        std::printf("  %-24s yield %.6f  CI [%.6f, %.6f]\n", baseline_model.c_str(),
+                    paired.b.yield, paired.b.ci_lo, paired.b.ci_hi);
+        std::printf("  delta %+.6f  %.0f%% CI [%+.6f, %+.6f]  (discordant: %llu vs %llu)\n",
+                    paired.delta, options.confidence * 100, paired.delta_ci.lo,
+                    paired.delta_ci.hi, static_cast<unsigned long long>(paired.n10),
+                    static_cast<unsigned long long>(paired.n01));
+        return 0;
+    }
+
+    std::printf("yield campaign: %s mode, eps %.2f, budget %llu samples",
+                yield::campaign_mode_name(options.mode), options.epsilon,
+                static_cast<unsigned long long>(options.n_samples));
+    if (options.shard.is_sharded())
+        std::printf(" (shard %zu/%zu)", options.shard.index, options.shard.count);
+    std::printf("\n");
+    const auto result =
+        yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    if (options.shard.is_sharded())
+        std::printf("shard %zu/%zu partial result — merge all shard reports with "
+                    "'pnc yield merge':\n",
+                    options.shard.index, options.shard.count);
+    print_yield_estimate(result.estimate, options);
+
+    if (!report_path.empty()) {
+        yield::YieldReport report;
+        report.meta.tool = "pnc";
+        report.meta.dataset = dataset;
+        report.meta.model_file = args.require("model");
+        report.meta.mode = options.mode;
+        report.meta.method = options.method;
+        report.meta.accuracy_spec = options.accuracy_spec;
+        report.meta.epsilon = options.epsilon;
+        report.meta.confidence = options.confidence;
+        report.meta.ci_width = options.ci_width;
+        report.meta.n_samples = options.n_samples;
+        report.meta.round_size = options.round_size;
+        report.meta.seed = options.seed;
+        report.meta.antithetic = options.antithetic;
+        report.meta.strata = options.strata;
+        report.meta.test_rows = result.test_rows;
+        report.shard = options.shard;
+        report.rounds = result.rounds;
+        report.result = result.estimate;
+        yield::write_yield_report(report_path, report);
+        std::printf("yield report written to %s\n", report_path.c_str());
+    }
+
+    if (args.options.count("min-yield"))
+        return certify_min_yield(result.estimate, args.number("min-yield", 0.0));
+    return 0;
+}
+
 int cmd_export(const Args& args) {
     const auto surrogates = load_surrogates();
     const auto net = load_model(args, surrogates);
@@ -534,14 +791,17 @@ int cmd_doctor(const Args& args) {
 
 int cmd_help() {
     std::puts("pnc — printed neuromorphic circuit designer");
-    std::puts("commands: curve fit datasets dataset train eval certify export cost report "
-              "doctor help");
+    std::puts("commands: curve fit datasets dataset train eval certify yield export cost "
+              "report doctor help");
     std::puts("global flags: --metrics-out report.json  --trace-out trace.json");
     std::puts("              --events-out events.jsonl  --chrome-trace-out trace.json");
     std::puts("              --health-out health.json   (training flight recorder)");
     std::puts("report: pnc report diff A.json B.json | pnc report check [CAND.json]");
     std::puts("        --baseline B.json [--tolerance-file F] [--timing-warn-only 1]");
     std::puts("doctor: pnc doctor HEALTH.json   (exit 4 when training diverged)");
+    std::puts("yield:  pnc yield --model M --dataset D [--samples N --ci-width W");
+    std::puts("        --shard i/N --report shard.json --min-yield Y] (exit 3 when");
+    std::puts("        uncertified); pnc yield merge SHARD.json... --out MERGED.json");
     std::puts("fault flags (eval): --fault-model NAME --fault-rate R --spec A "
               "--fault-report f.json");
     std::puts("eval backend: --backend reference|compiled (or PNC_INFER_BACKEND)");
@@ -552,6 +812,7 @@ int cmd_help() {
 int dispatch(const Args& args) {
     if (args.command == "report") return cmd_report(args);
     if (args.command == "doctor") return cmd_doctor(args);
+    if (args.command == "yield") return cmd_yield(args);
     if (!args.positionals.empty())
         throw UsageError("command '" + args.command + "' takes no positional argument '" +
                          args.positionals.front() + "'");
