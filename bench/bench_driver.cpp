@@ -75,6 +75,7 @@ const BenchSpec kBenches[] = {
     {"parallel_scaling", "bench_parallel_scaling", true},
     {"inference", "bench_inference", true},
     {"yield_scale", "bench_yield_scale", true},
+    {"serving", "bench_serving", true},
 };
 
 [[noreturn]] void usage(int rc) {

@@ -1,0 +1,162 @@
+// Serving-runtime throughput: the src/serve async pipeline (registry +
+// micro-batcher) driving the Table II compiled plan under a multi-submitter
+// storm, reporting end-to-end samples/sec and request-latency p50/p99.
+// Before the storm, a deterministic replay probe checks every served
+// prediction stays bitwise identical to the reference forward pass — the
+// throughput numbers are only worth reporting if micro-batching cannot
+// change a single bit. Results append to artifacts/serving.csv; headlines
+// gate in CI via baselines/ci.json.
+//
+// Knobs: PNC_SERVE_REQUESTS (storm size; default 2e5, smoke 2e4),
+// PNC_SERVE_SUBMITTERS (default 4), PNC_SERVE_BATCH (default 32).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/registry.hpp"
+#include "exp/artifacts.hpp"
+#include "exp/bench_support.hpp"
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "pnn/pnn.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/pipeline.hpp"
+#include "serve/registry.hpp"
+
+using namespace pnc;
+using Clock = std::chrono::steady_clock;
+
+int main(int argc, char** argv) {
+    auto run = exp::BenchRun::init("bench_serving", argc, argv);
+
+    const auto act = exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kPtanh);
+    const auto neg =
+        exp::load_or_build_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight);
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 17);
+
+    // The paper's Table II topology, same seed as bench_inference so the
+    // serving pipeline runs the exact plan the engine bench measures.
+    math::Rng rng(5);
+    pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                 &act, &neg, surrogate::DesignSpace::table1(), rng);
+
+    std::vector<std::vector<double>> rows;
+    for (std::size_t r = 0; r < split.x_test.rows(); ++r) {
+        std::vector<double> row(split.x_test.cols());
+        for (std::size_t c = 0; c < row.size(); ++c) row[c] = split.x_test(r, c);
+        rows.push_back(std::move(row));
+    }
+
+    const auto total = static_cast<std::size_t>(
+        exp::env_int("PNC_SERVE_REQUESTS", run.smoke() ? 20'000 : 200'000));
+    const auto submitters = static_cast<std::size_t>(exp::env_int("PNC_SERVE_SUBMITTERS", 4));
+    const auto max_batch = static_cast<std::size_t>(exp::env_int("PNC_SERVE_BATCH", 32));
+
+    serve::ModelRegistry registry;
+    registry.install("seeds", net);
+
+    // Bit-identity probe: deterministic replay of the full test split, every
+    // output double compared against the reference forward pass. Cheap, and
+    // gates the whole bench — run.finish() cannot bless drifting bits.
+    const math::Matrix reference = net.predict(split.x_test);
+    bool bit_identical = true;
+    {
+        serve::ServeOptions probe;
+        probe.max_batch = 7;  // deliberately misaligned with the row count
+        probe.deterministic = true;
+        serve::ServePipeline pipeline(registry, probe);
+        std::vector<std::future<serve::Prediction>> futures;
+        for (const auto& row : rows) futures.push_back(pipeline.submit_or_wait("seeds", row));
+        pipeline.drain();
+        for (std::size_t r = 0; r < futures.size(); ++r) {
+            const auto prediction = futures[r].get();
+            for (std::size_t c = 0; c < reference.cols(); ++c)
+                bit_identical &= prediction.outputs[c] == reference(r, c);
+        }
+    }
+    std::printf("replay probe vs reference forward pass (%zu rows, batch 7): %s\n",
+                rows.size(), bit_identical ? "bit-identical" : "MISMATCH");
+
+    // The storm: timed-mode pipeline, shed-first submission falling back to
+    // the lossless path, latency histograms on (they are part of the serving
+    // runtime being measured, not optional telemetry).
+    obs::set_enabled(true);
+    obs::MetricsRegistry::global().reset();
+
+    serve::ServeOptions options;
+    options.max_batch = max_batch;
+    options.flush_deadline_ms = 0.5;
+    options.queue_capacity = 1024;
+
+    std::printf("self-load storm: %zu requests, %zu submitters, batch %zu, %zu threads\n",
+                total, submitters, max_batch, runtime::global_thread_count());
+
+    std::atomic<std::size_t> sheds{0};
+    const auto start = Clock::now();
+    {
+        serve::ServePipeline pipeline(registry, options);
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < submitters; ++t) {
+            threads.emplace_back([&, t] {
+                std::vector<std::future<serve::Prediction>> futures;
+                for (std::size_t i = t; i < total; i += submitters) {
+                    try {
+                        futures.push_back(pipeline.submit("seeds", rows[i % rows.size()]));
+                    } catch (const serve::ServeError& e) {
+                        if (e.code() != serve::ServeErrorCode::kQueueFull) throw;
+                        sheds.fetch_add(1, std::memory_order_relaxed);
+                        futures.push_back(
+                            pipeline.submit_or_wait("seeds", rows[i % rows.size()]));
+                    }
+                }
+                for (auto& f : futures) f.get();
+            });
+        }
+        for (auto& thread : threads) thread.join();
+        pipeline.drain();
+    }
+    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    const double samples_per_sec = seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
+
+    double p50_ms = 0, p99_ms = 0, batches = 0;
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    for (const auto& h : snapshot.histograms)
+        if (h.name == "serve.request.latency_seconds") {
+            p50_ms = h.quantile(0.50) * 1e3;
+            p99_ms = h.quantile(0.99) * 1e3;
+        }
+    for (const auto& [name, value] : snapshot.counters)
+        if (name == "serve.batches_total") batches = static_cast<double>(value);
+    const double mean_batch_rows = batches > 0 ? static_cast<double>(total) / batches : 0.0;
+
+    std::printf("%12s %16s %12s %12s %14s %10s\n", "requests", "samples/s", "p50 ms",
+                "p99 ms", "mean batch", "shed");
+    std::printf("%12zu %16.1f %12.3f %12.3f %14.1f %10zu\n", total, samples_per_sec,
+                p50_ms, p99_ms, mean_batch_rows, sheds.load());
+
+    const std::string csv_path = exp::artifact_dir() + "/serving.csv";
+    std::ofstream csv(csv_path);
+    csv << "requests,submitters,max_batch,samples_per_sec,p50_ms,p99_ms,"
+           "mean_batch_rows,sheds,bit_identical\n";
+    csv << total << ',' << submitters << ',' << max_batch << ',' << samples_per_sec << ','
+        << p50_ms << ',' << p99_ms << ',' << mean_batch_rows << ',' << sheds.load() << ','
+        << (bit_identical ? 1 : 0) << '\n';
+    std::printf("wrote %s\n", csv_path.c_str());
+
+    // samples_per_sec gates as a throughput metric, the latency quantiles
+    // carry the ".ms" timing suffix (warn-only on shared runners), and the
+    // bit-identity probe gates hard via the accuracy prefix.
+    run.headline("serve.samples_per_sec", samples_per_sec);
+    run.headline("serve.request.p50.ms", p50_ms);
+    run.headline("serve.request.p99.ms", p99_ms);
+    run.headline("serve.batch.mean_rows", mean_batch_rows);
+    run.headline("accuracy.serve.bit_identical", bit_identical ? 1.0 : 0.0);
+
+    const int headline_rc = run.finish();
+    return bit_identical ? headline_rc : 1;
+}

@@ -1,0 +1,46 @@
+// Typed errors of the serving runtime.
+//
+// The pipeline's backpressure contract is explicit: a submitter is never
+// blocked forever and never silently dropped — an over-capacity submission
+// is rejected *at the submit call* with ServeError{kQueueFull}, an unknown
+// model with kUnknownModel, and submissions after shutdown with kShutdown.
+// Callers branch on code(), not on message text.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pnc::serve {
+
+enum class ServeErrorCode {
+    kUnknownModel,  ///< name not present in the registry (or already evicted)
+    kQueueFull,     ///< submission queue at capacity — shed, do not block
+    kShutdown,      ///< pipeline is stopping; no new work accepted
+    kBadRequest,    ///< malformed request (feature-count mismatch, empty row)
+};
+
+/// Stable name for logs and tests ("unknown_model", "queue_full", ...).
+const char* serve_error_name(ServeErrorCode code);
+
+class ServeError : public std::runtime_error {
+public:
+    ServeError(ServeErrorCode code, const std::string& message)
+        : std::runtime_error(message), code_(code) {}
+
+    ServeErrorCode code() const { return code_; }
+
+private:
+    ServeErrorCode code_;
+};
+
+inline const char* serve_error_name(ServeErrorCode code) {
+    switch (code) {
+        case ServeErrorCode::kUnknownModel: return "unknown_model";
+        case ServeErrorCode::kQueueFull: return "queue_full";
+        case ServeErrorCode::kShutdown: return "shutdown";
+        case ServeErrorCode::kBadRequest: return "bad_request";
+    }
+    return "unknown";
+}
+
+}  // namespace pnc::serve

@@ -1,0 +1,259 @@
+#include "serve/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace pnc::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Batch-occupancy buckets: powers of two up to a generous cap; the
+/// registry only uses them on first creation.
+const std::vector<double>& occupancy_buckets() {
+    static const std::vector<double> bounds = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+    return bounds;
+}
+
+}  // namespace
+
+ServePipeline::ServePipeline(ModelRegistry& registry, ServeOptions options)
+    : registry_(registry), options_(options) {
+    if (options_.max_batch == 0) options_.max_batch = 1;
+    options_.queue_capacity = std::max(options_.queue_capacity, options_.max_batch);
+    batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+ServePipeline::~ServePipeline() { stop(); }
+
+std::future<Prediction> ServePipeline::submit(const std::string& model,
+                                              std::vector<double> features) {
+    return enqueue(model, std::move(features), /*wait=*/false);
+}
+
+std::future<Prediction> ServePipeline::submit_or_wait(const std::string& model,
+                                                      std::vector<double> features) {
+    return enqueue(model, std::move(features), /*wait=*/true);
+}
+
+std::future<Prediction> ServePipeline::enqueue(const std::string& model,
+                                               std::vector<double> features,
+                                               bool wait) {
+    // Resolve before taking the pipeline lock: the request pins the plan it
+    // resolved (hot-swap / eviction safe), and registry lookups never
+    // serialize against batch dispatch.
+    auto served = registry_.get(model);
+    const std::size_t n_inputs = served->engine.plan().n_inputs();
+    if (features.size() != n_inputs)
+        throw ServeError(ServeErrorCode::kBadRequest,
+                         "model '" + model + "' expects " + std::to_string(n_inputs) +
+                             " features, got " + std::to_string(features.size()));
+
+    PendingRequest request;
+    request.model = std::move(served);
+    request.features = std::move(features);
+    request.enqueued = Clock::now();
+    auto future = request.promise.get_future();
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stop_)
+            throw ServeError(ServeErrorCode::kShutdown, "pipeline is shut down");
+        if (queue_.size() >= options_.queue_capacity) {
+            if (!wait) {
+                obs::add_counter("serve.rejected_total");
+                throw ServeError(ServeErrorCode::kQueueFull,
+                                 "submission queue at capacity (" +
+                                     std::to_string(options_.queue_capacity) + ")");
+            }
+            cv_space_.wait(lock, [this] {
+                return stop_ || queue_.size() < options_.queue_capacity;
+            });
+            if (stop_)
+                throw ServeError(ServeErrorCode::kShutdown, "pipeline is shut down");
+        }
+        queue_.push_back(std::move(request));
+        obs::add_counter("serve.requests_total");
+        obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+    }
+    cv_batcher_.notify_one();
+    return future;
+}
+
+std::size_t ServePipeline::head_run_locked() const {
+    if (queue_.empty()) return 0;
+    const ServedModel* head = queue_.front().model.get();
+    std::size_t run = 0;
+    for (const PendingRequest& request : queue_) {
+        if (request.model.get() != head || run == options_.max_batch) break;
+        ++run;
+    }
+    return run;
+}
+
+void ServePipeline::batcher_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // Flush conditions — see the determinism contract in pipeline.hpp.
+        auto ready = [this] {
+            if (stop_) return true;
+            if (paused_) return false;
+            const std::size_t run = head_run_locked();
+            if (run == 0) return false;
+            if (run == options_.max_batch) return true;
+            if (run < queue_.size()) return true;  // different model behind run
+            return drain_waiters_ > 0;
+        };
+        if (options_.deterministic) {
+            cv_batcher_.wait(lock, ready);
+        } else {
+            while (!ready()) {
+                if (queue_.empty() || paused_) {
+                    cv_batcher_.wait(lock, [this, &ready] {
+                        return ready() || (!queue_.empty() && !paused_);
+                    });
+                } else {
+                    // Partial batch pending: flush when its oldest request
+                    // has waited out the deadline.
+                    const auto deadline =
+                        queue_.front().enqueued +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(options_.flush_deadline_ms));
+                    if (cv_batcher_.wait_until(lock, deadline, ready)) break;
+                    if (Clock::now() >= deadline) break;  // deadline flush
+                }
+            }
+        }
+        if (stop_) break;
+        if (queue_.empty()) continue;
+
+        const std::size_t run = head_run_locked();
+        std::vector<PendingRequest> batch;
+        batch.reserve(run);
+        for (std::size_t i = 0; i < run; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        const std::uint64_t batch_seq = next_batch_seq_++;
+        obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+        in_flight_ = true;
+        lock.unlock();
+        cv_space_.notify_all();
+
+        execute_batch(std::move(batch), batch_seq);
+
+        lock.lock();
+        in_flight_ = false;
+        if (queue_.empty()) cv_drained_.notify_all();
+    }
+    // Shutdown: fail everything still queued with the typed error.
+    std::deque<PendingRequest> orphaned;
+    orphaned.swap(queue_);
+    lock.unlock();
+    for (PendingRequest& request : orphaned)
+        request.promise.set_exception(std::make_exception_ptr(
+            ServeError(ServeErrorCode::kShutdown, "pipeline shut down before execution")));
+    cv_space_.notify_all();
+    cv_drained_.notify_all();
+}
+
+void ServePipeline::execute_batch(std::vector<PendingRequest> batch,
+                                  std::uint64_t batch_seq) {
+    const std::shared_ptr<const ServedModel>& model = batch.front().model;
+    const std::size_t rows = batch.size();
+    const std::size_t n_inputs = model->engine.plan().n_inputs();
+    const std::size_t n_outputs = model->engine.plan().n_outputs();
+
+    math::Matrix x(rows, n_inputs);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < n_inputs; ++c) x(r, c) = batch[r].features[c];
+
+    const auto exec_start = Clock::now();
+    const math::Matrix out = model->engine.predict(x);
+    const double exec_seconds = seconds_since(exec_start);
+
+    if (obs::enabled()) {
+        obs::add_counter("serve.batches_total");
+        obs::add_counter("serve.samples_total", rows);
+        obs::observe("serve.batch.exec_seconds", exec_seconds);
+        obs::MetricsRegistry::global()
+            .histogram("serve.batch.rows", occupancy_buckets())
+            .observe(static_cast<double>(rows));
+        if (exec_seconds > 0.0)
+            obs::set_gauge("serve.samples_per_sec",
+                           static_cast<double>(rows) / exec_seconds);
+    }
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        Prediction prediction;
+        prediction.outputs.resize(n_outputs);
+        int best = 0;
+        for (std::size_t c = 0; c < n_outputs; ++c) {
+            prediction.outputs[c] = out(r, c);
+            // First maximum wins, matching ad::accuracy's argmax.
+            if (out(r, c) > out(r, static_cast<std::size_t>(best)))
+                best = static_cast<int>(c);
+        }
+        prediction.predicted_class = best;
+        prediction.model = model->name;
+        prediction.model_hash = model->content_hash;
+        prediction.batch_seq = batch_seq;
+        prediction.batch_rows = rows;
+
+        if (obs::enabled()) {
+            const double latency = seconds_since(batch[r].enqueued);
+            obs::observe("serve.request.latency_seconds", latency);
+            obs::MetricsRegistry::global()
+                .histogram("serve.model." + model->name + ".latency_seconds")
+                .observe(latency);
+        }
+        batch[r].promise.set_value(std::move(prediction));
+    }
+}
+
+void ServePipeline::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++drain_waiters_;
+    cv_batcher_.notify_all();
+    cv_drained_.wait(lock, [this] {
+        return stop_ || (queue_.empty() && !in_flight_);
+    });
+    --drain_waiters_;
+}
+
+void ServePipeline::pause() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void ServePipeline::resume() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    cv_batcher_.notify_all();
+}
+
+void ServePipeline::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_batcher_.notify_all();
+    cv_space_.notify_all();
+    cv_drained_.notify_all();
+    if (batcher_.joinable()) batcher_.join();
+}
+
+std::size_t ServePipeline::queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+}  // namespace pnc::serve

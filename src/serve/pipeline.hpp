@@ -1,0 +1,145 @@
+// Async request pipeline of the serving runtime.
+//
+//   submit() ──► bounded FIFO queue ──► micro-batcher thread ──►
+//   CompiledPnn::predict (row-chunked over the global ThreadPool) ──►
+//   std::future<Prediction> back to the caller
+//
+// Backpressure is explicit: the queue is bounded and submit() *throws*
+// ServeError{kQueueFull} when it is at capacity — a submitter is never
+// blocked forever and a request is never silently dropped. Offline drivers
+// that want lossless delivery use submit_or_wait(), which blocks until a
+// slot frees up (the batcher guarantees progress because the capacity is
+// clamped to at least max_batch).
+//
+// Determinism contract (replay mode): with `deterministic = true` the
+// deadline flush is disabled and the batcher flushes only on
+//   (a) the head run of same-model requests reaching max_batch,
+//   (b) a request for a *different* model queued behind that run,
+//   (c) drain() or shutdown.
+// Because the queue is FIFO in submission order and the batcher only ever
+// pops a maximal head run, batch composition is a pure function of the
+// request sequence and max_batch — independent of thread count and
+// scheduling. Combined with the engine's row-independence (predict is
+// bitwise equal to the reference per row, regardless of which rows share a
+// batch), served predictions are bitwise-identical to Backend::kReference
+// for any interleaving. tests/test_serve.cpp enforces both halves.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+
+namespace pnc::serve {
+
+struct ServeOptions {
+    /// Largest micro-batch handed to the engine in one predict() call.
+    std::size_t max_batch = 32;
+    /// Timed mode only: a partial batch is flushed this long after its
+    /// oldest pending request arrived. Ignored when `deterministic`.
+    double flush_deadline_ms = 2.0;
+    /// Bounded submission queue; clamped to >= max_batch so a blocking
+    /// submit_or_wait always makes progress. submit() sheds above this.
+    std::size_t queue_capacity = 1024;
+    /// Disable the deadline flush: batch boundaries become a pure
+    /// function of the request sequence (replay mode).
+    bool deterministic = false;
+};
+
+/// One served result. `outputs` are the raw output voltages (bitwise equal
+/// to the reference forward pass); `predicted_class` is the argmax with
+/// first-maximum-wins tie-breaking, matching ad::accuracy.
+struct Prediction {
+    std::vector<double> outputs;
+    int predicted_class = -1;
+    std::string model;              ///< registry name the request resolved to
+    std::uint64_t model_hash = 0;   ///< content hash of the plan that served it
+    std::uint64_t batch_seq = 0;    ///< which micro-batch carried this row
+    std::size_t batch_rows = 0;     ///< occupancy of that micro-batch
+};
+
+class ServePipeline {
+public:
+    /// The registry must outlive the pipeline. Spawns the batcher thread.
+    explicit ServePipeline(ModelRegistry& registry, ServeOptions options = {});
+
+    /// stop(): pending requests fail with ServeError{kShutdown}.
+    ~ServePipeline();
+
+    ServePipeline(const ServePipeline&) = delete;
+    ServePipeline& operator=(const ServePipeline&) = delete;
+
+    /// Resolve `model` now (hot-swap safe: the request keeps the plan it
+    /// resolved even if the registry entry is evicted or replaced before
+    /// the batch runs) and enqueue. Throws ServeError:
+    ///   kUnknownModel  — model not registered,
+    ///   kBadRequest    — feature count != plan n_inputs,
+    ///   kQueueFull     — queue at capacity (shed policy; never blocks),
+    ///   kShutdown      — pipeline stopping.
+    std::future<Prediction> submit(const std::string& model,
+                                   std::vector<double> features);
+
+    /// Lossless variant for offline drivers: blocks until a queue slot is
+    /// free instead of shedding. Still throws kUnknownModel / kBadRequest /
+    /// kShutdown.
+    std::future<Prediction> submit_or_wait(const std::string& model,
+                                           std::vector<double> features);
+
+    /// Block until every queued request has been executed (including
+    /// partial batches, which drain flushes). Returns immediately after
+    /// stop().
+    void drain();
+
+    /// Stop accepting work, fail still-queued requests with kShutdown and
+    /// join the batcher thread. Idempotent.
+    void stop();
+
+    /// Hold the batcher: queued requests stay queued until resume(), so a
+    /// caller can fill the queue deterministically (shed-policy tests,
+    /// controlled-burst drivers). drain() while paused waits for resume().
+    void pause();
+    void resume();
+
+    std::size_t queue_depth() const;
+    const ServeOptions& options() const { return options_; }
+
+private:
+    struct PendingRequest {
+        std::shared_ptr<const ServedModel> model;
+        std::vector<double> features;
+        std::promise<Prediction> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    std::future<Prediction> enqueue(const std::string& model,
+                                    std::vector<double> features, bool wait);
+    void batcher_loop();
+    void execute_batch(std::vector<PendingRequest> batch, std::uint64_t batch_seq);
+    std::size_t head_run_locked() const;  ///< same-model run length at the head
+
+    ModelRegistry& registry_;
+    ServeOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_batcher_;  ///< work available / state change
+    std::condition_variable cv_space_;    ///< queue slot freed
+    std::condition_variable cv_drained_;  ///< queue empty and nothing in flight
+    std::deque<PendingRequest> queue_;
+    bool stop_ = false;
+    bool paused_ = false;
+    bool in_flight_ = false;
+    int drain_waiters_ = 0;
+    std::uint64_t next_batch_seq_ = 0;
+
+    std::thread batcher_;
+};
+
+}  // namespace pnc::serve

@@ -1,0 +1,105 @@
+#include "serve/registry.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "pnn/serialize.hpp"
+
+namespace pnc::serve {
+
+ModelRegistry::ModelRegistry(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::uint64_t ModelRegistry::content_hash(const pnn::Pnn& net) {
+    std::ostringstream os;
+    pnn::save_pnn(net, os);
+    const std::string text = os.str();
+    // FNV-1a, 64 bit.
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::install(const std::string& name,
+                                                          const pnn::Pnn& net) {
+    const std::uint64_t hash = content_hash(net);
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::add_counter("serve.registry.installs_total");
+    auto it = entries_.find(name);
+    if (it != entries_.end() && it->second.model->content_hash == hash) {
+        // Identical content: keep the already-compiled plan.
+        obs::add_counter("serve.registry.hits_total");
+        it->second.last_used = ++tick_;
+        return it->second.model;
+    }
+    auto model = std::make_shared<const ServedModel>(name, hash, net);
+    if (it != entries_.end()) {
+        obs::add_counter("serve.registry.swaps_total");
+        it->second = Entry{model, ++tick_};
+    } else {
+        entries_[name] = Entry{model, ++tick_};
+        if (entries_.size() > capacity_) evict_lru_locked();
+    }
+    obs::set_gauge("serve.registry.models", static_cast<double>(entries_.size()));
+    return model;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::try_get(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return nullptr;
+    it->second.last_used = ++tick_;
+    return it->second.model;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::get(const std::string& name) {
+    auto model = try_get(name);
+    if (!model)
+        throw ServeError(ServeErrorCode::kUnknownModel,
+                         "model '" + name + "' is not registered");
+    return model;
+}
+
+bool ModelRegistry::evict(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool erased = entries_.erase(name) > 0;
+    if (erased) {
+        obs::add_counter("serve.registry.evictions_total");
+        obs::set_gauge("serve.registry.models", static_cast<double>(entries_.size()));
+    }
+    return erased;
+}
+
+void ModelRegistry::evict_lru_locked() {
+    auto lru = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+        if (lru == entries_.end() || it->second.last_used < lru->second.last_used)
+            lru = it;
+    if (lru != entries_.end()) {
+        entries_.erase(lru);
+        obs::add_counter("serve.registry.evictions_total");
+    }
+}
+
+std::size_t ModelRegistry::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::uint64_t, std::string>> by_use;
+    by_use.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_)
+        by_use.emplace_back(entry.last_used, name);
+    std::sort(by_use.rbegin(), by_use.rend());
+    std::vector<std::string> out;
+    out.reserve(by_use.size());
+    for (auto& [tick, name] : by_use) out.push_back(std::move(name));
+    return out;
+}
+
+}  // namespace pnc::serve

@@ -1,0 +1,90 @@
+// Model registry of the serving runtime: trained pNNs compiled into
+// InferencePlans, keyed by name + content hash, LRU-bounded, hot-swappable.
+//
+// The registry owns nothing a caller can dangle on: get() hands out a
+// shared_ptr<const ServedModel>, so a request that resolved its model
+// before a hot-swap or an LRU eviction keeps serving from the old plan
+// until the last in-flight batch completes — plans are immutable values,
+// never mutated in place (the paper's bespoke-pNN-per-sensor deployment
+// model maps onto many tiny models swapping in and out of one process).
+//
+// Concurrency: every public method is safe from any thread (one mutex; the
+// expensive compile happens outside it would be nice, but compiles are
+// sub-millisecond for paper-scale models, so simplicity wins and the lock
+// is held across install).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "infer/engine.hpp"
+#include "serve/error.hpp"
+
+namespace pnc::serve {
+
+/// One immutable entry: a compiled plan plus the identity it was built
+/// from. `content_hash` is a FNV-1a hash of the model's canonical
+/// serialization, so re-installing an identical network is a no-op and a
+/// swap is detectable without comparing parameters.
+struct ServedModel {
+    std::string name;
+    std::uint64_t content_hash = 0;
+    infer::CompiledPnn engine;
+
+    ServedModel(std::string model_name, std::uint64_t hash, const pnn::Pnn& net)
+        : name(std::move(model_name)), content_hash(hash), engine(net) {}
+};
+
+class ModelRegistry {
+public:
+    /// Holds at most `capacity` models; installing one more evicts the
+    /// least-recently-used entry. capacity == 0 is treated as 1.
+    explicit ModelRegistry(std::size_t capacity = 8);
+
+    /// Compile `net` and publish it under `name`. Re-installing a network
+    /// with an unchanged content hash reuses the existing plan (LRU bump
+    /// only); a different hash hot-swaps the entry — in-flight holders of
+    /// the old shared_ptr keep the old plan alive until they finish.
+    std::shared_ptr<const ServedModel> install(const std::string& name,
+                                               const pnn::Pnn& net);
+
+    /// Resolve `name`, bumping its LRU slot. Throws
+    /// ServeError{kUnknownModel} when absent.
+    std::shared_ptr<const ServedModel> get(const std::string& name);
+
+    /// Resolve without throwing: nullptr when absent.
+    std::shared_ptr<const ServedModel> try_get(const std::string& name);
+
+    /// Drop `name` (false when absent). Holders of the shared_ptr are
+    /// unaffected; future get() calls see kUnknownModel.
+    bool evict(const std::string& name);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+
+    /// Registered names, most recently used first.
+    std::vector<std::string> names() const;
+
+    /// FNV-1a over the canonical save_pnn serialization: equal parameters
+    /// <=> equal hash (the serializer is byte-stable, test-enforced).
+    static std::uint64_t content_hash(const pnn::Pnn& net);
+
+private:
+    struct Entry {
+        std::shared_ptr<const ServedModel> model;
+        std::uint64_t last_used = 0;
+    };
+
+    void evict_lru_locked();
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::uint64_t tick_ = 0;
+    std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pnc::serve

@@ -1,0 +1,193 @@
+#include "serve/request_log.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace pnc::serve {
+namespace {
+
+using obs::json::Value;
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+    throw std::runtime_error("request log line " + std::to_string(line) + ": " + what);
+}
+
+Value parse_line(const std::string& text, std::size_t line) {
+    try {
+        return Value::parse(text);
+    } catch (const std::exception& e) {
+        fail(line, e.what());
+    }
+}
+
+const Value& member(const Value& doc, const char* key, std::size_t line) {
+    const Value* v = doc.find(key);
+    if (!v) fail(line, std::string("missing field '") + key + "'");
+    return *v;
+}
+
+double number_field(const Value& doc, const char* key, std::size_t line) {
+    const Value& v = member(doc, key, line);
+    if (!v.is_number()) fail(line, std::string("field '") + key + "' must be a number");
+    return v.as_number();
+}
+
+std::size_t count_field(const Value& doc, const char* key, std::size_t line) {
+    const double n = number_field(doc, key, line);
+    if (n < 0 || n != std::floor(n))
+        fail(line, std::string("field '") + key + "' must be a non-negative integer");
+    return static_cast<std::size_t>(n);
+}
+
+std::string string_field(const Value& doc, const char* key, std::size_t line) {
+    const Value& v = member(doc, key, line);
+    if (!v.is_string()) fail(line, std::string("field '") + key + "' must be a string");
+    return v.as_string();
+}
+
+std::vector<double> vector_field(const Value& doc, const char* key, std::size_t line) {
+    const Value& v = member(doc, key, line);
+    if (!v.is_array()) fail(line, std::string("field '") + key + "' must be an array");
+    std::vector<double> out;
+    out.reserve(v.items().size());
+    for (const Value& item : v.items()) {
+        if (!item.is_number())
+            fail(line, std::string("field '") + key + "' must contain only numbers");
+        out.push_back(item.as_number());
+    }
+    return out;
+}
+
+Value header_line(std::istream& is, const char* schema) {
+    std::string text;
+    if (!std::getline(is, text)) fail(1, "empty document (missing header)");
+    Value header = parse_line(text, 1);
+    if (!header.is_object()) fail(1, "header must be a JSON object");
+    if (string_field(header, "schema", 1) != schema)
+        fail(1, std::string("schema must be '") + schema + "'");
+    return header;
+}
+
+}  // namespace
+
+void write_request_log(std::ostream& os, const RequestLog& log) {
+    Value header = Value::object();
+    header.set("schema", Value::string("pnc-requests/1"));
+    header.set("model", Value::string(log.model));
+    header.set("n_features", Value::number(static_cast<double>(log.n_features)));
+    header.set("count", Value::number(static_cast<double>(log.requests.size())));
+    os << header.dump() << "\n";
+    for (std::size_t i = 0; i < log.requests.size(); ++i) {
+        Value row = Value::object();
+        row.set("seq", Value::number(static_cast<double>(i)));
+        Value features = Value::array();
+        for (double f : log.requests[i]) features.push_back(Value::number(f));
+        row.set("features", std::move(features));
+        os << row.dump() << "\n";
+    }
+}
+
+RequestLog parse_request_log(std::istream& is) {
+    const Value header = header_line(is, "pnc-requests/1");
+    RequestLog log;
+    log.model = string_field(header, "model", 1);
+    log.n_features = count_field(header, "n_features", 1);
+    const std::size_t count = count_field(header, "count", 1);
+    if (log.n_features == 0) fail(1, "n_features must be positive");
+
+    std::string text;
+    std::size_t line = 1;
+    while (std::getline(is, text)) {
+        ++line;
+        if (text.empty()) continue;
+        const Value row = parse_line(text, line);
+        if (!row.is_object()) fail(line, "request must be a JSON object");
+        const std::size_t seq = count_field(row, "seq", line);
+        if (seq != log.requests.size())
+            fail(line, "seq " + std::to_string(seq) + " out of order (expected " +
+                           std::to_string(log.requests.size()) + ")");
+        std::vector<double> features = vector_field(row, "features", line);
+        if (features.size() != log.n_features)
+            fail(line, "expected " + std::to_string(log.n_features) + " features, got " +
+                           std::to_string(features.size()));
+        log.requests.push_back(std::move(features));
+    }
+    if (log.requests.size() != count)
+        fail(line, "header count " + std::to_string(count) + " != " +
+                       std::to_string(log.requests.size()) + " request lines");
+    return log;
+}
+
+void write_prediction_log(std::ostream& os, const std::string& model,
+                          const std::vector<PredictionRecord>& predictions) {
+    Value header = Value::object();
+    header.set("schema", Value::string("pnc-predictions/1"));
+    header.set("model", Value::string(model));
+    header.set("count", Value::number(static_cast<double>(predictions.size())));
+    os << header.dump() << "\n";
+    for (const PredictionRecord& p : predictions) {
+        Value row = Value::object();
+        row.set("seq", Value::number(static_cast<double>(p.seq)));
+        row.set("class", Value::number(static_cast<double>(p.predicted_class)));
+        Value outputs = Value::array();
+        for (double v : p.outputs) outputs.push_back(Value::number(v));
+        row.set("outputs", std::move(outputs));
+        os << row.dump() << "\n";
+    }
+}
+
+std::vector<PredictionRecord> parse_prediction_log(std::istream& is) {
+    const Value header = header_line(is, "pnc-predictions/1");
+    const std::size_t count = count_field(header, "count", 1);
+
+    std::vector<PredictionRecord> predictions;
+    std::string text;
+    std::size_t line = 1;
+    while (std::getline(is, text)) {
+        ++line;
+        if (text.empty()) continue;
+        const Value row = parse_line(text, line);
+        if (!row.is_object()) fail(line, "prediction must be a JSON object");
+        PredictionRecord record;
+        record.seq = count_field(row, "seq", line);
+        if (record.seq != predictions.size())
+            fail(line, "seq " + std::to_string(record.seq) + " out of order (expected " +
+                           std::to_string(predictions.size()) + ")");
+        const double cls = number_field(row, "class", line);
+        if (cls != std::floor(cls)) fail(line, "field 'class' must be an integer");
+        record.predicted_class = static_cast<int>(cls);
+        record.outputs = vector_field(row, "outputs", line);
+        predictions.push_back(std::move(record));
+    }
+    if (predictions.size() != count)
+        fail(line, "header count " + std::to_string(count) + " != " +
+                       std::to_string(predictions.size()) + " prediction lines");
+    return predictions;
+}
+
+std::string validate_requests(const std::string& text) {
+    std::istringstream is(text);
+    try {
+        parse_request_log(is);
+    } catch (const std::exception& e) {
+        return e.what();
+    }
+    return "";
+}
+
+std::string validate_predictions(const std::string& text) {
+    std::istringstream is(text);
+    try {
+        parse_prediction_log(is);
+    } catch (const std::exception& e) {
+        return e.what();
+    }
+    return "";
+}
+
+}  // namespace pnc::serve

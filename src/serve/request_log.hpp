@@ -1,0 +1,60 @@
+// pnc-requests/1 — the deterministic replay format of the serving runtime.
+//
+// JSONL: one header object, then one object per request, in submission
+// order. Replaying the same log through a deterministic ServePipeline
+// yields the same batch boundaries and bitwise-identical predictions at
+// any PNC_NUM_THREADS (tests/test_serve.cpp).
+//
+//   {"schema":"pnc-requests/1","model":"iris","n_features":4,"count":2}
+//   {"seq":0,"features":[0.1,0.2,0.3,0.4]}
+//   {"seq":1,"features":[0.5,0.6,0.7,0.8]}
+//
+// Served results are written back as pnc-predictions/1 (same shape: header
+// then per-request lines with the raw output voltages at 17 significant
+// digits, so a predictions file is a bit-exact witness).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pnc::serve {
+
+struct RequestLog {
+    std::string model;
+    std::size_t n_features = 0;
+    /// One row per request, submission order == line order.
+    std::vector<std::vector<double>> requests;
+};
+
+/// Serialize `log` as pnc-requests/1 JSONL.
+void write_request_log(std::ostream& os, const RequestLog& log);
+
+/// Parse and validate a pnc-requests/1 document. Throws std::runtime_error
+/// with a line-tagged message on malformed input: bad JSON, wrong schema,
+/// missing/mistyped fields, count mismatch, out-of-order seq, or a feature
+/// row whose width disagrees with the header.
+RequestLog parse_request_log(std::istream& is);
+
+struct PredictionRecord {
+    std::size_t seq = 0;
+    int predicted_class = -1;
+    std::vector<double> outputs;
+};
+
+/// Serialize served results as pnc-predictions/1 JSONL (doubles round-trip
+/// through 17 significant digits — bit-exact witness files).
+void write_prediction_log(std::ostream& os, const std::string& model,
+                          const std::vector<PredictionRecord>& predictions);
+
+/// Parse and validate a pnc-predictions/1 document; throws like
+/// parse_request_log.
+std::vector<PredictionRecord> parse_prediction_log(std::istream& is);
+
+/// Non-throwing validators over whole documents: "" when `text` is a
+/// well-formed pnc-requests/1 (resp. pnc-predictions/1) document,
+/// otherwise the line-tagged reason the parser rejects it.
+std::string validate_requests(const std::string& text);
+std::string validate_predictions(const std::string& text);
+
+}  // namespace pnc::serve

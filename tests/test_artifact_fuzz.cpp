@@ -1,0 +1,270 @@
+// Property/fuzz sweep over the artifact parsers.
+//
+// Contract under test: feeding a truncated or mutated artifact document to
+// a validator/parser must end in a *clean typed rejection* — a non-empty
+// violation string (validate_*) or a std::runtime_error (parse_*) — and
+// never a crash, and never silent acceptance of a structurally broken
+// document. Three formats are swept: pnc-yield-report/1, pnc-health/1 and
+// pnc-requests/1, each seeded from a real, valid document so the mutations
+// start one byte away from the accept path.
+//
+// Random byte flips only assert no-crash/self-consistency: a flipped digit
+// inside a free field (a seed, a loss value) legitimately yields a
+// *different valid* document, so "must reject" is asserted only for
+// truncations and targeted structural damage (deleted keys, wrong-typed
+// values, broken counts).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/registry.hpp"
+#include "infer/engine.hpp"
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "pnn/training.hpp"
+#include "serve/request_log.hpp"
+#include "surrogate/dataset_builder.hpp"
+#include "surrogate/design_space.hpp"
+#include "yield/yield_report.hpp"
+
+using namespace pnc;
+using obs::json::Value;
+
+namespace {
+
+const surrogate::SurrogateModel& fuzz_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 250;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 300;
+        train.mlp.patience = 80;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+/// A real, validator-approved pnc-yield-report/1 from a tiny campaign.
+std::string valid_yield_report_text() {
+    static const std::string text = [] {
+        const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+        math::Rng rng(91);
+        pnn::Pnn net({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                     &fuzz_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                     &fuzz_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                     surrogate::DesignSpace::table1(), rng);
+        const infer::CompiledPnn engine(net);
+        yield::YieldCampaignOptions options;
+        options.accuracy_spec = 0.5;
+        options.n_samples = 64;
+        options.round_size = 32;
+        const auto result =
+            yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+        yield::YieldReport report;
+        report.meta.dataset = "iris";
+        report.meta.model_file = "model.pnn";
+        report.meta.mode = options.mode;
+        report.meta.method = options.method;
+        report.meta.accuracy_spec = options.accuracy_spec;
+        report.meta.epsilon = options.epsilon;
+        report.meta.confidence = options.confidence;
+        report.meta.ci_width = options.ci_width;
+        report.meta.n_samples = options.n_samples;
+        report.meta.round_size = options.round_size;
+        report.meta.seed = options.seed;
+        report.meta.antithetic = options.antithetic;
+        report.meta.strata = options.strata;
+        report.meta.test_rows = result.test_rows;
+        report.shard = options.shard;
+        report.rounds = result.rounds;
+        report.result = result.estimate;
+        return yield::yield_report_document(report).dump();
+    }();
+    return text;
+}
+
+/// A real, validator-approved pnc-health/1 flight-recorder dump.
+std::string valid_health_text() {
+    static const std::string text = [] {
+        obs::HealthMonitor monitor({}, {{"seed", "63"}, {"lr_theta", "0.1"}});
+        for (int epoch = 0; epoch < 10; ++epoch) {
+            obs::EpochHealth e;
+            e.epoch = epoch;
+            e.train_loss = 0.3;
+            e.val_loss = 0.3;
+            e.grad_norm_theta = 0.5;
+            e.grad_norm_global = 0.5;
+            monitor.record_epoch(e);
+        }
+        monitor.finish();
+        return monitor.document().dump();
+    }();
+    return text;
+}
+
+std::string valid_request_log_text() {
+    serve::RequestLog log;
+    log.model = "iris";
+    log.n_features = 3;
+    log.requests = {{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}, {0.7, 0.8, 0.9}};
+    std::stringstream ss;
+    serve::write_request_log(ss, log);
+    return ss.str();
+}
+
+enum class Verdict { kRejected, kAccepted };
+
+/// Run one candidate through parse + validate + full parse. The only
+/// forbidden outcomes are a crash (anything escaping that is not the typed
+/// rejection) and an accepted-but-unparsable document.
+Verdict probe_yield(const std::string& text) {
+    Value doc;
+    try {
+        doc = Value::parse(text);
+    } catch (const std::runtime_error&) {
+        return Verdict::kRejected;
+    }
+    const std::string error = yield::validate_yield_report(doc);
+    if (!error.empty()) return Verdict::kRejected;
+    // Validator said yes: the full parser must agree without throwing.
+    // (No re-dump equality here — a mutated-but-valid document may carry
+    // derived fields the parser legitimately normalizes.)
+    EXPECT_NO_THROW(yield::parse_yield_report(doc));
+    return Verdict::kAccepted;
+}
+
+Verdict probe_health(const std::string& text) {
+    Value doc;
+    try {
+        doc = Value::parse(text);
+    } catch (const std::runtime_error&) {
+        return Verdict::kRejected;
+    }
+    const std::string error = obs::validate_health(doc);
+    if (!error.empty()) return Verdict::kRejected;
+    EXPECT_NO_THROW(obs::classify_health(doc));
+    return Verdict::kAccepted;
+}
+
+Verdict probe_request_log(const std::string& text) {
+    // The non-throwing validator and the parser must agree on every input.
+    const std::string error = serve::validate_requests(text);
+    std::stringstream ss(text);
+    try {
+        const serve::RequestLog log = serve::parse_request_log(ss);
+        (void)log;
+    } catch (const std::runtime_error&) {
+        EXPECT_FALSE(error.empty()) << "parser threw but validate_requests accepted";
+        return Verdict::kRejected;
+    }
+    EXPECT_TRUE(error.empty()) << "parser accepted but validate_requests said: " << error;
+    return Verdict::kAccepted;
+}
+
+using Probe = Verdict (*)(const std::string&);
+
+/// Every strict prefix must be rejected — except prefixes that are still a
+/// complete document (a JSONL file minus its trailing newline), which must
+/// then round-trip identically; they may never crash either way.
+void sweep_truncations(const std::string& text, Probe probe, bool jsonl) {
+    for (std::size_t keep = 0; keep + 1 < text.size();
+         keep += std::max<std::size_t>(1, text.size() / 97)) {
+        const std::string candidate = text.substr(0, keep);
+        const Verdict verdict = probe(candidate);
+        const bool complete_line = jsonl && keep == text.size() - 1;
+        if (!complete_line) {
+            EXPECT_EQ(verdict, Verdict::kRejected)
+                << "truncation to " << keep << " bytes was accepted";
+        }
+    }
+}
+
+/// Deterministic byte-flip storm: no assertion on accept/reject (a flipped
+/// digit in a free field is a different valid document) — the probes
+/// themselves assert no crash and accepted => parseable.
+void sweep_byte_flips(const std::string& text, Probe probe, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::size_t> pos(0, text.size() - 1);
+    std::uniform_int_distribution<int> byte(32, 126);
+    for (int i = 0; i < 400; ++i) {
+        std::string candidate = text;
+        candidate[pos(rng)] = static_cast<char>(byte(rng));
+        probe(candidate);
+    }
+    // Multi-byte damage: splice a random window out of the middle.
+    for (int i = 0; i < 100; ++i) {
+        std::string candidate = text;
+        const std::size_t at = pos(rng);
+        candidate.erase(at, std::min<std::size_t>(1 + at % 23, candidate.size() - at));
+        probe(candidate);
+    }
+}
+
+/// Structural damage to a JSON object document: every top-level key
+/// deleted, then every top-level key retyped to a bare number. All are
+/// schema violations and must be rejected.
+void sweep_structural(const std::string& text, Probe probe) {
+    const Value doc = Value::parse(text);
+    ASSERT_TRUE(doc.is_object());
+    for (const auto& [key, value] : doc.members()) {
+        (void)value;
+        Value without = Value::object();
+        for (const auto& [k, v] : doc.members())
+            if (k != key) without.set(k, v);
+        EXPECT_EQ(probe(without.dump()), Verdict::kRejected)
+            << "deleting key '" << key << "' was accepted";
+
+        Value retyped = doc;
+        retyped.set(key, Value::number(3.0));
+        EXPECT_EQ(probe(retyped.dump()), Verdict::kRejected)
+            << "retyping key '" << key << "' to a number was accepted";
+    }
+}
+
+}  // namespace
+
+TEST(ArtifactFuzz, SeedDocumentsAreAccepted) {
+    EXPECT_EQ(probe_yield(valid_yield_report_text()), Verdict::kAccepted);
+    EXPECT_EQ(probe_health(valid_health_text()), Verdict::kAccepted);
+    EXPECT_EQ(probe_request_log(valid_request_log_text()), Verdict::kAccepted);
+}
+
+TEST(ArtifactFuzz, YieldReportTruncationsAreRejected) {
+    sweep_truncations(valid_yield_report_text(), probe_yield, /*jsonl=*/false);
+}
+
+TEST(ArtifactFuzz, YieldReportStructuralDamageIsRejected) {
+    sweep_structural(valid_yield_report_text(), probe_yield);
+}
+
+TEST(ArtifactFuzz, YieldReportByteFlipsNeverCrash) {
+    sweep_byte_flips(valid_yield_report_text(), probe_yield, 0xfeedULL);
+}
+
+TEST(ArtifactFuzz, HealthTruncationsAreRejected) {
+    sweep_truncations(valid_health_text(), probe_health, /*jsonl=*/false);
+}
+
+TEST(ArtifactFuzz, HealthStructuralDamageIsRejected) {
+    sweep_structural(valid_health_text(), probe_health);
+}
+
+TEST(ArtifactFuzz, HealthByteFlipsNeverCrash) {
+    sweep_byte_flips(valid_health_text(), probe_health, 0xbeefULL);
+}
+
+TEST(ArtifactFuzz, RequestLogTruncationsAreRejected) {
+    sweep_truncations(valid_request_log_text(), probe_request_log, /*jsonl=*/true);
+}
+
+TEST(ArtifactFuzz, RequestLogByteFlipsNeverCrash) {
+    sweep_byte_flips(valid_request_log_text(), probe_request_log, 0xcafeULL);
+}

@@ -6,9 +6,11 @@
 
 #include <cctype>
 #include <fstream>
+#include <future>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "data/dataset.hpp"
 #include "faults/campaign.hpp"
@@ -20,6 +22,8 @@
 #include "pnn/certification.hpp"
 #include "pnn/robustness.hpp"
 #include "pnn/training.hpp"
+#include "serve/pipeline.hpp"
+#include "serve/registry.hpp"
 #include "surrogate/dataset_builder.hpp"
 #include "yield/campaign.hpp"
 
@@ -32,14 +36,20 @@ using namespace pnc;
 namespace {
 
 /// Instance-bearing names collapse to their documented patterns:
-/// pool.g<digits>.worker.<digits>.* -> pool.g<G>.worker.<i>.* and
-/// *.samples_with.<kind> -> *.samples_with.<kind>.
+/// pool.g<digits>.worker.<digits>.* -> pool.g<G>.worker.<i>.*,
+/// *.samples_with.<kind> -> *.samples_with.<kind> and
+/// serve.model.<anything>.* -> serve.model.<name>.*.
 std::string normalize(const std::string& name) {
     std::string out;
     std::size_t i = 0;
     const auto starts = [&](const char* token) {
         return name.compare(i, std::string(token).size(), token) == 0;
     };
+    if (name.rfind("serve.model.", 0) == 0) {
+        const std::size_t tail = name.find('.', std::string("serve.model.").size());
+        return tail == std::string::npos ? "serve.model.<name>"
+                                         : "serve.model.<name>" + name.substr(tail);
+    }
     while (i < name.size()) {
         if (starts(".g") && i + 2 < name.size() && std::isdigit(name[i + 2])) {
             out += ".g<G>";
@@ -139,6 +149,39 @@ TEST(MetricCatalogue, EveryRegisteredMetricIsDocumented) {
     campaign_options.round_size = 4;
     yield::run_yield_campaign(compiled, split.x_test, split.y_test, campaign_options);
     yield::compare_yield(compiled, compiled, split.x_test, split.y_test, campaign_options);
+
+    // The serving runtime: registry install/hit/swap/evict plus a drained
+    // pipeline burst (shed included), so every serve.* metric registers.
+    {
+        serve::ModelRegistry registry(1);
+        registry.install("blobs", net);
+        registry.install("blobs", net);  // content hit
+        math::Rng swap_rng(86);
+        pnn::Pnn other({2, 3, 2},
+                       &catalogue_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                       &catalogue_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                       surrogate::DesignSpace::table1(), swap_rng);
+        registry.install("blobs", other);  // hot-swap
+        registry.install("extra", net);    // LRU eviction at capacity 1
+        registry.install("blobs", other);
+
+        serve::ServeOptions serve_options;
+        serve_options.max_batch = 4;
+        serve_options.queue_capacity = 4;
+        serve_options.deterministic = true;
+        serve::ServePipeline pipeline(registry, serve_options);
+        pipeline.pause();
+        std::vector<std::future<serve::Prediction>> futures;
+        std::vector<double> row(2, 0.5);
+        for (int i = 0; i < 4; ++i) futures.push_back(pipeline.submit("blobs", row));
+        try {
+            pipeline.submit("blobs", row);  // queue full: the shed counter
+        } catch (const serve::ServeError&) {
+        }
+        pipeline.resume();
+        pipeline.drain();
+        for (auto& f : futures) f.get();
+    }
 
     const auto shape = net.fault_shape();
     // A high rate so at least one realization actually draws a fault and

@@ -78,6 +78,19 @@ protected:
         return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
     }
 
+    /// Run `pnc <args>` with stdout and stderr captured *separately*, so a
+    /// test can assert which stream a diagnostic landed on.
+    int run_cli_split(const std::string& cli_args, std::string* out, std::string* err) {
+        const std::string out_log = (dir_ / "cli_out.log").string();
+        const std::string err_log = (dir_ / "cli_err.log").string();
+        const std::string cmd = std::string(PNC_CLI_PATH) + " " + cli_args + " > " +
+                                out_log + " 2> " + err_log;
+        const int status = std::system(cmd.c_str());
+        if (out) *out = slurp(out_log);
+        if (err) *err = slurp(err_log);
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
     static std::string slurp(const std::string& path) {
         std::ifstream is(path);
         std::stringstream buffer;
@@ -260,6 +273,28 @@ TEST_F(ObsCliTest, InvalidInvocationsExitWithUsage) {
         EXPECT_EQ(run_cli_rc(args, &output), 2) << args;
         EXPECT_NE(output.find("error:"), std::string::npos) << output;
         EXPECT_NE(output.find("commands:"), std::string::npos) << output;
+    }
+    // Usage diagnostics (the error line AND the help text) belong on
+    // stderr in full: a bad invocation must leave stdout byte-empty so
+    // pipelines never ingest half a help screen as data. Swept across the
+    // newer subcommands too, which used to leak the help text to stdout.
+    for (const std::string& args :
+         {std::string("frobnicate"), std::string("eval --bogus-flag 1"),
+          std::string("serve --bogus 1"), std::string("serve"),
+          std::string("report"), std::string("doctor"),
+          std::string("yield merge"), std::string("curve --points")}) {
+        std::string out, err;
+        EXPECT_EQ(run_cli_split(args, &out, &err), 2) << args;
+        EXPECT_TRUE(out.empty()) << args << " leaked to stdout: " << out;
+        EXPECT_NE(err.find("error:"), std::string::npos) << args;
+        EXPECT_NE(err.find("commands:"), std::string::npos) << args;
+    }
+    // `pnc help` itself is the answer, not a diagnostic: stdout.
+    {
+        std::string out, err;
+        EXPECT_EQ(run_cli_split("help", &out, &err), 0);
+        EXPECT_NE(out.find("commands:"), std::string::npos);
+        EXPECT_TRUE(err.empty()) << err;
     }
     // And a bad invocation must not leave a partial report behind.
     EXPECT_EQ(run_cli_rc("eval --metrics-out " + path("bad_report.json")), 2);

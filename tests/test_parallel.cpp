@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 using pnc::runtime::ThreadPool;
@@ -119,6 +120,34 @@ TEST(ThreadPool, NestedParallelForFallsBackToInline) {
 TEST(ThreadPool, ZeroThreadsTreatedAsOne) {
     ThreadPool pool(0);
     EXPECT_EQ(pool.n_threads(), 1u);
+}
+
+// ---- lifetime churn -------------------------------------------------------
+
+TEST(ThreadPoolChurn, ConstructSubmitDestroyUnderConcurrentMetricsReset) {
+    // Regression lock for the PR 2/3 lifetime fixes: pool workers record
+    // pool.* metrics through references that must stay valid while another
+    // thread empties the registry (reset() retires metric objects instead
+    // of destroying them). Construct/submit/destroy cycles racing a reset
+    // loop is exactly the shape TSan/ASan flagged before the fix.
+    const bool was_enabled = pnc::obs::enabled();
+    pnc::obs::set_enabled(true);
+    std::atomic<bool> stop{false};
+    std::thread resetter([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            pnc::obs::MetricsRegistry::global().reset();
+            std::this_thread::yield();
+        }
+    });
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        ThreadPool pool(3);
+        std::atomic<long> total{0};
+        pool.parallel_for(64, [&](std::size_t i) { total += static_cast<long>(i); });
+        EXPECT_EQ(total.load(), 63l * 64l / 2l) << "cycle " << cycle;
+    }
+    stop.store(true, std::memory_order_relaxed);
+    resetter.join();
+    pnc::obs::set_enabled(was_enabled);
 }
 
 // ---- PNC_NUM_THREADS sizing ----------------------------------------------

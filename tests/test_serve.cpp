@@ -1,0 +1,422 @@
+// Determinism harness for the async serving runtime (src/serve).
+//
+// The serving layer's claim mirrors the compiled engine's: batching is an
+// implementation detail that must not change a single bit. This suite
+// proves it differentially — every dataset, 1 and 4 threads, arbitrary
+// request interleavings — and locks in the surrounding contracts: replay
+// determinism (batch boundaries are a pure function of the request
+// sequence), LRU/hot-swap semantics of the model registry, the typed
+// backpressure/shed policy, and the pnc-requests/1 round trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/registry.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/pipeline.hpp"
+#include "serve/registry.hpp"
+#include "serve/request_log.hpp"
+#include "surrogate/dataset_builder.hpp"
+#include "surrogate/design_space.hpp"
+
+using namespace pnc;
+
+namespace {
+
+const surrogate::SurrogateModel& serve_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 250;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 300;
+        train.mlp.patience = 80;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+/// Untrained random net — the differential comparison only needs the
+/// forward pass, not a good classifier.
+pnn::Pnn make_net(const data::SplitDataset& split, std::uint64_t seed) {
+    math::Rng rng(seed);
+    return pnn::Pnn({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                    &serve_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &serve_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+std::vector<double> row_of(const math::Matrix& x, std::size_t r) {
+    std::vector<double> row(x.cols());
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x(r, c);
+    return row;
+}
+
+/// RAII thread-count override (the global pool is process-wide state).
+class ThreadGuard {
+public:
+    explicit ThreadGuard(std::size_t n) { runtime::set_global_threads(n); }
+    ~ThreadGuard() {
+        runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    }
+};
+
+int reference_argmax(const math::Matrix& out, std::size_t r) {
+    int best = 0;
+    for (std::size_t c = 1; c < out.cols(); ++c)
+        if (out(r, c) > out(r, static_cast<std::size_t>(best))) best = static_cast<int>(c);
+    return best;
+}
+
+}  // namespace
+
+// ---- the headline claim: serving == reference, bit for bit ------------------
+
+class ServeDifferential : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServeDifferential, ServedPredictionsMatchReferenceBitwise) {
+    const std::string name = GetParam();
+    const auto split = data::split_and_normalize(data::make_dataset(name), 66);
+    const auto net = make_net(split, 91);
+    const math::Matrix reference = net.predict(split.x_test);
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadGuard guard(threads);
+        // Prime-ish batch limit so the test rows split into ragged
+        // micro-batches that never align with the engine's own chunking.
+        serve::ModelRegistry registry;
+        registry.install(name, net);
+        serve::ServeOptions options;
+        options.max_batch = 7;
+        options.deterministic = true;
+        serve::ServePipeline pipeline(registry, options);
+
+        std::vector<std::future<serve::Prediction>> futures;
+        for (std::size_t r = 0; r < split.x_test.rows(); ++r)
+            futures.push_back(pipeline.submit_or_wait(name, row_of(split.x_test, r)));
+        pipeline.drain();
+
+        for (std::size_t r = 0; r < futures.size(); ++r) {
+            const serve::Prediction p = futures[r].get();
+            ASSERT_EQ(p.outputs.size(), reference.cols());
+            for (std::size_t c = 0; c < reference.cols(); ++c)
+                ASSERT_DOUBLE_EQ(p.outputs[c], reference(r, c))
+                    << name << " threads=" << threads << " row " << r << " col " << c;
+            EXPECT_EQ(p.predicted_class, reference_argmax(reference, r))
+                << name << " threads=" << threads << " row " << r;
+        }
+    }
+}
+
+namespace {
+std::vector<std::string> all_dataset_names() {
+    std::vector<std::string> names;
+    for (const auto& spec : data::benchmark_specs()) names.push_back(spec.name);
+    return names;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, ServeDifferential,
+                         ::testing::ValuesIn(all_dataset_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                             return info.param;
+                         });
+
+// ---- interleaving invariance -------------------------------------------------
+
+TEST(ServeInterleaving, BatchCompositionCannotChangeAnyBit) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net_a = make_net(split, 91);
+    const auto net_b = make_net(split, 137);
+    const math::Matrix ref_a = net_a.predict(split.x_test);
+    const math::Matrix ref_b = net_b.predict(split.x_test);
+
+    // Two models, requests interleaved A,B,A,B,... at several batch limits:
+    // every served row must still equal its own model's reference row.
+    for (const std::size_t max_batch : {std::size_t{1}, std::size_t{3}, std::size_t{32}}) {
+        serve::ModelRegistry registry;
+        registry.install("a", net_a);
+        registry.install("b", net_b);
+        serve::ServeOptions options;
+        options.max_batch = max_batch;
+        options.deterministic = true;
+        serve::ServePipeline pipeline(registry, options);
+
+        std::vector<std::future<serve::Prediction>> futures;
+        for (std::size_t r = 0; r < split.x_test.rows(); ++r)
+            futures.push_back(pipeline.submit_or_wait(r % 2 == 0 ? "a" : "b",
+                                                      row_of(split.x_test, r)));
+        pipeline.drain();
+
+        for (std::size_t r = 0; r < futures.size(); ++r) {
+            const serve::Prediction p = futures[r].get();
+            const math::Matrix& reference = r % 2 == 0 ? ref_a : ref_b;
+            for (std::size_t c = 0; c < reference.cols(); ++c)
+                ASSERT_DOUBLE_EQ(p.outputs[c], reference(r, c))
+                    << "max_batch=" << max_batch << " row " << r << " col " << c;
+        }
+    }
+}
+
+TEST(ServeInterleaving, ReplayBatchBoundariesAreDeterministic) {
+    const auto split = data::split_and_normalize(data::make_dataset("seeds"), 66);
+    const auto net = make_net(split, 91);
+
+    // Same request sequence, two runs, both thread counts: identical
+    // micro-batch assignment (seq and occupancy), not just identical bits.
+    std::vector<std::pair<std::uint64_t, std::size_t>> first;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadGuard guard(threads);
+        for (int repeat = 0; repeat < 2; ++repeat) {
+            serve::ModelRegistry registry;
+            registry.install("seeds", net);
+            serve::ServeOptions options;
+            options.max_batch = 5;
+            options.deterministic = true;
+            serve::ServePipeline pipeline(registry, options);
+
+            std::vector<std::future<serve::Prediction>> futures;
+            for (std::size_t r = 0; r < split.x_test.rows(); ++r)
+                futures.push_back(pipeline.submit_or_wait("seeds", row_of(split.x_test, r)));
+            pipeline.drain();
+
+            std::vector<std::pair<std::uint64_t, std::size_t>> batches;
+            for (auto& f : futures) {
+                const serve::Prediction p = f.get();
+                batches.emplace_back(p.batch_seq, p.batch_rows);
+            }
+            if (first.empty()) {
+                first = batches;
+                // A full submission burst must pack full batches: every
+                // micro-batch except possibly the last is at max_batch.
+                for (std::size_t i = 0; i + options.max_batch < batches.size(); ++i)
+                    EXPECT_EQ(batches[i].second, options.max_batch) << "row " << i;
+            } else {
+                EXPECT_EQ(batches, first)
+                    << "threads=" << threads << " repeat=" << repeat;
+            }
+        }
+    }
+}
+
+// ---- model registry: LRU, content hash, hot-swap, eviction -------------------
+
+TEST(ModelRegistry, LruEvictionAndContentHash) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net_a = make_net(split, 1);
+    const auto net_b = make_net(split, 2);
+    const auto net_c = make_net(split, 3);
+    EXPECT_NE(serve::ModelRegistry::content_hash(net_a),
+              serve::ModelRegistry::content_hash(net_b));
+    EXPECT_EQ(serve::ModelRegistry::content_hash(net_a),
+              serve::ModelRegistry::content_hash(net_a));
+
+    serve::ModelRegistry registry(2);
+    const auto a = registry.install("a", net_a);
+    registry.install("b", net_b);
+    // Same content: the registry must hand back the already-compiled plan.
+    EXPECT_EQ(registry.install("a", net_a).get(), a.get());
+
+    // "b" is now least recently used; installing "c" evicts it.
+    registry.install("c", net_c);
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.try_get("b"), nullptr);
+    EXPECT_THROW(registry.get("b"), serve::ServeError);
+    try {
+        registry.get("b");
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), serve::ServeErrorCode::kUnknownModel);
+        EXPECT_STREQ(serve::serve_error_name(e.code()), "unknown_model");
+    }
+    EXPECT_EQ(registry.names(), (std::vector<std::string>{"c", "a"}));
+
+    // Hot-swap: same name, different parameters, new plan — the pointer
+    // handed out before the swap stays valid and keeps its old hash.
+    const auto swapped = registry.install("a", net_b);
+    EXPECT_NE(swapped.get(), a.get());
+    EXPECT_NE(swapped->content_hash, a->content_hash);
+    EXPECT_EQ(a->content_hash, serve::ModelRegistry::content_hash(net_a));
+}
+
+TEST(ModelRegistry, InFlightRequestsSurviveEvictionAndHotSwap) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net_old = make_net(split, 91);
+    const auto net_new = make_net(split, 92);
+    const math::Matrix ref_old = net_old.predict(split.x_test);
+    const math::Matrix ref_new = net_new.predict(split.x_test);
+    const std::uint64_t hash_old = serve::ModelRegistry::content_hash(net_old);
+    const std::uint64_t hash_new = serve::ModelRegistry::content_hash(net_new);
+
+    serve::ModelRegistry registry;
+    registry.install("m", net_old);
+    serve::ServeOptions options;
+    options.max_batch = 8;
+    options.deterministic = true;
+    serve::ServePipeline pipeline(registry, options);
+
+    // Park three requests in the queue (deterministic mode holds a partial
+    // batch until max_batch, a model change, or drain), then hot-swap the
+    // registry entry underneath them.
+    std::vector<std::future<serve::Prediction>> old_futures;
+    pipeline.pause();
+    for (std::size_t r = 0; r < 3; ++r)
+        old_futures.push_back(pipeline.submit("m", row_of(split.x_test, r)));
+    registry.install("m", net_new);
+    pipeline.resume();
+
+    // Post-swap submissions resolve the new plan.
+    auto new_future = pipeline.submit("m", row_of(split.x_test, 3));
+    pipeline.drain();
+
+    for (std::size_t r = 0; r < old_futures.size(); ++r) {
+        const serve::Prediction p = old_futures[r].get();
+        EXPECT_EQ(p.model_hash, hash_old) << "in-flight row must use the old plan";
+        for (std::size_t c = 0; c < ref_old.cols(); ++c)
+            ASSERT_DOUBLE_EQ(p.outputs[c], ref_old(r, c)) << "row " << r;
+    }
+    const serve::Prediction p_new = new_future.get();
+    EXPECT_EQ(p_new.model_hash, hash_new);
+    for (std::size_t c = 0; c < ref_new.cols(); ++c)
+        ASSERT_DOUBLE_EQ(p_new.outputs[c], ref_new(3, c));
+
+    // Eviction: queued requests still complete on the plan they resolved;
+    // later submissions get the typed unknown-model error.
+    pipeline.pause();
+    auto parked = pipeline.submit("m", row_of(split.x_test, 0));
+    ASSERT_TRUE(registry.evict("m"));
+    pipeline.resume();
+    pipeline.drain();
+    EXPECT_EQ(parked.get().model_hash, hash_new);
+    EXPECT_THROW(pipeline.submit("m", row_of(split.x_test, 0)), serve::ServeError);
+}
+
+// ---- backpressure and typed errors -------------------------------------------
+
+TEST(ServeBackpressure, QueueFullShedsWithTypedErrorAndNeverBlocks) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net = make_net(split, 91);
+    serve::ModelRegistry registry;
+    registry.install("iris", net);
+
+    serve::ServeOptions options;
+    options.max_batch = 4;
+    options.queue_capacity = 4;  // clamp keeps it at max_batch
+    options.deterministic = true;
+    serve::ServePipeline pipeline(registry, options);
+    pipeline.pause();  // hold the batcher so the queue fills deterministically
+
+    std::vector<std::future<serve::Prediction>> futures;
+    for (std::size_t r = 0; r < 4; ++r)
+        futures.push_back(pipeline.submit("iris", row_of(split.x_test, r)));
+    EXPECT_EQ(pipeline.queue_depth(), 4u);
+    try {
+        pipeline.submit("iris", row_of(split.x_test, 4));
+        FAIL() << "submit into a full queue must shed";
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), serve::ServeErrorCode::kQueueFull);
+    }
+
+    pipeline.resume();
+    pipeline.drain();
+    for (auto& f : futures) EXPECT_GE(f.get().predicted_class, 0);
+}
+
+TEST(ServeBackpressure, BadRequestAndShutdownAreTyped) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net = make_net(split, 91);
+    serve::ModelRegistry registry;
+    registry.install("iris", net);
+    serve::ServePipeline pipeline(registry);
+
+    try {
+        pipeline.submit("iris", std::vector<double>(split.n_features() + 1, 0.1));
+        FAIL() << "feature-count mismatch must be rejected";
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), serve::ServeErrorCode::kBadRequest);
+    }
+    try {
+        pipeline.submit("nope", row_of(split.x_test, 0));
+        FAIL() << "unknown model must be rejected";
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), serve::ServeErrorCode::kUnknownModel);
+    }
+
+    // Shutdown fails parked requests with the typed error and rejects new
+    // submissions; neither path hangs.
+    pipeline.pause();
+    auto parked = pipeline.submit("iris", row_of(split.x_test, 0));
+    pipeline.stop();
+    EXPECT_THROW(parked.get(), serve::ServeError);
+    try {
+        pipeline.submit("iris", row_of(split.x_test, 0));
+        FAIL() << "submit after stop must be rejected";
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), serve::ServeErrorCode::kShutdown);
+    }
+}
+
+// ---- pnc-requests/1 round trip and rejection ---------------------------------
+
+TEST(RequestLog, RoundTripIsBitExact) {
+    serve::RequestLog log;
+    log.model = "iris";
+    log.n_features = 3;
+    log.requests = {{0.1, 0.25, 1.0 / 3.0}, {1e-17, 0.99999999999999989, 0.5}};
+
+    std::stringstream ss;
+    serve::write_request_log(ss, log);
+    const serve::RequestLog parsed = serve::parse_request_log(ss);
+    EXPECT_EQ(parsed.model, log.model);
+    EXPECT_EQ(parsed.n_features, log.n_features);
+    ASSERT_EQ(parsed.requests.size(), log.requests.size());
+    for (std::size_t r = 0; r < log.requests.size(); ++r)
+        for (std::size_t c = 0; c < log.n_features; ++c)
+            EXPECT_DOUBLE_EQ(parsed.requests[r][c], log.requests[r][c]);
+
+    std::stringstream ps;
+    serve::write_prediction_log(ps, "iris", {{0, 2, {0.1, 0.2, 0.70000000000000007}}});
+    EXPECT_EQ(serve::validate_predictions(ps.str()), "");
+    const auto predictions = serve::parse_prediction_log(ps);
+    ASSERT_EQ(predictions.size(), 1u);
+    EXPECT_EQ(predictions[0].predicted_class, 2);
+    EXPECT_DOUBLE_EQ(predictions[0].outputs[2], 0.70000000000000007);
+    EXPECT_NE(serve::validate_predictions("not json"), "");
+}
+
+TEST(RequestLog, MalformedDocumentsAreRejectedWithReasons) {
+    const auto expect_rejected = [](const std::string& doc, const std::string& why) {
+        std::stringstream ss(doc);
+        EXPECT_THROW(serve::parse_request_log(ss), std::runtime_error) << why;
+        // The validator mirrors the parser with a line-tagged reason.
+        EXPECT_NE(serve::validate_requests(doc).find("request log line"),
+                  std::string::npos)
+            << why;
+    };
+    expect_rejected("", "empty document");
+    expect_rejected("{\"schema\":\"pnc-requests/2\",\"model\":\"m\",\"n_features\":1,"
+                    "\"count\":0}\n",
+                    "wrong schema version");
+    expect_rejected("{\"schema\":\"pnc-requests/1\",\"model\":\"m\",\"count\":0}\n",
+                    "missing n_features");
+    expect_rejected("{\"schema\":\"pnc-requests/1\",\"model\":\"m\",\"n_features\":2,"
+                    "\"count\":2}\n{\"seq\":0,\"features\":[0.1,0.2]}\n",
+                    "header count mismatch");
+    expect_rejected("{\"schema\":\"pnc-requests/1\",\"model\":\"m\",\"n_features\":2,"
+                    "\"count\":1}\n{\"seq\":1,\"features\":[0.1,0.2]}\n",
+                    "out-of-order seq");
+    expect_rejected("{\"schema\":\"pnc-requests/1\",\"model\":\"m\",\"n_features\":2,"
+                    "\"count\":1}\n{\"seq\":0,\"features\":[0.1]}\n",
+                    "feature width disagrees with header");
+    expect_rejected("{\"schema\":\"pnc-requests/1\",\"model\":\"m\",\"n_features\":1,"
+                    "\"count\":1}\n{\"seq\":0,\"features\":[\"x\"]}\n",
+                    "non-numeric feature");
+}

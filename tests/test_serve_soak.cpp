@@ -1,0 +1,193 @@
+// Concurrent soak of the serving runtime — the TSan target.
+//
+// Many submitter threads hammer a ServePipeline in timed (deadline-flush)
+// mode while a churn thread hot-swaps and evicts registry entries and
+// periodically resets the global metrics registry. The assertions are
+// lifetime invariants, not bit-level ones (test_serve.cpp owns those):
+//
+//   * every future either yields a Prediction carrying the content hash of
+//     a plan that was installed at some point, or fails with a typed
+//     ServeError — never a crash, never a mixed-plan row;
+//   * shed (queue-full) and unknown-model rejections are typed and leave
+//     the pipeline serviceable;
+//   * the pipeline drains and shuts down cleanly with requests in flight.
+//
+// Run under TSan via the CI sanitize job (ctest -R ...|Serve).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/registry.hpp"
+#include "obs/metrics.hpp"
+#include "pnn/training.hpp"
+#include "serve/pipeline.hpp"
+#include "serve/registry.hpp"
+#include "surrogate/dataset_builder.hpp"
+#include "surrogate/design_space.hpp"
+
+using namespace pnc;
+
+namespace {
+
+const surrogate::SurrogateModel& soak_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 250;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 300;
+        train.mlp.patience = 80;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+pnn::Pnn make_net(const data::SplitDataset& split, std::uint64_t seed) {
+    math::Rng rng(seed);
+    return pnn::Pnn({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                    &soak_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &soak_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+}  // namespace
+
+TEST(ServeSoak, SubmittersVersusHotSwapVersusEvictionVersusMetricsReset) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+
+    // Three parameterizations of the same topology: distinct content hashes,
+    // interchangeable request shapes.
+    std::vector<pnn::Pnn> nets;
+    std::set<std::uint64_t> known_hashes;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        nets.push_back(make_net(split, seed));
+        known_hashes.insert(serve::ModelRegistry::content_hash(nets.back()));
+    }
+    const std::vector<std::string> names = {"m0", "m1"};
+    const std::vector<double> features(split.n_features(), 0.25);
+
+    obs::set_enabled(true);
+    serve::ModelRegistry registry(/*capacity=*/2);
+    registry.install("m0", nets[0]);
+    registry.install("m1", nets[1]);
+
+    serve::ServeOptions options;
+    options.max_batch = 8;
+    options.flush_deadline_ms = 0.05;  // tiny deadline: exercise timed flushes
+    options.queue_capacity = 64;
+
+    constexpr int kSubmitters = 6;
+    constexpr int kRequestsPerSubmitter = 400;
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> unknown{0};
+    std::atomic<bool> churn_stop{false};
+
+    {
+        serve::ServePipeline pipeline(registry, options);
+
+        // Churn: hot-swap both names across the three nets, evict/reinstall,
+        // and reset the metrics registry mid-flight.
+        std::thread churn([&] {
+            std::mt19937_64 rng(7);
+            int round = 0;
+            while (!churn_stop.load(std::memory_order_relaxed)) {
+                const std::string& name = names[round % names.size()];
+                switch (round % 4) {
+                    case 0:
+                    case 1: registry.install(name, nets[rng() % nets.size()]); break;
+                    case 2: registry.evict(name); break;
+                    case 3: obs::MetricsRegistry::global().reset(); break;
+                }
+                ++round;
+                std::this_thread::yield();
+            }
+            // Leave both names present so late submitters can finish.
+            registry.install("m0", nets[0]);
+            registry.install("m1", nets[1]);
+        });
+
+        std::vector<std::thread> submitters;
+        for (int t = 0; t < kSubmitters; ++t) {
+            submitters.emplace_back([&, t] {
+                std::vector<std::future<serve::Prediction>> futures;
+                for (int i = 0; i < kRequestsPerSubmitter; ++i) {
+                    const std::string& name = names[(t + i) % names.size()];
+                    try {
+                        futures.push_back(pipeline.submit(name, features));
+                    } catch (const serve::ServeError& e) {
+                        if (e.code() == serve::ServeErrorCode::kQueueFull)
+                            shed.fetch_add(1, std::memory_order_relaxed);
+                        else if (e.code() == serve::ServeErrorCode::kUnknownModel)
+                            unknown.fetch_add(1, std::memory_order_relaxed);
+                        else
+                            ADD_FAILURE() << "unexpected ServeError "
+                                          << serve::serve_error_name(e.code());
+                    }
+                }
+                for (auto& f : futures) {
+                    const serve::Prediction p = f.get();
+                    EXPECT_EQ(p.outputs.size(), static_cast<std::size_t>(split.n_classes));
+                    EXPECT_TRUE(known_hashes.count(p.model_hash))
+                        << "served by a plan that was never installed";
+                    EXPECT_GE(p.predicted_class, 0);
+                    completed.fetch_add(1, std::memory_order_relaxed);
+                }
+            });
+        }
+        for (auto& thread : submitters) thread.join();
+        churn_stop.store(true, std::memory_order_relaxed);
+        churn.join();
+        pipeline.drain();
+
+        // The pipeline is still serviceable after the storm.
+        auto last = pipeline.submit_or_wait("m0", features);
+        pipeline.drain();
+        EXPECT_TRUE(known_hashes.count(last.get().model_hash));
+    }
+
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(kSubmitters) * kRequestsPerSubmitter;
+    EXPECT_EQ(completed.load() + shed.load() + unknown.load(), total);
+    EXPECT_GT(completed.load(), 0u);
+    obs::set_enabled(false);
+}
+
+TEST(ServeSoak, DestructionWithParkedRequestsIsClean) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net = make_net(split, 5);
+    serve::ModelRegistry registry;
+    registry.install("m", net);
+    const std::vector<double> features(split.n_features(), 0.5);
+
+    // Destroy the pipeline with requests parked in the queue: they must all
+    // fail with the typed shutdown error, and nothing may leak or hang.
+    std::vector<std::future<serve::Prediction>> parked;
+    {
+        serve::ServeOptions options;
+        options.max_batch = 64;
+        options.deterministic = true;  // partial batch is held, never flushed
+        serve::ServePipeline pipeline(registry, options);
+        pipeline.pause();
+        for (int i = 0; i < 5; ++i) parked.push_back(pipeline.submit("m", features));
+    }
+    for (auto& f : parked) {
+        try {
+            f.get();
+            ADD_FAILURE() << "parked request survived pipeline destruction";
+        } catch (const serve::ServeError& e) {
+            EXPECT_EQ(e.code(), serve::ServeErrorCode::kShutdown);
+        }
+    }
+}

@@ -178,3 +178,24 @@ TEST_F(YieldCliTest, InvalidInvocationsExitWithUsage) {
         EXPECT_NE(output.find("error:"), std::string::npos) << args << "\n" << output;
     }
 }
+
+TEST_F(YieldCliTest, UsageErrorsLandEntirelyOnStderr) {
+    // Split-stream check for the yield subcommands: the error line and the
+    // help screen both go to stderr, stdout stays byte-empty — a scripted
+    // `pnc yield ... > report.json` must never capture half a help text.
+    for (const std::string& args :
+         {std::string("yield frobnicate"), std::string("yield merge"),
+          std::string("yield --bogus 1")}) {
+        const std::string out_log = path("usage_out.log");
+        const std::string err_log = path("usage_err.log");
+        const std::string cmd = std::string(PNC_CLI_PATH) + " " + args + " > " +
+                                out_log + " 2> " + err_log;
+        const int status = std::system(cmd.c_str());
+        EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 2) << args;
+        EXPECT_TRUE(slurp(out_log).empty())
+            << args << " leaked to stdout: " << slurp(out_log);
+        const std::string err = slurp(err_log);
+        EXPECT_NE(err.find("error:"), std::string::npos) << args;
+        EXPECT_NE(err.find("commands:"), std::string::npos) << args;
+    }
+}

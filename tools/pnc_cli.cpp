@@ -32,6 +32,22 @@
 //   pnc report     check [CANDIDATE.json] --baseline B.json
 //                  [--tolerance-file F] [--timing-warn-only 1]
 //   pnc doctor     HEALTH.json
+//   pnc serve      --dataset iris --emit-requests R.jsonl [--requests N] [--seed N]
+//   pnc serve      --model model.pnn --replay R.jsonl [--batch B] [--queue-cap Q]
+//                  [--check-reference 0|1] [--predictions-out P.jsonl]
+//   pnc serve      --model model.pnn --dataset iris --self-load N [--batch B]
+//                  [--deadline-ms D] [--queue-cap Q] [--submitters S]
+//
+// `serve` drives the async batched serving runtime (src/serve,
+// docs/ARCHITECTURE.md "The serving runtime"). --emit-requests writes a
+// pnc-requests/1 log from a dataset's test rows; --replay feeds a log
+// through a *deterministic* pipeline (deadline flush disabled — batch
+// boundaries are a pure function of the request sequence and --batch) and,
+// with --check-reference 1 (the default), exits 1 unless every served
+// output voltage is bitwise-identical to the reference forward pass.
+// --self-load measures throughput: S submitter threads push N total
+// requests through the timed micro-batcher and the summary reports
+// samples/sec, p50/p99 latency and shed (queue-full) counts.
 //
 // `yield` runs the large-scale Monte-Carlo yield campaign (src/yield) on
 // the compiled engine; docs/YIELD.md is the statistical contract. --seed
@@ -73,7 +89,11 @@
 // Surrogate models are loaded from (or built into) the artifact cache, the
 // same one the benches use ($PNC_ARTIFACTS, default ./artifacts).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <future>
+#include <thread>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -98,6 +118,8 @@
 #include "pnn/robustness.hpp"
 #include "pnn/serialize.hpp"
 #include "pnn/training.hpp"
+#include "serve/pipeline.hpp"
+#include "serve/request_log.hpp"
 #include "yield/campaign.hpp"
 #include "yield/yield_report.hpp"
 
@@ -789,23 +811,215 @@ int cmd_doctor(const Args& args) {
     return 0;
 }
 
-int cmd_help() {
-    std::puts("pnc — printed neuromorphic circuit designer");
-    std::puts("commands: curve fit datasets dataset train eval certify yield export cost "
-              "report doctor help");
-    std::puts("global flags: --metrics-out report.json  --trace-out trace.json");
-    std::puts("              --events-out events.jsonl  --chrome-trace-out trace.json");
-    std::puts("              --health-out health.json   (training flight recorder)");
-    std::puts("report: pnc report diff A.json B.json | pnc report check [CAND.json]");
-    std::puts("        --baseline B.json [--tolerance-file F] [--timing-warn-only 1]");
-    std::puts("doctor: pnc doctor HEALTH.json   (exit 4 when training diverged)");
-    std::puts("yield:  pnc yield --model M --dataset D [--samples N --ci-width W");
-    std::puts("        --shard i/N --report shard.json --min-yield Y] (exit 3 when");
-    std::puts("        uncertified); pnc yield merge SHARD.json... --out MERGED.json");
-    std::puts("fault flags (eval): --fault-model NAME --fault-rate R --spec A "
-              "--fault-report f.json");
-    std::puts("eval backend: --backend reference|compiled (or PNC_INFER_BACKEND)");
-    std::puts("see the header of tools/pnc_cli.cpp for the option reference");
+/// Request rows for `serve`: the dataset's normalized test rows, cycled
+/// when more requests than rows are asked for.
+std::vector<std::vector<double>> serve_rows(const math::Matrix& x_test, std::size_t n) {
+    std::vector<std::vector<double>> rows(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = i % x_test.rows();
+        rows[i].resize(x_test.cols());
+        for (std::size_t c = 0; c < x_test.cols(); ++c) rows[i][c] = x_test(r, c);
+    }
+    return rows;
+}
+
+int cmd_serve_emit(const Args& args) {
+    const std::string out_path = args.get("emit-requests");
+    const auto split = data::split_and_normalize(
+        data::make_dataset(args.require("dataset")),
+        static_cast<std::uint64_t>(args.number("seed", 99)));
+    const auto n = static_cast<std::size_t>(
+        args.number("requests", static_cast<double>(split.x_test.rows())));
+    if (n == 0) throw UsageError("--requests must be positive");
+
+    serve::RequestLog log;
+    log.model = args.require("dataset");
+    log.n_features = split.x_test.cols();
+    log.requests = serve_rows(split.x_test, n);
+    std::ofstream os(out_path);
+    if (!os) throw UsageError("cannot write request log " + out_path);
+    serve::write_request_log(os, log);
+    std::printf("request log written to %s (%zu requests, %zu features, model '%s')\n",
+                out_path.c_str(), log.requests.size(), log.n_features, log.model.c_str());
+    return 0;
+}
+
+int cmd_serve_replay(const Args& args) {
+    const std::string replay_path = args.get("replay");
+    std::ifstream is(replay_path);
+    if (!is) throw UsageError("cannot open request log " + replay_path);
+    const serve::RequestLog log = serve::parse_request_log(is);
+
+    const auto surrogates = load_surrogates();
+    const auto net = load_model(args, surrogates);
+
+    serve::ModelRegistry registry;
+    registry.install(log.model, net);
+    serve::ServeOptions options;
+    options.max_batch = static_cast<std::size_t>(args.number("batch", 32));
+    options.queue_capacity = static_cast<std::size_t>(args.number("queue-cap", 1024));
+    options.deterministic = true;  // replay contract: deadline flush disabled
+
+    std::vector<serve::Prediction> served;
+    served.reserve(log.requests.size());
+    {
+        serve::ServePipeline pipeline(registry, options);
+        std::vector<std::future<serve::Prediction>> futures;
+        futures.reserve(log.requests.size());
+        for (const auto& row : log.requests)
+            futures.push_back(pipeline.submit_or_wait(log.model, row));
+        pipeline.drain();
+        for (auto& f : futures) served.push_back(f.get());
+    }
+
+    std::size_t batches = 0, max_occupancy = 0;
+    for (const auto& p : served) {
+        batches = std::max<std::size_t>(batches, p.batch_seq + 1);
+        max_occupancy = std::max(max_occupancy, p.batch_rows);
+    }
+    std::printf("replayed %zu requests for '%s' in %zu micro-batches "
+                "(max occupancy %zu, batch limit %zu)\n",
+                served.size(), log.model.c_str(), batches, max_occupancy,
+                options.max_batch);
+
+    if (const std::string out_path = args.get("predictions-out"); !out_path.empty()) {
+        std::vector<serve::PredictionRecord> records(served.size());
+        for (std::size_t i = 0; i < served.size(); ++i)
+            records[i] = {i, served[i].predicted_class, served[i].outputs};
+        std::ofstream os(out_path);
+        if (!os) throw UsageError("cannot write predictions " + out_path);
+        serve::write_prediction_log(os, log.model, records);
+        std::printf("predictions written to %s\n", out_path.c_str());
+    }
+
+    if (args.number("check-reference", 1) != 0) {
+        math::Matrix x(log.requests.size(), log.n_features);
+        for (std::size_t r = 0; r < log.requests.size(); ++r)
+            for (std::size_t c = 0; c < log.n_features; ++c) x(r, c) = log.requests[r][c];
+        const math::Matrix reference = net.predict(x);
+        std::size_t mismatched = 0;
+        for (std::size_t r = 0; r < served.size(); ++r)
+            for (std::size_t c = 0; c < reference.cols(); ++c)
+                if (served[r].outputs[c] != reference(r, c)) {
+                    ++mismatched;
+                    break;
+                }
+        if (mismatched > 0) {
+            std::fprintf(stderr,
+                         "serve: %zu/%zu rows differ from the reference forward pass\n",
+                         mismatched, served.size());
+            return 1;
+        }
+        std::printf("bit-identity vs reference: OK (%zu/%zu rows)\n", served.size(),
+                    served.size());
+    }
+    return 0;
+}
+
+int cmd_serve_self_load(const Args& args) {
+    const auto total = static_cast<std::size_t>(args.number("self-load", 0));
+    if (total == 0) throw UsageError("--self-load needs a positive request count");
+    const auto submitters =
+        std::max<std::size_t>(1, static_cast<std::size_t>(args.number("submitters", 4)));
+
+    const auto surrogates = load_surrogates();
+    const auto net = load_model(args, surrogates);
+    const std::string dataset = args.require("dataset");
+    const auto split = data::split_and_normalize(
+        data::make_dataset(dataset), static_cast<std::uint64_t>(args.number("seed", 99)));
+    const auto rows = serve_rows(split.x_test, split.x_test.rows());
+
+    serve::ModelRegistry registry;
+    registry.install(dataset, net);
+    serve::ServeOptions options;
+    options.max_batch = static_cast<std::size_t>(args.number("batch", 32));
+    options.flush_deadline_ms = args.number("deadline-ms", 2.0);
+    options.queue_capacity = static_cast<std::size_t>(args.number("queue-cap", 1024));
+
+    // Latency histograms need the metrics registry regardless of the
+    // telemetry flags; results are unchanged.
+    obs::set_enabled(true);
+
+    std::atomic<std::size_t> sheds{0};
+    const auto start = std::chrono::steady_clock::now();
+    {
+        serve::ServePipeline pipeline(registry, options);
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < submitters; ++t) {
+            threads.emplace_back([&, t] {
+                std::vector<std::future<serve::Prediction>> futures;
+                for (std::size_t i = t; i < total; i += submitters) {
+                    try {
+                        // Shed-first submission: exercise the backpressure
+                        // policy, then fall back to the lossless path so
+                        // every request is eventually served.
+                        futures.push_back(pipeline.submit(dataset, rows[i % rows.size()]));
+                    } catch (const serve::ServeError& e) {
+                        if (e.code() != serve::ServeErrorCode::kQueueFull) throw;
+                        sheds.fetch_add(1, std::memory_order_relaxed);
+                        futures.push_back(
+                            pipeline.submit_or_wait(dataset, rows[i % rows.size()]));
+                    }
+                }
+                for (auto& f : futures) f.get();
+            });
+        }
+        for (auto& thread : threads) thread.join();
+        pipeline.drain();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    double p50 = 0, p99 = 0;
+    for (const auto& h : obs::MetricsRegistry::global().snapshot().histograms)
+        if (h.name == "serve.request.latency_seconds") {
+            p50 = h.quantile(0.50);
+            p99 = h.quantile(0.99);
+        }
+    std::printf("self-load '%s': %zu requests, %zu submitters, batch %zu: "
+                "%.0f samples/sec, p50 %.3f ms, p99 %.3f ms, %zu shed\n",
+                dataset.c_str(), total, submitters, options.max_batch,
+                seconds > 0 ? static_cast<double>(total) / seconds : 0.0, p50 * 1e3,
+                p99 * 1e3, sheds.load());
+    return 0;
+}
+
+int cmd_serve(const Args& args) {
+    const int modes = (args.get("emit-requests").empty() ? 0 : 1) +
+                      (args.get("replay").empty() ? 0 : 1) +
+                      (args.get("self-load").empty() ? 0 : 1);
+    if (modes != 1)
+        throw UsageError(
+            "serve needs exactly one of --emit-requests / --replay / --self-load");
+    if (!args.get("emit-requests").empty()) return cmd_serve_emit(args);
+    if (!args.get("replay").empty()) return cmd_serve_replay(args);
+    return cmd_serve_self_load(args);
+}
+
+/// `out` is stdout for `pnc help` and stderr from the usage-error path in
+/// main() — diagnostics never pollute a command's machine-readable stdout.
+int cmd_help(std::FILE* out = stdout) {
+    std::fputs("pnc — printed neuromorphic circuit designer\n", out);
+    std::fputs("commands: curve fit datasets dataset train eval certify yield export cost "
+               "report doctor serve help\n", out);
+    std::fputs("global flags: --metrics-out report.json  --trace-out trace.json\n", out);
+    std::fputs("              --events-out events.jsonl  --chrome-trace-out trace.json\n", out);
+    std::fputs("              --health-out health.json   (training flight recorder)\n", out);
+    std::fputs("report: pnc report diff A.json B.json | pnc report check [CAND.json]\n", out);
+    std::fputs("        --baseline B.json [--tolerance-file F] [--timing-warn-only 1]\n", out);
+    std::fputs("doctor: pnc doctor HEALTH.json   (exit 4 when training diverged)\n", out);
+    std::fputs("yield:  pnc yield --model M --dataset D [--samples N --ci-width W\n", out);
+    std::fputs("        --shard i/N --report shard.json --min-yield Y] (exit 3 when\n", out);
+    std::fputs("        uncertified); pnc yield merge SHARD.json... --out MERGED.json\n", out);
+    std::fputs("serve:  pnc serve --dataset D --emit-requests R.jsonl [--requests N] |\n", out);
+    std::fputs("        --model M --replay R.jsonl [--batch B --check-reference 0|1\n", out);
+    std::fputs("        --predictions-out P.jsonl] (exit 1 unless bit-identical) |\n", out);
+    std::fputs("        --model M --dataset D --self-load N [--submitters S --batch B\n", out);
+    std::fputs("        --deadline-ms D --queue-cap Q]\n", out);
+    std::fputs("fault flags (eval): --fault-model NAME --fault-rate R --spec A "
+               "--fault-report f.json\n", out);
+    std::fputs("eval backend: --backend reference|compiled (or PNC_INFER_BACKEND)\n", out);
+    std::fputs("see the header of tools/pnc_cli.cpp for the option reference\n", out);
     return 0;
 }
 
@@ -854,6 +1068,13 @@ int dispatch(const Args& args) {
     if (args.command == "cost") {
         validate_options(args, {"model"});
         return cmd_cost(args);
+    }
+    if (args.command == "serve") {
+        validate_options(args, {"model", "dataset", "seed", "emit-requests", "requests",
+                                "replay", "batch", "queue-cap", "check-reference",
+                                "predictions-out", "self-load", "deadline-ms",
+                                "submitters"});
+        return cmd_serve(args);
     }
     if (args.command == "help" || args.command == "--help") return cmd_help();
     throw UsageError("unknown command '" + args.command + "'");
@@ -922,8 +1143,10 @@ int main(int argc, char** argv) {
             obs::EventStream::global().close();
             std::remove(events_path.c_str());
         }
+        // Usage diagnostics belong on stderr in full — stdout stays clean
+        // for pipelines even on a bad invocation.
         std::cerr << "error: " << e.what() << "\n";
-        cmd_help();
+        cmd_help(stderr);
         return 2;
     } catch (const std::exception& e) {
         if (!events_path.empty()) {
