@@ -1,0 +1,174 @@
+#include "obs/rolling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pnc::obs {
+namespace detail {
+
+BucketRing::BucketRing(RollingConfig config) : config_(config) {
+    if (config_.bucket_seconds <= 0.0) config_.bucket_seconds = 0.5;
+    if (config_.buckets == 0) config_.buckets = 1;
+}
+
+std::int64_t BucketRing::index_of(double now) const {
+    return static_cast<std::int64_t>(std::floor(now / config_.bucket_seconds));
+}
+
+std::size_t BucketRing::slot_of(std::int64_t index) const {
+    const auto ring = static_cast<std::int64_t>(config_.buckets);
+    return static_cast<std::size_t>(((index % ring) + ring) % ring);
+}
+
+double BucketRing::covered_seconds(double now) const {
+    if (!started()) return 0.0;
+    const double seen = std::max(now - first_seen_, 0.0);
+    return std::clamp(seen, config_.bucket_seconds, config_.window_seconds());
+}
+
+}  // namespace detail
+
+// ---- RollingCounter ---------------------------------------------------------
+
+RollingCounter::RollingCounter(RollingConfig config)
+    : ring_(config), counts_(ring_.config().buckets, 0) {}
+
+void RollingCounter::record(double now, std::uint64_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.advance(now, [this](std::size_t slot) { counts_[slot] = 0; });
+    counts_[ring_.slot_of(ring_.index_of(now))] += n;
+}
+
+std::uint64_t RollingCounter::window_count(double now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.advance(now, [this](std::size_t slot) { counts_[slot] = 0; });
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts_) total += c;
+    return total;
+}
+
+double RollingCounter::window_rate(double now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.advance(now, [this](std::size_t slot) { counts_[slot] = 0; });
+    const double seconds = ring_.covered_seconds(now);
+    if (seconds <= 0.0) return 0.0;
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts_) total += c;
+    return static_cast<double>(total) / seconds;
+}
+
+// ---- RollingGauge -----------------------------------------------------------
+
+RollingGauge::RollingGauge(RollingConfig config)
+    : ring_(config), slots_(ring_.config().buckets) {}
+
+void RollingGauge::record(double now, double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.advance(now, [this](std::size_t slot) { slots_[slot] = Slot{}; });
+    Slot& slot = slots_[ring_.slot_of(ring_.index_of(now))];
+    if (slot.samples == 0) {
+        slot.min = slot.max = value;
+    } else {
+        slot.min = std::min(slot.min, value);
+        slot.max = std::max(slot.max, value);
+    }
+    ++slot.samples;
+    slot.sum += value;
+    slot.last = value;
+}
+
+RollingGaugeStats RollingGauge::window_stats(double now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.advance(now, [this](std::size_t slot) { slots_[slot] = Slot{}; });
+    RollingGaugeStats stats;
+    double sum = 0.0;
+    // Walk absolute indices newest-first so `last` comes from the most
+    // recent non-empty bucket (per-slot `last` is already the newest value
+    // inside that bucket).
+    const std::int64_t head = ring_.head();
+    const auto ring = static_cast<std::int64_t>(ring_.config().buckets);
+    for (std::int64_t index = head; ring_.started() && index > head - ring; --index) {
+        const Slot& slot = slots_[ring_.slot_of(index)];
+        if (slot.samples == 0) continue;
+        if (stats.samples == 0) {
+            stats.last = slot.last;
+            stats.min = slot.min;
+            stats.max = slot.max;
+        } else {
+            stats.min = std::min(stats.min, slot.min);
+            stats.max = std::max(stats.max, slot.max);
+        }
+        stats.samples += slot.samples;
+        sum += slot.sum;
+    }
+    if (stats.samples > 0) stats.mean = sum / static_cast<double>(stats.samples);
+    return stats;
+}
+
+// ---- RollingHistogram -------------------------------------------------------
+
+RollingHistogram::RollingHistogram(RollingConfig config, std::vector<double> bounds)
+    : ring_(config), bounds_(std::move(bounds)), slots_(ring_.config().buckets) {
+    if (bounds_.empty()) bounds_ = default_ms_buckets();
+    for (Slot& slot : slots_) slot.buckets.assign(bounds_.size() + 1, 0);
+}
+
+const std::vector<double>& RollingHistogram::default_ms_buckets() {
+    static const std::vector<double> bounds = [] {
+        std::vector<double> b;
+        for (double decade = 1e-3; decade < 1e4; decade *= 10)
+            for (const double step : {1.0, 2.0, 5.0}) b.push_back(decade * step);
+        b.push_back(1e4);
+        return b;
+    }();
+    return bounds;
+}
+
+void RollingHistogram::record(double now, double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.advance(now, [this](std::size_t slot) {
+        slots_[slot] = Slot{};
+        slots_[slot].buckets.assign(bounds_.size() + 1, 0);
+    });
+    Slot& slot = slots_[ring_.slot_of(ring_.index_of(now))];
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    ++slot.buckets[static_cast<std::size_t>(it - bounds_.begin())];
+    if (slot.count == 0) {
+        slot.min = slot.max = value;
+    } else {
+        slot.min = std::min(slot.min, value);
+        slot.max = std::max(slot.max, value);
+    }
+    ++slot.count;
+    slot.sum += value;
+}
+
+HistogramSnapshot RollingHistogram::window_snapshot(double now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.advance(now, [this](std::size_t slot) {
+        slots_[slot] = Slot{};
+        slots_[slot].buckets.assign(bounds_.size() + 1, 0);
+    });
+    HistogramSnapshot snapshot;
+    snapshot.bounds = bounds_;
+    snapshot.bucket_counts.assign(bounds_.size() + 1, 0);
+    bool first = true;
+    for (const Slot& slot : slots_) {
+        if (slot.count == 0) continue;
+        for (std::size_t b = 0; b < slot.buckets.size(); ++b)
+            snapshot.bucket_counts[b] += slot.buckets[b];
+        if (first) {
+            snapshot.min = slot.min;
+            snapshot.max = slot.max;
+            first = false;
+        } else {
+            snapshot.min = std::min(snapshot.min, slot.min);
+            snapshot.max = std::max(snapshot.max, slot.max);
+        }
+        snapshot.count += slot.count;
+        snapshot.sum += slot.sum;
+    }
+    return snapshot;
+}
+
+}  // namespace pnc::obs

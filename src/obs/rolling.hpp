@@ -1,0 +1,168 @@
+// Sliding-window aggregators for live telemetry: where MetricsRegistry
+// accumulates whole-run totals, these answer "what happened in the last W
+// seconds" — the question a serving dashboard and a serving watchdog ask.
+//
+// Design: a ring of `buckets` time buckets, each `bucket_seconds` wide.
+// Recording lands in the bucket that covers `now`; advancing past a bucket
+// boundary clears the slots that rotated out of the window, so stale data
+// expires without a reaper thread (an idle gap longer than the window
+// clears the whole ring). Time is *injected*: every record/query takes an
+// explicit monotonic `now` in seconds, so tests drive rotation
+// deterministically and production passes a steady-clock reading.
+//
+// Concurrency: one mutex per aggregator. These sit on the serving batch
+// path (per batch / per request, not per sample), where a short lock is
+// noise next to a predict() call; none of them are meant for inner loops.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pnc::obs {
+
+/// Geometry of one rolling window: `buckets` ring slots of `bucket_seconds`
+/// each; the window spans their product.
+struct RollingConfig {
+    double bucket_seconds = 0.5;
+    std::size_t buckets = 10;
+
+    double window_seconds() const { return bucket_seconds * static_cast<double>(buckets); }
+};
+
+namespace detail {
+
+/// Shared ring bookkeeping: maps a monotonic `now` to an absolute bucket
+/// index, tracks the head, and reports which slots rotated out between two
+/// observations. Time moving backwards (never with a monotonic source) is
+/// clamped to the head bucket.
+class BucketRing {
+public:
+    explicit BucketRing(RollingConfig config);
+
+    const RollingConfig& config() const { return config_; }
+    std::size_t slot_of(std::int64_t index) const;
+    std::int64_t index_of(double now) const;
+    std::int64_t head() const { return head_; }
+    bool started() const { return head_ != kUnstarted; }
+
+    /// Move the head forward to cover `now`, invoking `clear(slot)` for
+    /// every slot whose bucket rotated out of the window.
+    template <typename Clear>
+    void advance(double now, Clear&& clear) {
+        const std::int64_t target = index_of(now);
+        if (!started()) {
+            head_ = target;
+            first_seen_ = now;
+            return;
+        }
+        if (target <= head_) return;
+        const auto ring = static_cast<std::int64_t>(config_.buckets);
+        const std::int64_t steps = std::min(target - head_, ring);
+        for (std::int64_t index = target - steps + 1; index <= target; ++index)
+            clear(slot_of(index));
+        head_ = target;
+    }
+
+    /// Seconds of data the window actually covers at `now`: a freshly
+    /// started aggregator has seen less than the full window (rates divide
+    /// by this, clamped below to one bucket so a lone early sample cannot
+    /// produce an absurd rate).
+    double covered_seconds(double now) const;
+
+private:
+    static constexpr std::int64_t kUnstarted = std::numeric_limits<std::int64_t>::min();
+
+    RollingConfig config_;
+    std::int64_t head_ = kUnstarted;
+    double first_seen_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Windowed event count / rate (requests per second over the last window).
+class RollingCounter {
+public:
+    explicit RollingCounter(RollingConfig config = {});
+
+    void record(double now, std::uint64_t n = 1);
+    std::uint64_t window_count(double now);
+    /// window_count divided by the covered window seconds; 0 before the
+    /// first record.
+    double window_rate(double now);
+    const RollingConfig& config() const { return ring_.config(); }
+
+private:
+    std::mutex mutex_;
+    detail::BucketRing ring_;
+    std::vector<std::uint64_t> counts_;
+};
+
+struct RollingGaugeStats {
+    std::uint64_t samples = 0;
+    double last = 0.0;  ///< most recent recorded value still inside the window
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/// Windowed point-sample statistics (queue depth sampled per submit).
+class RollingGauge {
+public:
+    explicit RollingGauge(RollingConfig config = {});
+
+    void record(double now, double value);
+    RollingGaugeStats window_stats(double now);
+    const RollingConfig& config() const { return ring_.config(); }
+
+private:
+    struct Slot {
+        std::uint64_t samples = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double last = 0.0;
+    };
+
+    std::mutex mutex_;
+    detail::BucketRing ring_;
+    std::vector<Slot> slots_;
+};
+
+/// Windowed fixed-bucket histogram: each time bucket holds its own value
+/// histogram; a window snapshot merges the live time buckets and reuses
+/// HistogramSnapshot's interpolated quantiles (p50/p90/p99).
+class RollingHistogram {
+public:
+    RollingHistogram(RollingConfig config, std::vector<double> bounds);
+
+    /// 1-2-5 decades from 1 us to 10 s, expressed in milliseconds — the
+    /// latency buckets of the serving telemetry plane.
+    static const std::vector<double>& default_ms_buckets();
+
+    void record(double now, double value);
+    /// Merged view of the buckets still inside the window at `now`
+    /// (`name` left empty; quantile() interpolates like the cumulative
+    /// histograms).
+    HistogramSnapshot window_snapshot(double now);
+    const RollingConfig& config() const { return ring_.config(); }
+
+private:
+    struct Slot {
+        std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, overflow last
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    std::mutex mutex_;
+    detail::BucketRing ring_;
+    std::vector<double> bounds_;
+    std::vector<Slot> slots_;
+};
+
+}  // namespace pnc::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 
 #include "obs/metrics.hpp"
 
@@ -27,6 +28,9 @@ ServePipeline::ServePipeline(ModelRegistry& registry, ServeOptions options)
     : registry_(registry), options_(options) {
     if (options_.max_batch == 0) options_.max_batch = 1;
     options_.queue_capacity = std::max(options_.queue_capacity, options_.max_batch);
+    if (options_.telemetry.any())
+        telemetry_ = std::make_unique<ServeTelemetry>(options_.telemetry,
+                                                      options_.queue_capacity);
     batcher_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -59,6 +63,9 @@ std::future<Prediction> ServePipeline::enqueue(const std::string& model,
     request.model = std::move(served);
     request.features = std::move(features);
     request.enqueued = Clock::now();
+    // Span ids cover every submission that passed validation, shed or not,
+    // so the span stream joins against both outcomes.
+    request.span = telemetry_ ? telemetry_->mint_span() : 0;
     auto future = request.promise.get_future();
 
     {
@@ -68,6 +75,7 @@ std::future<Prediction> ServePipeline::enqueue(const std::string& model,
         if (queue_.size() >= options_.queue_capacity) {
             if (!wait) {
                 obs::add_counter("serve.rejected_total");
+                if (telemetry_) telemetry_->on_shed(request.span, model);
                 throw ServeError(ServeErrorCode::kQueueFull,
                                  "submission queue at capacity (" +
                                      std::to_string(options_.queue_capacity) + ")");
@@ -81,6 +89,7 @@ std::future<Prediction> ServePipeline::enqueue(const std::string& model,
         queue_.push_back(std::move(request));
         obs::add_counter("serve.requests_total");
         obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+        if (telemetry_) telemetry_->on_enqueue(queue_.size());
     }
     cv_batcher_.notify_one();
     return future;
@@ -136,15 +145,19 @@ void ServePipeline::batcher_loop() {
         const std::size_t run = head_run_locked();
         std::vector<PendingRequest> batch;
         batch.reserve(run);
+        const auto dequeued = Clock::now();
         for (std::size_t i = 0; i < run; ++i) {
             batch.push_back(std::move(queue_.front()));
+            batch.back().dequeued = dequeued;
             queue_.pop_front();
         }
         const std::uint64_t batch_seq = next_batch_seq_++;
-        obs::set_gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+        const std::size_t depth_after = queue_.size();
+        obs::set_gauge("serve.queue.depth", static_cast<double>(depth_after));
         in_flight_ = true;
         lock.unlock();
         cv_space_.notify_all();
+        if (telemetry_) telemetry_->on_dequeue(depth_after);
 
         execute_batch(std::move(batch), batch_seq);
 
@@ -175,7 +188,17 @@ void ServePipeline::execute_batch(std::vector<PendingRequest> batch,
         for (std::size_t c = 0; c < n_inputs; ++c) x(r, c) = batch[r].features[c];
 
     const auto exec_start = Clock::now();
-    const math::Matrix out = model->engine.predict(x);
+    math::Matrix out;
+    try {
+        out = model->engine.predict(x);
+    } catch (...) {
+        // Engine failure fails the whole batch with the typed cause instead
+        // of tearing down the batcher thread.
+        if (telemetry_) telemetry_->on_error(model->name);
+        const std::exception_ptr cause = std::current_exception();
+        for (PendingRequest& request : batch) request.promise.set_exception(cause);
+        return;
+    }
     const double exec_seconds = seconds_since(exec_start);
 
     if (obs::enabled()) {
@@ -205,6 +228,7 @@ void ServePipeline::execute_batch(std::vector<PendingRequest> batch,
         prediction.model_hash = model->content_hash;
         prediction.batch_seq = batch_seq;
         prediction.batch_rows = rows;
+        prediction.span = batch[r].span;
 
         if (obs::enabled()) {
             const double latency = seconds_since(batch[r].enqueued);
@@ -214,6 +238,24 @@ void ServePipeline::execute_batch(std::vector<PendingRequest> batch,
                 .observe(latency);
         }
         batch[r].promise.set_value(std::move(prediction));
+    }
+
+    if (telemetry_) {
+        std::vector<ServeTelemetry::BatchRowSpan> spans;
+        spans.reserve(rows);
+        for (const PendingRequest& request : batch) {
+            ServeTelemetry::BatchRowSpan span;
+            span.span = request.span;
+            span.queue_ms = std::chrono::duration<double, std::milli>(
+                                request.dequeued - request.enqueued)
+                                .count();
+            span.batch_ms = std::chrono::duration<double, std::milli>(
+                                exec_start - request.dequeued)
+                                .count();
+            span.exec_ms = exec_seconds * 1e3;
+            spans.push_back(span);
+        }
+        telemetry_->on_batch(model->name, batch_seq, spans);
     }
 }
 
@@ -249,6 +291,8 @@ void ServePipeline::stop() {
     cv_space_.notify_all();
     cv_drained_.notify_all();
     if (batcher_.joinable()) batcher_.join();
+    // Batcher is gone: flush the final partial window and close the streams.
+    if (telemetry_) telemetry_->finish();
 }
 
 std::size_t ServePipeline::queue_depth() const {

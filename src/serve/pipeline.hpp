@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "serve/registry.hpp"
+#include "serve/telemetry.hpp"
 
 namespace pnc::serve {
 
@@ -52,6 +53,10 @@ struct ServeOptions {
     /// Disable the deadline flush: batch boundaries become a pure
     /// function of the request sequence (replay mode).
     bool deterministic = false;
+    /// Live telemetry plane (spans / livestats / watchdog); inert unless
+    /// `telemetry.any()`. Observation never changes a bit of the
+    /// computation — see serve/telemetry.hpp.
+    TelemetryOptions telemetry;
 };
 
 /// One served result. `outputs` are the raw output voltages (bitwise equal
@@ -64,6 +69,7 @@ struct Prediction {
     std::uint64_t model_hash = 0;   ///< content hash of the plan that served it
     std::uint64_t batch_seq = 0;    ///< which micro-batch carried this row
     std::size_t batch_rows = 0;     ///< occupancy of that micro-batch
+    std::uint64_t span = 0;         ///< span id minted at submit (0 = no telemetry)
 };
 
 class ServePipeline {
@@ -111,12 +117,17 @@ public:
     std::size_t queue_depth() const;
     const ServeOptions& options() const { return options_; }
 
+    /// The live telemetry plane, or nullptr when options.telemetry is inert.
+    ServeTelemetry* telemetry() const { return telemetry_.get(); }
+
 private:
     struct PendingRequest {
         std::shared_ptr<const ServedModel> model;
         std::vector<double> features;
         std::promise<Prediction> promise;
         std::chrono::steady_clock::time_point enqueued;
+        std::chrono::steady_clock::time_point dequeued;  ///< batcher pop
+        std::uint64_t span = 0;
     };
 
     std::future<Prediction> enqueue(const std::string& model,
@@ -138,6 +149,7 @@ private:
     bool in_flight_ = false;
     int drain_waiters_ = 0;
     std::uint64_t next_batch_seq_ = 0;
+    std::unique_ptr<ServeTelemetry> telemetry_;
 
     std::thread batcher_;
 };

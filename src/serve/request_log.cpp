@@ -126,13 +126,14 @@ RequestLog parse_request_log(std::istream& is) {
 void write_prediction_log(std::ostream& os, const std::string& model,
                           const std::vector<PredictionRecord>& predictions) {
     Value header = Value::object();
-    header.set("schema", Value::string("pnc-predictions/1"));
+    header.set("schema", Value::string("pnc-predictions/2"));
     header.set("model", Value::string(model));
     header.set("count", Value::number(static_cast<double>(predictions.size())));
     os << header.dump() << "\n";
     for (const PredictionRecord& p : predictions) {
         Value row = Value::object();
         row.set("seq", Value::number(static_cast<double>(p.seq)));
+        row.set("span", Value::number(static_cast<double>(p.span)));
         row.set("class", Value::number(static_cast<double>(p.predicted_class)));
         Value outputs = Value::array();
         for (double v : p.outputs) outputs.push_back(Value::number(v));
@@ -142,11 +143,18 @@ void write_prediction_log(std::ostream& os, const std::string& model,
 }
 
 std::vector<PredictionRecord> parse_prediction_log(std::istream& is) {
-    const Value header = header_line(is, "pnc-predictions/1");
+    std::string text;
+    if (!std::getline(is, text)) fail(1, "empty document (missing header)");
+    const Value header = parse_line(text, 1);
+    if (!header.is_object()) fail(1, "header must be a JSON object");
+    const std::string schema = string_field(header, "schema", 1);
+    // Version 1 predates span ids; rows carry no "span" and get seq instead.
+    if (schema != "pnc-predictions/2" && schema != "pnc-predictions/1")
+        fail(1, "schema must be 'pnc-predictions/2' (or legacy 'pnc-predictions/1')");
+    const bool spanned = schema == "pnc-predictions/2";
     const std::size_t count = count_field(header, "count", 1);
 
     std::vector<PredictionRecord> predictions;
-    std::string text;
     std::size_t line = 1;
     while (std::getline(is, text)) {
         ++line;
@@ -158,6 +166,8 @@ std::vector<PredictionRecord> parse_prediction_log(std::istream& is) {
         if (record.seq != predictions.size())
             fail(line, "seq " + std::to_string(record.seq) + " out of order (expected " +
                            std::to_string(predictions.size()) + ")");
+        record.span = spanned ? count_field(row, "span", line)
+                              : static_cast<std::uint64_t>(record.seq);
         const double cls = number_field(row, "class", line);
         if (cls != std::floor(cls)) fail(line, "field 'class' must be an integer");
         record.predicted_class = static_cast<int>(cls);

@@ -9,11 +9,16 @@
 //   {"seq":0,"features":[0.1,0.2,0.3,0.4]}
 //   {"seq":1,"features":[0.5,0.6,0.7,0.8]}
 //
-// Served results are written back as pnc-predictions/1 (same shape: header
+// Served results are written back as pnc-predictions/2 (same shape: header
 // then per-request lines with the raw output voltages at 17 significant
-// digits, so a predictions file is a bit-exact witness).
+// digits, so a predictions file is a bit-exact witness). Version 2 adds a
+// per-row "span" — the telemetry span id minted at submit (0 when the
+// request was served unmonitored) — so predictions join against the
+// pnc-spans/1 stream. The parser still accepts version 1 logs, where span
+// defaults to the row's seq.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -40,19 +45,22 @@ struct PredictionRecord {
     std::size_t seq = 0;
     int predicted_class = -1;
     std::vector<double> outputs;
+    /// Telemetry span id of the submission that produced this row; 0 when
+    /// served unmonitored, seq when parsed from a version-1 log.
+    std::uint64_t span = 0;
 };
 
-/// Serialize served results as pnc-predictions/1 JSONL (doubles round-trip
+/// Serialize served results as pnc-predictions/2 JSONL (doubles round-trip
 /// through 17 significant digits — bit-exact witness files).
 void write_prediction_log(std::ostream& os, const std::string& model,
                           const std::vector<PredictionRecord>& predictions);
 
-/// Parse and validate a pnc-predictions/1 document; throws like
-/// parse_request_log.
+/// Parse and validate a pnc-predictions/2 (or legacy /1) document; throws
+/// like parse_request_log.
 std::vector<PredictionRecord> parse_prediction_log(std::istream& is);
 
 /// Non-throwing validators over whole documents: "" when `text` is a
-/// well-formed pnc-requests/1 (resp. pnc-predictions/1) document,
+/// well-formed pnc-requests/1 (resp. pnc-predictions/2 or /1) document,
 /// otherwise the line-tagged reason the parser rejects it.
 std::string validate_requests(const std::string& text);
 std::string validate_predictions(const std::string& text);

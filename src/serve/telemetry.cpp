@@ -1,0 +1,815 @@
+#include "serve/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace pnc::serve {
+
+namespace {
+
+double steady_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string env_string(const char* name) {
+    const char* raw = std::getenv(name);
+    return raw ? std::string(raw) : std::string();
+}
+
+double env_double(const char* name, double fallback) {
+    const char* raw = std::getenv(name);
+    if (!raw || !*raw) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw || *end != '\0' || !std::isfinite(v) || v <= 0.0) return fallback;
+    return v;
+}
+
+/// Ten ring buckets per window, like the dashboards the stream feeds.
+obs::RollingConfig ring_config(const TelemetryOptions& options) {
+    const double window =
+        options.window_seconds > 0.0 ? options.window_seconds : 5.0;
+    return obs::RollingConfig{window / 10.0, 10};
+}
+
+const char* kAnomalyKinds[] = {"queue_saturation", "latency_slo", "shed_spike"};
+
+bool known_anomaly_kind(const std::string& kind) {
+    for (const char* k : kAnomalyKinds)
+        if (kind == k) return true;
+    return false;
+}
+
+/// Number or null (non-finite values serialize as null).
+bool numeric_or_null(const obs::json::Value* v) {
+    return v != nullptr &&
+           (v->is_number() || v->kind() == obs::json::Value::Kind::kNull);
+}
+
+}  // namespace
+
+// ---- TelemetryOptions -------------------------------------------------------
+
+TelemetryOptions TelemetryOptions::from_env() {
+    TelemetryOptions options;
+    options.spans_out = env_string("PNC_SERVE_SPANS_OUT");
+    options.live_stats_out = env_string("PNC_LIVE_STATS_OUT");
+    options.live_stats_period_ms =
+        env_double("PNC_LIVE_STATS_PERIOD_MS", options.live_stats_period_ms);
+    options.window_seconds =
+        env_double("PNC_SERVE_WINDOW_SECONDS", options.window_seconds);
+    options.slo_p99_ms = env_double("PNC_SERVE_SLO_P99_MS", options.slo_p99_ms);
+    options.serve_health_out = env_string("PNC_SERVE_HEALTH_OUT");
+    options.canary = env_string("PNC_SERVE_WATCHDOG_CANARY");
+    if (options.slo_p99_ms > 0.0 || !options.serve_health_out.empty() ||
+        !options.canary.empty())
+        options.watchdog = true;
+    return options;
+}
+
+bool TelemetryOptions::any() const {
+    return collect || watchdog || !spans_out.empty() || !live_stats_out.empty() ||
+           slo_p99_ms > 0.0 || !serve_health_out.empty() || !canary.empty();
+}
+
+// ---- ServeWatchdog ----------------------------------------------------------
+
+ServeWatchdog::ServeWatchdog(const TelemetryOptions& options,
+                             std::size_t queue_capacity)
+    : options_(options), queue_capacity_(queue_capacity) {
+    if (options_.sustain_windows < 1) options_.sustain_windows = 1;
+}
+
+void ServeWatchdog::observe(const WindowStats& w) {
+    ++windows_observed_;
+    ring_.push_back(w);
+    while (ring_.size() > kRingDepth) ring_.pop_front();
+
+    // Each rule keeps a consecutive-window streak; it fires once per streak
+    // when the streak first reaches sustain_windows (the training monitor's
+    // sustained_saturation idiom).
+    const auto run_rule = [&](Rule& rule, bool anomalous, const char* kind,
+                              const std::string& detail, double value,
+                              double threshold) {
+        if (!anomalous) {
+            rule.streak = 0;
+            rule.flagged = false;
+            return;
+        }
+        ++rule.streak;
+        if (rule.streak >= options_.sustain_windows && !rule.flagged) {
+            rule.flagged = true;
+            flag(kind, detail, w, value, threshold);
+        }
+    };
+
+    const double depth_limit =
+        options_.queue_saturation_fraction * static_cast<double>(queue_capacity_);
+    run_rule(saturation_,
+             queue_capacity_ > 0 && w.queue_depth_max >= depth_limit,
+             "queue_saturation", "queue_depth_max", w.queue_depth_max, depth_limit);
+
+    run_rule(slo_,
+             options_.slo_p99_ms > 0.0 && w.samples > 0 &&
+                 w.p99_ms > options_.slo_p99_ms,
+             "latency_slo", "p99_ms", w.p99_ms, options_.slo_p99_ms);
+
+    const double attempts = static_cast<double>(w.requests + w.sheds);
+    const double shed_rate =
+        attempts > 0.0 ? static_cast<double>(w.sheds) / attempts : 0.0;
+    run_rule(shed_, w.sheds > 0 && shed_rate >= options_.shed_rate_threshold,
+             "shed_spike", "shed_rate", shed_rate, options_.shed_rate_threshold);
+}
+
+void ServeWatchdog::flag(const char* kind, const std::string& detail,
+                         const WindowStats& w, double value, double threshold) {
+    ++anomalies_total_;
+    obs::add_counter("serve.anomaly.total");
+    if (verdict_.empty()) verdict_ = kind;
+    if (anomalies_.size() < kMaxAnomalies)
+        anomalies_.push_back({kind, detail, w.index, value, threshold});
+    if (anomaly_events_ < kMaxAnomalyEvents) {
+        ++anomaly_events_;
+        obs::emit_event(
+            "serve.anomaly",
+            {obs::EventField::str("kind", kind), obs::EventField::str("detail", detail),
+             obs::EventField::num("window", static_cast<double>(w.index)),
+             obs::EventField::num("value", value),
+             obs::EventField::num("threshold", threshold)});
+    }
+}
+
+obs::json::Value ServeWatchdog::document() const {
+    using obs::json::Value;
+    Value doc = Value::object();
+    doc.set("schema", Value::string("pnc-serve-health/1"));
+    doc.set("tool", Value::string("pnc serve"));
+    doc.set("verdict", Value::string(verdict()));
+
+    Value config = Value::object();
+    config.set("window_seconds", Value::number(options_.window_seconds));
+    config.set("period_ms", Value::number(options_.live_stats_period_ms));
+    config.set("queue_capacity",
+               Value::number(static_cast<double>(queue_capacity_)));
+    config.set("slo_p99_ms", Value::number(options_.slo_p99_ms));
+    config.set("queue_saturation_fraction",
+               Value::number(options_.queue_saturation_fraction));
+    config.set("shed_rate_threshold", Value::number(options_.shed_rate_threshold));
+    config.set("sustain_windows", Value::number(options_.sustain_windows));
+    doc.set("config", std::move(config));
+
+    // Counts live under "status" (not top-level) so every top-level key has
+    // a non-number type the validator can pin down.
+    Value status = Value::object();
+    status.set("tripped", Value::boolean(tripped()));
+    status.set("windows_observed",
+               Value::number(static_cast<double>(windows_observed_)));
+    status.set("anomalies_total",
+               Value::number(static_cast<double>(anomalies_total_)));
+    status.set("anomaly_events",
+               Value::number(static_cast<double>(anomaly_events_)));
+    doc.set("status", std::move(status));
+
+    Value anomalies = Value::array();
+    for (const auto& a : anomalies_) {
+        Value entry = Value::object();
+        entry.set("kind", Value::string(a.kind));
+        entry.set("detail", Value::string(a.detail));
+        entry.set("window", Value::number(static_cast<double>(a.window)));
+        entry.set("value", Value::number(a.value));
+        entry.set("threshold", Value::number(a.threshold));
+        anomalies.push_back(std::move(entry));
+    }
+    doc.set("anomalies", std::move(anomalies));
+
+    Value ring = Value::array();
+    for (const auto& w : ring_) {
+        Value entry = Value::object();
+        entry.set("window", Value::number(static_cast<double>(w.index)));
+        entry.set("t", Value::number(w.t));
+        entry.set("queue_depth", Value::number(w.queue_depth));
+        entry.set("queue_depth_max", Value::number(w.queue_depth_max));
+        entry.set("requests", Value::number(static_cast<double>(w.requests)));
+        entry.set("sheds", Value::number(static_cast<double>(w.sheds)));
+        entry.set("errors", Value::number(static_cast<double>(w.errors)));
+        entry.set("samples", Value::number(static_cast<double>(w.samples)));
+        entry.set("samples_per_sec", Value::number(w.samples_per_sec));
+        entry.set("p50_ms", Value::number(w.p50_ms));
+        entry.set("p99_ms", Value::number(w.p99_ms));
+        entry.set("batch_rows_mean", Value::number(w.batch_rows_mean));
+        entry.set("injected", Value::boolean(w.injected));
+        ring.push_back(std::move(entry));
+    }
+    doc.set("ring", std::move(ring));
+    return doc;
+}
+
+// ---- ServeTelemetry ---------------------------------------------------------
+
+ServeTelemetry::ServeTelemetry(TelemetryOptions options, std::size_t queue_capacity,
+                               ClockFn clock)
+    : options_(std::move(options)),
+      queue_capacity_(queue_capacity),
+      clock_(clock),
+      requests_(ring_config(options_)),
+      sheds_(ring_config(options_)),
+      errors_(ring_config(options_)),
+      samples_(ring_config(options_)),
+      queue_depth_(ring_config(options_)),
+      batch_rows_(ring_config(options_)),
+      latency_ms_(ring_config(options_), obs::RollingHistogram::default_ms_buckets()) {
+    if (options_.live_stats_period_ms <= 0.0) options_.live_stats_period_ms = 250.0;
+    if (options_.slo_p99_ms > 0.0 || !options_.serve_health_out.empty() ||
+        !options_.canary.empty())
+        options_.watchdog = true;
+    t0_ = now();
+
+    if (!options_.spans_out.empty()) {
+        span_os_.open(options_.spans_out, std::ios::trunc);
+        if (!span_os_)
+            throw std::runtime_error("cannot write span stream to " +
+                                     options_.spans_out);
+        obs::json::Value open = obs::json::Value::object();
+        open.set("tool", obs::json::Value::string("pnc serve"));
+        span_line("stream.open", open);
+    }
+
+    if (!options_.live_stats_out.empty()) {
+        live_os_.open(options_.live_stats_out, std::ios::trunc);
+        if (!live_os_)
+            throw std::runtime_error("cannot write live stats to " +
+                                     options_.live_stats_out);
+        using obs::json::Value;
+        Value line = Value::object();
+        line.set("schema", Value::string("pnc-livestats/1"));
+        line.set("seq", Value::number(static_cast<double>(live_seq_++)));
+        line.set("t", Value::number(0.0));
+        line.set("event", Value::string("stream.open"));
+        line.set("window_seconds", Value::number(options_.window_seconds));
+        line.set("period_ms", Value::number(options_.live_stats_period_ms));
+        line.set("queue_capacity",
+                 Value::number(static_cast<double>(queue_capacity_)));
+        live_os_ << line.dump() << "\n";
+        live_os_.flush();
+    }
+
+    if (options_.watchdog)
+        watchdog_ = std::make_unique<ServeWatchdog>(options_, queue_capacity_);
+    inject_canary();
+
+    if (options_.collect || !options_.live_stats_out.empty() || options_.watchdog)
+        emitter_ = std::thread([this] { emitter_loop(); });
+}
+
+ServeTelemetry::~ServeTelemetry() { finish(); }
+
+double ServeTelemetry::now() const {
+    return clock_ ? clock_() : steady_seconds();
+}
+
+std::uint64_t ServeTelemetry::mint_span() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void ServeTelemetry::on_enqueue(std::size_t queue_depth) {
+    const double t = now();
+    requests_.record(t);
+    queue_depth_.record(t, static_cast<double>(queue_depth));
+}
+
+void ServeTelemetry::on_shed(std::uint64_t span, const std::string& model) {
+    sheds_.record(now());
+    if (!span_os_.is_open()) return;
+    using obs::json::Value;
+    Value extras = Value::object();
+    extras.set("span", Value::number(static_cast<double>(span)));
+    extras.set("model", Value::string(model));
+    extras.set("outcome", Value::string("shed"));
+    span_line("span", extras);
+}
+
+void ServeTelemetry::on_dequeue(std::size_t queue_depth) {
+    queue_depth_.record(now(), static_cast<double>(queue_depth));
+}
+
+void ServeTelemetry::on_batch(const std::string& model, std::uint64_t batch_seq,
+                              const std::vector<BatchRowSpan>& rows) {
+    const double t = now();
+    samples_.record(t, rows.size());
+    batch_rows_.record(t, static_cast<double>(rows.size()));
+    {
+        std::lock_guard<std::mutex> lock(models_mutex_);
+        auto& counter = model_samples_[model];
+        if (!counter)
+            counter = std::make_unique<obs::RollingCounter>(ring_config(options_));
+        counter->record(t, rows.size());
+    }
+    for (const BatchRowSpan& row : rows)
+        latency_ms_.record(t, row.queue_ms + row.batch_ms + row.exec_ms);
+
+    if (!span_os_.is_open()) return;
+    using obs::json::Value;
+    for (const BatchRowSpan& row : rows) {
+        Value extras = Value::object();
+        extras.set("span", Value::number(static_cast<double>(row.span)));
+        extras.set("model", Value::string(model));
+        extras.set("outcome", Value::string("ok"));
+        extras.set("queue_ms", Value::number(row.queue_ms));
+        extras.set("batch_ms", Value::number(row.batch_ms));
+        extras.set("exec_ms", Value::number(row.exec_ms));
+        extras.set("batch_seq", Value::number(static_cast<double>(batch_seq)));
+        extras.set("batch_rows", Value::number(static_cast<double>(rows.size())));
+        span_line("span", extras);
+    }
+}
+
+void ServeTelemetry::on_error(const std::string& model) {
+    (void)model;
+    errors_.record(now());
+}
+
+void ServeTelemetry::span_line(const char* event, const obs::json::Value& extras) {
+    using obs::json::Value;
+    std::lock_guard<std::mutex> lock(span_mutex_);
+    if (!span_os_.is_open()) return;
+    Value line = Value::object();
+    line.set("schema", Value::string("pnc-spans/1"));
+    line.set("seq", Value::number(static_cast<double>(span_seq_++)));
+    line.set("t", Value::number(std::max(now() - t0_, 0.0)));
+    line.set("event", Value::string(event));
+    for (const auto& [key, value] : extras.members()) line.set(key, value);
+    if (std::string(event) == "span") ++span_lines_;
+    span_os_ << line.dump() << "\n";
+    span_os_.flush();
+}
+
+void ServeTelemetry::emitter_loop() {
+    const auto period = std::chrono::duration<double, std::milli>(
+        options_.live_stats_period_ms);
+    std::unique_lock<std::mutex> lock(emitter_mutex_);
+    while (!emitter_stop_) {
+        emitter_cv_.wait_for(lock, period, [this] { return emitter_stop_; });
+        if (emitter_stop_) break;
+        lock.unlock();
+        tick(now());
+        lock.lock();
+    }
+}
+
+void ServeTelemetry::tick(double raw_now) {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    WindowStats w;
+    w.index = window_index_++;
+    w.t = std::max(raw_now - t0_, 0.0);
+    w.requests = requests_.window_count(raw_now);
+    w.sheds = sheds_.window_count(raw_now);
+    w.errors = errors_.window_count(raw_now);
+    w.samples = samples_.window_count(raw_now);
+    w.samples_per_sec = samples_.window_rate(raw_now);
+    const obs::RollingGaugeStats depth = queue_depth_.window_stats(raw_now);
+    w.queue_depth = depth.last;
+    w.queue_depth_max = depth.max;
+    const obs::HistogramSnapshot latency = latency_ms_.window_snapshot(raw_now);
+    w.p50_ms = latency.quantile(0.5);
+    w.p99_ms = latency.quantile(0.99);
+    w.batch_rows_mean = batch_rows_.window_stats(raw_now).mean;
+    {
+        std::lock_guard<std::mutex> models_lock(models_mutex_);
+        for (auto& [name, counter] : model_samples_) {
+            const std::uint64_t count = counter->window_count(raw_now);
+            w.models.emplace_back(
+                name, std::make_pair(count, counter->window_rate(raw_now)));
+        }
+    }
+
+    history_.push_back(w);
+    while (history_.size() > 512) history_.pop_front();
+
+    if (live_os_.is_open()) {
+        write_live_line(w);
+        ++windows_written_;
+    }
+
+    obs::set_gauge("serve.window.p50_ms", w.p50_ms);
+    obs::set_gauge("serve.window.p99_ms", w.p99_ms);
+    obs::set_gauge("serve.window.samples_per_sec", w.samples_per_sec);
+    obs::set_gauge("serve.window.queue_depth", w.queue_depth);
+    obs::set_gauge("serve.window.batch_rows_mean", w.batch_rows_mean);
+
+    if (watchdog_) {
+        watchdog_->observe(w);
+        obs::set_gauge("serve.anomaly.tripped", watchdog_->tripped() ? 1.0 : 0.0);
+        // Flight recorder: flush the dump the moment the first rule trips so
+        // it survives a kill mid-incident; finish() rewrites the final state.
+        if (watchdog_->tripped() && !trip_dump_written_) {
+            trip_dump_written_ = true;
+            write_health_dump();
+        }
+    }
+}
+
+void ServeTelemetry::write_live_line(const WindowStats& w) {
+    using obs::json::Value;
+    Value line = Value::object();
+    line.set("schema", Value::string("pnc-livestats/1"));
+    line.set("seq", Value::number(static_cast<double>(live_seq_++)));
+    line.set("t", Value::number(w.t));
+    line.set("event", Value::string("window"));
+    line.set("window", Value::number(static_cast<double>(w.index)));
+    line.set("queue_depth", Value::number(w.queue_depth));
+    line.set("queue_depth_max", Value::number(w.queue_depth_max));
+    line.set("requests", Value::number(static_cast<double>(w.requests)));
+    line.set("sheds", Value::number(static_cast<double>(w.sheds)));
+    line.set("errors", Value::number(static_cast<double>(w.errors)));
+    line.set("samples", Value::number(static_cast<double>(w.samples)));
+    line.set("samples_per_sec", Value::number(w.samples_per_sec));
+    line.set("p50_ms", Value::number(w.p50_ms));
+    line.set("p99_ms", Value::number(w.p99_ms));
+    line.set("batch_rows_mean", Value::number(w.batch_rows_mean));
+    Value models = Value::object();
+    for (const auto& [name, stats] : w.models) {
+        Value entry = Value::object();
+        entry.set("samples", Value::number(static_cast<double>(stats.first)));
+        entry.set("samples_per_sec", Value::number(stats.second));
+        models.set(name, std::move(entry));
+    }
+    line.set("models", std::move(models));
+    live_os_ << line.dump() << "\n";
+    live_os_.flush();
+}
+
+void ServeTelemetry::write_health_dump() {
+    if (!watchdog_ || options_.serve_health_out.empty()) return;
+    std::ofstream out(options_.serve_health_out, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "[serve] cannot write serve-health dump to %s\n",
+                     options_.serve_health_out.c_str());
+        return;
+    }
+    out << watchdog_->document().dump() << "\n";
+}
+
+void ServeTelemetry::inject_canary() {
+    if (options_.canary.empty() || !watchdog_) return;
+    const auto colon = options_.canary.find(':');
+    const std::string kind = options_.canary.substr(0, colon);
+    int windows = options_.sustain_windows;
+    if (colon != std::string::npos) {
+        try {
+            windows = std::stoi(options_.canary.substr(colon + 1));
+        } catch (const std::exception&) {
+            windows = options_.sustain_windows;
+        }
+    }
+    if (!known_anomaly_kind(kind))
+        throw std::runtime_error("unknown --watchdog-canary kind: " + kind);
+
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    for (int i = 0; i < windows; ++i) {
+        WindowStats w;
+        w.index = window_index_++;
+        w.injected = true;
+        if (kind == "queue_saturation") {
+            w.queue_depth = w.queue_depth_max = static_cast<double>(queue_capacity_);
+            w.requests = queue_capacity_;
+        } else if (kind == "latency_slo") {
+            const double slo =
+                options_.slo_p99_ms > 0.0 ? options_.slo_p99_ms : 1.0;
+            w.samples = 100;
+            w.p50_ms = slo;
+            w.p99_ms = 2.0 * slo;
+        } else {  // shed_spike
+            w.requests = 10;
+            w.sheds = 90;
+        }
+        watchdog_->observe(w);
+    }
+    if (watchdog_->tripped() && !trip_dump_written_) {
+        trip_dump_written_ = true;
+        write_health_dump();
+    }
+}
+
+void ServeTelemetry::finish() {
+    {
+        std::lock_guard<std::mutex> lock(emitter_mutex_);
+        if (finished_) return;
+        finished_ = true;
+        emitter_stop_ = true;
+    }
+    emitter_cv_.notify_all();
+    if (emitter_.joinable()) emitter_.join();
+
+    // Final flush: short runs whose lifetime never crossed a period boundary
+    // still get one window covering everything they did.
+    tick(now());
+
+    {
+        std::lock_guard<std::mutex> lock(live_mutex_);
+        if (live_os_.is_open()) {
+            using obs::json::Value;
+            Value line = Value::object();
+            line.set("schema", Value::string("pnc-livestats/1"));
+            line.set("seq", Value::number(static_cast<double>(live_seq_++)));
+            line.set("t", Value::number(std::max(now() - t0_, 0.0)));
+            line.set("event", Value::string("stream.close"));
+            line.set("windows", Value::number(static_cast<double>(windows_written_)));
+            live_os_ << line.dump() << "\n";
+            live_os_.close();
+        }
+        write_health_dump();
+    }
+
+    if (span_os_.is_open()) {
+        using obs::json::Value;
+        Value extras = Value::object();
+        extras.set("spans", Value::number(static_cast<double>(span_lines_)));
+        span_line("stream.close", extras);
+        std::lock_guard<std::mutex> lock(span_mutex_);
+        span_os_.close();
+    }
+}
+
+std::vector<WindowStats> ServeTelemetry::window_history() const {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    return std::vector<WindowStats>(history_.begin(), history_.end());
+}
+
+WindowStats ServeTelemetry::last_window() const {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    return history_.empty() ? WindowStats{} : history_.back();
+}
+
+bool ServeTelemetry::watchdog_tripped() const {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    return watchdog_ && watchdog_->tripped();
+}
+
+std::string ServeTelemetry::watchdog_verdict() const {
+    std::lock_guard<std::mutex> lock(live_mutex_);
+    return watchdog_ ? watchdog_->verdict() : "healthy";
+}
+
+// ---- validators -------------------------------------------------------------
+
+namespace {
+
+struct StreamLine {
+    obs::json::Value value;
+    std::string event;
+    double t = 0.0;
+};
+
+/// Shared pnc-*/1 JSONL envelope walk: every line parses, carries the
+/// schema, consecutive seq from 0, non-decreasing t and a string event;
+/// first line is stream.open, last is stream.close, nothing in between is
+/// either. Returns "" and fills `lines` on success.
+std::string walk_stream(const std::string& text, const char* tag,
+                        const char* schema, std::vector<StreamLine>& lines) {
+    const auto fail = [&](std::size_t line_no, const std::string& what) {
+        return std::string(tag) + " line " + std::to_string(line_no) + ": " + what;
+    };
+
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t line_no = 0;
+    double last_t = 0.0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        if (raw.empty()) return fail(line_no, "empty line");
+        obs::json::Value value;
+        try {
+            value = obs::json::Value::parse(raw);
+        } catch (const std::exception& e) {
+            return fail(line_no, e.what());
+        }
+        if (!value.is_object()) return fail(line_no, "not an object");
+        const obs::json::Value* s = value.find("schema");
+        if (!s || !s->is_string() || s->as_string() != schema)
+            return fail(line_no, std::string("schema is not \"") + schema + "\"");
+        const obs::json::Value* seq = value.find("seq");
+        if (!seq || !seq->is_number()) return fail(line_no, "seq is not a number");
+        if (seq->as_number() != static_cast<double>(lines.size()))
+            return fail(line_no, "seq is not consecutive");
+        const obs::json::Value* t = value.find("t");
+        if (!t || !t->is_number()) return fail(line_no, "t is not a number");
+        if (!lines.empty() && t->as_number() < last_t)
+            return fail(line_no, "t decreased");
+        last_t = t->as_number();
+        const obs::json::Value* event = value.find("event");
+        if (!event || !event->is_string())
+            return fail(line_no, "event is not a string");
+
+        StreamLine entry;
+        entry.event = event->as_string();
+        entry.t = last_t;
+        entry.value = std::move(value);
+        lines.push_back(std::move(entry));
+    }
+    if (lines.empty()) return std::string(tag) + ": empty stream";
+    if (lines.front().event != "stream.open")
+        return fail(1, "first event is not stream.open");
+    if (lines.back().event != "stream.close")
+        return std::string(tag) + ": missing stream.close trailer";
+    for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+        if (lines[i].event == "stream.open" || lines[i].event == "stream.close")
+            return fail(i + 1, "envelope event in stream body");
+    }
+    return "";
+}
+
+std::string require_number(const obs::json::Value& line, const char* key,
+                           double* out = nullptr) {
+    const obs::json::Value* v = line.find(key);
+    if (!v || !v->is_number()) return std::string(key) + " is not a number";
+    if (out) *out = v->as_number();
+    return "";
+}
+
+}  // namespace
+
+std::string validate_livestats(const std::string& text) {
+    std::vector<StreamLine> lines;
+    const std::string envelope = walk_stream(text, "livestats", "pnc-livestats/1", lines);
+    if (!envelope.empty()) return envelope;
+    const auto fail = [](std::size_t line_no, const std::string& what) {
+        return "livestats line " + std::to_string(line_no) + ": " + what;
+    };
+
+    // Header geometry.
+    for (const char* key : {"window_seconds", "period_ms", "queue_capacity"}) {
+        double v = 0.0;
+        const std::string err = require_number(lines.front().value, key, &v);
+        if (!err.empty()) return fail(1, err);
+        if (v < 0.0) return fail(1, std::string(key) + " is negative");
+    }
+
+    bool have_window_index = false;
+    double last_window = 0.0;
+    std::size_t windows = 0;
+    for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+        const obs::json::Value& line = lines[i].value;
+        if (lines[i].event != "window")
+            return fail(i + 1, "unknown event \"" + lines[i].event + "\"");
+        ++windows;
+        double window = 0.0;
+        std::string err = require_number(line, "window", &window);
+        if (!err.empty()) return fail(i + 1, err);
+        if (have_window_index && window != last_window + 1.0)
+            return fail(i + 1, "window index is not consecutive");
+        have_window_index = true;
+        last_window = window;
+        for (const char* key :
+             {"queue_depth", "queue_depth_max", "requests", "sheds", "errors",
+              "samples", "samples_per_sec", "p50_ms", "p99_ms", "batch_rows_mean"}) {
+            double v = 0.0;
+            err = require_number(line, key, &v);
+            if (!err.empty()) return fail(i + 1, err);
+            if (v < 0.0) return fail(i + 1, std::string(key) + " is negative");
+        }
+        const obs::json::Value* models = line.find("models");
+        if (!models || !models->is_object())
+            return fail(i + 1, "models is not an object");
+        for (const auto& [name, entry] : models->members()) {
+            if (!entry.is_object())
+                return fail(i + 1, "models." + name + " is not an object");
+            for (const char* key : {"samples", "samples_per_sec"}) {
+                const std::string model_err = require_number(entry, key);
+                if (!model_err.empty())
+                    return fail(i + 1, "models." + name + "." + model_err);
+            }
+        }
+    }
+
+    double declared = 0.0;
+    const std::string err =
+        require_number(lines.back().value, "windows", &declared);
+    if (!err.empty()) return fail(lines.size(), err);
+    if (declared != static_cast<double>(windows))
+        return fail(lines.size(), "windows count does not match body");
+    return "";
+}
+
+std::string validate_spans(const std::string& text) {
+    std::vector<StreamLine> lines;
+    const std::string envelope = walk_stream(text, "spans", "pnc-spans/1", lines);
+    if (!envelope.empty()) return envelope;
+    const auto fail = [](std::size_t line_no, const std::string& what) {
+        return "spans line " + std::to_string(line_no) + ": " + what;
+    };
+
+    std::set<double> seen_spans;
+    std::size_t spans = 0;
+    for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+        const obs::json::Value& line = lines[i].value;
+        if (lines[i].event != "span")
+            return fail(i + 1, "unknown event \"" + lines[i].event + "\"");
+        ++spans;
+        double span = 0.0;
+        std::string err = require_number(line, "span", &span);
+        if (!err.empty()) return fail(i + 1, err);
+        if (!seen_spans.insert(span).second)
+            return fail(i + 1, "duplicate span id");
+        const obs::json::Value* model = line.find("model");
+        if (!model || !model->is_string())
+            return fail(i + 1, "model is not a string");
+        const obs::json::Value* outcome = line.find("outcome");
+        if (!outcome || !outcome->is_string() ||
+            (outcome->as_string() != "ok" && outcome->as_string() != "shed"))
+            return fail(i + 1, "outcome is not \"ok\" or \"shed\"");
+        if (outcome->as_string() == "ok") {
+            for (const char* key :
+                 {"queue_ms", "batch_ms", "exec_ms", "batch_seq", "batch_rows"}) {
+                double v = 0.0;
+                err = require_number(line, key, &v);
+                if (!err.empty()) return fail(i + 1, err);
+                if (v < 0.0) return fail(i + 1, std::string(key) + " is negative");
+            }
+        }
+    }
+
+    double declared = 0.0;
+    const std::string err = require_number(lines.back().value, "spans", &declared);
+    if (!err.empty()) return fail(lines.size(), err);
+    if (declared != static_cast<double>(spans))
+        return fail(lines.size(), "spans count does not match body");
+    return "";
+}
+
+std::string validate_serve_health(const obs::json::Value& doc) {
+    using obs::json::Value;
+    if (!doc.is_object()) return "serve-health document is not an object";
+    const Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != "pnc-serve-health/1")
+        return "schema is not \"pnc-serve-health/1\"";
+    const Value* tool = doc.find("tool");
+    if (!tool || !tool->is_string()) return "tool is not a string";
+    const Value* verdict = doc.find("verdict");
+    if (!verdict || !verdict->is_string() ||
+        (verdict->as_string() != "healthy" &&
+         !known_anomaly_kind(verdict->as_string())))
+        return "verdict is not a known verdict";
+
+    const Value* config = doc.find("config");
+    if (!config || !config->is_object()) return "missing config object";
+    for (const auto& [key, value] : config->members())
+        if (!value.is_number()) return "config." + key + " is not a number";
+
+    const Value* status = doc.find("status");
+    if (!status || !status->is_object()) return "missing status object";
+    const Value* tripped = status->find("tripped");
+    if (!tripped || !tripped->is_bool()) return "status.tripped is not a bool";
+    for (const char* key : {"windows_observed", "anomalies_total", "anomaly_events"}) {
+        const Value* v = status->find(key);
+        if (!v || !v->is_number())
+            return std::string("status.") + key + " is not a number";
+    }
+    const bool verdict_healthy = verdict->as_string() == "healthy";
+    if (tripped->as_bool() == verdict_healthy)
+        return "status.tripped disagrees with verdict";
+
+    const Value* anomalies = doc.find("anomalies");
+    if (!anomalies || !anomalies->is_array()) return "missing anomalies array";
+    for (const Value& entry : anomalies->items()) {
+        if (!entry.is_object()) return "anomaly entry is not an object";
+        const Value* kind = entry.find("kind");
+        if (!kind || !kind->is_string() || !known_anomaly_kind(kind->as_string()))
+            return "anomaly kind is not a known kind";
+        const Value* detail = entry.find("detail");
+        if (!detail || !detail->is_string()) return "anomaly detail is not a string";
+        const Value* window = entry.find("window");
+        if (!window || !window->is_number()) return "anomaly window is not a number";
+        if (!numeric_or_null(entry.find("value"))) return "anomaly value is not numeric";
+        if (!numeric_or_null(entry.find("threshold")))
+            return "anomaly threshold is not numeric";
+    }
+
+    const Value* ring = doc.find("ring");
+    if (!ring || !ring->is_array()) return "missing ring array";
+    for (const Value& entry : ring->items()) {
+        if (!entry.is_object()) return "ring entry is not an object";
+        for (const char* key :
+             {"window", "t", "queue_depth", "queue_depth_max", "requests", "sheds",
+              "errors", "samples", "samples_per_sec", "p50_ms", "p99_ms",
+              "batch_rows_mean"}) {
+            if (!numeric_or_null(entry.find(key)))
+                return std::string("ring.") + key + " is not numeric";
+        }
+        const Value* injected = entry.find("injected");
+        if (!injected || !injected->is_bool()) return "ring.injected is not a bool";
+    }
+    return "";
+}
+
+}  // namespace pnc::serve

@@ -1,0 +1,257 @@
+// Live telemetry plane of the serving runtime: per-request spans
+// ("pnc-spans/1"), periodic rolling-window snapshots ("pnc-livestats/1"),
+// and an online ServeWatchdog ("pnc-serve-health/1" flight recorder).
+//
+// Determinism contract (the same one the rest of src/obs honors): the
+// telemetry plane reads clocks and values, never an Rng stream, and never
+// influences batching — span minting is a counter increment, window
+// aggregation happens off the queue lock, and the watchdog only observes.
+// Serving with the full plane enabled is bitwise-identical to unmonitored
+// serving (tests/test_serve_telemetry.cpp enforces it at 1 and 4 threads;
+// the CLI replay canary re-proves it through the real binary in CI).
+//
+// Artifact envelopes: both JSONL streams carry `schema`, a consecutive
+// `seq` from 0, a non-decreasing `t`, an `event` discriminator, a
+// `stream.open` header and a `stream.close` trailer whose count must match
+// the body — so any whole-line truncation is detectable, and the fuzz
+// harness (tests/test_artifact_fuzz.cpp) sweeps both formats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/rolling.hpp"
+
+namespace pnc::serve {
+
+/// Where the telemetry plane writes and which watchdog rules are armed.
+/// Filled from CLI flags (`--spans-out`, `--live-stats-out`,
+/// `--live-stats-period-ms`, `--slo-p99-ms`, `--serve-health-out`,
+/// `--watchdog-canary`) or the matching PNC_SERVE_* environment variables.
+struct TelemetryOptions {
+    /// Arm the rolling aggregators without any file output (bench use:
+    /// per-window quantiles with zero artifact I/O).
+    bool collect = false;
+    std::string spans_out;       ///< pnc-spans/1 JSONL path ("" = off)
+    std::string live_stats_out;  ///< pnc-livestats/1 JSONL path ("" = off)
+    double live_stats_period_ms = 250.0;  ///< emitter tick period
+    double window_seconds = 5.0;          ///< rolling window the snapshots cover
+
+    // --- watchdog -----------------------------------------------------------
+    bool watchdog = false;       ///< run the rules each window tick
+    double slo_p99_ms = 0.0;     ///< latency_slo rule threshold (0 = rule off)
+    double queue_saturation_fraction = 0.9;  ///< of queue capacity, sustained
+    double shed_rate_threshold = 0.5;        ///< sheds / submit attempts
+    int sustain_windows = 3;     ///< consecutive windows before a rule trips
+    std::string serve_health_out;  ///< pnc-serve-health/1 dump path ("" = off)
+    /// "<kind>:<windows>" — inject synthetic anomalous windows through the
+    /// real rule path before traffic starts (CI canary; kind is one of
+    /// queue_saturation | latency_slo | shed_spike).
+    std::string canary;
+
+    /// PNC_SERVE_SPANS_OUT, PNC_LIVE_STATS_OUT, PNC_LIVE_STATS_PERIOD_MS,
+    /// PNC_SERVE_SLO_P99_MS, PNC_SERVE_HEALTH_OUT (each output/threshold
+    /// implies the matching collection; bad numbers are ignored).
+    static TelemetryOptions from_env();
+
+    /// True when anything above asks for collection.
+    bool any() const;
+};
+
+/// One rolling-window snapshot — a `window` line of pnc-livestats/1 and the
+/// observation unit of the watchdog.
+struct WindowStats {
+    std::uint64_t index = 0;  ///< tick number (0-based)
+    double t = 0.0;           ///< seconds since the telemetry plane started
+    double queue_depth = 0.0;      ///< last sampled depth inside the window
+    double queue_depth_max = 0.0;
+    std::uint64_t requests = 0;    ///< accepted submissions in the window
+    std::uint64_t sheds = 0;       ///< kQueueFull rejections in the window
+    std::uint64_t errors = 0;      ///< failed executions in the window
+    std::uint64_t samples = 0;     ///< rows executed in the window
+    double samples_per_sec = 0.0;
+    double p50_ms = 0.0;           ///< end-to-end request latency quantiles
+    double p99_ms = 0.0;
+    double batch_rows_mean = 0.0;  ///< micro-batch occupancy
+    /// Per-model executed rows in the window: name -> {samples, samples/sec}.
+    std::vector<std::pair<std::string, std::pair<std::uint64_t, double>>> models;
+    bool injected = false;  ///< canary-injected, never written to livestats
+};
+
+/// One watchdog firing (mirrors obs::HealthAnomaly).
+struct ServeAnomaly {
+    std::string kind;  ///< queue_saturation | latency_slo | shed_spike
+    std::string detail;
+    std::uint64_t window = 0;  ///< WindowStats::index that tripped the rule
+    double value = 0.0;
+    double threshold = 0.0;
+};
+
+/// Online anomaly watchdog over window snapshots: each rule must hold for
+/// `sustain_windows` consecutive windows before it trips, anomalies are
+/// capped like the training watchdog's (64 recorded, 16 `serve.anomaly`
+/// events), and a bounded ring of recent windows backs the flight-recorder
+/// dump written on first trip and at finish.
+class ServeWatchdog {
+public:
+    ServeWatchdog(const TelemetryOptions& options, std::size_t queue_capacity);
+
+    /// Run the rules against one window. Not thread-safe on its own — the
+    /// owning ServeTelemetry serializes calls.
+    void observe(const WindowStats& window);
+
+    bool tripped() const { return !verdict_.empty(); }
+    /// "healthy" until the first rule trips, then that rule's kind.
+    std::string verdict() const { return verdict_.empty() ? "healthy" : verdict_; }
+    const std::vector<ServeAnomaly>& anomalies() const { return anomalies_; }
+    std::uint64_t anomalies_total() const { return anomalies_total_; }
+    std::uint64_t windows_observed() const { return windows_observed_; }
+
+    /// Current state as a pnc-serve-health/1 document.
+    obs::json::Value document() const;
+
+private:
+    struct Rule {
+        int streak = 0;
+        bool flagged = false;  ///< fired for the current streak already
+    };
+
+    void flag(const char* kind, const std::string& detail, const WindowStats& w,
+              double value, double threshold);
+
+    TelemetryOptions options_;
+    std::size_t queue_capacity_;
+    std::deque<WindowStats> ring_;  ///< last kRingDepth windows observed
+    std::vector<ServeAnomaly> anomalies_;
+    std::uint64_t anomalies_total_ = 0;
+    std::uint64_t anomaly_events_ = 0;
+    std::uint64_t windows_observed_ = 0;
+    std::string verdict_;  ///< empty until first trip
+    Rule saturation_, slo_, shed_;
+
+    static constexpr std::size_t kRingDepth = 32;
+    static constexpr std::size_t kMaxAnomalies = 64;
+    static constexpr std::size_t kMaxAnomalyEvents = 16;
+};
+
+/// The per-pipeline telemetry plane. Owned by ServePipeline when its
+/// ServeOptions carry a TelemetryOptions with any() true; every hook is a
+/// cheap observation (span counter, rolling-aggregator record, JSONL
+/// append) with no influence on batching or results.
+class ServeTelemetry {
+public:
+    /// Injectable monotonic time source (seconds); nullptr = steady clock.
+    using ClockFn = double (*)();
+
+    ServeTelemetry(TelemetryOptions options, std::size_t queue_capacity,
+                   ClockFn clock = nullptr);
+    ~ServeTelemetry();
+
+    ServeTelemetry(const ServeTelemetry&) = delete;
+    ServeTelemetry& operator=(const ServeTelemetry&) = delete;
+
+    // --- pipeline hooks -----------------------------------------------------
+    /// New span id, minted at submit() for accepted AND shed requests.
+    std::uint64_t mint_span();
+    void on_enqueue(std::size_t queue_depth);
+    void on_shed(std::uint64_t span, const std::string& model);
+    void on_dequeue(std::size_t queue_depth);
+
+    /// One executed micro-batch, spans in batch-row order. Phase durations
+    /// are measured by the pipeline's own clock; `exec_ms` is shared by the
+    /// whole batch.
+    struct BatchRowSpan {
+        std::uint64_t span = 0;
+        double queue_ms = 0.0;  ///< submit -> batcher pop
+        double batch_ms = 0.0;  ///< batcher pop -> engine start
+        double exec_ms = 0.0;   ///< engine predict
+    };
+    void on_batch(const std::string& model, std::uint64_t batch_seq,
+                  const std::vector<BatchRowSpan>& rows);
+    void on_error(const std::string& model);
+
+    /// Flush the current (possibly partial) window into one final snapshot,
+    /// stop the emitter, close both streams with their trailers and write
+    /// the watchdog dump (when configured). Idempotent; the pipeline calls
+    /// it on stop(), drivers call it earlier to read final stats before
+    /// printing summaries.
+    void finish();
+
+    /// Snapshot of every window emitted so far (including the finish()
+    /// flush), oldest first, bounded at 512.
+    std::vector<WindowStats> window_history() const;
+    /// The last emitted window; empty WindowStats before the first tick.
+    WindowStats last_window() const;
+
+    bool watchdog_armed() const { return options_.watchdog; }
+    bool watchdog_tripped() const;
+    std::string watchdog_verdict() const;
+    const TelemetryOptions& options() const { return options_; }
+
+private:
+    void emitter_loop();
+    void tick(double raw_now);
+    void write_live_line(const WindowStats& w);
+    void span_line(const char* event, const obs::json::Value& extras);
+    void write_health_dump();
+    void inject_canary();
+    double now() const;
+
+    TelemetryOptions options_;
+    std::size_t queue_capacity_;
+    ClockFn clock_;
+    double t0_ = 0.0;
+
+    // Rolling aggregators (each has its own lock).
+    obs::RollingCounter requests_, sheds_, errors_, samples_;
+    obs::RollingGauge queue_depth_, batch_rows_;
+    obs::RollingHistogram latency_ms_;
+    mutable std::mutex models_mutex_;
+    std::map<std::string, std::unique_ptr<obs::RollingCounter>> model_samples_;
+
+    // Span stream.
+    mutable std::mutex span_mutex_;
+    std::ofstream span_os_;
+    std::uint64_t span_seq_ = 0;    ///< next stream seq
+    std::uint64_t span_lines_ = 0;  ///< `span` lines written
+    std::atomic<std::uint64_t> next_span_{0};
+
+    // Livestats stream + window state.
+    mutable std::mutex live_mutex_;
+    std::ofstream live_os_;
+    std::uint64_t live_seq_ = 0;
+    std::uint64_t windows_written_ = 0;
+    std::uint64_t window_index_ = 0;
+    std::deque<WindowStats> history_;
+    std::unique_ptr<ServeWatchdog> watchdog_;
+    bool trip_dump_written_ = false;
+    bool finished_ = false;
+
+    // Emitter thread.
+    std::thread emitter_;
+    std::mutex emitter_mutex_;
+    std::condition_variable emitter_cv_;
+    bool emitter_stop_ = false;
+};
+
+/// "" when `text` is a well-formed pnc-livestats/1 (resp. pnc-spans/1)
+/// stream — complete envelope, consecutive seq, non-decreasing t, typed
+/// fields, trailer count matching the body — else a line-tagged reason.
+std::string validate_livestats(const std::string& text);
+std::string validate_spans(const std::string& text);
+
+/// "" when `doc` is a well-formed pnc-serve-health/1 flight recorder, else
+/// a one-line description of the first violation.
+std::string validate_serve_health(const obs::json::Value& doc);
+
+}  // namespace pnc::serve

@@ -4,9 +4,10 @@
 // a validator/parser must end in a *clean typed rejection* — a non-empty
 // violation string (validate_*) or a std::runtime_error (parse_*) — and
 // never a crash, and never silent acceptance of a structurally broken
-// document. Three formats are swept: pnc-yield-report/1, pnc-health/1 and
-// pnc-requests/1, each seeded from a real, valid document so the mutations
-// start one byte away from the accept path.
+// document. Six formats are swept: pnc-yield-report/1, pnc-health/1,
+// pnc-requests/1, and the live serving telemetry plane's pnc-spans/1,
+// pnc-livestats/1 and pnc-serve-health/1 — each seeded from a real, valid
+// document so the mutations start one byte away from the accept path.
 //
 // Random byte flips only assert no-crash/self-consistency: a flipped digit
 // inside a free field (a seed, a loss value) legitimately yields a
@@ -15,6 +16,8 @@
 // values, broken counts).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <sstream>
 #include <string>
@@ -26,6 +29,7 @@
 #include "obs/json.hpp"
 #include "pnn/training.hpp"
 #include "serve/request_log.hpp"
+#include "serve/telemetry.hpp"
 #include "surrogate/dataset_builder.hpp"
 #include "surrogate/design_space.hpp"
 #include "yield/yield_report.hpp"
@@ -120,6 +124,80 @@ std::string valid_request_log_text() {
     return ss.str();
 }
 
+// ---- live serving telemetry seeds -------------------------------------------
+
+double g_fuzz_now = 0.0;
+double fuzz_clock() { return g_fuzz_now; }
+
+std::string slurp_file(const std::string& path) {
+    std::ifstream is(path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+}
+
+/// Real pnc-spans/1 + pnc-livestats/1 streams from a directly-driven
+/// telemetry plane (injected clock — no pipeline, no surrogate build). The
+/// period is far beyond the synthetic run, so the single window line is the
+/// finish() flush and the streams are byte-deterministic.
+const std::pair<std::string, std::string>& valid_telemetry_streams() {
+    static const auto streams = [] {
+        namespace fs = std::filesystem;
+        const fs::path dir = fs::temp_directory_path() / "pnc_fuzz_telemetry";
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        const std::string spans_path = (dir / "spans.jsonl").string();
+        const std::string live_path = (dir / "live.jsonl").string();
+        serve::TelemetryOptions options;
+        options.collect = true;
+        options.spans_out = spans_path;
+        options.live_stats_out = live_path;
+        options.live_stats_period_ms = 60000.0;
+        g_fuzz_now = 0.0;
+        {
+            serve::ServeTelemetry telemetry(options, 8, &fuzz_clock);
+            const auto a = telemetry.mint_span();
+            const auto b = telemetry.mint_span();
+            const auto c = telemetry.mint_span();
+            telemetry.on_enqueue(1);
+            telemetry.on_enqueue(2);
+            telemetry.on_shed(c, "iris");
+            telemetry.on_dequeue(0);
+            telemetry.on_batch("iris", 0, {{a, 0.5, 0.1, 2.0}, {b, 0.4, 0.1, 2.0}});
+            g_fuzz_now = 1.0;
+            telemetry.finish();
+        }
+        auto pair = std::make_pair(slurp_file(spans_path), slurp_file(live_path));
+        fs::remove_all(dir);
+        return pair;
+    }();
+    return streams;
+}
+
+std::string valid_spans_text() { return valid_telemetry_streams().first; }
+std::string valid_livestats_text() { return valid_telemetry_streams().second; }
+
+/// A real, validator-approved pnc-serve-health/1 flight recorder: a
+/// watchdog with one sustained saturation streak behind it.
+std::string valid_serve_health_text() {
+    static const std::string text = [] {
+        serve::TelemetryOptions options;
+        options.watchdog = true;
+        options.sustain_windows = 2;
+        serve::ServeWatchdog watchdog(options, 8);
+        for (std::uint64_t i = 0; i < 3; ++i) {
+            serve::WindowStats w;
+            w.index = i;
+            w.t = static_cast<double>(i);
+            w.queue_depth = w.queue_depth_max = 8.0;
+            w.requests = 16;
+            watchdog.observe(w);
+        }
+        return watchdog.document().dump();
+    }();
+    return text;
+}
+
 enum class Verdict { kRejected, kAccepted };
 
 /// Run one candidate through parse + validate + full parse. The only
@@ -167,6 +245,28 @@ Verdict probe_request_log(const std::string& text) {
     }
     EXPECT_TRUE(error.empty()) << "parser accepted but validate_requests said: " << error;
     return Verdict::kAccepted;
+}
+
+Verdict probe_spans(const std::string& text) {
+    // validate_spans is the single accept/reject gate (non-throwing by
+    // contract — an escape here is exactly the crash this sweep hunts).
+    return serve::validate_spans(text).empty() ? Verdict::kAccepted : Verdict::kRejected;
+}
+
+Verdict probe_livestats(const std::string& text) {
+    return serve::validate_livestats(text).empty() ? Verdict::kAccepted
+                                                   : Verdict::kRejected;
+}
+
+Verdict probe_serve_health(const std::string& text) {
+    Value doc;
+    try {
+        doc = Value::parse(text);
+    } catch (const std::runtime_error&) {
+        return Verdict::kRejected;
+    }
+    return serve::validate_serve_health(doc).empty() ? Verdict::kAccepted
+                                                     : Verdict::kRejected;
 }
 
 using Probe = Verdict (*)(const std::string&);
@@ -267,4 +367,40 @@ TEST(ArtifactFuzz, RequestLogTruncationsAreRejected) {
 
 TEST(ArtifactFuzz, RequestLogByteFlipsNeverCrash) {
     sweep_byte_flips(valid_request_log_text(), probe_request_log, 0xcafeULL);
+}
+
+// ---- live serving telemetry formats -----------------------------------------
+
+TEST(ArtifactFuzz, ServeTelemetrySeedsAreAccepted) {
+    EXPECT_EQ(probe_spans(valid_spans_text()), Verdict::kAccepted);
+    EXPECT_EQ(probe_livestats(valid_livestats_text()), Verdict::kAccepted);
+    EXPECT_EQ(probe_serve_health(valid_serve_health_text()), Verdict::kAccepted);
+}
+
+TEST(ArtifactFuzz, ServeSpansTruncationsAreRejected) {
+    sweep_truncations(valid_spans_text(), probe_spans, /*jsonl=*/true);
+}
+
+TEST(ArtifactFuzz, ServeSpansByteFlipsNeverCrash) {
+    sweep_byte_flips(valid_spans_text(), probe_spans, 0xabadULL);
+}
+
+TEST(ArtifactFuzz, ServeLivestatsTruncationsAreRejected) {
+    sweep_truncations(valid_livestats_text(), probe_livestats, /*jsonl=*/true);
+}
+
+TEST(ArtifactFuzz, ServeLivestatsByteFlipsNeverCrash) {
+    sweep_byte_flips(valid_livestats_text(), probe_livestats, 0xd00dULL);
+}
+
+TEST(ArtifactFuzz, ServeHealthTruncationsAreRejected) {
+    sweep_truncations(valid_serve_health_text(), probe_serve_health, /*jsonl=*/false);
+}
+
+TEST(ArtifactFuzz, ServeHealthStructuralDamageIsRejected) {
+    sweep_structural(valid_serve_health_text(), probe_serve_health);
+}
+
+TEST(ArtifactFuzz, ServeHealthByteFlipsNeverCrash) {
+    sweep_byte_flips(valid_serve_health_text(), probe_serve_health, 0xf00dULL);
 }

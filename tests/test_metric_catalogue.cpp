@@ -169,6 +169,13 @@ TEST(MetricCatalogue, EveryRegisteredMetricIsDocumented) {
         serve_options.max_batch = 4;
         serve_options.queue_capacity = 4;
         serve_options.deterministic = true;
+        // Arm the live telemetry plane with a tripping canary so the
+        // serve.window.* gauges and both serve.anomaly.* metrics register
+        // (the final pipeline stop() flushes the window that sets them).
+        serve_options.telemetry.collect = true;
+        serve_options.telemetry.watchdog = true;
+        serve_options.telemetry.sustain_windows = 1;
+        serve_options.telemetry.canary = "queue_saturation:1";
         serve::ServePipeline pipeline(registry, serve_options);
         pipeline.pause();
         std::vector<std::future<serve::Prediction>> futures;

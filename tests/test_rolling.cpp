@@ -1,0 +1,210 @@
+// Edge-case coverage for the rolling-window aggregators behind the live
+// serving telemetry plane (src/obs/rolling.*): injected-time rotation across
+// idle gaps, single-sample windows, windows shorter than the query period,
+// backwards-time clamping, and a concurrent record/rotate hammer — the TSan
+// target the CI sanitize job picks up via its Rolling filter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/rolling.hpp"
+
+using namespace pnc::obs;
+
+namespace {
+
+/// The serving default: 10 buckets of 0.5 s — a 5 s window.
+RollingConfig serving_window() { return RollingConfig{0.5, 10}; }
+
+}  // namespace
+
+// ---- RollingCounter ---------------------------------------------------------
+
+TEST(RollingWindow, CounterCountsWithinWindowAndExpiresBeyondIt) {
+    RollingCounter counter(serving_window());
+    counter.record(0.0, 3);
+    counter.record(2.4, 2);
+
+    EXPECT_EQ(counter.window_count(2.4), 5u);
+    // 4.9 s still covers bucket 0 (window = indices 0..9).
+    EXPECT_EQ(counter.window_count(4.9), 5u);
+    // 5.2 s rotates bucket 0 out; the 2.4 s bucket (index 4) survives.
+    EXPECT_EQ(counter.window_count(5.2), 2u);
+    // Both gone once the window has fully passed the last record.
+    EXPECT_EQ(counter.window_count(8.0), 0u);
+}
+
+TEST(RollingWindow, IdleGapLongerThanWindowClearsTheWholeRing) {
+    RollingCounter counter(serving_window());
+    counter.record(1.0, 7);
+    EXPECT_EQ(counter.window_count(1.0), 7u);
+
+    // The gap is much longer than the window: every slot must be cleared,
+    // even though the ring indices alias (100/0.5 = 200 ≡ 0 mod 10).
+    EXPECT_EQ(counter.window_count(100.0), 0u);
+    counter.record(100.0);
+    EXPECT_EQ(counter.window_count(100.0), 1u) << "stale slot leaked into a new epoch";
+}
+
+TEST(RollingWindow, CounterRateDividesByCoveredSecondsWithBucketFloor) {
+    RollingCounter counter(serving_window());
+    counter.record(0.0, 10);
+    // A lone early sample covers less than one bucket: the denominator is
+    // floored at bucket_seconds, never at ~0.
+    EXPECT_DOUBLE_EQ(counter.window_rate(0.0), 10.0 / 0.5);
+    // Two seconds in, the window has genuinely covered two seconds.
+    EXPECT_DOUBLE_EQ(counter.window_rate(2.0), 10.0 / 2.0);
+    // Fully expired: count 0 => rate 0.
+    EXPECT_DOUBLE_EQ(counter.window_rate(50.0), 0.0);
+}
+
+TEST(RollingWindow, WindowShorterThanQueryPeriodSeesOnlyFreshData) {
+    // A 0.3 s window polled once per second: every query happens after the
+    // previous window fully rotated out, so each poll sees only its own data.
+    RollingCounter counter(RollingConfig{0.1, 3});
+    counter.record(0.0, 4);
+    EXPECT_EQ(counter.window_count(1.0), 0u);
+    counter.record(1.0, 2);
+    EXPECT_EQ(counter.window_count(1.0), 2u);
+    // A huge forward jump clamps the clear loop to one ring revolution.
+    EXPECT_EQ(counter.window_count(1e9), 0u);
+    counter.record(1e9, 1);
+    EXPECT_EQ(counter.window_count(1e9), 1u);
+}
+
+TEST(RollingWindow, BackwardsTimeWithinTheWindowStillCounts) {
+    // Monotonic sources never go backwards, but a slightly stale `now`
+    // captured before a lock must not clear or misplace data.
+    RollingCounter counter(serving_window());
+    counter.record(5.0, 1);
+    counter.record(4.8, 1);  // lands in its own (older, still live) bucket
+    EXPECT_EQ(counter.window_count(5.0), 2u);
+}
+
+// ---- RollingGauge -----------------------------------------------------------
+
+TEST(RollingWindow, GaugeStatsMergeAcrossBucketsAndExpireOldest) {
+    RollingGauge gauge(serving_window());
+    gauge.record(0.0, 5.0);
+    gauge.record(0.6, 1.0);
+    gauge.record(1.2, 3.0);
+
+    RollingGaugeStats stats = gauge.window_stats(1.2);
+    EXPECT_EQ(stats.samples, 3u);
+    EXPECT_DOUBLE_EQ(stats.last, 3.0);
+    EXPECT_DOUBLE_EQ(stats.min, 1.0);
+    EXPECT_DOUBLE_EQ(stats.max, 5.0);
+    EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+
+    // 5.2 s rotates out the t=0 bucket only.
+    stats = gauge.window_stats(5.2);
+    EXPECT_EQ(stats.samples, 2u);
+    EXPECT_DOUBLE_EQ(stats.min, 1.0);
+    EXPECT_DOUBLE_EQ(stats.max, 3.0);
+    EXPECT_DOUBLE_EQ(stats.last, 3.0);
+    EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+
+    // Idle gap: everything expires, stats return to zero.
+    stats = gauge.window_stats(60.0);
+    EXPECT_EQ(stats.samples, 0u);
+    EXPECT_DOUBLE_EQ(stats.last, 0.0);
+}
+
+TEST(RollingWindow, GaugeLastComesFromTheNewestNonEmptyBucket) {
+    RollingGauge gauge(serving_window());
+    gauge.record(0.0, 9.0);
+    gauge.record(1.2, 4.0);
+    // Query later than the last record: the newest bucket is empty, `last`
+    // must still be the most recent recorded value inside the window.
+    const RollingGaugeStats stats = gauge.window_stats(3.0);
+    EXPECT_EQ(stats.samples, 2u);
+    EXPECT_DOUBLE_EQ(stats.last, 4.0);
+}
+
+// ---- RollingHistogram -------------------------------------------------------
+
+TEST(RollingWindow, SingleSampleWindowQuantilesCollapseToTheValue) {
+    RollingHistogram hist(serving_window(), RollingHistogram::default_ms_buckets());
+    hist.record(0.0, 3.0);
+
+    const HistogramSnapshot snapshot = hist.window_snapshot(0.0);
+    EXPECT_EQ(snapshot.count, 1u);
+    // Interpolated quantiles are clamped to [min, max]; with one sample both
+    // ends are the value itself, so every quantile is exact.
+    EXPECT_DOUBLE_EQ(snapshot.quantile(0.50), 3.0);
+    EXPECT_DOUBLE_EQ(snapshot.quantile(0.99), 3.0);
+    EXPECT_DOUBLE_EQ(snapshot.min, 3.0);
+    EXPECT_DOUBLE_EQ(snapshot.max, 3.0);
+}
+
+TEST(RollingWindow, HistogramMergesLiveBucketsAndDropsExpiredOnes) {
+    RollingHistogram hist(serving_window(), RollingHistogram::default_ms_buckets());
+    for (int i = 0; i < 4; ++i) hist.record(0.0, 1.0);
+    for (int i = 0; i < 4; ++i) hist.record(3.0, 1000.0);
+
+    HistogramSnapshot snapshot = hist.window_snapshot(3.0);
+    EXPECT_EQ(snapshot.count, 8u);
+    EXPECT_DOUBLE_EQ(snapshot.min, 1.0);
+    EXPECT_DOUBLE_EQ(snapshot.max, 1000.0);
+    EXPECT_LT(snapshot.quantile(0.50), snapshot.quantile(0.99));
+
+    // 5.2 s rotates the t=0 samples out; only the slow tail remains.
+    snapshot = hist.window_snapshot(5.2);
+    EXPECT_EQ(snapshot.count, 4u);
+    EXPECT_DOUBLE_EQ(snapshot.min, 1000.0);
+    EXPECT_DOUBLE_EQ(snapshot.quantile(0.50), snapshot.quantile(0.99));
+
+    snapshot = hist.window_snapshot(30.0);
+    EXPECT_EQ(snapshot.count, 0u);
+    EXPECT_DOUBLE_EQ(snapshot.quantile(0.99), 0.0);
+}
+
+// ---- concurrency (TSan target) ----------------------------------------------
+
+TEST(RollingWindow, ConcurrentRecordAndRotateIsRaceFree) {
+    // Four writers and one rotating reader share each aggregator; the times
+    // they pass deliberately interleave so records land while other threads
+    // force rotation. TSan proves the per-aggregator lock covers everything;
+    // the final counts bound-check that rotation never double-frees a slot.
+    RollingCounter counter(RollingConfig{0.01, 8});
+    RollingGauge gauge(RollingConfig{0.01, 8});
+    RollingHistogram hist(RollingConfig{0.01, 8},
+                          RollingHistogram::default_ms_buckets());
+
+    constexpr int kWriters = 4;
+    constexpr int kIterations = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters + 1);
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            for (int i = 0; i < kIterations; ++i) {
+                // Writers advance at different rates => constant rotation.
+                const double now = static_cast<double>(i) * 0.001 * (w + 1);
+                counter.record(now);
+                gauge.record(now, static_cast<double>(i % 11));
+                hist.record(now, static_cast<double>(i % 7) + 0.5);
+            }
+        });
+    }
+    threads.emplace_back([&] {
+        for (int i = 0; i < kIterations; ++i) {
+            const double now = static_cast<double>(i) * 0.002;
+            (void)counter.window_count(now);
+            (void)counter.window_rate(now);
+            (void)gauge.window_stats(now);
+            (void)hist.window_snapshot(now);
+        }
+    });
+    for (std::thread& t : threads) t.join();
+
+    const double end = kIterations * 0.001 * kWriters;
+    EXPECT_LE(counter.window_count(end),
+              static_cast<std::uint64_t>(kWriters) * kIterations);
+    const HistogramSnapshot snapshot = hist.window_snapshot(end);
+    EXPECT_LE(snapshot.count, static_cast<std::uint64_t>(kWriters) * kIterations);
+    // Far past everything: the ring must come back empty, not corrupted.
+    EXPECT_EQ(counter.window_count(end + 10.0), 0u);
+    EXPECT_EQ(gauge.window_stats(end + 10.0).samples, 0u);
+}

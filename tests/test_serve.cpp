@@ -383,13 +383,33 @@ TEST(RequestLog, RoundTripIsBitExact) {
             EXPECT_DOUBLE_EQ(parsed.requests[r][c], log.requests[r][c]);
 
     std::stringstream ps;
-    serve::write_prediction_log(ps, "iris", {{0, 2, {0.1, 0.2, 0.70000000000000007}}});
+    serve::write_prediction_log(ps, "iris",
+                                {{0, 2, {0.1, 0.2, 0.70000000000000007}, 41}});
+    // Version 2 carries the span id and round-trips it.
+    EXPECT_NE(ps.str().find("pnc-predictions/2"), std::string::npos);
     EXPECT_EQ(serve::validate_predictions(ps.str()), "");
     const auto predictions = serve::parse_prediction_log(ps);
     ASSERT_EQ(predictions.size(), 1u);
     EXPECT_EQ(predictions[0].predicted_class, 2);
+    EXPECT_EQ(predictions[0].span, 41u);
     EXPECT_DOUBLE_EQ(predictions[0].outputs[2], 0.70000000000000007);
     EXPECT_NE(serve::validate_predictions("not json"), "");
+
+    // Legacy version-1 logs (no span field) still parse; span defaults to seq.
+    const std::string v1 =
+        "{\"schema\":\"pnc-predictions/1\",\"model\":\"iris\",\"count\":1}\n"
+        "{\"seq\":0,\"class\":1,\"outputs\":[0.2,0.5]}\n";
+    EXPECT_EQ(serve::validate_predictions(v1), "");
+    std::stringstream legacy(v1);
+    const auto legacy_rows = serve::parse_prediction_log(legacy);
+    ASSERT_EQ(legacy_rows.size(), 1u);
+    EXPECT_EQ(legacy_rows[0].span, 0u);
+    // A version-2 row without its span is rejected.
+    EXPECT_NE(
+        serve::validate_predictions(
+            "{\"schema\":\"pnc-predictions/2\",\"model\":\"iris\",\"count\":1}\n"
+            "{\"seq\":0,\"class\":1,\"outputs\":[0.2,0.5]}\n"),
+        "");
 }
 
 TEST(RequestLog, MalformedDocumentsAreRejectedWithReasons) {

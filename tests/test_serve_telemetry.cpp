@@ -1,0 +1,617 @@
+// The live serving telemetry plane (src/serve/telemetry.*): the headline
+// claim is that arming the full plane — spans, livestats, watchdog — changes
+// ZERO bits of what the pipeline serves, proven differentially at 1 and 4
+// threads. Around it: span-stream completeness (accepted and shed), the
+// finish() partial-window flush, the ServeWatchdog sustain/reset semantics,
+// the deterministic canary, and the CLI surface end-to-end through the real
+// binary (`pnc serve --replay/--self-load` with telemetry flags, `pnc top`,
+// and the exit-4 watchdog contract).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "data/registry.hpp"
+#include "obs/json.hpp"
+#include "pnn/training.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/pipeline.hpp"
+#include "serve/registry.hpp"
+#include "serve/request_log.hpp"
+#include "serve/telemetry.hpp"
+#include "surrogate/dataset_builder.hpp"
+#include "surrogate/design_space.hpp"
+
+#ifndef PNC_CLI_PATH
+#error "PNC_CLI_PATH must be defined to the pnc binary location"
+#endif
+
+namespace fs = std::filesystem;
+using namespace pnc;
+using obs::json::Value;
+
+namespace {
+
+const surrogate::SurrogateModel& serve_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 250;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 300;
+        train.mlp.patience = 80;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+/// Untrained random net — the differential comparison only needs the
+/// forward pass, not a good classifier.
+pnn::Pnn make_net(const data::SplitDataset& split, std::uint64_t seed) {
+    math::Rng rng(seed);
+    return pnn::Pnn({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                    &serve_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &serve_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+std::vector<double> row_of(const math::Matrix& x, std::size_t r) {
+    std::vector<double> row(x.cols());
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x(r, c);
+    return row;
+}
+
+/// RAII thread-count override (the global pool is process-wide state).
+class ThreadGuard {
+public:
+    explicit ThreadGuard(std::size_t n) { runtime::set_global_threads(n); }
+    ~ThreadGuard() {
+        runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    }
+};
+
+std::string slurp(const std::string& path) {
+    std::ifstream is(path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+}
+
+/// Scratch directory unique to the running test case.
+fs::path test_scratch() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    const fs::path dir = fs::temp_directory_path() /
+                         (std::string("pnc_serve_telemetry_") + info->name());
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/// Parse a JSONL stream and return the lines whose "event" matches.
+std::vector<Value> event_lines(const std::string& text, const std::string& event) {
+    std::vector<Value> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        Value v = Value::parse(line);
+        if (const Value* e = v.find("event"); e && e->as_string() == event)
+            lines.push_back(std::move(v));
+    }
+    return lines;
+}
+
+/// Fully armed plane writing into `dir` (watchdog SLO generous enough to
+/// never trip on real traffic).
+serve::TelemetryOptions full_plane(const fs::path& dir) {
+    serve::TelemetryOptions telemetry;
+    telemetry.collect = true;
+    telemetry.spans_out = (dir / "spans.jsonl").string();
+    telemetry.live_stats_out = (dir / "live.jsonl").string();
+    telemetry.live_stats_period_ms = 20.0;
+    telemetry.watchdog = true;
+    telemetry.slo_p99_ms = 1e6;
+    telemetry.serve_health_out = (dir / "health.json").string();
+    return telemetry;
+}
+
+serve::WindowStats saturated_window(std::uint64_t index, double depth) {
+    serve::WindowStats w;
+    w.index = index;
+    w.queue_depth = w.queue_depth_max = depth;
+    w.requests = 10;
+    return w;
+}
+
+}  // namespace
+
+// ---- the headline claim: telemetry observes, never perturbs -----------------
+
+TEST(ServeTelemetryDifferential, MonitoredServingIsBitIdenticalToUnmonitored) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net = make_net(split, 91);
+    const fs::path dir = test_scratch();
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        ThreadGuard guard(threads);
+        // One serve pass, monitored or not: same submissions, same batch=7.
+        const auto run = [&](const serve::TelemetryOptions& telemetry) {
+            serve::ModelRegistry registry;
+            registry.install("iris", net);
+            serve::ServeOptions options;
+            options.max_batch = 7;
+            options.deterministic = true;
+            options.telemetry = telemetry;
+            serve::ServePipeline pipeline(registry, options);
+            std::vector<std::future<serve::Prediction>> futures;
+            for (std::size_t r = 0; r < split.x_test.rows(); ++r)
+                futures.push_back(pipeline.submit_or_wait("iris", row_of(split.x_test, r)));
+            pipeline.drain();
+            std::vector<serve::Prediction> served;
+            for (auto& f : futures) served.push_back(f.get());
+            return served;
+        };
+
+        const auto plain = run(serve::TelemetryOptions{});
+        const auto monitored = run(full_plane(dir));
+
+        ASSERT_EQ(plain.size(), monitored.size());
+        for (std::size_t r = 0; r < plain.size(); ++r) {
+            EXPECT_EQ(plain[r].predicted_class, monitored[r].predicted_class)
+                << "threads=" << threads << " row " << r;
+            EXPECT_EQ(plain[r].batch_seq, monitored[r].batch_seq)
+                << "threads=" << threads << " row " << r;
+            EXPECT_EQ(plain[r].batch_rows, monitored[r].batch_rows)
+                << "threads=" << threads << " row " << r;
+            ASSERT_EQ(plain[r].outputs.size(), monitored[r].outputs.size());
+            for (std::size_t c = 0; c < plain[r].outputs.size(); ++c)
+                // Exact ==, not near: the claim is bitwise identity.
+                ASSERT_EQ(plain[r].outputs[c], monitored[r].outputs[c])
+                    << "threads=" << threads << " row " << r << " col " << c;
+        }
+
+        // The artifacts the monitored pass wrote must self-validate.
+        EXPECT_EQ(serve::validate_spans(slurp((dir / "spans.jsonl").string())), "");
+        EXPECT_EQ(serve::validate_livestats(slurp((dir / "live.jsonl").string())), "");
+    }
+    fs::remove_all(dir);
+}
+
+// ---- span stream -------------------------------------------------------------
+
+TEST(ServeTelemetrySpans, StreamCoversEverySubmissionWithUniqueIds) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net = make_net(split, 91);
+    const fs::path dir = test_scratch();
+    const std::string spans_path = (dir / "spans.jsonl").string();
+
+    std::vector<std::uint64_t> submitted_spans;
+    {
+        serve::ModelRegistry registry;
+        registry.install("iris", net);
+        serve::ServeOptions options;
+        options.max_batch = 7;
+        options.deterministic = true;
+        options.telemetry.spans_out = spans_path;
+        serve::ServePipeline pipeline(registry, options);
+        std::vector<std::future<serve::Prediction>> futures;
+        for (std::size_t r = 0; r < split.x_test.rows(); ++r)
+            futures.push_back(pipeline.submit_or_wait("iris", row_of(split.x_test, r)));
+        pipeline.drain();
+        for (auto& f : futures) submitted_spans.push_back(f.get().span);
+    }  // ~ServePipeline closes the stream
+
+    const std::string text = slurp(spans_path);
+    ASSERT_EQ(serve::validate_spans(text), "");
+    const std::vector<Value> spans = event_lines(text, "span");
+    ASSERT_EQ(spans.size(), split.x_test.rows());
+
+    std::set<double> ids;
+    for (const Value& line : spans) {
+        EXPECT_EQ(line.find("model")->as_string(), "iris");
+        EXPECT_EQ(line.find("outcome")->as_string(), "ok");
+        EXPECT_GE(line.find("queue_ms")->as_number(), 0.0);
+        EXPECT_GE(line.find("exec_ms")->as_number(), 0.0);
+        ids.insert(line.find("span")->as_number());
+    }
+    EXPECT_EQ(ids.size(), spans.size()) << "span ids must be unique";
+    // Every prediction joins back to a span line; 0 is reserved for
+    // unmonitored serving and must never appear here.
+    for (const std::uint64_t span : submitted_spans) {
+        ASSERT_NE(span, 0u);
+        EXPECT_TRUE(ids.count(static_cast<double>(span))) << "span " << span;
+    }
+    fs::remove_all(dir);
+}
+
+TEST(ServeTelemetrySpans, ShedSubmissionsGetShedOutcomeLines) {
+    const auto split = data::split_and_normalize(data::make_dataset("iris"), 66);
+    const auto net = make_net(split, 91);
+    const fs::path dir = test_scratch();
+    const std::string spans_path = (dir / "spans.jsonl").string();
+
+    std::size_t sheds = 0;
+    {
+        serve::ModelRegistry registry;
+        registry.install("iris", net);
+        serve::ServeOptions options;
+        options.max_batch = 2;
+        options.queue_capacity = 2;
+        options.deterministic = true;
+        options.telemetry.spans_out = spans_path;
+        serve::ServePipeline pipeline(registry, options);
+        // Hold the batcher so the queue fills deterministically; the 3
+        // submissions past capacity must shed with their own span lines.
+        pipeline.pause();
+        std::vector<std::future<serve::Prediction>> futures;
+        for (std::size_t r = 0; r < 5; ++r) {
+            try {
+                futures.push_back(pipeline.submit("iris", row_of(split.x_test, r)));
+            } catch (const serve::ServeError& e) {
+                ASSERT_EQ(e.code(), serve::ServeErrorCode::kQueueFull);
+                ++sheds;
+            }
+        }
+        pipeline.resume();
+        pipeline.drain();
+        for (auto& f : futures) f.get();
+    }
+    ASSERT_EQ(sheds, 3u);
+
+    const std::string text = slurp(spans_path);
+    ASSERT_EQ(serve::validate_spans(text), "");
+    EXPECT_EQ(event_lines(text, "span").size(), 5u);
+    std::size_t shed_lines = 0;
+    for (const Value& line : event_lines(text, "span"))
+        if (line.find("outcome")->as_string() == "shed") ++shed_lines;
+    EXPECT_EQ(shed_lines, sheds);
+    fs::remove_all(dir);
+}
+
+// ---- livestats / finish() flush ---------------------------------------------
+
+namespace {
+double g_fake_now = 0.0;
+double fake_clock() { return g_fake_now; }
+}  // namespace
+
+TEST(ServeTelemetryLivestats, FinishFlushesTheFinalPartialWindow) {
+    const fs::path dir = test_scratch();
+    const std::string live_path = (dir / "live.jsonl").string();
+
+    serve::TelemetryOptions options;
+    options.collect = true;
+    options.live_stats_out = live_path;
+    // Period far beyond the test: the only window line must come from the
+    // finish() flush, not a timer tick.
+    options.live_stats_period_ms = 60000.0;
+
+    g_fake_now = 0.0;
+    serve::ServeTelemetry telemetry(options, 16, &fake_clock);
+    const std::uint64_t a = telemetry.mint_span();
+    const std::uint64_t b = telemetry.mint_span();
+    telemetry.on_enqueue(1);
+    telemetry.on_enqueue(2);
+    telemetry.on_dequeue(0);
+    telemetry.on_batch("iris", 0, {{a, 0.5, 0.1, 2.0}, {b, 0.4, 0.1, 2.0}});
+    g_fake_now = 1.0;
+    telemetry.finish();
+
+    const serve::WindowStats last = telemetry.last_window();
+    EXPECT_EQ(last.requests, 2u);
+    EXPECT_EQ(last.samples, 2u);
+    EXPECT_DOUBLE_EQ(last.batch_rows_mean, 2.0);
+    ASSERT_EQ(last.models.size(), 1u);
+    EXPECT_EQ(last.models[0].first, "iris");
+    EXPECT_EQ(last.models[0].second.first, 2u);
+
+    const std::string text = slurp(live_path);
+    ASSERT_EQ(serve::validate_livestats(text), "");
+    EXPECT_EQ(event_lines(text, "window").size(), 1u)
+        << "exactly the finish() flush, no timer windows";
+    const std::vector<Value> closes = event_lines(text, "stream.close");
+    ASSERT_EQ(closes.size(), 1u);
+    EXPECT_EQ(closes[0].find("windows")->as_number(), 1.0);
+
+    // finish() is idempotent: a second call (and the destructor after it)
+    // must not write a second trailer.
+    telemetry.finish();
+    EXPECT_EQ(slurp(live_path), text);
+    fs::remove_all(dir);
+}
+
+// ---- watchdog rules ----------------------------------------------------------
+
+TEST(ServeWatchdogRules, TripsOnlyAfterSustainedConsecutiveWindows) {
+    serve::TelemetryOptions options;
+    options.watchdog = true;
+    options.sustain_windows = 3;
+    serve::ServeWatchdog watchdog(options, /*queue_capacity=*/10);
+
+    // Two saturated windows, then a healthy one: the streak resets.
+    watchdog.observe(saturated_window(0, 10));
+    watchdog.observe(saturated_window(1, 10));
+    EXPECT_FALSE(watchdog.tripped());
+    watchdog.observe(saturated_window(2, 1));
+    EXPECT_FALSE(watchdog.tripped());
+    EXPECT_EQ(watchdog.verdict(), "healthy");
+
+    // Three in a row trip exactly once (once-per-streak semantics).
+    watchdog.observe(saturated_window(3, 10));
+    watchdog.observe(saturated_window(4, 10));
+    watchdog.observe(saturated_window(5, 10));
+    EXPECT_TRUE(watchdog.tripped());
+    EXPECT_EQ(watchdog.verdict(), "queue_saturation");
+    EXPECT_EQ(watchdog.anomalies_total(), 1u);
+    watchdog.observe(saturated_window(6, 10));
+    EXPECT_EQ(watchdog.anomalies_total(), 1u) << "a streak fires once";
+
+    // A reset then a fresh sustained streak fires again.
+    watchdog.observe(saturated_window(7, 0));
+    watchdog.observe(saturated_window(8, 10));
+    watchdog.observe(saturated_window(9, 10));
+    watchdog.observe(saturated_window(10, 10));
+    EXPECT_EQ(watchdog.anomalies_total(), 2u);
+    EXPECT_EQ(watchdog.windows_observed(), 11u);
+    ASSERT_EQ(watchdog.anomalies().size(), 2u);
+    EXPECT_EQ(watchdog.anomalies()[0].kind, "queue_saturation");
+    EXPECT_EQ(watchdog.anomalies()[0].window, 5u);
+}
+
+TEST(ServeWatchdogRules, LatencySloNeedsSamplesAndShedSpikeNeedsSheds) {
+    serve::TelemetryOptions options;
+    options.watchdog = true;
+    options.sustain_windows = 2;
+    options.slo_p99_ms = 10.0;
+    serve::ServeWatchdog watchdog(options, 10);
+
+    // Empty windows with a stale p99 carry no evidence: the SLO rule must
+    // not trip on them no matter how long they persist.
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        serve::WindowStats w;
+        w.index = i;
+        w.p99_ms = 100.0;
+        w.samples = 0;
+        watchdog.observe(w);
+    }
+    EXPECT_FALSE(watchdog.tripped());
+
+    for (std::uint64_t i = 5; i < 7; ++i) {
+        serve::WindowStats w;
+        w.index = i;
+        w.p99_ms = 100.0;
+        w.samples = 50;
+        watchdog.observe(w);
+    }
+    EXPECT_TRUE(watchdog.tripped());
+    EXPECT_EQ(watchdog.verdict(), "latency_slo");
+
+    // Shed rule: rate over attempts, fires only when sheds happened.
+    serve::ServeWatchdog shed_dog(options, 10);
+    for (std::uint64_t i = 0; i < 2; ++i) {
+        serve::WindowStats w;
+        w.index = i;
+        w.requests = 10;
+        w.sheds = 90;
+        shed_dog.observe(w);
+    }
+    EXPECT_TRUE(shed_dog.tripped());
+    EXPECT_EQ(shed_dog.verdict(), "shed_spike");
+}
+
+TEST(ServeWatchdogRules, DocumentRoundTripsThroughTheValidator) {
+    serve::TelemetryOptions options;
+    options.watchdog = true;
+    options.sustain_windows = 1;
+    serve::ServeWatchdog watchdog(options, 8);
+    EXPECT_EQ(serve::validate_serve_health(watchdog.document()), "")
+        << "healthy document must validate";
+
+    watchdog.observe(saturated_window(0, 8));
+    const Value doc = watchdog.document();
+    ASSERT_EQ(serve::validate_serve_health(doc), "");
+    EXPECT_EQ(doc.find("verdict")->as_string(), "queue_saturation");
+    const Value* status = doc.find("status");
+    ASSERT_NE(status, nullptr);
+    EXPECT_TRUE(status->find("tripped")->as_bool());
+    EXPECT_EQ(status->find("anomalies_total")->as_number(), 1.0);
+}
+
+// ---- deterministic canary ----------------------------------------------------
+
+TEST(ServeTelemetryCanary, InjectedWindowsTripThroughTheRealRulePath) {
+    const fs::path dir = test_scratch();
+    serve::TelemetryOptions options;
+    options.watchdog = true;
+    options.sustain_windows = 3;
+    options.canary = "queue_saturation:3";
+    options.serve_health_out = (dir / "health.json").string();
+
+    {
+        serve::ServeTelemetry telemetry(options, 64);
+        EXPECT_TRUE(telemetry.watchdog_tripped());
+        EXPECT_EQ(telemetry.watchdog_verdict(), "queue_saturation");
+        // Injected windows feed the watchdog only — livestats history stays
+        // clean of synthetic traffic.
+        for (const serve::WindowStats& w : telemetry.window_history())
+            EXPECT_FALSE(w.injected);
+        telemetry.finish();
+    }
+    const Value doc = Value::parse(slurp((dir / "health.json").string()));
+    ASSERT_EQ(serve::validate_serve_health(doc), "");
+    EXPECT_TRUE(doc.find("status")->find("tripped")->as_bool());
+
+    // One window short of sustain: deterministically NOT tripped.
+    serve::TelemetryOptions shy = options;
+    shy.canary = "queue_saturation:2";
+    shy.serve_health_out.clear();
+    serve::ServeTelemetry not_tripped(shy, 64);
+    EXPECT_FALSE(not_tripped.watchdog_tripped());
+    EXPECT_EQ(not_tripped.watchdog_verdict(), "healthy");
+
+    // Unknown kinds are a hard configuration error, not a silent no-op.
+    serve::TelemetryOptions bogus = options;
+    bogus.canary = "warp_core_breach:3";
+    EXPECT_THROW(serve::ServeTelemetry(bogus, 64), std::runtime_error);
+    fs::remove_all(dir);
+}
+
+// ---- CLI end-to-end ----------------------------------------------------------
+
+namespace {
+
+/// Drives the real `pnc` binary (test_obs_cli idiom): scratch artifacts dir
+/// plus a shrunken surrogate build so train runs in seconds.
+class ServeCliTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() /
+               (std::string("pnc_serve_cli_") + info->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        artifacts_ = (dir_ / "artifacts").string();
+        ::setenv("PNC_ARTIFACTS", artifacts_.c_str(), 1);
+        ::setenv("PNC_SURROGATE_SAMPLES", "120", 1);
+        ::setenv("PNC_SURROGATE_EPOCHS", "150", 1);
+    }
+
+    void TearDown() override {
+        ::unsetenv("PNC_ARTIFACTS");
+        ::unsetenv("PNC_SURROGATE_SAMPLES");
+        ::unsetenv("PNC_SURROGATE_EPOCHS");
+        ::unsetenv("PNC_NUM_THREADS");
+        fs::remove_all(dir_);
+    }
+
+    void run_cli(const std::string& cli_args) {
+        std::string output;
+        const int rc = run_cli_rc(cli_args, &output);
+        ASSERT_EQ(rc, 0) << "pnc " << cli_args << "\n" << output;
+    }
+
+    int run_cli_rc(const std::string& cli_args, std::string* output = nullptr) {
+        const std::string log = (dir_ / "cli_rc.log").string();
+        const std::string cmd =
+            std::string(PNC_CLI_PATH) + " " + cli_args + " > " + log + " 2>&1";
+        const int status = std::system(cmd.c_str());
+        if (output) *output += slurp(log);
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    void train_model() {
+        run_cli("train --dataset iris --eps 0.1 --mc 2 --epochs 6 --patience 6"
+                " --hidden 2 --seed 3 --out " + path("model.pnn"));
+    }
+
+    std::string path(const char* leaf) const { return (dir_ / leaf).string(); }
+
+    fs::path dir_;
+    std::string artifacts_;
+};
+
+}  // namespace
+
+TEST_F(ServeCliTest, ReplayWithTelemetryStaysBitIdenticalAtOneAndFourThreads) {
+    train_model();
+    run_cli("serve --dataset iris --emit-requests " + path("requests.jsonl") +
+            " --requests 24 --seed 5");
+
+    for (const char* threads : {"1", "4"}) {
+        ::setenv("PNC_NUM_THREADS", threads, 1);
+        std::string output;
+        const int rc = run_cli_rc(
+            "serve --model " + path("model.pnn") + " --replay " + path("requests.jsonl") +
+                " --batch 5 --spans-out " + path("spans.jsonl") +
+                " --live-stats-out " + path("live.jsonl") +
+                " --live-stats-period-ms 50 --predictions-out " + path("pred.jsonl"),
+            &output);
+        ASSERT_EQ(rc, 0) << output;
+        EXPECT_NE(output.find("bit-identity vs reference: OK"), std::string::npos)
+            << output;
+
+        EXPECT_EQ(serve::validate_spans(slurp(path("spans.jsonl"))), "")
+            << "threads=" << threads;
+        EXPECT_EQ(serve::validate_livestats(slurp(path("live.jsonl"))), "")
+            << "threads=" << threads;
+
+        // Predictions carry the minted span ids (pnc-predictions/2).
+        const std::string predictions = slurp(path("pred.jsonl"));
+        EXPECT_EQ(serve::validate_predictions(predictions), "");
+        EXPECT_NE(predictions.find("pnc-predictions/2"), std::string::npos);
+        std::istringstream is(predictions);
+        for (const serve::PredictionRecord& record : serve::parse_prediction_log(is))
+            EXPECT_NE(record.span, 0u) << "row " << record.seq;
+    }
+}
+
+TEST_F(ServeCliTest, SelfLoadWatchdogCanaryExitsFourWithValidFlightRecorder) {
+    train_model();
+    std::string output;
+    const int rc = run_cli_rc(
+        "serve --model " + path("model.pnn") +
+            " --dataset iris --self-load 64 --batch 8 --submitters 2" +
+            " --watchdog-canary queue_saturation:3 --serve-health-out " +
+            path("health.json") + " --live-stats-period-ms 25",
+        &output);
+    EXPECT_EQ(rc, 4) << output;
+    EXPECT_NE(output.find("watchdog: queue_saturation"), std::string::npos) << output;
+    EXPECT_NE(output.find("final window:"), std::string::npos) << output;
+
+    const Value doc = Value::parse(slurp(path("health.json")));
+    ASSERT_EQ(serve::validate_serve_health(doc), "");
+    EXPECT_TRUE(doc.find("status")->find("tripped")->as_bool());
+    EXPECT_EQ(doc.find("verdict")->as_string(), "queue_saturation");
+}
+
+TEST_F(ServeCliTest, TopRendersValidStreamsAndRejectsBadInvocations) {
+    // Build a small closed livestats stream without training: drive the
+    // telemetry plane directly, then point the dashboard at the file.
+    {
+        serve::TelemetryOptions options;
+        options.collect = true;
+        options.live_stats_out = path("live.jsonl");
+        options.live_stats_period_ms = 60000.0;
+        g_fake_now = 0.0;
+        serve::ServeTelemetry telemetry(options, 32, &fake_clock);
+        telemetry.on_enqueue(3);
+        telemetry.on_batch("iris", 0, {{telemetry.mint_span(), 0.2, 0.1, 1.5}});
+        g_fake_now = 0.5;
+        telemetry.finish();
+    }
+
+    std::string output;
+    ASSERT_EQ(run_cli_rc("top " + path("live.jsonl"), &output), 0) << output;
+    EXPECT_NE(output.find("pnc top"), std::string::npos);
+    EXPECT_NE(output.find("[closed]"), std::string::npos);
+    EXPECT_NE(output.find("model iris"), std::string::npos);
+
+    // Follow mode terminates on the stream.close trailer (CI-safe).
+    output.clear();
+    ASSERT_EQ(run_cli_rc("top " + path("live.jsonl") + " --follow 1", &output), 0)
+        << output;
+
+    // Corrupt stream: strict validation fails with exit 1.
+    {
+        std::ofstream os(path("truncated.jsonl"));
+        os << slurp(path("live.jsonl")).substr(0, 40) << "\n";
+    }
+    EXPECT_EQ(run_cli_rc("top " + path("truncated.jsonl")), 1);
+    // Usage errors: missing file and unknown flags both exit 2.
+    EXPECT_EQ(run_cli_rc("top " + path("missing.jsonl")), 2);
+    EXPECT_EQ(run_cli_rc("top " + path("live.jsonl") + " --bogus 1"), 2);
+}

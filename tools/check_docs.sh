@@ -5,10 +5,11 @@
 #
 # 1. Broken links: every inline `[text](target)` in every tracked *.md
 #    file must resolve (absolute URLs skipped, #fragments stripped).
-# 2. Schema coverage: every schema id `pnc-<name>/1` mentioned anywhere in
-#    the docs must have a matching `validate_<name>` symbol (dashes ->
-#    underscores) somewhere under src/ — a documented document format
-#    without a validator is either vapor-docs or a missing validator.
+# 2. Schema coverage: every schema id `pnc-<name>/<version>` mentioned
+#    anywhere in the docs must have a matching `validate_<name>` symbol
+#    (dashes -> underscores, version stripped) somewhere under src/ — a
+#    documented document format without a validator is either vapor-docs
+#    or a missing validator.
 #
 # Used as the docs counterpart of the test suite: new docs must keep every
 # cross-reference valid.
@@ -62,15 +63,16 @@ fi
 echo "check_docs: all $checked relative links resolve"
 
 # ---- schema ids must have validators ------------------------------------
-# Collect every pnc-<name>/1 schema id in the markdown set, map it to its
-# validator symbol (pnc-bench-suite/1 -> validate_bench_suite), and require
-# that symbol to appear in a C++ source/header under src/.
-schemas=$(grep -ohE 'pnc-[a-z0-9-]+/1' $md_files 2>/dev/null | sort -u)
+# Collect every pnc-<name>/<version> schema id in the markdown set, map it
+# to its versionless validator symbol (pnc-bench-suite/1 ->
+# validate_bench_suite, pnc-predictions/2 -> validate_predictions), and
+# require that symbol to appear in a C++ source/header under src/.
+schemas=$(grep -ohE 'pnc-[a-z0-9-]+/[0-9]+' $md_files 2>/dev/null | sort -u)
 schema_failures=0
 schema_checked=0
 for schema in $schemas; do
     name=${schema#pnc-}
-    name=${name%/1}
+    name=${name%/*}
     symbol="validate_$(printf '%s' "$name" | tr '-' '_')"
     schema_checked=$((schema_checked + 1))
     if ! grep -rqE "std::string ${symbol}\(" src/; then

@@ -37,6 +37,19 @@
 //                  [--check-reference 0|1] [--predictions-out P.jsonl]
 //   pnc serve      --model model.pnn --dataset iris --self-load N [--batch B]
 //                  [--deadline-ms D] [--queue-cap Q] [--submitters S]
+//   pnc top        LIVESTATS.jsonl [--follow 1] [--history N]
+//
+// `serve --replay/--self-load` additionally accept the live telemetry plane
+// (docs/OBSERVABILITY.md "Live serving telemetry"):
+//   --spans-out S.jsonl            pnc-spans/1 per-request phase timings
+//   --live-stats-out L.jsonl       pnc-livestats/1 rolling-window snapshots
+//   --live-stats-period-ms N       snapshot period (default 250)
+//   --slo-p99-ms MS                arm the watchdog's latency_slo rule
+//   --serve-health-out H.json      pnc-serve-health/1 flight recorder
+//   --watchdog-canary KIND[:N]     inject N synthetic anomalous windows
+// A self-load run whose watchdog tripped exits 4 (like `pnc doctor`).
+// `top` renders a pnc-livestats/1 stream as a terminal dashboard;
+// --follow 1 tails a growing file until its stream.close trailer arrives.
 //
 // `serve` drives the async batched serving runtime (src/serve,
 // docs/ARCHITECTURE.md "The serving runtime"). --emit-requests writes a
@@ -94,6 +107,7 @@
 #include <cstdio>
 #include <future>
 #include <thread>
+#include <unistd.h>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -111,6 +125,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/events.hpp"
 #include "obs/health.hpp"
+#include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "pnn/certification.hpp"
 #include "pnn/cost_analysis.hpp"
@@ -120,6 +135,7 @@
 #include "pnn/training.hpp"
 #include "serve/pipeline.hpp"
 #include "serve/request_log.hpp"
+#include "serve/telemetry.hpp"
 #include "yield/campaign.hpp"
 #include "yield/yield_report.hpp"
 
@@ -823,6 +839,35 @@ std::vector<std::vector<double>> serve_rows(const math::Matrix& x_test, std::siz
     return rows;
 }
 
+/// Live telemetry plane for serve modes: CLI flags override the
+/// PNC_SERVE_* / PNC_LIVE_STATS_* environment (same precedence the obs
+/// flags follow).
+serve::TelemetryOptions telemetry_options_from_args(const Args& args) {
+    serve::TelemetryOptions telemetry = serve::TelemetryOptions::from_env();
+    if (const std::string v = args.get("spans-out"); !v.empty()) telemetry.spans_out = v;
+    if (const std::string v = args.get("live-stats-out"); !v.empty())
+        telemetry.live_stats_out = v;
+    if (const std::string v = args.get("live-stats-period-ms"); !v.empty()) {
+        telemetry.live_stats_period_ms = args.number("live-stats-period-ms", 250.0);
+        if (telemetry.live_stats_period_ms <= 0.0)
+            throw UsageError("--live-stats-period-ms must be positive");
+    }
+    if (const std::string v = args.get("slo-p99-ms"); !v.empty()) {
+        telemetry.slo_p99_ms = args.number("slo-p99-ms", 0.0);
+        if (telemetry.slo_p99_ms <= 0.0) throw UsageError("--slo-p99-ms must be positive");
+        telemetry.watchdog = true;
+    }
+    if (const std::string v = args.get("serve-health-out"); !v.empty()) {
+        telemetry.serve_health_out = v;
+        telemetry.watchdog = true;
+    }
+    if (const std::string v = args.get("watchdog-canary"); !v.empty()) {
+        telemetry.canary = v;
+        telemetry.watchdog = true;
+    }
+    return telemetry;
+}
+
 int cmd_serve_emit(const Args& args) {
     const std::string out_path = args.get("emit-requests");
     const auto split = data::split_and_normalize(
@@ -859,6 +904,7 @@ int cmd_serve_replay(const Args& args) {
     options.max_batch = static_cast<std::size_t>(args.number("batch", 32));
     options.queue_capacity = static_cast<std::size_t>(args.number("queue-cap", 1024));
     options.deterministic = true;  // replay contract: deadline flush disabled
+    options.telemetry = telemetry_options_from_args(args);
 
     std::vector<serve::Prediction> served;
     served.reserve(log.requests.size());
@@ -885,7 +931,8 @@ int cmd_serve_replay(const Args& args) {
     if (const std::string out_path = args.get("predictions-out"); !out_path.empty()) {
         std::vector<serve::PredictionRecord> records(served.size());
         for (std::size_t i = 0; i < served.size(); ++i)
-            records[i] = {i, served[i].predicted_class, served[i].outputs};
+            records[i] = {i, served[i].predicted_class, served[i].outputs,
+                          served[i].span};
         std::ofstream os(out_path);
         if (!os) throw UsageError("cannot write predictions " + out_path);
         serve::write_prediction_log(os, log.model, records);
@@ -935,12 +982,17 @@ int cmd_serve_self_load(const Args& args) {
     options.max_batch = static_cast<std::size_t>(args.number("batch", 32));
     options.flush_deadline_ms = args.number("deadline-ms", 2.0);
     options.queue_capacity = static_cast<std::size_t>(args.number("queue-cap", 1024));
+    options.telemetry = telemetry_options_from_args(args);
 
     // Latency histograms need the metrics registry regardless of the
     // telemetry flags; results are unchanged.
     obs::set_enabled(true);
 
     std::atomic<std::size_t> sheds{0};
+    serve::WindowStats final_window;
+    bool have_final_window = false;
+    bool watchdog_tripped = false;
+    std::string watchdog_verdict;
     const auto start = std::chrono::steady_clock::now();
     {
         serve::ServePipeline pipeline(registry, options);
@@ -966,6 +1018,18 @@ int cmd_serve_self_load(const Args& args) {
         }
         for (auto& thread : threads) thread.join();
         pipeline.drain();
+        // Stop flushes the final (possibly partial) telemetry window, so a
+        // short run still reports what it actually did instead of an empty
+        // window. Read the plane's final state before the pipeline goes away.
+        pipeline.stop();
+        if (const serve::ServeTelemetry* telemetry = pipeline.telemetry()) {
+            final_window = telemetry->last_window();
+            have_final_window = true;
+            if (telemetry->watchdog_armed()) {
+                watchdog_tripped = telemetry->watchdog_tripped();
+                watchdog_verdict = telemetry->watchdog_verdict();
+            }
+        }
     }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -981,6 +1045,18 @@ int cmd_serve_self_load(const Args& args) {
                 dataset.c_str(), total, submitters, options.max_batch,
                 seconds > 0 ? static_cast<double>(total) / seconds : 0.0, p50 * 1e3,
                 p99 * 1e3, sheds.load());
+    if (have_final_window) {
+        std::printf("final window: %llu samples, %.0f samples/sec, p50 %.3f ms, "
+                    "p99 %.3f ms, queue depth max %.0f\n",
+                    static_cast<unsigned long long>(final_window.samples),
+                    final_window.samples_per_sec, final_window.p50_ms,
+                    final_window.p99_ms, final_window.queue_depth_max);
+    }
+    if (!watchdog_verdict.empty()) {
+        std::printf("watchdog: %s\n", watchdog_verdict.c_str());
+        // Exit 4 mirrors `pnc doctor` on a diverged training run.
+        if (watchdog_tripped) return 4;
+    }
     return 0;
 }
 
@@ -996,12 +1072,180 @@ int cmd_serve(const Args& args) {
     return cmd_serve_self_load(args);
 }
 
+// ---- pnc top ---------------------------------------------------------------
+
+/// One parsed pnc-livestats/1 `window` line (lenient subset for rendering).
+struct TopWindow {
+    double t = 0.0;
+    std::uint64_t index = 0;
+    double queue_depth = 0.0, queue_depth_max = 0.0;
+    double requests = 0.0, sheds = 0.0, errors = 0.0, samples = 0.0;
+    double samples_per_sec = 0.0, p50_ms = 0.0, p99_ms = 0.0, batch_rows_mean = 0.0;
+    std::vector<std::pair<std::string, std::pair<double, double>>> models;
+};
+
+struct TopStream {
+    double window_seconds = 0.0, period_ms = 0.0, queue_capacity = 0.0;
+    std::vector<TopWindow> windows;
+    bool closed = false;
+};
+
+double top_number(const obs::json::Value& line, const char* key) {
+    const obs::json::Value* v = line.find(key);
+    return v && v->is_number() ? v->as_number() : 0.0;
+}
+
+/// Lenient incremental parse for --follow: complete, well-formed lines are
+/// consumed; a partial trailing line (the writer mid-append) stops the scan
+/// without an error. Strict validation is the non-follow path's job.
+TopStream parse_livestats_lenient(const std::string& text) {
+    TopStream stream;
+    std::istringstream is(text);
+    std::string raw;
+    while (std::getline(is, raw)) {
+        if (raw.empty()) continue;
+        obs::json::Value line;
+        try {
+            line = obs::json::Value::parse(raw);
+        } catch (const std::exception&) {
+            break;  // partial tail of a growing file
+        }
+        const obs::json::Value* event = line.find("event");
+        if (!event || !event->is_string()) continue;
+        if (event->as_string() == "stream.open") {
+            stream.window_seconds = top_number(line, "window_seconds");
+            stream.period_ms = top_number(line, "period_ms");
+            stream.queue_capacity = top_number(line, "queue_capacity");
+        } else if (event->as_string() == "window") {
+            TopWindow w;
+            w.t = top_number(line, "t");
+            w.index = static_cast<std::uint64_t>(top_number(line, "window"));
+            w.queue_depth = top_number(line, "queue_depth");
+            w.queue_depth_max = top_number(line, "queue_depth_max");
+            w.requests = top_number(line, "requests");
+            w.sheds = top_number(line, "sheds");
+            w.errors = top_number(line, "errors");
+            w.samples = top_number(line, "samples");
+            w.samples_per_sec = top_number(line, "samples_per_sec");
+            w.p50_ms = top_number(line, "p50_ms");
+            w.p99_ms = top_number(line, "p99_ms");
+            w.batch_rows_mean = top_number(line, "batch_rows_mean");
+            if (const obs::json::Value* models = line.find("models");
+                models && models->is_object()) {
+                for (const auto& [name, entry] : models->members())
+                    w.models.emplace_back(
+                        name, std::make_pair(top_number(entry, "samples"),
+                                             top_number(entry, "samples_per_sec")));
+            }
+            stream.windows.push_back(std::move(w));
+        } else if (event->as_string() == "stream.close") {
+            stream.closed = true;
+        }
+    }
+    return stream;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+    static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                    "▅", "▆", "▇", "█"};
+    double max = 0.0;
+    for (const double v : values) max = std::max(max, v);
+    std::string out;
+    for (const double v : values) {
+        const int level =
+            max > 0.0 ? std::min(7, static_cast<int>(v / max * 7.0 + 0.5)) : 0;
+        out += kBlocks[level];
+    }
+    return out;
+}
+
+void render_top(const std::string& path, const TopStream& stream,
+                std::size_t history) {
+    std::printf("pnc top — %s   window %.1fs  period %.0fms  queue cap %.0f%s\n",
+                path.c_str(), stream.window_seconds, stream.period_ms,
+                stream.queue_capacity, stream.closed ? "  [closed]" : "");
+    if (stream.windows.empty()) {
+        std::printf("(no windows yet)\n");
+        return;
+    }
+    const TopWindow& w = stream.windows.back();
+    std::printf("window %llu  t %.1fs\n", static_cast<unsigned long long>(w.index),
+                w.t);
+    std::printf("  requests %.0f  sheds %.0f  errors %.0f  samples %.0f\n",
+                w.requests, w.sheds, w.errors, w.samples);
+    std::printf("  samples/sec %.0f  p50 %.3f ms  p99 %.3f ms\n", w.samples_per_sec,
+                w.p50_ms, w.p99_ms);
+    std::printf("  queue depth %.0f (max %.0f)  batch rows mean %.1f\n",
+                w.queue_depth, w.queue_depth_max, w.batch_rows_mean);
+    for (const auto& [name, stats] : w.models)
+        std::printf("  model %s: %.0f samples, %.0f/sec\n", name.c_str(), stats.first,
+                    stats.second);
+
+    const std::size_t n = std::min(history, stream.windows.size());
+    const std::size_t first = stream.windows.size() - n;
+    std::vector<double> throughput, p99, depth;
+    for (std::size_t i = first; i < stream.windows.size(); ++i) {
+        throughput.push_back(stream.windows[i].samples_per_sec);
+        p99.push_back(stream.windows[i].p99_ms);
+        depth.push_back(stream.windows[i].queue_depth_max);
+    }
+    std::printf("  samples/sec %s\n", sparkline(throughput).c_str());
+    std::printf("  p99 ms      %s\n", sparkline(p99).c_str());
+    std::printf("  queue depth %s\n", sparkline(depth).c_str());
+}
+
+int cmd_top(const Args& args) {
+    validate_options(args, {"follow", "history"});
+    if (args.positionals.size() != 1)
+        throw UsageError("usage: pnc top LIVESTATS.jsonl [--follow 1] [--history N]");
+    const std::string& path = args.positionals.front();
+    const bool follow = args.number("follow", 0) != 0;
+    const auto history =
+        std::max<std::size_t>(1, static_cast<std::size_t>(args.number("history", 60)));
+
+    const auto slurp = [&path]() -> std::string {
+        std::ifstream is(path);
+        std::ostringstream buffer;
+        buffer << is.rdbuf();
+        return buffer.str();
+    };
+    {
+        std::ifstream probe(path);
+        if (!probe) throw UsageError("cannot open livestats file " + path);
+    }
+
+    if (!follow) {
+        const std::string text = slurp();
+        const std::string error = serve::validate_livestats(text);
+        if (!error.empty()) {
+            std::fprintf(stderr, "top: invalid pnc-livestats/1 stream: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        render_top(path, parse_livestats_lenient(text), history);
+        return 0;
+    }
+
+    // Follow mode tails the growing file, re-rendering as complete lines
+    // land, and exits when the stream.close trailer arrives — so pointing
+    // it at a finished file terminates immediately (CI-safe).
+    const bool tty = isatty(STDOUT_FILENO) != 0;
+    for (;;) {
+        const TopStream stream = parse_livestats_lenient(slurp());
+        if (tty) std::fputs("\x1b[2J\x1b[H", stdout);
+        render_top(path, stream, history);
+        std::fflush(stdout);
+        if (stream.closed) return 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+}
+
 /// `out` is stdout for `pnc help` and stderr from the usage-error path in
 /// main() — diagnostics never pollute a command's machine-readable stdout.
 int cmd_help(std::FILE* out = stdout) {
     std::fputs("pnc — printed neuromorphic circuit designer\n", out);
     std::fputs("commands: curve fit datasets dataset train eval certify yield export cost "
-               "report doctor serve help\n", out);
+               "report doctor serve top help\n", out);
     std::fputs("global flags: --metrics-out report.json  --trace-out trace.json\n", out);
     std::fputs("              --events-out events.jsonl  --chrome-trace-out trace.json\n", out);
     std::fputs("              --health-out health.json   (training flight recorder)\n", out);
@@ -1015,7 +1259,11 @@ int cmd_help(std::FILE* out = stdout) {
     std::fputs("        --model M --replay R.jsonl [--batch B --check-reference 0|1\n", out);
     std::fputs("        --predictions-out P.jsonl] (exit 1 unless bit-identical) |\n", out);
     std::fputs("        --model M --dataset D --self-load N [--submitters S --batch B\n", out);
-    std::fputs("        --deadline-ms D --queue-cap Q]\n", out);
+    std::fputs("        --deadline-ms D --queue-cap Q] (exit 4 when the watchdog trips)\n", out);
+    std::fputs("        live telemetry: --spans-out S.jsonl --live-stats-out L.jsonl\n", out);
+    std::fputs("        --live-stats-period-ms N --slo-p99-ms MS --serve-health-out H\n", out);
+    std::fputs("        --watchdog-canary KIND[:N]\n", out);
+    std::fputs("top:    pnc top LIVESTATS.jsonl [--follow 1] [--history N]\n", out);
     std::fputs("fault flags (eval): --fault-model NAME --fault-rate R --spec A "
                "--fault-report f.json\n", out);
     std::fputs("eval backend: --backend reference|compiled (or PNC_INFER_BACKEND)\n", out);
@@ -1027,6 +1275,7 @@ int dispatch(const Args& args) {
     if (args.command == "report") return cmd_report(args);
     if (args.command == "doctor") return cmd_doctor(args);
     if (args.command == "yield") return cmd_yield(args);
+    if (args.command == "top") return cmd_top(args);
     if (!args.positionals.empty())
         throw UsageError("command '" + args.command + "' takes no positional argument '" +
                          args.positionals.front() + "'");
@@ -1073,7 +1322,9 @@ int dispatch(const Args& args) {
         validate_options(args, {"model", "dataset", "seed", "emit-requests", "requests",
                                 "replay", "batch", "queue-cap", "check-reference",
                                 "predictions-out", "self-load", "deadline-ms",
-                                "submitters"});
+                                "submitters", "spans-out", "live-stats-out",
+                                "live-stats-period-ms", "slo-p99-ms",
+                                "serve-health-out", "watchdog-canary"});
         return cmd_serve(args);
     }
     if (args.command == "help" || args.command == "--help") return cmd_help();
