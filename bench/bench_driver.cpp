@@ -82,7 +82,7 @@ const BenchSpec kBenches[] = {
     std::fprintf(
         rc == 0 ? stdout : stderr,
         "usage: pnc-bench [--smoke | --full] [--filter SUBSTR] [--list]\n"
-        "                 [--out FILE] [--bench-dir DIR]\n"
+        "                 [--out FILE] [--bench-dir DIR] [--profile]\n"
         "\n"
         "Runs the bench suite and writes one pnc-bench-suite/1 artifact\n"
         "(default: $PNC_ARTIFACTS/BENCH_<utc>.json) plus per-bench logs.\n"
@@ -92,7 +92,10 @@ const BenchSpec kBenches[] = {
         "  --list        print the registry and exit\n"
         "  --out FILE    artifact path\n"
         "  --bench-dir D directory holding the bench binaries\n"
-        "                (default: the driver's own directory)\n");
+        "                (default: the driver's own directory)\n"
+        "  --profile     capture a pnc-profile/1 sampling profile per bench\n"
+        "                (<name>.profile.json next to the logs; inspect with\n"
+        "                `pnc prof summary|flame`)\n");
     std::exit(rc);
 }
 
@@ -114,12 +117,21 @@ struct ChildResult {
     int exit_code = 0;
     double wall_seconds = 0.0;
     double peak_rss_kb = 0.0;
+    double user_seconds = 0.0;
+    double sys_seconds = 0.0;
 };
 
+double timeval_seconds(const struct timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
 /// fork/exec one bench with stdout+stderr redirected to `log_path` and the
-/// headline side file requested via PNC_HEADLINE_OUT. wait4 gives peak RSS.
+/// headline side file requested via PNC_HEADLINE_OUT. wait4 gives peak RSS
+/// plus user/sys CPU time. `profile_path` non-empty requests an in-process
+/// pnc-profile/1 capture via PNC_PROF_OUT (see exp::BenchRun).
 ChildResult run_child(const std::string& binary, const std::string& log_path,
-                      const std::string& headline_path, bool smoke) {
+                      const std::string& headline_path, bool smoke,
+                      const std::string& profile_path) {
     const auto start = std::chrono::steady_clock::now();
     const pid_t pid = fork();
     if (pid < 0) {
@@ -134,6 +146,7 @@ ChildResult run_child(const std::string& binary, const std::string& log_path,
             if (fd > STDERR_FILENO) ::close(fd);
         }
         ::setenv("PNC_HEADLINE_OUT", headline_path.c_str(), 1);
+        if (!profile_path.empty()) ::setenv("PNC_PROF_OUT", profile_path.c_str(), 1);
         if (smoke) ::setenv("PNC_SMOKE", "1", 1);
         ::execl(binary.c_str(), binary.c_str(), static_cast<char*>(nullptr));
         std::fprintf(stderr, "pnc-bench: cannot exec %s: %s\n", binary.c_str(),
@@ -147,6 +160,8 @@ ChildResult run_child(const std::string& binary, const std::string& log_path,
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     result.peak_rss_kb = static_cast<double>(ru.ru_maxrss);  // Linux: kilobytes
+    result.user_seconds = timeval_seconds(ru.ru_utime);
+    result.sys_seconds = timeval_seconds(ru.ru_stime);
     if (WIFEXITED(status))
         result.exit_code = WEXITSTATUS(status);
     else if (WIFSIGNALED(status))
@@ -180,6 +195,7 @@ std::string read_headline(const std::string& path, obs::BenchResult& bench) {
 int main(int argc, char** argv) {
     bool smoke = false;
     bool list = false;
+    bool profile = false;
     std::string filter, out_path;
     std::string bench_dir = dirname_of(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -197,6 +213,7 @@ int main(int argc, char** argv) {
         else if (arg == "--list") list = true;
         else if (arg == "--out") out_path = value();
         else if (arg == "--bench-dir") bench_dir = value();
+        else if (arg == "--profile") profile = true;
         else if (arg == "--help" || arg == "-h") usage(0);
         else {
             std::fprintf(stderr, "pnc-bench: unknown argument '%s'\n", arg.c_str());
@@ -269,14 +286,20 @@ int main(int argc, char** argv) {
         const std::string binary = bench_dir + "/" + spec->binary;
         const std::string log_path = log_dir + "/" + spec->name + ".log";
         const std::string headline_path = log_dir + "/" + spec->name + ".headline.json";
+        const std::string profile_path =
+            profile ? log_dir + "/" + spec->name + ".profile.json" : std::string();
         ::unlink(headline_path.c_str());
-        const ChildResult child = run_child(binary, log_path, headline_path, smoke);
+        if (!profile_path.empty()) ::unlink(profile_path.c_str());
+        const ChildResult child =
+            run_child(binary, log_path, headline_path, smoke, profile_path);
 
         obs::BenchResult bench;
         bench.name = spec->name;
         bench.exit_code = child.exit_code;
         bench.wall_seconds = child.wall_seconds;
         bench.peak_rss_kb = child.peak_rss_kb;
+        bench.user_seconds = child.user_seconds;
+        bench.sys_seconds = child.sys_seconds;
         std::string note;
         if (child.exit_code == 0)
             note = read_headline(headline_path, bench);

@@ -2,10 +2,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 
 #include "exp/artifacts.hpp"
 #include "obs/baseline.hpp"
+#include "obs/config.hpp"
+#include "prof/profile.hpp"
+#include "prof/profiler.hpp"
 
 namespace pnc::exp {
 
@@ -56,6 +60,15 @@ BenchRun BenchRun::init(std::string tool, int argc, char** argv, bool allow_pass
         }
     }
     if (run.smoke_) apply_smoke_env_defaults();
+    // PNC_PROF_OUT (set by `pnc-bench --profile`, or by hand) arms the
+    // sampling profiler for the whole bench; finish() writes the artifact.
+    // Span visibility needs the obs gate, and enabling it is safe by the
+    // bit-identity contract (observability never changes numerical results).
+    run.prof_out_ = env_string("PNC_PROF_OUT", "");
+    if (!run.prof_out_.empty()) {
+        obs::set_enabled(true);
+        prof::Profiler::global().start();
+    }
     return run;
 }
 
@@ -64,6 +77,15 @@ void BenchRun::headline(const std::string& name, double value) {
 }
 
 int BenchRun::finish() {
+    if (!prof_out_.empty() && prof::Profiler::global().running()) {
+        try {
+            prof::write_profile(prof_out_, prof::Profiler::global().stop());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s: cannot write profile %s: %s\n", tool_.c_str(),
+                         prof_out_.c_str(), e.what());
+            return 1;
+        }
+    }
     if (headline_out_.empty()) return 0;
     const auto doc = obs::headline_document(tool_, smoke_, metrics_);
     std::ofstream os(headline_out_);

@@ -44,14 +44,16 @@ public:
     void headline(const std::string& name, double value);
 
     /// Write the pnc-headline/1 document when --headline-out (or
-    /// PNC_HEADLINE_OUT) asked for one. Returns the bench's exit code
-    /// contribution: 0, or 1 when the write failed.
+    /// PNC_HEADLINE_OUT) asked for one, and the pnc-profile/1 capture when
+    /// PNC_PROF_OUT armed the profiler in init(). Returns the bench's exit
+    /// code contribution: 0, or 1 when a write failed.
     int finish();
 
 private:
     std::string tool_;
     bool smoke_ = false;
     std::string headline_out_;
+    std::string prof_out_;
     std::vector<std::string> passthrough_;
     std::vector<std::pair<std::string, double>> metrics_;
 };

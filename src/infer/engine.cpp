@@ -20,6 +20,7 @@
 #include "math/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prof/counters.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pnc::infer {
@@ -62,7 +63,9 @@ thread_local std::vector<double> t_table_store;
 thread_local std::vector<double> t_batch_store;
 
 /// Materialized per-perturbation tables of one layer: pointers either into
-/// the plan (nominal fast path) or into the table arena.
+/// the plan (nominal fast path) or into the table arena. Held in a
+/// thread_local scratch (grown once, reused) so steady-state forward_rows
+/// calls stay allocation-free.
 struct LayerTables {
     const double* w_pos = nullptr;      // n_in x n_out
     const double* w_neg = nullptr;      // n_in x n_out
@@ -70,6 +73,8 @@ struct LayerTables {
     const double* eta_act = nullptr;    // n_out x 4 (null when no activation)
     const double* eta_neg = nullptr;    // n_in x 4
 };
+
+thread_local std::vector<LayerTables> t_layer_tables;
 
 /// Run the surrogate eta pipeline for `inst` perturbed circuit copies.
 /// ref: NonlinearParam::eta = printable (replicate, hadamard) ->
@@ -234,8 +239,34 @@ void CompiledPnn::forward_rows(const Matrix& x, std::size_t row_lo, std::size_t 
     const std::size_t rows = row_hi - row_lo;
     const std::size_t n_layers = plan_.layers.size();
 
+    // Kernel cost attribution (src/prof): tallies and arena marks only —
+    // armed by a profiling session, off by default, and by construction
+    // unable to touch the arithmetic below.
+    prof::KernelScope kernel(prof::Kernel::kInferForward);
+    if (prof::counting()) {
+        std::uint64_t flops_per_row = 0;
+        std::uint64_t bytes_per_row = 0;
+        for (const LayerPlan& layer : plan_.layers) {
+            const auto n_in = static_cast<std::uint64_t>(layer.n_in);
+            const auto n_out = static_cast<std::uint64_t>(layer.n_out);
+            // ptanh = 5 flops (+1 negation on the inverted input path); the
+            // two matmuls are mul+add each; bias add is sum + bias.
+            flops_per_row += 6 * n_in + 4 * n_in * n_out + 2 * n_out +
+                             (layer.apply_activation ? 5 * n_out : 0);
+            // Weight tables, input/output rows and both eta tables, in
+            // doubles; an attribution estimate, not a cache-line count.
+            bytes_per_row +=
+                8 * (2 * n_in * n_out + n_in + n_out + 4 * n_in + 4 * n_out);
+        }
+        const auto n_rows = static_cast<std::uint64_t>(rows);
+        kernel.add(n_rows, flops_per_row * n_rows, bytes_per_row * n_rows);
+        prof::note_arena_table_doubles(plan_.table_doubles());
+        prof::note_arena_batch_doubles(plan_.batch_doubles(rows));
+    }
+
     Bump table_bump(t_table_store, plan_.table_doubles());
-    std::vector<LayerTables> tables(n_layers);
+    if (t_layer_tables.size() < n_layers) t_layer_tables.resize(n_layers);
+    LayerTables* const tables = t_layer_tables.data();
     for (std::size_t l = 0; l < n_layers; ++l)
         tables[l] = materialize_tables(table_bump, plan_.layers[l],
                                        variation ? &(*variation)[l] : nullptr,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 namespace pnc::obs {
 
@@ -98,6 +99,10 @@ json::Value bench_suite_document(const BenchSuite& suite) {
         row.set("exit_code", json::Value::number(bench.exit_code));
         row.set("wall_seconds", json::Value::number(bench.wall_seconds));
         row.set("peak_rss_kb", json::Value::number(bench.peak_rss_kb));
+        if (bench.user_seconds >= 0.0)
+            row.set("user_seconds", json::Value::number(bench.user_seconds));
+        if (bench.sys_seconds >= 0.0)
+            row.set("sys_seconds", json::Value::number(bench.sys_seconds));
         json::Value metrics = json::Value::object();
         for (const auto& [name, value] : bench.metrics)
             metrics.set(name, json::Value::number(value));
@@ -134,6 +139,11 @@ std::string validate_bench_suite(const json::Value& doc) {
         }
         if (row.find("wall_seconds")->as_number() < 0.0)
             return where + ".wall_seconds must be >= 0";
+        // Optional CPU-time fields (absent in pre-CPU artifacts).
+        for (const char* key : {"user_seconds", "sys_seconds"})
+            if (const json::Value* v = row.find(key); v)
+                if (!finite_number(v) || v->as_number() < 0.0)
+                    return where + "." + key + " must be a finite number >= 0";
         const json::Value* metrics = row.find("metrics");
         if (!metrics || !metrics->is_object()) return where + ".metrics object missing";
         if (auto err = check_metric_object(*metrics, where + ".metrics"); !err.empty())
@@ -154,6 +164,10 @@ BenchSuite parse_bench_suite(const json::Value& doc) {
         bench.exit_code = static_cast<int>(row.find("exit_code")->as_number());
         bench.wall_seconds = row.find("wall_seconds")->as_number();
         bench.peak_rss_kb = row.find("peak_rss_kb")->as_number();
+        if (const json::Value* v = row.find("user_seconds"); v)
+            bench.user_seconds = v->as_number();
+        if (const json::Value* v = row.find("sys_seconds"); v)
+            bench.sys_seconds = v->as_number();
         for (const auto& [metric, value] : row.find("metrics")->members())
             bench.metrics.emplace_back(metric, value.as_number());
         suite.benches.push_back(std::move(bench));
@@ -319,6 +333,26 @@ DiffResult diff_suites(const BenchSuite& baseline, const BenchSuite& candidate,
                        tolerances, out);
         compare_metric(base.name + ".peak_rss_kb", base.peak_rss_kb, cand->peak_rss_kb,
                        tolerances, out);
+        // CPU time compares only when both sides recorded it; a candidate
+        // that newly gained the fields shows up as informational rows.
+        for (const auto& [metric, base_v, cand_v] :
+             {std::tuple<const char*, double, double>{"user_seconds", base.user_seconds,
+                                                      cand->user_seconds},
+              std::tuple<const char*, double, double>{"sys_seconds", base.sys_seconds,
+                                                      cand->sys_seconds}}) {
+            const std::string full = base.name + "." + metric;
+            if (base_v >= 0.0 && cand_v >= 0.0) {
+                compare_metric(full, base_v, cand_v, tolerances, out);
+            } else if (base_v >= 0.0 || cand_v >= 0.0) {
+                MetricDelta delta;
+                delta.name = full;
+                delta.kind = classify_metric(metric);
+                delta.verdict = cand_v >= 0.0 ? Verdict::kNew : Verdict::kMissing;
+                delta.baseline = std::max(base_v, 0.0);
+                delta.candidate = std::max(cand_v, 0.0);
+                out.deltas.push_back(std::move(delta));
+            }
+        }
         for (const auto& [metric, value] : base.metrics) {
             const std::string full = base.name + "." + metric;
             const auto it = std::find_if(cand->metrics.begin(), cand->metrics.end(),

@@ -29,6 +29,12 @@ struct BenchResult {
     int exit_code = 0;
     double wall_seconds = 0.0;
     double peak_rss_kb = 0.0;
+    /// Child CPU time from wait4 rusage; negative = not recorded (older
+    /// artifacts predate these fields, which stay optional in the schema).
+    /// Wall vs user+sys distinguishes a CPU-bound regression from a
+    /// blocked/oversubscribed one.
+    double user_seconds = -1.0;
+    double sys_seconds = -1.0;
     /// Headline metrics in insertion order (accuracy/yield/samples-per-sec
     /// style numbers reported by the bench itself).
     std::vector<std::pair<std::string, double>> metrics;

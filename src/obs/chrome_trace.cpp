@@ -1,5 +1,6 @@
 #include "obs/chrome_trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <stdexcept>
@@ -11,7 +12,7 @@ namespace {
 constexpr const char* kChromeTraceSchema = "pnc-chrome-trace/1";
 
 json::Value complete_event(const std::string& name, double ts_us, double dur_us,
-                           std::uint64_t count, double seconds) {
+                           std::uint64_t count, double seconds, double self_seconds) {
     json::Value event = json::Value::object();
     event.set("name", json::Value::string(name));
     event.set("ph", json::Value::string("X"));
@@ -23,14 +24,22 @@ json::Value complete_event(const std::string& name, double ts_us, double dur_us,
     args.set("count", json::Value::number(static_cast<double>(count)));
     if (count > 0)
         args.set("mean_seconds", json::Value::number(seconds / static_cast<double>(count)));
+    args.set("self_seconds", json::Value::number(self_seconds));
     event.set("args", std::move(args));
     return event;
 }
 
-/// Lay `node` out at `start_us`, children back to back inside it.
+/// Lay `node` out at `start_us`, children back to back inside it. The
+/// args.self_seconds of a span is its total minus its children (clamped at
+/// zero against timer jitter), so Perfetto-style tooling can aggregate
+/// exclusive time without re-deriving the tree.
 void layout(const TraceNode& node, double start_us, json::Value& events) {
     const double dur_us = node.seconds * 1e6;
-    events.push_back(complete_event(node.name, start_us, dur_us, node.count, node.seconds));
+    double child_seconds = 0.0;
+    for (const auto& child : node.children) child_seconds += child->seconds;
+    const double self_seconds = std::max(0.0, node.seconds - child_seconds);
+    events.push_back(
+        complete_event(node.name, start_us, dur_us, node.count, node.seconds, self_seconds));
     double cursor = start_us;
     for (const auto& child : node.children) {
         layout(*child, cursor, events);
@@ -108,6 +117,13 @@ std::string validate_chrome_trace(const json::Value& doc) {
                     v->as_number() < 0.0)
                     return where + key + " must be a finite number >= 0";
             }
+            // self_seconds is optional (older artifacts predate it) but
+            // must be a sane exclusive time when present.
+            if (const json::Value* args = event.find("args"); args && args->is_object())
+                if (const json::Value* self = args->find("self_seconds"); self)
+                    if (!self->is_number() || !std::isfinite(self->as_number()) ||
+                        self->as_number() < 0.0)
+                        return where + "args.self_seconds must be a finite number >= 0";
         }
     }
     return "";

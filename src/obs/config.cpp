@@ -18,10 +18,12 @@ ObsConfig ObsConfig::from_env() {
     if (const char* v = std::getenv("PNC_CHROME_TRACE_OUT"); v && *v)
         config.chrome_trace_out = v;
     if (const char* v = std::getenv("PNC_HEALTH_OUT"); v && *v) config.health_out = v;
+    if (const char* v = std::getenv("PNC_PROF_OUT"); v && *v) config.profile_out = v;
     const char* flag = std::getenv("PNC_OBS");
     config.enabled = (flag && *flag && std::atoi(flag) != 0) || !config.metrics_out.empty() ||
                      !config.trace_out.empty() || !config.events_out.empty() ||
-                     !config.chrome_trace_out.empty() || !config.health_out.empty();
+                     !config.chrome_trace_out.empty() || !config.health_out.empty() ||
+                     !config.profile_out.empty();
     return config;
 }
 

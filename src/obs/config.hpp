@@ -27,9 +27,9 @@ void set_enabled(bool on);
 
 /// Where a run wants its telemetry written. Filled from CLI flags
 /// (`--metrics-out`, `--trace-out`, `--events-out`, `--chrome-trace-out`,
-/// `--health-out`) or the PNC_OBS / PNC_METRICS_OUT / PNC_TRACE_OUT /
-/// PNC_EVENTS_OUT / PNC_CHROME_TRACE_OUT / PNC_HEALTH_OUT environment
-/// variables.
+/// `--health-out`, `--profile-out`) or the PNC_OBS / PNC_METRICS_OUT /
+/// PNC_TRACE_OUT / PNC_EVENTS_OUT / PNC_CHROME_TRACE_OUT / PNC_HEALTH_OUT /
+/// PNC_PROF_OUT environment variables.
 struct ObsConfig {
     bool enabled = false;
     std::string metrics_out;       ///< run-report JSON path ("" = don't write)
@@ -37,6 +37,7 @@ struct ObsConfig {
     std::string events_out;        ///< JSONL event-stream path ("" = no stream)
     std::string chrome_trace_out;  ///< Chrome trace-event JSON path
     std::string health_out;        ///< training flight-recorder JSON path
+    std::string profile_out;       ///< pnc-profile/1 JSON path (arms the sampler)
 
     /// PNC_OBS=1 enables collection; any *_OUT variable sets the matching
     /// output path (each one implies enabled).

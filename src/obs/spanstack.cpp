@@ -1,0 +1,125 @@
+#include "obs/spanstack.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pnc::obs::spanstack {
+
+namespace detail {
+std::atomic<bool> g_collecting{false};
+}  // namespace detail
+
+void set_collecting(bool on) {
+    detail::g_collecting.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// One thread's stack. Lives in thread_local storage; a raw pointer to it
+/// sits in the registry from first use until thread exit.
+struct Slot {
+    std::uint64_t id = 0;
+    std::atomic<std::uint32_t> depth{0};
+    std::atomic<const char*> frames[kMaxDepth] = {};
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::vector<Slot*> slots;
+    std::uint64_t next_id = 1;
+};
+
+/// Leaked on purpose: thread_local destructors (deregistration) and the
+/// sampler can both outlive any static-destruction order.
+Registry& registry() {
+    static Registry* r = new Registry();
+    return *r;
+}
+
+struct TlsRegistration {
+    Slot slot;
+    TlsRegistration() {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        slot.id = r.next_id++;
+        r.slots.push_back(&slot);
+    }
+    ~TlsRegistration() {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        for (std::size_t i = 0; i < r.slots.size(); ++i)
+            if (r.slots[i] == &slot) {
+                r.slots.erase(r.slots.begin() + i);
+                break;
+            }
+    }
+};
+
+Slot& tls_slot() {
+    thread_local TlsRegistration registration;
+    return registration.slot;
+}
+
+void push(const char* interned_name) {
+    Slot& slot = tls_slot();
+    const std::uint32_t d = slot.depth.load(std::memory_order_relaxed);
+    if (d < kMaxDepth) slot.frames[d].store(interned_name, std::memory_order_relaxed);
+    // Release so a sampler that acquires the new depth sees the frame store.
+    slot.depth.store(d + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+const char* intern(std::string_view name) {
+    // Keys are immortal: the map node owns the std::string whose c_str()
+    // we hand out, and the map itself is leaked.
+    static auto* table = new std::map<std::string, bool>();
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto [it, inserted] = table->emplace(std::string(name), true);
+    return it->first.c_str();
+}
+
+bool enter(std::string_view name) {
+    if (!collecting()) return false;
+    push(intern(name));
+    return true;
+}
+
+bool enter_interned(const char* interned_name) {
+    if (!collecting()) return false;
+    push(interned_name);
+    return true;
+}
+
+void exit() noexcept {
+    Slot& slot = tls_slot();
+    const std::uint32_t d = slot.depth.load(std::memory_order_relaxed);
+    if (d > 0) slot.depth.store(d - 1, std::memory_order_release);
+}
+
+void ensure_registered() { (void)tls_slot(); }
+
+void for_each_stack(const std::function<void(const StackSample&)>& fn) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    StackSample sample;
+    for (Slot* slot : r.slots) {
+        sample.thread_id = slot->id;
+        const std::uint32_t d = slot->depth.load(std::memory_order_acquire);
+        sample.depth = d < kMaxDepth ? d : kMaxDepth;
+        for (std::size_t i = 0; i < sample.depth; ++i)
+            sample.frames[i] = slot->frames[i].load(std::memory_order_relaxed);
+        fn(sample);
+    }
+}
+
+std::size_t registered_threads() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.slots.size();
+}
+
+}  // namespace pnc::obs::spanstack

@@ -1,0 +1,84 @@
+// Lock-free per-thread span stacks for the sampling profiler.
+//
+// Every thread that opens an obs::ScopedTimer (or a prof::KernelScope)
+// while a profiling session is collecting pushes the span's *interned*
+// name onto a fixed-capacity thread_local stack of atomic pointers. A
+// background sampler thread (src/prof) walks every registered stack at a
+// fixed rate and records the frame paths it sees; the worker threads
+// themselves never take a lock — push/pop is two relaxed stores and a
+// release bump of the depth counter.
+//
+// Interning makes the scheme safe without synchronizing on span lifetime:
+// the sampler may observe a frame slot mid-pop/re-push, but every value a
+// slot can hold is a pointer into the immortal intern table, so the worst
+// case is one sample attributed to the neighbouring span — standard
+// sampling-profiler semantics, never a dangling read.
+//
+// When no session is collecting (the default, and always unless
+// prof::Profiler::start ran) enter() is a single relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace pnc::obs::spanstack {
+
+/// Frames beyond this depth still count in the depth bookkeeping but are
+/// not stored; the sampler clamps its reads, so over-deep recursion loses
+/// leaf attribution instead of corrupting the stack.
+inline constexpr std::size_t kMaxDepth = 64;
+
+namespace detail {
+extern std::atomic<bool> g_collecting;
+}  // namespace detail
+
+/// True while a profiling session wants span pushes. One relaxed load.
+inline bool collecting() {
+    return detail::g_collecting.load(std::memory_order_relaxed);
+}
+
+/// Flipped by prof::Profiler::start/stop. Spans already open when
+/// collection starts are not retroactively pushed (and, symmetrically,
+/// frames pushed during the session are popped by their own scope even
+/// after it ends): the per-thread depth stays balanced across sessions.
+void set_collecting(bool on);
+
+/// Map `name` to its immortal, stable character pointer. Same contents ->
+/// same pointer, for the life of the process. Takes a mutex; hot callers
+/// with literal names should intern once into a function-local static.
+const char* intern(std::string_view name);
+
+/// Push one frame if a session is collecting. Returns true when a frame
+/// was pushed — the caller must then call exit() exactly once.
+bool enter(std::string_view name);
+
+/// Same, with a pre-interned name (skips the intern-table mutex).
+bool enter_interned(const char* interned_name);
+
+/// Pop the calling thread's innermost frame (no-op at depth 0).
+void exit() noexcept;
+
+/// Register the calling thread with the sampler even before its first
+/// span, so idle pool workers are visible in `threads_seen`.
+void ensure_registered();
+
+/// One thread's stack as the sampler saw it: up to kMaxDepth interned
+/// frame pointers, outermost first.
+struct StackSample {
+    std::uint64_t thread_id = 0;  ///< stable per-thread registration id
+    const char* frames[kMaxDepth] = {};
+    std::size_t depth = 0;  ///< clamped to kMaxDepth
+};
+
+/// Invoke `fn` once per live registered thread, under the registry mutex
+/// (thread birth/death blocks for the duration; push/pop does not). The
+/// callback must not call enter()/exit()/intern().
+void for_each_stack(const std::function<void(const StackSample&)>& fn);
+
+/// Number of currently registered threads.
+std::size_t registered_threads();
+
+}  // namespace pnc::obs::spanstack

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/spanstack.hpp"
+
 namespace pnc::obs {
 
 namespace {
@@ -65,6 +67,7 @@ ScopedTimer::ScopedTimer(std::string_view name) {
         node_ = owned_.get();
     }
     t_current = node_;
+    pushed_ = spanstack::enter(name);
     start_ = std::chrono::steady_clock::now();
 }
 
@@ -73,6 +76,7 @@ ScopedTimer::~ScopedTimer() {
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
     node_->count += 1;
     node_->seconds += elapsed.count();
+    if (pushed_) spanstack::exit();
     t_current = parent_;
     if (owned_) Tracer::global().merge_root(*owned_);
 }

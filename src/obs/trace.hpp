@@ -8,6 +8,11 @@
 // outermost span closes, the finished tree is merged by name into the global
 // Tracer under a mutex. When obs is disabled a ScopedTimer is a single
 // relaxed atomic load and two dead stores.
+//
+// When a profiling session is collecting (prof::Profiler, gated separately
+// on obs::spanstack::collecting()), each span additionally pushes its
+// interned name onto the thread's lock-free span stack on entry and pops
+// it on exit, making the span visible to the background sampler.
 #pragma once
 
 #include <chrono>
@@ -70,6 +75,7 @@ public:
 
 private:
     bool active_ = false;
+    bool pushed_ = false;  ///< frame pushed onto the profiler span stack
     std::chrono::steady_clock::time_point start_;
     TraceNode* node_ = nullptr;
     TraceNode* parent_ = nullptr;

@@ -13,6 +13,7 @@
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prof/counters.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pnc::pnn {
@@ -218,8 +219,29 @@ TrainResult train_pnn(Pnn& pnn, const data::SplitDataset& data, const TrainOptio
 
     std::vector<std::size_t> order = math::iota_indices(data.x_train.rows());
 
+    // Static per-row cost model for the kernel tallies (src/prof): the MC
+    // training step runs forward + backward over every sampled realization,
+    // roughly 3x the forward's 2mn madds per crossbar. Attribution
+    // estimates only — never consulted by the training math.
+    std::uint64_t train_flops_per_row = 0;
+    std::uint64_t train_bytes_per_row = 0;
+    for (std::size_t l = 0; l + 1 < pnn.layer_sizes().size(); ++l) {
+        const auto n_in = static_cast<std::uint64_t>(pnn.layer_sizes()[l]);
+        const auto n_out = static_cast<std::uint64_t>(pnn.layer_sizes()[l + 1]);
+        train_flops_per_row += 3 * (4 * n_in * n_out + 11 * (n_in + n_out));
+        train_bytes_per_row += 3 * 8 * (2 * n_in * n_out + 5 * (n_in + n_out));
+    }
+
     for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
         obs::ScopedTimer epoch_span("epoch");
+        prof::KernelScope epoch_kernel(prof::Kernel::kTrainEpoch);
+        if (prof::counting()) {
+            const auto epoch_rows = static_cast<std::uint64_t>(data.x_train.rows()) *
+                                    static_cast<std::uint64_t>(
+                                        std::max(options.n_mc_train, 1));
+            epoch_kernel.add(epoch_rows, train_flops_per_row * epoch_rows,
+                             train_bytes_per_row * epoch_rows);
+        }
         const auto epoch_start = s_epoch_seconds ? Clock::now() : Clock::time_point{};
         GradStats epoch_grads;
         std::size_t epoch_batches = 1;

@@ -1,0 +1,168 @@
+#include "prof/alloc_hooks.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace pnc::prof {
+
+namespace {
+
+// constinit-style zero-initialized atomics: safe to touch from allocations
+// that happen before any static constructor runs.
+std::atomic<bool> g_tracking{false};
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_deallocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+inline void note_alloc(std::size_t size) {
+    if (!g_tracking.load(std::memory_order_relaxed)) return;
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(static_cast<std::uint64_t>(size), std::memory_order_relaxed);
+}
+
+inline void note_dealloc() {
+    if (!g_tracking.load(std::memory_order_relaxed)) return;
+    g_deallocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void* checked_alloc(std::size_t size) {
+    void* p = std::malloc(size ? size : 1);
+    if (!p) throw std::bad_alloc();
+    note_alloc(size);
+    return p;
+}
+
+inline void* aligned_alloc_raw(std::size_t size, std::size_t alignment) {
+    if (alignment < sizeof(void*)) alignment = sizeof(void*);
+    void* p = nullptr;
+    if (::posix_memalign(&p, alignment, size ? size : alignment) != 0) return nullptr;
+    return p;
+}
+
+inline void* checked_aligned_alloc(std::size_t size, std::size_t alignment) {
+    void* p = aligned_alloc_raw(size, alignment);
+    if (!p) throw std::bad_alloc();
+    note_alloc(size);
+    return p;
+}
+
+}  // namespace
+
+bool alloc_tracking() { return g_tracking.load(std::memory_order_relaxed); }
+
+void set_alloc_tracking(bool on) { g_tracking.store(on, std::memory_order_relaxed); }
+
+AllocStats alloc_snapshot() {
+    AllocStats stats;
+    stats.allocations = g_allocations.load(std::memory_order_relaxed);
+    stats.deallocations = g_deallocations.load(std::memory_order_relaxed);
+    stats.bytes = g_bytes.load(std::memory_order_relaxed);
+    return stats;
+}
+
+AllocGuard::AllocGuard() : begin_(alloc_snapshot()), previous_(alloc_tracking()) {
+    set_alloc_tracking(true);
+}
+
+AllocGuard::~AllocGuard() { set_alloc_tracking(previous_); }
+
+AllocStats AllocGuard::delta() const {
+    const AllocStats now = alloc_snapshot();
+    AllocStats delta;
+    delta.allocations = now.allocations - begin_.allocations;
+    delta.deallocations = now.deallocations - begin_.deallocations;
+    delta.bytes = now.bytes - begin_.bytes;
+    return delta;
+}
+
+}  // namespace pnc::prof
+
+// ------------------------------------------------------------------------
+// Replacement global operators. malloc/free-backed (posix_memalign for the
+// aligned forms, whose memory is free()-compatible), so mixing with memory
+// allocated before these linked in — there is none; replacement is
+// per-binary and total — or with sanitizer interceptors is safe.
+
+void* operator new(std::size_t size) { return pnc::prof::checked_alloc(size); }
+
+void* operator new[](std::size_t size) { return pnc::prof::checked_alloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    void* p = std::malloc(size ? size : 1);
+    if (p) pnc::prof::note_alloc(size);
+    return p;
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    void* p = std::malloc(size ? size : 1);
+    if (p) pnc::prof::note_alloc(size);
+    return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+    return pnc::prof::checked_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+    return pnc::prof::checked_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+    void* p = pnc::prof::aligned_alloc_raw(size, static_cast<std::size_t>(alignment));
+    if (p) pnc::prof::note_alloc(size);
+    return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+    void* p = pnc::prof::aligned_alloc_raw(size, static_cast<std::size_t>(alignment));
+    if (p) pnc::prof::note_alloc(size);
+    return p;
+}
+
+void operator delete(void* p) noexcept {
+    if (p) pnc::prof::note_dealloc();
+    std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+    if (p) pnc::prof::note_dealloc();
+    std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept { operator delete[](p); }
+
+void operator delete(void* p, const std::nothrow_t&) noexcept { operator delete(p); }
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept { operator delete[](p); }
+
+void operator delete(void* p, std::align_val_t) noexcept {
+    if (p) pnc::prof::note_dealloc();
+    std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+    if (p) pnc::prof::note_dealloc();
+    std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t alignment) noexcept {
+    operator delete(p, alignment);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t alignment) noexcept {
+    operator delete[](p, alignment);
+}
+
+void operator delete(void* p, std::align_val_t alignment, const std::nothrow_t&) noexcept {
+    operator delete(p, alignment);
+}
+
+void operator delete[](void* p, std::align_val_t alignment,
+                       const std::nothrow_t&) noexcept {
+    operator delete[](p, alignment);
+}

@@ -1,0 +1,53 @@
+// Global new/delete interposition counters.
+//
+// Linking this translation unit replaces the global operator new/delete
+// family with thin wrappers over malloc/free that bump three process-wide
+// counters — allocations, deallocations, bytes requested — when tracking
+// is armed (one relaxed atomic load per allocation when it is not, which
+// is the permanent state unless a profiling session or an AllocGuard is
+// active). Counting never changes allocation behaviour: the wrappers
+// allocate exactly what the default ones would.
+//
+// This is what turns "zero steady-state allocation on the hot path" from a
+// comment into an enforced test: wrap the steady-state loop in an
+// AllocGuard and assert delta().allocations == 0 (tests/test_prof.cpp).
+//
+// The replacement operators only link into a binary when something in it
+// references this header's symbols (they live in the same translation
+// unit), so binaries that never profile keep the toolchain's operators.
+#pragma once
+
+#include <cstdint>
+
+namespace pnc::prof {
+
+struct AllocStats {
+    std::uint64_t allocations = 0;    ///< operator new calls while tracking
+    std::uint64_t deallocations = 0;  ///< operator delete calls while tracking
+    std::uint64_t bytes = 0;          ///< bytes requested while tracking
+};
+
+bool alloc_tracking();
+void set_alloc_tracking(bool on);
+
+/// Monotonic totals since process start (only grown while tracking is on).
+AllocStats alloc_snapshot();
+
+/// RAII window: arms tracking for its lifetime (restoring the previous
+/// state) and reports the delta observed since construction.
+class AllocGuard {
+public:
+    AllocGuard();
+    ~AllocGuard();
+
+    AllocGuard(const AllocGuard&) = delete;
+    AllocGuard& operator=(const AllocGuard&) = delete;
+
+    AllocStats delta() const;
+
+private:
+    AllocStats begin_;
+    bool previous_ = false;
+};
+
+}  // namespace pnc::prof

@@ -1,0 +1,122 @@
+#include "prof/counters.hpp"
+
+#include "obs/spanstack.hpp"
+
+namespace pnc::prof {
+
+namespace detail {
+std::atomic<bool> g_counting{false};
+}  // namespace detail
+
+void set_counting(bool on) { detail::g_counting.store(on, std::memory_order_relaxed); }
+
+const char* kernel_name(Kernel kernel) {
+    switch (kernel) {
+        case Kernel::kInferForward: return "infer.forward_rows";
+        case Kernel::kTrainEpoch: return "train.epoch_kernel";
+        case Kernel::kYieldRound: return "yield.round_kernel";
+        case Kernel::kCount: break;
+    }
+    return "?";
+}
+
+namespace {
+
+struct KernelAtomics {
+    std::atomic<std::uint64_t> invocations{0};
+    std::atomic<std::uint64_t> rows{0};
+    std::atomic<std::uint64_t> flops{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> nanos{0};
+};
+
+KernelAtomics g_kernels[kKernelCount];
+
+std::atomic<std::uint64_t> g_table_hwm{0};
+std::atomic<std::uint64_t> g_batch_hwm{0};
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+}
+
+/// Interned span-stack frames for the kernel labels, resolved once.
+const char* interned_kernel_name(Kernel kernel) {
+    static const char* names[kKernelCount] = {
+        obs::spanstack::intern(kernel_name(Kernel::kInferForward)),
+        obs::spanstack::intern(kernel_name(Kernel::kTrainEpoch)),
+        obs::spanstack::intern(kernel_name(Kernel::kYieldRound)),
+    };
+    return names[static_cast<int>(kernel)];
+}
+
+}  // namespace
+
+KernelTotals kernel_totals(Kernel kernel) {
+    const KernelAtomics& a = g_kernels[static_cast<int>(kernel)];
+    KernelTotals totals;
+    totals.invocations = a.invocations.load(std::memory_order_relaxed);
+    totals.rows = a.rows.load(std::memory_order_relaxed);
+    totals.flops = a.flops.load(std::memory_order_relaxed);
+    totals.bytes = a.bytes.load(std::memory_order_relaxed);
+    totals.seconds = static_cast<double>(a.nanos.load(std::memory_order_relaxed)) * 1e-9;
+    return totals;
+}
+
+void reset_kernel_totals() {
+    for (KernelAtomics& a : g_kernels) {
+        a.invocations.store(0, std::memory_order_relaxed);
+        a.rows.store(0, std::memory_order_relaxed);
+        a.flops.store(0, std::memory_order_relaxed);
+        a.bytes.store(0, std::memory_order_relaxed);
+        a.nanos.store(0, std::memory_order_relaxed);
+    }
+}
+
+KernelScope::KernelScope(Kernel kernel) {
+    if (!counting()) return;
+    active_ = true;
+    kernel_ = kernel;
+    pushed_ = obs::spanstack::enter_interned(interned_kernel_name(kernel));
+    start_ = std::chrono::steady_clock::now();
+}
+
+KernelScope::~KernelScope() {
+    if (!active_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    if (pushed_) obs::spanstack::exit();
+    KernelAtomics& a = g_kernels[static_cast<int>(kernel_)];
+    a.invocations.fetch_add(1, std::memory_order_relaxed);
+    a.rows.fetch_add(rows_, std::memory_order_relaxed);
+    a.flops.fetch_add(flops_, std::memory_order_relaxed);
+    a.bytes.fetch_add(bytes_, std::memory_order_relaxed);
+    a.nanos.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()),
+        std::memory_order_relaxed);
+}
+
+void note_arena_table_doubles(std::size_t doubles) {
+    atomic_max(g_table_hwm, static_cast<std::uint64_t>(doubles));
+}
+
+void note_arena_batch_doubles(std::size_t doubles) {
+    atomic_max(g_batch_hwm, static_cast<std::uint64_t>(doubles));
+}
+
+std::uint64_t arena_table_doubles_hwm() {
+    return g_table_hwm.load(std::memory_order_relaxed);
+}
+
+std::uint64_t arena_batch_doubles_hwm() {
+    return g_batch_hwm.load(std::memory_order_relaxed);
+}
+
+void reset_arena_hwm() {
+    g_table_hwm.store(0, std::memory_order_relaxed);
+    g_batch_hwm.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pnc::prof

@@ -1,0 +1,100 @@
+// Kernel cost counters and arena high-water marks.
+//
+// The hot kernels (the compiled forward pass, the yield-campaign round
+// loop, the training epoch loop) tally how much work they actually did —
+// rows processed, floating-point operations, bytes touched — into
+// thread-local accumulators that merge into global atomics when the scope
+// closes. A profile (src/prof/profiler.hpp) then reports GFLOP/s,
+// arithmetic intensity and rows/sec per kernel alongside sampled time.
+//
+// Everything is gated on one relaxed atomic (`counting()`, armed only by
+// prof::Profiler::start): when off, a KernelScope is a single load and the
+// arena notes are dead branches. Counting reads clocks and sizes, never an
+// Rng stream, so arming it cannot change any numerical result — the same
+// bit-identity contract as the rest of the obs stack.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace pnc::prof {
+
+/// The instrumented kernels. Names (kernel_name) double as span-stack
+/// frames so sampled time and counted work attribute to the same label.
+enum class Kernel : int {
+    kInferForward = 0,  ///< CompiledPnn::forward_rows (predict/eval/yield/serve)
+    kTrainEpoch,        ///< pnn::train_pnn epoch inner loop
+    kYieldRound,        ///< yield::run_yield_campaign round loop
+    kCount,
+};
+
+inline constexpr int kKernelCount = static_cast<int>(Kernel::kCount);
+
+/// Stable label, e.g. "infer.forward_rows".
+const char* kernel_name(Kernel kernel);
+
+/// Merged totals for one kernel since the last reset.
+struct KernelTotals {
+    std::uint64_t invocations = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;  ///< summed wall time inside the kernel scopes
+};
+
+namespace detail {
+extern std::atomic<bool> g_counting;
+}  // namespace detail
+
+/// True while a profiling session wants kernel tallies. One relaxed load.
+inline bool counting() { return detail::g_counting.load(std::memory_order_relaxed); }
+
+/// Flipped by prof::Profiler::start/stop (tests may arm it directly).
+void set_counting(bool on);
+
+KernelTotals kernel_totals(Kernel kernel);
+void reset_kernel_totals();
+
+/// RAII tally for one kernel invocation. Checks the gate once at
+/// construction; add() calls accumulate into plain members and the
+/// destructor merges them into the global atomics (and pops the span-stack
+/// frame the constructor pushed, when a sampler session is collecting).
+class KernelScope {
+public:
+    explicit KernelScope(Kernel kernel);
+    ~KernelScope();
+
+    KernelScope(const KernelScope&) = delete;
+    KernelScope& operator=(const KernelScope&) = delete;
+
+    void add(std::uint64_t rows, std::uint64_t flops, std::uint64_t bytes) {
+        if (!active_) return;
+        rows_ += rows;
+        flops_ += flops;
+        bytes_ += bytes;
+    }
+
+private:
+    bool active_ = false;
+    bool pushed_ = false;
+    Kernel kernel_ = Kernel::kInferForward;
+    std::uint64_t rows_ = 0;
+    std::uint64_t flops_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+// ------------------------------------------------------------- arenas
+// High-water marks of the compiled engine's per-thread bump arenas (in
+// doubles), noted by the engine when counting is armed. Atomic max, so the
+// mark is the largest arena any thread ever asked for in the session.
+
+void note_arena_table_doubles(std::size_t doubles);
+void note_arena_batch_doubles(std::size_t doubles);
+std::uint64_t arena_table_doubles_hwm();
+std::uint64_t arena_batch_doubles_hwm();
+void reset_arena_hwm();
+
+}  // namespace pnc::prof

@@ -1,0 +1,389 @@
+#include "prof/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace pnc::prof {
+
+using obs::json::Value;
+
+namespace {
+
+constexpr const char* kSchema = "pnc-profile/1";
+
+Value node_document(const ProfileNode& node) {
+    Value doc = Value::object();
+    doc.set("name", Value::string(node.name));
+    doc.set("self", Value::number(static_cast<double>(node.self)));
+    doc.set("total", Value::number(static_cast<double>(node.total)));
+    Value children = Value::array();
+    for (const auto& child : node.children) children.push_back(node_document(*child));
+    doc.set("children", std::move(children));
+    return doc;
+}
+
+Value kernel_document(const KernelTotals& totals) {
+    Value doc = Value::object();
+    doc.set("invocations", Value::number(static_cast<double>(totals.invocations)));
+    doc.set("rows", Value::number(static_cast<double>(totals.rows)));
+    doc.set("flops", Value::number(static_cast<double>(totals.flops)));
+    doc.set("bytes", Value::number(static_cast<double>(totals.bytes)));
+    doc.set("seconds", Value::number(totals.seconds));
+    const double seconds = totals.seconds > 0.0 ? totals.seconds : 0.0;
+    const double gflops =
+        seconds > 0.0 ? static_cast<double>(totals.flops) / seconds * 1e-9 : 0.0;
+    const double rows_per_sec =
+        seconds > 0.0 ? static_cast<double>(totals.rows) / seconds : 0.0;
+    const double intensity = totals.bytes > 0
+                                 ? static_cast<double>(totals.flops) /
+                                       static_cast<double>(totals.bytes)
+                                 : 0.0;
+    doc.set("gflops_per_sec", Value::number(gflops));
+    doc.set("rows_per_sec", Value::number(rows_per_sec));
+    doc.set("arithmetic_intensity", Value::number(intensity));
+    return doc;
+}
+
+bool nonneg_number(const Value* v) {
+    return v && v->is_number() && std::isfinite(v->as_number()) && v->as_number() >= 0.0;
+}
+
+bool nonneg_integer(const Value* v) {
+    return nonneg_number(v) && v->as_number() == std::floor(v->as_number());
+}
+
+/// Validate one tree node; on success adds its total to `sum` and returns "".
+std::string validate_node(const Value& node, const std::string& where, double& sum) {
+    if (!node.is_object()) return where + " is not an object";
+    const Value* name = node.find("name");
+    if (!name || !name->is_string() || name->as_string().empty())
+        return where + ".name must be a non-empty string";
+    const Value* self = node.find("self");
+    if (!nonneg_integer(self)) return where + ".self must be a non-negative integer";
+    const Value* total = node.find("total");
+    if (!nonneg_integer(total)) return where + ".total must be a non-negative integer";
+    const Value* children = node.find("children");
+    if (!children || !children->is_array()) return where + ".children array missing";
+    double child_sum = 0.0;
+    for (std::size_t i = 0; i < children->items().size(); ++i) {
+        const std::string err =
+            validate_node(children->items()[i],
+                          where + ".children[" + std::to_string(i) + "]", child_sum);
+        if (!err.empty()) return err;
+    }
+    if (total->as_number() != self->as_number() + child_sum)
+        return where + ".total != self + sum(children.total)";
+    sum += total->as_number();
+    return "";
+}
+
+std::unique_ptr<ProfileNode> parse_node(const Value& node) {
+    auto out = std::make_unique<ProfileNode>();
+    out->name = node.find("name")->as_string();
+    out->self = static_cast<std::uint64_t>(node.find("self")->as_number());
+    out->total = static_cast<std::uint64_t>(node.find("total")->as_number());
+    for (const Value& child : node.find("children")->items())
+        out->children.push_back(parse_node(child));
+    return out;
+}
+
+void collect_collapsed(const ProfileNode& node, std::string& prefix,
+                       std::vector<std::string>& lines) {
+    const std::size_t mark = prefix.size();
+    if (!prefix.empty()) prefix += ';';
+    prefix += node.name;
+    if (node.self > 0) lines.push_back(prefix + " " + std::to_string(node.self));
+    for (const auto& child : node.children) collect_collapsed(*child, prefix, lines);
+    prefix.resize(mark);
+}
+
+void accumulate_self(const ProfileNode& node, std::map<std::string, std::uint64_t>& by_name) {
+    by_name[node.name] += node.self;
+    for (const auto& child : node.children) accumulate_self(*child, by_name);
+}
+
+}  // namespace
+
+Value profile_document(const Profile& profile) {
+    Value doc = Value::object();
+    doc.set("schema", Value::string(kSchema));
+
+    Value meta = Value::object();
+    meta.set("hz", Value::number(profile.hz));
+    meta.set("duration_seconds", Value::number(profile.duration_seconds));
+    meta.set("ticks", Value::number(static_cast<double>(profile.ticks)));
+    meta.set("missed_ticks", Value::number(static_cast<double>(profile.missed_ticks)));
+    meta.set("samples", Value::number(static_cast<double>(profile.samples)));
+    meta.set("threads_seen", Value::number(static_cast<double>(profile.threads_seen)));
+    doc.set("meta", std::move(meta));
+
+    Value tree = Value::array();
+    for (const auto& root : profile.roots) tree.push_back(node_document(*root));
+    doc.set("tree", std::move(tree));
+
+    Value kernels = Value::object();
+    for (const auto& [name, totals] : profile.kernels)
+        kernels.set(name, kernel_document(totals));
+    doc.set("kernels", std::move(kernels));
+
+    Value alloc = Value::object();
+    alloc.set("allocations", Value::number(static_cast<double>(profile.alloc.allocations)));
+    alloc.set("deallocations",
+              Value::number(static_cast<double>(profile.alloc.deallocations)));
+    alloc.set("bytes", Value::number(static_cast<double>(profile.alloc.bytes)));
+    doc.set("alloc", std::move(alloc));
+
+    Value arena = Value::object();
+    arena.set("table_doubles_hwm",
+              Value::number(static_cast<double>(profile.arena_table_doubles_hwm)));
+    arena.set("batch_doubles_hwm",
+              Value::number(static_cast<double>(profile.arena_batch_doubles_hwm)));
+    doc.set("arena", std::move(arena));
+    return doc;
+}
+
+std::string validate_profile(const Value& doc) {
+    if (!doc.is_object()) return "document is not an object";
+    const Value* schema = doc.find("schema");
+    if (!schema || !schema->is_string() || schema->as_string() != kSchema)
+        return std::string("schema is not \"") + kSchema + "\"";
+
+    const Value* meta = doc.find("meta");
+    if (!meta || !meta->is_object()) return "meta object missing";
+    const Value* hz = meta->find("hz");
+    if (!hz || !hz->is_number() || !std::isfinite(hz->as_number()) ||
+        hz->as_number() <= 0.0)
+        return "meta.hz must be a finite number > 0";
+    if (!nonneg_number(meta->find("duration_seconds")))
+        return "meta.duration_seconds must be a finite number >= 0";
+    for (const char* key : {"ticks", "missed_ticks", "samples", "threads_seen"})
+        if (!nonneg_integer(meta->find(key)))
+            return std::string("meta.") + key + " must be a non-negative integer";
+
+    const Value* tree = doc.find("tree");
+    if (!tree || !tree->is_array()) return "tree array missing";
+    double total_samples = 0.0;
+    for (std::size_t i = 0; i < tree->items().size(); ++i) {
+        const std::string err = validate_node(
+            tree->items()[i], "tree[" + std::to_string(i) + "]", total_samples);
+        if (!err.empty()) return err;
+    }
+    if (total_samples != meta->find("samples")->as_number())
+        return "meta.samples != sum of tree root totals";
+
+    const Value* kernels = doc.find("kernels");
+    if (!kernels || !kernels->is_object()) return "kernels object missing";
+    for (const auto& [name, row] : kernels->members()) {
+        const std::string where = "kernels." + name;
+        if (name.empty()) return "kernels has an empty kernel name";
+        if (!row.is_object()) return where + " is not an object";
+        for (const char* key : {"invocations", "rows", "flops", "bytes"})
+            if (!nonneg_integer(row.find(key)))
+                return where + "." + key + " must be a non-negative integer";
+        for (const char* key :
+             {"seconds", "gflops_per_sec", "rows_per_sec", "arithmetic_intensity"})
+            if (!nonneg_number(row.find(key)))
+                return where + "." + key + " must be a finite number >= 0";
+    }
+
+    const Value* alloc = doc.find("alloc");
+    if (!alloc || !alloc->is_object()) return "alloc object missing";
+    for (const char* key : {"allocations", "deallocations", "bytes"})
+        if (!nonneg_integer(alloc->find(key)))
+            return std::string("alloc.") + key + " must be a non-negative integer";
+
+    const Value* arena = doc.find("arena");
+    if (!arena || !arena->is_object()) return "arena object missing";
+    for (const char* key : {"table_doubles_hwm", "batch_doubles_hwm"})
+        if (!nonneg_integer(arena->find(key)))
+            return std::string("arena.") + key + " must be a non-negative integer";
+    return "";
+}
+
+Profile parse_profile(const Value& doc) {
+    if (const std::string err = validate_profile(doc); !err.empty())
+        throw std::runtime_error("profile: " + err);
+    Profile profile;
+    const Value* meta = doc.find("meta");
+    profile.hz = meta->find("hz")->as_number();
+    profile.duration_seconds = meta->find("duration_seconds")->as_number();
+    profile.ticks = static_cast<std::uint64_t>(meta->find("ticks")->as_number());
+    profile.missed_ticks =
+        static_cast<std::uint64_t>(meta->find("missed_ticks")->as_number());
+    profile.samples = static_cast<std::uint64_t>(meta->find("samples")->as_number());
+    profile.threads_seen =
+        static_cast<std::uint64_t>(meta->find("threads_seen")->as_number());
+    for (const Value& node : doc.find("tree")->items())
+        profile.roots.push_back(parse_node(node));
+    for (const auto& [name, row] : doc.find("kernels")->members()) {
+        KernelTotals totals;
+        totals.invocations = static_cast<std::uint64_t>(row.find("invocations")->as_number());
+        totals.rows = static_cast<std::uint64_t>(row.find("rows")->as_number());
+        totals.flops = static_cast<std::uint64_t>(row.find("flops")->as_number());
+        totals.bytes = static_cast<std::uint64_t>(row.find("bytes")->as_number());
+        totals.seconds = row.find("seconds")->as_number();
+        profile.kernels[name] = totals;
+    }
+    const Value* alloc = doc.find("alloc");
+    profile.alloc.allocations =
+        static_cast<std::uint64_t>(alloc->find("allocations")->as_number());
+    profile.alloc.deallocations =
+        static_cast<std::uint64_t>(alloc->find("deallocations")->as_number());
+    profile.alloc.bytes = static_cast<std::uint64_t>(alloc->find("bytes")->as_number());
+    const Value* arena = doc.find("arena");
+    profile.arena_table_doubles_hwm =
+        static_cast<std::uint64_t>(arena->find("table_doubles_hwm")->as_number());
+    profile.arena_batch_doubles_hwm =
+        static_cast<std::uint64_t>(arena->find("batch_doubles_hwm")->as_number());
+    return profile;
+}
+
+std::string collapsed_stacks(const Profile& profile) {
+    std::vector<std::string> lines;
+    std::string prefix;
+    for (const auto& root : profile.roots) collect_collapsed(*root, prefix, lines);
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const std::string& line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string format_summary(const Profile& profile) {
+    std::ostringstream os;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "pnc-profile/1: %llu samples @ %.0f Hz over %.3f s on %llu thread(s), "
+                  "%llu ticks (%llu missed)\n",
+                  static_cast<unsigned long long>(profile.samples), profile.hz,
+                  profile.duration_seconds,
+                  static_cast<unsigned long long>(profile.threads_seen),
+                  static_cast<unsigned long long>(profile.ticks),
+                  static_cast<unsigned long long>(profile.missed_ticks));
+    os << line;
+
+    std::map<std::string, std::uint64_t> by_name;
+    for (const auto& root : profile.roots) accumulate_self(*root, by_name);
+    std::vector<std::pair<std::string, std::uint64_t>> frames(by_name.begin(),
+                                                              by_name.end());
+    std::stable_sort(frames.begin(), frames.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    os << "\ntop frames by self time:\n";
+    std::snprintf(line, sizeof line, "  %10s %7s  %s\n", "seconds", "self%", "frame");
+    os << line;
+    const double denom = profile.samples > 0 ? static_cast<double>(profile.samples) : 1.0;
+    std::size_t shown = 0;
+    for (const auto& [name, self] : frames) {
+        if (self == 0 || shown >= 15) continue;
+        std::snprintf(line, sizeof line, "  %10.4f %6.1f%%  %s\n",
+                      static_cast<double>(self) / profile.hz,
+                      100.0 * static_cast<double>(self) / denom, name.c_str());
+        os << line;
+        ++shown;
+    }
+    if (shown == 0) os << "  (no samples attributed to spans)\n";
+
+    if (!profile.kernels.empty()) {
+        os << "\nkernels:\n";
+        std::snprintf(line, sizeof line, "  %-22s %10s %12s %10s %12s %10s\n", "kernel",
+                      "calls", "rows", "gflop/s", "rows/s", "flop/byte");
+        os << line;
+        for (const auto& [name, k] : profile.kernels) {
+            const double sec = k.seconds > 0.0 ? k.seconds : 0.0;
+            const double gflops =
+                sec > 0.0 ? static_cast<double>(k.flops) / sec * 1e-9 : 0.0;
+            const double rps = sec > 0.0 ? static_cast<double>(k.rows) / sec : 0.0;
+            const double ai =
+                k.bytes > 0
+                    ? static_cast<double>(k.flops) / static_cast<double>(k.bytes)
+                    : 0.0;
+            std::snprintf(line, sizeof line,
+                          "  %-22s %10llu %12llu %10.3f %12.0f %10.3f\n", name.c_str(),
+                          static_cast<unsigned long long>(k.invocations),
+                          static_cast<unsigned long long>(k.rows), gflops, rps, ai);
+            os << line;
+        }
+    }
+
+    std::snprintf(line, sizeof line,
+                  "\nalloc: %llu allocations / %llu deallocations, %llu bytes requested\n",
+                  static_cast<unsigned long long>(profile.alloc.allocations),
+                  static_cast<unsigned long long>(profile.alloc.deallocations),
+                  static_cast<unsigned long long>(profile.alloc.bytes));
+    os << line;
+    std::snprintf(line, sizeof line,
+                  "arena: table hwm %llu doubles, batch hwm %llu doubles\n",
+                  static_cast<unsigned long long>(profile.arena_table_doubles_hwm),
+                  static_cast<unsigned long long>(profile.arena_batch_doubles_hwm));
+    os << line;
+    return os.str();
+}
+
+void write_profile(const std::string& path, const Profile& profile) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("prof: cannot write " + path);
+    os << profile_document(profile).dump() << "\n";
+    if (!os) throw std::runtime_error("prof: failed writing " + path);
+}
+
+ProfileDiff diff_profiles(const Profile& base, const Profile& cand) {
+    ProfileDiff diff;
+    diff.base_seconds = base.hz > 0.0 ? static_cast<double>(base.samples) / base.hz : 0.0;
+    diff.cand_seconds = cand.hz > 0.0 ? static_cast<double>(cand.samples) / cand.hz : 0.0;
+    std::map<std::string, std::uint64_t> base_self;
+    std::map<std::string, std::uint64_t> cand_self;
+    for (const auto& root : base.roots) accumulate_self(*root, base_self);
+    for (const auto& root : cand.roots) accumulate_self(*root, cand_self);
+    std::map<std::string, FrameDelta> merged;
+    for (const auto& [name, self] : base_self) {
+        merged[name].name = name;
+        merged[name].base_seconds =
+            base.hz > 0.0 ? static_cast<double>(self) / base.hz : 0.0;
+    }
+    for (const auto& [name, self] : cand_self) {
+        merged[name].name = name;
+        merged[name].cand_seconds =
+            cand.hz > 0.0 ? static_cast<double>(self) / cand.hz : 0.0;
+    }
+    for (auto& [name, frame] : merged) diff.frames.push_back(frame);
+    std::sort(diff.frames.begin(), diff.frames.end(),
+              [](const FrameDelta& a, const FrameDelta& b) {
+                  const double da = std::abs(a.delta_seconds());
+                  const double db = std::abs(b.delta_seconds());
+                  if (da != db) return da > db;
+                  return a.name < b.name;
+              });
+    return diff;
+}
+
+std::string format_profile_diff(const ProfileDiff& diff, std::size_t top_n) {
+    std::ostringstream os;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "sampled time: %.4f s -> %.4f s (%+.4f s)\n", diff.base_seconds,
+                  diff.cand_seconds, diff.cand_seconds - diff.base_seconds);
+    os << line;
+    std::snprintf(line, sizeof line, "  %10s %10s %10s  %s\n", "baseline", "candidate",
+                  "delta", "frame");
+    os << line;
+    std::size_t shown = 0;
+    for (const FrameDelta& frame : diff.frames) {
+        if (shown >= top_n) break;
+        std::snprintf(line, sizeof line, "  %10.4f %10.4f %+10.4f  %s\n",
+                      frame.base_seconds, frame.cand_seconds, frame.delta_seconds(),
+                      frame.name.c_str());
+        os << line;
+        ++shown;
+    }
+    if (shown == 0) os << "  (no frames in either profile)\n";
+    return os.str();
+}
+
+}  // namespace pnc::prof

@@ -1,0 +1,76 @@
+// The pnc-profile/1 artifact: serialize, validate, parse, export, diff.
+//
+// A profile document is timestamp-free and a pure function of the folded
+// session (docs/OBSERVABILITY.md, "Profiling"): meta (rate, duration,
+// tick/sample accounting), the self/total call-tree forest, per-kernel
+// work tallies with derived GFLOP/s + arithmetic intensity + rows/sec, the
+// allocation delta and the arena high-water marks. Like every other pnc
+// artifact it is self-validated: validate_profile() enforces the full
+// structural contract — including the internal invariants total ==
+// self + sum(children.total) per node and sum(roots.total) == meta.samples
+// — so a truncated or hand-mangled file fails loudly (fuzzed by
+// tests/test_artifact_fuzz.cpp).
+//
+// collapsed_stacks() emits the folded tree in the semicolon-separated
+// "frame;frame;frame count" format consumed by flamegraph.pl and
+// speedscope; diff_profiles() attributes the wall-clock delta between two
+// profiles to the frames whose self-time moved most.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "prof/profiler.hpp"
+
+namespace pnc::prof {
+
+obs::json::Value profile_document(const Profile& profile);
+
+/// "" when `doc` is a well-formed pnc-profile/1, else a one-line
+/// description of the first violation.
+std::string validate_profile(const obs::json::Value& doc);
+
+/// Validates first; throws std::runtime_error on any violation. Derived
+/// kernel fields (gflops_per_sec, ...) are checked but not stored — they
+/// are recomputed from the raw tallies.
+Profile parse_profile(const obs::json::Value& doc);
+
+/// Collapsed-stack export: one "a;b;c N" line per tree node with self
+/// samples, lexicographically sorted — deterministic for a given Profile.
+std::string collapsed_stacks(const Profile& profile);
+
+/// Human-readable session summary: top frames by self time, the kernel
+/// table, allocation and arena lines.
+std::string format_summary(const Profile& profile);
+
+/// Write profile_document() to `path` (throws std::runtime_error on I/O
+/// failure).
+void write_profile(const std::string& path, const Profile& profile);
+
+// ------------------------------------------------------------------ diff
+
+/// Self-time of one frame name (aggregated across the whole tree) in both
+/// profiles, in seconds (samples / hz).
+struct FrameDelta {
+    std::string name;
+    double base_seconds = 0.0;
+    double cand_seconds = 0.0;
+    double delta_seconds() const { return cand_seconds - base_seconds; }
+};
+
+struct ProfileDiff {
+    double base_seconds = 0.0;  ///< total sampled seconds in the baseline
+    double cand_seconds = 0.0;  ///< total sampled seconds in the candidate
+    /// Union of frame names, sorted by |delta| descending (ties by name).
+    std::vector<FrameDelta> frames;
+};
+
+ProfileDiff diff_profiles(const Profile& base, const Profile& cand);
+
+/// Attribution table: the total delta plus the top `top_n` contributing
+/// frames, one line each.
+std::string format_profile_diff(const ProfileDiff& diff, std::size_t top_n = 10);
+
+}  // namespace pnc::prof

@@ -1,0 +1,244 @@
+#include "prof/profiler.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spanstack.hpp"
+
+namespace pnc::prof {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// All session state. Buffers are written only by the sampler thread;
+/// start/stop serialize on the mutex, and stop joins the sampler before
+/// reading them.
+struct Session {
+    std::mutex mutex;
+    bool running = false;
+    double hz = 997.0;
+    std::atomic<bool> stop_flag{false};
+    std::thread sampler;
+    Clock::time_point start_time;
+    AllocStats alloc_begin;
+
+    // Sampler-thread-owned between start and join:
+    std::uint64_t ticks = 0;
+    std::uint64_t missed_ticks = 0;
+    std::uint64_t samples = 0;
+    std::set<std::uint64_t> threads_seen;
+    /// thread id -> (frame path -> sample count). Keyed by registration id
+    /// so samples survive the thread itself exiting mid-session.
+    std::map<std::uint64_t, std::map<std::vector<const char*>, std::uint64_t>> buffers;
+};
+
+Session& session() {
+    static Session* s = new Session();
+    return *s;
+}
+
+/// Absolute-deadline sleep on the monotonic clock; keeps the tick grid
+/// fixed instead of accumulating per-iteration drift.
+void sleep_until_abs(const struct timespec& deadline) {
+#if defined(CLOCK_MONOTONIC) && defined(TIMER_ABSTIME)
+    while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline, nullptr) != 0) {
+    }
+#else
+    struct timespec now;
+    clock_gettime(CLOCK_REALTIME, &now);
+    const long long remain_ns = (deadline.tv_sec - now.tv_sec) * 1000000000LL +
+                                (deadline.tv_nsec - now.tv_nsec);
+    if (remain_ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(remain_ns));
+#endif
+}
+
+struct timespec monotonic_now() {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return ts;
+}
+
+void advance(struct timespec& ts, long long nanos) {
+    ts.tv_nsec += nanos;
+    while (ts.tv_nsec >= 1000000000L) {
+        ts.tv_nsec -= 1000000000L;
+        ++ts.tv_sec;
+    }
+}
+
+bool before(const struct timespec& a, const struct timespec& b) {
+    return a.tv_sec < b.tv_sec || (a.tv_sec == b.tv_sec && a.tv_nsec < b.tv_nsec);
+}
+
+void sampler_loop(Session& s) {
+    const auto period_ns = static_cast<long long>(1e9 / s.hz);
+    struct timespec deadline = monotonic_now();
+    std::vector<const char*> path;
+    path.reserve(obs::spanstack::kMaxDepth);
+    while (!s.stop_flag.load(std::memory_order_acquire)) {
+        advance(deadline, period_ns);
+        // Skip (and count) deadlines we already blew through, so a slow
+        // snapshot degrades the rate instead of queueing a catch-up burst.
+        const struct timespec now = monotonic_now();
+        while (before(deadline, now)) {
+            advance(deadline, period_ns);
+            ++s.missed_ticks;
+        }
+        sleep_until_abs(deadline);
+        if (s.stop_flag.load(std::memory_order_acquire)) break;
+        ++s.ticks;
+        obs::spanstack::for_each_stack([&](const obs::spanstack::StackSample& sample) {
+            s.threads_seen.insert(sample.thread_id);
+            if (sample.depth == 0) return;
+            path.assign(sample.frames, sample.frames + sample.depth);
+            ++s.buffers[sample.thread_id][path];
+            ++s.samples;
+        });
+    }
+}
+
+ProfileNode& find_or_add(std::vector<std::unique_ptr<ProfileNode>>& nodes,
+                         const char* name) {
+    for (auto& node : nodes)
+        if (node->name == name) return *node;
+    nodes.push_back(std::make_unique<ProfileNode>());
+    nodes.back()->name = name;
+    return *nodes.back();
+}
+
+std::uint64_t finalize(std::vector<std::unique_ptr<ProfileNode>>& nodes) {
+    std::sort(nodes.begin(), nodes.end(),
+              [](const auto& a, const auto& b) { return a->name < b->name; });
+    std::uint64_t total = 0;
+    for (auto& node : nodes) {
+        node->total = node->self + finalize(node->children);
+        total += node->total;
+    }
+    return total;
+}
+
+void register_session_metrics(const Profile& profile) {
+    if (!obs::enabled()) return;
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("prof.sessions_total").add(1);
+    registry.counter("prof.samples_total").add(profile.samples);
+    registry.counter("prof.ticks_total").add(profile.ticks);
+    registry.counter("prof.missed_ticks_total").add(profile.missed_ticks);
+    registry.gauge("prof.threads_seen").set(static_cast<double>(profile.threads_seen));
+    registry.gauge("prof.alloc.allocations")
+        .set(static_cast<double>(profile.alloc.allocations));
+    registry.gauge("prof.alloc.bytes").set(static_cast<double>(profile.alloc.bytes));
+    registry.gauge("prof.arena.table_doubles_hwm")
+        .set(static_cast<double>(profile.arena_table_doubles_hwm));
+    registry.gauge("prof.arena.batch_doubles_hwm")
+        .set(static_cast<double>(profile.arena_batch_doubles_hwm));
+}
+
+}  // namespace
+
+double default_hz() {
+    if (const char* v = std::getenv("PNC_PROF_HZ"); v && *v) {
+        const double hz = std::atof(v);
+        if (hz >= 1.0 && hz <= 100000.0) return hz;
+    }
+    return 997.0;
+}
+
+Profiler& Profiler::global() {
+    static Profiler profiler;
+    return profiler;
+}
+
+bool Profiler::running() const {
+    Session& s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.running;
+}
+
+bool Profiler::start(double hz) {
+    Session& s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.running) return false;
+    s.hz = hz > 0.0 ? std::min(hz, 100000.0) : default_hz();
+    s.stop_flag.store(false, std::memory_order_release);
+    s.ticks = 0;
+    s.missed_ticks = 0;
+    s.samples = 0;
+    s.threads_seen.clear();
+    s.buffers.clear();
+    reset_kernel_totals();
+    reset_arena_hwm();
+    s.alloc_begin = alloc_snapshot();
+    s.start_time = Clock::now();
+    obs::spanstack::ensure_registered();  // the starting thread counts too
+    set_counting(true);
+    set_alloc_tracking(true);
+    obs::spanstack::set_collecting(true);
+    s.sampler = std::thread([&s] { sampler_loop(s); });
+    s.running = true;
+    return true;
+}
+
+Profile Profiler::stop() {
+    Session& s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.running) return Profile{};
+    obs::spanstack::set_collecting(false);
+    set_counting(false);
+    set_alloc_tracking(false);
+    s.stop_flag.store(true, std::memory_order_release);
+    s.sampler.join();
+    s.running = false;
+
+    Profile profile;
+    profile.hz = s.hz;
+    profile.duration_seconds =
+        std::chrono::duration<double>(Clock::now() - s.start_time).count();
+    profile.ticks = s.ticks;
+    profile.missed_ticks = s.missed_ticks;
+    profile.samples = s.samples;
+    profile.threads_seen = s.threads_seen.size();
+
+    for (const auto& [thread_id, paths] : s.buffers) {
+        (void)thread_id;
+        for (const auto& [path, count] : paths) {
+            std::vector<std::unique_ptr<ProfileNode>>* level = &profile.roots;
+            ProfileNode* node = nullptr;
+            for (const char* frame : path) {
+                node = &find_or_add(*level, frame);
+                level = &node->children;
+            }
+            node->self += count;
+        }
+    }
+    finalize(profile.roots);
+
+    for (int k = 0; k < kKernelCount; ++k) {
+        const auto kernel = static_cast<Kernel>(k);
+        const KernelTotals totals = kernel_totals(kernel);
+        if (totals.invocations > 0) profile.kernels[kernel_name(kernel)] = totals;
+    }
+
+    const AllocStats now = alloc_snapshot();
+    profile.alloc.allocations = now.allocations - s.alloc_begin.allocations;
+    profile.alloc.deallocations = now.deallocations - s.alloc_begin.deallocations;
+    profile.alloc.bytes = now.bytes - s.alloc_begin.bytes;
+    profile.arena_table_doubles_hwm = arena_table_doubles_hwm();
+    profile.arena_batch_doubles_hwm = arena_batch_doubles_hwm();
+
+    s.buffers.clear();
+    register_session_metrics(profile);
+    return profile;
+}
+
+}  // namespace pnc::prof

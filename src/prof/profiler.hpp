@@ -1,0 +1,78 @@
+// In-process sampling profiler.
+//
+// Profiler::start arms the obs span stacks (obs/spanstack.hpp), the kernel
+// cost counters and the allocation interposition, then spawns one sampler
+// thread that snapshots every registered thread's span stack at a fixed
+// rate (PNC_PROF_HZ, default 997 Hz — prime, so it cannot phase-lock with
+// millisecond-periodic work). Worker threads pay nothing beyond the
+// lock-free push/pop of their own spans; all map-building happens on the
+// sampler thread. Profiler::stop joins the sampler and folds the
+// per-thread sample buffers into a weighted call tree with self vs. total
+// samples per span, plus the kernel tallies, the allocation delta and the
+// arena high-water marks of the session.
+//
+// Contract: profiling changes no numerical result (it reads clocks and
+// stacks, never an Rng stream) — profiled runs are bitwise identical to
+// unprofiled ones at any thread count, enforced by tests/test_prof.cpp.
+// Sampling is statistical, so sample *counts* are not deterministic; every
+// derived artifact (pnc-profile/1, collapsed stacks) is a pure function of
+// the folded counts and contains no timestamps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prof/alloc_hooks.hpp"
+#include "prof/counters.hpp"
+
+namespace pnc::prof {
+
+/// One span in the folded call tree. `self` counts samples whose innermost
+/// frame was this span; `total` = self + all descendants.
+struct ProfileNode {
+    std::string name;
+    std::uint64_t self = 0;
+    std::uint64_t total = 0;
+    std::vector<std::unique_ptr<ProfileNode>> children;  ///< sorted by name
+};
+
+/// Folded result of one profiling session.
+struct Profile {
+    double hz = 0.0;
+    double duration_seconds = 0.0;
+    std::uint64_t ticks = 0;         ///< sampler wakeups that took a snapshot
+    std::uint64_t missed_ticks = 0;  ///< deadlines skipped (sampler fell behind)
+    std::uint64_t samples = 0;       ///< stack samples attributed to frames
+    std::uint64_t threads_seen = 0;  ///< distinct registered threads observed
+    std::vector<std::unique_ptr<ProfileNode>> roots;  ///< forest, sorted by name
+    /// Kernel label -> merged work tallies (only kernels that ran).
+    std::map<std::string, KernelTotals> kernels;
+    AllocStats alloc;  ///< allocation delta over the session
+    std::uint64_t arena_table_doubles_hwm = 0;
+    std::uint64_t arena_batch_doubles_hwm = 0;
+};
+
+/// PNC_PROF_HZ when set to a finite number in [1, 100000], else 997.
+double default_hz();
+
+class Profiler {
+public:
+    static Profiler& global();
+
+    /// Begin a session at `hz` samples/sec (hz <= 0 resolves via
+    /// default_hz()). Returns false when a session is already running.
+    /// Span visibility requires obs::set_enabled(true) — ScopedTimer
+    /// early-outs before the span stack when obs is off.
+    bool start(double hz = 0.0);
+
+    bool running() const;
+
+    /// End the session: joins the sampler, disarms all gates and folds the
+    /// sample buffers. Returns an empty Profile when not running.
+    Profile stop();
+};
+
+}  // namespace pnc::prof

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/spanstack.hpp"
 
 namespace pnc::runtime {
 
@@ -45,6 +46,10 @@ struct ThreadPool::Impl {
 
     void worker_loop(std::size_t worker_index) {
         t_inside_worker = true;
+        // Make this worker visible to the profiler's sampler from birth
+        // (obs/spanstack.hpp), so idle workers count in threads_seen and a
+        // mid-session pool reset deregisters them cleanly at thread exit.
+        obs::spanstack::ensure_registered();
         const std::string busy_gauge_name = "pool.g" + std::to_string(generation) +
                                             ".worker." + std::to_string(worker_index) +
                                             ".busy_seconds";

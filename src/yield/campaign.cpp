@@ -9,6 +9,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prof/counters.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pnc::yield {
@@ -252,6 +253,11 @@ YieldCampaignResult run_yield_campaign(const infer::CompiledPnn& engine, const M
 
     for (std::uint64_t r = 0; r < n_rounds; ++r) {
         const auto round_start = Clock::now();
+        // Kernel cost attribution (src/prof): one tally per campaign round,
+        // rows = realizations evaluated x test rows (the per-forward FLOP
+        // detail is attributed by the engine's own infer.forward_rows
+        // kernel). Armed only by a profiling session.
+        prof::KernelScope round_kernel(prof::Kernel::kYieldRound);
         const std::uint64_t unit_lo = r * units_per_round;
         const std::uint64_t unit_hi = std::min(total_units, unit_lo + units_per_round);
         const auto round_units = static_cast<std::size_t>(unit_hi - unit_lo);
@@ -298,6 +304,7 @@ YieldCampaignResult run_yield_campaign(const infer::CompiledPnn& engine, const M
             accumulate_histograms(partials, round.histogram);
         }
         round.n = static_cast<std::uint64_t>(owned) * per_unit;
+        round_kernel.add(round.n * static_cast<std::uint64_t>(test_rows), 0, 0);
         cum_n += round.n;
         cum_passing +=
             histogram_passing(round.histogram, test_rows, options.accuracy_spec);

@@ -5,9 +5,10 @@
 // violation string (validate_*) or a std::runtime_error (parse_*) — and
 // never a crash, and never silent acceptance of a structurally broken
 // document. Six formats are swept: pnc-yield-report/1, pnc-health/1,
-// pnc-requests/1, and the live serving telemetry plane's pnc-spans/1,
-// pnc-livestats/1 and pnc-serve-health/1 — each seeded from a real, valid
-// document so the mutations start one byte away from the accept path.
+// pnc-requests/1, the live serving telemetry plane's pnc-spans/1,
+// pnc-livestats/1 and pnc-serve-health/1, and the sampling profiler's
+// pnc-profile/1 — each seeded from a real, valid document so the mutations
+// start one byte away from the accept path.
 //
 // Random byte flips only assert no-crash/self-consistency: a flipped digit
 // inside a free field (a seed, a loss value) legitimately yields a
@@ -18,6 +19,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
@@ -28,6 +30,8 @@
 #include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "pnn/training.hpp"
+#include "prof/profile.hpp"
+#include "prof/profiler.hpp"
 #include "serve/request_log.hpp"
 #include "serve/telemetry.hpp"
 #include "surrogate/dataset_builder.hpp"
@@ -198,6 +202,47 @@ std::string valid_serve_health_text() {
     return text;
 }
 
+/// A real, validator-approved pnc-profile/1: a synthetic two-root folded
+/// session (no sampler run needed — the document is a pure function of the
+/// Profile value, which is the point of the timestamp-free design).
+std::string valid_profile_text() {
+    prof::Profile profile;
+    profile.hz = 997.0;
+    profile.duration_seconds = 0.5;
+    profile.ticks = 498;
+    profile.missed_ticks = 3;
+    profile.threads_seen = 2;
+    auto leaf = std::make_unique<prof::ProfileNode>();
+    leaf->name = "infer.forward_rows";
+    leaf->self = 120;
+    leaf->total = 120;
+    auto root = std::make_unique<prof::ProfileNode>();
+    root->name = "eval";
+    root->self = 30;
+    root->total = 150;
+    root->children.push_back(std::move(leaf));
+    profile.roots.push_back(std::move(root));
+    auto idle = std::make_unique<prof::ProfileNode>();
+    idle->name = "pool.idle";
+    idle->self = 40;
+    idle->total = 40;
+    profile.roots.push_back(std::move(idle));
+    profile.samples = 190;
+    prof::KernelTotals totals;
+    totals.invocations = 5;
+    totals.rows = 525;
+    totals.flops = 42000;
+    totals.bytes = 168000;
+    totals.seconds = 0.12;
+    profile.kernels["infer.forward_rows"] = totals;
+    profile.alloc.allocations = 11;
+    profile.alloc.deallocations = 11;
+    profile.alloc.bytes = 4096;
+    profile.arena_table_doubles_hwm = 512;
+    profile.arena_batch_doubles_hwm = 96;
+    return prof::profile_document(profile).dump();
+}
+
 enum class Verdict { kRejected, kAccepted };
 
 /// Run one candidate through parse + validate + full parse. The only
@@ -269,6 +314,19 @@ Verdict probe_serve_health(const std::string& text) {
                                                      : Verdict::kRejected;
 }
 
+Verdict probe_profile(const std::string& text) {
+    Value doc;
+    try {
+        doc = Value::parse(text);
+    } catch (const std::runtime_error&) {
+        return Verdict::kRejected;
+    }
+    const std::string error = prof::validate_profile(doc);
+    if (!error.empty()) return Verdict::kRejected;
+    EXPECT_NO_THROW(prof::parse_profile(doc));
+    return Verdict::kAccepted;
+}
+
 using Probe = Verdict (*)(const std::string&);
 
 /// Every strict prefix must be rejected — except prefixes that are still a
@@ -335,6 +393,19 @@ TEST(ArtifactFuzz, SeedDocumentsAreAccepted) {
     EXPECT_EQ(probe_yield(valid_yield_report_text()), Verdict::kAccepted);
     EXPECT_EQ(probe_health(valid_health_text()), Verdict::kAccepted);
     EXPECT_EQ(probe_request_log(valid_request_log_text()), Verdict::kAccepted);
+    EXPECT_EQ(probe_profile(valid_profile_text()), Verdict::kAccepted);
+}
+
+TEST(ArtifactFuzz, ProfileTruncationsAreRejected) {
+    sweep_truncations(valid_profile_text(), probe_profile, /*jsonl=*/false);
+}
+
+TEST(ArtifactFuzz, ProfileStructuralDamageIsRejected) {
+    sweep_structural(valid_profile_text(), probe_profile);
+}
+
+TEST(ArtifactFuzz, ProfileByteFlipsNeverCrash) {
+    sweep_byte_flips(valid_profile_text(), probe_profile, 0xfadeULL);
 }
 
 TEST(ArtifactFuzz, YieldReportTruncationsAreRejected) {

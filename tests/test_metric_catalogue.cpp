@@ -22,6 +22,7 @@
 #include "pnn/certification.hpp"
 #include "pnn/robustness.hpp"
 #include "pnn/training.hpp"
+#include "prof/profiler.hpp"
 #include "serve/pipeline.hpp"
 #include "serve/registry.hpp"
 #include "surrogate/dataset_builder.hpp"
@@ -189,6 +190,12 @@ TEST(MetricCatalogue, EveryRegisteredMetricIsDocumented) {
         pipeline.drain();
         for (auto& f : futures) f.get();
     }
+
+    // A short sampling-profiler session over the compiled eval, so every
+    // prof.* session metric registers (Profiler::stop is what posts them).
+    prof::Profiler::global().start(2000.0);
+    compiled.evaluate(split.x_test, split.y_test, eval);
+    prof::Profiler::global().stop();
 
     const auto shape = net.fault_shape();
     // A high rate so at least one realization actually draws a fault and

@@ -109,6 +109,44 @@ TEST(BenchSuite, NegativeWallSecondsRejected) {
     EXPECT_NE(obs::validate_bench_suite(obs::bench_suite_document(suite)), "");
 }
 
+TEST(BenchSuite, CpuSecondsAreOptionalAndRoundTrip) {
+    // Satellite contract: the driver's wait4 rusage lands in the suite as
+    // user_seconds / sys_seconds; suites recorded before the field existed
+    // (sentinel -1) omit it and still validate.
+    obs::BenchSuite suite = demo_suite();
+    const Value without = obs::bench_suite_document(suite);
+    EXPECT_EQ(obs::validate_bench_suite(without), "");
+    EXPECT_EQ(without.dump().find("user_seconds"), std::string::npos);
+    const obs::BenchSuite old = obs::parse_bench_suite(without);
+    EXPECT_LT(old.benches[0].user_seconds, 0.0);
+    EXPECT_LT(old.benches[0].sys_seconds, 0.0);
+
+    suite.benches[0].user_seconds = 10.25;
+    suite.benches[0].sys_seconds = 0.75;
+    const Value doc = obs::bench_suite_document(suite);
+    EXPECT_EQ(obs::validate_bench_suite(doc), "");
+    const obs::BenchSuite back = obs::parse_bench_suite(Value::parse(doc.dump()));
+    EXPECT_DOUBLE_EQ(back.benches[0].user_seconds, 10.25);
+    EXPECT_DOUBLE_EQ(back.benches[0].sys_seconds, 0.75);
+}
+
+TEST(BenchSuite, NegativeCpuSecondsRejected) {
+    // The sentinel never serializes; a document carrying a negative value
+    // was hand-mangled and must be refused.
+    obs::BenchSuite suite = demo_suite();
+    suite.benches[0].user_seconds = 1.0;
+    suite.benches[0].sys_seconds = 0.1;
+    Value doc = obs::bench_suite_document(suite);
+    Value benches = Value::object();
+    for (const auto& [name, row] : doc.find("benches")->members()) {
+        Value copy = row;
+        copy.set("sys_seconds", Value::number(-0.5));
+        benches.set(name, std::move(copy));
+    }
+    doc.set("benches", std::move(benches));
+    EXPECT_NE(obs::validate_bench_suite(doc), "");
+}
+
 // --------------------------------------------------------------- headlines
 
 TEST(Headline, DocumentValidates) {
@@ -237,6 +275,41 @@ TEST(DiffSuites, TimingUsesRelativeThreshold) {
     loose.overrides.emplace_back("table2.wall_seconds", 0.6);
     candidate.benches[0].wall_seconds = 12.5 * 1.5;
     EXPECT_FALSE(obs::diff_suites(baseline, candidate, loose).timing_regressed);
+}
+
+TEST(DiffSuites, CpuSecondsCompareWhenBothSidesRecordThem) {
+    obs::BenchSuite baseline = demo_suite();
+    baseline.benches[0].user_seconds = 10.0;
+    baseline.benches[0].sys_seconds = 1.0;
+    obs::BenchSuite candidate = baseline;
+    candidate.benches[0].user_seconds = 10.0 * 1.5;  // +50% > rel_timing 25%
+
+    const obs::DiffResult diff = obs::diff_suites(baseline, candidate, {});
+    EXPECT_TRUE(diff.timing_regressed);
+    const obs::MetricDelta& user = delta_for(diff, "table2.user_seconds");
+    EXPECT_EQ(user.verdict, obs::Verdict::kRegressed);
+    EXPECT_EQ(user.kind, obs::MetricKind::kTiming);
+    EXPECT_EQ(delta_for(diff, "table2.sys_seconds").verdict, obs::Verdict::kOk);
+}
+
+TEST(DiffSuites, CpuSecondsOnOneSideOnlyAreInformational) {
+    // Baseline predates the rusage field (or vice versa): surface the
+    // asymmetry as new/missing without gating — the wall-clock comparison
+    // still carries the regression signal.
+    const obs::BenchSuite bare = demo_suite();
+    obs::BenchSuite measured = bare;
+    measured.benches[0].user_seconds = 5.0;
+    measured.benches[0].sys_seconds = 0.5;
+
+    const obs::DiffResult gained = obs::diff_suites(bare, measured, {});
+    EXPECT_FALSE(gained.accuracy_regressed);
+    EXPECT_FALSE(gained.timing_regressed);
+    EXPECT_EQ(delta_for(gained, "table2.user_seconds").verdict, obs::Verdict::kNew);
+
+    const obs::DiffResult lost = obs::diff_suites(measured, bare, {});
+    EXPECT_FALSE(lost.accuracy_regressed);
+    EXPECT_FALSE(lost.timing_regressed);
+    EXPECT_EQ(delta_for(lost, "table2.sys_seconds").verdict, obs::Verdict::kMissing);
 }
 
 TEST(DiffSuites, ThroughputDropSetsItsOwnFlag) {
@@ -373,6 +446,55 @@ TEST(ChromeTrace, DocumentFromTreeValidates) {
     const Value& parent = events->items()[1];
     const Value& child = events->items()[2];
     EXPECT_GE(child.find("ts")->as_number(), parent.find("ts")->as_number());
+}
+
+TEST(ChromeTrace, SelfTimeArgAttributesExclusiveSeconds) {
+    // Satellite contract: every X event carries args.self_seconds — the
+    // node's own seconds minus its children's, clamped at zero so timer
+    // jitter (children summing past the parent) never emits a negative.
+    obs::TraceNode root("root");
+    obs::TraceNode& parent = root.child("experiment");
+    parent.count = 1;
+    parent.seconds = 2.0;
+    obs::TraceNode& child = parent.child("train_pnn");
+    child.count = 2;
+    child.seconds = 1.5;
+    obs::TraceNode& jitter = root.child("jittered");
+    jitter.count = 1;
+    jitter.seconds = 1.0;
+    jitter.child("overlong").seconds = 1.25;  // child measured past parent
+
+    const Value doc = obs::chrome_trace_document(root);
+    ASSERT_EQ(obs::validate_chrome_trace(doc), "");
+    double parent_self = -1.0, child_self = -1.0, jitter_self = -1.0;
+    for (const Value& event : doc.find("traceEvents")->items()) {
+        if (!event.find("ph") || event.find("ph")->as_string() != "X") continue;
+        ASSERT_NE(event.find("args"), nullptr);
+        const Value* self = event.find("args")->find("self_seconds");
+        ASSERT_NE(self, nullptr) << "X event without args.self_seconds";
+        const std::string name = event.find("name")->as_string();
+        if (name == "experiment") parent_self = self->as_number();
+        if (name == "train_pnn") child_self = self->as_number();
+        if (name == "jittered") jitter_self = self->as_number();
+    }
+    EXPECT_DOUBLE_EQ(parent_self, 0.5);   // 2.0 - 1.5
+    EXPECT_DOUBLE_EQ(child_self, 1.5);    // leaf: all time is self time
+    EXPECT_DOUBLE_EQ(jitter_self, 0.0);   // clamped, not -0.25
+
+    // The validator rejects a negative self_seconds outright.
+    Value tampered = Value::parse(doc.dump());
+    Value events = Value::array();
+    for (const Value& event : tampered.find("traceEvents")->items()) {
+        Value copy = event;
+        if (copy.find("args") && copy.find("args")->find("self_seconds")) {
+            Value args = *copy.find("args");
+            args.set("self_seconds", Value::number(-0.1));
+            copy.set("args", std::move(args));
+        }
+        events.push_back(std::move(copy));
+    }
+    tampered.set("traceEvents", std::move(events));
+    EXPECT_NE(obs::validate_chrome_trace(tampered), "");
 }
 
 TEST(ChromeTrace, ValidatorRejectsViolations) {

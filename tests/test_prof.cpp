@@ -1,0 +1,654 @@
+// The sampling profiler + kernel cost-attribution plane (src/prof).
+//
+// Four contracts, each enforced here:
+//  * mechanics — span-stack push/pop/overflow, interning stability, the
+//    sampler surviving thread-pool churn (the CI sanitize job runs this
+//    suite under TSan via its Prof filter);
+//  * the artifact — pnc-profile/1 round-trips, the validator rejects
+//    broken internal invariants, collapsed stacks are deterministic, and
+//    `diff` attributes a synthetic slowdown to the injected hot frame;
+//  * zero-cost claims — the compiled hot path (and its instrumentation)
+//    performs no steady-state allocation, measured by the global
+//    new/delete interposition, not asserted by comment;
+//  * bit-identity — profiled train/eval/yield/serve runs are bitwise
+//    identical to unprofiled ones at 1 and 4 threads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "data/registry.hpp"
+#include "infer/engine.hpp"
+#include "obs/config.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spanstack.hpp"
+#include "obs/trace.hpp"
+#include "pnn/robustness.hpp"
+#include "pnn/training.hpp"
+#include "prof/alloc_hooks.hpp"
+#include "prof/counters.hpp"
+#include "prof/profile.hpp"
+#include "prof/profiler.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/pipeline.hpp"
+#include "surrogate/dataset_builder.hpp"
+#include "surrogate/design_space.hpp"
+#include "yield/campaign.hpp"
+
+#ifndef PNC_CLI_PATH
+#error "PNC_CLI_PATH must be defined to the pnc binary location"
+#endif
+
+namespace fs = std::filesystem;
+using namespace pnc;
+
+namespace {
+
+// ------------------------------------------------------------- fixtures
+
+const surrogate::SurrogateModel& prof_surrogate(circuit::NonlinearCircuitKind kind) {
+    static const auto build = [](circuit::NonlinearCircuitKind k) {
+        surrogate::DatasetBuildOptions options;
+        options.samples = 250;
+        options.sweep_points = 17;
+        const auto ds =
+            surrogate::build_surrogate_dataset(k, surrogate::DesignSpace::table1(), options);
+        surrogate::SurrogateTrainOptions train;
+        train.mlp.max_epochs = 300;
+        train.mlp.patience = 80;
+        return surrogate::SurrogateModel::train(ds, train);
+    };
+    static const auto act = build(circuit::NonlinearCircuitKind::kPtanh);
+    static const auto neg = build(circuit::NonlinearCircuitKind::kNegativeWeight);
+    return kind == circuit::NonlinearCircuitKind::kPtanh ? act : neg;
+}
+
+const data::SplitDataset& prof_split() {
+    static const auto split = data::split_and_normalize(data::make_dataset("iris"), 99);
+    return split;
+}
+
+pnn::Pnn make_net(std::uint64_t seed) {
+    const auto& split = prof_split();
+    math::Rng rng(seed);
+    return pnn::Pnn({split.n_features(), 3, static_cast<std::size_t>(split.n_classes)},
+                    &prof_surrogate(circuit::NonlinearCircuitKind::kPtanh),
+                    &prof_surrogate(circuit::NonlinearCircuitKind::kNegativeWeight),
+                    surrogate::DesignSpace::table1(), rng);
+}
+
+/// RAII thread-count override (the global pool is process-wide state).
+class ThreadGuard {
+public:
+    explicit ThreadGuard(std::size_t n) { runtime::set_global_threads(n); }
+    ~ThreadGuard() {
+        runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    }
+};
+
+/// RAII obs gate override, restoring the previous state.
+class ObsGuard {
+public:
+    explicit ObsGuard(bool on) : previous_(obs::enabled()) { obs::set_enabled(on); }
+    ~ObsGuard() { obs::set_enabled(previous_); }
+
+private:
+    bool previous_;
+};
+
+void expect_bitwise_equal(const std::vector<double>& a, const std::vector<double>& b,
+                          const std::string& what) {
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_DOUBLE_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+/// Busy loop long enough for the sampler to take a few snapshots.
+void spin_for_ms(double ms) {
+    const auto start = std::chrono::steady_clock::now();
+    volatile double sink = 0.0;
+    while (std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start)
+               .count() < ms)
+        sink = sink + 1.0;
+    (void)sink;
+}
+
+const prof::ProfileNode* find_root(const prof::Profile& profile, const std::string& name) {
+    for (const auto& root : profile.roots)
+        if (root->name == name) return root.get();
+    return nullptr;
+}
+
+// ----------------------------------------------------------- span stack
+
+TEST(ProfSpanStack, EnterIsNoopWhenNotCollecting) {
+    ASSERT_FALSE(obs::spanstack::collecting());
+    EXPECT_FALSE(obs::spanstack::enter("never.pushed"));
+    obs::spanstack::exit();  // must be a safe no-op at depth 0
+}
+
+TEST(ProfSpanStack, InternReturnsStablePointers) {
+    const char* a = obs::spanstack::intern("prof.test.frame");
+    const char* b = obs::spanstack::intern(std::string("prof.test.") + "frame");
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ(a, "prof.test.frame");
+    EXPECT_NE(a, obs::spanstack::intern("prof.test.other"));
+}
+
+TEST(ProfSpanStack, OverflowBeyondMaxDepthStaysBalanced) {
+    obs::spanstack::set_collecting(true);
+    const std::size_t deep = obs::spanstack::kMaxDepth + 8;
+    std::size_t pushed = 0;
+    for (std::size_t i = 0; i < deep; ++i)
+        if (obs::spanstack::enter("deep.frame")) ++pushed;
+    EXPECT_EQ(pushed, deep);  // depth bookkeeping continues past capacity
+    bool seen = false;
+    obs::spanstack::for_each_stack([&](const obs::spanstack::StackSample& sample) {
+        if (sample.depth == obs::spanstack::kMaxDepth) seen = true;
+    });
+    EXPECT_TRUE(seen) << "sampler view must clamp at kMaxDepth";
+    for (std::size_t i = 0; i < pushed; ++i) obs::spanstack::exit();
+    obs::spanstack::set_collecting(false);
+    obs::spanstack::for_each_stack([&](const obs::spanstack::StackSample& sample) {
+        EXPECT_EQ(sample.depth, 0u);
+    });
+}
+
+// ------------------------------------------------------------- sessions
+
+TEST(ProfSession, FoldsNestedSpansIntoTree) {
+    ObsGuard obs_on(true);
+    ASSERT_TRUE(prof::Profiler::global().start(4000.0));
+    EXPECT_TRUE(prof::Profiler::global().running());
+    {
+        obs::ScopedTimer outer("prof.outer");
+        spin_for_ms(30.0);
+        {
+            obs::ScopedTimer inner("prof.inner");
+            spin_for_ms(60.0);
+        }
+    }
+    const prof::Profile profile = prof::Profiler::global().stop();
+    EXPECT_FALSE(prof::Profiler::global().running());
+    EXPECT_GT(profile.ticks, 0u);
+    EXPECT_GT(profile.samples, 0u);
+    EXPECT_GE(profile.threads_seen, 1u);
+    EXPECT_DOUBLE_EQ(profile.hz, 4000.0);
+
+    const prof::ProfileNode* outer = find_root(profile, "prof.outer");
+    ASSERT_NE(outer, nullptr) << "outer span missing from the folded tree";
+    EXPECT_GT(outer->total, 0u);
+    const prof::ProfileNode* inner = nullptr;
+    for (const auto& child : outer->children)
+        if (child->name == "prof.inner") inner = child.get();
+    ASSERT_NE(inner, nullptr) << "nested span must fold under its parent";
+    EXPECT_EQ(outer->total, outer->self + inner->total);
+
+    // The artifact the session serializes to must self-validate.
+    EXPECT_EQ(prof::validate_profile(prof::profile_document(profile)), "");
+}
+
+TEST(ProfSession, SecondStartIsRejectedWhileRunning) {
+    ASSERT_TRUE(prof::Profiler::global().start(1000.0));
+    EXPECT_FALSE(prof::Profiler::global().start(1000.0));
+    prof::Profiler::global().stop();
+}
+
+TEST(ProfSession, StopWhenIdleReturnsEmptyProfile) {
+    const prof::Profile profile = prof::Profiler::global().stop();
+    EXPECT_EQ(profile.samples, 0u);
+    EXPECT_EQ(profile.ticks, 0u);
+    EXPECT_TRUE(profile.roots.empty());
+}
+
+// The TSan target: worker threads register/deregister with the sampler
+// while it walks the registry, across repeated global-pool resets.
+TEST(ProfSession, SamplerSurvivesThreadPoolChurn) {
+    ObsGuard obs_on(true);
+    ASSERT_TRUE(prof::Profiler::global().start(4000.0));
+    for (int round = 0; round < 8; ++round) {
+        runtime::set_global_threads(4);
+        runtime::parallel_for(64, [](std::size_t) {
+            obs::ScopedTimer span("prof.churn.task");
+            volatile double sink = 0.0;
+            for (int i = 0; i < 500; ++i) sink = sink + static_cast<double>(i);
+            (void)sink;
+        });
+        runtime::set_global_threads(1);
+    }
+    runtime::set_global_threads(runtime::ThreadPool::default_thread_count());
+    const prof::Profile profile = prof::Profiler::global().stop();
+    EXPECT_GT(profile.ticks, 0u);
+    EXPECT_GE(profile.threads_seen, 1u);
+    EXPECT_EQ(prof::validate_profile(prof::profile_document(profile)), "");
+}
+
+TEST(ProfSession, KernelCountersAttributeCompiledWork) {
+    ObsGuard obs_on(true);
+    const auto net = make_net(5);
+    const infer::CompiledPnn engine(net);
+    const auto& split = prof_split();
+
+    ASSERT_TRUE(prof::Profiler::global().start(1000.0));
+    pnn::EvalOptions eval;
+    eval.epsilon = 0.1;
+    eval.n_mc = 4;
+    (void)engine.evaluate(split.x_test, split.y_test, eval);
+    const prof::Profile profile = prof::Profiler::global().stop();
+
+    const auto it = profile.kernels.find("infer.forward_rows");
+    ASSERT_NE(it, profile.kernels.end()) << "compiled forward must tally its work";
+    EXPECT_GT(it->second.invocations, 0u);
+    EXPECT_GT(it->second.rows, 0u);
+    EXPECT_GT(it->second.flops, 0u);
+    EXPECT_GT(it->second.bytes, 0u);
+    EXPECT_GE(it->second.seconds, 0.0);
+    // The engine notes its bump-arena high-water marks under the profiler.
+    EXPECT_GT(profile.arena_table_doubles_hwm, 0u);
+    EXPECT_GT(profile.arena_batch_doubles_hwm, 0u);
+}
+
+TEST(ProfSession, SessionMetricsLandInTheCatalogue) {
+    ObsGuard obs_on(true);
+    obs::MetricsRegistry::global().reset();
+    ASSERT_TRUE(prof::Profiler::global().start(2000.0));
+    spin_for_ms(10.0);
+    (void)prof::Profiler::global().stop();
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    bool sessions = false, samples = false;
+    for (const auto& [name, value] : snapshot.counters) {
+        if (name == "prof.sessions_total") sessions = value >= 1;
+        if (name == "prof.ticks_total") samples = true;
+    }
+    EXPECT_TRUE(sessions);
+    EXPECT_TRUE(samples);
+    obs::MetricsRegistry::global().reset();
+}
+
+// ------------------------------------------------------------- artifact
+
+prof::Profile synthetic_profile() {
+    prof::Profile profile;
+    profile.hz = 1000.0;
+    profile.duration_seconds = 0.25;
+    profile.ticks = 250;
+    profile.missed_ticks = 2;
+    profile.threads_seen = 2;
+    auto inner = std::make_unique<prof::ProfileNode>();
+    inner->name = "inner.kernel";
+    inner->self = 80;
+    inner->total = 80;
+    auto outer = std::make_unique<prof::ProfileNode>();
+    outer->name = "outer.span";
+    outer->self = 20;
+    outer->total = 100;
+    outer->children.push_back(std::move(inner));
+    auto other = std::make_unique<prof::ProfileNode>();
+    other->name = "idle.loop";
+    other->self = 50;
+    other->total = 50;
+    profile.roots.push_back(std::move(other));
+    profile.roots.push_back(std::move(outer));
+    profile.samples = 150;
+    prof::KernelTotals totals;
+    totals.invocations = 3;
+    totals.rows = 300;
+    totals.flops = 12000;
+    totals.bytes = 48000;
+    totals.seconds = 0.2;
+    profile.kernels["infer.forward_rows"] = totals;
+    profile.alloc.allocations = 7;
+    profile.alloc.deallocations = 7;
+    profile.alloc.bytes = 1024;
+    profile.arena_table_doubles_hwm = 640;
+    profile.arena_batch_doubles_hwm = 120;
+    return profile;
+}
+
+TEST(ProfArtifact, DocumentRoundTrips) {
+    const prof::Profile original = synthetic_profile();
+    const auto doc = prof::profile_document(original);
+    ASSERT_EQ(prof::validate_profile(doc), "");
+    const prof::Profile parsed = prof::parse_profile(doc);
+    EXPECT_DOUBLE_EQ(parsed.hz, original.hz);
+    EXPECT_EQ(parsed.ticks, original.ticks);
+    EXPECT_EQ(parsed.missed_ticks, original.missed_ticks);
+    EXPECT_EQ(parsed.samples, original.samples);
+    EXPECT_EQ(parsed.threads_seen, original.threads_seen);
+    ASSERT_EQ(parsed.roots.size(), original.roots.size());
+    EXPECT_EQ(parsed.roots[0]->name, "idle.loop");
+    EXPECT_EQ(parsed.roots[1]->name, "outer.span");
+    ASSERT_EQ(parsed.roots[1]->children.size(), 1u);
+    EXPECT_EQ(parsed.roots[1]->children[0]->self, 80u);
+    ASSERT_EQ(parsed.kernels.count("infer.forward_rows"), 1u);
+    EXPECT_EQ(parsed.kernels.at("infer.forward_rows").flops, 12000u);
+    EXPECT_EQ(parsed.alloc.allocations, 7u);
+    EXPECT_EQ(parsed.arena_table_doubles_hwm, 640u);
+    // Serialization is a pure function of the profile: dumping the parsed
+    // copy reproduces the document byte for byte.
+    EXPECT_EQ(prof::profile_document(parsed).dump(), doc.dump());
+}
+
+TEST(ProfArtifact, ValidatorEnforcesTreeInvariant) {
+    auto doc = prof::profile_document(synthetic_profile());
+    // Break total == self + sum(children.total) on the nested node.
+    auto broken = doc.dump();
+    const auto pos = broken.find("\"total\":100");
+    ASSERT_NE(pos, std::string::npos);
+    broken.replace(pos, 11, "\"total\":101");
+    const auto reparsed = obs::json::Value::parse(broken);
+    EXPECT_NE(prof::validate_profile(reparsed), "");
+}
+
+TEST(ProfArtifact, ValidatorEnforcesSampleSum) {
+    prof::Profile profile = synthetic_profile();
+    profile.samples = 151;  // != sum of root totals (150)
+    EXPECT_NE(prof::validate_profile(prof::profile_document(profile)), "");
+}
+
+TEST(ProfArtifact, CollapsedStacksAreDeterministic) {
+    const prof::Profile profile = synthetic_profile();
+    const std::string collapsed = prof::collapsed_stacks(profile);
+    EXPECT_EQ(collapsed, prof::collapsed_stacks(profile));
+    EXPECT_EQ(collapsed,
+              "idle.loop 50\n"
+              "outer.span 20\n"
+              "outer.span;inner.kernel 80\n");
+}
+
+TEST(ProfArtifact, DiffAttributesInjectedHotFrame) {
+    const prof::Profile base = synthetic_profile();
+    prof::Profile cand = synthetic_profile();
+    // Inject a synthetic slowdown: one new frame burning 400 samples.
+    auto hot = std::make_unique<prof::ProfileNode>();
+    hot->name = "hot.injected";
+    hot->self = 400;
+    hot->total = 400;
+    cand.roots.push_back(std::move(hot));
+    cand.samples += 400;
+
+    const prof::ProfileDiff diff = prof::diff_profiles(base, cand);
+    EXPECT_DOUBLE_EQ(diff.base_seconds, 150.0 / 1000.0);
+    EXPECT_DOUBLE_EQ(diff.cand_seconds, 550.0 / 1000.0);
+    ASSERT_FALSE(diff.frames.empty());
+    EXPECT_EQ(diff.frames[0].name, "hot.injected");
+    EXPECT_DOUBLE_EQ(diff.frames[0].base_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(diff.frames[0].delta_seconds(), 0.4);
+    const std::string table = prof::format_profile_diff(diff, 3);
+    EXPECT_NE(table.find("hot.injected"), std::string::npos)
+        << "attribution table must name the injected hot frame:\n" << table;
+}
+
+// ------------------------------------------------------------ zero-alloc
+
+TEST(ProfZeroAlloc, SteadyStateCompiledHotPathAllocatesNothing) {
+    ThreadGuard one_thread(1);
+    const auto net = make_net(5);
+    const infer::CompiledPnn engine(net);
+    const auto& split = prof_split();
+
+    math::Matrix scratch;
+    // Warm-up: first call sizes the scratch matrix and the plan arenas.
+    (void)engine.correct_count(split.x_test, split.y_test, nullptr, nullptr, scratch);
+
+    prof::AllocGuard guard;
+    for (int i = 0; i < 5; ++i)
+        (void)engine.correct_count(split.x_test, split.y_test, nullptr, nullptr, scratch);
+    const prof::AllocStats delta = guard.delta();
+    EXPECT_EQ(delta.allocations, 0u)
+        << "steady-state correct_count must not allocate (got " << delta.allocations
+        << " allocations / " << delta.bytes << " bytes)";
+}
+
+TEST(ProfZeroAlloc, KernelInstrumentationAllocatesNothing) {
+    ThreadGuard one_thread(1);
+    const auto net = make_net(5);
+    const infer::CompiledPnn engine(net);
+    const auto& split = prof_split();
+    math::Matrix scratch;
+
+    prof::set_counting(true);
+    // Warm-up with counting armed: interned kernel names, scratch, arenas.
+    (void)engine.correct_count(split.x_test, split.y_test, nullptr, nullptr, scratch);
+    {
+        prof::AllocGuard guard;
+        for (int i = 0; i < 5; ++i)
+            (void)engine.correct_count(split.x_test, split.y_test, nullptr, nullptr,
+                                       scratch);
+        EXPECT_EQ(guard.delta().allocations, 0u)
+            << "KernelScope tallies must stay allocation-free";
+    }
+    prof::set_counting(false);
+    EXPECT_GT(prof::kernel_totals(prof::Kernel::kInferForward).rows, 0u);
+    prof::reset_kernel_totals();
+}
+
+// ----------------------------------------------------------- bit-identity
+
+class ProfBitIdentity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProfBitIdentity, EvalIsBitIdenticalUnderProfiler) {
+    ThreadGuard threads(GetParam());
+    const auto net = make_net(5);
+    const infer::CompiledPnn engine(net);
+    const auto& split = prof_split();
+    pnn::EvalOptions eval;
+    eval.epsilon = 0.1;
+    eval.n_mc = 6;
+
+    const auto plain = engine.evaluate(split.x_test, split.y_test, eval);
+    ObsGuard obs_on(true);
+    ASSERT_TRUE(prof::Profiler::global().start(2000.0));
+    const auto profiled = engine.evaluate(split.x_test, split.y_test, eval);
+    prof::Profiler::global().stop();
+
+    expect_bitwise_equal(plain.per_sample_accuracy, profiled.per_sample_accuracy, "eval");
+    EXPECT_DOUBLE_EQ(plain.mean_accuracy, profiled.mean_accuracy);
+    EXPECT_DOUBLE_EQ(plain.std_accuracy, profiled.std_accuracy);
+}
+
+TEST_P(ProfBitIdentity, TrainIsBitIdenticalUnderProfiler) {
+    ThreadGuard threads(GetParam());
+    pnn::TrainOptions options;
+    options.epsilon = 0.1;
+    options.n_mc_train = 2;
+    options.max_epochs = 6;
+    options.patience = 6;
+    options.seed = 1;
+
+    auto plain_net = make_net(7);
+    const auto plain = pnn::train_pnn(plain_net, prof_split(), options);
+
+    ObsGuard obs_on(true);
+    ASSERT_TRUE(prof::Profiler::global().start(2000.0));
+    auto profiled_net = make_net(7);
+    const auto profiled = pnn::train_pnn(profiled_net, prof_split(), options);
+    prof::Profiler::global().stop();
+
+    EXPECT_EQ(plain.epochs_run, profiled.epochs_run);
+    EXPECT_DOUBLE_EQ(plain.best_val_loss, profiled.best_val_loss);
+    const auto a = plain_net.predict(prof_split().x_test);
+    const auto b = profiled_net.predict(prof_split().x_test);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_DOUBLE_EQ(a[i], b[i]) << "trained prediction element " << i;
+}
+
+TEST_P(ProfBitIdentity, YieldCampaignIsBitIdenticalUnderProfiler) {
+    ThreadGuard threads(GetParam());
+    const auto net = make_net(5);
+    const infer::CompiledPnn engine(net);
+    const auto& split = prof_split();
+    yield::YieldCampaignOptions options;
+    options.n_samples = 256;
+    options.round_size = 64;
+    options.mode = yield::CampaignMode::kFixed;
+    options.epsilon = 0.1;
+    options.accuracy_spec = 0.5;
+    options.seed = 777;
+
+    const auto plain =
+        yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    ObsGuard obs_on(true);
+    ASSERT_TRUE(prof::Profiler::global().start(2000.0));
+    const auto profiled =
+        yield::run_yield_campaign(engine, split.x_test, split.y_test, options);
+    prof::Profiler::global().stop();
+
+    EXPECT_EQ(plain.estimate.n_samples, profiled.estimate.n_samples);
+    EXPECT_EQ(plain.estimate.n_passing, profiled.estimate.n_passing);
+    EXPECT_DOUBLE_EQ(plain.estimate.yield, profiled.estimate.yield);
+    EXPECT_DOUBLE_EQ(plain.estimate.ci_lo, profiled.estimate.ci_lo);
+    EXPECT_DOUBLE_EQ(plain.estimate.ci_hi, profiled.estimate.ci_hi);
+    EXPECT_DOUBLE_EQ(plain.estimate.worst_accuracy, profiled.estimate.worst_accuracy);
+    EXPECT_DOUBLE_EQ(plain.estimate.median_accuracy, profiled.estimate.median_accuracy);
+}
+
+TEST_P(ProfBitIdentity, ServeReplayIsBitIdenticalUnderProfiler) {
+    ThreadGuard threads(GetParam());
+    const auto net = make_net(5);
+    const auto& split = prof_split();
+    std::vector<std::vector<double>> rows(20);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::size_t r = i % split.x_test.rows();
+        rows[i].resize(split.x_test.cols());
+        for (std::size_t c = 0; c < split.x_test.cols(); ++c)
+            rows[i][c] = split.x_test(r, c);
+    }
+    const auto replay = [&] {
+        serve::ModelRegistry registry;
+        registry.install("iris", net);
+        serve::ServeOptions options;
+        options.max_batch = 8;
+        options.deterministic = true;  // the replay contract
+        serve::ServePipeline pipeline(registry, options);
+        std::vector<std::future<serve::Prediction>> futures;
+        for (const auto& row : rows) futures.push_back(pipeline.submit_or_wait("iris", row));
+        pipeline.drain();
+        std::vector<std::vector<double>> outputs;
+        for (auto& f : futures) outputs.push_back(f.get().outputs);
+        return outputs;
+    };
+
+    const auto plain = replay();
+    ObsGuard obs_on(true);
+    ASSERT_TRUE(prof::Profiler::global().start(2000.0));
+    const auto profiled = replay();
+    prof::Profiler::global().stop();
+
+    ASSERT_EQ(plain.size(), profiled.size());
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        expect_bitwise_equal(plain[i], profiled[i],
+                             "served row " + std::to_string(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ProfBitIdentity, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                             return "t" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------------------ CLI surface
+
+class ProfCliTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() / (std::string("pnc_prof_cli_") + info->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    /// Run `pnc <args>` and return its exit code; stdout+stderr are
+    /// appended to `*output` when given.
+    int run_cli_rc(const std::string& cli_args, std::string* output = nullptr) {
+        const std::string log = (dir_ / "cli.log").string();
+        const std::string cmd =
+            std::string(PNC_CLI_PATH) + " " + cli_args + " > " + log + " 2>&1";
+        const int status = std::system(cmd.c_str());
+        if (output) *output += slurp(log);
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    static std::string slurp(const std::string& path) {
+        std::ifstream is(path);
+        std::stringstream buffer;
+        buffer << is.rdbuf();
+        return buffer.str();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(ProfCliTest, CaptureSummaryAndFlameRoundTrip) {
+    const std::string profile = (dir_ / "curve.profile.json").string();
+    std::string out;
+    ASSERT_EQ(run_cli_rc("curve --points 512 --profile-out " + profile, &out), 0) << out;
+    ASSERT_TRUE(fs::exists(profile)) << "capture must write the artifact";
+    // The written artifact must self-validate before any viewer touches it.
+    EXPECT_EQ(prof::validate_profile(obs::json::Value::parse(slurp(profile))), "");
+
+    out.clear();
+    ASSERT_EQ(run_cli_rc("prof summary " + profile, &out), 0) << out;
+    EXPECT_NE(out.find("pnc-profile/1"), std::string::npos) << out;
+
+    out.clear();
+    ASSERT_EQ(run_cli_rc("prof flame " + profile, &out), 0) << out;
+    // Every collapsed line is "frame[;frame...] N" — spot-check the shape
+    // (a near-instant capture may legitimately emit zero lines).
+    std::stringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << "bad collapsed line: " << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    }
+}
+
+TEST_F(ProfCliTest, DiffNamesInjectedHotFrame) {
+    const std::string base_path = (dir_ / "base.json").string();
+    const std::string cand_path = (dir_ / "cand.json").string();
+    prof::Profile cand = synthetic_profile();
+    auto hot = std::make_unique<prof::ProfileNode>();
+    hot->name = "hot.injected";
+    hot->self = 400;
+    hot->total = 400;
+    cand.roots.push_back(std::move(hot));
+    cand.samples += 400;
+    prof::write_profile(base_path, synthetic_profile());
+    prof::write_profile(cand_path, cand);
+
+    std::string out;
+    ASSERT_EQ(run_cli_rc("prof diff " + base_path + " " + cand_path + " --top 3", &out), 0)
+        << out;
+    EXPECT_NE(out.find("hot.injected"), std::string::npos)
+        << "diff must name the injected hot frame:\n" << out;
+}
+
+TEST_F(ProfCliTest, ExitCodesDistinguishUsageFromBadArtifacts) {
+    EXPECT_EQ(run_cli_rc("prof"), 2);                       // missing subcommand
+    EXPECT_EQ(run_cli_rc("prof bogus x.json"), 2);          // unknown subcommand
+    EXPECT_EQ(run_cli_rc("prof summary"), 2);               // missing operand
+    EXPECT_EQ(run_cli_rc("prof summary " + (dir_ / "absent.json").string()), 2);
+    const std::string mangled = (dir_ / "mangled.json").string();
+    std::ofstream(mangled) << "{\"schema\":\"pnc-profile/1\"";  // truncated JSON
+    EXPECT_EQ(run_cli_rc("prof summary " + mangled), 1);
+    EXPECT_EQ(run_cli_rc("curve --profile-hz 0 --profile-out "
+                         + (dir_ / "p.json").string()), 2);  // bad rate
+}
+
+}  // namespace

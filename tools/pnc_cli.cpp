@@ -38,6 +38,17 @@
 //   pnc serve      --model model.pnn --dataset iris --self-load N [--batch B]
 //                  [--deadline-ms D] [--queue-cap Q] [--submitters S]
 //   pnc top        LIVESTATS.jsonl [--follow 1] [--history N]
+//   pnc prof       summary PROFILE.json | flame PROFILE.json |
+//                  diff BASE.json CAND.json [--top N]
+//
+// `prof` inspects pnc-profile/1 captures from the in-process sampling
+// profiler (docs/OBSERVABILITY.md "Profiling"): `summary` prints the
+// top-frames / kernel-cost / allocation tables, `flame` emits collapsed
+// stacks ("a;b;c N" — pipe into flamegraph.pl or load into speedscope),
+// `diff` attributes the wall-clock delta between two captures to the
+// frames whose self-time moved most. `report diff|check` accept
+// --profile-base DIR --profile-cand DIR to decorate timing regressions
+// with the same attribution using `pnc-bench --profile` captures.
 //
 // `serve --replay/--self-load` additionally accept the live telemetry plane
 // (docs/OBSERVABILITY.md "Live serving telemetry"):
@@ -95,9 +106,11 @@
 //   --events-out events.jsonl   stream pnc-events/1 lines as the run goes
 //   --chrome-trace-out t.json   Chrome trace-event view of the trace tree
 //   --health-out health.json    training flight recorder (pnc-health/1)
+//   --profile-out p.json        pnc-profile/1 sampling-profiler capture
+//                               [--profile-hz N  sample rate, default 997]
 // Any of these flags (or PNC_OBS=1 / PNC_METRICS_OUT / PNC_TRACE_OUT /
-// PNC_EVENTS_OUT / PNC_CHROME_TRACE_OUT / PNC_HEALTH_OUT in the
-// environment) enables metric collection; it never changes results.
+// PNC_EVENTS_OUT / PNC_CHROME_TRACE_OUT / PNC_HEALTH_OUT / PNC_PROF_OUT in
+// the environment) enables metric collection; it never changes results.
 //
 // Surrogate models are loaded from (or built into) the artifact cache, the
 // same one the benches use ($PNC_ARTIFACTS, default ./artifacts).
@@ -133,6 +146,8 @@
 #include "pnn/robustness.hpp"
 #include "pnn/serialize.hpp"
 #include "pnn/training.hpp"
+#include "prof/profile.hpp"
+#include "prof/profiler.hpp"
 #include "serve/pipeline.hpp"
 #include "serve/request_log.hpp"
 #include "serve/telemetry.hpp"
@@ -177,7 +192,8 @@ void validate_options(const Args& args, std::initializer_list<const char*> allow
     for (const auto& [key, value] : args.options) {
         (void)value;
         if (key == "metrics-out" || key == "trace-out" || key == "events-out" ||
-            key == "chrome-trace-out" || key == "health-out")
+            key == "chrome-trace-out" || key == "health-out" || key == "profile-out" ||
+            key == "profile-hz")
             continue;
         bool known = false;
         for (const char* name : allowed) known |= key == name;
@@ -765,21 +781,78 @@ int report_verdict(const obs::DiffResult& diff, bool timing_warn_only) {
     return 0;
 }
 
+prof::Profile load_profile_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw UsageError("cannot open profile " + path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    try {
+        return prof::parse_profile(obs::json::Value::parse(ss.str()));
+    } catch (const UsageError&) {
+        throw;
+    } catch (const std::exception& e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+}
+
+/// `pnc report --profile-base/--profile-cand`: attribute each bench's
+/// timing/throughput regression to the frames whose self-time moved most,
+/// using the per-bench pnc-profile/1 captures from `pnc-bench --profile`
+/// (<name>.profile.json in each directory). Benches without a capture on
+/// both sides are skipped silently — attribution is best-effort decoration
+/// on top of the gate, never part of it.
+void print_profile_attribution(const obs::DiffResult& diff, const std::string& base_dir,
+                               const std::string& cand_dir) {
+    std::vector<std::string> benches;
+    for (const auto& delta : diff.deltas) {
+        if (delta.verdict != obs::Verdict::kRegressed) continue;
+        if (delta.kind != obs::MetricKind::kTiming &&
+            delta.kind != obs::MetricKind::kThroughput)
+            continue;
+        const std::string bench = delta.name.substr(0, delta.name.find('.'));
+        if (std::find(benches.begin(), benches.end(), bench) == benches.end())
+            benches.push_back(bench);
+    }
+    for (const std::string& bench : benches) {
+        const std::string base_path = base_dir + "/" + bench + ".profile.json";
+        const std::string cand_path = cand_dir + "/" + bench + ".profile.json";
+        if (!std::ifstream(base_path) || !std::ifstream(cand_path)) continue;
+        try {
+            const auto profile_diff =
+                prof::diff_profiles(load_profile_file(base_path),
+                                    load_profile_file(cand_path));
+            std::printf("\nprofile attribution for %s (%s vs %s):\n", bench.c_str(),
+                        base_path.c_str(), cand_path.c_str());
+            std::fputs(prof::format_profile_diff(profile_diff, 5).c_str(), stdout);
+        } catch (const std::exception& e) {
+            std::printf("\nprofile attribution for %s unavailable: %s\n", bench.c_str(),
+                        e.what());
+        }
+    }
+}
+
 int cmd_report(const Args& args) {
     if (args.positionals.empty())
         throw UsageError("report needs a subcommand: diff | check");
     const std::string& sub = args.positionals[0];
+    const std::string profile_base = args.get("profile-base");
+    const std::string profile_cand = args.get("profile-cand");
+    if (profile_base.empty() != profile_cand.empty())
+        throw UsageError("--profile-base and --profile-cand go together");
     if (sub == "diff") {
-        validate_options(args, {"tolerance-file"});
+        validate_options(args, {"tolerance-file", "profile-base", "profile-cand"});
         if (args.positionals.size() != 3)
             throw UsageError("usage: pnc report diff BASELINE.json CANDIDATE.json");
         const auto baseline = load_suite_file(args.positionals[1]);
         const auto candidate = load_suite_file(args.positionals[2]);
-        return report_verdict(diff_suites(baseline, candidate, load_tolerances(args)),
-                              /*timing_warn_only=*/false);
+        const auto diff = diff_suites(baseline, candidate, load_tolerances(args));
+        if (!profile_base.empty())
+            print_profile_attribution(diff, profile_base, profile_cand);
+        return report_verdict(diff, /*timing_warn_only=*/false);
     }
     if (sub == "check") {
-        validate_options(args, {"baseline", "tolerance-file", "timing-warn-only"});
+        validate_options(args, {"baseline", "tolerance-file", "timing-warn-only",
+                                "profile-base", "profile-cand"});
         if (args.positionals.size() > 2)
             throw UsageError(
                 "usage: pnc report check [CANDIDATE.json] --baseline BASELINE.json");
@@ -788,10 +861,45 @@ int cmd_report(const Args& args) {
             args.positionals.size() == 2 ? args.positionals[1] : newest_bench_artifact();
         std::printf("candidate: %s\n", candidate_path.c_str());
         const auto candidate = load_suite_file(candidate_path);
-        return report_verdict(diff_suites(baseline, candidate, load_tolerances(args)),
-                              args.number("timing-warn-only", 0) != 0);
+        const auto diff = diff_suites(baseline, candidate, load_tolerances(args));
+        if (!profile_base.empty())
+            print_profile_attribution(diff, profile_base, profile_cand);
+        return report_verdict(diff, args.number("timing-warn-only", 0) != 0);
     }
     throw UsageError("unknown report subcommand '" + sub + "' (diff | check)");
+}
+
+/// `pnc prof summary|flame|diff` — inspect pnc-profile/1 captures.
+/// summary prints the top-frames/kernel/allocation tables, flame prints
+/// the collapsed-stack export (pipe into flamegraph.pl or load into
+/// speedscope), diff attributes the wall-clock delta between two captures
+/// to the frames whose self-time moved most.
+int cmd_prof(const Args& args) {
+    if (args.positionals.empty())
+        throw UsageError("prof needs a subcommand: summary | flame | diff");
+    const std::string& sub = args.positionals[0];
+    if (sub == "summary" || sub == "flame") {
+        validate_options(args, {});
+        if (args.positionals.size() != 2)
+            throw UsageError("usage: pnc prof " + sub + " PROFILE.json");
+        const prof::Profile profile = load_profile_file(args.positionals[1]);
+        if (sub == "summary")
+            std::fputs(prof::format_summary(profile).c_str(), stdout);
+        else
+            std::fputs(prof::collapsed_stacks(profile).c_str(), stdout);
+        return 0;
+    }
+    if (sub == "diff") {
+        validate_options(args, {"top"});
+        if (args.positionals.size() != 3)
+            throw UsageError("usage: pnc prof diff BASE.json CAND.json [--top N]");
+        const auto top = static_cast<std::size_t>(args.number("top", 10));
+        const auto diff = prof::diff_profiles(load_profile_file(args.positionals[1]),
+                                              load_profile_file(args.positionals[2]));
+        std::fputs(prof::format_profile_diff(diff, top).c_str(), stdout);
+        return 0;
+    }
+    throw UsageError("unknown prof subcommand '" + sub + "' (summary | flame | diff)");
 }
 
 /// `pnc doctor HEALTH.json` — classify a training flight recorder. Exit 4
@@ -1245,10 +1353,15 @@ int cmd_top(const Args& args) {
 int cmd_help(std::FILE* out = stdout) {
     std::fputs("pnc — printed neuromorphic circuit designer\n", out);
     std::fputs("commands: curve fit datasets dataset train eval certify yield export cost "
-               "report doctor serve top help\n", out);
+               "report doctor serve top prof help\n", out);
     std::fputs("global flags: --metrics-out report.json  --trace-out trace.json\n", out);
     std::fputs("              --events-out events.jsonl  --chrome-trace-out trace.json\n", out);
     std::fputs("              --health-out health.json   (training flight recorder)\n", out);
+    std::fputs("              --profile-out p.json [--profile-hz N]  (sampling profiler,\n", out);
+    std::fputs("              pnc-profile/1; results stay bitwise identical)\n", out);
+    std::fputs("prof:   pnc prof summary P.json | pnc prof flame P.json (collapsed\n", out);
+    std::fputs("        stacks for flamegraph.pl/speedscope) | pnc prof diff A.json\n", out);
+    std::fputs("        B.json [--top N]  (frame-level slowdown attribution)\n", out);
     std::fputs("report: pnc report diff A.json B.json | pnc report check [CAND.json]\n", out);
     std::fputs("        --baseline B.json [--tolerance-file F] [--timing-warn-only 1]\n", out);
     std::fputs("doctor: pnc doctor HEALTH.json   (exit 4 when training diverged)\n", out);
@@ -1276,6 +1389,7 @@ int dispatch(const Args& args) {
     if (args.command == "doctor") return cmd_doctor(args);
     if (args.command == "yield") return cmd_yield(args);
     if (args.command == "top") return cmd_top(args);
+    if (args.command == "prof") return cmd_prof(args);
     if (!args.positionals.empty())
         throw UsageError("command '" + args.command + "' takes no positional argument '" +
                          args.positionals.front() + "'");
@@ -1347,12 +1461,19 @@ int main(int argc, char** argv) {
             obs_config.chrome_trace_out = v;
         if (const std::string v = args.get("health-out"); !v.empty())
             obs_config.health_out = v;
+        if (const std::string v = args.get("profile-out"); !v.empty())
+            obs_config.profile_out = v;
         obs_config.enabled |= !obs_config.metrics_out.empty() ||
                               !obs_config.trace_out.empty() ||
                               !obs_config.events_out.empty() ||
                               !obs_config.chrome_trace_out.empty() ||
-                              !obs_config.health_out.empty();
+                              !obs_config.health_out.empty() ||
+                              !obs_config.profile_out.empty();
         obs::set_enabled(obs_config.enabled);
+        if (args.options.count("profile-hz") && args.number("profile-hz", 0.0) <= 0.0)
+            throw UsageError("--profile-hz must be positive");
+        if (!obs_config.profile_out.empty())
+            prof::Profiler::global().start(args.number("profile-hz", 0.0));
         if (!obs_config.health_out.empty())
             obs::set_health_out(obs_config.health_out, "pnc");
         if (!obs_config.events_out.empty()) {
@@ -1381,6 +1502,12 @@ int main(int argc, char** argv) {
             obs::write_chrome_trace(obs_config.chrome_trace_out);
             std::fprintf(stderr, "[obs] chrome trace written to %s\n",
                          obs_config.chrome_trace_out.c_str());
+        }
+        if (rc == 0 && !obs_config.profile_out.empty() &&
+            prof::Profiler::global().running()) {
+            prof::write_profile(obs_config.profile_out, prof::Profiler::global().stop());
+            std::fprintf(stderr, "[obs] profile written to %s\n",
+                         obs_config.profile_out.c_str());
         }
         if (!events_path.empty()) {
             obs::emit_event("run.finish", {obs::EventField::num("exit_code", rc)});
